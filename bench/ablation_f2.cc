@@ -1,0 +1,98 @@
+// Ablation: the paper's consecutive-occurrence count F2 vs the naive
+// occurrence-count support (DESIGN.md Sect. 6). Sect. 2.2 argues plain
+// occurrence counting over-credits outliers — e.g. in T = abcabbabcb the
+// symbol b would look periodic with period 3 at frequency 1/4 "which is not
+// quite true". This bench quantifies that argument: on random (aperiodic)
+// data, how many (period, symbol, position) triples exceed a threshold under
+// each definition? F2 should admit far fewer false periodicities.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "periodica/gen/synthetic.h"
+#include "periodica/util/rng.h"
+#include "periodica/util/table.h"
+
+namespace periodica::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  std::int64_t length = 5000;
+  std::int64_t sigma = 5;
+  std::int64_t max_period = 100;
+  FlagSet flags("ablation_f2");
+  flags.AddInt64("length", &length, "series length (symbols)");
+  flags.AddInt64("sigma", &sigma, "alphabet size");
+  flags.AddInt64("max_period", &max_period, "largest period checked");
+  PERIODICA_CHECK_OK(flags.Parse(argc, argv));
+
+  Rng rng(8);
+  SymbolSeries series(
+      Alphabet::Latin(static_cast<std::size_t>(sigma)));
+  for (std::int64_t i = 0; i < length; ++i) {
+    series.Append(
+        static_cast<SymbolId>(rng.UniformInt(static_cast<std::uint64_t>(sigma))));
+  }
+
+  std::cout << "Ablation: F2 (consecutive occurrences, the paper's "
+               "Definition 1) vs plain occurrence counting, on uniform "
+               "random data (no true periodicity)\n"
+            << "n = " << length << ", sigma = " << sigma << ", periods 2.."
+            << max_period << "\n\n";
+
+  TextTable table({"Threshold", "False positives (F2)",
+                   "False positives (plain)", "Ratio"});
+  for (const double threshold : {0.5, 0.4, 0.3}) {
+    std::size_t false_f2 = 0;
+    std::size_t false_plain = 0;
+    for (std::size_t p = 2; p <= static_cast<std::size_t>(max_period); ++p) {
+      for (std::size_t l = 0; l < p; ++l) {
+        const std::size_t pairs = ProjectionPairCount(series.size(), p, l);
+        if (pairs == 0) continue;
+        // Projection length for the plain definition.
+        const std::size_t projection_length = pairs + 1;
+        std::vector<std::size_t> occurrence(sigma, 0);
+        std::vector<std::size_t> consecutive(sigma, 0);
+        SymbolId previous = 0;
+        bool has_previous = false;
+        for (std::size_t i = l; i < series.size(); i += p) {
+          ++occurrence[series[i]];
+          if (has_previous && series[i] == previous) ++consecutive[series[i]];
+          previous = series[i];
+          has_previous = true;
+        }
+        for (std::int64_t k = 0; k < sigma; ++k) {
+          const double plain_support =
+              static_cast<double>(occurrence[k]) /
+              static_cast<double>(projection_length);
+          const double f2_support = static_cast<double>(consecutive[k]) /
+                                    static_cast<double>(pairs);
+          if (plain_support >= threshold) ++false_plain;
+          if (f2_support >= threshold) ++false_f2;
+        }
+      }
+    }
+    table.AddRow(
+        {FormatDouble(threshold, 1), std::to_string(false_f2),
+         std::to_string(false_plain),
+         false_f2 == 0 ? "inf"
+                       : FormatDouble(static_cast<double>(false_plain) /
+                                          static_cast<double>(false_f2),
+                                      1)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nReading: on data with no real periodicity, plain "
+               "occurrence counting flags many spurious (period, symbol, "
+               "position) triples (expected support 1/sigma with heavy "
+               "upper tail), while the F2 definition (expected support "
+               "~1/sigma^2) admits almost none — the quantitative version "
+               "of the paper's Sect. 2.2 argument.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace periodica::bench
+
+int main(int argc, char** argv) { return periodica::bench::Run(argc, argv); }

@@ -1,0 +1,123 @@
+// Ablation: three defenses against Definition 1's chance periodicities on
+// unstructured data — the raw definition, the min_pairs evidence floor, and
+// the binomial significance screen (core/significance.h). Sweeps a random
+// series and a planted-period series and reports how many (period, symbol,
+// position) detections each configuration reports, and whether the planted
+// periodicities survive.
+
+#include <iostream>
+#include <string>
+
+#include "bench_util.h"
+#include "periodica/core/significance.h"
+#include "periodica/gen/synthetic.h"
+#include "periodica/util/rng.h"
+#include "periodica/util/table.h"
+
+namespace periodica::bench {
+namespace {
+
+struct Row {
+  std::size_t raw = 0;
+  std::size_t with_min_pairs = 0;
+  std::size_t significant = 0;
+};
+
+/// Mines in period-range chunks so entry counts are exact (no max_entries
+/// truncation) without holding millions of entries at once.
+Row Evaluate(const SymbolSeries& series, double threshold,
+             std::size_t max_period) {
+  Row row;
+  FftConvolutionMiner miner(series);
+  SignificanceOptions significance;
+  significance.max_p_value = 1e-6;
+  const std::size_t chunks = 32;
+  const std::size_t step = (max_period + chunks - 1) / chunks;
+  for (std::size_t lo = 2; lo <= max_period; lo += step) {
+    MinerOptions options;
+    options.threshold = threshold;
+    options.min_period = lo;
+    options.max_period = std::min(lo + step - 1, max_period);
+    options.max_entries = std::size_t{1} << 22;
+    const PeriodicityTable raw = miner.Mine(options);
+    PERIODICA_CHECK(!raw.truncated()) << "chunking too coarse";
+    row.raw += raw.entries().size();
+
+    options.min_pairs = 4;
+    row.with_min_pairs += miner.Mine(options).entries().size();
+
+    row.significant +=
+        FilterSignificant(raw, series, significance).ValueOrDie().size();
+  }
+  return row;
+}
+
+int Run(int argc, char** argv) {
+  std::int64_t length = 20000;
+  std::int64_t max_period = 0;  // 0 = n/2, where the trivially-supported tail lives
+  double threshold = 0.3;
+  FlagSet flags("ablation_significance");
+  flags.AddInt64("length", &length, "series length (symbols)");
+  flags.AddInt64("max_period", &max_period,
+                 "largest period examined (0 = n/2)");
+  flags.AddDouble("threshold", &threshold, "periodicity threshold");
+  PERIODICA_CHECK_OK(flags.Parse(argc, argv));
+  if (max_period == 0) max_period = length / 2;
+
+  // Random data: every detection is a false positive by construction.
+  Rng rng(19);
+  SymbolSeries random_series(Alphabet::Latin(10));
+  for (std::int64_t i = 0; i < length; ++i) {
+    random_series.Append(static_cast<SymbolId>(rng.UniformInt(10)));
+  }
+  // Planted data: period 25 under 30% replacement noise.
+  SyntheticSpec spec;
+  spec.length = static_cast<std::size_t>(length);
+  spec.alphabet_size = 10;
+  spec.period = 25;
+  spec.seed = 20;
+  SymbolSeries planted = GeneratePerfect(spec).ValueOrDie();
+  planted = ApplyNoise(planted, NoiseSpec::Replacement(0.3, 21)).ValueOrDie();
+
+  std::cout << "Ablation: suppressing chance periodicities "
+               "(threshold " << threshold << ", periods 2.." << max_period
+            << ", n = " << length << ")\n\n";
+  TextTable table({"Data", "Definition 1", "+ min_pairs=4",
+                   "+ significance 1e-6"});
+  const Row random_row = Evaluate(random_series, threshold,
+                                  static_cast<std::size_t>(max_period));
+  table.AddRow({"random (all false)", std::to_string(random_row.raw),
+                std::to_string(random_row.with_min_pairs),
+                std::to_string(random_row.significant)});
+  const Row planted_row =
+      Evaluate(planted, threshold, static_cast<std::size_t>(max_period));
+  table.AddRow({"planted period 25", std::to_string(planted_row.raw),
+                std::to_string(planted_row.with_min_pairs),
+                std::to_string(planted_row.significant)});
+  table.Print(std::cout);
+
+  // Verify the planted periodicities survive the strictest screen (periods
+  // up to 1000 keep this spot-check comfortably within max_entries).
+  MinerOptions options;
+  options.threshold = threshold;
+  options.min_period = 2;
+  options.max_period = 1000;
+  const PeriodicityTable mined = FftConvolutionMiner(planted).Mine(options);
+  const auto significant = FilterSignificant(mined, planted).ValueOrDie();
+  std::size_t at_planted = 0;
+  for (const SignificantPeriodicity& hit : significant) {
+    if (hit.entry.period % 25 == 0) ++at_planted;
+  }
+  std::cout << "\nSurviving planted-period detections: " << at_planted
+            << " of " << significant.size() << " significant entries\n"
+            << "Reading: the evidence floor thins the noise; the "
+               "significance screen removes it almost entirely while "
+               "keeping the planted structure — the principled replacement "
+               "for eyeballing Table 1's long period lists.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace periodica::bench
+
+int main(int argc, char** argv) { return periodica::bench::Run(argc, argv); }

@@ -1,0 +1,98 @@
+// Ablation: sketch count in the periodic-trends baseline. The original
+// algorithm uses O(log n) random projections; this bench sweeps the count
+// and reports (a) the relative error of the estimated self-distances against
+// the exact FFT computation and (b) whether the embedded period still ranks
+// first. Grounds the num_sketches default and quantifies the
+// accuracy/time trade-off behind Fig. 4's noise.
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "periodica/baselines/periodic_trends.h"
+#include "periodica/gen/synthetic.h"
+#include "periodica/util/stopwatch.h"
+#include "periodica/util/table.h"
+
+namespace periodica::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  std::int64_t length = 20000;
+  std::int64_t period = 25;
+  std::int64_t max_period = 500;
+  double noise = 0.15;
+  FlagSet flags("ablation_sketches");
+  flags.AddInt64("length", &length, "series length (symbols)");
+  flags.AddInt64("period", &period, "embedded period");
+  flags.AddInt64("max_period", &max_period, "largest period analyzed");
+  flags.AddDouble("noise", &noise, "replacement noise ratio");
+  PERIODICA_CHECK_OK(flags.Parse(argc, argv));
+
+  SyntheticSpec spec;
+  spec.length = static_cast<std::size_t>(length);
+  spec.alphabet_size = 10;
+  spec.period = static_cast<std::size_t>(period);
+  spec.seed = 17;
+  SymbolSeries series = GeneratePerfect(spec).ValueOrDie();
+  series = ApplyNoise(series, NoiseSpec::Replacement(noise, 18)).ValueOrDie();
+
+  PeriodicTrendsOptions exact_options;
+  exact_options.exact = true;
+  exact_options.max_period = static_cast<std::size_t>(max_period);
+  const auto exact =
+      PeriodicTrends(exact_options).Analyze(series).ValueOrDie();
+  auto exact_distance = [&exact](std::size_t p) {
+    for (const TrendCandidate& candidate : exact) {
+      if (candidate.period == p) return candidate.distance;
+    }
+    return -1.0;
+  };
+
+  std::cout << "Ablation: sketch count vs estimate quality in the periodic "
+               "trends baseline\n"
+            << "n = " << length << ", embedded period " << period
+            << ", replacement noise " << noise << "; log2(n) ~ "
+            << static_cast<int>(std::ceil(std::log2(length))) << "\n\n";
+  TextTable table({"Sketches", "Median rel. error (%)", "Max rel. error (%)",
+                   "Conf. of true period", "Time (s)"});
+  for (const std::int64_t sketches : {1, 2, 4, 8, 15, 32, 64}) {
+    PeriodicTrendsOptions options;
+    options.num_sketches = static_cast<std::size_t>(sketches);
+    options.max_period = static_cast<std::size_t>(max_period);
+    Stopwatch watch;
+    const auto estimated = PeriodicTrends(options).Analyze(series).ValueOrDie();
+    const double seconds = watch.ElapsedSeconds();
+
+    std::vector<double> errors;
+    for (const TrendCandidate& candidate : estimated) {
+      const double truth = exact_distance(candidate.period);
+      if (truth <= 0.0) continue;  // zero-distance multiples excluded
+      errors.push_back(std::abs(candidate.distance - truth) / truth);
+    }
+    std::sort(errors.begin(), errors.end());
+    const double median = errors.empty() ? 0.0 : errors[errors.size() / 2];
+    const double worst = errors.empty() ? 0.0 : errors.back();
+    table.AddRow(
+        {std::to_string(sketches), FormatDouble(median * 100, 1),
+         FormatDouble(worst * 100, 1),
+         FormatDouble(PeriodicTrends::ConfidenceFor(
+                          estimated, static_cast<std::size_t>(period)),
+                      3),
+         FormatDouble(seconds, 3)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nReading: error shrinks like 1/sqrt(sketches) (the JL "
+               "estimator's variance); around log2(n) sketches the true "
+               "period is already ranked at the top, matching the original "
+               "algorithm's O(n log^2 n) budget.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace periodica::bench
+
+int main(int argc, char** argv) { return periodica::bench::Run(argc, argv); }

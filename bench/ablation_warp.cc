@@ -1,0 +1,81 @@
+// Ablation: rigid vs time-warped comparison at the true period, across the
+// noise kinds of Fig. 6. The rigid column is exactly what the convolution
+// miner measures (band 0); the warped columns absorb bounded local slips.
+// The expected picture: identical under replacement noise (warping cannot
+// help — symbols changed in place), dramatically better under insertion/
+// deletion noise (the miner's documented weakness).
+
+#include <iostream>
+#include <string>
+
+#include "bench_util.h"
+#include "periodica/baselines/warp.h"
+#include "periodica/gen/synthetic.h"
+#include "periodica/util/table.h"
+
+namespace periodica::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  std::int64_t length = 20000;
+  std::int64_t period = 25;
+  double ratio = 0.1;
+  FlagSet flags("ablation_warp");
+  flags.AddInt64("length", &length, "series length (symbols)");
+  flags.AddInt64("period", &period, "embedded period");
+  flags.AddDouble("ratio", &ratio, "noise ratio");
+  PERIODICA_CHECK_OK(flags.Parse(argc, argv));
+
+  struct Kind {
+    const char* label;
+    bool r, i, d;
+  };
+  const Kind kinds[] = {
+      {"none", false, false, false}, {"R", true, false, false},
+      {"I", false, true, false},     {"D", false, false, true},
+      {"I-D", false, true, true},    {"R-I-D", true, true, true},
+  };
+
+  std::cout << "Ablation: rigid vs warped score at the true period "
+            << period << " (n = " << length << ", noise ratio " << ratio
+            << ")\n"
+            << "rigid = band 0 (what the convolution miner compares); score "
+               "= 1 - mismatches/overlap\n\n";
+  TextTable table({"Noise", "Rigid", "Warp band 4", "Warp band 16",
+                   "Warp gain"});
+  for (const Kind& kind : kinds) {
+    SyntheticSpec spec;
+    spec.length = static_cast<std::size_t>(length);
+    spec.alphabet_size = 10;
+    spec.period = static_cast<std::size_t>(period);
+    spec.seed = 23;
+    SymbolSeries series = GeneratePerfect(spec).ValueOrDie();
+    if (kind.r || kind.i || kind.d) {
+      series = ApplyNoise(series, NoiseSpec::Combined(ratio, kind.r, kind.i,
+                                                      kind.d, 29))
+                   .ValueOrDie();
+    }
+    const std::size_t p = static_cast<std::size_t>(period);
+    const double rigid =
+        WarpScore(series, p, WarpOptions{.band = 0}).ValueOrDie();
+    const double warp4 =
+        WarpScore(series, p, WarpOptions{.band = 4}).ValueOrDie();
+    const double warp16 =
+        WarpScore(series, p, WarpOptions{.band = 16}).ValueOrDie();
+    table.AddRow({kind.label, FormatDouble(rigid, 3), FormatDouble(warp4, 3),
+                  FormatDouble(warp16, 3),
+                  FormatDouble(warp16 - rigid, 3)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nReading: replacement noise gains nothing from warping "
+               "(in-place corruption); insertion/deletion noise — where "
+               "Fig. 6 collapses — recovers most of the score with a modest "
+               "band. This is the WARP follow-up direction quantified on "
+               "the same workloads.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace periodica::bench
+
+int main(int argc, char** argv) { return periodica::bench::Run(argc, argv); }

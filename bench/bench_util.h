@@ -1,0 +1,58 @@
+#ifndef PERIODICA_BENCH_BENCH_UTIL_H_
+#define PERIODICA_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the benchmark harness. Every bench binary regenerates
+// one table or figure of the paper's Sect. 4 evaluation; defaults are
+// laptop-scale so the whole suite runs in minutes, and --paper_scale (or the
+// environment variable PERIODICA_PAPER_SCALE=1) raises lengths and run counts
+// toward the paper's setup (1M-symbol series, many runs).
+
+#include <cstdlib>
+#include <string>
+
+#include "periodica/core/fft_miner.h"
+#include "periodica/core/options.h"
+#include "periodica/series/series.h"
+#include "periodica/util/flags.h"
+#include "periodica/util/logging.h"
+
+namespace periodica::bench {
+
+inline bool PaperScaleFromEnv() {
+  const char* env = std::getenv("PERIODICA_PAPER_SCALE");
+  return env != nullptr && std::string(env) == "1";
+}
+
+/// The per-period confidence the paper plots in Figures 3 and 6: the minimum
+/// periodicity threshold at which `period` is detected, i.e. the best
+/// Definition-1 confidence over (symbol, position), computed by the FFT
+/// mining engine restricted to that period.
+inline double MinedPeriodConfidence(const SymbolSeries& series,
+                                    std::size_t period) {
+  if (series.size() < 2 || period >= series.size()) return 0.0;
+  MinerOptions options;
+  options.threshold = 1e-9;  // keep everything; we read the best confidence
+  options.min_period = period;
+  options.max_period = period;
+  options.max_entries = 0;  // summaries are all we need
+  options.positions = true;
+  const PeriodicityTable table = FftConvolutionMiner(series).Mine(options);
+  return table.PeriodConfidence(period);
+}
+
+/// Mines once over [1, max_period] and returns the table (used when a figure
+/// needs confidences at several multiples of the base period).
+inline PeriodicityTable MineUpTo(const SymbolSeries& series,
+                                 std::size_t max_period) {
+  MinerOptions options;
+  options.threshold = 1e-9;
+  options.min_period = 1;
+  options.max_period = max_period;
+  options.max_entries = 0;
+  const PeriodicityTable table = FftConvolutionMiner(series).Mine(options);
+  return table;
+}
+
+}  // namespace periodica::bench
+
+#endif  // PERIODICA_BENCH_BENCH_UTIL_H_

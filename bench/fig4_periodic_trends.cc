@@ -1,0 +1,107 @@
+// Regenerates Figure 4: the same correctness protocol as Figure 3, run
+// against the periodic-trends baseline (Indyk et al.). Its confidence is the
+// normalized candidacy rank of each period. The paper's observation, which
+// this bench reproduces: on inerrant data all embedded multiples rank near
+// the top, but the ranking is biased toward the *larger* periods, and noise
+// amplifies the bias (panel (b)) — unlike the obscure miner's flat profile.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "periodica/baselines/periodic_trends.h"
+#include "periodica/gen/synthetic.h"
+#include "periodica/util/table.h"
+
+namespace periodica::bench {
+namespace {
+
+struct Config {
+  const char* label;
+  SymbolDistribution distribution;
+  std::size_t period;
+};
+
+int Run(int argc, char** argv) {
+  std::int64_t length = 50000;
+  std::int64_t runs = 3;
+  std::int64_t multiples = 3;
+  double noise_ratio = 0.15;
+  bool paper_scale = PaperScaleFromEnv();
+  FlagSet flags("fig4_periodic_trends");
+  flags.AddInt64("length", &length, "series length (symbols)");
+  flags.AddInt64("runs", &runs, "runs to average over");
+  flags.AddInt64("multiples", &multiples, "multiples of P to report");
+  flags.AddDouble("noise_ratio", &noise_ratio,
+                  "replacement noise ratio for panel (b)");
+  flags.AddBool("paper_scale", &paper_scale,
+                "use the paper's scale (1M symbols)");
+  PERIODICA_CHECK_OK(flags.Parse(argc, argv));
+  if (paper_scale) {
+    length = 1000000;
+    runs = 10;
+  }
+
+  const Config configs[] = {
+      {"U, P=25", SymbolDistribution::kUniform, 25},
+      {"N, P=25", SymbolDistribution::kNormal, 25},
+      {"U, P=32", SymbolDistribution::kUniform, 32},
+      {"N, P=32", SymbolDistribution::kNormal, 32},
+  };
+
+  for (const bool noisy : {false, true}) {
+    std::cout << (noisy ? "\nFig. 4(b) Noisy Data (replacement ratio " +
+                              FormatDouble(noise_ratio, 2) + ")\n"
+                        : "Fig. 4(a) Inerrant Data\n");
+    std::cout << "confidence = normalized candidacy rank from the periodic "
+                 "trends algorithm; averaged over "
+              << runs << " runs; n = " << length << "\n\n";
+    std::vector<std::string> header = {"Series"};
+    for (std::int64_t m = 1; m <= multiples; ++m) {
+      header.push_back(m == 1 ? "P" : std::to_string(m) + "P");
+    }
+    TextTable table(header);
+    for (const Config& config : configs) {
+      std::vector<double> sums(multiples, 0.0);
+      for (std::int64_t run = 0; run < runs; ++run) {
+        SyntheticSpec spec;
+        spec.length = static_cast<std::size_t>(length);
+        spec.alphabet_size = 10;
+        spec.period = config.period;
+        spec.distribution = config.distribution;
+        spec.seed = 2000 + 13 * static_cast<std::uint64_t>(run);
+        SymbolSeries series = GeneratePerfect(spec).ValueOrDie();
+        if (noisy) {
+          series = ApplyNoise(series, NoiseSpec::Replacement(
+                                          noise_ratio,
+                                          11 + static_cast<std::uint64_t>(run)))
+                       .ValueOrDie();
+        }
+        PeriodicTrendsOptions options;
+        options.seed = 500 + static_cast<std::uint64_t>(run);
+        const std::vector<TrendCandidate> candidates =
+            PeriodicTrends(options).Analyze(series).ValueOrDie();
+        for (std::int64_t m = 1; m <= multiples; ++m) {
+          sums[m - 1] += PeriodicTrends::ConfidenceFor(
+              candidates, config.period * static_cast<std::size_t>(m));
+        }
+      }
+      std::vector<std::string> row = {config.label};
+      for (std::int64_t m = 0; m < multiples; ++m) {
+        row.push_back(FormatDouble(sums[m] / static_cast<double>(runs), 3));
+      }
+      table.AddRow(row);
+    }
+    table.Print(std::cout);
+  }
+  std::cout << "\nExpected shape: high values overall, but *rising* from P "
+               "to 3P — the baseline favors larger periods (the bias the "
+               "paper criticizes), most visibly on noisy data.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace periodica::bench
+
+int main(int argc, char** argv) { return periodica::bench::Run(argc, argv); }

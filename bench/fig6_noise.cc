@@ -1,0 +1,106 @@
+// Regenerates Figure 6: resilience of the obscure periodic patterns miner to
+// noise. Confidence of the embedded period as the noise ratio grows from 0
+// to 0.5, for replacement (R), insertion (I), deletion (D) noise and the
+// paper's combinations (R-I-D, I-D). Panel (a): uniform distribution, P=25;
+// panel (b): normal distribution, P=32.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "periodica/gen/synthetic.h"
+#include "periodica/util/table.h"
+
+namespace periodica::bench {
+namespace {
+
+struct NoiseKind {
+  const char* label;
+  bool replacement;
+  bool insertion;
+  bool deletion;
+};
+
+int Run(int argc, char** argv) {
+  std::int64_t length = 50000;
+  std::int64_t runs = 3;
+  bool paper_scale = PaperScaleFromEnv();
+  FlagSet flags("fig6_noise");
+  flags.AddInt64("length", &length, "series length (symbols)");
+  flags.AddInt64("runs", &runs, "runs to average over");
+  flags.AddBool("paper_scale", &paper_scale,
+                "use the paper's scale (1M symbols)");
+  PERIODICA_CHECK_OK(flags.Parse(argc, argv));
+  if (paper_scale) {
+    length = 1000000;
+    runs = 10;
+  }
+
+  const NoiseKind kinds[] = {
+      {"R", true, false, false},    {"I", false, true, false},
+      {"D", false, false, true},    {"R-I-D", true, true, true},
+      {"I-D", false, true, true},
+  };
+  const double ratios[] = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5};
+
+  struct Panel {
+    const char* label;
+    SymbolDistribution distribution;
+    std::size_t period;
+  };
+  const Panel panels[] = {
+      {"Fig. 6(a) Uniform, Period=25", SymbolDistribution::kUniform, 25},
+      {"Fig. 6(b) Normal, Period=32", SymbolDistribution::kNormal, 32},
+  };
+
+  for (const Panel& panel : panels) {
+    std::cout << panel.label << "  (confidence at the embedded period vs "
+              << "noise ratio; " << runs << " runs; n = " << length << ")\n\n";
+    std::vector<std::string> header = {"Noise"};
+    for (const double ratio : ratios) {
+      header.push_back(FormatDouble(ratio, 1));
+    }
+    TextTable table(header);
+    for (const NoiseKind& kind : kinds) {
+      std::vector<std::string> row = {kind.label};
+      for (const double ratio : ratios) {
+        double sum = 0.0;
+        for (std::int64_t run = 0; run < runs; ++run) {
+          SyntheticSpec spec;
+          spec.length = static_cast<std::size_t>(length);
+          spec.alphabet_size = 10;
+          spec.period = panel.period;
+          spec.distribution = panel.distribution;
+          spec.seed = 3000 + 29 * static_cast<std::uint64_t>(run);
+          SymbolSeries series = GeneratePerfect(spec).ValueOrDie();
+          if (ratio > 0.0) {
+            series = ApplyNoise(series,
+                                NoiseSpec::Combined(
+                                    ratio, kind.replacement, kind.insertion,
+                                    kind.deletion,
+                                    13 + static_cast<std::uint64_t>(run)))
+                         .ValueOrDie();
+          }
+          sum += MinedPeriodConfidence(series, panel.period);
+        }
+        row.push_back(FormatDouble(sum / static_cast<double>(runs), 3));
+      }
+      table.AddRow(row);
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "Expected shape: the R row degrades gracefully "
+               "(~(1-ratio)^2, still detectable at psi in the 5-40% range at "
+               "ratio 0.5); rows involving insertion or deletion collapse "
+               "quickly because alignment is destroyed — the paper's "
+               "conclusion that the algorithm is very resilient to "
+               "replacement noise and only roughly resilient otherwise.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace periodica::bench
+
+int main(int argc, char** argv) { return periodica::bench::Run(argc, argv); }

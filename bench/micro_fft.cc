@@ -1,0 +1,136 @@
+// Google-benchmark micro-benchmarks for the hot substrates: FFT transforms,
+// convolution/autocorrelation, the bitset shift-AND kernel, and the two
+// mining engines end to end. These back the constants behind Fig. 5 and the
+// engine-crossover ablation.
+
+#include <complex>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "periodica/core/exact_miner.h"
+#include "periodica/core/fft_miner.h"
+#include "periodica/fft/convolution.h"
+#include "periodica/fft/fft.h"
+#include "periodica/gen/synthetic.h"
+#include "periodica/util/bitset.h"
+#include "periodica/util/rng.h"
+
+namespace periodica {
+namespace {
+
+void BM_FftForward(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<fft::Complex> data(n);
+  for (auto& value : data) value = fft::Complex(rng.Gaussian(), 0);
+  const fft::FftPlan& plan = fft::GetPlan(n);
+  for (auto _ : state) {
+    plan.Forward(data.data());
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_FftForward)->RangeMultiplier(4)->Range(1 << 10, 1 << 20);
+
+void BM_RealFftForward(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<double> data(n);
+  for (auto& value : data) value = rng.Gaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fft::RealFftForward(data));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_RealFftForward)->RangeMultiplier(4)->Range(1 << 10, 1 << 20);
+
+void BM_Autocorrelation(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<double> data(n);
+  for (auto& value : data) value = rng.Bernoulli(0.2) ? 1.0 : 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fft::Autocorrelation(data));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_Autocorrelation)->RangeMultiplier(4)->Range(1 << 12, 1 << 20);
+
+void BM_BitsetCountAndShifted(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  DynamicBitset bits(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.2)) bits.Set(i);
+  }
+  std::size_t shift = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bits.CountAndShifted(bits, shift));
+    shift = shift % 63 + 1;  // rotate through word alignments
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_BitsetCountAndShifted)
+    ->RangeMultiplier(8)
+    ->Range(1 << 12, 1 << 24);
+
+SymbolSeries NoisySeries(std::size_t n) {
+  SyntheticSpec spec;
+  spec.length = n;
+  spec.alphabet_size = 10;
+  spec.period = 25;
+  spec.seed = 5;
+  SymbolSeries series = GeneratePerfect(spec).ValueOrDie();
+  return ApplyNoise(series, NoiseSpec::Replacement(0.2, 6)).ValueOrDie();
+}
+
+void BM_ExactEngine(benchmark::State& state) {
+  const SymbolSeries series =
+      NoisySeries(static_cast<std::size_t>(state.range(0)));
+  MinerOptions options;
+  options.threshold = 0.5;
+  for (auto _ : state) {
+    ExactConvolutionMiner miner(series);
+    benchmark::DoNotOptimize(miner.Mine(options));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(series.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_ExactEngine)->RangeMultiplier(4)->Range(256, 4096);
+
+void BM_FftEngine(benchmark::State& state) {
+  const SymbolSeries series =
+      NoisySeries(static_cast<std::size_t>(state.range(0)));
+  MinerOptions options;
+  options.threshold = 0.5;
+  for (auto _ : state) {
+    FftConvolutionMiner miner(series);
+    benchmark::DoNotOptimize(miner.Mine(options));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(series.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_FftEngine)->RangeMultiplier(4)->Range(256, 1 << 14);
+
+void BM_FftEngineDetectionOnly(benchmark::State& state) {
+  const SymbolSeries series =
+      NoisySeries(static_cast<std::size_t>(state.range(0)));
+  MinerOptions options;
+  options.threshold = 0.5;
+  options.positions = false;
+  for (auto _ : state) {
+    FftConvolutionMiner miner(series);
+    benchmark::DoNotOptimize(miner.Mine(options));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(series.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_FftEngineDetectionOnly)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 18);
+
+}  // namespace
+}  // namespace periodica
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Google-benchmark micro-benchmarks for the online trackers: per-symbol
+// append cost as the tracked-period set grows, snapshot cost, and the
+// windowed tracker's steady-state throughput. These quantify the
+// "O(#periods) per symbol" claim that makes the online companion viable for
+// the paper's real-time setting.
+
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "periodica/core/online.h"
+#include "periodica/util/rng.h"
+
+namespace periodica {
+namespace {
+
+std::vector<SymbolId> RandomSymbols(std::size_t n, std::size_t sigma,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SymbolId> out(n);
+  for (auto& symbol : out) {
+    symbol = static_cast<SymbolId>(rng.UniformInt(sigma));
+  }
+  return out;
+}
+
+std::vector<std::size_t> TrackedPeriods(std::size_t count) {
+  std::vector<std::size_t> periods;
+  for (std::size_t i = 0; i < count; ++i) {
+    periods.push_back(7 + 6 * i);  // spread of co-prime-ish periods
+  }
+  return periods;
+}
+
+void BM_OnlineAppend(benchmark::State& state) {
+  const std::size_t num_periods = static_cast<std::size_t>(state.range(0));
+  const auto symbols = RandomSymbols(1 << 16, 8, 1);
+  auto tracker = OnlinePeriodicityTracker::Create(
+      Alphabet::Latin(8), TrackedPeriods(num_periods));
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    tracker->Append(symbols[cursor]);
+    cursor = (cursor + 1) & ((1 << 16) - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OnlineAppend)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_WindowedAppend(benchmark::State& state) {
+  const std::size_t num_periods = static_cast<std::size_t>(state.range(0));
+  const auto symbols = RandomSymbols(1 << 16, 8, 2);
+  auto tracker = WindowedPeriodicityTracker::Create(
+      Alphabet::Latin(8), TrackedPeriods(num_periods), /*window=*/8192);
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    tracker->Append(symbols[cursor]);
+    cursor = (cursor + 1) & ((1 << 16) - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WindowedAppend)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_OnlineSnapshot(benchmark::State& state) {
+  const std::size_t num_periods = static_cast<std::size_t>(state.range(0));
+  const auto symbols = RandomSymbols(1 << 16, 8, 3);
+  auto tracker = OnlinePeriodicityTracker::Create(
+      Alphabet::Latin(8), TrackedPeriods(num_periods));
+  for (const SymbolId symbol : symbols) tracker->Append(symbol);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tracker->Snapshot(0.3));
+  }
+}
+BENCHMARK(BM_OnlineSnapshot)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace periodica
+
+BENCHMARK_MAIN();

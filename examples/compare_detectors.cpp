@@ -1,0 +1,136 @@
+// Side-by-side run of every period detector in the library on one noisy
+// synthetic series: the one-pass obscure miner (this paper) against the
+// three related-work baselines its Sect. 1.1 discusses — periodic trends
+// (Indyk et al.), Ma-Hellerstein inter-arrival analysis, and Berberidis
+// et al. per-symbol autocorrelation — plus the known-period pattern miner
+// the multi-pass pipelines must bolt on afterwards.
+
+#include <iostream>
+#include <set>
+
+#include "periodica/periodica.h"
+
+int main() {
+  using namespace periodica;
+
+  // A period-25 series of 20000 symbols with 15% replacement noise.
+  SyntheticSpec spec;
+  spec.length = 20000;
+  spec.alphabet_size = 10;
+  spec.period = 25;
+  spec.seed = 2024;
+  auto perfect = GeneratePerfect(spec);
+  if (!perfect.ok()) {
+    std::cerr << perfect.status() << "\n";
+    return 1;
+  }
+  auto series = ApplyNoise(*perfect, NoiseSpec::Replacement(0.15, 99));
+  if (!series.ok()) {
+    std::cerr << series.status() << "\n";
+    return 1;
+  }
+  std::cout << "Series: n = " << series->size() << ", sigma = 10, embedded "
+            << "period 25, replacement noise 15%\n\n";
+
+  // --- 1. The obscure periodic patterns miner (one pass, no period input).
+  {
+    MinerOptions options;
+    options.threshold = 0.5;
+    options.max_period = 200;
+    options.min_period = 2;
+    auto result = ObscureMiner(options).Mine(*series);
+    if (!result.ok()) {
+      std::cerr << result.status() << "\n";
+      return 1;
+    }
+    std::cout << "[obscure miner] detected periods (psi = 0.5):";
+    for (const std::size_t p : result->periodicities.Periods()) {
+      std::cout << " " << p;
+    }
+    std::cout << "\n  confidence at 25: "
+              << result->periodicities.PeriodConfidence(25)
+              << " — periods, positions and symbols in one pass\n\n";
+  }
+
+  // --- 2. Periodic trends: ranked candidate periods, no positions/patterns.
+  {
+    PeriodicTrendsOptions options;
+    options.max_period = 200;
+    options.min_period = 2;
+    auto candidates = PeriodicTrends(options).Analyze(*series);
+    if (!candidates.ok()) {
+      std::cerr << candidates.status() << "\n";
+      return 1;
+    }
+    std::cout << "[periodic trends] top 5 candidates:";
+    for (std::size_t i = 0; i < 5 && i < candidates->size(); ++i) {
+      std::cout << " " << (*candidates)[i].period;
+    }
+    std::cout << "\n  confidence (rank) of 25: "
+              << PeriodicTrends::ConfidenceFor(*candidates, 25)
+              << " — note the larger multiples outrank the base period\n\n";
+  }
+
+  // --- 3. Ma-Hellerstein: adjacent inter-arrival chi-squared test.
+  {
+    auto detected = MaHellersteinDetector().Detect(*series);
+    if (!detected.ok()) {
+      std::cerr << detected.status() << "\n";
+      return 1;
+    }
+    std::set<std::size_t> periods;
+    for (const InterArrivalPeriod& hit : *detected) {
+      if (hit.period > 1) periods.insert(hit.period);
+    }
+    std::cout << "[ma-hellerstein] significant inter-arrival distances:";
+    std::size_t shown = 0;
+    for (const std::size_t p : periods) {
+      std::cout << " " << p;
+      if (++shown >= 8) break;
+    }
+    std::cout << "\n  (adjacent distances only — a period masked by "
+                 "intervening occurrences is invisible)\n\n";
+  }
+
+  // --- 4. Berberidis et al.: per-symbol circular autocorrelation.
+  {
+    BerberidisOptions options;
+    options.confidence_threshold = 0.5;
+    options.max_period = 200;
+    auto candidates = BerberidisDetector(options).Detect(*series);
+    if (!candidates.ok()) {
+      std::cerr << candidates.status() << "\n";
+      return 1;
+    }
+    std::set<std::size_t> periods;
+    for (const BerberidisCandidate& candidate : *candidates) {
+      periods.insert(candidate.period);
+    }
+    std::cout << "[berberidis] candidate periods over all symbols:";
+    for (const std::size_t p : periods) std::cout << " " << p;
+    std::cout << "\n  (one autocorrelation pass per symbol; patterns still "
+                 "missing)\n\n";
+  }
+
+  // --- 5. What the multi-pass pipelines must add: a known-period pattern
+  //        miner, run once per candidate period.
+  {
+    KnownPeriodOptions options;
+    options.min_support = 0.5;
+    auto patterns = MineKnownPeriodPatterns(*series, 25, options);
+    if (!patterns.ok()) {
+      std::cerr << patterns.status() << "\n";
+      return 1;
+    }
+    std::size_t best_fixed = 0;
+    for (const ScoredPattern& scored : patterns->patterns()) {
+      best_fixed = std::max(best_fixed, scored.pattern.NumFixed());
+    }
+    std::cout << "[known-period miner] patterns at period 25: "
+              << patterns->size() << " (densest fixes " << best_fixed
+              << " of 25 positions)\n"
+              << "  — this extra pass per candidate period is exactly what "
+                 "the one-pass miner avoids\n";
+  }
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Event-log monitoring scenario (the paper's Sect. 2.1 "event log in a
+// computer network"): periodic jobs hide in a stream of background events.
+// The one-pass miner discovers the job periods from a prefix; online
+// trackers then follow the live stream with O(#periods) work per event —
+// and a sliding-window tracker notices when a job silently stops.
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "periodica/core/online.h"
+#include "periodica/periodica.h"
+
+int main() {
+  using namespace periodica;
+
+  // Two cron-style jobs in a noisy log of 40000 ticks; job1 dies at tick
+  // 30000 (an outage nobody announced).
+  EventLogSimulator::Options log_options;
+  log_options.ticks = 40000;
+  log_options.jobs.push_back({/*period=*/60, /*phase=*/7, /*reliability=*/0.95,
+                              /*stops_at=*/0});
+  log_options.jobs.push_back({/*period=*/45, /*phase=*/11,
+                              /*reliability=*/0.9, /*stops_at=*/30000});
+  log_options.background_rate = 0.4;
+  EventLogSimulator simulator(log_options);
+  auto log = simulator.Generate();
+  if (!log.ok()) {
+    std::cerr << log.status() << "\n";
+    return 1;
+  }
+
+  // Phase 1: discover candidate periods from the first 10000 ticks with the
+  // one-pass miner. Nobody told it 60 or 45.
+  SymbolSeries prefix(log->alphabet());
+  for (std::size_t i = 0; i < 10000; ++i) prefix.Append((*log)[i]);
+  MinerOptions options;
+  options.threshold = 0.5;
+  options.min_period = 2;
+  options.max_period = 200;
+  options.min_pairs = 20;
+  auto discovered = ObscureMiner(options).Mine(prefix);
+  if (!discovered.ok()) {
+    std::cerr << discovered.status() << "\n";
+    return 1;
+  }
+  // The 60%-frequent "idle" symbol is genuinely periodic at lots of periods
+  // (Definition 1 rewards any frequent symbol); what the operator cares
+  // about are the *job* events, so report the periods whose strongest
+  // periodicity belongs to a job.
+  std::cout << "Job periods discovered in the prefix:";
+  for (const SymbolPeriodicity& entry : discovered->periodicities.entries()) {
+    if (log->alphabet().name(entry.symbol).rfind("job", 0) == 0) {
+      std::cout << " " << entry.period << " (" <<
+          log->alphabet().name(entry.symbol) << " @ phase " << entry.position
+                << ", confidence " << entry.confidence << ")";
+    }
+  }
+  std::cout << "\n\n";
+
+  // Phase 2: follow the rest of the stream with online trackers on the
+  // discovered base periods.
+  std::vector<std::size_t> tracked = {45, 60};
+  auto tracker =
+      OnlinePeriodicityTracker::Create(log->alphabet(), tracked);
+  auto windowed = WindowedPeriodicityTracker::Create(log->alphabet(), tracked,
+                                                     /*window=*/4500);
+  if (!tracker.ok() || !windowed.ok()) {
+    std::cerr << tracker.status() << " / " << windowed.status() << "\n";
+    return 1;
+  }
+
+  const SymbolId job0 = EventLogSimulator::JobSymbol(0);
+  const SymbolId job1 = EventLogSimulator::JobSymbol(1);
+  std::cout << "tick    | job0 @60 (whole stream / window) | job1 @45 "
+               "(whole stream / window)\n";
+  std::cout << "--------------------------------------------------------"
+               "----------------------\n";
+  for (std::size_t i = 0; i < log->size(); ++i) {
+    tracker->Append((*log)[i]);
+    windowed->Append((*log)[i]);
+    if ((i + 1) % 8000 != 0) continue;
+    const PeriodicityTable whole = tracker->Snapshot(0.01);
+    const PeriodicityTable window = windowed->Snapshot(0.01);
+    auto best = [](const PeriodicityTable& table, std::size_t period,
+                   SymbolId symbol) {
+      double best_confidence = 0.0;
+      for (const SymbolPeriodicity& entry : table.EntriesForPeriod(period)) {
+        if (entry.symbol == symbol) {
+          best_confidence = std::max(best_confidence, entry.confidence);
+        }
+      }
+      return best_confidence;
+    };
+    std::cout << i + 1 << "\t|\t" << best(whole, 60, job0) << " / "
+              << best(window, 60, job0) << "\t|\t" << best(whole, 45, job1)
+              << " / " << best(window, 45, job1) << "\n";
+  }
+  std::cout << "\njob1 stops at tick 30000: the whole-stream confidence "
+               "decays slowly (history dilutes the outage), while the "
+               "windowed confidence crashes to ~0 — the operational signal."
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Merge mining (the paper's reference [4]): two halves of a stream are
+// processed on "different machines" — each builds its own one-pass mining
+// state — and the states are merged exactly, without either machine ever
+// seeing the other's data. Shown for both representations:
+//   * FftConvolutionMiner::Concatenate merges full indicator states (any
+//     period remains minable afterwards);
+//   * OnlinePeriodicityTracker::Merge merges fixed-period tracker states in
+//     O(sigma * sum(periods)) — the cheap aggregation for fleets of
+//     trackers.
+
+#include <iostream>
+#include <vector>
+
+#include "periodica/core/online.h"
+#include "periodica/periodica.h"
+
+int main() {
+  using namespace periodica;
+
+  // One logical stream: 12 weeks of hourly retail data...
+  RetailTransactionSimulator::Options sim_options;
+  sim_options.weeks = 12;
+  auto whole = RetailTransactionSimulator(sim_options).GenerateSeries();
+  if (!whole.ok()) {
+    std::cerr << whole.status() << "\n";
+    return 1;
+  }
+  // ...split across two "machines" at an arbitrary byte boundary.
+  const std::size_t split = whole->size() / 2 + 37;
+  SymbolSeries first_half(whole->alphabet());
+  SymbolSeries second_half(whole->alphabet());
+  for (std::size_t i = 0; i < whole->size(); ++i) {
+    (i < split ? first_half : second_half).Append((*whole)[i]);
+  }
+  std::cout << "Stream of " << whole->size() << " hourly symbols split at "
+            << split << "\n\n";
+
+  // --- Full-state merge: mine any period from the merged indicators.
+  auto merged_miner = FftConvolutionMiner::Concatenate(
+      FftConvolutionMiner(first_half), FftConvolutionMiner(second_half));
+  if (!merged_miner.ok()) {
+    std::cerr << merged_miner.status() << "\n";
+    return 1;
+  }
+  MinerOptions options;
+  options.threshold = 0.7;
+  options.min_period = 2;
+  options.max_period = 200;
+  const PeriodicityTable merged_table = merged_miner->Mine(options);
+  const PeriodicityTable direct_table =
+      FftConvolutionMiner(*whole).Mine(options);
+  std::cout << "[full-state merge] detected periods:";
+  for (const std::size_t p : merged_table.Periods()) std::cout << " " << p;
+  std::cout << "\n  identical to mining the unsplit stream: "
+            << (merged_table.entries().size() ==
+                        direct_table.entries().size()
+                    ? "yes"
+                    : "NO")
+            << "\n\n";
+
+  // --- Tracker merge: each machine tracks the daily/weekly periods only.
+  const std::vector<std::size_t> tracked = {24, 168};
+  auto tracker_a =
+      OnlinePeriodicityTracker::Create(whole->alphabet(), tracked);
+  auto tracker_b =
+      OnlinePeriodicityTracker::Create(whole->alphabet(), tracked);
+  if (!tracker_a.ok() || !tracker_b.ok()) {
+    std::cerr << tracker_a.status() << " / " << tracker_b.status() << "\n";
+    return 1;
+  }
+  for (std::size_t i = 0; i < first_half.size(); ++i) {
+    tracker_a->Append(first_half[i]);
+  }
+  for (std::size_t i = 0; i < second_half.size(); ++i) {
+    tracker_b->Append(second_half[i]);
+  }
+  auto merged_tracker =
+      OnlinePeriodicityTracker::Merge(*tracker_a, *tracker_b);
+  if (!merged_tracker.ok()) {
+    std::cerr << merged_tracker.status() << "\n";
+    return 1;
+  }
+  std::cout << "[tracker merge] period-24 overnight confidence after merge: "
+            << merged_tracker->Snapshot(0.1).PeriodConfidence(24) << "\n"
+            << "  (exact: phases rotated by the first half's length, "
+               "boundary pairs reconstructed from segment edges)\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Multi-feature mining (the paper's Sect. 2.1 meteorological example): a
+// station records temperature and humidity per hour. Each feature is
+// discretized separately; combining them over the product alphabet lets the
+// miner find periodicities of *joint* conditions — e.g. "hot-and-dry every
+// 24 hours in the afternoon" — which are first-class symbols to the
+// algorithm.
+
+#include <cmath>
+#include <iostream>
+#include <numbers>
+#include <vector>
+
+#include "periodica/periodica.h"
+#include "periodica/util/rng.h"
+
+int main() {
+  using namespace periodica;
+
+  // Simulate 60 days of hourly measurements: temperature peaks mid-
+  // afternoon, humidity mirrors it (dry afternoons, humid nights).
+  const std::size_t hours = 60 * 24;
+  Rng rng(2026);
+  std::vector<double> temperature(hours);
+  std::vector<double> humidity(hours);
+  for (std::size_t h = 0; h < hours; ++h) {
+    const double hour_of_day = static_cast<double>(h % 24);
+    const double daily =
+        std::sin(2.0 * std::numbers::pi * (hour_of_day - 9.0) / 24.0);
+    temperature[h] = 18.0 + 8.0 * daily + rng.Gaussian(0.0, 1.5);
+    humidity[h] = 65.0 - 20.0 * daily + rng.Gaussian(0.0, 5.0);
+  }
+
+  // Discretize each feature into 3 levels (SAX-style Gaussian breakpoints).
+  auto temp_discretizer = GaussianDiscretizer::Fit(temperature, 3);
+  auto humidity_discretizer = GaussianDiscretizer::Fit(humidity, 3);
+  if (!temp_discretizer.ok() || !humidity_discretizer.ok()) {
+    std::cerr << temp_discretizer.status() << " / "
+              << humidity_discretizer.status() << "\n";
+    return 1;
+  }
+  auto temp_names = Alphabet::FromNames({"cold", "mild", "hot"});
+  auto humidity_names = Alphabet::FromNames({"dry", "normal", "humid"});
+  const SymbolSeries temp_series =
+      temp_discretizer->Apply(temperature, *temp_names);
+  const SymbolSeries humidity_series =
+      humidity_discretizer->Apply(humidity, *humidity_names);
+
+  // Combine into the product alphabet ("hot+dry", "cold+humid", ...).
+  auto combined = CombineSeries({&temp_series, &humidity_series});
+  if (!combined.ok()) {
+    std::cerr << combined.status() << "\n";
+    return 1;
+  }
+  std::cout << "Combined " << combined->size()
+            << " hourly readings over a product alphabet of "
+            << combined->alphabet().size() << " joint conditions\n\n";
+
+  // Mine the joint series at period 24 (discovered range kept tight for the
+  // printout; the full obscure search works the same way).
+  MinerOptions options;
+  options.threshold = 0.6;
+  options.min_period = 2;
+  options.max_period = 48;
+  options.min_pairs = 10;
+  auto result = ObscureMiner(options).Mine(*combined);
+  if (!result.ok()) {
+    std::cerr << result.status() << "\n";
+    return 1;
+  }
+
+  std::cout << "Detected periods:";
+  for (const std::size_t p : result->periodicities.Periods()) {
+    std::cout << " " << p;
+  }
+  std::cout << "\n\nJoint conditions periodic at 24 hours:\n";
+  for (const SymbolPeriodicity& entry :
+       result->periodicities.EntriesForPeriod(24)) {
+    std::cout << "  " << combined->alphabet().name(entry.symbol)
+              << " at hour " << entry.position << " ("
+              << static_cast<int>(entry.confidence * 100) << "% of days)\n";
+  }
+  std::cout << "\nNeither feature alone can express \"hot+dry\": the product "
+               "alphabet makes the joint condition a single symbol the "
+               "one-pass miner handles unchanged.\n";
+  return 0;
+}

@@ -1,0 +1,154 @@
+#include "periodica/baselines/async_patterns.h"
+
+#include <algorithm>
+
+#include "periodica/util/bitset.h"
+#include "periodica/util/logging.h"
+
+namespace periodica {
+
+namespace {
+
+Status Validate(const SymbolSeries& series, const AsyncPatternOptions& options) {
+  if (series.size() < 2) {
+    return Status::InvalidArgument("series must have at least 2 symbols");
+  }
+  if (options.min_period < 1) {
+    return Status::InvalidArgument("min_period must be >= 1");
+  }
+  if (options.min_repetitions < 2) {
+    return Status::InvalidArgument("min_repetitions must be >= 2");
+  }
+  return Status::OK();
+}
+
+/// Maximal runs of occurrences exactly `period` apart, over the indicator
+/// bitset of one symbol. A run may step over intervening occurrences at
+/// other offsets — that is what makes period 5 visible in occurrences
+/// {0, 4, 5, 7, 10}.
+std::vector<AsyncSegment> ValidSegments(const DynamicBitset& indicator,
+                                        std::size_t period,
+                                        std::size_t min_repetitions) {
+  std::vector<AsyncSegment> segments;
+  indicator.ForEachSetBit([&](std::size_t i) {
+    // Run starts only where there is no occurrence one period earlier.
+    if (i >= period && indicator.Test(i - period)) return;
+    std::size_t last = i;
+    std::size_t repetitions = 1;
+    while (last + period < indicator.size() &&
+           indicator.Test(last + period)) {
+      last += period;
+      ++repetitions;
+    }
+    if (repetitions >= min_repetitions) {
+      segments.push_back(AsyncSegment{i, last, repetitions});
+    }
+  });
+  std::sort(segments.begin(), segments.end(),
+            [](const AsyncSegment& a, const AsyncSegment& b) {
+              return a.first < b.first;
+            });
+  return segments;
+}
+
+/// Best chain (max total repetitions) of segments whose successive gaps
+/// (next.first - previous.last) are within max_disturbance. Segments
+/// overlapping in time are not chained (a chain moves forward).
+AsyncPattern BestChain(SymbolId symbol, std::size_t period,
+                       const std::vector<AsyncSegment>& segments,
+                       std::size_t max_disturbance) {
+  AsyncPattern best;
+  best.symbol = symbol;
+  best.period = period;
+  if (segments.empty()) return best;
+
+  // dp[i]: best chain ending at segment i.
+  const std::size_t count = segments.size();
+  std::vector<std::uint64_t> total(count);
+  std::vector<std::ptrdiff_t> parent(count, -1);
+  for (std::size_t i = 0; i < count; ++i) {
+    total[i] = segments[i].repetitions;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (segments[j].last >= segments[i].first) continue;
+      if (segments[i].first - segments[j].last > max_disturbance) continue;
+      if (total[j] + segments[i].repetitions > total[i]) {
+        total[i] = total[j] + segments[i].repetitions;
+        parent[i] = static_cast<std::ptrdiff_t>(j);
+      }
+    }
+  }
+  std::size_t best_index = 0;
+  for (std::size_t i = 1; i < count; ++i) {
+    if (total[i] > total[best_index]) best_index = i;
+  }
+  std::vector<AsyncSegment> chain;
+  for (std::ptrdiff_t i = static_cast<std::ptrdiff_t>(best_index); i >= 0;
+       i = parent[static_cast<std::size_t>(i)]) {
+    chain.push_back(segments[static_cast<std::size_t>(i)]);
+  }
+  std::reverse(chain.begin(), chain.end());
+  best.segments = std::move(chain);
+  best.total_repetitions = total[best_index];
+  return best;
+}
+
+}  // namespace
+
+Result<AsyncPattern> FindAsyncPattern(const SymbolSeries& series,
+                                      SymbolId symbol, std::size_t period,
+                                      const AsyncPatternOptions& options) {
+  PERIODICA_RETURN_NOT_OK(Validate(series, options));
+  if (period < 1 || period >= series.size()) {
+    return Status::InvalidArgument("period must be in [1, n)");
+  }
+  DynamicBitset indicator(series.size());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (series[i] == symbol) indicator.Set(i);
+  }
+  return BestChain(symbol, period,
+                   ValidSegments(indicator, period, options.min_repetitions),
+                   options.max_disturbance);
+}
+
+Result<std::vector<AsyncPattern>> FindAsyncPatterns(
+    const SymbolSeries& series, const AsyncPatternOptions& options) {
+  PERIODICA_RETURN_NOT_OK(Validate(series, options));
+  const std::size_t max_period =
+      std::min(options.max_period == 0 ? series.size() / 4
+                                       : options.max_period,
+               series.size() - 1);
+  if (options.min_period > max_period) {
+    return Status::InvalidArgument("min_period exceeds max_period");
+  }
+
+  std::vector<AsyncPattern> patterns;
+  for (std::size_t k = 0; k < series.alphabet().size(); ++k) {
+    DynamicBitset indicator(series.size());
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      if (series[i] == static_cast<SymbolId>(k)) indicator.Set(i);
+    }
+    if (indicator.Count() < options.min_repetitions) continue;
+    // One pass over the occurrence structure per examined period: the
+    // multi-pass cost profile the paper contrasts with its one-pass miner.
+    for (std::size_t p = options.min_period; p <= max_period; ++p) {
+      AsyncPattern pattern = BestChain(
+          static_cast<SymbolId>(k), p,
+          ValidSegments(indicator, p, options.min_repetitions),
+          options.max_disturbance);
+      if (!pattern.segments.empty()) {
+        patterns.push_back(std::move(pattern));
+      }
+    }
+  }
+  std::sort(patterns.begin(), patterns.end(),
+            [](const AsyncPattern& a, const AsyncPattern& b) {
+              if (a.total_repetitions != b.total_repetitions) {
+                return a.total_repetitions > b.total_repetitions;
+              }
+              if (a.symbol != b.symbol) return a.symbol < b.symbol;
+              return a.period < b.period;
+            });
+  return patterns;
+}
+
+}  // namespace periodica

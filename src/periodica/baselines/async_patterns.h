@@ -1,0 +1,72 @@
+#ifndef PERIODICA_BASELINES_ASYNC_PATTERNS_H_
+#define PERIODICA_BASELINES_ASYNC_PATTERNS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "periodica/series/series.h"
+#include "periodica/util/result.h"
+
+namespace periodica {
+
+/// Options for asynchronous periodic pattern discovery.
+struct AsyncPatternOptions {
+  /// Periods examined; max_period 0 means n/4.
+  std::size_t min_period = 2;
+  std::size_t max_period = 0;
+  /// A run of occurrences exactly `period` apart must repeat at least this
+  /// many times to count as a valid segment.
+  std::size_t min_repetitions = 4;
+  /// Valid segments whose gap (timestamps between one segment's last
+  /// occurrence and the next segment's first) is at most this long are
+  /// chained into one asynchronous pattern; the phase may shift across the
+  /// gap — the "asynchronous" relaxation.
+  std::size_t max_disturbance = 20;
+};
+
+/// One maximal run of occurrences exactly `period` apart.
+struct AsyncSegment {
+  std::size_t first = 0;        ///< position of the first occurrence
+  std::size_t last = 0;         ///< position of the last occurrence
+  std::size_t repetitions = 0;  ///< number of occurrences in the run
+
+  friend bool operator==(const AsyncSegment& a,
+                         const AsyncSegment& b) = default;
+};
+
+/// The best chain of valid segments for one (symbol, period).
+struct AsyncPattern {
+  SymbolId symbol = 0;
+  std::size_t period = 0;
+  std::vector<AsyncSegment> segments;  ///< in position order
+  std::uint64_t total_repetitions = 0;
+
+  std::size_t start() const { return segments.front().first; }
+  std::size_t end() const { return segments.back().last; }
+};
+
+/// Asynchronous periodic pattern discovery after Yang, Wang and Yu
+/// (KDD 2000), cited by the paper as related work [20]: a symbol's
+/// periodicity need not hold across the whole series — it holds on
+/// segments, which may be separated by bounded disturbance and may shift
+/// phase across it. For each (symbol, period) this returns the chain of
+/// valid segments maximizing total repetitions, when it meets
+/// min_repetitions.
+///
+/// Because a segment chains occurrences exactly `period` apart regardless
+/// of intervening occurrences, this detector finds the period-5 structure in
+/// the paper's Sect. 1.1 example (occurrences at 0, 4, 5, 7, 10) that the
+/// adjacent-inter-arrival method misses — at the cost of one pass *per
+/// period examined* (the multi-pass profile the obscure miner avoids).
+Result<std::vector<AsyncPattern>> FindAsyncPatterns(
+    const SymbolSeries& series, const AsyncPatternOptions& options);
+
+/// Single (symbol, period) probe; returns a pattern with no segments when
+/// nothing meets min_repetitions.
+Result<AsyncPattern> FindAsyncPattern(const SymbolSeries& series,
+                                      SymbolId symbol, std::size_t period,
+                                      const AsyncPatternOptions& options);
+
+}  // namespace periodica
+
+#endif  // PERIODICA_BASELINES_ASYNC_PATTERNS_H_

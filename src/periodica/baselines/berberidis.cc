@@ -1,0 +1,76 @@
+#include "periodica/baselines/berberidis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "periodica/fft/fft.h"
+#include "periodica/util/logging.h"
+
+namespace periodica {
+
+std::vector<std::uint64_t> BerberidisDetector::CircularAutocorrelation(
+    const SymbolSeries& series, SymbolId symbol) {
+  const std::size_t n = series.size();
+  // Circular correlation via an arbitrary-size DFT (Bluestein when n is not
+  // a power of two): r = IDFT(|DFT(x)|^2).
+  std::vector<fft::Complex> spectrum(n, fft::Complex(0, 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (series[i] == symbol) spectrum[i] = fft::Complex(1, 0);
+  }
+  fft::Dft(&spectrum, /*inverse=*/false);
+  for (auto& bin : spectrum) {
+    bin = fft::Complex(std::norm(bin), 0.0);
+  }
+  fft::Dft(&spectrum, /*inverse=*/true);
+
+  std::vector<std::uint64_t> correlation(n, 0);
+  for (std::size_t p = 0; p < n; ++p) {
+    const long long rounded = std::llround(spectrum[p].real());
+    correlation[p] = rounded < 0 ? 0 : static_cast<std::uint64_t>(rounded);
+  }
+  return correlation;
+}
+
+Result<std::vector<BerberidisCandidate>> BerberidisDetector::Detect(
+    const SymbolSeries& series) const {
+  const std::size_t n = series.size();
+  if (n < 2) {
+    return Status::InvalidArgument("series must have at least 2 symbols");
+  }
+  if (options_.confidence_threshold <= 0.0 ||
+      options_.confidence_threshold > 1.0) {
+    return Status::InvalidArgument("confidence_threshold must be in (0, 1]");
+  }
+  std::size_t max_period =
+      options_.max_period == 0 ? n / 2 : options_.max_period;
+  max_period = std::min(max_period, n - 1);
+
+  std::vector<BerberidisCandidate> candidates;
+  for (std::size_t k = 0; k < series.alphabet().size(); ++k) {
+    // One pass over the data per symbol: build the indicator vector and
+    // autocorrelate it.
+    const std::vector<std::uint64_t> correlation =
+        CircularAutocorrelation(series, static_cast<SymbolId>(k));
+    const std::uint64_t occurrences = correlation[0];  // r(0) = #occurrences
+    if (occurrences == 0) continue;
+    for (std::size_t p = options_.min_period; p <= max_period; ++p) {
+      // Confidence of lag p for this symbol: the fraction of its occurrences
+      // that recur p timestamps later (circularly). Random data scores about
+      // 1/sigma regardless of p, so large lags do not pass spuriously.
+      const double score = static_cast<double>(correlation[p]) /
+                           static_cast<double>(occurrences);
+      if (score + 1e-12 < options_.confidence_threshold) continue;
+      candidates.push_back(BerberidisCandidate{
+          static_cast<SymbolId>(k), p, correlation[p], score});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const BerberidisCandidate& a, const BerberidisCandidate& b) {
+              if (a.symbol != b.symbol) return a.symbol < b.symbol;
+              return a.period < b.period;
+            });
+  return candidates;
+}
+
+}  // namespace periodica

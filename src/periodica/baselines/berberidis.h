@@ -1,0 +1,60 @@
+#ifndef PERIODICA_BASELINES_BERBERIDIS_H_
+#define PERIODICA_BASELINES_BERBERIDIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "periodica/series/series.h"
+#include "periodica/util/result.h"
+
+namespace periodica {
+
+/// Options for the Berberidis et al. autocorrelation detector.
+struct BerberidisOptions {
+  /// A period p is a candidate for a symbol when at least this fraction of
+  /// the symbol's occurrences recur p timestamps later (circular
+  /// autocorrelation at lag p divided by the occurrence count).
+  double confidence_threshold = 0.5;
+  std::size_t min_period = 2;
+  /// 0 means n/2.
+  std::size_t max_period = 0;
+};
+
+/// A candidate (symbol, period) pair found by the detector.
+struct BerberidisCandidate {
+  SymbolId symbol = 0;
+  std::size_t period = 0;
+  std::uint64_t autocorrelation = 0;  ///< circular matches at this lag
+  double score = 0.0;  ///< autocorrelation / symbol occurrence count
+
+  friend bool operator==(const BerberidisCandidate& a,
+                         const BerberidisCandidate& b) = default;
+};
+
+/// The multi-pass candidate-period detector of Berberidis, Aref, Atallah,
+/// Vlahavas and Elmagarmid (ECAI 2002), as characterized in the paper's
+/// Sect. 1.1: one circular-autocorrelation pass *per symbol* over the series
+/// produces candidate periods for that symbol; a separate periodic-pattern
+/// mining algorithm must then be run for each candidate to obtain patterns
+/// (see MineKnownPeriodPatterns), making the full pipeline multi-pass.
+class BerberidisDetector {
+ public:
+  explicit BerberidisDetector(BerberidisOptions options = {})
+      : options_(options) {}
+
+  /// Runs the per-symbol passes; output sorted by (symbol, period).
+  Result<std::vector<BerberidisCandidate>> Detect(
+      const SymbolSeries& series) const;
+
+  /// Circular autocorrelation of one symbol's indicator vector (exposed for
+  /// tests): r[p] = #{i : t_i == s == t_{(i+p) mod n}}.
+  static std::vector<std::uint64_t> CircularAutocorrelation(
+      const SymbolSeries& series, SymbolId symbol);
+
+ private:
+  BerberidisOptions options_;
+};
+
+}  // namespace periodica
+
+#endif  // PERIODICA_BASELINES_BERBERIDIS_H_

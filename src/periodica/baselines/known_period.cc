@@ -1,0 +1,119 @@
+#include "periodica/baselines/known_period.h"
+
+#include <cmath>
+#include <vector>
+
+#include "periodica/util/bitset.h"
+
+namespace periodica {
+
+namespace {
+
+/// Depth-first pattern growth over segment-presence bitsets (Apriori: fixing
+/// one more slot can only shrink the matching-segment set).
+class SegmentSearch {
+ public:
+  SegmentSearch(std::size_t period,
+                const std::vector<std::vector<SymbolId>>& frequent_symbols,
+                const std::vector<std::vector<DynamicBitset>>& segment_bits,
+                std::size_t num_segments, const KnownPeriodOptions& options,
+                PatternSet* out)
+      : period_(period),
+        frequent_symbols_(frequent_symbols),
+        segment_bits_(segment_bits),
+        num_segments_(num_segments),
+        min_count_(MinimumSupportCount(options.min_support, num_segments)),
+        options_(options),
+        out_(out),
+        current_(period) {}
+
+  void Run() {
+    DynamicBitset all(num_segments_);
+    for (std::size_t m = 0; m < num_segments_; ++m) all.Set(m);
+    Descend(0, all, 0);
+    out_->SortCanonical();
+  }
+
+ private:
+  void Descend(std::size_t l, const DynamicBitset& acc,
+               std::size_t fixed_count) {
+    if (truncated_) return;
+    if (l == period_) {
+      if (fixed_count >= 1) {
+        const std::uint64_t count = acc.Count();
+        if (out_->size() >= options_.max_patterns) {
+          truncated_ = true;
+          out_->set_truncated(true);
+          return;
+        }
+        out_->Add(ScoredPattern{
+            current_,
+            static_cast<double>(count) / static_cast<double>(num_segments_),
+            count});
+      }
+      return;
+    }
+    Descend(l + 1, acc, fixed_count);
+    for (std::size_t idx = 0; idx < frequent_symbols_[l].size(); ++idx) {
+      DynamicBitset next = acc;
+      next &= segment_bits_[l][idx];
+      if (next.Count() < min_count_) continue;
+      current_.SetSlot(l, frequent_symbols_[l][idx]);
+      Descend(l + 1, next, fixed_count + 1);
+      current_.ClearSlot(l);
+    }
+  }
+
+  const std::size_t period_;
+  const std::vector<std::vector<SymbolId>>& frequent_symbols_;
+  const std::vector<std::vector<DynamicBitset>>& segment_bits_;
+  const std::size_t num_segments_;
+  const std::uint64_t min_count_;
+  const KnownPeriodOptions& options_;
+  PatternSet* out_;
+  PeriodicPattern current_;
+  bool truncated_ = false;
+};
+
+}  // namespace
+
+Result<PatternSet> MineKnownPeriodPatterns(const SymbolSeries& series,
+                                           std::size_t period,
+                                           const KnownPeriodOptions& options) {
+  if (period < 1 || period > series.size()) {
+    return Status::InvalidArgument("period must be in [1, n]");
+  }
+  if (options.min_support <= 0.0 || options.min_support > 1.0) {
+    return Status::InvalidArgument("min_support must be in (0, 1]");
+  }
+  const std::size_t num_segments = series.size() / period;
+  PatternSet out;
+  if (num_segments == 0) return out;
+  const std::uint64_t min_count =
+      MinimumSupportCount(options.min_support, num_segments);
+
+  // Frequent 1-patterns: per position l, the symbols occurring there in at
+  // least min_count segments, with their segment bitsets.
+  const std::size_t sigma = series.alphabet().size();
+  std::vector<std::vector<SymbolId>> frequent_symbols(period);
+  std::vector<std::vector<DynamicBitset>> segment_bits(period);
+  for (std::size_t l = 0; l < period; ++l) {
+    std::vector<DynamicBitset> per_symbol(sigma, DynamicBitset(num_segments));
+    for (std::size_t m = 0; m < num_segments; ++m) {
+      per_symbol[series[m * period + l]].Set(m);
+    }
+    for (std::size_t k = 0; k < sigma; ++k) {
+      if (per_symbol[k].Count() >= min_count) {
+        frequent_symbols[l].push_back(static_cast<SymbolId>(k));
+        segment_bits[l].push_back(std::move(per_symbol[k]));
+      }
+    }
+  }
+
+  SegmentSearch(period, frequent_symbols, segment_bits, num_segments, options,
+                &out)
+      .Run();
+  return out;
+}
+
+}  // namespace periodica

@@ -1,0 +1,35 @@
+#ifndef PERIODICA_BASELINES_KNOWN_PERIOD_H_
+#define PERIODICA_BASELINES_KNOWN_PERIOD_H_
+
+#include "periodica/core/pattern.h"
+#include "periodica/series/series.h"
+#include "periodica/util/result.h"
+
+namespace periodica {
+
+/// Options for the known-period partial periodic pattern miner.
+struct KnownPeriodOptions {
+  /// Minimum fraction of period segments a pattern must match, in (0, 1].
+  double min_support = 0.5;
+  std::size_t max_patterns = 100000;
+};
+
+/// Partial periodic pattern mining with a *user-specified* period, in the
+/// style of Han, Dong and Yin (ICDE 1999): the series is cut into
+/// floor(n/p) consecutive segments of length p; a pattern (fixed symbols and
+/// don't-cares) is supported by a segment when every fixed slot matches, and
+/// its support is the fraction of matching segments.
+///
+/// This is the component the multi-pass pipelines of Sect. 1.1 must run once
+/// per candidate period ("a periodic patterns mining algorithm should be
+/// incorporated using each candidate period value") — exactly the cost the
+/// one-pass obscure miner avoids. Candidate slots are the frequent
+/// 1-patterns; longer patterns are grown depth-first with Apriori pruning
+/// over segment bitsets.
+Result<PatternSet> MineKnownPeriodPatterns(const SymbolSeries& series,
+                                           std::size_t period,
+                                           const KnownPeriodOptions& options);
+
+}  // namespace periodica
+
+#endif  // PERIODICA_BASELINES_KNOWN_PERIOD_H_

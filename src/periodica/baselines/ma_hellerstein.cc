@@ -1,0 +1,64 @@
+#include "periodica/baselines/ma_hellerstein.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace periodica {
+
+Result<std::vector<InterArrivalPeriod>> MaHellersteinDetector::Detect(
+    const SymbolSeries& series) const {
+  const std::size_t n = series.size();
+  if (n < 2) {
+    return Status::InvalidArgument("series must have at least 2 symbols");
+  }
+  const std::size_t max_period =
+      options_.max_period == 0 ? n / 2 : options_.max_period;
+
+  const std::size_t sigma = series.alphabet().size();
+  // Adjacent inter-arrival histograms, one linear scan for all symbols.
+  std::vector<std::unordered_map<std::size_t, std::uint64_t>> histograms(sigma);
+  std::vector<std::size_t> last_seen(sigma, n);  // n = "not seen yet"
+  std::vector<std::uint64_t> occurrences(sigma, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const SymbolId s = series[i];
+    if (last_seen[s] != n) {
+      ++histograms[s][i - last_seen[s]];
+    }
+    last_seen[s] = i;
+    ++occurrences[s];
+  }
+
+  std::vector<InterArrivalPeriod> detected;
+  for (std::size_t k = 0; k < sigma; ++k) {
+    if (occurrences[k] < 2) continue;
+    const double rate =
+        static_cast<double>(occurrences[k]) / static_cast<double>(n);
+    const double trials = static_cast<double>(occurrences[k] - 1);
+    for (const auto& [distance, count] : histograms[k]) {
+      if (distance > max_period) continue;
+      if (count < options_.min_count) continue;
+      // Under the null, an adjacent inter-arrival equals d with the
+      // geometric probability rate * (1-rate)^{d-1}.
+      const double p_d =
+          rate * std::pow(1.0 - rate, static_cast<double>(distance) - 1.0);
+      const double expected = trials * p_d;
+      if (expected <= 0.0) continue;
+      const double deviation = static_cast<double>(count) - expected;
+      if (deviation <= 0.0) continue;  // only over-represented distances
+      const double chi_squared =
+          deviation * deviation / (expected * (1.0 - p_d));
+      if (chi_squared < options_.chi_squared_threshold) continue;
+      detected.push_back(InterArrivalPeriod{
+          static_cast<SymbolId>(k), distance, count, expected, chi_squared});
+    }
+  }
+  std::sort(detected.begin(), detected.end(),
+            [](const InterArrivalPeriod& a, const InterArrivalPeriod& b) {
+              if (a.symbol != b.symbol) return a.symbol < b.symbol;
+              return a.period < b.period;
+            });
+  return detected;
+}
+
+}  // namespace periodica

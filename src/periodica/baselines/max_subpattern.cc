@@ -1,0 +1,170 @@
+#include "periodica/baselines/max_subpattern.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "periodica/util/logging.h"
+
+namespace periodica {
+
+std::string MaxSubpatternHitSet::Key(const PeriodicPattern& pattern) {
+  std::string key;
+  key.reserve(pattern.period());
+  for (std::size_t l = 0; l < pattern.period(); ++l) {
+    const auto slot = pattern.At(l);
+    // 0xff marks don't-care; symbol ids are < 256 but a fixed slot is
+    // stored +1 so id 255 cannot collide with the marker.
+    key.push_back(slot.has_value()
+                      ? static_cast<char>(static_cast<unsigned char>(*slot))
+                      : static_cast<char>(0xff));
+  }
+  return key;
+}
+
+void MaxSubpatternHitSet::Insert(const PeriodicPattern& hit) {
+  PERIODICA_CHECK_EQ(hit.period(), period_);
+  Hit& entry = hits_[Key(hit)];
+  if (entry.count == 0) entry.pattern = hit;
+  ++entry.count;
+  ++total_;
+}
+
+std::uint64_t MaxSubpatternHitSet::Support(
+    const PeriodicPattern& pattern) const {
+  PERIODICA_CHECK_EQ(pattern.period(), period_);
+  std::uint64_t support = 0;
+  for (const auto& [key, hit] : hits_) {
+    bool contains = true;
+    for (std::size_t l = 0; l < period_; ++l) {
+      const auto want = pattern.At(l);
+      if (!want.has_value()) continue;
+      const auto got = hit.pattern.At(l);
+      if (!got.has_value() || *got != *want) {
+        contains = false;
+        break;
+      }
+    }
+    if (contains) support += hit.count;
+  }
+  return support;
+}
+
+namespace {
+
+/// Depth-first candidate growth with supports answered by the hit set.
+class HitSetSearch {
+ public:
+  HitSetSearch(const MaxSubpatternHitSet& hits,
+               const std::vector<std::vector<SymbolId>>& frequent_symbols,
+               std::size_t num_segments, const KnownPeriodOptions& options,
+               PatternSet* out)
+      : hits_(hits),
+        frequent_symbols_(frequent_symbols),
+        num_segments_(num_segments),
+        min_count_(MinimumSupportCount(options.min_support, num_segments)),
+        options_(options),
+        out_(out),
+        current_(hits.period()) {}
+
+  void Run() {
+    Descend(0, 0);
+    out_->SortCanonical();
+  }
+
+ private:
+  void Descend(std::size_t l, std::size_t fixed_count) {
+    if (truncated_) return;
+    if (l == current_.period()) {
+      if (fixed_count >= 1) {
+        if (out_->size() >= options_.max_patterns) {
+          truncated_ = true;
+          out_->set_truncated(true);
+          return;
+        }
+        const std::uint64_t count = hits_.Support(current_);
+        out_->Add(ScoredPattern{
+            current_,
+            static_cast<double>(count) / static_cast<double>(num_segments_),
+            count});
+      }
+      return;
+    }
+    Descend(l + 1, fixed_count);
+    for (const SymbolId s : frequent_symbols_[l]) {
+      current_.SetSlot(l, s);
+      // Apriori: a pattern below the support floor cannot be extended back
+      // above it.
+      if (hits_.Support(current_) >= min_count_) {
+        Descend(l + 1, fixed_count + 1);
+      }
+      current_.ClearSlot(l);
+    }
+  }
+
+  const MaxSubpatternHitSet& hits_;
+  const std::vector<std::vector<SymbolId>>& frequent_symbols_;
+  const std::size_t num_segments_;
+  const std::uint64_t min_count_;
+  const KnownPeriodOptions& options_;
+  PatternSet* out_;
+  PeriodicPattern current_;
+  bool truncated_ = false;
+};
+
+}  // namespace
+
+Result<PatternSet> MineMaxSubpatternPatterns(
+    const SymbolSeries& series, std::size_t period,
+    const KnownPeriodOptions& options) {
+  if (period < 1 || period > series.size()) {
+    return Status::InvalidArgument("period must be in [1, n]");
+  }
+  if (options.min_support <= 0.0 || options.min_support > 1.0) {
+    return Status::InvalidArgument("min_support must be in (0, 1]");
+  }
+  const std::size_t num_segments = series.size() / period;
+  PatternSet out;
+  if (num_segments == 0) return out;
+  const std::uint64_t min_count =
+      MinimumSupportCount(options.min_support, num_segments);
+
+  // Scan 1: frequent 1-patterns per position.
+  const std::size_t sigma = series.alphabet().size();
+  std::vector<std::vector<std::uint64_t>> position_counts(
+      period, std::vector<std::uint64_t>(sigma, 0));
+  for (std::size_t m = 0; m < num_segments; ++m) {
+    for (std::size_t l = 0; l < period; ++l) {
+      ++position_counts[l][series[m * period + l]];
+    }
+  }
+  std::vector<std::vector<SymbolId>> frequent_symbols(period);
+  for (std::size_t l = 0; l < period; ++l) {
+    for (std::size_t k = 0; k < sigma; ++k) {
+      if (position_counts[l][k] >= min_count) {
+        frequent_symbols[l].push_back(static_cast<SymbolId>(k));
+      }
+    }
+  }
+
+  // Scan 2: record each segment's maximal subpattern (the hit).
+  MaxSubpatternHitSet hits(period);
+  PeriodicPattern hit(period);
+  for (std::size_t m = 0; m < num_segments; ++m) {
+    for (std::size_t l = 0; l < period; ++l) {
+      const SymbolId s = series[m * period + l];
+      if (std::binary_search(frequent_symbols[l].begin(),
+                             frequent_symbols[l].end(), s)) {
+        hit.SetSlot(l, s);
+      } else {
+        hit.ClearSlot(l);
+      }
+    }
+    hits.Insert(hit);
+  }
+
+  HitSetSearch(hits, frequent_symbols, num_segments, options, &out).Run();
+  return out;
+}
+
+}  // namespace periodica

@@ -1,0 +1,67 @@
+#ifndef PERIODICA_BASELINES_MAX_SUBPATTERN_H_
+#define PERIODICA_BASELINES_MAX_SUBPATTERN_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "periodica/baselines/known_period.h"
+#include "periodica/core/pattern.h"
+#include "periodica/series/series.h"
+#include "periodica/util/result.h"
+
+namespace periodica {
+
+/// The max-subpattern hit set of Han, Dong and Yin (ICDE 1999): the second
+/// scan of their two-scan known-period miner records, for every period
+/// segment, its *maximal subpattern* — the segment filtered down to the
+/// frequent-1-pattern symbols ("hit"). The multiset of hits suffices to
+/// answer the support of every candidate pattern: support(P) = number of
+/// hits of which P is a subpattern. (The original paper encodes this
+/// multiset as a tree for compactness; the counting semantics are
+/// identical.)
+class MaxSubpatternHitSet {
+ public:
+  explicit MaxSubpatternHitSet(std::size_t period) : period_(period) {}
+
+  std::size_t period() const { return period_; }
+  std::size_t num_distinct_hits() const { return hits_.size(); }
+  std::uint64_t num_hits() const { return total_; }
+
+  /// Records one segment's maximal subpattern.
+  void Insert(const PeriodicPattern& hit);
+
+  /// Number of recorded hits that contain `pattern` (every fixed slot of
+  /// `pattern` fixed to the same symbol in the hit).
+  std::uint64_t Support(const PeriodicPattern& pattern) const;
+
+ private:
+  struct Hit {
+    PeriodicPattern pattern;
+    std::uint64_t count = 0;
+  };
+
+  static std::string Key(const PeriodicPattern& pattern);
+
+  std::size_t period_;
+  std::unordered_map<std::string, Hit> hits_;
+  std::uint64_t total_ = 0;
+};
+
+/// Known-period partial periodic pattern mining via the max-subpattern hit
+/// set: scan 1 finds the frequent 1-patterns, scan 2 builds the hit set,
+/// and candidates are grown depth-first with supports answered from the hit
+/// set (Apriori pruning applies: support is anti-monotone).
+///
+/// Semantically identical to MineKnownPeriodPatterns (segment-presence
+/// support); implemented independently and cross-validated in tests. Its
+/// advantage is the two-scan IO profile: the second data structure is
+/// bounded by the number of *distinct* maximal subpatterns, not by the
+/// number of candidate patterns.
+Result<PatternSet> MineMaxSubpatternPatterns(const SymbolSeries& series,
+                                             std::size_t period,
+                                             const KnownPeriodOptions& options);
+
+}  // namespace periodica
+
+#endif  // PERIODICA_BASELINES_MAX_SUBPATTERN_H_

@@ -1,0 +1,120 @@
+#include "periodica/baselines/periodic_trends.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "periodica/fft/convolution.h"
+#include "periodica/util/rng.h"
+
+namespace periodica {
+
+std::vector<double> PeriodicTrends::ExactDistances(
+    const std::vector<double>& values, std::size_t max_period) const {
+  const std::size_t n = values.size();
+  // D(p) = sum_{i<n-p} (x_i - x_{i+p})^2
+  //      = prefix_sq(n-p) + suffix_sq(p) - 2 * autocorr(p).
+  const std::vector<double> autocorr = fft::Autocorrelation(values);
+  std::vector<double> prefix_sq(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    prefix_sq[i + 1] = prefix_sq[i] + values[i] * values[i];
+  }
+  std::vector<double> distances(max_period + 1, 0.0);
+  for (std::size_t p = 1; p <= max_period; ++p) {
+    const double head = prefix_sq[n - p];                 // sum over i < n-p
+    const double tail = prefix_sq[n] - prefix_sq[p];      // sum over i >= p
+    // Symbol codes are integers, so the exact distance is an integer;
+    // rounding removes the FFT's ~1e-11 noise and keeps ties (e.g. the zero
+    // distances at multiples of a perfect period) exactly tied.
+    distances[p] =
+        static_cast<double>(std::llround(head + tail - 2.0 * autocorr[p]));
+  }
+  return distances;
+}
+
+std::vector<double> PeriodicTrends::SketchDistances(
+    const std::vector<double>& values, std::size_t max_period) const {
+  const std::size_t n = values.size();
+  std::size_t num_sketches = options_.num_sketches;
+  if (num_sketches == 0) {
+    num_sketches = 1;
+    while ((std::size_t{1} << num_sketches) < n) ++num_sketches;
+  }
+  Rng rng(options_.seed);
+  std::vector<double> distances(max_period + 1, 0.0);
+  std::vector<double> rademacher(n);
+  for (std::size_t sketch = 0; sketch < num_sketches; ++sketch) {
+    for (double& value : rademacher) {
+      value = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+    }
+    // head(p) = <r[0..n-p), x[0..n-p)> comes from one running sum;
+    // shifted(p) = <r[0..n-p), x[p..n)> for every p comes from one FFT
+    // cross-correlation. E[(head - shifted)^2] = D(p) for Rademacher r.
+    std::vector<double> prefix_dot(n + 1, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      prefix_dot[i + 1] = prefix_dot[i] + rademacher[i] * values[i];
+    }
+    const std::vector<double> shifted = fft::CrossCorrelation(rademacher, values);
+    for (std::size_t p = 1; p <= max_period; ++p) {
+      const double diff = prefix_dot[n - p] - shifted[p];
+      distances[p] += diff * diff;
+    }
+  }
+  for (double& distance : distances) {
+    distance /= static_cast<double>(num_sketches);
+  }
+  return distances;
+}
+
+Result<std::vector<TrendCandidate>> PeriodicTrends::Analyze(
+    const SymbolSeries& series) const {
+  const std::size_t n = series.size();
+  if (n < 2) {
+    return Status::InvalidArgument("series must have at least 2 symbols");
+  }
+  std::size_t max_period =
+      options_.max_period == 0 ? n / 2 : options_.max_period;
+  max_period = std::min(max_period, n - 1);
+  const std::size_t min_period = std::max<std::size_t>(options_.min_period, 1);
+  if (min_period > max_period) {
+    return Status::InvalidArgument("min_period exceeds max_period");
+  }
+
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i] = static_cast<double>(series[i]);
+  }
+  const std::vector<double> distances =
+      options_.exact ? ExactDistances(values, max_period)
+                     : SketchDistances(values, max_period);
+
+  std::vector<TrendCandidate> candidates;
+  candidates.reserve(max_period - min_period + 1);
+  for (std::size_t p = min_period; p <= max_period; ++p) {
+    candidates.push_back(TrendCandidate{p, distances[p], 0.0});
+  }
+  // Most candidate first: ascending distance; ties go to the larger period
+  // (its overlap window is shorter, which is exactly the bias the paper
+  // criticizes in Sect. 4.1).
+  std::sort(candidates.begin(), candidates.end(),
+            [](const TrendCandidate& a, const TrendCandidate& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.period > b.period;
+            });
+  const double denominator =
+      candidates.size() > 1 ? static_cast<double>(candidates.size() - 1) : 1.0;
+  for (std::size_t rank = 0; rank < candidates.size(); ++rank) {
+    candidates[rank].confidence =
+        1.0 - static_cast<double>(rank) / denominator;
+  }
+  return candidates;
+}
+
+double PeriodicTrends::ConfidenceFor(
+    const std::vector<TrendCandidate>& candidates, std::size_t period) {
+  for (const TrendCandidate& candidate : candidates) {
+    if (candidate.period == period) return candidate.confidence;
+  }
+  return 0.0;
+}
+
+}  // namespace periodica

@@ -1,0 +1,81 @@
+#ifndef PERIODICA_BASELINES_PERIODIC_TRENDS_H_
+#define PERIODICA_BASELINES_PERIODIC_TRENDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "periodica/series/series.h"
+#include "periodica/util/result.h"
+
+namespace periodica {
+
+/// Options for the periodic-trends baseline.
+struct PeriodicTrendsOptions {
+  std::size_t min_period = 1;
+  /// 0 means n/2, like the miner.
+  std::size_t max_period = 0;
+  /// Number of random-projection sketches; 0 means ceil(log2 n), matching
+  /// the O(n log^2 n) bound of the original algorithm.
+  std::size_t num_sketches = 0;
+  std::uint64_t seed = 123;
+  /// When true, self-distances are computed exactly with one FFT
+  /// (O(n log n)) instead of estimated by sketches — useful to quantify the
+  /// sketch approximation error.
+  bool exact = false;
+};
+
+/// One ranked candidate period of the periodic-trends analysis.
+struct TrendCandidate {
+  std::size_t period = 0;
+  /// (Estimated) squared distance between the series and itself shifted by
+  /// `period`; small distance = strong candidate.
+  double distance = 0.0;
+  /// Rank normalized to [0, 1]: 1 for the most-candidate period, descending.
+  /// This is the confidence measure the paper assigns to this baseline when
+  /// comparing against it in Fig. 4.
+  double confidence = 0.0;
+
+  friend bool operator==(const TrendCandidate& a,
+                         const TrendCandidate& b) = default;
+};
+
+/// The "periodic trends" baseline of Indyk, Koudas and Muthukrishnan
+/// (VLDB 2000), as characterized in the paper's Sect. 1.1/4: an
+/// O(n log^2 n) sketch-based algorithm whose notion of period is the relaxed
+/// period of the *entire* series, and whose output is a ranked list of
+/// candidate period values (no positions, no patterns — a pattern miner must
+/// be run afterwards for each candidate, making the pipeline multi-pass).
+///
+/// For each shift p it estimates D(p) = ||T[0..n-p) - T[p..n)||^2 over the
+/// symbol codes. The estimate uses J = O(log n) Rademacher random
+/// projections; the projections of *all* shifted suffixes against one random
+/// vector are all computed at once with a single FFT cross-correlation, and
+/// the prefix projections with a running sum — J FFTs in total. Candidates
+/// are the periods in ascending order of D(p).
+class PeriodicTrends {
+ public:
+  explicit PeriodicTrends(PeriodicTrendsOptions options = {})
+      : options_(options) {}
+
+  /// Analyzes the series; returns candidates sorted from most to least
+  /// candidate (ascending distance; ties favor the larger period, matching
+  /// the original algorithm's bias toward large shifts with short overlap).
+  Result<std::vector<TrendCandidate>> Analyze(const SymbolSeries& series) const;
+
+  /// Confidence (normalized rank) of one period within an Analyze() result;
+  /// 0 when absent.
+  static double ConfidenceFor(const std::vector<TrendCandidate>& candidates,
+                              std::size_t period);
+
+ private:
+  std::vector<double> ExactDistances(const std::vector<double>& values,
+                                     std::size_t max_period) const;
+  std::vector<double> SketchDistances(const std::vector<double>& values,
+                                      std::size_t max_period) const;
+
+  PeriodicTrendsOptions options_;
+};
+
+}  // namespace periodica
+
+#endif  // PERIODICA_BASELINES_PERIODIC_TRENDS_H_

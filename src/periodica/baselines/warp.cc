@@ -1,0 +1,84 @@
+#include "periodica/baselines/warp.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace periodica {
+
+namespace {
+
+constexpr std::uint64_t kInfinity = std::numeric_limits<std::uint64_t>::max() / 2;
+
+}  // namespace
+
+Result<std::uint64_t> WarpedSelfDistance(const SymbolSeries& series,
+                                         std::size_t period,
+                                         const WarpOptions& options) {
+  const std::size_t n = series.size();
+  if (period < 1 || period >= n) {
+    return Status::InvalidArgument("period must be in [1, n)");
+  }
+  const std::size_t m = n - period;  // overlap: x = T[0..m), y = T[p..n)
+  const std::size_t band = options.band;
+
+  // Banded DTW with unit mismatch cost, rolling rows. previous[j] holds
+  // D(i-1, j); current[j] holds D(i, j). Cells outside the band stay at
+  // infinity so transitions cannot sneak around it.
+  std::vector<std::uint64_t> previous(m + 1, kInfinity);
+  std::vector<std::uint64_t> current(m + 1, kInfinity);
+  previous[0] = 0;
+
+  for (std::size_t i = 1; i <= m; ++i) {
+    const std::size_t lo = i > band ? i - band : 1;
+    const std::size_t hi = std::min(m, i + band);
+    std::fill(current.begin(), current.end(), kInfinity);
+    // D(i, 0) exists only while the band touches the left edge: stepping
+    // down the first column repeats-aligns x against an empty prefix, which
+    // DTW does not allow past the band, so keep it infinite except the
+    // virtual origin handled through previous[0].
+    for (std::size_t j = lo; j <= hi; ++j) {
+      const std::uint64_t mismatch =
+          series[i - 1] == series[period + j - 1] ? 0 : 1;
+      const std::uint64_t best =
+          std::min({previous[j - 1], previous[j], current[j - 1]});
+      current[j] = best >= kInfinity ? kInfinity : best + mismatch;
+    }
+    std::swap(previous, current);
+    previous[0] = kInfinity;  // the origin is only usable from row 1
+  }
+  const std::uint64_t distance = previous[m];
+  if (distance >= kInfinity) {
+    return Status::Internal("banded alignment found no path");
+  }
+  return distance;
+}
+
+Result<double> WarpScore(const SymbolSeries& series, std::size_t period,
+                         const WarpOptions& options) {
+  PERIODICA_ASSIGN_OR_RETURN(const std::uint64_t distance,
+                             WarpedSelfDistance(series, period, options));
+  const double overlap = static_cast<double>(series.size() - period);
+  return 1.0 - static_cast<double>(distance) / overlap;
+}
+
+Result<std::vector<WarpCandidate>> RankWarpedPeriods(
+    const SymbolSeries& series, const std::vector<std::size_t>& periods,
+    const WarpOptions& options) {
+  std::vector<WarpCandidate> candidates;
+  candidates.reserve(periods.size());
+  for (const std::size_t period : periods) {
+    PERIODICA_ASSIGN_OR_RETURN(const std::uint64_t distance,
+                               WarpedSelfDistance(series, period, options));
+    const double overlap = static_cast<double>(series.size() - period);
+    candidates.push_back(WarpCandidate{
+        period, 1.0 - static_cast<double>(distance) / overlap, distance});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const WarpCandidate& a, const WarpCandidate& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.period < b.period;
+            });
+  return candidates;
+}
+
+}  // namespace periodica

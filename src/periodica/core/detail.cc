@@ -1,0 +1,51 @@
+#include "periodica/core/detail.h"
+
+#include "periodica/series/series.h"
+
+namespace periodica::internal {
+
+void EmitPeriod(std::size_t n, std::size_t period,
+                std::span<const PhaseCount> counts,
+                const MinerOptions& options, PeriodicityTable* table) {
+  PeriodSummary summary;
+  summary.period = period;
+  bool any = false;
+  bool truncated = table->truncated();
+  for (const PhaseCount& count : counts) {
+    const std::uint64_t pairs = ProjectionPairCount(n, period, count.phase);
+    if (pairs == 0 || pairs < options.min_pairs) continue;
+    const double confidence =
+        static_cast<double>(count.f2) / static_cast<double>(pairs);
+    if (confidence < options.threshold) continue;
+    any = true;
+    ++summary.num_periodicities;
+    if (confidence > summary.best_confidence) {
+      summary.best_confidence = confidence;
+      summary.best_symbol = count.symbol;
+      summary.best_position = count.phase;
+    }
+    if (!options.positions) continue;  // summaries only
+    if (table->entries().size() < options.max_entries) {
+      table->AddEntry(SymbolPeriodicity{period, count.phase, count.symbol,
+                                        count.f2, pairs, confidence});
+    } else {
+      truncated = true;
+    }
+  }
+  if (any) {
+    table->AddSummary(summary);
+  }
+  table->set_truncated(truncated);
+}
+
+std::uint64_t MinPairCount(std::size_t n, std::size_t period) {
+  // ProjectionPairCount(n, p, l) = ceil((n-l)/p) - 1 is non-increasing in l,
+  // so the smallest value over phases is at l = p-1; clamp at 1 so the
+  // pre-filter threshold stays positive (a phase with a single pair can
+  // reach confidence 1 with one match).
+  if (period >= n) return 1;
+  const std::uint64_t at_last_phase = ProjectionPairCount(n, period, period - 1);
+  return at_last_phase == 0 ? 1 : at_last_phase;
+}
+
+}  // namespace periodica::internal

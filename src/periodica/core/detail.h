@@ -1,0 +1,36 @@
+#ifndef PERIODICA_CORE_DETAIL_H_
+#define PERIODICA_CORE_DETAIL_H_
+
+#include <cstdint>
+#include <span>
+
+#include "periodica/core/options.h"
+#include "periodica/core/periodicity.h"
+
+namespace periodica::internal {
+
+/// Exact F2 count for one (symbol, phase) pair of one period, as produced by
+/// either engine's analysis step.
+struct PhaseCount {
+  SymbolId symbol = 0;
+  std::size_t phase = 0;
+  std::uint64_t f2 = 0;
+};
+
+/// Applies Definition 1 to the exact per-phase counts of one period:
+/// appends every (symbol, phase) whose confidence reaches
+/// `options.threshold` as an entry (respecting options.max_entries) and,
+/// when at least one passes, a PeriodSummary. `n` is the series length.
+void EmitPeriod(std::size_t n, std::size_t period,
+                std::span<const PhaseCount> counts,
+                const MinerOptions& options, PeriodicityTable* table);
+
+/// The smallest positive Definition-1 denominator over phases of `period`
+/// (used by the lossless aggregate pre-filter: a (period, symbol) pair whose
+/// total match count is below threshold * MinPairCount can pass Definition 1
+/// at no phase).
+std::uint64_t MinPairCount(std::size_t n, std::size_t period);
+
+}  // namespace periodica::internal
+
+#endif  // PERIODICA_CORE_DETAIL_H_

@@ -1,0 +1,43 @@
+#ifndef PERIODICA_CORE_EXACT_MINER_H_
+#define PERIODICA_CORE_EXACT_MINER_H_
+
+#include "periodica/core/mapping.h"
+#include "periodica/core/options.h"
+#include "periodica/core/periodicity.h"
+#include "periodica/series/series.h"
+
+namespace periodica {
+
+/// The paper's algorithm, literally (Fig. 2 steps 1-4): map the series to the
+/// sigma*n binary vector, evaluate the weighted self-convolution — whose
+/// component for each shift p is a big integer equal to a sum of distinct
+/// powers of two — and analyze the power sets W_p / W_{p,k} / W_{p,k,l} into
+/// symbol periodicities.
+///
+/// The big integers are represented exactly as bitsets (each power of two is
+/// one set bit), so this engine has no floating-point error at any length;
+/// its cost is O(sigma * n^2 / 64) over all shifts. It is the ground-truth
+/// oracle the FFT engine is validated against, and is the default for short
+/// series.
+class ExactConvolutionMiner {
+ public:
+  explicit ExactConvolutionMiner(const SymbolSeries& series)
+      : mapping_(series) {}
+
+  ExactConvolutionMiner(const ExactConvolutionMiner&) = delete;
+  ExactConvolutionMiner& operator=(const ExactConvolutionMiner&) = delete;
+
+  /// Runs periodicity detection with the given options (engine selection
+  /// fields are ignored).
+  PeriodicityTable Mine(const MinerOptions& options) const;
+
+  /// The underlying mapping, exposing W_p for tests and demonstrations.
+  const BinaryMapping& mapping() const { return mapping_; }
+
+ private:
+  BinaryMapping mapping_;
+};
+
+}  // namespace periodica
+
+#endif  // PERIODICA_CORE_EXACT_MINER_H_

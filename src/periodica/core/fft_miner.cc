@@ -1,0 +1,239 @@
+#include "periodica/core/fft_miner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "periodica/core/detail.h"
+#include "periodica/fft/chunked.h"
+#include "periodica/fft/convolution.h"
+#include "periodica/util/logging.h"
+
+namespace periodica {
+
+namespace {
+
+std::vector<DynamicBitset> BuildIndicators(const Alphabet& alphabet,
+                                           std::size_t n) {
+  std::vector<DynamicBitset> indicators;
+  indicators.reserve(alphabet.size());
+  for (std::size_t k = 0; k < alphabet.size(); ++k) {
+    indicators.emplace_back(n);
+  }
+  return indicators;
+}
+
+}  // namespace
+
+FftConvolutionMiner::FftConvolutionMiner(const SymbolSeries& series)
+    : alphabet_(series.alphabet()),
+      n_(series.size()),
+      indicators_(BuildIndicators(series.alphabet(), series.size())) {
+  for (std::size_t i = 0; i < n_; ++i) {
+    indicators_[series[i]].Set(i);
+  }
+}
+
+FftConvolutionMiner FftConvolutionMiner::FromStream(SeriesStream* stream) {
+  PERIODICA_CHECK(stream != nullptr);
+  // The single pass over the input: symbols are requested once, appended to
+  // the per-symbol indicator vectors, and never revisited.
+  Alphabet alphabet = stream->alphabet();
+  std::vector<std::vector<bool>> staging(alphabet.size());
+  std::size_t n = 0;
+  while (const std::optional<SymbolId> symbol = stream->Next()) {
+    PERIODICA_CHECK_LT(static_cast<std::size_t>(*symbol), alphabet.size());
+    for (std::size_t k = 0; k < staging.size(); ++k) {
+      staging[k].push_back(k == *symbol);
+    }
+    ++n;
+  }
+  std::vector<DynamicBitset> indicators = BuildIndicators(alphabet, n);
+  for (std::size_t k = 0; k < staging.size(); ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (staging[k][i]) indicators[k].Set(i);
+    }
+  }
+  return FftConvolutionMiner(std::move(alphabet), n, std::move(indicators));
+}
+
+Result<FftConvolutionMiner> FftConvolutionMiner::Concatenate(
+    const FftConvolutionMiner& prefix, const FftConvolutionMiner& suffix) {
+  if (!(prefix.alphabet_ == suffix.alphabet_)) {
+    return Status::InvalidArgument("miners have different alphabets");
+  }
+  std::vector<DynamicBitset> indicators = prefix.indicators_;
+  for (std::size_t k = 0; k < indicators.size(); ++k) {
+    indicators[k].Append(suffix.indicators_[k]);
+  }
+  return FftConvolutionMiner(prefix.alphabet_, prefix.n_ + suffix.n_,
+                             std::move(indicators));
+}
+
+SymbolSeries FftConvolutionMiner::ToSeries() const {
+  SymbolSeries series(alphabet_);
+  series.Reserve(n_);
+  std::vector<SymbolId> data(n_, 0);
+  for (std::size_t k = 0; k < indicators_.size(); ++k) {
+    indicators_[k].ForEachSetBit(
+        [&data, k](std::size_t i) { data[i] = static_cast<SymbolId>(k); });
+  }
+  for (const SymbolId symbol : data) series.Append(symbol);
+  return series;
+}
+
+std::vector<std::uint64_t> FftConvolutionMiner::MatchCountsBounded(
+    SymbolId symbol, std::size_t max_period, std::size_t block_size) const {
+  PERIODICA_CHECK_LT(static_cast<std::size_t>(symbol), indicators_.size());
+  const std::size_t max_lag = std::min(max_period, n_ > 0 ? n_ - 1 : 0);
+  fft::BoundedLagAutocorrelator correlator(max_lag, block_size);
+  std::vector<double> buffer;
+  const std::size_t chunk = std::min<std::size_t>(
+      std::max<std::size_t>(correlator.block_size(), 4096), n_ ? n_ : 1);
+  buffer.reserve(chunk);
+  for (std::size_t start = 0; start < n_;) {
+    const std::size_t end = std::min(n_, start + chunk);
+    buffer.assign(end - start, 0.0);
+    for (std::size_t i = start; i < end; ++i) {
+      if (indicators_[symbol].Test(i)) buffer[i - start] = 1.0;
+    }
+    correlator.Append(buffer);
+    start = end;
+  }
+  const std::vector<double> raw = correlator.Lags();
+  std::vector<std::uint64_t> counts(
+      std::min(max_period + 1, raw.empty() ? std::size_t{0} : raw.size()), 0);
+  for (std::size_t p = 0; p < counts.size(); ++p) {
+    const long long rounded = std::llround(raw[p]);
+    counts[p] = rounded < 0 ? 0 : static_cast<std::uint64_t>(rounded);
+  }
+  return counts;
+}
+
+std::vector<std::uint64_t> FftConvolutionMiner::MatchCounts(
+    SymbolId symbol, std::size_t max_period) const {
+  PERIODICA_CHECK_LT(static_cast<std::size_t>(symbol), indicators_.size());
+  std::vector<double> as_double(n_, 0.0);
+  indicators_[symbol].ForEachSetBit(
+      [&as_double](std::size_t i) { as_double[i] = 1.0; });
+  const std::vector<double> raw = fft::Autocorrelation(as_double);
+  const std::size_t lags = std::min(max_period + 1, raw.size());
+  std::vector<std::uint64_t> counts(lags, 0);
+  for (std::size_t p = 0; p < lags; ++p) {
+    const long long rounded = std::llround(raw[p]);
+    counts[p] = rounded < 0 ? 0 : static_cast<std::uint64_t>(rounded);
+  }
+  return counts;
+}
+
+PeriodicityTable FftConvolutionMiner::Mine(const MinerOptions& options) const {
+  PeriodicityTable table;
+  if (n_ < 2) return table;
+
+  std::size_t max_period =
+      options.max_period == 0 ? n_ / 2 : options.max_period;
+  max_period = std::min(max_period, n_ - 1);
+  const std::size_t min_period = std::max<std::size_t>(options.min_period, 1);
+
+  struct Candidate {
+    std::size_t period;
+    SymbolId symbol;
+    std::uint64_t matches;
+  };
+  std::vector<Candidate> candidates;
+
+  // Stage 1: per-symbol FFT autocorrelations and the lossless aggregate
+  // pre-filter.
+  for (std::size_t k = 0; k < indicators_.size(); ++k) {
+    if (indicators_[k].Count() == 0) continue;
+    const std::vector<std::uint64_t> counts =
+        options.fft_block_size != 0
+            ? MatchCountsBounded(static_cast<SymbolId>(k), max_period,
+                                 options.fft_block_size)
+            : MatchCounts(static_cast<SymbolId>(k), max_period);
+    for (std::size_t p = min_period; p < counts.size(); ++p) {
+      if (counts[p] == 0) continue;
+      // No phase of this period can offer options.min_pairs repetitions if
+      // even the longest projection (l = 0) falls short.
+      if ((n_ + p - 1) / p - 1 < options.min_pairs) continue;
+      const double min_pairs =
+          static_cast<double>(internal::MinPairCount(n_, p));
+      if (static_cast<double>(counts[p]) + 1e-9 <
+          options.threshold * min_pairs) {
+        continue;
+      }
+      candidates.push_back(
+          Candidate{p, static_cast<SymbolId>(k), counts[p]});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return std::tie(a.period, a.symbol) <
+                     std::tie(b.period, b.symbol);
+            });
+
+  if (!options.positions) {
+    // Periods-only mode: summaries with aggregate upper-bound confidences,
+    // O(n log n) total (the detection phase of Fig. 5).
+    for (std::size_t start = 0; start < candidates.size();) {
+      std::size_t end = start;
+      PeriodSummary summary;
+      summary.period = candidates[start].period;
+      summary.aggregate_only = true;
+      const double min_pairs = static_cast<double>(
+          internal::MinPairCount(n_, summary.period));
+      while (end < candidates.size() &&
+             candidates[end].period == summary.period) {
+        const double upper_bound = std::min(
+            1.0, static_cast<double>(candidates[end].matches) / min_pairs);
+        if (upper_bound > summary.best_confidence) {
+          summary.best_confidence = upper_bound;
+          summary.best_symbol = candidates[end].symbol;
+          summary.best_position = 0;
+        }
+        ++summary.num_periodicities;
+        ++end;
+      }
+      table.AddSummary(summary);
+      start = end;
+    }
+    table.SortCanonical();
+    return table;
+  }
+
+  // Stage 2: split each surviving (p, k) into exact per-phase counts by
+  // walking the in-memory indicator bitsets (no further pass over the input).
+  std::vector<std::size_t> match_positions;
+  std::vector<std::size_t> phases;
+  std::vector<internal::PhaseCount> counts;
+  for (std::size_t start = 0; start < candidates.size();) {
+    const std::size_t p = candidates[start].period;
+    std::size_t end = start;
+    counts.clear();
+    while (end < candidates.size() && candidates[end].period == p) {
+      const SymbolId k = candidates[end].symbol;
+      const DynamicBitset& indicator = indicators_[k];
+      match_positions.clear();
+      indicator.CollectAndShifted(indicator, p, &match_positions);
+      PERIODICA_DCHECK(match_positions.size() == candidates[end].matches)
+          << "FFT match count disagrees with the indicator bitsets";
+      phases.clear();
+      phases.reserve(match_positions.size());
+      for (const std::size_t i : match_positions) phases.push_back(i % p);
+      std::sort(phases.begin(), phases.end());
+      for (std::size_t lo = 0; lo < phases.size();) {
+        std::size_t hi = lo;
+        while (hi < phases.size() && phases[hi] == phases[lo]) ++hi;
+        counts.push_back(internal::PhaseCount{
+            k, phases[lo], static_cast<std::uint64_t>(hi - lo)});
+        lo = hi;
+      }
+      ++end;
+    }
+    internal::EmitPeriod(n_, p, counts, options, &table);
+    start = end;
+  }
+  table.SortCanonical();
+  return table;
+}
+
+}  // namespace periodica

@@ -1,0 +1,91 @@
+#ifndef PERIODICA_CORE_FFT_MINER_H_
+#define PERIODICA_CORE_FFT_MINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "periodica/core/options.h"
+#include "periodica/core/periodicity.h"
+#include "periodica/series/series.h"
+#include "periodica/series/stream.h"
+#include "periodica/util/bitset.h"
+
+namespace periodica {
+
+/// The production engine: the paper's convolution evaluated per symbol.
+///
+/// The weighted self-convolution of the sigma*n binary vector decomposes by
+/// symbol: the slice of component c'_p belonging to symbol s_k has popcount
+/// equal to the autocorrelation of s_k's 0/1 indicator vector at lag p. One
+/// real FFT per symbol therefore yields every shift's match count |W_{p,k}|
+/// at once — O(sigma * n log n), after a single pass over the input that
+/// builds the indicator vectors.
+///
+/// Detection then proceeds in two stages:
+///  1. A *lossless* aggregate pre-filter: (p, k) can satisfy Definition 1 at
+///     some phase only if |W_{p,k}| >= threshold * MinPairCount(n, p).
+///  2. For surviving candidates (positions mode), the in-memory indicator
+///     bitsets are re-walked to split |W_{p,k}| into the per-phase counts
+///     |W_{p,k,l}| = F2(s_k, pi_{p,l}(T)), giving exact Definition-1 output.
+/// Stage 2 never touches the input stream again; with positions mode off,
+/// only stage 1 runs and summaries carry upper-bound confidences (the
+/// O(n log n) detection phase the paper times in Fig. 5).
+class FftConvolutionMiner {
+ public:
+  explicit FftConvolutionMiner(const SymbolSeries& series);
+
+  /// Builds the miner by consuming `stream` exactly once.
+  static FftConvolutionMiner FromStream(SeriesStream* stream);
+
+  /// Merge mining (the paper's reference [4]): combines the one-pass states
+  /// of two adjacent segments into the state of their concatenation —
+  /// per-symbol indicator vectors are concatenated, so mining the result is
+  /// identical to mining the concatenated series, without re-reading either
+  /// segment. Alphabets must match.
+  static Result<FftConvolutionMiner> Concatenate(
+      const FftConvolutionMiner& prefix, const FftConvolutionMiner& suffix);
+
+  FftConvolutionMiner(FftConvolutionMiner&&) = default;
+  FftConvolutionMiner& operator=(FftConvolutionMiner&&) = default;
+  FftConvolutionMiner(const FftConvolutionMiner&) = delete;
+  FftConvolutionMiner& operator=(const FftConvolutionMiner&) = delete;
+
+  /// Runs periodicity detection (engine selection fields of `options` are
+  /// ignored).
+  PeriodicityTable Mine(const MinerOptions& options) const;
+
+  std::size_t size() const { return n_; }
+  const Alphabet& alphabet() const { return alphabet_; }
+
+  /// Reconstructs the series from the indicator vectors (they are a lossless
+  /// representation); used to run the pattern stage after stream ingestion.
+  SymbolSeries ToSeries() const;
+
+  /// Match counts |W_{p,k}| for symbol k at every lag p in [0, max_period],
+  /// straight from the FFT (exposed for the ablation benches and tests).
+  std::vector<std::uint64_t> MatchCounts(SymbolId symbol,
+                                         std::size_t max_period) const;
+
+  /// Identical counts computed with the bounded-lag chunked correlator:
+  /// O(block_size + max_period) FFT working memory instead of a full-length
+  /// transform (block_size 0 picks max(4 * max_period, 4096)).
+  std::vector<std::uint64_t> MatchCountsBounded(SymbolId symbol,
+                                                std::size_t max_period,
+                                                std::size_t block_size) const;
+
+ private:
+  FftConvolutionMiner(Alphabet alphabet, std::size_t n,
+                      std::vector<DynamicBitset> indicators)
+      : alphabet_(std::move(alphabet)),
+        n_(n),
+        indicators_(std::move(indicators)) {}
+
+  Alphabet alphabet_;
+  std::size_t n_ = 0;
+  /// indicators_[k] bit i is set iff t_i == s_k.
+  std::vector<DynamicBitset> indicators_;
+};
+
+}  // namespace periodica
+
+#endif  // PERIODICA_CORE_FFT_MINER_H_

@@ -1,0 +1,48 @@
+#include "periodica/core/mapping.h"
+
+#include <algorithm>
+
+#include "periodica/util/logging.h"
+
+namespace periodica {
+
+BinaryMapping::BinaryMapping(const SymbolSeries& series)
+    : n_(series.size()),
+      sigma_(series.alphabet().size()),
+      bits_(series.size() * series.alphabet().size()) {
+  for (std::size_t i = 0; i < n_; ++i) {
+    const SymbolId k = series[i];
+    // Symbol s_k occupies the block [i*sigma, (i+1)*sigma) with its single
+    // 1-bit at block offset sigma-1-k (binary representation of 2^k, most
+    // significant bit printed first).
+    bits_.Set(i * sigma_ + (sigma_ - 1 - static_cast<std::size_t>(k)));
+  }
+}
+
+std::vector<std::uint64_t> BinaryMapping::WSet(std::size_t p) const {
+  PERIODICA_CHECK_GE(p, 1u);
+  PERIODICA_CHECK_LT(p, n_);
+  std::vector<std::size_t> matched_bits;
+  bits_.CollectAndShifted(bits_, sigma_ * p, &matched_bits);
+  // Bit j matching bit j + sigma*p corresponds to the power
+  // w = sigma*(n-p) - 1 - j of the reversed weighted convolution.
+  std::vector<std::uint64_t> powers;
+  powers.reserve(matched_bits.size());
+  const std::size_t top = sigma_ * (n_ - p) - 1;
+  for (auto it = matched_bits.rbegin(); it != matched_bits.rend(); ++it) {
+    powers.push_back(static_cast<std::uint64_t>(top - *it));
+  }
+  return powers;
+}
+
+BinaryMapping::Match BinaryMapping::DecodePower(std::uint64_t w,
+                                                std::size_t p) const {
+  PERIODICA_CHECK_GE(p, 1u);
+  const std::size_t k = static_cast<std::size_t>(w % sigma_);
+  const std::size_t w_div = static_cast<std::size_t>(w / sigma_);
+  PERIODICA_CHECK_LE(w_div, n_ - p - 1) << "power out of range for shift";
+  const std::size_t i = n_ - p - 1 - w_div;
+  return Match{i, static_cast<SymbolId>(k), i % p, i / p};
+}
+
+}  // namespace periodica

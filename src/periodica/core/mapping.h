@@ -1,0 +1,58 @@
+#ifndef PERIODICA_CORE_MAPPING_H_
+#define PERIODICA_CORE_MAPPING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "periodica/series/series.h"
+#include "periodica/util/bitset.h"
+
+namespace periodica {
+
+/// The paper's symbol mapping scheme (Sect. 3.2): each symbol s_k maps to the
+/// sigma-bit binary representation of 2^k, turning the series T into a 0/1
+/// vector T' of length sigma*n. With that mapping, the weighted
+/// self-convolution component for shift p — a big integer that is a sum of
+/// *distinct* powers of two — is exactly the set of bit positions where T'
+/// and T' shifted by sigma*p both carry a 1. This class materializes T' and
+/// decodes those powers.
+class BinaryMapping {
+ public:
+  explicit BinaryMapping(const SymbolSeries& series);
+
+  std::size_t n() const { return n_; }
+  std::size_t sigma() const { return sigma_; }
+
+  /// The binary vector T'. Bit j (0 = leftmost character of the paper's
+  /// binary string) is set iff t_{j / sigma} == s_k with
+  /// k = sigma - 1 - (j mod sigma), i.e. each symbol occupies sigma bits with
+  /// the most significant bit first, exactly as printed in the paper.
+  const DynamicBitset& bits() const { return bits_; }
+
+  /// The set W_p (Sect. 3.2): the exponents of the powers of two composing
+  /// the weighted-convolution component c'_p, in increasing order. Each
+  /// exponent w encodes one symbol match between T and T shifted by p:
+  /// w = (n - p - 1 - i) * sigma + k for a match t_i == t_{i+p} == s_k.
+  std::vector<std::uint64_t> WSet(std::size_t p) const;
+
+  /// A decoded element of W_p.
+  struct Match {
+    std::size_t position;    ///< i: t_i == t_{i+p}
+    SymbolId symbol;         ///< k with t_i == s_k
+    std::size_t phase;       ///< l = i mod p (the position of Definition 1)
+    std::size_t occurrence;  ///< m = i / p (the alignment index of W'_p)
+  };
+
+  /// Decodes power w for shift p per the paper's formulas: k = w mod sigma,
+  /// i = n - p - 1 - floor(w / sigma).
+  Match DecodePower(std::uint64_t w, std::size_t p) const;
+
+ private:
+  std::size_t n_;
+  std::size_t sigma_;
+  DynamicBitset bits_;
+};
+
+}  // namespace periodica
+
+#endif  // PERIODICA_CORE_MAPPING_H_

@@ -1,0 +1,156 @@
+#include "periodica/core/miner.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "periodica/core/exact_miner.h"
+#include "periodica/core/fft_miner.h"
+#include "periodica/core/pattern_miner.h"
+#include "periodica/core/significance.h"
+
+namespace periodica {
+
+Status ObscureMiner::Validate() const {
+  if (options_.threshold <= 0.0 || options_.threshold > 1.0) {
+    return Status::InvalidArgument("threshold must be in (0, 1]");
+  }
+  if (options_.min_period < 1) {
+    return Status::InvalidArgument("min_period must be >= 1");
+  }
+  if (options_.max_period != 0 &&
+      options_.max_period < options_.min_period) {
+    return Status::InvalidArgument("max_period must be >= min_period");
+  }
+  if (options_.pattern_threshold < 0.0 || options_.pattern_threshold > 1.0) {
+    return Status::InvalidArgument("pattern_threshold must be in [0, 1]");
+  }
+  if (options_.min_pairs < 1) {
+    return Status::InvalidArgument("min_pairs must be >= 1");
+  }
+  if (options_.significance_p_value < 0.0 ||
+      options_.significance_p_value > 1.0) {
+    return Status::InvalidArgument("significance_p_value must be in [0, 1]");
+  }
+  if (options_.significance_p_value > 0.0 && !options_.positions) {
+    return Status::InvalidArgument(
+        "significance screening requires positions mode");
+  }
+  return Status::OK();
+}
+
+Result<MiningResult> ObscureMiner::Mine(const SymbolSeries& series) const {
+  PERIODICA_RETURN_NOT_OK(Validate());
+  if (series.size() < 2) {
+    return Status::InvalidArgument("series must have at least 2 symbols");
+  }
+  MiningResult result;
+  result.series_length = series.size();
+  result.alphabet_size = series.alphabet().size();
+
+  MinerEngine engine = options_.engine;
+  if (engine == MinerEngine::kAuto) {
+    engine = series.size() <= options_.auto_engine_cutoff ? MinerEngine::kExact
+                                                          : MinerEngine::kFft;
+  }
+  result.engine_used = engine;
+  if (engine == MinerEngine::kExact) {
+    result.periodicities = ExactConvolutionMiner(series).Mine(options_);
+  } else {
+    result.periodicities = FftConvolutionMiner(series).Mine(options_);
+  }
+  PERIODICA_RETURN_NOT_OK(ApplySignificance(series, &result));
+  if (!options_.mine_patterns) return result;
+  return RunPatternStage(series, std::move(result));
+}
+
+Result<MiningResult> ObscureMiner::Mine(SeriesStream* stream) const {
+  PERIODICA_RETURN_NOT_OK(Validate());
+  if (stream == nullptr) {
+    return Status::InvalidArgument("stream must not be null");
+  }
+  const FftConvolutionMiner miner = FftConvolutionMiner::FromStream(stream);
+  if (miner.size() < 2) {
+    return Status::InvalidArgument("stream must yield at least 2 symbols");
+  }
+  MiningResult result;
+  result.series_length = miner.size();
+  result.alphabet_size = miner.alphabet().size();
+  result.engine_used = MinerEngine::kFft;
+  result.periodicities = miner.Mine(options_);
+  if (options_.significance_p_value > 0.0 || options_.mine_patterns) {
+    // The indicator vectors hold the whole series; reconstruct once for the
+    // downstream stages (no second pass over the stream).
+    const SymbolSeries series = miner.ToSeries();
+    PERIODICA_RETURN_NOT_OK(ApplySignificance(series, &result));
+    if (options_.mine_patterns) {
+      return RunPatternStage(series, std::move(result));
+    }
+  }
+  return result;
+}
+
+Status ObscureMiner::ApplySignificance(const SymbolSeries& series,
+                                       MiningResult* result) const {
+  if (options_.significance_p_value <= 0.0) return Status::OK();
+  SignificanceOptions screen;
+  screen.max_p_value = options_.significance_p_value;
+  PERIODICA_ASSIGN_OR_RETURN(
+      const std::vector<SignificantPeriodicity> significant,
+      FilterSignificant(result->periodicities, series, screen));
+  PeriodicityTable screened;
+  screened.set_truncated(result->periodicities.truncated());
+  for (const SignificantPeriodicity& hit : significant) {
+    screened.AddEntry(hit.entry);
+  }
+  screened.RebuildSummariesFromEntries();
+  result->periodicities = std::move(screened);
+  return Status::OK();
+}
+
+Result<MiningResult> ObscureMiner::RunPatternStage(const SymbolSeries& series,
+                                                   MiningResult result) const {
+  if (!options_.positions) {
+    return Status::InvalidArgument(
+        "mine_patterns requires positions mode (MinerOptions::positions)");
+  }
+  std::vector<std::size_t> periods = options_.pattern_periods;
+  if (periods.empty()) {
+    periods = result.periodicities.Periods();
+  }
+  std::sort(periods.begin(), periods.end());
+  periods.erase(std::unique(periods.begin(), periods.end()), periods.end());
+
+  PatternMinerOptions pattern_options;
+  pattern_options.min_support = options_.pattern_threshold > 0.0
+                                    ? options_.pattern_threshold
+                                    : options_.threshold;
+  pattern_options.max_patterns = options_.max_patterns;
+
+  for (const std::size_t period : periods) {
+    if (period >= series.size()) continue;
+    const std::vector<std::vector<SymbolId>> sets =
+        result.periodicities.SymbolSets(period);
+    if (std::all_of(sets.begin(), sets.end(),
+                    [](const auto& set) { return set.empty(); })) {
+      continue;
+    }
+    if (result.patterns.size() >= options_.max_patterns) {
+      result.patterns.set_truncated(true);
+      break;
+    }
+    PatternMinerOptions per_period = pattern_options;
+    per_period.max_patterns =
+        options_.max_patterns - result.patterns.size();
+    PERIODICA_ASSIGN_OR_RETURN(
+        PatternSet set,
+        MinePatternsForPeriod(series, period, sets, per_period));
+    for (const ScoredPattern& scored : set.patterns()) {
+      result.patterns.Add(scored);
+    }
+    if (set.truncated()) result.patterns.set_truncated(true);
+  }
+  result.patterns.SortCanonical();
+  return result;
+}
+
+}  // namespace periodica

@@ -1,0 +1,61 @@
+#ifndef PERIODICA_CORE_MINER_H_
+#define PERIODICA_CORE_MINER_H_
+
+#include "periodica/core/options.h"
+#include "periodica/core/pattern.h"
+#include "periodica/core/periodicity.h"
+#include "periodica/series/series.h"
+#include "periodica/series/stream.h"
+#include "periodica/util/result.h"
+
+namespace periodica {
+
+/// Everything a mining run produces.
+struct MiningResult {
+  /// Symbol periodicities (Definition 1) per period, with summaries.
+  PeriodicityTable periodicities;
+  /// Candidate periodic patterns with supports (Definitions 2-3); empty
+  /// unless MinerOptions::mine_patterns.
+  PatternSet patterns;
+  /// Which engine actually ran (kAuto is resolved).
+  MinerEngine engine_used = MinerEngine::kAuto;
+  std::size_t series_length = 0;
+  std::size_t alphabet_size = 0;
+};
+
+/// The paper's obscure periodic patterns mining algorithm (Fig. 2), end to
+/// end: the period is *not* an input — detection of every candidate period,
+/// the positions of the periodic symbols, and the periodic patterns
+/// themselves all come out of one pass over the data.
+///
+///   ObscureMiner miner({.threshold = 0.7, .mine_patterns = true});
+///   PERIODICA_ASSIGN_OR_RETURN(MiningResult result, miner.Mine(series));
+///   for (const PeriodSummary& s : result.periodicities.summaries()) ...
+class ObscureMiner {
+ public:
+  explicit ObscureMiner(MinerOptions options = MinerOptions())
+      : options_(options) {}
+
+  const MinerOptions& options() const { return options_; }
+
+  /// Mines an in-memory series.
+  Result<MiningResult> Mine(const SymbolSeries& series) const;
+
+  /// Mines a stream, consuming it exactly once (always uses the FFT engine —
+  /// the exact engine's binary-vector representation is built in the same
+  /// single pass by conversion).
+  Result<MiningResult> Mine(SeriesStream* stream) const;
+
+ private:
+  Status Validate() const;
+  Status ApplySignificance(const SymbolSeries& series,
+                           MiningResult* result) const;
+  Result<MiningResult> RunPatternStage(const SymbolSeries& series,
+                                       MiningResult result) const;
+
+  MinerOptions options_;
+};
+
+}  // namespace periodica
+
+#endif  // PERIODICA_CORE_MINER_H_

@@ -1,0 +1,83 @@
+#include "periodica/core/multiresolution.h"
+
+#include <algorithm>
+#include <set>
+
+#include "periodica/core/exact_miner.h"
+#include "periodica/core/fft_miner.h"
+
+namespace periodica {
+
+namespace {
+
+/// Exact Definition-1 detection for exactly one base-resolution period.
+PeriodicityTable VerifyPeriod(const SymbolSeries& series, std::size_t period,
+                              const MinerOptions& base) {
+  MinerOptions options = base;
+  options.min_period = period;
+  options.max_period = period;
+  options.positions = true;
+  // A single period is cheapest on the exact engine (one shifted AND).
+  return ExactConvolutionMiner(series).Mine(options);
+}
+
+}  // namespace
+
+Result<PeriodicityTable> MineMultiResolution(
+    const SymbolSeries& series, const MultiResolutionOptions& options) {
+  if (series.size() < 2) {
+    return Status::InvalidArgument("series must have at least 2 symbols");
+  }
+  if (options.factors.empty()) {
+    return Status::InvalidArgument("at least one factor is required");
+  }
+  for (const std::size_t factor : options.factors) {
+    if (factor < 1) {
+      return Status::InvalidArgument("factors must be >= 1");
+    }
+  }
+
+  PeriodicityTable combined;
+  std::set<std::size_t> covered_periods;
+
+  for (const std::size_t factor : options.factors) {
+    if (factor == 1) {
+      // Base level: exact as-is; absorb directly.
+      MinerOptions base = options.miner;
+      base.positions = true;
+      const PeriodicityTable table =
+          FftConvolutionMiner(series).Mine(base);
+      for (const std::size_t p : table.Periods()) {
+        if (!covered_periods.insert(p).second) continue;
+        for (const SymbolPeriodicity& entry : table.EntriesForPeriod(p)) {
+          combined.AddEntry(entry);
+        }
+      }
+      continue;
+    }
+    if (series.size() / factor < 2) continue;  // level too coarse to exist
+
+    PERIODICA_ASSIGN_OR_RETURN(
+        const SymbolSeries coarse,
+        DownsampleSeries(series, factor, options.aggregate));
+    if (coarse.size() < 2) continue;
+    MinerOptions level = options.miner;
+    level.positions = false;  // candidates only; verification is exact
+    const PeriodicityTable candidates =
+        FftConvolutionMiner(coarse).Mine(level);
+    for (const std::size_t coarse_period : candidates.Periods()) {
+      const std::size_t base_period = coarse_period * factor;
+      if (base_period >= series.size()) continue;
+      if (!covered_periods.insert(base_period).second) continue;
+      const PeriodicityTable verified =
+          VerifyPeriod(series, base_period, options.miner);
+      for (const SymbolPeriodicity& entry : verified.entries()) {
+        combined.AddEntry(entry);
+      }
+    }
+  }
+  combined.RebuildSummariesFromEntries();
+  return combined;
+}
+
+}  // namespace periodica

@@ -1,0 +1,47 @@
+#ifndef PERIODICA_CORE_MULTIRESOLUTION_H_
+#define PERIODICA_CORE_MULTIRESOLUTION_H_
+
+#include <vector>
+
+#include "periodica/core/options.h"
+#include "periodica/core/periodicity.h"
+#include "periodica/series/resample.h"
+#include "periodica/series/series.h"
+#include "periodica/util/result.h"
+
+namespace periodica {
+
+/// Multi-resolution period discovery: long periods are expensive to confirm
+/// at base resolution (the candidate space is O(n) and the per-position
+/// refinement grows with the period), but a period of p*f at base resolution
+/// survives aggregation by factor f as a period of ~p. Mining a
+/// majority-downsampled copy therefore surfaces long-period candidates at
+/// 1/f of the cost; each candidate is then *verified at base resolution*
+/// with an exact single-period Definition-1 check, so everything reported
+/// is exact — the coarse levels only steer where to look.
+///
+/// This is a recall heuristic: structure that does not survive aggregation
+/// (e.g. a periodicity confined to one fine-grained slot per coarse bucket)
+/// can be missed at coarse levels; include factor 1 to keep the base-level
+/// sweep. Precision is unaffected.
+struct MultiResolutionOptions {
+  /// Aggregation factors, e.g. {1, 8, 64}. Factor 1 mines the base series
+  /// directly with `miner` as given; factor f > 1 mines the f-fold
+  /// majority-downsampled series and rescales detected periods by f before
+  /// verification.
+  std::vector<std::size_t> factors = {1, 8, 64};
+  /// Base miner configuration (threshold, min_pairs, engine, ...).
+  /// max_period applies per level in that level's units (0 = half the
+  /// level's length, as usual).
+  MinerOptions miner;
+  SymbolAggregate aggregate = SymbolAggregate::kMajority;
+};
+
+/// Runs the multi-resolution sweep; returns one exact base-resolution table
+/// with entries for every verified period (deduplicated across levels).
+Result<PeriodicityTable> MineMultiResolution(
+    const SymbolSeries& series, const MultiResolutionOptions& options);
+
+}  // namespace periodica
+
+#endif  // PERIODICA_CORE_MULTIRESOLUTION_H_

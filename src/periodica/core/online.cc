@@ -1,0 +1,324 @@
+#include "periodica/core/online.h"
+
+#include <algorithm>
+
+#include "periodica/series/series.h"
+#include "periodica/util/logging.h"
+
+namespace periodica {
+
+namespace {
+
+Status ValidatePeriods(const std::vector<std::size_t>& periods) {
+  if (periods.empty()) {
+    return Status::InvalidArgument("at least one period must be tracked");
+  }
+  for (const std::size_t p : periods) {
+    if (p < 1) return Status::InvalidArgument("periods must be >= 1");
+  }
+  return Status::OK();
+}
+
+std::vector<std::size_t> SortedUnique(std::vector<std::size_t> periods) {
+  std::sort(periods.begin(), periods.end());
+  periods.erase(std::unique(periods.begin(), periods.end()), periods.end());
+  return periods;
+}
+
+/// Number of integers j in [lo, hi] with j mod p == phase.
+std::uint64_t CountCongruent(std::size_t lo, std::size_t hi, std::size_t p,
+                             std::size_t phase) {
+  if (hi < lo) return 0;
+  std::size_t first = lo + (phase + p - lo % p) % p;
+  if (first > hi) return 0;
+  return (hi - first) / p + 1;
+}
+
+}  // namespace
+
+// --- OnlinePeriodicityTracker -----------------------------------------
+
+OnlinePeriodicityTracker::OnlinePeriodicityTracker(
+    Alphabet alphabet, std::vector<std::size_t> periods)
+    : alphabet_(std::move(alphabet)), periods_(std::move(periods)) {
+  const std::size_t sigma = alphabet_.size();
+  offsets_.reserve(periods_.size() + 1);
+  std::size_t total = 0;
+  for (const std::size_t p : periods_) {
+    offsets_.push_back(total);
+    total += sigma * p;
+  }
+  offsets_.push_back(total);
+  f2_.assign(total, 0);
+  ring_.assign(periods_.back(), 0);  // periods_ sorted: back() is the max
+}
+
+Result<OnlinePeriodicityTracker> OnlinePeriodicityTracker::Create(
+    Alphabet alphabet, std::vector<std::size_t> periods) {
+  PERIODICA_RETURN_NOT_OK(ValidatePeriods(periods));
+  if (alphabet.size() == 0) {
+    return Status::InvalidArgument("alphabet must be non-empty");
+  }
+  return OnlinePeriodicityTracker(std::move(alphabet),
+                                  SortedUnique(std::move(periods)));
+}
+
+std::size_t OnlinePeriodicityTracker::PeriodIndex(std::size_t period) const {
+  const auto it = std::lower_bound(periods_.begin(), periods_.end(), period);
+  PERIODICA_CHECK(it != periods_.end() && *it == period)
+      << "period " << period << " is not tracked";
+  return static_cast<std::size_t>(it - periods_.begin());
+}
+
+void OnlinePeriodicityTracker::Append(SymbolId symbol) {
+  PERIODICA_DCHECK(static_cast<std::size_t>(symbol) < alphabet_.size());
+  const std::size_t capacity = ring_.size();
+  for (std::size_t idx = 0; idx < periods_.size(); ++idx) {
+    const std::size_t p = periods_[idx];
+    if (n_ < p) continue;
+    const std::size_t j = n_ - p;  // the candidate earlier endpoint
+    if (ring_[j % capacity] == symbol) {
+      ++f2_[offsets_[idx] + static_cast<std::size_t>(symbol) * p + j % p];
+    }
+  }
+  ring_[n_ % capacity] = symbol;
+  if (n_ < capacity) head_.push_back(symbol);
+  ++n_;
+}
+
+Result<OnlinePeriodicityTracker> OnlinePeriodicityTracker::Merge(
+    const OnlinePeriodicityTracker& prefix,
+    const OnlinePeriodicityTracker& suffix) {
+  if (!(prefix.alphabet_ == suffix.alphabet_)) {
+    return Status::InvalidArgument("trackers have different alphabets");
+  }
+  if (prefix.periods_ != suffix.periods_) {
+    return Status::InvalidArgument("trackers track different period sets");
+  }
+  OnlinePeriodicityTracker merged(prefix.alphabet_, prefix.periods_);
+  const std::size_t a = prefix.n_;
+  const std::size_t b = suffix.n_;
+  merged.n_ = a + b;
+  merged.f2_ = prefix.f2_;
+  const std::size_t capacity = merged.ring_.size();
+
+  for (std::size_t idx = 0; idx < merged.periods_.size(); ++idx) {
+    const std::size_t p = merged.periods_[idx];
+    const std::size_t offset = merged.offsets_[idx];
+    const std::size_t sigma = merged.alphabet_.size();
+    // 1. Fold in the suffix's counts, rotating each phase by the prefix
+    //    length: suffix-local position j is global position a + j.
+    for (std::size_t k = 0; k < sigma; ++k) {
+      for (std::size_t l = 0; l < p; ++l) {
+        merged.f2_[offset + k * p + (l + a) % p] +=
+            suffix.f2_[offset + k * p + l];
+      }
+    }
+    // 2. Pairs spanning the boundary: earlier endpoint in the prefix's last
+    //    min(p, a) symbols, later endpoint in the suffix's first symbols.
+    //    Global pair (i, i+p) with i in [a-p, a) and i+p in [a, a+b).
+    const std::size_t span = std::min(p, a);
+    for (std::size_t back = 1; back <= span; ++back) {
+      const std::size_t i = a - back;            // prefix-global index
+      if (p - back >= b) continue;               // partner beyond the suffix
+      const SymbolId left = prefix.ring_[i % capacity];
+      const SymbolId right = suffix.head_[p - back];
+      if (left == right) {
+        merged.f2_[offset + static_cast<std::size_t>(left) * p + i % p] += 1;
+      }
+    }
+  }
+
+  // 3. Rebuild the merged head and ring so further Append()s and Merge()s
+  //    stay exact. Head: prefix head, extended from the suffix head while
+  //    the prefix was shorter than the window. Ring: the last `capacity`
+  //    symbols overall.
+  merged.head_ = prefix.head_;
+  for (std::size_t j = 0; merged.head_.size() < capacity && j < b &&
+                          j < suffix.head_.size();
+       ++j) {
+    merged.head_.push_back(suffix.head_[j]);
+  }
+  for (std::size_t i = (a + b >= capacity ? a + b - capacity : 0);
+       i < a + b; ++i) {
+    const SymbolId symbol =
+        i < a ? prefix.ring_[i % capacity]
+              : suffix.ring_[(i - a) % capacity];
+    merged.ring_[i % capacity] = symbol;
+  }
+  return merged;
+}
+
+std::uint64_t OnlinePeriodicityTracker::F2Count(std::size_t period,
+                                                SymbolId symbol,
+                                                std::size_t phase) const {
+  PERIODICA_CHECK_LT(phase, period);
+  const std::size_t idx = PeriodIndex(period);
+  return f2_[offsets_[idx] + static_cast<std::size_t>(symbol) * period +
+             phase];
+}
+
+PeriodicityTable OnlinePeriodicityTracker::Snapshot(
+    double threshold, std::size_t min_pairs) const {
+  PeriodicityTable table;
+  const std::size_t sigma = alphabet_.size();
+  for (std::size_t idx = 0; idx < periods_.size(); ++idx) {
+    const std::size_t p = periods_[idx];
+    PeriodSummary summary;
+    summary.period = p;
+    bool any = false;
+    for (std::size_t k = 0; k < sigma; ++k) {
+      for (std::size_t l = 0; l < p; ++l) {
+        const std::uint64_t pairs = ProjectionPairCount(n_, p, l);
+        if (pairs == 0 || pairs < min_pairs) continue;
+        const std::uint64_t f2 = f2_[offsets_[idx] + k * p + l];
+        const double confidence =
+            static_cast<double>(f2) / static_cast<double>(pairs);
+        if (confidence < threshold) continue;
+        any = true;
+        ++summary.num_periodicities;
+        if (confidence > summary.best_confidence) {
+          summary.best_confidence = confidence;
+          summary.best_symbol = static_cast<SymbolId>(k);
+          summary.best_position = l;
+        }
+        table.AddEntry(SymbolPeriodicity{p, l, static_cast<SymbolId>(k), f2,
+                                         pairs, confidence});
+      }
+    }
+    if (any) table.AddSummary(summary);
+  }
+  table.SortCanonical();
+  return table;
+}
+
+// --- WindowedPeriodicityTracker ----------------------------------------
+
+WindowedPeriodicityTracker::WindowedPeriodicityTracker(
+    Alphabet alphabet, std::vector<std::size_t> periods, std::size_t window)
+    : alphabet_(std::move(alphabet)),
+      periods_(std::move(periods)),
+      window_(window) {
+  const std::size_t sigma = alphabet_.size();
+  std::size_t total = 0;
+  offsets_.reserve(periods_.size() + 1);
+  for (const std::size_t p : periods_) {
+    offsets_.push_back(total);
+    total += sigma * p;
+  }
+  offsets_.push_back(total);
+  f2_.assign(total, 0);
+  ring_.assign(window_, 0);
+}
+
+Result<WindowedPeriodicityTracker> WindowedPeriodicityTracker::Create(
+    Alphabet alphabet, std::vector<std::size_t> periods, std::size_t window) {
+  PERIODICA_RETURN_NOT_OK(ValidatePeriods(periods));
+  if (alphabet.size() == 0) {
+    return Status::InvalidArgument("alphabet must be non-empty");
+  }
+  if (window < 2) {
+    return Status::InvalidArgument("window must be >= 2");
+  }
+  std::vector<std::size_t> unique = SortedUnique(std::move(periods));
+  if (unique.back() >= window) {
+    return Status::InvalidArgument(
+        "every tracked period must be smaller than the window");
+  }
+  return WindowedPeriodicityTracker(std::move(alphabet), std::move(unique),
+                                    window);
+}
+
+std::size_t WindowedPeriodicityTracker::PeriodIndex(
+    std::size_t period) const {
+  const auto it = std::lower_bound(periods_.begin(), periods_.end(), period);
+  PERIODICA_CHECK(it != periods_.end() && *it == period)
+      << "period " << period << " is not tracked";
+  return static_cast<std::size_t>(it - periods_.begin());
+}
+
+void WindowedPeriodicityTracker::Append(SymbolId symbol) {
+  PERIODICA_DCHECK(static_cast<std::size_t>(symbol) < alphabet_.size());
+  // 1. Retire the pairs anchored at the expiring position (its slot in the
+  //    ring is the one the new symbol will take, so read it first). With
+  //    every period < window, the partner j + p is still inside the ring.
+  if (n_ >= window_) {
+    const std::size_t leaving = n_ - window_;
+    const SymbolId old_symbol = ring_[leaving % window_];
+    for (std::size_t idx = 0; idx < periods_.size(); ++idx) {
+      const std::size_t p = periods_[idx];
+      if (ring_[(leaving + p) % window_] == old_symbol) {
+        auto& count = f2_[offsets_[idx] +
+                          static_cast<std::size_t>(old_symbol) * p +
+                          leaving % p];
+        PERIODICA_DCHECK(count > 0);
+        --count;
+      }
+    }
+  }
+  // 2. Add the pairs ending at the new position n_.
+  for (std::size_t idx = 0; idx < periods_.size(); ++idx) {
+    const std::size_t p = periods_[idx];
+    if (n_ < p) continue;
+    const std::size_t j = n_ - p;
+    if (ring_[j % window_] == symbol) {
+      ++f2_[offsets_[idx] + static_cast<std::size_t>(symbol) * p + j % p];
+    }
+  }
+  ring_[n_ % window_] = symbol;
+  ++n_;
+}
+
+std::uint64_t WindowedPeriodicityTracker::PairSlots(std::size_t period,
+                                                    std::size_t phase) const {
+  if (n_ < period + 1) return 0;
+  const std::size_t start = n_ < window_ ? 0 : n_ - window_;
+  const std::size_t last_anchor = n_ - 1 - period;
+  if (last_anchor < start) return 0;
+  return CountCongruent(start, last_anchor, period, phase);
+}
+
+std::uint64_t WindowedPeriodicityTracker::F2Count(std::size_t period,
+                                                  SymbolId symbol,
+                                                  std::size_t phase) const {
+  PERIODICA_CHECK_LT(phase, period);
+  const std::size_t idx = PeriodIndex(period);
+  return f2_[offsets_[idx] + static_cast<std::size_t>(symbol) * period +
+             phase];
+}
+
+PeriodicityTable WindowedPeriodicityTracker::Snapshot(
+    double threshold, std::size_t min_pairs) const {
+  PeriodicityTable table;
+  const std::size_t sigma = alphabet_.size();
+  for (std::size_t idx = 0; idx < periods_.size(); ++idx) {
+    const std::size_t p = periods_[idx];
+    PeriodSummary summary;
+    summary.period = p;
+    bool any = false;
+    for (std::size_t k = 0; k < sigma; ++k) {
+      for (std::size_t l = 0; l < p; ++l) {
+        const std::uint64_t pairs = PairSlots(p, l);
+        if (pairs == 0 || pairs < min_pairs) continue;
+        const std::uint64_t f2 = f2_[offsets_[idx] + k * p + l];
+        const double confidence =
+            static_cast<double>(f2) / static_cast<double>(pairs);
+        if (confidence < threshold) continue;
+        any = true;
+        ++summary.num_periodicities;
+        if (confidence > summary.best_confidence) {
+          summary.best_confidence = confidence;
+          summary.best_symbol = static_cast<SymbolId>(k);
+          summary.best_position = l;
+        }
+        table.AddEntry(SymbolPeriodicity{p, l, static_cast<SymbolId>(k), f2,
+                                         pairs, confidence});
+      }
+    }
+    if (any) table.AddSummary(summary);
+  }
+  table.SortCanonical();
+  return table;
+}
+
+}  // namespace periodica

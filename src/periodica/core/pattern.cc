@@ -1,0 +1,83 @@
+#include "periodica/core/pattern.h"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "periodica/util/logging.h"
+
+namespace periodica {
+
+std::size_t PeriodicPattern::NumFixed() const {
+  std::size_t fixed = 0;
+  for (const auto& slot : slots_) {
+    if (slot.has_value()) ++fixed;
+  }
+  return fixed;
+}
+
+std::string PeriodicPattern::ToString(const Alphabet& alphabet) const {
+  bool single_letter = true;
+  for (std::size_t k = 0; k < alphabet.size(); ++k) {
+    if (alphabet.name(static_cast<SymbolId>(k)).size() != 1) {
+      single_letter = false;
+      break;
+    }
+  }
+  std::string out;
+  for (std::size_t l = 0; l < slots_.size(); ++l) {
+    if (!single_letter && l > 0) out += ' ';
+    if (slots_[l].has_value()) {
+      out += alphabet.name(*slots_[l]);
+    } else {
+      out += '*';
+    }
+  }
+  return out;
+}
+
+std::optional<PeriodicPattern> PeriodicPattern::FromString(
+    std::string_view text, const Alphabet& alphabet) {
+  std::vector<std::optional<SymbolId>> slots;
+  slots.reserve(text.size());
+  for (const char c : text) {
+    if (c == '*') {
+      slots.emplace_back(std::nullopt);
+      continue;
+    }
+    const auto id = alphabet.Find(std::string(1, c));
+    if (!id.ok()) return std::nullopt;
+    slots.emplace_back(*id);
+  }
+  return PeriodicPattern(std::move(slots));
+}
+
+std::uint64_t MinimumSupportCount(double min_support, std::uint64_t total) {
+  const double raw = min_support * static_cast<double>(total);
+  const double adjusted = std::ceil(raw - 1e-9);
+  return adjusted <= 0.0 ? 0 : static_cast<std::uint64_t>(adjusted);
+}
+
+std::vector<ScoredPattern> PatternSet::ForPeriod(std::size_t period) const {
+  std::vector<ScoredPattern> out;
+  for (const ScoredPattern& scored : patterns_) {
+    if (scored.pattern.period() == period) out.push_back(scored);
+  }
+  return out;
+}
+
+void PatternSet::SortCanonical() {
+  std::sort(patterns_.begin(), patterns_.end(),
+            [](const ScoredPattern& a, const ScoredPattern& b) {
+              const std::size_t period_a = a.pattern.period();
+              const std::size_t period_b = b.pattern.period();
+              const std::size_t fixed_a = a.pattern.NumFixed();
+              const std::size_t fixed_b = b.pattern.NumFixed();
+              if (period_a != period_b) return period_a < period_b;
+              if (fixed_a != fixed_b) return fixed_a > fixed_b;
+              if (a.support != b.support) return a.support > b.support;
+              return a.pattern.slots() < b.pattern.slots();
+            });
+}
+
+}  // namespace periodica

@@ -1,0 +1,102 @@
+#ifndef PERIODICA_CORE_PATTERN_H_
+#define PERIODICA_CORE_PATTERN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "periodica/series/alphabet.h"
+
+namespace periodica {
+
+/// A periodic pattern of some period p: one slot per position l in [0, p),
+/// each either a fixed symbol or the don't-care symbol '*' (Definition 2/3).
+class PeriodicPattern {
+ public:
+  PeriodicPattern() = default;
+
+  /// All-don't-care pattern of the given period.
+  explicit PeriodicPattern(std::size_t period) : slots_(period) {}
+
+  explicit PeriodicPattern(std::vector<std::optional<SymbolId>> slots)
+      : slots_(std::move(slots)) {}
+
+  std::size_t period() const { return slots_.size(); }
+  const std::vector<std::optional<SymbolId>>& slots() const { return slots_; }
+
+  bool IsDontCare(std::size_t position) const {
+    return !slots_[position].has_value();
+  }
+  std::optional<SymbolId> At(std::size_t position) const {
+    return slots_[position];
+  }
+  void SetSlot(std::size_t position, SymbolId symbol) {
+    slots_[position] = symbol;
+  }
+  void ClearSlot(std::size_t position) { slots_[position].reset(); }
+
+  /// Number of non-don't-care slots.
+  std::size_t NumFixed() const;
+
+  /// Renders e.g. "ab*" for period 3 with a at 0, b at 1 (single-letter
+  /// alphabets; longer names are space-separated).
+  std::string ToString(const Alphabet& alphabet) const;
+
+  /// Parses the ToString single-letter format back into a pattern ('*' means
+  /// don't care).
+  static std::optional<PeriodicPattern> FromString(std::string_view text,
+                                                   const Alphabet& alphabet);
+
+  friend bool operator==(const PeriodicPattern& a,
+                         const PeriodicPattern& b) = default;
+
+ private:
+  std::vector<std::optional<SymbolId>> slots_;
+};
+
+/// A pattern with its estimated support.
+struct ScoredPattern {
+  PeriodicPattern pattern;
+  /// For single-symbol patterns: Definition 2's F2-based estimate. For
+  /// multi-symbol patterns: |W'_p| / floor(n/p), the alignment-based estimate
+  /// of Sect. 3.2.
+  double support = 0.0;
+  /// Numerator of the estimate (consecutive occurrences / aligned tuples).
+  std::uint64_t count = 0;
+
+  friend bool operator==(const ScoredPattern& a,
+                         const ScoredPattern& b) = default;
+};
+
+/// Smallest integer count that satisfies `count / total >= min_support`,
+/// tolerant of binary floating-point (e.g. min_support 0.2 over 10
+/// occurrences demands 2, not ceil(2.0000000000000004) = 3). Shared by every
+/// pattern miner so support boundaries are consistent across them.
+std::uint64_t MinimumSupportCount(double min_support, std::uint64_t total);
+
+/// The periodic patterns emitted for one or more periods, ordered by
+/// (period, more fixed slots first, support descending).
+class PatternSet {
+ public:
+  PatternSet() = default;
+
+  void Add(ScoredPattern pattern) { patterns_.push_back(std::move(pattern)); }
+  void set_truncated(bool truncated) { truncated_ = truncated; }
+
+  const std::vector<ScoredPattern>& patterns() const { return patterns_; }
+  bool empty() const { return patterns_.empty(); }
+  std::size_t size() const { return patterns_.size(); }
+  bool truncated() const { return truncated_; }
+
+  std::vector<ScoredPattern> ForPeriod(std::size_t period) const;
+
+  void SortCanonical();
+
+ private:
+  std::vector<ScoredPattern> patterns_;
+  bool truncated_ = false;
+};
+
+}  // namespace periodica
+
+#endif  // PERIODICA_CORE_PATTERN_H_

@@ -1,0 +1,177 @@
+#include "periodica/core/pattern_miner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "periodica/util/bitset.h"
+#include "periodica/util/logging.h"
+
+namespace periodica {
+
+namespace {
+
+/// Depth-first enumerator over the Cartesian product of Definition 3,
+/// carrying the AND of the chosen slots' aligned-occurrence bitsets.
+class PatternSearch {
+ public:
+  PatternSearch(const SymbolSeries& series, std::size_t period,
+                const std::vector<std::vector<SymbolId>>& symbol_sets,
+                const PatternMinerOptions& options, PatternSet* out)
+      : series_(series),
+        period_(period),
+        symbol_sets_(symbol_sets),
+        options_(options),
+        out_(out),
+        occurrences_(series.size() / period),
+        min_count_(MinimumSupportCount(options.min_support,
+                                       series.size() / period)),
+        current_(period) {}
+
+  void Run() {
+    if (occurrences_ == 0) return;
+    BuildOccurrenceBitsets();
+    if (options_.include_single_symbol) EmitSingleSymbolPatterns();
+
+    DynamicBitset all(occurrences_);
+    for (std::size_t m = 0; m < occurrences_; ++m) all.Set(m);
+    Descend(0, all, 0);
+    out_->SortCanonical();
+  }
+
+ private:
+  void BuildOccurrenceBitsets() {
+    // aligned_[index of (l, s)] bit m set iff t_{l+mp} == t_{l+(m+1)p} == s,
+    // i.e. the fixed slot (l, s) holds at pattern occurrence m and persists
+    // into occurrence m+1 (the W'_p alignment of Sect. 3.2).
+    const std::size_t n = series_.size();
+    aligned_.clear();
+    slot_index_.assign(period_ + 1, 0);
+    for (std::size_t l = 0; l < period_; ++l) {
+      slot_index_[l] = aligned_.size();
+      for (const SymbolId s : symbol_sets_[l]) {
+        DynamicBitset bits(occurrences_);
+        for (std::size_t m = 0; m < occurrences_; ++m) {
+          const std::size_t i = l + m * period_;
+          if (i + period_ >= n) break;
+          if (series_[i] == s && series_[i + period_] == s) bits.Set(m);
+        }
+        aligned_.push_back(std::move(bits));
+      }
+    }
+    slot_index_[period_] = aligned_.size();
+  }
+
+  void EmitSingleSymbolPatterns() {
+    for (std::size_t l = 0; l < period_; ++l) {
+      const std::uint64_t pairs =
+          ProjectionPairCount(series_.size(), period_, l);
+      if (pairs == 0) continue;
+      for (const SymbolId s : symbol_sets_[l]) {
+        const std::uint64_t f2 = F2Projection(series_, s, period_, l);
+        const double support =
+            static_cast<double>(f2) / static_cast<double>(pairs);
+        if (support + 1e-12 < options_.min_support) continue;
+        PeriodicPattern pattern(period_);
+        pattern.SetSlot(l, s);
+        Emit(ScoredPattern{std::move(pattern), support, f2});
+      }
+    }
+  }
+
+  void Descend(std::size_t l, const DynamicBitset& acc,
+               std::size_t fixed_count) {
+    if (truncated_) return;
+    if (l == period_) {
+      if (fixed_count >= 2) {
+        const std::uint64_t count = acc.Count();
+        Emit(ScoredPattern{
+            current_, static_cast<double>(count) /
+                          static_cast<double>(occurrences_),
+            count});
+      }
+      return;
+    }
+    // Don't-care at position l.
+    Descend(l + 1, acc, fixed_count);
+    // Each candidate symbol at position l; the AND with its aligned set can
+    // only shrink, so branches below min_count_ are pruned (Apriori).
+    for (std::size_t idx = slot_index_[l]; idx < slot_index_[l + 1]; ++idx) {
+      DynamicBitset next = acc;
+      next &= aligned_[idx];
+      if (next.Count() < min_count_) continue;
+      current_.SetSlot(l, symbol_sets_[l][idx - slot_index_[l]]);
+      Descend(l + 1, next, fixed_count + 1);
+      current_.ClearSlot(l);
+    }
+  }
+
+  void Emit(ScoredPattern scored) {
+    if (out_->size() >= options_.max_patterns) {
+      truncated_ = true;
+      out_->set_truncated(true);
+      return;
+    }
+    out_->Add(std::move(scored));
+  }
+
+  const SymbolSeries& series_;
+  const std::size_t period_;
+  const std::vector<std::vector<SymbolId>>& symbol_sets_;
+  const PatternMinerOptions& options_;
+  PatternSet* out_;
+  const std::size_t occurrences_;  ///< floor(n / p)
+  const std::uint64_t min_count_;
+  PeriodicPattern current_;
+  std::vector<DynamicBitset> aligned_;
+  std::vector<std::size_t> slot_index_;
+  bool truncated_ = false;
+};
+
+}  // namespace
+
+Result<PatternSet> MinePatternsForPeriod(
+    const SymbolSeries& series, std::size_t period,
+    const std::vector<std::vector<SymbolId>>& symbol_sets,
+    const PatternMinerOptions& options) {
+  if (period < 1 || period >= series.size()) {
+    return Status::InvalidArgument("period must be in [1, n)");
+  }
+  if (symbol_sets.size() != period) {
+    return Status::InvalidArgument("symbol_sets must have `period` entries");
+  }
+  if (options.min_support <= 0.0 || options.min_support > 1.0) {
+    return Status::InvalidArgument("min_support must be in (0, 1]");
+  }
+  PatternSet out;
+  PatternSearch(series, period, symbol_sets, options, &out).Run();
+  return out;
+}
+
+Result<PatternSet> MinePatternsForPeriod(const SymbolSeries& series,
+                                         std::size_t period,
+                                         double periodicity_threshold,
+                                         const PatternMinerOptions& options) {
+  if (period < 1 || period >= series.size()) {
+    return Status::InvalidArgument("period must be in [1, n)");
+  }
+  if (periodicity_threshold <= 0.0 || periodicity_threshold > 1.0) {
+    return Status::InvalidArgument("threshold must be in (0, 1]");
+  }
+  // Exact Definition-1 detection for this single period.
+  std::vector<std::vector<SymbolId>> sets(period);
+  for (std::size_t l = 0; l < period; ++l) {
+    const std::uint64_t pairs = ProjectionPairCount(series.size(), period, l);
+    if (pairs == 0) continue;
+    for (std::size_t k = 0; k < series.alphabet().size(); ++k) {
+      const SymbolId s = static_cast<SymbolId>(k);
+      const std::uint64_t f2 = F2Projection(series, s, period, l);
+      if (static_cast<double>(f2) >=
+          periodicity_threshold * static_cast<double>(pairs) - 1e-12) {
+        if (f2 > 0) sets[l].push_back(s);
+      }
+    }
+  }
+  return MinePatternsForPeriod(series, period, sets, options);
+}
+
+}  // namespace periodica

@@ -1,0 +1,53 @@
+#ifndef PERIODICA_CORE_PATTERN_MINER_H_
+#define PERIODICA_CORE_PATTERN_MINER_H_
+
+#include <vector>
+
+#include "periodica/core/pattern.h"
+#include "periodica/core/periodicity.h"
+#include "periodica/series/series.h"
+#include "periodica/util/result.h"
+
+namespace periodica {
+
+/// Options for the pattern-forming stage (Definitions 2 and 3).
+struct PatternMinerOptions {
+  /// Minimum support for an emitted pattern, in (0, 1].
+  double min_support = 0.5;
+  /// Cap on emitted patterns; sets PatternSet::truncated() when hit.
+  std::size_t max_patterns = 100000;
+  /// Emit single-symbol patterns (Definition 2) alongside multi-symbol ones.
+  bool include_single_symbol = true;
+};
+
+/// Forms the candidate periodic patterns of one period from the detected
+/// symbol sets S_{p,l} (Definition 3) and estimates their supports:
+///
+///  * single-symbol patterns use Definition 2's estimate
+///    F2(s, pi_{p,l}(T)) / (ceil((n-l)/p) - 1);
+///  * multi-symbol patterns use the W'_p alignment estimate of Sect. 3.2,
+///    |W'_p| / floor(n/p): the number of pattern occurrences m at which every
+///    fixed slot's symbol reappears after p timestamps.
+///
+/// Instead of materializing the full Cartesian product, candidates are
+/// enumerated depth-first with Apriori-style pruning: fixing one more slot
+/// can only shrink the aligned-occurrence set, so any branch whose current
+/// support is already below min_support is cut. `symbol_sets` must come from
+/// PeriodicityTable::SymbolSets(period) (or be any per-position candidate
+/// sets of size `period`).
+Result<PatternSet> MinePatternsForPeriod(
+    const SymbolSeries& series, std::size_t period,
+    const std::vector<std::vector<SymbolId>>& symbol_sets,
+    const PatternMinerOptions& options);
+
+/// Convenience overload: detects the symbol sets itself by scanning the
+/// series once for the given period (exact Definition 1 with threshold
+/// `periodicity_threshold`), then mines patterns.
+Result<PatternSet> MinePatternsForPeriod(const SymbolSeries& series,
+                                         std::size_t period,
+                                         double periodicity_threshold,
+                                         const PatternMinerOptions& options);
+
+}  // namespace periodica
+
+#endif  // PERIODICA_CORE_PATTERN_MINER_H_

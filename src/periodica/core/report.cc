@@ -1,0 +1,95 @@
+#include "periodica/core/report.h"
+
+#include <string>
+#include <vector>
+
+#include "periodica/util/table.h"
+
+namespace periodica {
+
+namespace {
+
+void EmitRows(const std::vector<std::string>& header,
+              const std::vector<std::vector<std::string>>& rows,
+              ReportFormat format, std::ostream& os) {
+  if (format == ReportFormat::kCsv) {
+    os << Join(header, ",") << '\n';
+    for (const auto& row : rows) os << Join(row, ",") << '\n';
+    return;
+  }
+  TextTable table(header);
+  for (const auto& row : rows) {
+    table.AddRow(row);
+  }
+  table.Print(os);
+}
+
+}  // namespace
+
+Status RenderMiningResult(const MiningResult& result, const Alphabet& alphabet,
+                          const ReportOptions& options, std::ostream& os) {
+  for (const SymbolPeriodicity& entry : result.periodicities.entries()) {
+    if (static_cast<std::size_t>(entry.symbol) >= alphabet.size()) {
+      return Status::InvalidArgument(
+          "alphabet does not cover the result's symbols");
+    }
+  }
+  const auto cap = [&options](std::size_t rows) {
+    return options.max_rows != 0 && rows >= options.max_rows;
+  };
+
+  if (options.include_summaries) {
+    std::vector<std::vector<std::string>> rows;
+    for (const PeriodSummary& summary : result.periodicities.summaries()) {
+      if (cap(rows.size())) break;
+      rows.push_back({std::to_string(summary.period),
+                      FormatDouble(summary.best_confidence, 3),
+                      std::to_string(summary.num_periodicities),
+                      alphabet.name(summary.best_symbol),
+                      std::to_string(summary.best_position),
+                      summary.aggregate_only ? "upper-bound" : "exact"});
+    }
+    os << "# periods (" << result.periodicities.summaries().size() << ")\n";
+    EmitRows({"period", "confidence", "periodicities", "best_symbol",
+              "best_position", "kind"},
+             rows, options.format, os);
+    os << '\n';
+  }
+
+  if (options.include_entries && !result.periodicities.entries().empty()) {
+    std::vector<std::vector<std::string>> rows;
+    for (const SymbolPeriodicity& entry : result.periodicities.entries()) {
+      if (cap(rows.size())) break;
+      rows.push_back({std::to_string(entry.period),
+                      std::to_string(entry.position),
+                      alphabet.name(entry.symbol),
+                      std::to_string(entry.f2), std::to_string(entry.pairs),
+                      FormatDouble(entry.confidence, 3)});
+    }
+    os << "# symbol periodicities (" << result.periodicities.entries().size()
+       << (result.periodicities.truncated() ? ", truncated" : "") << ")\n";
+    EmitRows({"period", "position", "symbol", "f2", "pairs", "confidence"},
+             rows, options.format, os);
+    os << '\n';
+  }
+
+  if (options.include_patterns && !result.patterns.empty()) {
+    std::vector<std::vector<std::string>> rows;
+    for (const ScoredPattern& scored : result.patterns.patterns()) {
+      if (cap(rows.size())) break;
+      rows.push_back({scored.pattern.ToString(alphabet),
+                      std::to_string(scored.pattern.period()),
+                      std::to_string(scored.pattern.NumFixed()),
+                      std::to_string(scored.count),
+                      FormatDouble(scored.support, 3)});
+    }
+    os << "# patterns (" << result.patterns.size()
+       << (result.patterns.truncated() ? ", truncated" : "") << ")\n";
+    EmitRows({"pattern", "period", "fixed", "count", "support"}, rows,
+             options.format, os);
+    os << '\n';
+  }
+  return Status::OK();
+}
+
+}  // namespace periodica

@@ -1,0 +1,36 @@
+#ifndef PERIODICA_CORE_REPORT_H_
+#define PERIODICA_CORE_REPORT_H_
+
+#include <ostream>
+
+#include "periodica/core/miner.h"
+#include "periodica/series/alphabet.h"
+#include "periodica/util/status.h"
+
+namespace periodica {
+
+/// How RenderMiningResult lays out its output.
+enum class ReportFormat {
+  kText,  ///< aligned human-readable tables
+  kCsv,   ///< machine-readable: one section per block, comma-separated
+};
+
+/// Options for report rendering.
+struct ReportOptions {
+  ReportFormat format = ReportFormat::kText;
+  /// Cap on detailed rows per section (0 = unlimited).
+  std::size_t max_rows = 0;
+  bool include_summaries = true;
+  bool include_entries = true;
+  bool include_patterns = true;
+};
+
+/// Writes a mining result as text or CSV: a per-period summary block, the
+/// per-(symbol, position) periodicity entries, and the scored patterns.
+/// `alphabet` names the symbols (use the mined series' alphabet).
+Status RenderMiningResult(const MiningResult& result, const Alphabet& alphabet,
+                          const ReportOptions& options, std::ostream& os);
+
+}  // namespace periodica
+
+#endif  // PERIODICA_CORE_REPORT_H_

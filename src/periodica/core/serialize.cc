@@ -1,0 +1,162 @@
+#include "periodica/core/serialize.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+namespace periodica {
+
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream stream(line);
+  while (std::getline(stream, cell, ',')) cells.push_back(cell);
+  return cells;
+}
+
+Result<std::uint64_t> ParseCount(const std::string& text,
+                                 const std::string& context) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long long value = std::stoull(text, &pos);
+    if (pos != text.size()) {
+      return Status::InvalidArgument(context + ": not a count: '" + text +
+                                     "'");
+    }
+    return static_cast<std::uint64_t>(value);
+  } catch (const std::logic_error&) {
+    // stoull signals malformed/overflowing input by throwing; map to the
+    // library's Status-based error model at this boundary.
+    return Status::InvalidArgument(context + ": not a count: '" + text + "'");
+  }
+}
+
+}  // namespace
+
+Status WritePeriodicityCsv(const PeriodicityTable& table,
+                           const Alphabet& alphabet,
+                           const std::string& path) {
+  for (const SymbolPeriodicity& entry : table.entries()) {
+    if (static_cast<std::size_t>(entry.symbol) >= alphabet.size()) {
+      return Status::InvalidArgument("entry symbol outside the alphabet");
+    }
+  }
+  std::ofstream file(path);
+  if (!file) return Status::IOError("cannot open '" + path + "' for writing");
+  file << "period,position,symbol,f2,pairs\n";
+  for (const SymbolPeriodicity& entry : table.entries()) {
+    file << entry.period << ',' << entry.position << ','
+         << alphabet.name(entry.symbol) << ',' << entry.f2 << ','
+         << entry.pairs << '\n';
+  }
+  if (!file) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<PeriodicityTable> ReadPeriodicityCsv(const std::string& path,
+                                            const Alphabet& alphabet) {
+  std::ifstream file(path);
+  if (!file) return Status::IOError("cannot open '" + path + "'");
+  PeriodicityTable table;
+  std::string line;
+  std::size_t line_number = 0;
+  // Accumulate summaries per period as entries stream in.
+  while (std::getline(file, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    if (line_number == 1 && line.rfind("period,", 0) == 0) continue;
+    const std::string context = path + ":" + std::to_string(line_number);
+    const std::vector<std::string> cells = SplitLine(line);
+    if (cells.size() != 5) {
+      return Status::InvalidArgument(context + ": expected 5 cells");
+    }
+    PERIODICA_ASSIGN_OR_RETURN(const std::uint64_t period,
+                               ParseCount(cells[0], context));
+    PERIODICA_ASSIGN_OR_RETURN(const std::uint64_t position,
+                               ParseCount(cells[1], context));
+    PERIODICA_ASSIGN_OR_RETURN(const SymbolId symbol,
+                               alphabet.Find(cells[2]));
+    PERIODICA_ASSIGN_OR_RETURN(const std::uint64_t f2,
+                               ParseCount(cells[3], context));
+    PERIODICA_ASSIGN_OR_RETURN(const std::uint64_t pairs,
+                               ParseCount(cells[4], context));
+    if (period == 0 || position >= period || pairs == 0 || f2 > pairs) {
+      return Status::InvalidArgument(context + ": inconsistent entry");
+    }
+    table.AddEntry(SymbolPeriodicity{
+        static_cast<std::size_t>(period), static_cast<std::size_t>(position),
+        symbol, f2, pairs,
+        static_cast<double>(f2) / static_cast<double>(pairs)});
+  }
+  table.RebuildSummariesFromEntries();
+  return table;
+}
+
+Status WritePatternCsv(const PatternSet& patterns, const Alphabet& alphabet,
+                       const std::string& path) {
+  for (std::size_t k = 0; k < alphabet.size(); ++k) {
+    if (alphabet.name(static_cast<SymbolId>(k)).size() != 1) {
+      return Status::InvalidArgument(
+          "pattern CSV requires a single-letter alphabet");
+    }
+  }
+  std::ofstream file(path);
+  if (!file) return Status::IOError("cannot open '" + path + "' for writing");
+  file << "pattern,period,count,support\n";
+  file << std::setprecision(17);  // round-trip doubles exactly
+  for (const ScoredPattern& scored : patterns.patterns()) {
+    file << scored.pattern.ToString(alphabet) << ','
+         << scored.pattern.period() << ',' << scored.count << ','
+         << scored.support << '\n';
+  }
+  if (!file) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<PatternSet> ReadPatternCsv(const std::string& path,
+                                  const Alphabet& alphabet) {
+  std::ifstream file(path);
+  if (!file) return Status::IOError("cannot open '" + path + "'");
+  PatternSet patterns;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(file, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    if (line_number == 1 && line.rfind("pattern,", 0) == 0) continue;
+    const std::string context = path + ":" + std::to_string(line_number);
+    const std::vector<std::string> cells = SplitLine(line);
+    if (cells.size() != 4) {
+      return Status::InvalidArgument(context + ": expected 4 cells");
+    }
+    const auto pattern = PeriodicPattern::FromString(cells[0], alphabet);
+    if (!pattern.has_value()) {
+      return Status::InvalidArgument(context + ": bad pattern '" + cells[0] +
+                                     "'");
+    }
+    PERIODICA_ASSIGN_OR_RETURN(const std::uint64_t period,
+                               ParseCount(cells[1], context));
+    if (pattern->period() != period) {
+      return Status::InvalidArgument(context + ": period mismatch");
+    }
+    PERIODICA_ASSIGN_OR_RETURN(const std::uint64_t count,
+                               ParseCount(cells[2], context));
+    double support = 0.0;
+    try {
+      std::size_t pos = 0;
+      support = std::stod(cells[3], &pos);
+      if (pos != cells[3].size()) throw std::invalid_argument("trailing");
+    } catch (const std::logic_error&) {
+      return Status::InvalidArgument(context + ": bad support '" + cells[3] +
+                                     "'");
+    }
+    patterns.Add(ScoredPattern{*pattern, support, count});
+  }
+  patterns.SortCanonical();
+  return patterns;
+}
+
+}  // namespace periodica

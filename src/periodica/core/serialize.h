@@ -1,0 +1,39 @@
+#ifndef PERIODICA_CORE_SERIALIZE_H_
+#define PERIODICA_CORE_SERIALIZE_H_
+
+#include <string>
+
+#include "periodica/core/pattern.h"
+#include "periodica/core/periodicity.h"
+#include "periodica/series/alphabet.h"
+#include "periodica/util/result.h"
+
+namespace periodica {
+
+/// Persistence for mining results, so detection and analysis can run as
+/// separate pipeline stages (mine once on the big machine, slice the CSVs
+/// anywhere). Formats are the plain CSVs RenderMiningResult's kCsv emits for
+/// the corresponding sections, one section per file, with a header row.
+
+/// Writes entries as "period,position,symbol,f2,pairs" rows (confidence is
+/// derived, not stored). Symbols are written by name.
+Status WritePeriodicityCsv(const PeriodicityTable& table,
+                           const Alphabet& alphabet, const std::string& path);
+
+/// Reads a file written by WritePeriodicityCsv; recomputes confidences and
+/// per-period summaries.
+Result<PeriodicityTable> ReadPeriodicityCsv(const std::string& path,
+                                            const Alphabet& alphabet);
+
+/// Writes patterns as "pattern,period,count,support" rows using the
+/// single-letter rendering (requires a single-letter alphabet).
+Status WritePatternCsv(const PatternSet& patterns, const Alphabet& alphabet,
+                       const std::string& path);
+
+/// Reads a file written by WritePatternCsv.
+Result<PatternSet> ReadPatternCsv(const std::string& path,
+                                  const Alphabet& alphabet);
+
+}  // namespace periodica
+
+#endif  // PERIODICA_CORE_SERIALIZE_H_

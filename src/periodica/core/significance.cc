@@ -1,0 +1,91 @@
+#include "periodica/core/significance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace periodica {
+
+namespace {
+
+/// log of the Binomial(trials, prob) pmf at k, via lgamma.
+double LogBinomialPmf(std::uint64_t trials, double prob, std::uint64_t k) {
+  const double n = static_cast<double>(trials);
+  const double x = static_cast<double>(k);
+  return std::lgamma(n + 1.0) - std::lgamma(x + 1.0) -
+         std::lgamma(n - x + 1.0) + x * std::log(prob) +
+         (n - x) * std::log1p(-prob);
+}
+
+}  // namespace
+
+double LogBinomialUpperTail(std::uint64_t trials, double prob,
+                            std::uint64_t observed) {
+  if (observed == 0) return 0.0;
+  if (observed > trials) return -std::numeric_limits<double>::infinity();
+  if (prob <= 0.0) return -std::numeric_limits<double>::infinity();
+  if (prob >= 1.0) return 0.0;
+
+  // Sum P[X = k] for k = observed..trials in log space, anchored at the
+  // first (largest, since observed is in the upper tail for our use) term.
+  // Terms are accumulated until they stop contributing at double precision.
+  const double anchor = LogBinomialPmf(trials, prob, observed);
+  double sum = 1.0;  // the anchor term itself, factored out
+  double log_term = 0.0;
+  for (std::uint64_t k = observed + 1; k <= trials; ++k) {
+    // P[X=k] / P[X=k-1] = (n-k+1)/k * p/(1-p).
+    const double ratio =
+        (static_cast<double>(trials - k + 1) / static_cast<double>(k)) *
+        (prob / (1.0 - prob));
+    log_term += std::log(ratio);
+    const double term = std::exp(log_term);
+    sum += term;
+    if (term < 1e-18 * sum) break;
+  }
+  return anchor + std::log(sum);
+}
+
+double PeriodicityLogPValue(const SymbolPeriodicity& entry,
+                            double symbol_frequency) {
+  const double null_prob = symbol_frequency * symbol_frequency;
+  return LogBinomialUpperTail(entry.pairs, null_prob, entry.f2);
+}
+
+Result<std::vector<SignificantPeriodicity>> FilterSignificant(
+    const PeriodicityTable& table, const SymbolSeries& series,
+    const SignificanceOptions& options) {
+  if (series.empty()) {
+    return Status::InvalidArgument("series must be non-empty");
+  }
+  if (options.max_p_value <= 0.0 || options.max_p_value > 1.0) {
+    return Status::InvalidArgument("max_p_value must be in (0, 1]");
+  }
+  std::vector<double> frequency(series.alphabet().size(), 0.0);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    frequency[series[i]] += 1.0;
+  }
+  for (double& value : frequency) {
+    value /= static_cast<double>(series.size());
+  }
+
+  const double log_cutoff = std::log(options.max_p_value);
+  std::vector<SignificantPeriodicity> significant;
+  for (const SymbolPeriodicity& entry : table.entries()) {
+    if (static_cast<std::size_t>(entry.symbol) >= frequency.size()) {
+      return Status::InvalidArgument(
+          "table's symbols do not fit the series' alphabet");
+    }
+    const double log_p = PeriodicityLogPValue(entry, frequency[entry.symbol]);
+    if (log_p <= log_cutoff) {
+      significant.push_back(SignificantPeriodicity{entry, log_p});
+    }
+  }
+  std::sort(significant.begin(), significant.end(),
+            [](const SignificantPeriodicity& a,
+               const SignificantPeriodicity& b) {
+              return a.log_p_value < b.log_p_value;
+            });
+  return significant;
+}
+
+}  // namespace periodica

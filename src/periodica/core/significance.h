@@ -1,0 +1,63 @@
+#ifndef PERIODICA_CORE_SIGNIFICANCE_H_
+#define PERIODICA_CORE_SIGNIFICANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "periodica/core/periodicity.h"
+#include "periodica/series/series.h"
+#include "periodica/util/result.h"
+
+namespace periodica {
+
+/// Statistical screening of detected periodicities.
+///
+/// Definition 1 is purely frequency-based, so on data with no periodic
+/// structure it still reports every (symbol, period, position) whose
+/// confidence clears the threshold by chance — the effect behind the paper's
+/// hard-to-explain 123-day period and behind the large-period noise any user
+/// of the miner meets (see Table 1's bench). `min_pairs` bounds the evidence
+/// quantity; this module bounds the evidence *quality*: under the null
+/// hypothesis that the series is i.i.d. with the observed symbol
+/// frequencies, F2(s, pi_{p,l}) is approximately Binomial(pairs, q_s^2)
+/// with q_s the symbol's empirical frequency (adjacent pairs share one
+/// element, so trials are weakly dependent; the binomial tail is the
+/// standard approximation and errs conservative for the small q of
+/// interest). An entry is significant when the upper-tail probability of
+/// its F2 count is below `max_p_value`.
+
+/// log P[X >= observed] for X ~ Binomial(trials, prob), computed exactly by
+/// tail summation in log space. Returns 0.0 (probability 1) when
+/// observed == 0 and -infinity when prob == 0 and observed > 0.
+double LogBinomialUpperTail(std::uint64_t trials, double prob,
+                            std::uint64_t observed);
+
+/// Natural-log p-value of one detected periodicity given the symbol's
+/// empirical frequency in the mined series.
+double PeriodicityLogPValue(const SymbolPeriodicity& entry,
+                            double symbol_frequency);
+
+/// Options for FilterSignificant.
+struct SignificanceOptions {
+  /// Keep entries with p-value below this (before multiple-testing
+  /// considerations; detection sweeps sigma * p * n/2 hypotheses, so
+  /// defaults are strict).
+  double max_p_value = 1e-6;
+};
+
+/// One screened periodicity.
+struct SignificantPeriodicity {
+  SymbolPeriodicity entry;
+  double log_p_value = 0.0;
+};
+
+/// Screens a table's entries against the i.i.d. null fitted on `series`
+/// (the same series the table was mined from). Output is sorted by
+/// ascending p-value (most surprising first).
+Result<std::vector<SignificantPeriodicity>> FilterSignificant(
+    const PeriodicityTable& table, const SymbolSeries& series,
+    const SignificanceOptions& options = {});
+
+}  // namespace periodica
+
+#endif  // PERIODICA_CORE_SIGNIFICANCE_H_

@@ -1,0 +1,113 @@
+#include "periodica/core/streaming_detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "periodica/core/detail.h"
+#include "periodica/util/logging.h"
+
+namespace periodica {
+
+StreamingPeriodDetector::StreamingPeriodDetector(Alphabet alphabet,
+                                                 Options options)
+    : alphabet_(std::move(alphabet)), options_(options) {
+  correlators_.reserve(alphabet_.size());
+  for (std::size_t k = 0; k < alphabet_.size(); ++k) {
+    correlators_.emplace_back(options_.max_period, options_.block_size);
+  }
+}
+
+Result<StreamingPeriodDetector> StreamingPeriodDetector::Create(
+    Alphabet alphabet, Options options) {
+  if (alphabet.size() == 0) {
+    return Status::InvalidArgument("alphabet must be non-empty");
+  }
+  if (options.max_period < 1) {
+    return Status::InvalidArgument("max_period must be >= 1");
+  }
+  return StreamingPeriodDetector(std::move(alphabet), options);
+}
+
+void StreamingPeriodDetector::Append(SymbolId symbol) {
+  PERIODICA_DCHECK(static_cast<std::size_t>(symbol) < alphabet_.size());
+  for (std::size_t k = 0; k < correlators_.size(); ++k) {
+    const double value = k == static_cast<std::size_t>(symbol) ? 1.0 : 0.0;
+    correlators_[k].Append(std::span<const double>(&value, 1));
+  }
+  ++n_;
+}
+
+void StreamingPeriodDetector::Consume(SeriesStream* stream) {
+  PERIODICA_CHECK(stream != nullptr);
+  PERIODICA_CHECK(stream->alphabet() == alphabet_)
+      << "stream alphabet differs from the detector's";
+  while (const std::optional<SymbolId> symbol = stream->Next()) {
+    Append(*symbol);
+  }
+}
+
+PeriodicityTable StreamingPeriodDetector::Detect(double threshold,
+                                                 std::size_t min_period,
+                                                 std::size_t min_pairs) const {
+  PeriodicityTable table;
+  if (n_ < 2) return table;
+  const std::size_t max_period =
+      std::min(options_.max_period, n_ - 1);
+  min_period = std::max<std::size_t>(min_period, 1);
+
+  // Mirror of the FFT engine's periods-only mode over the bounded lags.
+  struct Candidate {
+    std::size_t period;
+    SymbolId symbol;
+    std::uint64_t matches;
+  };
+  std::vector<Candidate> candidates;
+  for (std::size_t k = 0; k < correlators_.size(); ++k) {
+    const std::vector<double> raw = correlators_[k].Lags();
+    for (std::size_t p = min_period;
+         p <= max_period && p < raw.size(); ++p) {
+      const long long rounded = std::llround(raw[p]);
+      if (rounded <= 0) continue;
+      if ((n_ + p - 1) / p - 1 < min_pairs) continue;
+      const std::uint64_t matches = static_cast<std::uint64_t>(rounded);
+      const double floor_pairs =
+          static_cast<double>(internal::MinPairCount(n_, p));
+      if (static_cast<double>(matches) + 1e-9 < threshold * floor_pairs) {
+        continue;
+      }
+      candidates.push_back(Candidate{p, static_cast<SymbolId>(k), matches});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return std::tie(a.period, a.symbol) <
+                     std::tie(b.period, b.symbol);
+            });
+  for (std::size_t start = 0; start < candidates.size();) {
+    std::size_t end = start;
+    PeriodSummary summary;
+    summary.period = candidates[start].period;
+    summary.aggregate_only = true;
+    const double floor_pairs =
+        static_cast<double>(internal::MinPairCount(n_, summary.period));
+    while (end < candidates.size() &&
+           candidates[end].period == summary.period) {
+      const double upper_bound = std::min(
+          1.0, static_cast<double>(candidates[end].matches) / floor_pairs);
+      if (upper_bound > summary.best_confidence) {
+        summary.best_confidence = upper_bound;
+        summary.best_symbol = candidates[end].symbol;
+        summary.best_position = 0;
+      }
+      ++summary.num_periodicities;
+      ++end;
+    }
+    table.AddSummary(summary);
+    start = end;
+  }
+  table.SortCanonical();
+  return table;
+}
+
+}  // namespace periodica

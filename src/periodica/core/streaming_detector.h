@@ -1,0 +1,72 @@
+#ifndef PERIODICA_CORE_STREAMING_DETECTOR_H_
+#define PERIODICA_CORE_STREAMING_DETECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "periodica/core/periodicity.h"
+#include "periodica/fft/chunked.h"
+#include "periodica/series/alphabet.h"
+#include "periodica/series/stream.h"
+#include "periodica/util/result.h"
+
+namespace periodica {
+
+/// One-pass candidate-period detection over an unbounded stream in bounded
+/// memory — the paper's data-streams motivation taken to its limit. The
+/// FFT engine already reads the input once but keeps the per-symbol
+/// indicator vectors (O(sigma * n) bits); this detector keeps only a
+/// BoundedLagAutocorrelator per symbol, O(sigma * (block + max_period))
+/// doubles *total*, independent of the stream length.
+///
+/// Because the stream is never stored, per-position refinement is
+/// impossible: Detect() returns the periods-only table with aggregate
+/// upper-bound confidences — exactly the detection phase the paper times in
+/// Fig. 5, and exactly what FftConvolutionMiner produces with
+/// `positions = false` (equality is property-tested). Feed the candidates
+/// into an OnlinePeriodicityTracker to recover exact per-position statistics
+/// from that point in the stream onward.
+class StreamingPeriodDetector {
+ public:
+  struct Options {
+    /// Largest period detectable; fixes the memory budget.
+    std::size_t max_period = 0;
+    /// Chunk size for the bounded correlators (0 = max(4*max_period, 4096)).
+    std::size_t block_size = 0;
+  };
+
+  static Result<StreamingPeriodDetector> Create(Alphabet alphabet,
+                                                Options options);
+
+  const Alphabet& alphabet() const { return alphabet_; }
+  std::size_t max_period() const { return options_.max_period; }
+  /// Symbols consumed so far.
+  std::size_t size() const { return n_; }
+
+  /// Feeds the next symbol.
+  void Append(SymbolId symbol);
+
+  /// Drains `stream` to exhaustion.
+  void Consume(SeriesStream* stream);
+
+  /// Candidate periods over everything consumed so far: every period in
+  /// [min_period, max_period] some symbol's aggregate match count could
+  /// satisfy Definition 1 at threshold `threshold` (the lossless aggregate
+  /// criterion of the FFT engine). Summaries carry upper-bound confidences
+  /// and are flagged `aggregate_only`.
+  PeriodicityTable Detect(double threshold, std::size_t min_period = 1,
+                          std::size_t min_pairs = 1) const;
+
+ private:
+  StreamingPeriodDetector(Alphabet alphabet, Options options);
+
+  Alphabet alphabet_;
+  Options options_;
+  std::vector<fft::BoundedLagAutocorrelator> correlators_;  // one per symbol
+  /// One-hot scratch row appended to each correlator per tick.
+  std::size_t n_ = 0;
+};
+
+}  // namespace periodica
+
+#endif  // PERIODICA_CORE_STREAMING_DETECTOR_H_

@@ -1,0 +1,131 @@
+#include "periodica/fft/chunked.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "periodica/fft/convolution.h"
+#include "periodica/util/logging.h"
+
+namespace periodica::fft {
+
+namespace {
+
+/// Adds to `acc[d]` (d = 0..max_lag) every pair (i, i+d) whose later element
+/// lies in `block`, given the `tail` of retained history immediately
+/// preceding it (y = tail ++ block). Two correlations cover all lags:
+///  * z = CrossCorrelation(block, y), z[p] = sum_i block[i] y[i+p]: the pair
+///    (y[j-d], block[j]) contributes at p = have - d, so lags d <= have come
+///    from z[have - d];
+///  * v = CrossCorrelation(y, block), v[q] = sum_i y[i] block[i+q]: the pair
+///    (y[i], block[i+q]) sits at global distance q + have regardless of
+///    whether y[i] is in the tail or the block, so lags d > have come from
+///    v[d - have]. (Only reachable while the retained tail is still shorter
+///    than max_lag, i.e. near the start of the stream.)
+void AccumulateBlock(const std::vector<double>& tail,
+                     std::span<const double> block, std::size_t max_lag,
+                     std::vector<double>* acc) {
+  if (block.empty()) return;
+  const std::size_t have = tail.size();
+  std::vector<double> joined;
+  joined.reserve(have + block.size());
+  joined.insert(joined.end(), tail.begin(), tail.end());
+  joined.insert(joined.end(), block.begin(), block.end());
+  const std::vector<double> z = CrossCorrelation(block, joined);
+  const std::size_t near_lags = std::min(max_lag, have);
+  for (std::size_t d = 0; d <= near_lags; ++d) {
+    (*acc)[d] += z[have - d];
+  }
+  if (have < max_lag) {
+    const std::vector<double> v = CrossCorrelation(joined, block);
+    const std::size_t far_lags =
+        std::min(max_lag, have + block.size() - 1);
+    for (std::size_t d = have + 1; d <= far_lags; ++d) {
+      (*acc)[d] += v[d - have];
+    }
+  }
+}
+
+}  // namespace
+
+BoundedLagAutocorrelator::BoundedLagAutocorrelator(std::size_t max_lag,
+                                                   std::size_t block_size)
+    : max_lag_(max_lag),
+      block_size_(block_size != 0 ? block_size
+                                  : std::max<std::size_t>(4 * max_lag, 4096)),
+      accumulated_(max_lag + 1, 0.0) {
+  PERIODICA_CHECK_GE(block_size_, 1u);
+  tail_.reserve(max_lag_);
+  pending_.reserve(block_size_);
+}
+
+void BoundedLagAutocorrelator::Append(std::span<const double> chunk) {
+  for (const double sample : chunk) {
+    pending_.push_back(sample);
+    if (pending_.size() >= block_size_) {
+      ProcessBuffered();
+    }
+  }
+}
+
+void BoundedLagAutocorrelator::ProcessBuffered() {
+  if (pending_.empty()) return;
+  AccumulateBlock(tail_, pending_, max_lag_, &accumulated_);
+
+  // Retain the last <= max_lag samples (tail ++ block) as the next tail.
+  if (max_lag_ > 0) {
+    std::vector<double> next_tail;
+    next_tail.reserve(max_lag_);
+    if (pending_.size() >= max_lag_) {
+      next_tail.assign(pending_.end() - static_cast<std::ptrdiff_t>(max_lag_),
+                       pending_.end());
+    } else {
+      const std::size_t from_tail = max_lag_ - pending_.size();
+      const std::size_t tail_start =
+          tail_.size() > from_tail ? tail_.size() - from_tail : 0;
+      next_tail.assign(tail_.begin() + static_cast<std::ptrdiff_t>(tail_start),
+                       tail_.end());
+      next_tail.insert(next_tail.end(), pending_.begin(), pending_.end());
+    }
+    tail_ = std::move(next_tail);
+  }
+  n_ += pending_.size();
+  pending_.clear();
+}
+
+std::vector<double> BoundedLagAutocorrelator::Lags() const {
+  std::vector<double> result = accumulated_;
+  if (!pending_.empty()) {
+    // Account for the buffered remainder without disturbing stream state.
+    AccumulateBlock(tail_, pending_, max_lag_, &result);
+  }
+  return result;
+}
+
+std::vector<std::uint64_t> BoundedLagBinaryAutocorrelation(
+    std::span<const std::uint8_t> indicator, std::size_t max_lag,
+    std::size_t block_size) {
+  BoundedLagAutocorrelator correlator(max_lag, block_size);
+  std::vector<double> buffer;
+  buffer.reserve(std::min<std::size_t>(indicator.size(), 1 << 16));
+  for (std::size_t start = 0; start < indicator.size();) {
+    const std::size_t end =
+        std::min(indicator.size(), start + std::size_t{1 << 16});
+    buffer.clear();
+    for (std::size_t i = start; i < end; ++i) {
+      buffer.push_back(static_cast<double>(indicator[i]));
+    }
+    correlator.Append(buffer);
+    start = end;
+  }
+  const std::vector<double> raw = correlator.Lags();
+  std::vector<std::uint64_t> counts(raw.size());
+  for (std::size_t d = 0; d < raw.size(); ++d) {
+    const long long rounded = std::llround(raw[d]);
+    PERIODICA_DCHECK(std::abs(raw[d] - static_cast<double>(rounded)) < 0.5)
+        << "accumulated FFT error too large at lag " << d;
+    counts[d] = rounded < 0 ? 0 : static_cast<std::uint64_t>(rounded);
+  }
+  return counts;
+}
+
+}  // namespace periodica::fft

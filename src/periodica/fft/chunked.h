@@ -1,0 +1,59 @@
+#ifndef PERIODICA_FFT_CHUNKED_H_
+#define PERIODICA_FFT_CHUNKED_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace periodica::fft {
+
+/// Streaming autocorrelation restricted to lags 0..max_lag, computed block
+/// by block with O(block + max_lag) working memory instead of O(n).
+///
+/// This is the in-core stand-in for the paper's external-memory remark
+/// (Sect. 3.1: "an external FFT algorithm [19] can be used for large sizes
+/// of databases mined while on disk"): when the interesting periods are
+/// bounded, a series far larger than memory can be mined by feeding it
+/// through in chunks — each block is correlated against itself plus the
+/// retained max_lag-sample tail of the prefix, so every pair (i, i+d) with
+/// d <= max_lag is counted exactly once.
+class BoundedLagAutocorrelator {
+ public:
+  /// `block_size` 0 picks max(4 * max_lag, 4096).
+  explicit BoundedLagAutocorrelator(std::size_t max_lag,
+                                    std::size_t block_size = 0);
+
+  std::size_t max_lag() const { return max_lag_; }
+  std::size_t block_size() const { return block_size_; }
+  /// Samples consumed so far.
+  std::size_t size() const { return n_; }
+
+  /// Feeds the next chunk (any length, including empty).
+  void Append(std::span<const double> chunk);
+
+  /// The autocorrelation r[d] = sum_i x_i x_{i+d} for d = 0..max_lag over
+  /// everything appended so far. May be called repeatedly; Append may
+  /// continue afterwards.
+  std::vector<double> Lags() const;
+
+ private:
+  void ProcessBuffered();
+
+  std::size_t max_lag_;
+  std::size_t block_size_;
+  std::vector<double> accumulated_;  // r[0..max_lag]
+  std::vector<double> tail_;        // last <= max_lag samples of the prefix
+  std::vector<double> pending_;     // buffered input < block_size
+  std::size_t n_ = 0;
+};
+
+/// Convenience: exact integer match counts of a 0/1 indicator at lags
+/// 0..max_lag via the bounded-memory path (counterpart of
+/// BinaryAutocorrelation for bounded lags).
+std::vector<std::uint64_t> BoundedLagBinaryAutocorrelation(
+    std::span<const std::uint8_t> indicator, std::size_t max_lag,
+    std::size_t block_size = 0);
+
+}  // namespace periodica::fft
+
+#endif  // PERIODICA_FFT_CHUNKED_H_

@@ -1,0 +1,102 @@
+#include "periodica/fft/convolution.h"
+
+#include <cmath>
+
+#include "periodica/fft/fft.h"
+#include "periodica/util/logging.h"
+
+namespace periodica::fft {
+
+std::vector<double> LinearConvolve(std::span<const double> x,
+                                   std::span<const double> y) {
+  if (x.empty() || y.empty()) return {};
+  const std::size_t out_len = x.size() + y.size() - 1;
+  const std::size_t n = NextPowerOfTwo(out_len);
+
+  // Pack x into the real lanes and y into the imaginary lanes; the spectra
+  // separate by conjugate symmetry, saving one full FFT.
+  std::vector<Complex> packed(n, Complex(0, 0));
+  for (std::size_t i = 0; i < x.size(); ++i) packed[i] += Complex(x[i], 0);
+  for (std::size_t i = 0; i < y.size(); ++i) packed[i] += Complex(0, y[i]);
+  const FftPlan& plan = GetPlan(n);
+  plan.Forward(packed.data());
+
+  std::vector<Complex> product(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const Complex z_k = packed[k];
+    const Complex z_conj = std::conj(packed[(n - k) % n]);
+    const Complex x_k = 0.5 * (z_k + z_conj);
+    const Complex y_k = Complex(0, -0.5) * (z_k - z_conj);
+    product[k] = x_k * y_k;
+  }
+  plan.Inverse(product.data());
+
+  std::vector<double> out(out_len);
+  for (std::size_t i = 0; i < out_len; ++i) out[i] = product[i].real();
+  return out;
+}
+
+std::vector<double> Autocorrelation(std::span<const double> x) {
+  if (x.empty()) return {};
+  if (x.size() == 1) return {x[0] * x[0]};
+  const std::size_t n = x.size();
+  const std::size_t padded = NextPowerOfTwo(2 * n);
+
+  std::vector<double> buffer(padded, 0.0);
+  for (std::size_t i = 0; i < n; ++i) buffer[i] = x[i];
+  std::vector<Complex> spectrum = RealFftForward(buffer);
+  for (auto& bin : spectrum) {
+    bin = Complex(std::norm(bin), 0.0);
+  }
+  std::vector<double> correlation = RealFftInverse(spectrum, padded);
+
+  correlation.resize(n);
+  return correlation;
+}
+
+std::vector<double> CrossCorrelation(std::span<const double> x,
+                                     std::span<const double> y) {
+  if (x.empty() || y.empty()) return {};
+  const std::size_t n = NextPowerOfTwo(x.size() + y.size());
+  const FftPlan& plan = GetPlan(n);
+
+  std::vector<Complex> packed(n, Complex(0, 0));
+  for (std::size_t i = 0; i < x.size(); ++i) packed[i] += Complex(x[i], 0);
+  for (std::size_t i = 0; i < y.size(); ++i) packed[i] += Complex(0, y[i]);
+  plan.Forward(packed.data());
+
+  // r[p] = sum_i x[i] y[i+p] is the inverse transform of conj(X) .* Y.
+  std::vector<Complex> product(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const Complex z_k = packed[k];
+    const Complex z_conj = std::conj(packed[(n - k) % n]);
+    const Complex x_k = 0.5 * (z_k + z_conj);
+    const Complex y_k = Complex(0, -0.5) * (z_k - z_conj);
+    product[k] = std::conj(x_k) * y_k;
+  }
+  plan.Inverse(product.data());
+
+  std::vector<double> out(y.size());
+  for (std::size_t p = 0; p < y.size(); ++p) out[p] = product[p].real();
+  return out;
+}
+
+std::vector<std::uint64_t> BinaryAutocorrelation(
+    std::span<const std::uint8_t> indicator) {
+  std::vector<double> as_double(indicator.size());
+  for (std::size_t i = 0; i < indicator.size(); ++i) {
+    PERIODICA_DCHECK(indicator[i] <= 1);
+    as_double[i] = static_cast<double>(indicator[i]);
+  }
+  const std::vector<double> raw = Autocorrelation(as_double);
+  std::vector<std::uint64_t> counts(raw.size());
+  for (std::size_t p = 0; p < raw.size(); ++p) {
+    const long long rounded = std::llround(raw[p]);
+    PERIODICA_DCHECK(std::abs(raw[p] - static_cast<double>(rounded)) < 0.5)
+        << "FFT error too large at lag " << p;
+    counts[p] = rounded < 0 ? 0 : static_cast<std::uint64_t>(rounded);
+  }
+  return counts;
+}
+
+}  // namespace periodica::fft

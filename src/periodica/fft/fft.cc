@@ -1,0 +1,203 @@
+#include "periodica/fft/fft.h"
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <numbers>
+#include <utility>
+
+#include "periodica/util/logging.h"
+
+namespace periodica::fft {
+
+std::size_t NextPowerOfTwo(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+FftPlan::FftPlan(std::size_t n) : n_(n) {
+  PERIODICA_CHECK(IsPowerOfTwo(n)) << "FftPlan size must be a power of two";
+  int log2n = 0;
+  while ((std::size_t{1} << log2n) < n_) ++log2n;
+
+  bit_reversal_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    std::uint32_t reversed = 0;
+    for (int bit = 0; bit < log2n; ++bit) {
+      reversed |= ((i >> bit) & 1u) << (log2n - 1 - bit);
+    }
+    bit_reversal_[i] = reversed;
+  }
+
+  twiddles_.resize(n_ / 2);
+  for (std::size_t k = 0; k < n_ / 2; ++k) {
+    const double angle =
+        -2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(n_);
+    twiddles_[k] = Complex(std::cos(angle), std::sin(angle));
+  }
+}
+
+void FftPlan::Transform(Complex* data, bool inverse) const {
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t j = bit_reversal_[i];
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n_; len <<= 1) {
+    const std::size_t half = len / 2;
+    const std::size_t stride = n_ / len;
+    for (std::size_t start = 0; start < n_; start += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        Complex w = twiddles_[k * stride];
+        if (inverse) w = std::conj(w);
+        const Complex u = data[start + k];
+        const Complex v = data[start + k + half] * w;
+        data[start + k] = u + v;
+        data[start + k + half] = u - v;
+      }
+    }
+  }
+}
+
+void FftPlan::Inverse(Complex* data) const {
+  Transform(data, /*inverse=*/true);
+  const double scale = 1.0 / static_cast<double>(n_);
+  for (std::size_t i = 0; i < n_; ++i) data[i] *= scale;
+}
+
+const FftPlan& GetPlan(std::size_t n) {
+  static std::mutex mutex;
+  static std::map<std::size_t, std::unique_ptr<FftPlan>>* cache =
+      new std::map<std::size_t, std::unique_ptr<FftPlan>>();
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    it = cache->emplace(n, std::make_unique<FftPlan>(n)).first;
+  }
+  return *it->second;
+}
+
+namespace {
+
+/// Bluestein's chirp-z transform: expresses an arbitrary-size DFT as a linear
+/// convolution, which is then evaluated with power-of-two FFTs.
+void Bluestein(std::vector<Complex>* data, bool inverse) {
+  const std::size_t n = data->size();
+  const double sign = inverse ? 1.0 : -1.0;
+
+  // chirp[j] = e^{sign * pi * i * j^2 / n}
+  std::vector<Complex> chirp(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    // j^2 mod 2n keeps the angle argument small and exact.
+    const std::uint64_t j_sq_mod =
+        (static_cast<std::uint64_t>(j) * j) % (2 * n);
+    const double angle =
+        sign * std::numbers::pi * static_cast<double>(j_sq_mod) /
+        static_cast<double>(n);
+    chirp[j] = Complex(std::cos(angle), std::sin(angle));
+  }
+
+  const std::size_t m = NextPowerOfTwo(2 * n - 1);
+  const FftPlan& plan = GetPlan(m);
+
+  std::vector<Complex> a(m, Complex(0, 0));
+  std::vector<Complex> b(m, Complex(0, 0));
+  for (std::size_t j = 0; j < n; ++j) {
+    a[j] = (*data)[j] * chirp[j];
+    b[j] = std::conj(chirp[j]);
+    if (j != 0) b[m - j] = std::conj(chirp[j]);
+  }
+  plan.Forward(a.data());
+  plan.Forward(b.data());
+  for (std::size_t j = 0; j < m; ++j) a[j] *= b[j];
+  plan.Inverse(a.data());
+
+  for (std::size_t j = 0; j < n; ++j) {
+    (*data)[j] = a[j] * chirp[j];
+  }
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (auto& value : *data) value *= scale;
+  }
+}
+
+}  // namespace
+
+void Dft(std::vector<Complex>* data, bool inverse) {
+  PERIODICA_DCHECK(data != nullptr);
+  const std::size_t n = data->size();
+  if (n <= 1) return;
+  if (IsPowerOfTwo(n)) {
+    const FftPlan& plan = GetPlan(n);
+    if (inverse) {
+      plan.Inverse(data->data());
+    } else {
+      plan.Forward(data->data());
+    }
+    return;
+  }
+  Bluestein(data, inverse);
+}
+
+std::vector<Complex> RealFftForward(std::span<const double> input) {
+  const std::size_t n = input.size();
+  PERIODICA_CHECK(IsPowerOfTwo(n) && n >= 2)
+      << "RealFftForward requires a power-of-two length >= 2";
+  const std::size_t m = n / 2;
+
+  // Pack even samples into the real lanes and odd samples into the imaginary
+  // lanes of a half-size complex vector.
+  std::vector<Complex> packed(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    packed[j] = Complex(input[2 * j], input[2 * j + 1]);
+  }
+  if (m > 1) {
+    GetPlan(m).Forward(packed.data());
+  }
+
+  std::vector<Complex> spectrum(m + 1);
+  for (std::size_t k = 0; k <= m; ++k) {
+    const Complex z_k = packed[k % m];
+    const Complex z_conj = std::conj(packed[(m - k) % m]);
+    const Complex even = 0.5 * (z_k + z_conj);
+    const Complex odd = Complex(0, -0.5) * (z_k - z_conj);
+    const double angle =
+        -2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(n);
+    spectrum[k] = even + Complex(std::cos(angle), std::sin(angle)) * odd;
+  }
+  return spectrum;
+}
+
+std::vector<double> RealFftInverse(std::span<const Complex> spectrum,
+                                   std::size_t n) {
+  PERIODICA_CHECK(IsPowerOfTwo(n) && n >= 2)
+      << "RealFftInverse requires a power-of-two length >= 2";
+  const std::size_t m = n / 2;
+  PERIODICA_CHECK_EQ(spectrum.size(), m + 1);
+
+  // Invert the untangling of RealFftForward, then a half-size inverse FFT.
+  std::vector<Complex> packed(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    const Complex x_k = spectrum[k];
+    const Complex x_conj = std::conj(spectrum[m - k]);
+    const Complex even = 0.5 * (x_k + x_conj);
+    const double angle =
+        2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(n);
+    const Complex odd =
+        0.5 * (x_k - x_conj) * Complex(std::cos(angle), std::sin(angle));
+    packed[k] = even + Complex(0, 1) * odd;
+  }
+  if (m > 1) {
+    GetPlan(m).Inverse(packed.data());
+  }
+
+  std::vector<double> output(n);
+  for (std::size_t j = 0; j < m; ++j) {
+    output[2 * j] = packed[j].real();
+    output[2 * j + 1] = packed[j].imag();
+  }
+  return output;
+}
+
+}  // namespace periodica::fft

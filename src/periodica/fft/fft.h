@@ -1,0 +1,71 @@
+#ifndef PERIODICA_FFT_FFT_H_
+#define PERIODICA_FFT_FFT_H_
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace periodica::fft {
+
+using Complex = std::complex<double>;
+
+constexpr bool IsPowerOfTwo(std::size_t n) {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// Smallest power of two that is >= n (n must fit; n == 0 maps to 1).
+std::size_t NextPowerOfTwo(std::size_t n);
+
+/// A reusable FFT plan for a fixed power-of-two size: precomputed bit-reversal
+/// permutation and twiddle factors. Plans are immutable after construction and
+/// safe to share across threads.
+///
+/// The paper's algorithm is "convolution computed by FFT" (Sect. 3.1); this
+/// class is that substrate, built from scratch since the target machine
+/// carries no FFT library.
+class FftPlan {
+ public:
+  /// `n` must be a power of two (n >= 1).
+  explicit FftPlan(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  /// In-place forward DFT: X_k = sum_j x_j e^{-2*pi*i*jk/n}.
+  void Forward(Complex* data) const { Transform(data, /*inverse=*/false); }
+
+  /// In-place inverse DFT, scaled by 1/n so Inverse(Forward(x)) == x.
+  void Inverse(Complex* data) const;
+
+ private:
+  void Transform(Complex* data, bool inverse) const;
+
+  std::size_t n_;
+  std::vector<std::uint32_t> bit_reversal_;
+  std::vector<Complex> twiddles_;  // twiddles_[k] = e^{-2*pi*i*k/n}, k < n/2
+};
+
+/// Returns a cached plan for power-of-two size `n`. Thread-safe.
+const FftPlan& GetPlan(std::size_t n);
+
+/// Forward or inverse DFT of arbitrary size, in place. Power-of-two sizes use
+/// the radix-2 plan directly; other sizes go through Bluestein's chirp-z
+/// algorithm (still O(n log n)).
+void Dft(std::vector<Complex>* data, bool inverse);
+
+/// Real-input FFT of even power-of-two length N using the half-size complex
+/// packing trick (one complex FFT of length N/2). Returns the N/2+1
+/// non-redundant spectrum bins; the remaining bins follow from conjugate
+/// symmetry X_{N-k} = conj(X_k).
+std::vector<Complex> RealFftForward(std::span<const double> input);
+
+/// Inverse of RealFftForward: reconstructs the N real samples from the N/2+1
+/// spectrum bins (`n` = output length, a power of two >= 2, and
+/// spectrum.size() == n/2 + 1).
+std::vector<double> RealFftInverse(std::span<const Complex> spectrum,
+                                   std::size_t n);
+
+}  // namespace periodica::fft
+
+#endif  // PERIODICA_FFT_FFT_H_

@@ -1,0 +1,104 @@
+#include "periodica/gen/domain.h"
+
+#include <array>
+#include <cmath>
+#include <numbers>
+
+#include "periodica/series/discretize.h"
+#include "periodica/util/rng.h"
+
+namespace periodica {
+
+namespace {
+
+/// Mean hourly transaction counts for a weekday: closed overnight, morning
+/// ramp, lunchtime peak, evening decline. Values are placed so that the five
+/// paper levels (0 / <200 / <400 / <600 / >=600) are all exercised.
+constexpr std::array<double, 24> kWeekdayProfile = {
+    0,   0,   0,   0,   0,   0,    // 00:00-05:59 closed
+    80,  150, 180,                 // 06:00-08:59 opening ramp ("low")
+    320, 420, 480,                 // 09:00-11:59 morning ("medium"/"high")
+    640, 700, 560,                 // 12:00-14:59 lunch peak ("very high")
+    470, 440, 410,                 // 15:00-17:59 afternoon
+    330, 280, 210,                 // 18:00-20:59 evening
+    120, 60,  20,                  // 21:00-23:59 closing ("low"/"very low")
+};
+
+/// Day-of-week multipliers (Mon..Sun): busier Saturdays, quieter Sundays.
+constexpr std::array<double, 7> kDayMultiplier = {1.0, 0.95, 1.0, 1.05,
+                                                  1.15, 1.3, 0.7};
+
+/// Mean daily consumption in Watts/day (Mon..Sun). Thursday is a documented
+/// low-usage day so the simulated customer reproduces the paper's example
+/// pattern (a very-low reading on the 4th day of the week).
+constexpr std::array<double, 7> kPowerProfile = {9500, 9000,  9200, 5200,
+                                                 8800, 12600, 11000};
+
+}  // namespace
+
+std::vector<double> RetailTransactionSimulator::PaperCuts() {
+  // Level a: 0 transactions; b: < 200; then 200-transaction steps.
+  return {1.0, 200.0, 400.0, 600.0};
+}
+
+std::vector<double> RetailTransactionSimulator::GenerateCounts() const {
+  const std::size_t hours = options_.weeks * 7 * 24;
+  std::vector<double> counts;
+  counts.reserve(hours);
+  Rng rng(options_.seed);
+  const std::size_t shift_at = options_.dst_anomaly ? hours / 2 : hours + 1;
+  std::size_t phase_shift = 0;
+  for (std::size_t hour = 0; hour < hours; ++hour) {
+    if (hour == shift_at) phase_shift = 1;  // clocks move by one hour
+    const std::size_t local = hour + phase_shift;
+    const std::size_t hour_of_day = local % 24;
+    const std::size_t day_of_week = (local / 24) % 7;
+    const double base =
+        kWeekdayProfile[hour_of_day] * kDayMultiplier[day_of_week];
+    if (base <= 0.0) {
+      counts.push_back(0.0);
+      continue;
+    }
+    // Multiplicative noise keeps counts positive and roughly level-stable.
+    const double noisy =
+        base * std::exp(rng.Gaussian(0.0, options_.noise_stddev));
+    counts.push_back(std::max(0.0, noisy));
+  }
+  return counts;
+}
+
+Result<SymbolSeries> RetailTransactionSimulator::GenerateSeries() const {
+  const std::vector<double> counts = GenerateCounts();
+  PERIODICA_ASSIGN_OR_RETURN(ThresholdDiscretizer discretizer,
+                             ThresholdDiscretizer::Create(PaperCuts()));
+  return discretizer.Apply(counts, Alphabet::FiveLevels());
+}
+
+std::vector<double> PowerConsumptionSimulator::PaperCuts() {
+  // Level a: < 6000 Watts/day; each further level spans 2000 Watts.
+  return {6000.0, 8000.0, 10000.0, 12000.0};
+}
+
+std::vector<double> PowerConsumptionSimulator::GenerateReadings() const {
+  std::vector<double> readings;
+  readings.reserve(options_.days);
+  Rng rng(options_.seed);
+  for (std::size_t day = 0; day < options_.days; ++day) {
+    const double base = kPowerProfile[day % 7];
+    const double seasonal =
+        options_.seasonal_amplitude *
+        std::sin(2.0 * std::numbers::pi * static_cast<double>(day) / 365.0);
+    const double noise = rng.Gaussian(0.0, options_.noise_stddev);
+    readings.push_back(std::max(0.0, base + seasonal + noise));
+  }
+  return readings;
+}
+
+Result<SymbolSeries> PowerConsumptionSimulator::GenerateSeries() const {
+  const std::vector<double> readings = GenerateReadings();
+  PERIODICA_ASSIGN_OR_RETURN(ThresholdDiscretizer discretizer,
+                             ThresholdDiscretizer::Create(PaperCuts()));
+  return discretizer.Apply(readings, Alphabet::FiveLevels());
+}
+
+}  // namespace periodica

@@ -1,0 +1,77 @@
+#ifndef PERIODICA_GEN_DOMAIN_H_
+#define PERIODICA_GEN_DOMAIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "periodica/series/series.h"
+#include "periodica/util/result.h"
+
+namespace periodica {
+
+/// Simulates the paper's Wal-Mart workload: hourly transaction counts for a
+/// retail store over `weeks` weeks. The real 130 MB Teradata extract is
+/// proprietary, so this simulator reproduces its documented structure —
+/// a strong daily (period 24) profile with overnight zeros and daytime peaks,
+/// weekly modulation (period 168) with a weekend shape, multiplicative noise,
+/// and, optionally, a one-hour daylight-saving shift halfway through
+/// (the paper's "period of 3961 hours ... 5.5 months plus one hour").
+/// Discretization follows the paper exactly: "very low" = 0 transactions per
+/// hour, "low" < 200/hour, then 200-transaction steps (alphabet size 5).
+class RetailTransactionSimulator {
+ public:
+  struct Options {
+    std::size_t weeks = 8;
+    double noise_stddev = 0.15;  // multiplicative log-normal-ish noise
+    bool dst_anomaly = false;    // inject the 1-hour shift mid-series
+    std::uint64_t seed = 42;
+  };
+
+  explicit RetailTransactionSimulator(Options options)
+      : options_(options) {}
+
+  /// Hourly transaction counts (length = weeks * 168).
+  std::vector<double> GenerateCounts() const;
+
+  /// Counts discretized into the paper's five levels over alphabet a..e.
+  Result<SymbolSeries> GenerateSeries() const;
+
+  /// The paper's cut points for this dataset: {1, 200, 400, 600}.
+  static std::vector<double> PaperCuts();
+
+ private:
+  Options options_;
+};
+
+/// Simulates the paper's CIMEG workload: daily power-consumption readings of
+/// a residential customer over `days` days. Weekly (period 7) weekday/weekend
+/// structure, mild seasonal drift, additive noise. Discretization follows the
+/// paper: "very low" < 6000 Watts/Day, then 2000-Watt steps (alphabet 5).
+class PowerConsumptionSimulator {
+ public:
+  struct Options {
+    std::size_t days = 365;
+    double noise_stddev = 400.0;  // Watts/day additive noise
+    double seasonal_amplitude = 800.0;
+    std::uint64_t seed = 77;
+  };
+
+  explicit PowerConsumptionSimulator(Options options)
+      : options_(options) {}
+
+  /// Daily consumption in Watts/day (length = days).
+  std::vector<double> GenerateReadings() const;
+
+  /// Readings discretized into the paper's five levels over alphabet a..e.
+  Result<SymbolSeries> GenerateSeries() const;
+
+  /// The paper's cut points for this dataset: {6000, 8000, 10000, 12000}.
+  static std::vector<double> PaperCuts();
+
+ private:
+  Options options_;
+};
+
+}  // namespace periodica
+
+#endif  // PERIODICA_GEN_DOMAIN_H_

@@ -1,0 +1,69 @@
+#include "periodica/gen/event_log.h"
+
+#include <string>
+#include <utility>
+
+#include "periodica/util/rng.h"
+
+namespace periodica {
+
+Result<SymbolSeries> EventLogSimulator::Generate() const {
+  for (const Job& job : options_.jobs) {
+    if (job.period < 1) {
+      return Status::InvalidArgument("job period must be >= 1");
+    }
+    if (job.phase >= job.period) {
+      return Status::InvalidArgument("job phase must be < its period");
+    }
+    if (job.reliability < 0.0 || job.reliability > 1.0) {
+      return Status::InvalidArgument("job reliability must be in [0, 1]");
+    }
+  }
+  if (options_.background_rate < 0.0 || options_.background_rate > 1.0) {
+    return Status::InvalidArgument("background_rate must be in [0, 1]");
+  }
+
+  std::vector<std::string> names;
+  names.reserve(1 + options_.jobs.size() + options_.num_background_types);
+  names.push_back("idle");
+  for (std::size_t j = 0; j < options_.jobs.size(); ++j) {
+    std::string name = std::to_string(j);
+    name.insert(0, "job");
+    names.push_back(std::move(name));
+  }
+  for (std::size_t b = 0; b < options_.num_background_types; ++b) {
+    std::string name = std::to_string(b);
+    name.insert(0, "bg");
+    names.push_back(std::move(name));
+  }
+  PERIODICA_ASSIGN_OR_RETURN(Alphabet alphabet,
+                             Alphabet::FromNames(std::move(names)));
+
+  Rng rng(options_.seed);
+  SymbolSeries series(std::move(alphabet));
+  series.Reserve(options_.ticks);
+  const SymbolId first_background =
+      static_cast<SymbolId>(1 + options_.jobs.size());
+  for (std::size_t tick = 0; tick < options_.ticks; ++tick) {
+    SymbolId symbol = kIdleSymbol;
+    bool fired = false;
+    for (std::size_t j = 0; j < options_.jobs.size(); ++j) {
+      const Job& job = options_.jobs[j];
+      if (tick % job.period != job.phase) continue;
+      if (job.stops_at != 0 && tick >= job.stops_at) continue;
+      if (!rng.Bernoulli(job.reliability)) continue;
+      symbol = JobSymbol(j);
+      fired = true;
+      break;
+    }
+    if (!fired && options_.num_background_types > 0 &&
+        rng.Bernoulli(options_.background_rate)) {
+      symbol = static_cast<SymbolId>(
+          first_background + rng.UniformInt(options_.num_background_types));
+    }
+    series.Append(symbol);
+  }
+  return series;
+}
+
+}  // namespace periodica

@@ -1,0 +1,61 @@
+#ifndef PERIODICA_GEN_EVENT_LOG_H_
+#define PERIODICA_GEN_EVENT_LOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "periodica/series/series.h"
+#include "periodica/util/result.h"
+
+namespace periodica {
+
+/// Simulates the paper's second data shape (Sect. 2.1): "a sequence of n
+/// timestamped events drawn from a finite set of nominal event types, e.g.
+/// the event log in a computer network". Periodic jobs (cron-style health
+/// checks, backups, polls) fire their event type every `period` ticks with
+/// some reliability; the remaining ticks carry background events or idle.
+///
+/// This is the natural workload for the online trackers: a job's period
+/// shows up as a symbol periodicity at its phase, and a job going silent is
+/// visible as a confidence drop in a sliding window.
+class EventLogSimulator {
+ public:
+  /// One periodic emitter.
+  struct Job {
+    std::size_t period = 0;
+    std::size_t phase = 0;        ///< fires at ticks == phase (mod period)
+    double reliability = 1.0;     ///< probability an expected firing happens
+    /// Tick from which the job stops firing entirely (0 = never stops);
+    /// models an outage the windowed tracker should notice.
+    std::size_t stops_at = 0;
+  };
+
+  struct Options {
+    std::size_t ticks = 0;
+    std::vector<Job> jobs;
+    std::size_t num_background_types = 4;
+    /// Probability a non-job tick carries a background event (else idle).
+    double background_rate = 0.3;
+    std::uint64_t seed = 11;
+  };
+
+  explicit EventLogSimulator(Options options) : options_(std::move(options)) {}
+
+  /// Event-type alphabet: "idle", then "job0".."jobJ", then "bg0".."bgB".
+  /// Jobs are listed first-come-first-served per tick (an earlier job wins a
+  /// tick collision).
+  Result<SymbolSeries> Generate() const;
+
+  /// Symbol id of job `index` within the generated alphabet.
+  static SymbolId JobSymbol(std::size_t index) {
+    return static_cast<SymbolId>(1 + index);
+  }
+  static constexpr SymbolId kIdleSymbol = 0;
+
+ private:
+  Options options_;
+};
+
+}  // namespace periodica
+
+#endif  // PERIODICA_GEN_EVENT_LOG_H_

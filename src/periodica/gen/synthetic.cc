@@ -1,0 +1,129 @@
+#include "periodica/gen/synthetic.h"
+
+#include <cmath>
+#include <vector>
+
+#include "periodica/util/rng.h"
+
+namespace periodica {
+
+namespace {
+
+SymbolId DrawSymbol(Rng* rng, std::size_t alphabet_size,
+                    SymbolDistribution distribution) {
+  switch (distribution) {
+    case SymbolDistribution::kUniform:
+      return static_cast<SymbolId>(rng->UniformInt(alphabet_size));
+    case SymbolDistribution::kNormal: {
+      // Gaussian centered mid-alphabet with stddev sigma/4, clamped to the
+      // valid range; middle symbols occur more often than extreme ones.
+      const double mean = (static_cast<double>(alphabet_size) - 1.0) / 2.0;
+      const double stddev = static_cast<double>(alphabet_size) / 4.0;
+      const double draw = std::round(rng->Gaussian(mean, stddev));
+      if (draw < 0.0) return 0;
+      if (draw > static_cast<double>(alphabet_size - 1)) {
+        return static_cast<SymbolId>(alphabet_size - 1);
+      }
+      return static_cast<SymbolId>(draw);
+    }
+  }
+  return 0;
+}
+
+Status ValidateSpec(const SyntheticSpec& spec) {
+  if (spec.alphabet_size < 1 || spec.alphabet_size > kMaxAlphabetSize) {
+    return Status::InvalidArgument("alphabet_size must be in [1, 256]");
+  }
+  if (spec.period < 1) {
+    return Status::InvalidArgument("period must be >= 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SymbolSeries> GeneratePattern(const SyntheticSpec& spec) {
+  PERIODICA_RETURN_NOT_OK(ValidateSpec(spec));
+  Rng rng(spec.seed);
+  SymbolSeries pattern(Alphabet::Latin(std::min<std::size_t>(
+      spec.alphabet_size, 26)));
+  // Alphabets beyond 26 symbols get numbered names.
+  if (spec.alphabet_size > 26) {
+    std::vector<std::string> names;
+    names.reserve(spec.alphabet_size);
+    for (std::size_t k = 0; k < spec.alphabet_size; ++k) {
+      std::string name = std::to_string(k);
+      name.insert(name.begin(), 's');
+      names.push_back(std::move(name));
+    }
+    PERIODICA_ASSIGN_OR_RETURN(Alphabet alphabet,
+                               Alphabet::FromNames(std::move(names)));
+    pattern = SymbolSeries(std::move(alphabet));
+  }
+  pattern.Reserve(spec.period);
+  for (std::size_t i = 0; i < spec.period; ++i) {
+    pattern.Append(DrawSymbol(&rng, spec.alphabet_size, spec.distribution));
+  }
+  return pattern;
+}
+
+Result<SymbolSeries> GeneratePerfect(const SyntheticSpec& spec) {
+  PERIODICA_ASSIGN_OR_RETURN(SymbolSeries pattern, GeneratePattern(spec));
+  SymbolSeries series(pattern.alphabet());
+  series.Reserve(spec.length);
+  for (std::size_t i = 0; i < spec.length; ++i) {
+    series.Append(pattern[i % spec.period]);
+  }
+  return series;
+}
+
+Result<SymbolSeries> ApplyNoise(const SymbolSeries& series,
+                                const NoiseSpec& noise) {
+  if (noise.ratio < 0.0 || noise.ratio > 1.0) {
+    return Status::InvalidArgument("noise ratio must be in [0, 1]");
+  }
+  enum Kind { kReplace, kInsert, kDelete };
+  std::vector<Kind> kinds;
+  if (noise.replacement) kinds.push_back(kReplace);
+  if (noise.insertion) kinds.push_back(kInsert);
+  if (noise.deletion) kinds.push_back(kDelete);
+  if (kinds.empty() && noise.ratio > 0.0) {
+    return Status::InvalidArgument(
+        "noise ratio > 0 but no noise kind enabled");
+  }
+
+  const std::size_t sigma = series.alphabet().size();
+  Rng rng(noise.seed);
+  SymbolSeries noisy(series.alphabet());
+  noisy.Reserve(series.size());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const SymbolId current = series[i];
+    if (noise.ratio <= 0.0 || !rng.Bernoulli(noise.ratio)) {
+      noisy.Append(current);
+      continue;
+    }
+    switch (kinds[rng.UniformInt(kinds.size())]) {
+      case kReplace: {
+        // Replace with a uniformly random *different* symbol.
+        SymbolId substitute = current;
+        if (sigma > 1) {
+          const std::uint64_t offset = 1 + rng.UniformInt(sigma - 1);
+          substitute = static_cast<SymbolId>((current + offset) % sigma);
+        }
+        noisy.Append(substitute);
+        break;
+      }
+      case kInsert:
+        // Insert a fresh random symbol before the current one.
+        noisy.Append(static_cast<SymbolId>(rng.UniformInt(sigma)));
+        noisy.Append(current);
+        break;
+      case kDelete:
+        // Drop the current symbol.
+        break;
+    }
+  }
+  return noisy;
+}
+
+}  // namespace periodica

@@ -1,0 +1,73 @@
+#ifndef PERIODICA_GEN_SYNTHETIC_H_
+#define PERIODICA_GEN_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "periodica/series/series.h"
+#include "periodica/util/result.h"
+
+namespace periodica {
+
+/// Symbol distribution the base pattern is drawn from (Sect. 4: "both uniform
+/// and normal data distributions are considered").
+enum class SymbolDistribution {
+  kUniform,
+  kNormal,
+};
+
+/// Specification for controlled synthetic data, mirroring the paper's tuning
+/// parameters: "data distribution, period, alphabet size, type, and amount of
+/// noise". Inerrant data repeats a random pattern of length `period` until it
+/// spans `length` timestamps.
+struct SyntheticSpec {
+  std::size_t length = 0;
+  std::size_t alphabet_size = 10;
+  std::size_t period = 25;
+  SymbolDistribution distribution = SymbolDistribution::kUniform;
+  std::uint64_t seed = 1;
+};
+
+/// Which edit kinds a noise process may apply. Matches the paper's
+/// replacement / insertion / deletion types and their combinations (R, I, D,
+/// R-I-D, I-D, ...): the noise ratio is split equally among enabled kinds.
+struct NoiseSpec {
+  double ratio = 0.0;
+  bool replacement = false;
+  bool insertion = false;
+  bool deletion = false;
+  std::uint64_t seed = 7;
+
+  static NoiseSpec Replacement(double ratio, std::uint64_t seed = 7) {
+    return {ratio, true, false, false, seed};
+  }
+  static NoiseSpec Insertion(double ratio, std::uint64_t seed = 7) {
+    return {ratio, false, true, false, seed};
+  }
+  static NoiseSpec Deletion(double ratio, std::uint64_t seed = 7) {
+    return {ratio, false, false, true, seed};
+  }
+  static NoiseSpec Combined(double ratio, bool r, bool i, bool d,
+                            std::uint64_t seed = 7) {
+    return {ratio, r, i, d, seed};
+  }
+};
+
+/// Generates inerrant (perfectly periodic) data per SyntheticSpec: a pattern
+/// of length `spec.period` is drawn once from the requested distribution and
+/// repeated to span `spec.length` timestamps.
+Result<SymbolSeries> GeneratePerfect(const SyntheticSpec& spec);
+
+/// Draws the base pattern only (length = spec.period).
+Result<SymbolSeries> GeneratePattern(const SyntheticSpec& spec);
+
+/// Introduces noise "randomly and uniformly over the whole time series"
+/// (Sect. 4): about ratio * n positions are edited; each edit replaces the
+/// symbol with a random different one, inserts a random symbol, or deletes
+/// the current symbol, chosen uniformly among the enabled kinds. The output
+/// length may differ from the input under insertion/deletion noise.
+Result<SymbolSeries> ApplyNoise(const SymbolSeries& series,
+                                const NoiseSpec& noise);
+
+}  // namespace periodica
+
+#endif  // PERIODICA_GEN_SYNTHETIC_H_

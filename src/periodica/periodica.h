@@ -1,0 +1,60 @@
+#ifndef PERIODICA_PERIODICA_H_
+#define PERIODICA_PERIODICA_H_
+
+/// \file
+/// Umbrella header for the periodica library: one-pass, convolution-based
+/// mining of periodic patterns with unknown ("obscure") periods, after
+/// Elfeky, Aref and Elmagarmid (EDBT 2004), plus the substrates and baseline
+/// algorithms its evaluation depends on.
+///
+/// Typical use:
+///
+///   #include "periodica/periodica.h"
+///
+///   periodica::MinerOptions options;
+///   options.threshold = 0.7;
+///   options.mine_patterns = true;
+///   periodica::ObscureMiner miner(options);
+///   auto result = miner.Mine(series);
+///   if (result.ok()) {
+///     for (const auto& summary : result->periodicities.summaries()) { ... }
+///   }
+
+#include "periodica/baselines/async_patterns.h"
+#include "periodica/baselines/berberidis.h"
+#include "periodica/baselines/known_period.h"
+#include "periodica/baselines/max_subpattern.h"
+#include "periodica/baselines/ma_hellerstein.h"
+#include "periodica/baselines/periodic_trends.h"
+#include "periodica/baselines/warp.h"
+#include "periodica/core/exact_miner.h"
+#include "periodica/core/fft_miner.h"
+#include "periodica/core/mapping.h"
+#include "periodica/core/miner.h"
+#include "periodica/core/multiresolution.h"
+#include "periodica/core/online.h"
+#include "periodica/core/options.h"
+#include "periodica/core/pattern.h"
+#include "periodica/core/pattern_miner.h"
+#include "periodica/core/periodicity.h"
+#include "periodica/core/report.h"
+#include "periodica/core/serialize.h"
+#include "periodica/core/significance.h"
+#include "periodica/core/streaming_detector.h"
+#include "periodica/fft/chunked.h"
+#include "periodica/fft/convolution.h"
+#include "periodica/fft/fft.h"
+#include "periodica/gen/domain.h"
+#include "periodica/gen/event_log.h"
+#include "periodica/gen/synthetic.h"
+#include "periodica/series/alphabet.h"
+#include "periodica/series/combine.h"
+#include "periodica/series/discretize.h"
+#include "periodica/series/io.h"
+#include "periodica/series/resample.h"
+#include "periodica/series/series.h"
+#include "periodica/series/stream.h"
+#include "periodica/util/result.h"
+#include "periodica/util/status.h"
+
+#endif  // PERIODICA_PERIODICA_H_

@@ -1,0 +1,70 @@
+#include "periodica/series/alphabet.h"
+
+#include <utility>
+
+#include "periodica/util/logging.h"
+
+namespace periodica {
+
+Alphabet Alphabet::Latin(std::size_t size) {
+  PERIODICA_CHECK_LE(size, 26u) << "Latin alphabet supports at most 26 symbols";
+  Alphabet alphabet;
+  for (std::size_t k = 0; k < size; ++k) {
+    alphabet.names_.push_back(std::string(1, static_cast<char>('a' + k)));
+    alphabet.index_.emplace(alphabet.names_.back(),
+                            static_cast<SymbolId>(k));
+  }
+  return alphabet;
+}
+
+Result<Alphabet> Alphabet::FromNames(std::vector<std::string> names) {
+  if (names.size() > kMaxAlphabetSize) {
+    return Status::InvalidArgument("alphabet too large: " +
+                                   std::to_string(names.size()));
+  }
+  Alphabet alphabet;
+  for (std::size_t k = 0; k < names.size(); ++k) {
+    auto [it, inserted] =
+        alphabet.index_.emplace(names[k], static_cast<SymbolId>(k));
+    if (!inserted) {
+      return Status::InvalidArgument("duplicate symbol name '" + names[k] +
+                                     "'");
+    }
+  }
+  alphabet.names_ = std::move(names);
+  return alphabet;
+}
+
+Alphabet Alphabet::FiveLevels() {
+  // Discretization levels used for both real-data experiments (Sect. 4):
+  // very low, low, medium, high, very high <-> a, b, c, d, e.
+  return Latin(5);
+}
+
+const std::string& Alphabet::name(SymbolId id) const {
+  PERIODICA_CHECK_LT(static_cast<std::size_t>(id), names_.size());
+  return names_[id];
+}
+
+Result<SymbolId> Alphabet::Find(const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("symbol '" + name + "' not in alphabet");
+  }
+  return it->second;
+}
+
+Result<SymbolId> Alphabet::FindOrAdd(const std::string& name) {
+  const auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  if (names_.size() >= kMaxAlphabetSize) {
+    return Status::OutOfRange("alphabet full (" +
+                              std::to_string(kMaxAlphabetSize) + " symbols)");
+  }
+  const SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.push_back(name);
+  index_.emplace(name, id);
+  return id;
+}
+
+}  // namespace periodica

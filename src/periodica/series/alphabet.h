@@ -1,0 +1,62 @@
+#ifndef PERIODICA_SERIES_ALPHABET_H_
+#define PERIODICA_SERIES_ALPHABET_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "periodica/util/result.h"
+#include "periodica/util/status.h"
+
+namespace periodica {
+
+/// Index of a symbol within an Alphabet. The paper's alphabets are small
+/// (sigma = 5 for the real-data experiments, 10 for the synthetic ones); we
+/// support up to 256 distinct symbols.
+using SymbolId = std::uint8_t;
+
+inline constexpr std::size_t kMaxAlphabetSize = 256;
+
+/// An ordered finite set of named symbols (the paper's Sigma). Symbol order
+/// fixes the mapping s_k -> 2^k used by the convolution mining scheme, so an
+/// Alphabet is immutable once shared with a series.
+class Alphabet {
+ public:
+  Alphabet() = default;
+
+  /// Alphabet of `size` single-letter symbols "a", "b", "c", ... (size <= 26).
+  static Alphabet Latin(std::size_t size);
+
+  /// Alphabet with the given symbol names, in order. Fails on duplicates or
+  /// more than kMaxAlphabetSize names.
+  static Result<Alphabet> FromNames(std::vector<std::string> names);
+
+  /// The paper's five discretization levels: "very low" .. "very high"
+  /// (symbols a..e).
+  static Alphabet FiveLevels();
+
+  std::size_t size() const { return names_.size(); }
+
+  /// Name of symbol `id`; id must be < size().
+  const std::string& name(SymbolId id) const;
+
+  /// Id of the symbol named `name`, or NotFound.
+  Result<SymbolId> Find(const std::string& name) const;
+
+  /// Id of the symbol named `name`, adding it if absent. Fails when the
+  /// alphabet is full.
+  Result<SymbolId> FindOrAdd(const std::string& name);
+
+  friend bool operator==(const Alphabet& a, const Alphabet& b) {
+    return a.names_ == b.names_;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, SymbolId> index_;
+};
+
+}  // namespace periodica
+
+#endif  // PERIODICA_SERIES_ALPHABET_H_

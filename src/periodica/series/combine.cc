@@ -1,0 +1,100 @@
+#include "periodica/series/combine.h"
+
+#include <string>
+
+namespace periodica {
+
+Result<SymbolSeries> CombineSeries(
+    const std::vector<const SymbolSeries*>& features) {
+  if (features.size() < 2) {
+    return Status::InvalidArgument("need at least 2 feature series");
+  }
+  const std::size_t n = features[0]->size();
+  std::size_t product_size = 1;
+  for (const SymbolSeries* feature : features) {
+    if (feature == nullptr) {
+      return Status::InvalidArgument("null feature series");
+    }
+    if (feature->size() != n) {
+      return Status::InvalidArgument("feature series lengths differ");
+    }
+    if (feature->alphabet().size() == 0) {
+      return Status::InvalidArgument("feature alphabet is empty");
+    }
+    product_size *= feature->alphabet().size();
+    if (product_size > kMaxAlphabetSize) {
+      return Status::OutOfRange(
+          "product alphabet exceeds " + std::to_string(kMaxAlphabetSize) +
+          " symbols");
+    }
+  }
+
+  // Product names, feature 0 fastest-varying.
+  std::vector<std::string> names(product_size);
+  for (std::size_t id = 0; id < product_size; ++id) {
+    std::size_t remainder = id;
+    std::string name;
+    for (const SymbolSeries* feature : features) {
+      const std::size_t sigma = feature->alphabet().size();
+      if (!name.empty()) name += '+';
+      name += feature->alphabet().name(
+          static_cast<SymbolId>(remainder % sigma));
+      remainder /= sigma;
+    }
+    names[id] = std::move(name);
+  }
+  PERIODICA_ASSIGN_OR_RETURN(Alphabet alphabet,
+                             Alphabet::FromNames(std::move(names)));
+
+  SymbolSeries combined(std::move(alphabet));
+  combined.Reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t id = 0;
+    std::size_t stride = 1;
+    for (const SymbolSeries* feature : features) {
+      id += static_cast<std::size_t>((*feature)[i]) * stride;
+      stride *= feature->alphabet().size();
+    }
+    combined.Append(static_cast<SymbolId>(id));
+  }
+  return combined;
+}
+
+Result<SymbolId> DecomposeSymbol(SymbolId product,
+                                 const std::vector<std::size_t>& sizes,
+                                 std::size_t feature) {
+  if (feature >= sizes.size()) {
+    return Status::InvalidArgument("feature index out of range");
+  }
+  std::size_t remainder = product;
+  for (std::size_t f = 0; f < feature; ++f) {
+    if (sizes[f] == 0) return Status::InvalidArgument("zero alphabet size");
+    remainder /= sizes[f];
+  }
+  if (sizes[feature] == 0) {
+    return Status::InvalidArgument("zero alphabet size");
+  }
+  return static_cast<SymbolId>(remainder % sizes[feature]);
+}
+
+Result<SymbolSeries> ProjectFeature(const SymbolSeries& combined,
+                                    const std::vector<std::size_t>& sizes,
+                                    std::size_t feature) {
+  if (feature >= sizes.size()) {
+    return Status::InvalidArgument("feature index out of range");
+  }
+  if (sizes[feature] == 0 || sizes[feature] > 26) {
+    return Status::InvalidArgument(
+        "feature alphabet size must be in [1, 26] for Latin reconstruction");
+  }
+  SymbolSeries projected(Alphabet::Latin(sizes[feature]));
+  projected.Reserve(combined.size());
+  for (std::size_t i = 0; i < combined.size(); ++i) {
+    PERIODICA_ASSIGN_OR_RETURN(SymbolId id,
+                               DecomposeSymbol(combined[i], sizes, feature));
+    projected.Append(id);
+  }
+  return projected;
+}
+
+}  // namespace periodica

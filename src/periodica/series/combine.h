@@ -1,0 +1,41 @@
+#ifndef PERIODICA_SERIES_COMBINE_H_
+#define PERIODICA_SERIES_COMBINE_H_
+
+#include <vector>
+
+#include "periodica/series/series.h"
+#include "periodica/util/result.h"
+
+namespace periodica {
+
+/// Joint mining of several synchronized features (the paper's Sect. 2.1
+/// meteorological example records *several* measurements per timestamp,
+/// e.g. temperature and humidity). Combining the feature series over the
+/// product alphabet lets the obscure miner find periodicities of feature
+/// *combinations* ("hot-and-humid recurs every 24 hours") that neither
+/// feature exhibits alone.
+
+/// Combines equally-long series into one over the product alphabet. Product
+/// symbol names join the feature names with '+' ("hot+humid"); the product
+/// id of (id_0, .., id_{F-1}) is sum_f id_f * stride_f with feature 0 the
+/// fastest-varying. Fails when the product alphabet exceeds 256 symbols,
+/// when lengths differ, or when fewer than 2 features are given.
+Result<SymbolSeries> CombineSeries(
+    const std::vector<const SymbolSeries*>& features);
+
+/// Recovers one feature's symbol from a product symbol: `sizes` are the
+/// original alphabet sizes in CombineSeries order.
+Result<SymbolId> DecomposeSymbol(SymbolId product,
+                                 const std::vector<std::size_t>& sizes,
+                                 std::size_t feature);
+
+/// Projects the combined series back onto one feature (inverse of
+/// CombineSeries up to the alphabet, which is reconstructed from `sizes` as
+/// a Latin alphabet).
+Result<SymbolSeries> ProjectFeature(const SymbolSeries& combined,
+                                    const std::vector<std::size_t>& sizes,
+                                    std::size_t feature);
+
+}  // namespace periodica
+
+#endif  // PERIODICA_SERIES_COMBINE_H_

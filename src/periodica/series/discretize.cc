@@ -1,0 +1,170 @@
+#include "periodica/series/discretize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "periodica/util/logging.h"
+
+namespace periodica {
+
+SymbolSeries Discretizer::Apply(std::span<const double> values) const {
+  return Apply(values, Alphabet::Latin(num_levels()));
+}
+
+SymbolSeries Discretizer::Apply(std::span<const double> values,
+                                const Alphabet& alphabet) const {
+  PERIODICA_CHECK_GE(alphabet.size(), num_levels());
+  SymbolSeries series(alphabet);
+  series.Reserve(values.size());
+  for (const double value : values) {
+    series.Append(Level(value));
+  }
+  return series;
+}
+
+namespace {
+
+SymbolId LevelFromCuts(const std::vector<double>& cuts, double value) {
+  // First cut that is > value gives the level index.
+  const auto it = std::upper_bound(cuts.begin(), cuts.end(), value);
+  return static_cast<SymbolId>(it - cuts.begin());
+}
+
+}  // namespace
+
+Result<ThresholdDiscretizer> ThresholdDiscretizer::Create(
+    std::vector<double> cuts) {
+  if (cuts.empty()) {
+    return Status::InvalidArgument("ThresholdDiscretizer needs >= 1 cut");
+  }
+  if (cuts.size() + 1 > kMaxAlphabetSize) {
+    return Status::InvalidArgument("too many levels");
+  }
+  for (std::size_t i = 1; i < cuts.size(); ++i) {
+    if (!(cuts[i - 1] < cuts[i])) {
+      return Status::InvalidArgument("cuts must be strictly increasing");
+    }
+  }
+  return ThresholdDiscretizer(std::move(cuts));
+}
+
+SymbolId ThresholdDiscretizer::Level(double value) const {
+  // Convention: value < cuts[0] -> 0; cuts[i-1] <= value < cuts[i] -> i.
+  const auto it = std::upper_bound(cuts_.begin(), cuts_.end(), value,
+                                   [](double v, double cut) { return v < cut; });
+  return static_cast<SymbolId>(it - cuts_.begin());
+}
+
+Result<EquiWidthDiscretizer> EquiWidthDiscretizer::Fit(
+    std::span<const double> values, std::size_t levels) {
+  if (values.empty()) {
+    return Status::InvalidArgument("cannot fit on an empty sequence");
+  }
+  if (levels < 2 || levels > kMaxAlphabetSize) {
+    return Status::InvalidArgument("levels must be in [2, 256]");
+  }
+  const auto [lo_it, hi_it] = std::minmax_element(values.begin(), values.end());
+  const double lo = *lo_it;
+  const double hi = *hi_it;
+  double width = (hi - lo) / static_cast<double>(levels);
+  if (width <= 0.0) width = 1.0;  // constant input: everything maps to level 0
+  return EquiWidthDiscretizer(lo, width, levels);
+}
+
+SymbolId EquiWidthDiscretizer::Level(double value) const {
+  const double offset = (value - lo_) / width_;
+  long long level = static_cast<long long>(std::floor(offset));
+  if (level < 0) level = 0;
+  if (level >= static_cast<long long>(levels_)) {
+    level = static_cast<long long>(levels_) - 1;
+  }
+  return static_cast<SymbolId>(level);
+}
+
+Result<EquiDepthDiscretizer> EquiDepthDiscretizer::Fit(
+    std::span<const double> values, std::size_t levels) {
+  if (values.empty()) {
+    return Status::InvalidArgument("cannot fit on an empty sequence");
+  }
+  if (levels < 2 || levels > kMaxAlphabetSize) {
+    return Status::InvalidArgument("levels must be in [2, 256]");
+  }
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.front() == sorted.back()) {
+    return Status::InvalidArgument(
+        "input is constant; cannot build quantile levels");
+  }
+  std::vector<double> cuts;
+  cuts.reserve(levels - 1);
+  for (std::size_t level = 1; level < levels; ++level) {
+    const std::size_t rank = level * sorted.size() / levels;
+    cuts.push_back(sorted[std::min(rank, sorted.size() - 1)]);
+  }
+  // Duplicate quantiles (heavy ties) collapse into fewer effective levels but
+  // must stay strictly increasing for LevelFromCuts to behave.
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  if (cuts.empty()) {
+    return Status::InvalidArgument(
+        "input is constant; cannot build quantile levels");
+  }
+  return EquiDepthDiscretizer(std::move(cuts));
+}
+
+SymbolId EquiDepthDiscretizer::Level(double value) const {
+  return LevelFromCuts(cuts_, value);
+}
+
+namespace {
+
+/// Standard-normal quantiles splitting the distribution into k equiprobable
+/// regions, for k = 2..10 (the usual SAX breakpoint table).
+const std::vector<double>& GaussianBreakpoints(std::size_t levels) {
+  static const std::vector<double> kTables[] = {
+      /* 2 */ {0.0},
+      /* 3 */ {-0.43, 0.43},
+      /* 4 */ {-0.67, 0.0, 0.67},
+      /* 5 */ {-0.84, -0.25, 0.25, 0.84},
+      /* 6 */ {-0.97, -0.43, 0.0, 0.43, 0.97},
+      /* 7 */ {-1.07, -0.57, -0.18, 0.18, 0.57, 1.07},
+      /* 8 */ {-1.15, -0.67, -0.32, 0.0, 0.32, 0.67, 1.15},
+      /* 9 */ {-1.22, -0.76, -0.43, -0.14, 0.14, 0.43, 0.76, 1.22},
+      /* 10 */ {-1.28, -0.84, -0.52, -0.25, 0.0, 0.25, 0.52, 0.84, 1.28},
+  };
+  PERIODICA_CHECK(levels >= 2 && levels <= 10);
+  return kTables[levels - 2];
+}
+
+}  // namespace
+
+Result<GaussianDiscretizer> GaussianDiscretizer::Fit(
+    std::span<const double> values, std::size_t levels) {
+  if (values.empty()) {
+    return Status::InvalidArgument("cannot fit on an empty sequence");
+  }
+  if (levels < 2 || levels > 10) {
+    return Status::InvalidArgument(
+        "GaussianDiscretizer supports 2..10 levels");
+  }
+  double mean = 0.0;
+  for (const double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double variance = 0.0;
+  for (const double v : values) variance += (v - mean) * (v - mean);
+  variance /= static_cast<double>(values.size());
+  double stddev = std::sqrt(variance);
+  if (stddev <= 0.0) stddev = 1.0;
+
+  std::vector<double> cuts;
+  for (const double z : GaussianBreakpoints(levels)) {
+    cuts.push_back(mean + z * stddev);
+  }
+  return GaussianDiscretizer(mean, stddev, std::move(cuts));
+}
+
+SymbolId GaussianDiscretizer::Level(double value) const {
+  return LevelFromCuts(cuts_, value);
+}
+
+}  // namespace periodica

@@ -1,0 +1,109 @@
+#ifndef PERIODICA_SERIES_DISCRETIZE_H_
+#define PERIODICA_SERIES_DISCRETIZE_H_
+
+#include <span>
+#include <vector>
+
+#include "periodica/series/series.h"
+#include "periodica/util/result.h"
+
+namespace periodica {
+
+/// Maps real-valued feature measurements to nominal symbol levels (Sect. 2.1:
+/// "if we discretize the time series feature values into nominal discrete
+/// levels"). The paper treats discretization as an orthogonal preprocessing
+/// step; these are the three standard schemes plus the explicit-threshold
+/// scheme its real-data experiments use.
+class Discretizer {
+ public:
+  virtual ~Discretizer() = default;
+
+  /// Number of output levels (alphabet size).
+  virtual std::size_t num_levels() const = 0;
+
+  /// Level of a single value, in [0, num_levels()).
+  virtual SymbolId Level(double value) const = 0;
+
+  /// Discretizes a whole sequence over the given alphabet (which must have
+  /// at least num_levels() symbols; defaults to Latin(num_levels())).
+  SymbolSeries Apply(std::span<const double> values) const;
+  SymbolSeries Apply(std::span<const double> values,
+                     const Alphabet& alphabet) const;
+};
+
+/// Explicit ascending cut points: value < cuts[0] -> level 0,
+/// cuts[i-1] <= value < cuts[i] -> level i, value >= cuts.back() -> last
+/// level. This expresses the paper's domain rules directly, e.g. the CIMEG
+/// levels "very low < 6000 Watts/Day, each further level spans 2000 Watts".
+class ThresholdDiscretizer : public Discretizer {
+ public:
+  /// `cuts` must be strictly increasing and non-empty.
+  static Result<ThresholdDiscretizer> Create(std::vector<double> cuts);
+
+  std::size_t num_levels() const override { return cuts_.size() + 1; }
+  SymbolId Level(double value) const override;
+
+  const std::vector<double>& cuts() const { return cuts_; }
+
+ private:
+  explicit ThresholdDiscretizer(std::vector<double> cuts)
+      : cuts_(std::move(cuts)) {}
+  std::vector<double> cuts_;
+};
+
+/// Equi-width binning between the observed min and max.
+class EquiWidthDiscretizer : public Discretizer {
+ public:
+  /// Fits `levels` >= 2 equal-width bins to `values` (must be non-empty).
+  static Result<EquiWidthDiscretizer> Fit(std::span<const double> values,
+                                          std::size_t levels);
+
+  std::size_t num_levels() const override { return levels_; }
+  SymbolId Level(double value) const override;
+
+ private:
+  EquiWidthDiscretizer(double lo, double width, std::size_t levels)
+      : lo_(lo), width_(width), levels_(levels) {}
+  double lo_;
+  double width_;
+  std::size_t levels_;
+};
+
+/// Equi-depth (quantile) binning: each level receives roughly the same number
+/// of training values.
+class EquiDepthDiscretizer : public Discretizer {
+ public:
+  static Result<EquiDepthDiscretizer> Fit(std::span<const double> values,
+                                          std::size_t levels);
+
+  std::size_t num_levels() const override { return cuts_.size() + 1; }
+  SymbolId Level(double value) const override;
+
+ private:
+  explicit EquiDepthDiscretizer(std::vector<double> cuts)
+      : cuts_(std::move(cuts)) {}
+  std::vector<double> cuts_;
+};
+
+/// SAX-style discretization: standardizes by the fitted mean/stddev and cuts
+/// at breakpoints that make the levels equiprobable under a Gaussian.
+/// Supports 2..10 levels (tabulated breakpoints).
+class GaussianDiscretizer : public Discretizer {
+ public:
+  static Result<GaussianDiscretizer> Fit(std::span<const double> values,
+                                         std::size_t levels);
+
+  std::size_t num_levels() const override { return cuts_.size() + 1; }
+  SymbolId Level(double value) const override;
+
+ private:
+  GaussianDiscretizer(double mean, double stddev, std::vector<double> cuts)
+      : mean_(mean), stddev_(stddev), cuts_(std::move(cuts)) {}
+  double mean_;
+  double stddev_;
+  std::vector<double> cuts_;
+};
+
+}  // namespace periodica
+
+#endif  // PERIODICA_SERIES_DISCRETIZE_H_

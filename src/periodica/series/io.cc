@@ -1,0 +1,121 @@
+#include "periodica/series/io.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace periodica {
+
+namespace {
+
+/// Splits a CSV line on commas (no quoting support; the experiment data files
+/// this library writes and reads are plain numeric CSV).
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream stream(line);
+  while (std::getline(stream, cell, ',')) cells.push_back(cell);
+  if (!line.empty() && line.back() == ',') cells.push_back("");
+  return cells;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  const double value = std::strtod(begin, &end);
+  if (end == begin) return false;
+  while (*end != '\0') {
+    if (!std::isspace(static_cast<unsigned char>(*end))) return false;
+    ++end;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<double>> ReadCsvColumn(const std::string& path,
+                                          std::size_t column,
+                                          bool skip_non_numeric) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::IOError("cannot open '" + path + "'");
+  }
+  std::vector<double> values;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(file, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = SplitCsvLine(line);
+    if (column >= cells.size()) {
+      if (skip_non_numeric) continue;
+      return Status::InvalidArgument(path + ":" + std::to_string(line_number) +
+                                     ": missing column " +
+                                     std::to_string(column));
+    }
+    double value = 0.0;
+    if (!ParseDouble(cells[column], &value)) {
+      if (skip_non_numeric) continue;
+      return Status::InvalidArgument(path + ":" + std::to_string(line_number) +
+                                     ": not numeric: '" + cells[column] + "'");
+    }
+    values.push_back(value);
+  }
+  return values;
+}
+
+Status WriteCsvColumn(const std::string& path,
+                      const std::vector<double>& values) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  for (const double value : values) {
+    file << value << '\n';
+  }
+  if (!file) {
+    return Status::IOError("write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+Result<SymbolSeries> ReadSymbolSeries(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::IOError("cannot open '" + path + "'");
+  }
+  std::string text;
+  char c = 0;
+  while (file.get(c)) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    text.push_back(c);
+  }
+  return SymbolSeries::FromString(text);
+}
+
+Status WriteSymbolSeries(const std::string& path, const SymbolSeries& series) {
+  const Alphabet& alphabet = series.alphabet();
+  for (std::size_t k = 0; k < alphabet.size(); ++k) {
+    if (alphabet.name(static_cast<SymbolId>(k)).size() != 1) {
+      return Status::InvalidArgument(
+          "WriteSymbolSeries requires single-letter symbol names");
+    }
+  }
+  std::ofstream file(path);
+  if (!file) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    file << alphabet.name(series[i]);
+    if ((i + 1) % 80 == 0) file << '\n';
+  }
+  file << '\n';
+  if (!file) {
+    return Status::IOError("write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace periodica

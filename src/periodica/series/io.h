@@ -1,0 +1,33 @@
+#ifndef PERIODICA_SERIES_IO_H_
+#define PERIODICA_SERIES_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "periodica/series/series.h"
+#include "periodica/util/result.h"
+
+namespace periodica {
+
+/// Reads one numeric column (0-based index) from a CSV file. Lines whose
+/// selected cell is not numeric (e.g. a header row) are skipped when
+/// `skip_non_numeric` is true, otherwise they fail the read.
+Result<std::vector<double>> ReadCsvColumn(const std::string& path,
+                                          std::size_t column,
+                                          bool skip_non_numeric = true);
+
+/// Writes values as a single-column CSV (one value per line).
+Status WriteCsvColumn(const std::string& path,
+                      const std::vector<double>& values);
+
+/// Reads a symbol series stored as one contiguous string of single-letter
+/// symbols (whitespace ignored), e.g. "abcabb\nabcb\n".
+Result<SymbolSeries> ReadSymbolSeries(const std::string& path);
+
+/// Writes a series in the format ReadSymbolSeries reads (single-letter
+/// alphabets only), wrapping lines at 80 symbols.
+Status WriteSymbolSeries(const std::string& path, const SymbolSeries& series);
+
+}  // namespace periodica
+
+#endif  // PERIODICA_SERIES_IO_H_

@@ -1,0 +1,83 @@
+#include "periodica/series/resample.h"
+
+#include <algorithm>
+
+namespace periodica {
+
+Result<std::vector<double>> AggregateValues(std::span<const double> values,
+                                            std::size_t factor,
+                                            ValueAggregate aggregate) {
+  if (factor < 1) {
+    return Status::InvalidArgument("factor must be >= 1");
+  }
+  std::vector<double> out;
+  out.reserve(values.size() / factor);
+  for (std::size_t start = 0; start + factor <= values.size();
+       start += factor) {
+    double value = values[start];
+    switch (aggregate) {
+      case ValueAggregate::kMean:
+      case ValueAggregate::kSum: {
+        double sum = 0.0;
+        for (std::size_t i = start; i < start + factor; ++i) sum += values[i];
+        value = aggregate == ValueAggregate::kSum
+                    ? sum
+                    : sum / static_cast<double>(factor);
+        break;
+      }
+      case ValueAggregate::kMin:
+        for (std::size_t i = start + 1; i < start + factor; ++i) {
+          value = std::min(value, values[i]);
+        }
+        break;
+      case ValueAggregate::kMax:
+        for (std::size_t i = start + 1; i < start + factor; ++i) {
+          value = std::max(value, values[i]);
+        }
+        break;
+      case ValueAggregate::kLast:
+        value = values[start + factor - 1];
+        break;
+    }
+    out.push_back(value);
+  }
+  return out;
+}
+
+Result<SymbolSeries> DownsampleSeries(const SymbolSeries& series,
+                                      std::size_t factor,
+                                      SymbolAggregate aggregate) {
+  if (factor < 1) {
+    return Status::InvalidArgument("factor must be >= 1");
+  }
+  SymbolSeries out(series.alphabet());
+  out.Reserve(series.size() / factor);
+  std::vector<std::size_t> histogram(series.alphabet().size());
+  for (std::size_t start = 0; start + factor <= series.size();
+       start += factor) {
+    SymbolId chosen = series[start];
+    switch (aggregate) {
+      case SymbolAggregate::kFirst:
+        break;
+      case SymbolAggregate::kLast:
+        chosen = series[start + factor - 1];
+        break;
+      case SymbolAggregate::kMajority: {
+        std::fill(histogram.begin(), histogram.end(), 0);
+        for (std::size_t i = start; i < start + factor; ++i) {
+          ++histogram[series[i]];
+        }
+        std::size_t best = 0;
+        for (std::size_t k = 1; k < histogram.size(); ++k) {
+          if (histogram[k] > histogram[best]) best = k;
+        }
+        chosen = static_cast<SymbolId>(best);
+        break;
+      }
+    }
+    out.Append(chosen);
+  }
+  return out;
+}
+
+}  // namespace periodica

@@ -1,0 +1,50 @@
+#ifndef PERIODICA_SERIES_RESAMPLE_H_
+#define PERIODICA_SERIES_RESAMPLE_H_
+
+#include <span>
+#include <vector>
+
+#include "periodica/series/series.h"
+#include "periodica/util/result.h"
+
+namespace periodica {
+
+/// Temporal aggregation, the preprocessing step in front of discretization
+/// in the paper's pipelines: CIMEG's "daily power consumption rates" and
+/// Wal-Mart's "transactions per hour" are aggregates of finer-grained raw
+/// measurements. Aggregating also rescales periods: a period of 24 at hourly
+/// resolution is a period of 1 at daily resolution, so mining at several
+/// resolutions surfaces different period ranges cheaply.
+
+enum class ValueAggregate {
+  kMean,
+  kSum,
+  kMin,
+  kMax,
+  kLast,
+};
+
+/// Aggregates consecutive groups of `factor` values into one. A trailing
+/// incomplete group is dropped (the paper's datasets are aligned to whole
+/// days/hours). factor must be >= 1.
+Result<std::vector<double>> AggregateValues(std::span<const double> values,
+                                            std::size_t factor,
+                                            ValueAggregate aggregate);
+
+enum class SymbolAggregate {
+  /// Most frequent symbol in the group; ties break to the smallest id.
+  kMajority,
+  kFirst,
+  kLast,
+};
+
+/// Coarsens a symbol series by `factor` (e.g. 24 hourly symbols -> 1 daily
+/// symbol). The alphabet is preserved; a trailing incomplete group is
+/// dropped.
+Result<SymbolSeries> DownsampleSeries(const SymbolSeries& series,
+                                      std::size_t factor,
+                                      SymbolAggregate aggregate);
+
+}  // namespace periodica
+
+#endif  // PERIODICA_SERIES_RESAMPLE_H_

@@ -1,0 +1,115 @@
+#include "periodica/series/series.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "periodica/util/logging.h"
+
+namespace periodica {
+
+SymbolSeries::SymbolSeries(Alphabet alphabet, std::vector<SymbolId> data)
+    : alphabet_(std::move(alphabet)), data_(std::move(data)) {
+  for (const SymbolId symbol : data_) {
+    PERIODICA_CHECK_LT(static_cast<std::size_t>(symbol), alphabet_.size());
+  }
+}
+
+Result<SymbolSeries> SymbolSeries::FromString(std::string_view text) {
+  char max_letter = 'a';
+  for (const char c : text) {
+    if (c < 'a' || c > 'z') {
+      return Status::InvalidArgument(
+          std::string("symbol character out of range: '") + c + "'");
+    }
+    max_letter = std::max(max_letter, c);
+  }
+  return FromString(text,
+                    Alphabet::Latin(static_cast<std::size_t>(max_letter - 'a') +
+                                    (text.empty() ? 0 : 1)));
+}
+
+Result<SymbolSeries> SymbolSeries::FromString(std::string_view text,
+                                              const Alphabet& alphabet) {
+  SymbolSeries series(alphabet);
+  series.Reserve(text.size());
+  for (const char c : text) {
+    if (c < 'a' || static_cast<std::size_t>(c - 'a') >= alphabet.size()) {
+      return Status::InvalidArgument(
+          std::string("character '") + c + "' outside the alphabet");
+    }
+    series.Append(static_cast<SymbolId>(c - 'a'));
+  }
+  return series;
+}
+
+void SymbolSeries::Append(SymbolId symbol) {
+  PERIODICA_DCHECK(static_cast<std::size_t>(symbol) < alphabet_.size());
+  data_.push_back(symbol);
+}
+
+SymbolSeries SymbolSeries::Projection(std::size_t period,
+                                      std::size_t position) const {
+  PERIODICA_CHECK_GE(period, 1u);
+  PERIODICA_CHECK_LT(position, period);
+  SymbolSeries projected(alphabet_);
+  for (std::size_t i = position; i < data_.size(); i += period) {
+    projected.Append(data_[i]);
+  }
+  return projected;
+}
+
+std::string SymbolSeries::ToString() const {
+  bool single_letter = true;
+  for (std::size_t k = 0; k < alphabet_.size(); ++k) {
+    if (alphabet_.name(static_cast<SymbolId>(k)).size() != 1) {
+      single_letter = false;
+      break;
+    }
+  }
+  std::string out;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (!single_letter && i > 0) out += ' ';
+    out += alphabet_.name(data_[i]);
+  }
+  return out;
+}
+
+std::size_t F2(const SymbolSeries& series, SymbolId symbol) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i + 1 < series.size(); ++i) {
+    if (series[i] == symbol && series[i + 1] == symbol) ++count;
+  }
+  return count;
+}
+
+std::size_t F2Projection(const SymbolSeries& series, SymbolId symbol,
+                         std::size_t period, std::size_t position) {
+  PERIODICA_CHECK_GE(period, 1u);
+  PERIODICA_CHECK_LT(position, period);
+  std::size_t count = 0;
+  for (std::size_t i = position; i + period < series.size(); i += period) {
+    if (series[i] == symbol && series[i + period] == symbol) ++count;
+  }
+  return count;
+}
+
+std::size_t ProjectionPairCount(std::size_t n, std::size_t period,
+                                std::size_t position) {
+  PERIODICA_CHECK_GE(period, 1u);
+  PERIODICA_CHECK_LT(position, period);
+  if (position >= n) return 0;
+  // ceil((n - l) / p) - 1
+  const std::size_t projection_length = (n - position + period - 1) / period;
+  return projection_length == 0 ? 0 : projection_length - 1;
+}
+
+double PeriodicityConfidence(const SymbolSeries& series, SymbolId symbol,
+                             std::size_t period, std::size_t position) {
+  const std::size_t pairs =
+      ProjectionPairCount(series.size(), period, position);
+  if (pairs == 0) return 0.0;
+  return static_cast<double>(F2Projection(series, symbol, period, position)) /
+         static_cast<double>(pairs);
+}
+
+}  // namespace periodica

@@ -1,0 +1,83 @@
+#ifndef PERIODICA_SERIES_SERIES_H_
+#define PERIODICA_SERIES_SERIES_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "periodica/series/alphabet.h"
+#include "periodica/util/result.h"
+
+namespace periodica {
+
+/// A discretized time series T = t_0, t_1, ..., t_{n-1} over a finite
+/// alphabet (the paper's Sect. 2.1 notation). Stores one SymbolId per
+/// timestamp; the alphabet is carried alongside for presentation.
+class SymbolSeries {
+ public:
+  SymbolSeries() = default;
+
+  /// Empty series over the given alphabet.
+  explicit SymbolSeries(Alphabet alphabet) : alphabet_(std::move(alphabet)) {}
+
+  SymbolSeries(Alphabet alphabet, std::vector<SymbolId> data);
+
+  /// Builds a series from single-letter symbols, e.g. "abcabbabcb" over the
+  /// implied Latin alphabet {a..max letter used}. Fails on characters outside
+  /// 'a'..'z'.
+  static Result<SymbolSeries> FromString(std::string_view text);
+
+  /// Same, but over an explicit alphabet (letters must be within it).
+  static Result<SymbolSeries> FromString(std::string_view text,
+                                         const Alphabet& alphabet);
+
+  const Alphabet& alphabet() const { return alphabet_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  SymbolId operator[](std::size_t i) const { return data_[i]; }
+  std::span<const SymbolId> data() const { return data_; }
+
+  void Append(SymbolId symbol);
+  void Reserve(std::size_t n) { data_.reserve(n); }
+
+  /// The projection pi_{p,l}(T) = t_l, t_{l+p}, t_{l+2p}, ... (Sect. 2.2).
+  /// Requires l < p and p >= 1.
+  SymbolSeries Projection(std::size_t period, std::size_t position) const;
+
+  /// Renders single-letter alphabets as a compact string ("abcab"); larger
+  /// alphabets as space-separated names.
+  std::string ToString() const;
+
+  friend bool operator==(const SymbolSeries& a, const SymbolSeries& b) {
+    return a.alphabet_ == b.alphabet_ && a.data_ == b.data_;
+  }
+
+ private:
+  Alphabet alphabet_;
+  std::vector<SymbolId> data_;
+};
+
+/// F2(s, T): the number of times symbol `s` occurs in two consecutive
+/// positions of `T` (Sect. 2.2). E.g. F2(a, "abbaaabaa") = 3.
+std::size_t F2(const SymbolSeries& series, SymbolId symbol);
+
+/// F2(s, pi_{p,l}(T)) computed without materializing the projection.
+std::size_t F2Projection(const SymbolSeries& series, SymbolId symbol,
+                         std::size_t period, std::size_t position);
+
+/// The denominator of Definition 1: ceil((n - l) / p) - 1, i.e. the number of
+/// consecutive pairs in the projection pi_{p,l} of a length-n series.
+std::size_t ProjectionPairCount(std::size_t n, std::size_t period,
+                                std::size_t position);
+
+/// Definition 1's periodicity confidence for (symbol, period, position):
+/// F2(s, pi_{p,l}(T)) / (ceil((n-l)/p) - 1). Returns 0 when the projection
+/// has no consecutive pairs.
+double PeriodicityConfidence(const SymbolSeries& series, SymbolId symbol,
+                             std::size_t period, std::size_t position);
+
+}  // namespace periodica
+
+#endif  // PERIODICA_SERIES_SERIES_H_

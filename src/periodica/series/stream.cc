@@ -1,0 +1,16 @@
+#include "periodica/series/stream.h"
+
+#include "periodica/util/logging.h"
+
+namespace periodica {
+
+SymbolSeries CollectStream(SeriesStream* stream) {
+  PERIODICA_CHECK(stream != nullptr);
+  SymbolSeries series(stream->alphabet());
+  while (const std::optional<SymbolId> symbol = stream->Next()) {
+    series.Append(*symbol);
+  }
+  return series;
+}
+
+}  // namespace periodica

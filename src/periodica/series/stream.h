@@ -1,0 +1,64 @@
+#ifndef PERIODICA_SERIES_STREAM_H_
+#define PERIODICA_SERIES_STREAM_H_
+
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "periodica/series/series.h"
+
+namespace periodica {
+
+/// A one-pass source of symbols. The obscure-patterns miner consumes a
+/// SeriesStream exactly once (the paper's "one pass over the time series"):
+/// each symbol is requested a single time and never revisited.
+class SeriesStream {
+ public:
+  virtual ~SeriesStream() = default;
+
+  /// The alphabet all emitted symbols belong to.
+  virtual const Alphabet& alphabet() const = 0;
+
+  /// Next symbol, or nullopt at end of stream.
+  virtual std::optional<SymbolId> Next() = 0;
+};
+
+/// Streams an in-memory series (useful to prove batch/stream equivalence).
+class VectorStream : public SeriesStream {
+ public:
+  explicit VectorStream(SymbolSeries series) : series_(std::move(series)) {}
+
+  const Alphabet& alphabet() const override { return series_.alphabet(); }
+
+  std::optional<SymbolId> Next() override {
+    if (cursor_ >= series_.size()) return std::nullopt;
+    return series_[cursor_++];
+  }
+
+ private:
+  SymbolSeries series_;
+  std::size_t cursor_ = 0;
+};
+
+/// Adapts a callable `() -> std::optional<SymbolId>` into a stream, e.g. a
+/// socket reader or an unbounded generator truncated by the caller.
+class FunctionStream : public SeriesStream {
+ public:
+  FunctionStream(Alphabet alphabet,
+                 std::function<std::optional<SymbolId>()> next)
+      : alphabet_(std::move(alphabet)), next_(std::move(next)) {}
+
+  const Alphabet& alphabet() const override { return alphabet_; }
+  std::optional<SymbolId> Next() override { return next_(); }
+
+ private:
+  Alphabet alphabet_;
+  std::function<std::optional<SymbolId>()> next_;
+};
+
+/// Drains a stream into an in-memory series.
+SymbolSeries CollectStream(SeriesStream* stream);
+
+}  // namespace periodica
+
+#endif  // PERIODICA_SERIES_STREAM_H_

@@ -1,0 +1,121 @@
+#include "periodica/util/bitset.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace periodica {
+
+void DynamicBitset::Clear() {
+  std::fill(words_.begin(), words_.end(), std::uint64_t{0});
+}
+
+std::size_t DynamicBitset::Count() const {
+  std::size_t total = 0;
+  for (std::uint64_t word : words_) total += std::popcount(word);
+  return total;
+}
+
+void DynamicBitset::MaskTail() {
+  const std::size_t tail = num_bits_ & 63;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << tail) - 1;
+  }
+}
+
+namespace {
+
+/// Reads the 64 bits of `words` starting at bit offset `bit`, treating bits
+/// past `num_bits` as zero.
+inline std::uint64_t WordAtBit(const std::vector<std::uint64_t>& words,
+                               std::size_t num_bits, std::size_t bit) {
+  if (bit >= num_bits) return 0;
+  const std::size_t w = bit >> 6;
+  const unsigned off = static_cast<unsigned>(bit & 63);
+  std::uint64_t lo = words[w] >> off;
+  if (off != 0 && w + 1 < words.size()) {
+    lo |= words[w + 1] << (64 - off);
+  }
+  // Zero out bits beyond num_bits.
+  const std::size_t remaining = num_bits - bit;
+  if (remaining < 64) {
+    lo &= (std::uint64_t{1} << remaining) - 1;
+  }
+  return lo;
+}
+
+}  // namespace
+
+void DynamicBitset::Append(const DynamicBitset& other) {
+  const std::size_t old_bits = num_bits_;
+  num_bits_ += other.num_bits_;
+  words_.resize((num_bits_ + 63) / 64, 0);
+  const unsigned offset = static_cast<unsigned>(old_bits & 63);
+  std::size_t w = old_bits >> 6;
+  for (std::size_t base = 0; base < other.num_bits_; base += 64) {
+    const std::uint64_t chunk =
+        WordAtBit(other.words_, other.num_bits_, base);
+    words_[w] |= chunk << offset;
+    if (offset != 0 && w + 1 < words_.size()) {
+      words_[w + 1] |= chunk >> (64 - offset);
+    }
+    ++w;
+  }
+  MaskTail();
+}
+
+std::size_t DynamicBitset::CountAndShifted(const DynamicBitset& other,
+                                           std::size_t shift) const {
+  std::size_t total = 0;
+  const std::size_t limit =
+      other.num_bits_ > shift ? std::min(num_bits_, other.num_bits_ - shift)
+                              : 0;
+  for (std::size_t base = 0; base < limit; base += 64) {
+    const std::uint64_t a = WordAtBit(words_, limit, base);
+    const std::uint64_t b =
+        WordAtBit(other.words_, other.num_bits_, base + shift);
+    total += std::popcount(a & b);
+  }
+  return total;
+}
+
+void DynamicBitset::CollectAndShifted(const DynamicBitset& other,
+                                      std::size_t shift,
+                                      std::vector<std::size_t>* out) const {
+  PERIODICA_DCHECK(out != nullptr);
+  const std::size_t limit =
+      other.num_bits_ > shift ? std::min(num_bits_, other.num_bits_ - shift)
+                              : 0;
+  for (std::size_t base = 0; base < limit; base += 64) {
+    const std::uint64_t a = WordAtBit(words_, limit, base);
+    const std::uint64_t b =
+        WordAtBit(other.words_, other.num_bits_, base + shift);
+    std::uint64_t word = a & b;
+    while (word != 0) {
+      const int bit = __builtin_ctzll(word);
+      out->push_back(base + static_cast<std::size_t>(bit));
+      word &= word - 1;
+    }
+  }
+}
+
+std::vector<std::size_t> DynamicBitset::SetBits() const {
+  std::vector<std::size_t> out;
+  out.reserve(Count());
+  ForEachSetBit([&out](std::size_t i) { out.push_back(i); });
+  return out;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  PERIODICA_CHECK_EQ(num_bits_, other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  PERIODICA_CHECK_EQ(num_bits_, other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  MaskTail();
+  return *this;
+}
+
+}  // namespace periodica

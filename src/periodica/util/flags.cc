@@ -1,0 +1,164 @@
+#include "periodica/util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "periodica/util/logging.h"
+#include "periodica/util/table.h"
+
+namespace periodica {
+
+void FlagSet::AddInt64(const std::string& name, std::int64_t* value,
+                       const std::string& help) {
+  PERIODICA_CHECK(Find(name) == nullptr) << "duplicate flag --" << name;
+  flags_.push_back(Flag{name, Kind::kInt64, value, help, std::string()});
+  flags_.back().default_repr = Repr(flags_.back());
+}
+
+void FlagSet::AddDouble(const std::string& name, double* value,
+                        const std::string& help) {
+  PERIODICA_CHECK(Find(name) == nullptr) << "duplicate flag --" << name;
+  flags_.push_back(Flag{name, Kind::kDouble, value, help, std::string()});
+  flags_.back().default_repr = Repr(flags_.back());
+}
+
+void FlagSet::AddBool(const std::string& name, bool* value,
+                      const std::string& help) {
+  PERIODICA_CHECK(Find(name) == nullptr) << "duplicate flag --" << name;
+  flags_.push_back(Flag{name, Kind::kBool, value, help, std::string()});
+  flags_.back().default_repr = Repr(flags_.back());
+}
+
+void FlagSet::AddString(const std::string& name, std::string* value,
+                        const std::string& help) {
+  PERIODICA_CHECK(Find(name) == nullptr) << "duplicate flag --" << name;
+  flags_.push_back(Flag{name, Kind::kString, value, help, std::string()});
+  flags_.back().default_repr = Repr(flags_.back());
+}
+
+const FlagSet::Flag* FlagSet::Find(const std::string& name) const {
+  for (const Flag& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+std::string FlagSet::Repr(const Flag& flag) {
+  switch (flag.kind) {
+    case Kind::kInt64:
+      return std::to_string(*static_cast<std::int64_t*>(flag.target));
+    case Kind::kDouble:
+      return FormatDouble(*static_cast<double*>(flag.target), 3);
+    case Kind::kBool:
+      return *static_cast<bool*>(flag.target) ? "true" : "false";
+    case Kind::kString:
+      return *static_cast<std::string*>(flag.target);
+  }
+  return "";
+}
+
+Status FlagSet::SetValue(const Flag& flag, const std::string& text) {
+  try {
+    switch (flag.kind) {
+      case Kind::kInt64: {
+        std::size_t pos = 0;
+        const long long parsed = std::stoll(text, &pos);
+        if (pos != text.size()) {
+          return Status::InvalidArgument("--" + flag.name +
+                                         ": not an integer: '" + text + "'");
+        }
+        *static_cast<std::int64_t*>(flag.target) = parsed;
+        return Status::OK();
+      }
+      case Kind::kDouble: {
+        std::size_t pos = 0;
+        const double parsed = std::stod(text, &pos);
+        if (pos != text.size()) {
+          return Status::InvalidArgument("--" + flag.name +
+                                         ": not a number: '" + text + "'");
+        }
+        *static_cast<double*>(flag.target) = parsed;
+        return Status::OK();
+      }
+      case Kind::kBool: {
+        if (text == "true" || text == "1") {
+          *static_cast<bool*>(flag.target) = true;
+        } else if (text == "false" || text == "0") {
+          *static_cast<bool*>(flag.target) = false;
+        } else {
+          return Status::InvalidArgument("--" + flag.name +
+                                         ": not a boolean: '" + text + "'");
+        }
+        return Status::OK();
+      }
+      case Kind::kString:
+        *static_cast<std::string*>(flag.target) = text;
+        return Status::OK();
+    }
+  } catch (const std::logic_error&) {
+    // std::stoll / std::stod reject unparsable or out-of-range input by
+    // throwing; translate to the library's Status-based error model here at
+    // the standard-library boundary.
+  }
+  return Status::InvalidArgument("--" + flag.name + ": bad value '" + text +
+                                 "'");
+}
+
+std::string FlagSet::Usage() const {
+  std::string out = "Usage: " + program_name_ + " [flags]\n";
+  for (const Flag& flag : flags_) {
+    out += "  --" + flag.name + "  " + flag.help +
+           " (default: " + flag.default_repr + ")\n";
+  }
+  return out;
+}
+
+Status FlagSet::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(Usage().c_str(), stdout);
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    const Flag* flag = Find(arg);
+    if (flag == nullptr && !has_value && arg.rfind("no", 0) == 0) {
+      // --noverbose form for booleans.
+      const Flag* negated = Find(arg.substr(2));
+      if (negated != nullptr && negated->kind == Kind::kBool) {
+        *static_cast<bool*>(negated->target) = false;
+        continue;
+      }
+    }
+    if (flag == nullptr) {
+      return Status::InvalidArgument("unknown flag --" + arg + "\n" + Usage());
+    }
+    if (!has_value) {
+      if (flag->kind == Kind::kBool) {
+        *static_cast<bool*>(flag->target) = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("--" + arg + " expects a value");
+      }
+      value = argv[++i];
+    }
+    PERIODICA_RETURN_NOT_OK(SetValue(*flag, value));
+  }
+  return Status::OK();
+}
+
+}  // namespace periodica

@@ -1,0 +1,70 @@
+#ifndef PERIODICA_UTIL_FLAGS_H_
+#define PERIODICA_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "periodica/util/status.h"
+
+namespace periodica {
+
+/// Minimal command-line flag parser for the bench and example binaries.
+/// Supports `--name=value`, `--name value`, bare `--bool_flag`, and
+/// `--no<bool_flag>`. `--help` prints registered flags and exits.
+///
+///   FlagSet flags("fig3_correctness");
+///   int64_t n = 100000;
+///   flags.AddInt64("length", &n, "series length");
+///   PERIODICA_CHECK_OK(flags.Parse(argc, argv));
+class FlagSet {
+ public:
+  explicit FlagSet(std::string program_name)
+      : program_name_(std::move(program_name)) {}
+
+  FlagSet(const FlagSet&) = delete;
+  FlagSet& operator=(const FlagSet&) = delete;
+
+  /// Registers a flag. The pointed-to variable keeps its current value as the
+  /// default and is overwritten during Parse. Pointers must outlive Parse.
+  void AddInt64(const std::string& name, std::int64_t* value,
+                const std::string& help);
+  void AddDouble(const std::string& name, double* value,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool* value, const std::string& help);
+  void AddString(const std::string& name, std::string* value,
+                 const std::string& help);
+
+  /// Parses argv. Unknown flags and malformed values produce
+  /// InvalidArgument. On `--help`, prints usage and calls std::exit(0).
+  Status Parse(int argc, char** argv);
+
+  /// Positional (non-flag) arguments encountered during Parse.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Renders the usage text (also printed on --help).
+  std::string Usage() const;
+
+ private:
+  enum class Kind { kInt64, kDouble, kBool, kString };
+
+  struct Flag {
+    std::string name;
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  const Flag* Find(const std::string& name) const;
+  static Status SetValue(const Flag& flag, const std::string& text);
+  static std::string Repr(const Flag& flag);
+
+  std::string program_name_;
+  std::vector<Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace periodica
+
+#endif  // PERIODICA_UTIL_FLAGS_H_

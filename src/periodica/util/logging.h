@@ -1,0 +1,76 @@
+#ifndef PERIODICA_UTIL_LOGGING_H_
+#define PERIODICA_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace periodica {
+namespace internal {
+
+/// Accumulates a fatal-error message; prints to stderr and aborts on
+/// destruction. Used by the PERIODICA_CHECK family below.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition) {
+    stream_ << "[" << file << ":" << line << "] Check failed: " << condition
+            << " ";
+  }
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed message when a check passes.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace periodica
+
+/// Aborts with a diagnostic when `condition` is false. Additional context can
+/// be streamed: PERIODICA_CHECK(n > 0) << "series empty";
+#define PERIODICA_CHECK(condition)                                      \
+  while (!(condition))                                                  \
+  ::periodica::internal::FatalLogMessage(__FILE__, __LINE__, #condition)
+
+#define PERIODICA_CHECK_OK(expr)                                        \
+  if (::periodica::Status _periodica_st = (expr); _periodica_st.ok()) { \
+  } else /* NOLINT(readability/braces) */                               \
+    ::periodica::internal::FatalLogMessage(__FILE__, __LINE__, #expr)   \
+        << _periodica_st.ToString() << " "
+
+#define PERIODICA_CHECK_EQ(a, b) PERIODICA_CHECK((a) == (b))
+#define PERIODICA_CHECK_NE(a, b) PERIODICA_CHECK((a) != (b))
+#define PERIODICA_CHECK_LT(a, b) PERIODICA_CHECK((a) < (b))
+#define PERIODICA_CHECK_LE(a, b) PERIODICA_CHECK((a) <= (b))
+#define PERIODICA_CHECK_GT(a, b) PERIODICA_CHECK((a) > (b))
+#define PERIODICA_CHECK_GE(a, b) PERIODICA_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define PERIODICA_DCHECK(condition) \
+  while (false) ::periodica::internal::NullStream()
+#else
+#define PERIODICA_DCHECK(condition) PERIODICA_CHECK(condition)
+#endif
+
+#endif  // PERIODICA_UTIL_LOGGING_H_

@@ -1,0 +1,87 @@
+#ifndef PERIODICA_UTIL_RESULT_H_
+#define PERIODICA_UTIL_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "periodica/util/logging.h"
+#include "periodica/util/status.h"
+
+namespace periodica {
+
+/// A value-or-error holder, in the style of arrow::Result. A Result<T> holds
+/// either a T (the operation succeeded) or a non-OK Status explaining why it
+/// did not. Accessing the value of an errored Result aborts the process with
+/// a diagnostic, so callers must check `ok()` (or use the macros below).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Constructs from a value (implicit so `return value;` works).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit so `return status;` works).
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : repr_(std::move(status)) {
+    PERIODICA_CHECK(!this->status().ok())
+        << "Result constructed from an OK Status carries no value";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status: OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// The held value; aborts if this Result holds an error.
+  const T& value() const& {
+    PERIODICA_CHECK(ok()) << "Result::value() on error: " << status();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    PERIODICA_CHECK(ok()) << "Result::value() on error: " << status();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    PERIODICA_CHECK(ok()) << "Result::value() on error: " << status();
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Moves the value out; aborts if this Result holds an error.
+  T ValueOrDie() && { return std::move(*this).value(); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+namespace internal {
+#define PERIODICA_CONCAT_IMPL(x, y) x##y
+#define PERIODICA_CONCAT(x, y) PERIODICA_CONCAT_IMPL(x, y)
+}  // namespace internal
+
+/// Evaluates `rexpr` (a Result<T>); on error, returns its status from the
+/// enclosing function; on success, assigns the value to `lhs`.
+///
+///   PERIODICA_ASSIGN_OR_RETURN(auto series, SymbolSeries::FromString("ab"));
+#define PERIODICA_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  PERIODICA_ASSIGN_OR_RETURN_IMPL(                                      \
+      PERIODICA_CONCAT(_periodica_result_, __LINE__), lhs, rexpr)
+
+#define PERIODICA_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                                    \
+  if (!result_name.ok()) return result_name.status();            \
+  lhs = std::move(result_name).value()
+
+}  // namespace periodica
+
+#endif  // PERIODICA_UTIL_RESULT_H_

@@ -1,0 +1,50 @@
+#ifndef PERIODICA_UTIL_RNG_H_
+#define PERIODICA_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace periodica {
+
+/// Deterministic pseudo-random number generator (xoshiro256**), seeded via
+/// splitmix64. The library uses its own generator, rather than <random>
+/// engines, so that every synthetic workload is reproducible bit-for-bit
+/// across platforms and standard-library versions — experiment outputs in
+/// EXPERIMENTS.md depend on this.
+class Rng {
+ public:
+  /// Seeds the four 64-bit lanes from `seed` using splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit output.
+  std::uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be positive. Uses Lemire's
+  /// nearly-divisionless rejection method, so the result is unbiased.
+  std::uint64_t UniformInt(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t UniformRange(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Standard normal variate (Box-Muller; caches the second variate).
+  double Gaussian();
+
+  /// Normal variate with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// True with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+ private:
+  std::uint64_t state_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace periodica
+
+#endif  // PERIODICA_UTIL_RNG_H_

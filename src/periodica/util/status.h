@@ -1,0 +1,102 @@
+#ifndef PERIODICA_UTIL_STATUS_H_
+#define PERIODICA_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace periodica {
+
+/// Error codes used across the library. Modeled after the RocksDB/Arrow
+/// Status idiom: the library does not throw; fallible operations return a
+/// Status (or a Result<T>, see result.h) that callers must inspect.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kIOError,
+  kInternal,
+  kNotImplemented,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "Invalid argument",
+/// ...). Never returns null.
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error outcome. Cheap to copy in the OK case (no allocation);
+/// error statuses carry a message describing what went wrong.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace periodica
+
+/// Propagates a non-OK Status to the caller. Usable in functions returning
+/// Status or Result<T>.
+#define PERIODICA_RETURN_NOT_OK(expr)             \
+  do {                                            \
+    ::periodica::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+#endif  // PERIODICA_UTIL_STATUS_H_

@@ -1,0 +1,30 @@
+#ifndef PERIODICA_UTIL_STOPWATCH_H_
+#define PERIODICA_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace periodica {
+
+/// Wall-clock stopwatch over std::chrono::steady_clock, used by the benchmark
+/// harness to time mining phases.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace periodica
+
+#endif  // PERIODICA_UTIL_STOPWATCH_H_

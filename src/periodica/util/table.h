@@ -1,0 +1,47 @@
+#ifndef PERIODICA_UTIL_TABLE_H_
+#define PERIODICA_UTIL_TABLE_H_
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace periodica {
+
+/// Plain-text table writer used by the bench harness to print paper-style
+/// tables (rows/series matching the paper's Tables 1-3 and Figures 3-6).
+///
+///   TextTable table({"Period", "Confidence"});
+///   table.AddRow({"25", "1.00"});
+///   table.Print(std::cout);
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with aligned columns, a header underline, and `| `-separated
+  /// cells.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with `digits` digits after the decimal point.
+std::string FormatDouble(double value, int digits = 3);
+
+/// Formats a byte count as "4 KB", "2.0 MB", ... (power-of-two units).
+std::string FormatBytes(std::size_t bytes);
+
+/// Joins `parts` with `sep` ("a, b, c").
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+}  // namespace periodica
+
+#endif  // PERIODICA_UTIL_TABLE_H_

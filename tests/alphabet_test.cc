@@ -1,0 +1,76 @@
+#include "periodica/series/alphabet.h"
+
+#include <gtest/gtest.h>
+
+namespace periodica {
+namespace {
+
+TEST(AlphabetTest, LatinAlphabet) {
+  const Alphabet alphabet = Alphabet::Latin(3);
+  EXPECT_EQ(alphabet.size(), 3u);
+  EXPECT_EQ(alphabet.name(0), "a");
+  EXPECT_EQ(alphabet.name(1), "b");
+  EXPECT_EQ(alphabet.name(2), "c");
+}
+
+TEST(AlphabetTest, FindExisting) {
+  const Alphabet alphabet = Alphabet::Latin(4);
+  const auto id = alphabet.Find("c");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 2);
+}
+
+TEST(AlphabetTest, FindMissing) {
+  const Alphabet alphabet = Alphabet::Latin(2);
+  EXPECT_TRUE(alphabet.Find("z").status().IsNotFound());
+}
+
+TEST(AlphabetTest, FromNames) {
+  auto alphabet = Alphabet::FromNames({"very low", "low", "high"});
+  ASSERT_TRUE(alphabet.ok());
+  EXPECT_EQ(alphabet->size(), 3u);
+  EXPECT_EQ(alphabet->name(1), "low");
+  EXPECT_EQ(*alphabet->Find("high"), 2);
+}
+
+TEST(AlphabetTest, FromNamesRejectsDuplicates) {
+  EXPECT_TRUE(
+      Alphabet::FromNames({"a", "b", "a"}).status().IsInvalidArgument());
+}
+
+TEST(AlphabetTest, FindOrAddGrows) {
+  Alphabet alphabet;
+  EXPECT_EQ(alphabet.size(), 0u);
+  const auto first = alphabet.FindOrAdd("x");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, 0);
+  const auto second = alphabet.FindOrAdd("y");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, 1);
+  // Re-adding returns the existing id.
+  EXPECT_EQ(*alphabet.FindOrAdd("x"), 0);
+  EXPECT_EQ(alphabet.size(), 2u);
+}
+
+TEST(AlphabetTest, FindOrAddRejectsOverflow) {
+  Alphabet alphabet;
+  for (std::size_t i = 0; i < kMaxAlphabetSize; ++i) {
+    ASSERT_TRUE(alphabet.FindOrAdd("sym" + std::to_string(i)).ok());
+  }
+  EXPECT_TRUE(alphabet.FindOrAdd("one more").status().IsOutOfRange());
+}
+
+TEST(AlphabetTest, FiveLevelsMatchesPaper) {
+  const Alphabet levels = Alphabet::FiveLevels();
+  EXPECT_EQ(levels.size(), 5u);
+  EXPECT_EQ(levels.name(0), "a");  // very low
+  EXPECT_EQ(levels.name(4), "e");  // very high
+}
+
+TEST(AlphabetTest, Equality) {
+  EXPECT_EQ(Alphabet::Latin(3), Alphabet::Latin(3));
+  EXPECT_FALSE(Alphabet::Latin(3) == Alphabet::Latin(4));
+}
+
+}  // namespace
+}  // namespace periodica

@@ -1,0 +1,104 @@
+#include "periodica/baselines/berberidis.h"
+
+#include <gtest/gtest.h>
+
+#include "periodica/gen/synthetic.h"
+
+namespace periodica {
+namespace {
+
+TEST(BerberidisTest, CircularAutocorrelationMatchesDirectCount) {
+  auto series = SymbolSeries::FromString("abcabbabcb");
+  ASSERT_TRUE(series.ok());
+  for (SymbolId s = 0; s < 3; ++s) {
+    const auto correlation =
+        BerberidisDetector::CircularAutocorrelation(*series, s);
+    ASSERT_EQ(correlation.size(), series->size());
+    for (std::size_t p = 0; p < series->size(); ++p) {
+      std::uint64_t expected = 0;
+      for (std::size_t i = 0; i < series->size(); ++i) {
+        const std::size_t j = (i + p) % series->size();
+        if ((*series)[i] == s && (*series)[j] == s) ++expected;
+      }
+      EXPECT_EQ(correlation[p], expected) << "s=" << int(s) << " p=" << p;
+    }
+  }
+}
+
+TEST(BerberidisTest, CircularAutocorrelationNonPowerOfTwoLength) {
+  // Length 365 exercises the Bluestein path.
+  SyntheticSpec spec;
+  spec.length = 365;
+  spec.alphabet_size = 5;
+  spec.period = 7;
+  spec.seed = 12;
+  auto series = GeneratePerfect(spec);
+  ASSERT_TRUE(series.ok());
+  const auto correlation =
+      BerberidisDetector::CircularAutocorrelation(*series, (*series)[0]);
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < series->size(); ++i) {
+    const std::size_t j = (i + 7) % series->size();
+    if ((*series)[i] == (*series)[0] && (*series)[j] == (*series)[0]) {
+      ++expected;
+    }
+  }
+  EXPECT_EQ(correlation[7], expected);
+}
+
+TEST(BerberidisTest, DetectsEmbeddedPeriod) {
+  SyntheticSpec spec;
+  spec.length = 5000;
+  spec.alphabet_size = 10;
+  spec.period = 25;
+  spec.seed = 14;
+  auto series = GeneratePerfect(spec);
+  ASSERT_TRUE(series.ok());
+  BerberidisOptions options;
+  options.confidence_threshold = 0.9;
+  options.max_period = 100;
+  auto candidates = BerberidisDetector(options).Detect(*series);
+  ASSERT_TRUE(candidates.ok());
+  bool found = false;
+  for (const auto& candidate : *candidates) {
+    if (candidate.period == 25) found = true;
+    // Every reported candidate meets the threshold.
+    EXPECT_GE(candidate.score + 1e-12, 0.9);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BerberidisTest, RandomDataProducesFewCandidates) {
+  SyntheticSpec spec;
+  spec.length = 10000;
+  spec.alphabet_size = 10;
+  spec.period = 10000;  // non-repeating
+  spec.seed = 15;
+  auto series = GeneratePerfect(spec);
+  ASSERT_TRUE(series.ok());
+  BerberidisOptions options;
+  options.confidence_threshold = 0.5;
+  options.max_period = 500;
+  auto candidates = BerberidisDetector(options).Detect(*series);
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_LT(candidates->size(), 10u);
+}
+
+TEST(BerberidisTest, ValidatesOptions) {
+  auto series = SymbolSeries::FromString("abab");
+  ASSERT_TRUE(series.ok());
+  BerberidisOptions options;
+  options.confidence_threshold = 0.0;
+  EXPECT_TRUE(
+      BerberidisDetector(options).Detect(*series).status().IsInvalidArgument());
+}
+
+TEST(BerberidisTest, RejectsTinySeries) {
+  SymbolSeries series(Alphabet::Latin(2));
+  series.Append(0);
+  EXPECT_TRUE(
+      BerberidisDetector().Detect(series).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace periodica

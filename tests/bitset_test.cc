@@ -1,0 +1,231 @@
+#include "periodica/util/bitset.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "periodica/util/rng.h"
+
+namespace periodica {
+namespace {
+
+TEST(BitsetTest, StartsEmpty) {
+  DynamicBitset bits(100);
+  EXPECT_EQ(bits.size(), 100u);
+  EXPECT_EQ(bits.Count(), 0u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(bits.Test(i));
+}
+
+TEST(BitsetTest, SetResetTest) {
+  DynamicBitset bits(70);
+  bits.Set(0);
+  bits.Set(63);
+  bits.Set(64);
+  bits.Set(69);
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_TRUE(bits.Test(63));
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_TRUE(bits.Test(69));
+  EXPECT_EQ(bits.Count(), 4u);
+  bits.Reset(63);
+  EXPECT_FALSE(bits.Test(63));
+  EXPECT_EQ(bits.Count(), 3u);
+  bits.SetTo(1, true);
+  bits.SetTo(0, false);
+  EXPECT_TRUE(bits.Test(1));
+  EXPECT_FALSE(bits.Test(0));
+}
+
+TEST(BitsetTest, ClearZeroesEverything) {
+  DynamicBitset bits(130);
+  for (std::size_t i = 0; i < 130; i += 3) bits.Set(i);
+  bits.Clear();
+  EXPECT_EQ(bits.Count(), 0u);
+  EXPECT_EQ(bits.size(), 130u);
+}
+
+TEST(BitsetTest, SetBitsReturnsSortedPositions) {
+  DynamicBitset bits(200);
+  bits.Set(5);
+  bits.Set(64);
+  bits.Set(199);
+  EXPECT_EQ(bits.SetBits(), (std::vector<std::size_t>{5, 64, 199}));
+}
+
+TEST(BitsetTest, ForEachSetBitVisitsInOrder) {
+  DynamicBitset bits(129);
+  bits.Set(128);
+  bits.Set(1);
+  bits.Set(63);
+  std::vector<std::size_t> seen;
+  bits.ForEachSetBit([&seen](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{1, 63, 128}));
+}
+
+TEST(BitsetTest, CountAndShiftedBasic) {
+  // a = {0, 3, 6}, b = {3, 6, 9}: with shift 3, positions 0, 3, 6 of a align
+  // with 3, 6, 9 of b.
+  DynamicBitset a(10);
+  DynamicBitset b(10);
+  for (std::size_t i : {0u, 3u, 6u}) a.Set(i);
+  for (std::size_t i : {3u, 6u, 9u}) b.Set(i);
+  EXPECT_EQ(a.CountAndShifted(b, 3), 3u);
+  EXPECT_EQ(a.CountAndShifted(b, 0), 2u);   // overlap at 3 and 6
+  EXPECT_EQ(a.CountAndShifted(b, 9), 1u);   // a[0] & b[9]
+  EXPECT_EQ(a.CountAndShifted(b, 10), 0u);  // shift beyond b
+  EXPECT_EQ(a.CountAndShifted(b, 1000), 0u);
+}
+
+TEST(BitsetTest, CollectAndShiftedMatchesCount) {
+  DynamicBitset a(10);
+  DynamicBitset b(10);
+  for (std::size_t i : {0u, 3u, 6u}) a.Set(i);
+  for (std::size_t i : {3u, 6u, 9u}) b.Set(i);
+  std::vector<std::size_t> out;
+  a.CollectAndShifted(b, 3, &out);
+  EXPECT_EQ(out, (std::vector<std::size_t>{0, 3, 6}));
+}
+
+TEST(BitsetTest, AndOrOperators) {
+  DynamicBitset a(80);
+  DynamicBitset b(80);
+  a.Set(1);
+  a.Set(70);
+  b.Set(70);
+  b.Set(2);
+  DynamicBitset a_and = a;
+  a_and &= b;
+  EXPECT_EQ(a_and.SetBits(), (std::vector<std::size_t>{70}));
+  DynamicBitset a_or = a;
+  a_or |= b;
+  EXPECT_EQ(a_or.SetBits(), (std::vector<std::size_t>{1, 2, 70}));
+}
+
+TEST(BitsetTest, EqualityIncludesSize) {
+  DynamicBitset a(10);
+  DynamicBitset b(10);
+  EXPECT_EQ(a, b);
+  b.Set(3);
+  EXPECT_FALSE(a == b);
+  DynamicBitset c(11);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(BitsetTest, AppendConcatenatesBits) {
+  DynamicBitset a(3);
+  a.Set(0);
+  a.Set(2);
+  DynamicBitset b(4);
+  b.Set(1);
+  b.Set(3);
+  a.Append(b);
+  EXPECT_EQ(a.size(), 7u);
+  EXPECT_EQ(a.SetBits(), (std::vector<std::size_t>{0, 2, 4, 6}));
+}
+
+TEST(BitsetTest, AppendToEmptyAndOfEmpty) {
+  DynamicBitset empty;
+  DynamicBitset bits(5);
+  bits.Set(4);
+  empty.Append(bits);
+  EXPECT_EQ(empty.SetBits(), (std::vector<std::size_t>{4}));
+  bits.Append(DynamicBitset());
+  EXPECT_EQ(bits.size(), 5u);
+}
+
+class BitsetAppendProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(BitsetAppendProperty, MatchesReference) {
+  const auto [size_a, size_b] = GetParam();
+  Rng rng(size_a * 1000 + size_b);
+  DynamicBitset a(size_a);
+  DynamicBitset b(size_b);
+  std::vector<bool> reference;
+  for (std::size_t i = 0; i < size_a; ++i) {
+    const bool bit = rng.Bernoulli(0.5);
+    if (bit) a.Set(i);
+    reference.push_back(bit);
+  }
+  for (std::size_t i = 0; i < size_b; ++i) {
+    const bool bit = rng.Bernoulli(0.5);
+    if (bit) b.Set(i);
+    reference.push_back(bit);
+  }
+  a.Append(b);
+  ASSERT_EQ(a.size(), size_a + size_b);
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(a.Test(i), reference[i]) << "bit " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, BitsetAppendProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(0, 1, 63, 64, 65, 130),
+                       ::testing::Values<std::size_t>(0, 1, 63, 64, 200)));
+
+TEST(BitsetTest, EmptyBitset) {
+  DynamicBitset bits;
+  EXPECT_TRUE(bits.empty());
+  EXPECT_EQ(bits.Count(), 0u);
+  EXPECT_TRUE(bits.SetBits().empty());
+}
+
+// Property suite: CountAndShifted / CollectAndShifted against a plain
+// vector<bool> reference, across sizes straddling word boundaries and shifts
+// of every alignment.
+class BitsetShiftProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(BitsetShiftProperty, MatchesReferenceImplementation) {
+  const auto [size, seed] = GetParam();
+  Rng rng(seed);
+  DynamicBitset a(size);
+  DynamicBitset b(size);
+  std::vector<bool> ref_a(size), ref_b(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    if (rng.Bernoulli(0.4)) {
+      a.Set(i);
+      ref_a[i] = true;
+    }
+    if (rng.Bernoulli(0.4)) {
+      b.Set(i);
+      ref_b[i] = true;
+    }
+  }
+  ASSERT_EQ(a.Count(), static_cast<std::size_t>(
+                           std::count(ref_a.begin(), ref_a.end(), true)));
+
+  const std::size_t shifts[] = {0,        1,        2,        63,      64,
+                                65,       size / 2, size - 1, size,    size + 5};
+  for (const std::size_t shift : shifts) {
+    std::size_t expected = 0;
+    std::vector<std::size_t> expected_positions;
+    for (std::size_t i = 0; i < size; ++i) {
+      if (i + shift < size && ref_a[i] && ref_b[i + shift]) {
+        ++expected;
+        expected_positions.push_back(i);
+      }
+    }
+    EXPECT_EQ(a.CountAndShifted(b, shift), expected)
+        << "size=" << size << " shift=" << shift;
+    std::vector<std::size_t> collected;
+    a.CollectAndShifted(b, shift, &collected);
+    EXPECT_EQ(collected, expected_positions)
+        << "size=" << size << " shift=" << shift;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, BitsetShiftProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(3, 64, 65, 127, 128,
+                                                      129, 1000, 4096),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+}  // namespace
+}  // namespace periodica

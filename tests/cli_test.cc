@@ -1,0 +1,162 @@
+// End-to-end test of the periodica_cli binary: invokes the real executable
+// (path injected by CMake) on temp files and checks its output and exit
+// codes.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#ifndef PERIODICA_CLI_PATH
+#error "PERIODICA_CLI_PATH must be defined by the build"
+#endif
+
+namespace periodica {
+namespace {
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("periodica_cli_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string WriteFile(const std::string& name, const std::string& content) {
+    const auto path = dir_ / name;
+    std::ofstream file(path);
+    file << content;
+    return path.string();
+  }
+
+  /// Runs the CLI, captures stdout, returns {exit_code, output}.
+  std::pair<int, std::string> Run(const std::string& args) {
+    const auto out_path = dir_ / "stdout.txt";
+    const std::string command = std::string(PERIODICA_CLI_PATH) + " " + args +
+                                " > " + out_path.string() + " 2>/dev/null";
+    const int raw = std::system(command.c_str());
+    const int exit_code = WEXITSTATUS(raw);
+    std::ifstream file(out_path);
+    std::string output((std::istreambuf_iterator<char>(file)),
+                       std::istreambuf_iterator<char>());
+    return {exit_code, output};
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CliTest, MinesSymbolFile) {
+  const std::string input = WriteFile("series.txt", "abcabbabcb\n");
+  const auto [exit_code, output] =
+      Run("--input " + input + " --threshold 0.5 --max_period 5 --patterns");
+  EXPECT_EQ(exit_code, 0);
+  EXPECT_NE(output.find("# periods"), std::string::npos);
+  EXPECT_NE(output.find("ab*"), std::string::npos);
+  EXPECT_NE(output.find("0.667"), std::string::npos);
+}
+
+TEST_F(CliTest, CsvModeDiscretizesAndMines) {
+  // A period-3 sawtooth in a 2-column CSV; column 1 carries the signal.
+  std::string csv = "t,value\n";
+  for (int i = 0; i < 60; ++i) {
+    csv += std::to_string(i) + "," + std::to_string(10 * (i % 3)) + "\n";
+  }
+  const std::string input = WriteFile("values.csv", csv);
+  const auto [exit_code, output] =
+      Run("--input " + input +
+          " --csv_column 1 --levels 3 --discretizer equiwidth "
+          "--threshold 0.9 --max_period 6 --format csv");
+  EXPECT_EQ(exit_code, 0);
+  // Period 3 detected with confidence 1 in CSV output.
+  EXPECT_NE(output.find("3,1.000"), std::string::npos);
+}
+
+TEST_F(CliTest, MissingInputFlagFails) {
+  const auto [exit_code, output] = Run("--threshold 0.5");
+  EXPECT_EQ(exit_code, 2);
+  EXPECT_TRUE(output.empty());
+}
+
+TEST_F(CliTest, NonexistentFileFails) {
+  const auto [exit_code, output] = Run("--input /nonexistent/file.txt");
+  EXPECT_EQ(exit_code, 1);
+}
+
+TEST_F(CliTest, BadFlagValueFails) {
+  const std::string input = WriteFile("series.txt", "abab\n");
+  const auto [exit_code, output] =
+      Run("--input " + input + " --threshold notanumber");
+  EXPECT_EQ(exit_code, 2);
+}
+
+TEST_F(CliTest, UnknownEngineFails) {
+  const std::string input = WriteFile("series.txt", "abab\n");
+  const auto [exit_code, output] =
+      Run("--input " + input + " --engine warpdrive");
+  EXPECT_EQ(exit_code, 2);
+}
+
+TEST_F(CliTest, SignificanceScreeningDropsChancePeriodicities) {
+  // Random-ish series: at a permissive threshold the raw run reports many
+  // periodicities; screening at 1e-6 reports far fewer.
+  std::string text;
+  unsigned state = 12345;
+  for (int i = 0; i < 2000; ++i) {
+    state = state * 1103515245 + 12345;
+    text += static_cast<char>('a' + ((state >> 16) % 6));
+  }
+  const std::string input = WriteFile("random.txt", text + "\n");
+  const auto [raw_code, raw_out] =
+      Run("--input " + input + " --threshold 0.3 --format csv");
+  const auto [screened_code, screened_out] =
+      Run("--input " + input +
+          " --threshold 0.3 --significance 1e-6 --format csv");
+  EXPECT_EQ(raw_code, 0);
+  EXPECT_EQ(screened_code, 0);
+  auto count_lines = [](const std::string& out) {
+    std::size_t lines = 0;
+    for (const char c : out) lines += c == '\n';
+    return lines;
+  };
+  EXPECT_LT(count_lines(screened_out), count_lines(raw_out) / 2);
+}
+
+TEST_F(CliTest, SavePeriodsWritesLoadableCsv) {
+  const std::string input =
+      WriteFile("series.txt", "abcabcabcabcabcabcabc\n");
+  const std::string saved = (dir_ / "periods.csv").string();
+  const auto [exit_code, output] =
+      Run("--input " + input + " --threshold 0.9 --save_periods " + saved);
+  EXPECT_EQ(exit_code, 0);
+  std::ifstream file(saved);
+  std::string header;
+  ASSERT_TRUE(std::getline(file, header));
+  EXPECT_EQ(header, "period,position,symbol,f2,pairs");
+  std::string row;
+  ASSERT_TRUE(std::getline(file, row));
+  EXPECT_EQ(row.substr(0, 2), "3,");
+}
+
+TEST_F(CliTest, ExactAndFftEnginesAgree) {
+  const std::string input =
+      WriteFile("series.txt", "abcabcabcabcabcabcabcabcabcabc\n");
+  const auto [exact_code, exact_out] =
+      Run("--input " + input + " --engine exact --threshold 0.9 --format csv");
+  const auto [fft_code, fft_out] =
+      Run("--input " + input + " --engine fft --threshold 0.9 --format csv");
+  EXPECT_EQ(exact_code, 0);
+  EXPECT_EQ(fft_code, 0);
+  EXPECT_EQ(exact_out, fft_out);
+}
+
+}  // namespace
+}  // namespace periodica

@@ -1,0 +1,116 @@
+#include "periodica/series/combine.h"
+
+#include <gtest/gtest.h>
+
+#include "periodica/core/miner.h"
+#include "periodica/util/rng.h"
+
+namespace periodica {
+namespace {
+
+SymbolSeries Make(std::string_view text) {
+  auto series = SymbolSeries::FromString(text);
+  EXPECT_TRUE(series.ok()) << series.status();
+  return std::move(series).ValueOrDie();
+}
+
+TEST(CombineTest, ProductAlphabetNamesAndIds) {
+  const SymbolSeries temperature = Make("ab");
+  const SymbolSeries humidity = Make("cc");  // alphabet {a, b, c}
+  auto combined = CombineSeries({&temperature, &humidity});
+  ASSERT_TRUE(combined.ok()) << combined.status();
+  // Product size = 2 * 3 = 6; feature 0 fastest-varying.
+  EXPECT_EQ(combined->alphabet().size(), 6u);
+  EXPECT_EQ(combined->alphabet().name(0), "a+a");
+  EXPECT_EQ(combined->alphabet().name(1), "b+a");
+  EXPECT_EQ(combined->alphabet().name(2), "a+b");
+  EXPECT_EQ(combined->alphabet().name(5), "b+c");
+  // t0: (a, c) -> 0 + 2*2 = 4; t1: (b, c) -> 1 + 2*2 = 5.
+  EXPECT_EQ((*combined)[0], 4);
+  EXPECT_EQ((*combined)[1], 5);
+}
+
+TEST(CombineTest, RoundTripsThroughDecompose) {
+  Rng rng(3);
+  SymbolSeries a(Alphabet::Latin(4));
+  SymbolSeries b(Alphabet::Latin(5));
+  SymbolSeries c(Alphabet::Latin(3));
+  for (int i = 0; i < 200; ++i) {
+    a.Append(static_cast<SymbolId>(rng.UniformInt(4)));
+    b.Append(static_cast<SymbolId>(rng.UniformInt(5)));
+    c.Append(static_cast<SymbolId>(rng.UniformInt(3)));
+  }
+  auto combined = CombineSeries({&a, &b, &c});
+  ASSERT_TRUE(combined.ok());
+  const std::vector<std::size_t> sizes = {4, 5, 3};
+  auto a_back = ProjectFeature(*combined, sizes, 0);
+  auto b_back = ProjectFeature(*combined, sizes, 1);
+  auto c_back = ProjectFeature(*combined, sizes, 2);
+  ASSERT_TRUE(a_back.ok());
+  ASSERT_TRUE(b_back.ok());
+  ASSERT_TRUE(c_back.ok());
+  EXPECT_EQ(a_back->data().size(), a.data().size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ((*a_back)[i], a[i]);
+    EXPECT_EQ((*b_back)[i], b[i]);
+    EXPECT_EQ((*c_back)[i], c[i]);
+  }
+}
+
+TEST(CombineTest, JointPeriodicityOfFeatureCombination) {
+  // A: a b a b a b a b ...   (period 2)
+  // B: a a b b a a b b ...   (period 4)
+  // The *combination* "a+a" (both features simultaneously 'a') holds exactly
+  // at i % 4 == 0 — a cross-feature periodicity the product series exposes
+  // as a single perfectly periodic symbol.
+  SymbolSeries a(Alphabet::Latin(2));
+  SymbolSeries b(Alphabet::Latin(2));
+  for (int i = 0; i < 400; ++i) {
+    a.Append(static_cast<SymbolId>(i % 2));
+    b.Append(static_cast<SymbolId>((i / 2) % 2));
+  }
+  auto combined = CombineSeries({&a, &b});
+  ASSERT_TRUE(combined.ok());
+
+  MinerOptions options;
+  options.threshold = 1.0;
+  options.min_period = 4;
+  options.max_period = 4;
+  auto joint = ObscureMiner(options).Mine(*combined);
+  ASSERT_TRUE(joint.ok());
+  // The product symbol a+a (id 0) is perfectly periodic at period 4 phase 0.
+  bool found = false;
+  for (const SymbolPeriodicity& entry : joint->periodicities.entries()) {
+    if (entry.symbol == 0 && entry.position == 0) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CombineTest, ValidatesInputs) {
+  const SymbolSeries a = Make("ab");
+  const SymbolSeries shorter = Make("a");
+  EXPECT_TRUE(CombineSeries({&a}).status().IsInvalidArgument());
+  EXPECT_TRUE(CombineSeries({&a, &shorter}).status().IsInvalidArgument());
+  EXPECT_TRUE(CombineSeries({&a, nullptr}).status().IsInvalidArgument());
+}
+
+TEST(CombineTest, ProductAlphabetOverflowRejected) {
+  SymbolSeries a(Alphabet::Latin(20));
+  SymbolSeries b(Alphabet::Latin(20));
+  for (int i = 0; i < 4; ++i) {
+    a.Append(0);
+    b.Append(0);
+  }
+  EXPECT_TRUE(CombineSeries({&a, &b}).status().IsOutOfRange());
+}
+
+TEST(CombineTest, DecomposeValidation) {
+  EXPECT_TRUE(DecomposeSymbol(0, {2, 3}, 5).status().IsInvalidArgument());
+  EXPECT_TRUE(DecomposeSymbol(0, {0, 3}, 1).status().IsInvalidArgument());
+  auto ok = DecomposeSymbol(5, {2, 3}, 1);  // 5 = 1 + 2*2 -> feature1 id 2
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+}
+
+}  // namespace
+}  // namespace periodica

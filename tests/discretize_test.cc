@@ -1,0 +1,138 @@
+#include "periodica/series/discretize.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace periodica {
+namespace {
+
+TEST(ThresholdDiscretizerTest, PaperCimegLevels) {
+  // "very low corresponds to less than 6000 Watts/Day, and each level has a
+  // 2000 Watts range."
+  auto discretizer =
+      ThresholdDiscretizer::Create({6000, 8000, 10000, 12000});
+  ASSERT_TRUE(discretizer.ok());
+  EXPECT_EQ(discretizer->num_levels(), 5u);
+  EXPECT_EQ(discretizer->Level(0), 0);      // very low
+  EXPECT_EQ(discretizer->Level(5999), 0);   // very low
+  EXPECT_EQ(discretizer->Level(6000), 1);   // low
+  EXPECT_EQ(discretizer->Level(7999), 1);   // low
+  EXPECT_EQ(discretizer->Level(9000), 2);   // medium
+  EXPECT_EQ(discretizer->Level(11000), 3);  // high
+  EXPECT_EQ(discretizer->Level(12000), 4);  // very high
+  EXPECT_EQ(discretizer->Level(99999), 4);  // very high
+}
+
+TEST(ThresholdDiscretizerTest, RejectsBadCuts) {
+  EXPECT_TRUE(ThresholdDiscretizer::Create({}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ThresholdDiscretizer::Create({2, 1}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ThresholdDiscretizer::Create({1, 1}).status().IsInvalidArgument());
+}
+
+TEST(ThresholdDiscretizerTest, ApplyProducesSeries) {
+  auto discretizer = ThresholdDiscretizer::Create({10.0});
+  ASSERT_TRUE(discretizer.ok());
+  const std::vector<double> values = {5, 15, 9, 20};
+  const SymbolSeries series = discretizer->Apply(values);
+  EXPECT_EQ(series.ToString(), "abab");
+}
+
+TEST(EquiWidthTest, SplitsRangeEvenly) {
+  const std::vector<double> values = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto discretizer = EquiWidthDiscretizer::Fit(values, 5);
+  ASSERT_TRUE(discretizer.ok());
+  EXPECT_EQ(discretizer->Level(0.0), 0);
+  EXPECT_EQ(discretizer->Level(1.9), 0);
+  EXPECT_EQ(discretizer->Level(2.1), 1);
+  EXPECT_EQ(discretizer->Level(9.9), 4);
+  EXPECT_EQ(discretizer->Level(10.0), 4);  // max clamps into the last level
+  EXPECT_EQ(discretizer->Level(-100.0), 0);
+  EXPECT_EQ(discretizer->Level(+100.0), 4);
+}
+
+TEST(EquiWidthTest, RejectsEmptyOrSingleLevel) {
+  const std::vector<double> values = {1.0};
+  EXPECT_TRUE(EquiWidthDiscretizer::Fit({}, 5).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      EquiWidthDiscretizer::Fit(values, 1).status().IsInvalidArgument());
+}
+
+TEST(EquiWidthTest, ConstantInputMapsToLevelZero) {
+  const std::vector<double> values = {3, 3, 3};
+  auto discretizer = EquiWidthDiscretizer::Fit(values, 4);
+  ASSERT_TRUE(discretizer.ok());
+  EXPECT_EQ(discretizer->Level(3.0), 0);
+}
+
+TEST(EquiDepthTest, BalancesCounts) {
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(i);
+  auto discretizer = EquiDepthDiscretizer::Fit(values, 4);
+  ASSERT_TRUE(discretizer.ok());
+  std::vector<int> counts(4, 0);
+  for (const double v : values) ++counts[discretizer->Level(v)];
+  for (const int count : counts) {
+    EXPECT_NEAR(count, 25, 2);
+  }
+}
+
+TEST(EquiDepthTest, SkewedDataStillPartitions) {
+  std::vector<double> values(90, 1.0);
+  for (int i = 0; i < 10; ++i) values.push_back(100.0 + i);
+  auto discretizer = EquiDepthDiscretizer::Fit(values, 4);
+  ASSERT_TRUE(discretizer.ok());
+  // Heavy ties collapse cut points, but ordering must hold.
+  EXPECT_LE(discretizer->Level(1.0), discretizer->Level(105.0));
+}
+
+TEST(EquiDepthTest, ConstantInputFails) {
+  const std::vector<double> values = {2, 2, 2, 2};
+  EXPECT_TRUE(
+      EquiDepthDiscretizer::Fit(values, 3).status().IsInvalidArgument());
+}
+
+TEST(GaussianTest, FiveLevelBreakpoints) {
+  // Standard normal data: levels should be roughly equiprobable.
+  std::vector<double> values;
+  values.reserve(10000);
+  // Deterministic quasi-normal data via inverse-ish transform on a grid.
+  for (int i = 0; i < 10000; ++i) {
+    const double u = (i + 0.5) / 10000.0;
+    // Rough inverse CDF (logit approximation is fine for bucketing).
+    values.push_back(4.0 * (u - 0.5) +
+                     1.6 * (u - 0.5) * (u - 0.5) * (u - 0.5));
+  }
+  auto discretizer = GaussianDiscretizer::Fit(values, 5);
+  ASSERT_TRUE(discretizer.ok());
+  EXPECT_EQ(discretizer->num_levels(), 5u);
+  std::vector<int> counts(5, 0);
+  for (const double v : values) ++counts[discretizer->Level(v)];
+  for (const int count : counts) {
+    EXPECT_GT(count, 800);  // every level is used substantially
+  }
+}
+
+TEST(GaussianTest, RejectsUnsupportedLevelCounts) {
+  const std::vector<double> values = {1, 2, 3};
+  EXPECT_TRUE(
+      GaussianDiscretizer::Fit(values, 11).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      GaussianDiscretizer::Fit(values, 1).status().IsInvalidArgument());
+}
+
+TEST(DiscretizerTest, ApplyWithNamedAlphabet) {
+  auto discretizer = ThresholdDiscretizer::Create({0.5});
+  ASSERT_TRUE(discretizer.ok());
+  auto alphabet = Alphabet::FromNames({"off", "on"});
+  ASSERT_TRUE(alphabet.ok());
+  const std::vector<double> values = {0.0, 1.0};
+  const SymbolSeries series = discretizer->Apply(values, *alphabet);
+  EXPECT_EQ(series.alphabet().name(series[0]), "off");
+  EXPECT_EQ(series.alphabet().name(series[1]), "on");
+}
+
+}  // namespace
+}  // namespace periodica

@@ -1,0 +1,115 @@
+#include "periodica/gen/domain.h"
+
+#include <gtest/gtest.h>
+
+#include "periodica/series/series.h"
+
+namespace periodica {
+namespace {
+
+TEST(RetailSimulatorTest, GeneratesHourlyCounts) {
+  RetailTransactionSimulator::Options options;
+  options.weeks = 2;
+  RetailTransactionSimulator simulator(options);
+  const std::vector<double> counts = simulator.GenerateCounts();
+  EXPECT_EQ(counts.size(), 2u * 7 * 24);
+  for (const double count : counts) EXPECT_GE(count, 0.0);
+}
+
+TEST(RetailSimulatorTest, OvernightHoursAreZero) {
+  RetailTransactionSimulator::Options options;
+  options.weeks = 1;
+  RetailTransactionSimulator simulator(options);
+  const std::vector<double> counts = simulator.GenerateCounts();
+  for (std::size_t day = 0; day < 7; ++day) {
+    for (std::size_t hour = 0; hour < 6; ++hour) {
+      EXPECT_EQ(counts[day * 24 + hour], 0.0);
+    }
+  }
+}
+
+TEST(RetailSimulatorTest, SeriesHasStrongDailyStructure) {
+  RetailTransactionSimulator::Options options;
+  options.weeks = 4;
+  RetailTransactionSimulator simulator(options);
+  auto series = simulator.GenerateSeries();
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series->size(), 4u * 7 * 24);
+  EXPECT_EQ(series->alphabet().size(), 5u);
+  // The very-low overnight symbol must be periodic with period 24 at hour 0
+  // with full confidence (stores are closed every night).
+  EXPECT_DOUBLE_EQ(PeriodicityConfidence(*series, 0, 24, 0), 1.0);
+  EXPECT_DOUBLE_EQ(PeriodicityConfidence(*series, 0, 24, 3), 1.0);
+}
+
+TEST(RetailSimulatorTest, DstAnomalyShiftsPhase) {
+  RetailTransactionSimulator::Options options;
+  options.weeks = 4;
+  options.dst_anomaly = true;
+  options.noise_stddev = 0.0;
+  const std::vector<double> with_shift =
+      RetailTransactionSimulator(options).GenerateCounts();
+  options.dst_anomaly = false;
+  const std::vector<double> without_shift =
+      RetailTransactionSimulator(options).GenerateCounts();
+  ASSERT_EQ(with_shift.size(), without_shift.size());
+  const std::size_t half = with_shift.size() / 2;
+  // Identical first halves, phase-shifted second halves.
+  for (std::size_t i = 0; i < half; ++i) {
+    EXPECT_EQ(with_shift[i], without_shift[i]) << "hour " << i;
+  }
+  for (std::size_t i = half; i + 1 < with_shift.size(); ++i) {
+    EXPECT_EQ(with_shift[i], without_shift[i + 1]) << "hour " << i;
+  }
+}
+
+TEST(RetailSimulatorTest, DeterministicForSeed) {
+  RetailTransactionSimulator::Options options;
+  options.weeks = 1;
+  EXPECT_EQ(RetailTransactionSimulator(options).GenerateCounts(),
+            RetailTransactionSimulator(options).GenerateCounts());
+  RetailTransactionSimulator::Options other = options;
+  other.seed = options.seed + 1;
+  EXPECT_NE(RetailTransactionSimulator(options).GenerateCounts(),
+            RetailTransactionSimulator(other).GenerateCounts());
+}
+
+TEST(RetailSimulatorTest, PaperCutsMatchDocumentedLevels) {
+  const std::vector<double> cuts = RetailTransactionSimulator::PaperCuts();
+  ASSERT_EQ(cuts.size(), 4u);  // 5 levels
+  EXPECT_EQ(cuts[1], 200.0);   // "low corresponds to less than 200"
+  EXPECT_EQ(cuts[2], 400.0);   // "each level has a 200 transactions range"
+}
+
+TEST(PowerSimulatorTest, GeneratesDailyReadings) {
+  PowerConsumptionSimulator::Options options;
+  options.days = 365;
+  PowerConsumptionSimulator simulator(options);
+  const std::vector<double> readings = simulator.GenerateReadings();
+  EXPECT_EQ(readings.size(), 365u);
+  for (const double reading : readings) EXPECT_GE(reading, 0.0);
+}
+
+TEST(PowerSimulatorTest, SeriesHasWeeklyStructure) {
+  PowerConsumptionSimulator::Options options;
+  options.days = 364;
+  options.noise_stddev = 100.0;
+  options.seasonal_amplitude = 0.0;
+  PowerConsumptionSimulator simulator(options);
+  auto series = simulator.GenerateSeries();
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series->alphabet().size(), 5u);
+  // Thursday (position 3) is the very-low day: symbol a periodic at period 7
+  // position 3 with high confidence.
+  EXPECT_GT(PeriodicityConfidence(*series, 0, 7, 3), 0.8);
+}
+
+TEST(PowerSimulatorTest, PaperCutsMatchDocumentedLevels) {
+  const std::vector<double> cuts = PowerConsumptionSimulator::PaperCuts();
+  ASSERT_EQ(cuts.size(), 4u);
+  EXPECT_EQ(cuts[0], 6000.0);  // "very low ... less than 6000 Watts/Day"
+  EXPECT_EQ(cuts[1], 8000.0);  // "each level has a 2000 Watts range"
+}
+
+}  // namespace
+}  // namespace periodica

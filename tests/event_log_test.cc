@@ -1,0 +1,129 @@
+#include "periodica/gen/event_log.h"
+
+#include <gtest/gtest.h>
+
+#include "periodica/series/series.h"
+
+namespace periodica {
+namespace {
+
+TEST(EventLogTest, AlphabetLayout) {
+  EventLogSimulator::Options options;
+  options.ticks = 100;
+  options.jobs.push_back({10, 0, 1.0, 0});
+  options.jobs.push_back({7, 3, 1.0, 0});
+  options.num_background_types = 3;
+  auto log = EventLogSimulator(options).Generate();
+  ASSERT_TRUE(log.ok());
+  const Alphabet& alphabet = log->alphabet();
+  ASSERT_EQ(alphabet.size(), 6u);  // idle + 2 jobs + 3 background
+  EXPECT_EQ(alphabet.name(0), "idle");
+  EXPECT_EQ(alphabet.name(1), "job0");
+  EXPECT_EQ(alphabet.name(2), "job1");
+  EXPECT_EQ(alphabet.name(3), "bg0");
+  EXPECT_EQ(EventLogSimulator::JobSymbol(1), 2);
+}
+
+TEST(EventLogTest, ReliableJobFiresExactlyOnSchedule) {
+  EventLogSimulator::Options options;
+  options.ticks = 200;
+  options.jobs.push_back({10, 4, 1.0, 0});
+  options.background_rate = 0.5;
+  auto log = EventLogSimulator(options).Generate();
+  ASSERT_TRUE(log.ok());
+  const SymbolId job = EventLogSimulator::JobSymbol(0);
+  for (std::size_t i = 0; i < log->size(); ++i) {
+    if (i % 10 == 4) {
+      EXPECT_EQ((*log)[i], job) << "tick " << i;
+    } else {
+      EXPECT_NE((*log)[i], job) << "tick " << i;
+    }
+  }
+  // The job symbol is perfectly periodic at its phase.
+  EXPECT_DOUBLE_EQ(PeriodicityConfidence(*log, job, 10, 4), 1.0);
+}
+
+TEST(EventLogTest, UnreliableJobFiresApproximatelyAtRate) {
+  EventLogSimulator::Options options;
+  options.ticks = 50000;
+  options.jobs.push_back({10, 0, 0.7, 0});
+  options.background_rate = 0.0;
+  auto log = EventLogSimulator(options).Generate();
+  ASSERT_TRUE(log.ok());
+  const SymbolId job = EventLogSimulator::JobSymbol(0);
+  std::size_t fired = 0;
+  for (std::size_t i = 0; i < log->size(); i += 10) {
+    if ((*log)[i] == job) ++fired;
+  }
+  EXPECT_NEAR(static_cast<double>(fired) / 5000.0, 0.7, 0.03);
+}
+
+TEST(EventLogTest, JobStopsAtOutage) {
+  EventLogSimulator::Options options;
+  options.ticks = 1000;
+  options.jobs.push_back({10, 0, 1.0, /*stops_at=*/500});
+  auto log = EventLogSimulator(options).Generate();
+  ASSERT_TRUE(log.ok());
+  const SymbolId job = EventLogSimulator::JobSymbol(0);
+  for (std::size_t i = 0; i < 500; i += 10) {
+    EXPECT_EQ((*log)[i], job);
+  }
+  for (std::size_t i = 500; i < 1000; ++i) {
+    EXPECT_NE((*log)[i], job);
+  }
+}
+
+TEST(EventLogTest, EarlierJobWinsTickCollision) {
+  EventLogSimulator::Options options;
+  options.ticks = 60;
+  options.jobs.push_back({6, 0, 1.0, 0});
+  options.jobs.push_back({10, 0, 1.0, 0});  // collides at multiples of 30
+  options.background_rate = 0.0;
+  auto log = EventLogSimulator(options).Generate();
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ((*log)[0], EventLogSimulator::JobSymbol(0));
+  EXPECT_EQ((*log)[30], EventLogSimulator::JobSymbol(0));
+  EXPECT_EQ((*log)[10], EventLogSimulator::JobSymbol(1));
+}
+
+TEST(EventLogTest, BackgroundRateRespected) {
+  EventLogSimulator::Options options;
+  options.ticks = 50000;
+  options.background_rate = 0.3;
+  options.num_background_types = 4;
+  auto log = EventLogSimulator(options).Generate();
+  ASSERT_TRUE(log.ok());
+  std::size_t background = 0;
+  for (std::size_t i = 0; i < log->size(); ++i) {
+    if ((*log)[i] != EventLogSimulator::kIdleSymbol) ++background;
+  }
+  EXPECT_NEAR(static_cast<double>(background) / 50000.0, 0.3, 0.01);
+}
+
+TEST(EventLogTest, ValidatesJobs) {
+  EventLogSimulator::Options options;
+  options.ticks = 10;
+  options.jobs.push_back({0, 0, 1.0, 0});
+  EXPECT_TRUE(
+      EventLogSimulator(options).Generate().status().IsInvalidArgument());
+  options.jobs[0] = {5, 5, 1.0, 0};  // phase >= period
+  EXPECT_TRUE(
+      EventLogSimulator(options).Generate().status().IsInvalidArgument());
+  options.jobs[0] = {5, 0, 1.5, 0};  // bad reliability
+  EXPECT_TRUE(
+      EventLogSimulator(options).Generate().status().IsInvalidArgument());
+}
+
+TEST(EventLogTest, DeterministicForSeed) {
+  EventLogSimulator::Options options;
+  options.ticks = 500;
+  options.jobs.push_back({7, 2, 0.8, 0});
+  auto a = EventLogSimulator(options).Generate();
+  auto b = EventLogSimulator(options).Generate();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+}  // namespace
+}  // namespace periodica

@@ -1,0 +1,163 @@
+#include "periodica/core/exact_miner.h"
+
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+namespace periodica {
+namespace {
+
+SymbolSeries Make(std::string_view text) {
+  auto series = SymbolSeries::FromString(text);
+  EXPECT_TRUE(series.ok()) << series.status();
+  return std::move(series).ValueOrDie();
+}
+
+const SymbolPeriodicity* Find(const PeriodicityTable& table,
+                              std::size_t period, std::size_t position,
+                              SymbolId symbol) {
+  for (const auto& entry : table.entries()) {
+    if (entry.period == period && entry.position == position &&
+        entry.symbol == symbol) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+TEST(ExactMinerTest, PaperDefinitionOneExample) {
+  // T = abcabbabcb: a is periodic with period 3 at position 0 with
+  // confidence 2/3; b with period 3 at position 1 with confidence 1.
+  const SymbolSeries series = Make("abcabbabcb");
+  ExactConvolutionMiner miner(series);
+  MinerOptions options;
+  options.threshold = 0.6;
+  const PeriodicityTable table = miner.Mine(options);
+
+  const SymbolPeriodicity* a_entry = Find(table, 3, 0, 0);
+  ASSERT_NE(a_entry, nullptr);
+  EXPECT_EQ(a_entry->f2, 2u);
+  EXPECT_EQ(a_entry->pairs, 3u);
+  EXPECT_DOUBLE_EQ(a_entry->confidence, 2.0 / 3.0);
+
+  const SymbolPeriodicity* b_entry = Find(table, 3, 1, 1);
+  ASSERT_NE(b_entry, nullptr);
+  EXPECT_DOUBLE_EQ(b_entry->confidence, 1.0);
+}
+
+TEST(ExactMinerTest, ThresholdFiltersEntries) {
+  const SymbolSeries series = Make("abcabbabcb");
+  ExactConvolutionMiner miner(series);
+  MinerOptions options;
+  options.threshold = 0.9;  // only the confidence-1 b entry survives at p=3
+  const PeriodicityTable table = miner.Mine(options);
+  EXPECT_EQ(Find(table, 3, 0, 0), nullptr);
+  EXPECT_NE(Find(table, 3, 1, 1), nullptr);
+}
+
+TEST(ExactMinerTest, EntriesMatchBruteForceDefinitionOne) {
+  const SymbolSeries series = Make("abcabbabcbacbbacbbcaabcabb");
+  ExactConvolutionMiner miner(series);
+  MinerOptions options;
+  options.threshold = 0.4;
+  const PeriodicityTable table = miner.Mine(options);
+
+  // Every (p, l, s) combination, checked directly against Definition 1.
+  const std::size_t n = series.size();
+  std::size_t expected_entries = 0;
+  for (std::size_t p = 1; p <= n / 2; ++p) {
+    for (std::size_t l = 0; l < p; ++l) {
+      for (SymbolId s = 0; s < series.alphabet().size(); ++s) {
+        const std::size_t pairs = ProjectionPairCount(n, p, l);
+        if (pairs == 0) continue;
+        const double confidence = PeriodicityConfidence(series, s, p, l);
+        const SymbolPeriodicity* entry = Find(table, p, l, s);
+        if (confidence >= options.threshold) {
+          ++expected_entries;
+          ASSERT_NE(entry, nullptr)
+              << "missing p=" << p << " l=" << l << " s=" << int(s);
+          EXPECT_DOUBLE_EQ(entry->confidence, confidence);
+        } else {
+          EXPECT_EQ(entry, nullptr)
+              << "spurious p=" << p << " l=" << l << " s=" << int(s);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(table.entries().size(), expected_entries);
+}
+
+TEST(ExactMinerTest, PerfectPeriodicSeriesDetectedWithConfidenceOne) {
+  const SymbolSeries series = Make("abcdeabcdeabcdeabcdeabcde");  // p=5, n=25
+  ExactConvolutionMiner miner(series);
+  MinerOptions options;
+  options.threshold = 1.0;
+  const PeriodicityTable table = miner.Mine(options);
+  const PeriodSummary* summary = table.FindPeriod(5);
+  ASSERT_NE(summary, nullptr);
+  EXPECT_DOUBLE_EQ(summary->best_confidence, 1.0);
+  EXPECT_EQ(summary->num_periodicities, 5u);  // every position
+  // The double period is equally perfect.
+  ASSERT_NE(table.FindPeriod(10), nullptr);
+  EXPECT_DOUBLE_EQ(table.PeriodConfidence(10), 1.0);
+  // Non-multiples are not.
+  EXPECT_EQ(table.FindPeriod(4), nullptr);
+  EXPECT_EQ(table.FindPeriod(7), nullptr);
+}
+
+TEST(ExactMinerTest, RespectsPeriodRange) {
+  const SymbolSeries series = Make("abcdeabcdeabcdeabcdeabcde");
+  ExactConvolutionMiner miner(series);
+  MinerOptions options;
+  options.threshold = 1.0;
+  options.min_period = 6;
+  options.max_period = 11;
+  const PeriodicityTable table = miner.Mine(options);
+  EXPECT_EQ(table.FindPeriod(5), nullptr);
+  EXPECT_NE(table.FindPeriod(10), nullptr);
+  EXPECT_EQ(table.FindPeriod(15), nullptr);
+}
+
+TEST(ExactMinerTest, MaxEntriesTruncates) {
+  const SymbolSeries series = Make("abcdeabcdeabcdeabcdeabcde");
+  ExactConvolutionMiner miner(series);
+  MinerOptions options;
+  options.threshold = 0.5;
+  options.max_entries = 3;
+  const PeriodicityTable table = miner.Mine(options);
+  EXPECT_TRUE(table.truncated());
+  EXPECT_EQ(table.entries().size(), 3u);
+  // Summaries survive the truncation intact.
+  EXPECT_NE(table.FindPeriod(5), nullptr);
+  EXPECT_EQ(table.FindPeriod(5)->num_periodicities, 5u);
+}
+
+TEST(ExactMinerTest, SingleSymbolSeries) {
+  const SymbolSeries series = Make("aaaaaaaa");
+  ExactConvolutionMiner miner(series);
+  MinerOptions options;
+  options.threshold = 1.0;
+  const PeriodicityTable table = miner.Mine(options);
+  // Every period up to n/2 is perfect for an all-a series.
+  for (std::size_t p = 1; p <= 4; ++p) {
+    EXPECT_DOUBLE_EQ(table.PeriodConfidence(p), 1.0) << "p=" << p;
+  }
+}
+
+TEST(ExactMinerTest, SymbolSetsFeedDefinitionThree) {
+  // For T = abcabbabcb at psi <= 2/3: S_{3,0} = {a}, S_{3,1} = {b},
+  // S_{3,2} = {} (Sect. 2.3).
+  const SymbolSeries series = Make("abcabbabcb");
+  ExactConvolutionMiner miner(series);
+  MinerOptions options;
+  options.threshold = 2.0 / 3.0;
+  const PeriodicityTable table = miner.Mine(options);
+  const auto sets = table.SymbolSets(3);
+  ASSERT_EQ(sets.size(), 3u);
+  EXPECT_EQ(sets[0], std::vector<SymbolId>{0});  // {a}
+  EXPECT_EQ(sets[1], std::vector<SymbolId>{1});  // {b}
+  EXPECT_TRUE(sets[2].empty());
+}
+
+}  // namespace
+}  // namespace periodica

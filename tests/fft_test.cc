@@ -1,0 +1,232 @@
+#include "periodica/fft/fft.h"
+
+#include <atomic>
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "periodica/util/rng.h"
+
+namespace periodica::fft {
+namespace {
+
+/// O(n^2) reference DFT.
+std::vector<Complex> NaiveDft(const std::vector<Complex>& input,
+                              bool inverse) {
+  const std::size_t n = input.size();
+  std::vector<Complex> output(n, Complex(0, 0));
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = sign * 2.0 * std::numbers::pi *
+                           static_cast<double>(j * k) / static_cast<double>(n);
+      output[k] += input[j] * Complex(std::cos(angle), std::sin(angle));
+    }
+    if (inverse) output[k] /= static_cast<double>(n);
+  }
+  return output;
+}
+
+std::vector<Complex> RandomComplex(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Complex> data(n);
+  for (auto& value : data) {
+    value = Complex(rng.UniformDouble() * 2 - 1, rng.UniformDouble() * 2 - 1);
+  }
+  return data;
+}
+
+void ExpectClose(const std::vector<Complex>& actual,
+                 const std::vector<Complex>& expected, double tolerance) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_NEAR(actual[i].real(), expected[i].real(), tolerance)
+        << "index " << i;
+    EXPECT_NEAR(actual[i].imag(), expected[i].imag(), tolerance)
+        << "index " << i;
+  }
+}
+
+TEST(FftUtilTest, IsPowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_FALSE(IsPowerOfTwo(1023));
+}
+
+TEST(FftUtilTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(0), 1u);
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1025), 2048u);
+}
+
+TEST(FftPlanTest, SizeOneIsIdentity) {
+  FftPlan plan(1);
+  Complex data[] = {Complex(3, -2)};
+  plan.Forward(data);
+  EXPECT_EQ(data[0], Complex(3, -2));
+  plan.Inverse(data);
+  EXPECT_EQ(data[0], Complex(3, -2));
+}
+
+TEST(FftPlanTest, KnownSizeFourTransform) {
+  // DFT of [1, 2, 3, 4] = [10, -2+2i, -2, -2-2i].
+  std::vector<Complex> data = {Complex(1), Complex(2), Complex(3), Complex(4)};
+  GetPlan(4).Forward(data.data());
+  ExpectClose(data,
+              {Complex(10, 0), Complex(-2, 2), Complex(-2, 0), Complex(-2, -2)},
+              1e-12);
+}
+
+TEST(FftPlanTest, LinearityHolds) {
+  const std::size_t n = 64;
+  auto x = RandomComplex(n, 1);
+  auto y = RandomComplex(n, 2);
+  std::vector<Complex> sum(n);
+  for (std::size_t i = 0; i < n; ++i) sum[i] = 2.0 * x[i] + y[i];
+  const FftPlan& plan = GetPlan(n);
+  plan.Forward(x.data());
+  plan.Forward(y.data());
+  plan.Forward(sum.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    const Complex expected = 2.0 * x[i] + y[i];
+    EXPECT_NEAR(std::abs(sum[i] - expected), 0.0, 1e-10);
+  }
+}
+
+class FftPowerOfTwoProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftPowerOfTwoProperty, MatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  const auto input = RandomComplex(n, n);
+  auto actual = input;
+  GetPlan(n).Forward(actual.data());
+  ExpectClose(actual, NaiveDft(input, false), 1e-8 * n);
+}
+
+TEST_P(FftPowerOfTwoProperty, RoundTripRecoversInput) {
+  const std::size_t n = GetParam();
+  const auto input = RandomComplex(n, n + 99);
+  auto data = input;
+  const FftPlan& plan = GetPlan(n);
+  plan.Forward(data.data());
+  plan.Inverse(data.data());
+  ExpectClose(data, input, 1e-10 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftPowerOfTwoProperty,
+                         ::testing::Values(1, 2, 4, 8, 16, 64, 256, 1024,
+                                           4096));
+
+class DftArbitrarySizeProperty : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(DftArbitrarySizeProperty, BluesteinMatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  const auto input = RandomComplex(n, 7 * n + 1);
+  auto actual = input;
+  Dft(&actual, /*inverse=*/false);
+  ExpectClose(actual, NaiveDft(input, false), 1e-8 * n);
+}
+
+TEST_P(DftArbitrarySizeProperty, BluesteinRoundTrip) {
+  const std::size_t n = GetParam();
+  const auto input = RandomComplex(n, 13 * n + 5);
+  auto data = input;
+  Dft(&data, /*inverse=*/false);
+  Dft(&data, /*inverse=*/true);
+  ExpectClose(data, input, 1e-9 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DftArbitrarySizeProperty,
+                         ::testing::Values(3, 5, 6, 7, 10, 12, 100, 365, 999,
+                                           1000));
+
+class RealFftProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RealFftProperty, ForwardMatchesComplexFft) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  std::vector<double> input(n);
+  for (auto& value : input) value = rng.UniformDouble() * 4 - 2;
+
+  const std::vector<Complex> spectrum = RealFftForward(input);
+  ASSERT_EQ(spectrum.size(), n / 2 + 1);
+
+  std::vector<Complex> reference(n);
+  for (std::size_t i = 0; i < n; ++i) reference[i] = Complex(input[i], 0);
+  GetPlan(n).Forward(reference.data());
+  for (std::size_t k = 0; k <= n / 2; ++k) {
+    EXPECT_NEAR(std::abs(spectrum[k] - reference[k]), 0.0, 1e-9 * n)
+        << "bin " << k;
+  }
+}
+
+TEST_P(RealFftProperty, RoundTripRecoversInput) {
+  const std::size_t n = GetParam();
+  Rng rng(3 * n);
+  std::vector<double> input(n);
+  for (auto& value : input) value = rng.Gaussian();
+  const std::vector<double> output = RealFftInverse(RealFftForward(input), n);
+  ASSERT_EQ(output.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(output[i], input[i], 1e-10 * n) << "index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RealFftProperty,
+                         ::testing::Values(2, 4, 8, 32, 128, 1024, 8192));
+
+TEST(FftPlanTest, PlanCacheIsThreadSafe) {
+  // Concurrent GetPlan calls for overlapping sizes must all return usable
+  // plans (the cache is mutex-guarded; plans are immutable after build).
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &failures] {
+      for (int round = 0; round < 20; ++round) {
+        const std::size_t n = std::size_t{1}
+                              << (3 + (t + round) % 8);  // 8..1024
+        const FftPlan& plan = GetPlan(n);
+        std::vector<Complex> data(n, Complex(1, 0));
+        plan.Forward(data.data());
+        // DFT of the all-ones vector: bin 0 = n, everything else ~0.
+        if (std::abs(data[0].real() - static_cast<double>(n)) > 1e-6) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(RealFftTest, DcOnlySignal) {
+  std::vector<double> input(8, 1.0);
+  const auto spectrum = RealFftForward(input);
+  EXPECT_NEAR(spectrum[0].real(), 8.0, 1e-12);
+  for (std::size_t k = 1; k < spectrum.size(); ++k) {
+    EXPECT_NEAR(std::abs(spectrum[k]), 0.0, 1e-12);
+  }
+}
+
+TEST(RealFftTest, NyquistBinIsReal) {
+  Rng rng(55);
+  std::vector<double> input(64);
+  for (auto& value : input) value = rng.Gaussian();
+  const auto spectrum = RealFftForward(input);
+  EXPECT_NEAR(spectrum.back().imag(), 0.0, 1e-10);
+  EXPECT_NEAR(spectrum.front().imag(), 0.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace periodica::fft

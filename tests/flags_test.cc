@@ -1,0 +1,138 @@
+#include "periodica/util/flags.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace periodica {
+namespace {
+
+/// Builds a mutable argv from string literals.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    for (auto& arg : storage_) pointers_.push_back(arg.data());
+  }
+  int argc() { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+TEST(FlagsTest, ParsesEqualsForm) {
+  FlagSet flags("test");
+  std::int64_t n = 10;
+  double ratio = 0.5;
+  std::string name = "default";
+  bool verbose = false;
+  flags.AddInt64("n", &n, "length");
+  flags.AddDouble("ratio", &ratio, "ratio");
+  flags.AddString("name", &name, "a name");
+  flags.AddBool("verbose", &verbose, "chatty");
+  Argv argv({"prog", "--n=42", "--ratio=0.25", "--name=abc", "--verbose"});
+  ASSERT_TRUE(flags.Parse(argv.argc(), argv.argv()).ok());
+  EXPECT_EQ(n, 42);
+  EXPECT_DOUBLE_EQ(ratio, 0.25);
+  EXPECT_EQ(name, "abc");
+  EXPECT_TRUE(verbose);
+}
+
+TEST(FlagsTest, ParsesSpaceForm) {
+  FlagSet flags("test");
+  std::int64_t n = 0;
+  flags.AddInt64("n", &n, "length");
+  Argv argv({"prog", "--n", "7"});
+  ASSERT_TRUE(flags.Parse(argv.argc(), argv.argv()).ok());
+  EXPECT_EQ(n, 7);
+}
+
+TEST(FlagsTest, NegatedBool) {
+  FlagSet flags("test");
+  bool verbose = true;
+  flags.AddBool("verbose", &verbose, "chatty");
+  Argv argv({"prog", "--noverbose"});
+  ASSERT_TRUE(flags.Parse(argv.argc(), argv.argv()).ok());
+  EXPECT_FALSE(verbose);
+}
+
+TEST(FlagsTest, BoolExplicitValues) {
+  FlagSet flags("test");
+  bool a = false;
+  bool b = true;
+  flags.AddBool("a", &a, "");
+  flags.AddBool("b", &b, "");
+  Argv argv({"prog", "--a=true", "--b=false"});
+  ASSERT_TRUE(flags.Parse(argv.argc(), argv.argv()).ok());
+  EXPECT_TRUE(a);
+  EXPECT_FALSE(b);
+}
+
+TEST(FlagsTest, UnknownFlagIsError) {
+  FlagSet flags("test");
+  Argv argv({"prog", "--mystery=1"});
+  EXPECT_TRUE(flags.Parse(argv.argc(), argv.argv()).IsInvalidArgument());
+}
+
+TEST(FlagsTest, MalformedIntIsError) {
+  FlagSet flags("test");
+  std::int64_t n = 0;
+  flags.AddInt64("n", &n, "");
+  Argv argv({"prog", "--n=12x"});
+  EXPECT_TRUE(flags.Parse(argv.argc(), argv.argv()).IsInvalidArgument());
+}
+
+TEST(FlagsTest, MissingValueIsError) {
+  FlagSet flags("test");
+  std::int64_t n = 0;
+  flags.AddInt64("n", &n, "");
+  Argv argv({"prog", "--n"});
+  EXPECT_TRUE(flags.Parse(argv.argc(), argv.argv()).IsInvalidArgument());
+}
+
+TEST(FlagsTest, NegativeNumbers) {
+  FlagSet flags("test");
+  std::int64_t n = 0;
+  double x = 0;
+  flags.AddInt64("n", &n, "");
+  flags.AddDouble("x", &x, "");
+  Argv argv({"prog", "--n=-5", "--x=-2.5"});
+  ASSERT_TRUE(flags.Parse(argv.argc(), argv.argv()).ok());
+  EXPECT_EQ(n, -5);
+  EXPECT_DOUBLE_EQ(x, -2.5);
+}
+
+TEST(FlagsTest, PositionalArgumentsCollected) {
+  FlagSet flags("test");
+  std::int64_t n = 0;
+  flags.AddInt64("n", &n, "");
+  Argv argv({"prog", "input.csv", "--n=3", "more"});
+  ASSERT_TRUE(flags.Parse(argv.argc(), argv.argv()).ok());
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"input.csv", "more"}));
+}
+
+TEST(FlagsTest, UsageListsFlagsWithDefaults) {
+  FlagSet flags("prog");
+  std::int64_t n = 10;
+  flags.AddInt64("n", &n, "length of things");
+  const std::string usage = flags.Usage();
+  EXPECT_NE(usage.find("--n"), std::string::npos);
+  EXPECT_NE(usage.find("length of things"), std::string::npos);
+  EXPECT_NE(usage.find("10"), std::string::npos);
+}
+
+TEST(FlagsTest, DefaultsSurviveWhenNotPassed) {
+  FlagSet flags("test");
+  std::int64_t n = 99;
+  flags.AddInt64("n", &n, "");
+  Argv argv({"prog"});
+  ASSERT_TRUE(flags.Parse(argv.argc(), argv.argv()).ok());
+  EXPECT_EQ(n, 99);
+}
+
+}  // namespace
+}  // namespace periodica

@@ -1,0 +1,121 @@
+// End-to-end test of the periodica_gen binary and its interoperability with
+// periodica_cli: generate a workload, mine it, check the expected structure
+// comes back out.
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#ifndef PERIODICA_GEN_PATH
+#error "PERIODICA_GEN_PATH must be defined by the build"
+#endif
+#ifndef PERIODICA_CLI_PATH
+#error "PERIODICA_CLI_PATH must be defined by the build"
+#endif
+
+namespace periodica {
+namespace {
+
+class GenCliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("periodica_gen_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::pair<int, std::string> Run(const std::string& binary,
+                                  const std::string& args) {
+    const auto out_path = dir_ / "stdout.txt";
+    const std::string command =
+        binary + " " + args + " > " + out_path.string() + " 2>/dev/null";
+    const int raw = std::system(command.c_str());
+    std::ifstream file(out_path);
+    std::string output((std::istreambuf_iterator<char>(file)),
+                       std::istreambuf_iterator<char>());
+    return {WEXITSTATUS(raw), output};
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(GenCliTest, SyntheticRoundTripThroughMiner) {
+  const std::string series_path = (dir_ / "series.txt").string();
+  const auto [gen_code, gen_out] =
+      Run(PERIODICA_GEN_PATH,
+          "--kind synthetic --length 3000 --period 25 --seed 5 --output " +
+              series_path);
+  ASSERT_EQ(gen_code, 0) << gen_out;
+  EXPECT_NE(gen_out.find("wrote 3000 symbols"), std::string::npos);
+
+  const auto [cli_code, cli_out] =
+      Run(PERIODICA_CLI_PATH, "--input " + series_path +
+                                  " --threshold 0.9 --max_period 30 "
+                                  "--min_pairs 4 --format csv");
+  ASSERT_EQ(cli_code, 0);
+  EXPECT_NE(cli_out.find("25,1.000"), std::string::npos);
+}
+
+TEST_F(GenCliTest, RetailSymbolsCarryDailyPeriod) {
+  const std::string series_path = (dir_ / "retail.txt").string();
+  const auto [gen_code, gen_out] =
+      Run(PERIODICA_GEN_PATH,
+          "--kind retail --weeks 8 --output " + series_path);
+  ASSERT_EQ(gen_code, 0);
+  const auto [cli_code, cli_out] =
+      Run(PERIODICA_CLI_PATH, "--input " + series_path +
+                                  " --threshold 0.9 --max_period 30 "
+                                  "--min_pairs 4 --format csv");
+  ASSERT_EQ(cli_code, 0);
+  EXPECT_NE(cli_out.find("24,1.000"), std::string::npos);
+}
+
+TEST_F(GenCliTest, PowerCsvPipeline) {
+  const std::string csv_path = (dir_ / "power.csv").string();
+  const auto [gen_code, gen_out] = Run(
+      PERIODICA_GEN_PATH, "--kind power --csv --output " + csv_path);
+  ASSERT_EQ(gen_code, 0);
+  const auto [cli_code, cli_out] =
+      Run(PERIODICA_CLI_PATH, "--input " + csv_path +
+                                  " --csv_column 0 --levels 5 "
+                                  "--threshold 0.6 --max_period 30 "
+                                  "--min_pairs 4 --format csv");
+  ASSERT_EQ(cli_code, 0);
+  EXPECT_NE(cli_out.find("\n7,"), std::string::npos);
+}
+
+TEST_F(GenCliTest, EventsEncodeAsSingleLetters) {
+  const std::string series_path = (dir_ / "events.txt").string();
+  const auto [gen_code, gen_out] =
+      Run(PERIODICA_GEN_PATH,
+          "--kind events --ticks 5000 --output " + series_path);
+  ASSERT_EQ(gen_code, 0);
+  std::ifstream file(series_path);
+  char c = 0;
+  while (file.get(c)) {
+    if (c == '\n') continue;
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+TEST_F(GenCliTest, BadFlagsFail) {
+  EXPECT_EQ(Run(PERIODICA_GEN_PATH, "--kind nonsense --output /tmp/x").first,
+            2);
+  EXPECT_EQ(Run(PERIODICA_GEN_PATH, "--kind synthetic").first, 2);
+  EXPECT_EQ(
+      Run(PERIODICA_GEN_PATH, "--kind synthetic --csv --output /tmp/x").first,
+      2);
+}
+
+}  // namespace
+}  // namespace periodica

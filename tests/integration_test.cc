@@ -1,0 +1,186 @@
+// End-to-end pipelines over the simulated real-data workloads: generate ->
+// discretize -> mine periods -> mine patterns, both through the one-pass
+// miner and through the multi-pass baseline pipeline the paper argues
+// against.
+
+#include <gtest/gtest.h>
+
+#include "periodica/periodica.h"
+
+namespace periodica {
+namespace {
+
+TEST(IntegrationTest, RetailPipelineFindsDailyAndWeeklyPeriods) {
+  RetailTransactionSimulator::Options sim_options;
+  sim_options.weeks = 8;
+  RetailTransactionSimulator simulator(sim_options);
+  auto series = simulator.GenerateSeries();
+  ASSERT_TRUE(series.ok());
+
+  MinerOptions options;
+  options.threshold = 0.7;
+  options.min_period = 2;
+  options.max_period = 200;
+  auto result = ObscureMiner(options).Mine(*series);
+  ASSERT_TRUE(result.ok());
+
+  // The expected daily period (24 hours) at threshold <= 0.7 — Table 1's
+  // headline row — and the weekly period (168).
+  EXPECT_GE(result->periodicities.PeriodConfidence(24), 0.7);
+  EXPECT_GE(result->periodicities.PeriodConfidence(168), 0.7);
+}
+
+TEST(IntegrationTest, RetailPatternsIncludeOvernightVeryLowRun) {
+  RetailTransactionSimulator::Options sim_options;
+  sim_options.weeks = 6;
+  RetailTransactionSimulator simulator(sim_options);
+  auto series = simulator.GenerateSeries();
+  ASSERT_TRUE(series.ok());
+
+  MinerOptions options;
+  options.threshold = 0.9;
+  options.mine_patterns = true;
+  options.pattern_periods = {24};
+  options.max_period = 30;
+  options.min_period = 2;
+  auto result = ObscureMiner(options).Mine(*series);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->patterns.empty());
+
+  // Some multi-symbol pattern must pin the overnight hours to 'a'
+  // (very low = closed store), mirroring the paper's Table 3 "aaaa..."
+  // patterns.
+  bool found_overnight = false;
+  for (const ScoredPattern& scored : result->patterns.patterns()) {
+    if (scored.pattern.NumFixed() >= 2 && scored.pattern.At(0) == SymbolId{0} &&
+        scored.pattern.At(1) == SymbolId{0}) {
+      found_overnight = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_overnight);
+}
+
+TEST(IntegrationTest, PowerPipelineFindsWeeklyPeriod) {
+  PowerConsumptionSimulator::Options sim_options;
+  sim_options.days = 365;
+  PowerConsumptionSimulator simulator(sim_options);
+  auto series = simulator.GenerateSeries();
+  ASSERT_TRUE(series.ok());
+
+  MinerOptions options;
+  options.threshold = 0.6;
+  options.min_period = 2;
+  auto result = ObscureMiner(options).Mine(*series);
+  ASSERT_TRUE(result.ok());
+
+  // The expected weekly period (Table 1: CIMEG detects 7 at psi <= 0.6) and
+  // its multiples.
+  EXPECT_GE(result->periodicities.PeriodConfidence(7), 0.6);
+  EXPECT_GE(result->periodicities.PeriodConfidence(14), 0.6);
+}
+
+TEST(IntegrationTest, MultiPassBaselinePipelineAgreesOnStrongPatterns) {
+  // The multi-pass alternative: periodic-trends ranks candidate periods,
+  // then the known-period miner runs per candidate. Its strongest period-24
+  // patterns must be consistent with the one-pass miner's output.
+  RetailTransactionSimulator::Options sim_options;
+  sim_options.weeks = 4;
+  RetailTransactionSimulator simulator(sim_options);
+  auto series = simulator.GenerateSeries();
+  ASSERT_TRUE(series.ok());
+
+  PeriodicTrendsOptions trends_options;
+  trends_options.exact = true;
+  trends_options.min_period = 2;
+  trends_options.max_period = 200;
+  auto candidates = PeriodicTrends(trends_options).Analyze(*series);
+  ASSERT_TRUE(candidates.ok());
+  // 24 must rank among the most-candidate periods (high confidence).
+  EXPECT_GT(PeriodicTrends::ConfidenceFor(*candidates, 24), 0.8);
+
+  KnownPeriodOptions known_options;
+  known_options.min_support = 0.9;
+  auto known = MineKnownPeriodPatterns(*series, 24, known_options);
+  ASSERT_TRUE(known.ok());
+  ASSERT_FALSE(known->empty());
+  // Overnight hours are 'a' in essentially every segment.
+  bool overnight = false;
+  for (const ScoredPattern& scored : known->patterns()) {
+    if (scored.pattern.At(2) == SymbolId{0}) overnight = true;
+  }
+  EXPECT_TRUE(overnight);
+}
+
+TEST(IntegrationTest, DiscretizerChainMatchesDomainSimulatorSeries) {
+  // GenerateSeries is exactly GenerateCounts piped through the paper cuts.
+  RetailTransactionSimulator::Options sim_options;
+  sim_options.weeks = 2;
+  RetailTransactionSimulator simulator(sim_options);
+  const std::vector<double> counts = simulator.GenerateCounts();
+  auto series = simulator.GenerateSeries();
+  ASSERT_TRUE(series.ok());
+  auto discretizer =
+      ThresholdDiscretizer::Create(RetailTransactionSimulator::PaperCuts());
+  ASSERT_TRUE(discretizer.ok());
+  const SymbolSeries rebuilt =
+      discretizer->Apply(counts, Alphabet::FiveLevels());
+  EXPECT_EQ(rebuilt, *series);
+}
+
+TEST(IntegrationTest, NoiseDegradesConfidenceGracefully) {
+  // Fig. 6's qualitative shape: replacement noise lowers the confidence at
+  // the true period roughly linearly, and the period stays detectable at
+  // psi = 0.4 even under 50% replacement noise.
+  SyntheticSpec spec;
+  spec.length = 20000;
+  spec.alphabet_size = 10;
+  spec.period = 25;
+  spec.seed = 1;
+  auto perfect = GeneratePerfect(spec);
+  ASSERT_TRUE(perfect.ok());
+
+  MinerOptions options;
+  options.threshold = 0.05;
+  options.min_period = 25;
+  options.max_period = 25;
+  double last_confidence = 1.1;
+  for (const double ratio : {0.0, 0.25, 0.5}) {
+    auto noisy = ApplyNoise(*perfect, NoiseSpec::Replacement(ratio, 5));
+    ASSERT_TRUE(noisy.ok());
+    auto result = ObscureMiner(options).Mine(*noisy);
+    ASSERT_TRUE(result.ok());
+    const double confidence = result->periodicities.PeriodConfidence(25);
+    EXPECT_LT(confidence, last_confidence);
+    last_confidence = confidence;
+    if (ratio == 0.0) {
+      EXPECT_DOUBLE_EQ(confidence, 1.0);
+    }
+    // Under replacement at ratio r, a consecutive pair survives with
+    // probability ~(1-r)^2, so 50% noise leaves confidence near 0.25 —
+    // clearly above a 5-15% threshold.
+    if (ratio == 0.5) {
+      EXPECT_GT(confidence, 0.15);
+    }
+  }
+}
+
+TEST(IntegrationTest, StreamedRetailPipeline) {
+  RetailTransactionSimulator::Options sim_options;
+  sim_options.weeks = 4;
+  RetailTransactionSimulator simulator(sim_options);
+  auto series = simulator.GenerateSeries();
+  ASSERT_TRUE(series.ok());
+  VectorStream stream(*series);
+
+  MinerOptions options;
+  options.threshold = 0.7;
+  options.min_period = 2;
+  options.max_period = 100;
+  auto result = ObscureMiner(options).Mine(&stream);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->periodicities.PeriodConfidence(24), 0.7);
+}
+
+}  // namespace
+}  // namespace periodica

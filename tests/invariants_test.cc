@@ -1,0 +1,190 @@
+// Randomized end-to-end invariant checks: many random configurations of
+// generator + noise + miner options, asserting structural properties that
+// must hold for *every* input — complements the example-based suites with
+// breadth. Seeds are fixed, so failures reproduce.
+
+#include <cstdint>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "periodica/periodica.h"
+#include "periodica/util/rng.h"
+
+namespace periodica {
+namespace {
+
+struct Scenario {
+  SymbolSeries series{Alphabet::Latin(1)};
+  MinerOptions options;
+};
+
+Scenario RandomScenario(std::uint64_t seed) {
+  Rng rng(seed);
+  Scenario scenario;
+  const std::size_t sigma = 2 + rng.UniformInt(8);
+  const std::size_t n = 10 + rng.UniformInt(1200);
+
+  if (rng.Bernoulli(0.5)) {
+    // Periodic base with noise.
+    SyntheticSpec spec;
+    spec.length = n;
+    spec.alphabet_size = sigma;
+    spec.period = 2 + rng.UniformInt(30);
+    spec.seed = rng.Next();
+    SymbolSeries series = GeneratePerfect(spec).ValueOrDie();
+    if (rng.Bernoulli(0.7)) {
+      NoiseSpec noise = NoiseSpec::Combined(
+          rng.UniformDouble() * 0.4, rng.Bernoulli(0.7), rng.Bernoulli(0.3),
+          rng.Bernoulli(0.3), rng.Next());
+      if (!noise.replacement && !noise.insertion && !noise.deletion) {
+        noise.replacement = true;  // at least one kind must be enabled
+      }
+      series = ApplyNoise(series, noise).ValueOrDie();
+    }
+    scenario.series = std::move(series);
+  } else {
+    SymbolSeries series(Alphabet::Latin(sigma));
+    for (std::size_t i = 0; i < n; ++i) {
+      series.Append(static_cast<SymbolId>(rng.UniformInt(sigma)));
+    }
+    scenario.series = std::move(series);
+  }
+  // ApplyNoise with deletion can shrink below 2 symbols; pad if needed.
+  while (scenario.series.size() < 2) scenario.series.Append(0);
+
+  scenario.options.threshold = 0.05 + rng.UniformDouble() * 0.9;
+  scenario.options.min_period = 1 + rng.UniformInt(3);
+  scenario.options.max_period =
+      rng.Bernoulli(0.5) ? 0 : 2 + rng.UniformInt(scenario.series.size());
+  if (scenario.options.max_period != 0 &&
+      scenario.options.max_period < scenario.options.min_period) {
+    scenario.options.max_period = scenario.options.min_period;
+  }
+  scenario.options.min_pairs = 1 + rng.UniformInt(3);
+  scenario.options.engine =
+      rng.Bernoulli(0.5) ? MinerEngine::kExact : MinerEngine::kFft;
+  scenario.options.positions = rng.Bernoulli(0.8);
+  if (scenario.options.positions && rng.Bernoulli(0.4)) {
+    scenario.options.mine_patterns = true;
+    scenario.options.max_patterns = 2000;
+  }
+  return scenario;
+}
+
+class MinerInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MinerInvariants, HoldOnRandomConfigurations) {
+  const Scenario scenario = RandomScenario(GetParam() * 7919 + 13);
+  const SymbolSeries& series = scenario.series;
+  const std::size_t n = series.size();
+
+  auto result = ObscureMiner(scenario.options).Mine(series);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const PeriodicityTable& table = result->periodicities;
+
+  const std::size_t max_period =
+      std::min(scenario.options.max_period == 0 ? n / 2
+                                                : scenario.options.max_period,
+               n - 1);
+  std::set<std::size_t> summary_periods;
+  for (const PeriodSummary& summary : table.summaries()) {
+    // Period range respected.
+    EXPECT_GE(summary.period, scenario.options.min_period);
+    EXPECT_LE(summary.period, max_period);
+    // Confidences in (0, 1] and above the threshold.
+    EXPECT_GT(summary.best_confidence, 0.0);
+    EXPECT_LE(summary.best_confidence, 1.0 + 1e-12);
+    EXPECT_GE(summary.best_confidence, scenario.options.threshold - 1e-9);
+    EXPECT_GE(summary.num_periodicities, 1u);
+    // One summary per period.
+    EXPECT_TRUE(summary_periods.insert(summary.period).second);
+  }
+
+  for (const SymbolPeriodicity& entry : table.entries()) {
+    EXPECT_TRUE(scenario.options.positions);
+    EXPECT_LT(entry.position, entry.period);
+    EXPECT_LT(static_cast<std::size_t>(entry.symbol),
+              series.alphabet().size());
+    EXPECT_LE(entry.f2, entry.pairs);
+    EXPECT_GE(entry.pairs, scenario.options.min_pairs);
+    // The stored counts are exactly the definition's.
+    EXPECT_EQ(entry.f2,
+              F2Projection(series, entry.symbol, entry.period,
+                           entry.position));
+    EXPECT_EQ(entry.pairs,
+              ProjectionPairCount(n, entry.period, entry.position));
+    // Every entry's period has a summary.
+    EXPECT_TRUE(summary_periods.contains(entry.period));
+  }
+
+  for (const ScoredPattern& scored : result->patterns.patterns()) {
+    EXPECT_GE(scored.pattern.NumFixed(), 1u);
+    EXPECT_GE(scored.support, 0.0);
+    EXPECT_LE(scored.support, 1.0 + 1e-12);
+    EXPECT_TRUE(summary_periods.contains(scored.pattern.period()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinerInvariants,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+class BaselineInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BaselineInvariants, DetectorsStayWithinContracts) {
+  const Scenario scenario = RandomScenario(GetParam() * 104729 + 7);
+  const SymbolSeries& series = scenario.series;
+  if (series.size() < 4) GTEST_SKIP();
+
+  auto trends = PeriodicTrends().Analyze(series);
+  ASSERT_TRUE(trends.ok());
+  for (const TrendCandidate& candidate : *trends) {
+    EXPECT_GE(candidate.confidence, 0.0);
+    EXPECT_LE(candidate.confidence, 1.0);
+    EXPECT_GE(candidate.distance, 0.0);
+  }
+
+  auto inter_arrival = MaHellersteinDetector().Detect(series);
+  ASSERT_TRUE(inter_arrival.ok());
+  for (const InterArrivalPeriod& hit : *inter_arrival) {
+    EXPECT_GE(hit.period, 1u);
+    EXPECT_GT(hit.chi_squared, 0.0);
+  }
+
+  auto autocorr = BerberidisDetector().Detect(series);
+  ASSERT_TRUE(autocorr.ok());
+  for (const BerberidisCandidate& candidate : *autocorr) {
+    EXPECT_GE(candidate.score, 0.0);
+    // Circular autocorrelation can reach occurrences exactly, never beyond.
+    EXPECT_LE(candidate.score, 1.0 + 1e-12);
+  }
+
+  AsyncPatternOptions async_options;
+  async_options.min_repetitions = 3;
+  async_options.max_period = series.size() / 2;
+  if (async_options.max_period >= async_options.min_period) {
+    auto async = FindAsyncPatterns(series, async_options);
+    ASSERT_TRUE(async.ok());
+    for (const AsyncPattern& pattern : *async) {
+      ASSERT_FALSE(pattern.segments.empty());
+      EXPECT_LT(pattern.end(), series.size());
+      std::uint64_t total = 0;
+      for (std::size_t i = 0; i < pattern.segments.size(); ++i) {
+        total += pattern.segments[i].repetitions;
+        EXPECT_GE(pattern.segments[i].repetitions,
+                  async_options.min_repetitions);
+        if (i > 0) {
+          EXPECT_GT(pattern.segments[i].first,
+                    pattern.segments[i - 1].last);
+        }
+      }
+      EXPECT_EQ(pattern.total_repetitions, total);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BaselineInvariants,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace periodica

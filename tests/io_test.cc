@@ -1,0 +1,115 @@
+#include "periodica/series/io.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace periodica {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    const auto dir = std::filesystem::temp_directory_path() /
+                     ("periodica_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir);
+    created_.push_back(dir / name);
+    return (dir / name).string();
+  }
+
+  void TearDown() override {
+    for (const auto& path : created_) {
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+    }
+  }
+
+  std::vector<std::filesystem::path> created_;
+};
+
+TEST_F(IoTest, CsvColumnRoundTrip) {
+  const std::string path = TempPath("values.csv");
+  const std::vector<double> values = {1.5, -2.0, 3.25, 0.0};
+  ASSERT_TRUE(WriteCsvColumn(path, values).ok());
+  auto read = ReadCsvColumn(path, 0);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(*read, values);
+}
+
+TEST_F(IoTest, CsvSelectsColumn) {
+  const std::string path = TempPath("multi.csv");
+  {
+    std::ofstream file(path);
+    file << "timestamp,value\n";  // header skipped (non-numeric)
+    file << "1,10.5\n2,20.5\n3,30.5\n";
+  }
+  auto read = ReadCsvColumn(path, 1);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, (std::vector<double>{10.5, 20.5, 30.5}));
+}
+
+TEST_F(IoTest, CsvStrictModeRejectsHeader) {
+  const std::string path = TempPath("strict.csv");
+  {
+    std::ofstream file(path);
+    file << "header\n1\n";
+  }
+  EXPECT_TRUE(ReadCsvColumn(path, 0, /*skip_non_numeric=*/false)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(IoTest, CsvMissingFileIsIOError) {
+  EXPECT_TRUE(
+      ReadCsvColumn("/nonexistent/nope.csv", 0).status().IsIOError());
+}
+
+TEST_F(IoTest, SymbolSeriesRoundTrip) {
+  const std::string path = TempPath("series.txt");
+  auto series = SymbolSeries::FromString("abcabbabcb");
+  ASSERT_TRUE(series.ok());
+  ASSERT_TRUE(WriteSymbolSeries(path, *series).ok());
+  auto read = ReadSymbolSeries(path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(read->ToString(), "abcabbabcb");
+}
+
+TEST_F(IoTest, SymbolSeriesLongRoundTripWrapsLines) {
+  const std::string path = TempPath("long.txt");
+  std::string text;
+  for (int i = 0; i < 500; ++i) text += static_cast<char>('a' + (i % 4));
+  auto series = SymbolSeries::FromString(text);
+  ASSERT_TRUE(series.ok());
+  ASSERT_TRUE(WriteSymbolSeries(path, *series).ok());
+  auto read = ReadSymbolSeries(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->ToString(), text);
+}
+
+TEST_F(IoTest, SymbolSeriesIgnoresWhitespace) {
+  const std::string path = TempPath("spaced.txt");
+  {
+    std::ofstream file(path);
+    file << "ab c\n\nab\t b\n";
+  }
+  auto read = ReadSymbolSeries(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->ToString(), "abcabb");
+}
+
+TEST_F(IoTest, WriteSymbolSeriesRejectsMultiLetterNames) {
+  const std::string path = TempPath("bad.txt");
+  auto alphabet = Alphabet::FromNames({"low", "high"});
+  ASSERT_TRUE(alphabet.ok());
+  SymbolSeries series(*alphabet);
+  series.Append(0);
+  EXPECT_TRUE(WriteSymbolSeries(path, series).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace periodica

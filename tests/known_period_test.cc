@@ -1,0 +1,130 @@
+#include "periodica/baselines/known_period.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+#include "periodica/util/rng.h"
+
+namespace periodica {
+namespace {
+
+SymbolSeries Make(std::string_view text) {
+  auto series = SymbolSeries::FromString(text);
+  EXPECT_TRUE(series.ok()) << series.status();
+  return std::move(series).ValueOrDie();
+}
+
+const ScoredPattern* Find(const PatternSet& set, const std::string& repr,
+                          const Alphabet& alphabet) {
+  for (const ScoredPattern& scored : set.patterns()) {
+    if (scored.pattern.ToString(alphabet) == repr) return &scored;
+  }
+  return nullptr;
+}
+
+TEST(KnownPeriodTest, SegmentSemanticsOnPerfectData) {
+  const SymbolSeries series = Make("abcabcabcabc");
+  KnownPeriodOptions options;
+  options.min_support = 1.0;
+  auto patterns = MineKnownPeriodPatterns(series, 3, options);
+  ASSERT_TRUE(patterns.ok());
+  // Segment semantics (Han-style) count *presence*, not persistence: the
+  // full pattern has support 1 here, unlike the W'-based estimate.
+  const ScoredPattern* full = Find(*patterns, "abc", series.alphabet());
+  ASSERT_NE(full, nullptr);
+  EXPECT_DOUBLE_EQ(full->support, 1.0);
+  EXPECT_EQ(full->count, 4u);
+  // All 7 non-empty subsets of 3 fixed slots.
+  EXPECT_EQ(patterns->size(), 7u);
+}
+
+TEST(KnownPeriodTest, PartialPattern) {
+  // Segments of period 3: abc, abd, abc, axx... construct: a at 0 always,
+  // b at 1 in 3 of 4 segments.
+  const SymbolSeries series = Make("abcabdabcaca");
+  KnownPeriodOptions options;
+  options.min_support = 0.75;
+  auto patterns = MineKnownPeriodPatterns(series, 3, options);
+  ASSERT_TRUE(patterns.ok());
+  const ScoredPattern* a_only = Find(*patterns, "a**", series.alphabet());
+  ASSERT_NE(a_only, nullptr);
+  EXPECT_DOUBLE_EQ(a_only->support, 1.0);
+  const ScoredPattern* ab = Find(*patterns, "ab*", series.alphabet());
+  ASSERT_NE(ab, nullptr);
+  EXPECT_DOUBLE_EQ(ab->support, 0.75);
+  // b alone also has support 3/4.
+  const ScoredPattern* b_only = Find(*patterns, "*b*", series.alphabet());
+  ASSERT_NE(b_only, nullptr);
+  EXPECT_DOUBLE_EQ(b_only->support, 0.75);
+}
+
+TEST(KnownPeriodTest, SupportsMatchBruteForceOnRandomData) {
+  Rng rng(31);
+  SymbolSeries series(Alphabet::Latin(3));
+  for (int i = 0; i < 80; ++i) {
+    series.Append(static_cast<SymbolId>(rng.UniformInt(3)));
+  }
+  const std::size_t period = 5;
+  KnownPeriodOptions options;
+  options.min_support = 0.25;
+  auto patterns = MineKnownPeriodPatterns(series, period, options);
+  ASSERT_TRUE(patterns.ok());
+  const std::size_t segments = series.size() / period;
+  ASSERT_GT(patterns->size(), 0u);
+  for (const ScoredPattern& scored : patterns->patterns()) {
+    std::uint64_t count = 0;
+    for (std::size_t m = 0; m < segments; ++m) {
+      bool matches = true;
+      for (std::size_t l = 0; l < period; ++l) {
+        const auto slot = scored.pattern.At(l);
+        if (slot.has_value() && series[m * period + l] != *slot) {
+          matches = false;
+          break;
+        }
+      }
+      if (matches) ++count;
+    }
+    EXPECT_EQ(scored.count, count)
+        << scored.pattern.ToString(series.alphabet());
+  }
+}
+
+TEST(KnownPeriodTest, MaxPatternsTruncates) {
+  const SymbolSeries series = Make("abcabcabcabc");
+  KnownPeriodOptions options;
+  options.min_support = 0.5;
+  options.max_patterns = 3;
+  auto patterns = MineKnownPeriodPatterns(series, 3, options);
+  ASSERT_TRUE(patterns.ok());
+  EXPECT_TRUE(patterns->truncated());
+  EXPECT_EQ(patterns->size(), 3u);
+}
+
+TEST(KnownPeriodTest, ValidatesArguments) {
+  const SymbolSeries series = Make("abcabc");
+  KnownPeriodOptions options;
+  EXPECT_TRUE(MineKnownPeriodPatterns(series, 0, options)
+                  .status()
+                  .IsInvalidArgument());
+  options.min_support = 0.0;
+  EXPECT_TRUE(MineKnownPeriodPatterns(series, 3, options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(KnownPeriodTest, PeriodLongerThanSeriesYieldsEmpty) {
+  const SymbolSeries series = Make("abc");
+  KnownPeriodOptions options;
+  auto patterns = MineKnownPeriodPatterns(series, 3, options);
+  ASSERT_TRUE(patterns.ok());
+  // One segment; every slot pattern holds with support 1.
+  EXPECT_FALSE(patterns->empty());
+  auto too_long = MineKnownPeriodPatterns(series, 4, options);
+  EXPECT_TRUE(too_long.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace periodica

@@ -1,0 +1,60 @@
+#include "periodica/util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "periodica/util/status.h"
+
+namespace periodica {
+namespace {
+
+TEST(LoggingTest, PassingChecksAreSilent) {
+  PERIODICA_CHECK(true) << "never shown";
+  PERIODICA_CHECK_EQ(1, 1);
+  PERIODICA_CHECK_NE(1, 2);
+  PERIODICA_CHECK_LT(1, 2);
+  PERIODICA_CHECK_LE(2, 2);
+  PERIODICA_CHECK_GT(2, 1);
+  PERIODICA_CHECK_GE(2, 2);
+  PERIODICA_CHECK_OK(Status::OK()) << "never shown";
+}
+
+TEST(LoggingDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH({ PERIODICA_CHECK(1 == 2) << "custom context"; },
+               "Check failed.*1 == 2.*custom context");
+}
+
+TEST(LoggingDeathTest, FailedCheckEqAborts) {
+  const int x = 3;
+  EXPECT_DEATH({ PERIODICA_CHECK_EQ(x, 4); }, "Check failed");
+}
+
+TEST(LoggingDeathTest, FailedCheckOkPrintsStatus) {
+  EXPECT_DEATH({ PERIODICA_CHECK_OK(Status::NotFound("missing thing")); },
+               "Not found: missing thing");
+}
+
+TEST(LoggingTest, CheckOkInsideIfElseIsUnambiguous) {
+  // The macro expands to an if/else; it must compose with surrounding
+  // control flow without dangling-else surprises.
+  bool reached = false;
+  if (true) {
+    PERIODICA_CHECK_OK(Status::OK());
+    reached = true;
+  } else {
+    reached = false;
+  }
+  EXPECT_TRUE(reached);
+}
+
+#ifndef NDEBUG
+TEST(LoggingDeathTest, DcheckFiresInDebugBuilds) {
+  EXPECT_DEATH({ PERIODICA_DCHECK(false) << "debug only"; }, "Check failed");
+}
+#else
+TEST(LoggingTest, DcheckCompilesAwayInReleaseBuilds) {
+  PERIODICA_DCHECK(false) << "not evaluated in NDEBUG";
+}
+#endif
+
+}  // namespace
+}  // namespace periodica

@@ -1,0 +1,119 @@
+#include "periodica/baselines/ma_hellerstein.h"
+
+#include <gtest/gtest.h>
+
+#include "periodica/gen/synthetic.h"
+
+namespace periodica {
+namespace {
+
+bool Detected(const std::vector<InterArrivalPeriod>& detected, SymbolId symbol,
+              std::size_t period) {
+  for (const auto& hit : detected) {
+    if (hit.symbol == symbol && hit.period == period) return true;
+  }
+  return false;
+}
+
+TEST(MaHellersteinTest, DetectsStrongPeriodOnPerfectData) {
+  SyntheticSpec spec;
+  spec.length = 5000;
+  spec.alphabet_size = 10;
+  spec.period = 25;
+  spec.seed = 4;
+  auto series = GeneratePerfect(spec);
+  ASSERT_TRUE(series.ok());
+  auto detected = MaHellersteinDetector().Detect(*series);
+  ASSERT_TRUE(detected.ok());
+  ASSERT_FALSE(detected->empty());
+  // Every symbol that occurs exactly once per pattern repetition has all its
+  // adjacent inter-arrivals equal to 25: a massive chi-squared signal.
+  bool some_symbol_at_25 = false;
+  for (const auto& hit : *detected) {
+    if (hit.period == 25) some_symbol_at_25 = true;
+  }
+  EXPECT_TRUE(some_symbol_at_25);
+}
+
+TEST(MaHellersteinTest, MissesNonAdjacentPeriodPaperExample) {
+  // The paper's Sect. 1.1 example: a symbol occurring at positions
+  // 0, 4, 5, 7, 10 has underlying period 5, but the adjacent inter-arrivals
+  // are 4, 1, 2, 3 — the distance-based detector can never surface 5.
+  SymbolSeries rebuilt(Alphabet::Latin(2));
+  for (std::size_t i = 0; i < 11; ++i) {
+    const bool is_a = i == 0 || i == 4 || i == 5 || i == 7 || i == 10;
+    rebuilt.Append(is_a ? 0 : 1);
+  }
+  MaHellersteinOptions options;
+  options.chi_squared_threshold = 0.0;  // keep every candidate distance
+  options.min_count = 1;
+  auto detected = MaHellersteinDetector(options).Detect(rebuilt);
+  ASSERT_TRUE(detected.ok());
+  // Distances 4, 1, 2, 3 may appear; 5 cannot.
+  EXPECT_FALSE(Detected(*detected, 0, 5));
+  bool saw_adjacent_distance = false;
+  for (const std::size_t d : {1u, 2u, 3u, 4u}) {
+    saw_adjacent_distance |= Detected(*detected, 0, d);
+  }
+  EXPECT_TRUE(saw_adjacent_distance);
+}
+
+TEST(MaHellersteinTest, RandomDataYieldsFewDetections) {
+  SyntheticSpec spec;
+  spec.length = 20000;
+  spec.alphabet_size = 10;
+  spec.period = 20000;  // the "pattern" never repeats: pure random data
+  spec.seed = 6;
+  auto series = GeneratePerfect(spec);
+  ASSERT_TRUE(series.ok());
+  MaHellersteinOptions options;
+  options.chi_squared_threshold = 20.0;  // generous significance bar
+  auto detected = MaHellersteinDetector(options).Detect(*series);
+  ASSERT_TRUE(detected.ok());
+  EXPECT_LT(detected->size(), 20u);
+}
+
+TEST(MaHellersteinTest, MaxPeriodFiltersDistances) {
+  SyntheticSpec spec;
+  spec.length = 3000;
+  spec.alphabet_size = 10;
+  spec.period = 50;
+  spec.seed = 8;
+  auto series = GeneratePerfect(spec);
+  ASSERT_TRUE(series.ok());
+  MaHellersteinOptions options;
+  options.max_period = 30;
+  auto detected = MaHellersteinDetector(options).Detect(*series);
+  ASSERT_TRUE(detected.ok());
+  for (const auto& hit : *detected) {
+    EXPECT_LE(hit.period, 30u);
+  }
+}
+
+TEST(MaHellersteinTest, RejectsTinySeries) {
+  SymbolSeries series(Alphabet::Latin(2));
+  series.Append(0);
+  EXPECT_TRUE(
+      MaHellersteinDetector().Detect(series).status().IsInvalidArgument());
+}
+
+TEST(MaHellersteinTest, OutputSortedBySymbolThenPeriod) {
+  SyntheticSpec spec;
+  spec.length = 2000;
+  spec.alphabet_size = 5;
+  spec.period = 10;
+  spec.seed = 10;
+  auto series = GeneratePerfect(spec);
+  ASSERT_TRUE(series.ok());
+  auto detected = MaHellersteinDetector().Detect(*series);
+  ASSERT_TRUE(detected.ok());
+  for (std::size_t i = 1; i < detected->size(); ++i) {
+    const auto& prev = (*detected)[i - 1];
+    const auto& curr = (*detected)[i];
+    EXPECT_TRUE(prev.symbol < curr.symbol ||
+                (prev.symbol == curr.symbol && prev.period < curr.period));
+  }
+}
+
+}  // namespace
+}  // namespace periodica

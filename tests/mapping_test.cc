@@ -1,0 +1,132 @@
+#include "periodica/core/mapping.h"
+
+#include <algorithm>
+#include <functional>
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+namespace periodica {
+namespace {
+
+SymbolSeries Make(std::string_view text) {
+  auto series = SymbolSeries::FromString(text);
+  EXPECT_TRUE(series.ok()) << series.status();
+  return std::move(series).ValueOrDie();
+}
+
+TEST(MappingTest, PaperBinaryVectorExample) {
+  // Sect. 3.2: "let T = acccabb, then T is converted to the binary vector
+  // T' = 001 100 100 100 001 010 010".
+  const SymbolSeries series = Make("acccabb");
+  const BinaryMapping mapping(series);
+  ASSERT_EQ(mapping.n(), 7u);
+  ASSERT_EQ(mapping.sigma(), 3u);
+  const std::string expected = "001100100100001010010";
+  ASSERT_EQ(mapping.bits().size(), expected.size());
+  for (std::size_t j = 0; j < expected.size(); ++j) {
+    EXPECT_EQ(mapping.bits().Test(j), expected[j] == '1') << "bit " << j;
+  }
+}
+
+TEST(MappingTest, PaperWSetExampleShiftOne) {
+  // Sect. 3.2, Fig. 1: for T = acccabb, c'_1 = 2^1 + 2^11 + 2^14; powers
+  // mod 3 are 1, 2, 2 -> symbols b, c, c.
+  const SymbolSeries series = Make("acccabb");
+  const BinaryMapping mapping(series);
+  const auto powers = mapping.WSet(1);
+  EXPECT_EQ(powers, (std::vector<std::uint64_t>{1, 11, 14}));
+
+  const auto match_b = mapping.DecodePower(1, 1);
+  EXPECT_EQ(match_b.symbol, 1);  // b
+  EXPECT_EQ(match_b.position, 5u);
+  const auto match_c1 = mapping.DecodePower(11, 1);
+  EXPECT_EQ(match_c1.symbol, 2);  // c
+  EXPECT_EQ(match_c1.position, 2u);
+  const auto match_c2 = mapping.DecodePower(14, 1);
+  EXPECT_EQ(match_c2.symbol, 2);  // c
+  EXPECT_EQ(match_c2.position, 1u);
+}
+
+TEST(MappingTest, PaperWSetExampleShiftFour) {
+  // Fig. 1: c'_4 = 2^6 — one match, symbol a (6 mod 3 = 0) at position 0.
+  const SymbolSeries series = Make("acccabb");
+  const BinaryMapping mapping(series);
+  const auto powers = mapping.WSet(4);
+  EXPECT_EQ(powers, (std::vector<std::uint64_t>{6}));
+  const auto match = mapping.DecodePower(6, 4);
+  EXPECT_EQ(match.symbol, 0);  // a
+  EXPECT_EQ(match.position, 0u);
+}
+
+TEST(MappingTest, PaperWorkedExampleAbcabbabcb) {
+  // Sect. 3.2: T = abcabbabcb, p = 3 -> W_3 = {18, 16, 9, 7};
+  // W_{3,0} = {18, 9}; W_{3,0,0} = {18, 9} -> F2(a, pi_{3,0}) = 2.
+  const SymbolSeries series = Make("abcabbabcb");
+  const BinaryMapping mapping(series);
+  auto powers = mapping.WSet(3);
+  std::sort(powers.begin(), powers.end(), std::greater<>());
+  EXPECT_EQ(powers, (std::vector<std::uint64_t>{18, 16, 9, 7}));
+
+  int f2_a_phase0 = 0;
+  for (const std::uint64_t w : powers) {
+    const auto match = mapping.DecodePower(w, 3);
+    if (match.symbol == 0 && match.phase == 0) ++f2_a_phase0;
+  }
+  EXPECT_EQ(f2_a_phase0, 2);
+}
+
+TEST(MappingTest, PaperWorkedExampleCabccbacd) {
+  // Sect. 3.2: T = cabccbacd (n=9, sigma=4), p = 4 -> W_4 = {18, 6};
+  // W_{4,2} = {18, 6}; W_{4,2,0} = {18} and W_{4,2,3} = {6}.
+  const SymbolSeries series = Make("cabccbacd");
+  const BinaryMapping mapping(series);
+  ASSERT_EQ(mapping.sigma(), 4u);
+  auto powers = mapping.WSet(4);
+  std::sort(powers.begin(), powers.end(), std::greater<>());
+  EXPECT_EQ(powers, (std::vector<std::uint64_t>{18, 6}));
+
+  const auto first = mapping.DecodePower(18, 4);
+  EXPECT_EQ(first.symbol, 2);  // c
+  EXPECT_EQ(first.phase, 0u);
+  const auto second = mapping.DecodePower(6, 4);
+  EXPECT_EQ(second.symbol, 2);  // c
+  EXPECT_EQ(second.phase, 3u);
+}
+
+TEST(MappingTest, OccurrenceIndexAlignsPatternInstances) {
+  // For T = abcabbabcb, p = 3: the a-matches at powers {18, 9} and b-matches
+  // at {16, 7} align pairwise into occurrences 0 and 1 (Sect. 3.2's W'_p
+  // example for the pattern ab*).
+  const SymbolSeries series = Make("abcabbabcb");
+  const BinaryMapping mapping(series);
+  EXPECT_EQ(mapping.DecodePower(18, 3).occurrence, 0u);
+  EXPECT_EQ(mapping.DecodePower(16, 3).occurrence, 0u);
+  EXPECT_EQ(mapping.DecodePower(9, 3).occurrence, 1u);
+  EXPECT_EQ(mapping.DecodePower(7, 3).occurrence, 1u);
+}
+
+TEST(MappingTest, WSetMatchesDirectComparison) {
+  // Every element of W_p decodes to a genuine match t_i == t_{i+p}, and the
+  // cardinality equals the direct count, for all shifts.
+  const SymbolSeries series = Make("abacabadabacabae");
+  const BinaryMapping mapping(series);
+  for (std::size_t p = 1; p < series.size(); ++p) {
+    const auto powers = mapping.WSet(p);
+    std::size_t direct = 0;
+    for (std::size_t i = 0; i + p < series.size(); ++i) {
+      if (series[i] == series[i + p]) ++direct;
+    }
+    EXPECT_EQ(powers.size(), direct) << "p=" << p;
+    for (const std::uint64_t w : powers) {
+      const auto match = mapping.DecodePower(w, p);
+      EXPECT_EQ(series[match.position], series[match.position + p]);
+      EXPECT_EQ(series[match.position], match.symbol);
+      EXPECT_EQ(match.phase, match.position % p);
+      EXPECT_EQ(match.occurrence, match.position / p);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace periodica

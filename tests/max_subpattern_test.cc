@@ -1,0 +1,150 @@
+#include "periodica/baselines/max_subpattern.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "periodica/util/rng.h"
+
+namespace periodica {
+namespace {
+
+SymbolSeries Make(std::string_view text) {
+  auto series = SymbolSeries::FromString(text);
+  EXPECT_TRUE(series.ok()) << series.status();
+  return std::move(series).ValueOrDie();
+}
+
+TEST(HitSetTest, InsertAndSupport) {
+  MaxSubpatternHitSet hits(3);
+  PeriodicPattern abc(3);
+  abc.SetSlot(0, 0);
+  abc.SetSlot(1, 1);
+  abc.SetSlot(2, 2);
+  PeriodicPattern a_only(3);
+  a_only.SetSlot(0, 0);
+  hits.Insert(abc);
+  hits.Insert(abc);
+  hits.Insert(a_only);
+  EXPECT_EQ(hits.num_hits(), 3u);
+  EXPECT_EQ(hits.num_distinct_hits(), 2u);
+
+  // a** is contained in all three hits.
+  EXPECT_EQ(hits.Support(a_only), 3u);
+  // abc only in the two full hits.
+  EXPECT_EQ(hits.Support(abc), 2u);
+  // *b* in the two full hits (a-only hit has don't-care at 1).
+  PeriodicPattern b_only(3);
+  b_only.SetSlot(1, 1);
+  EXPECT_EQ(hits.Support(b_only), 2u);
+  // The all-don't-care pattern matches every hit.
+  EXPECT_EQ(hits.Support(PeriodicPattern(3)), 3u);
+}
+
+TEST(HitSetTest, MismatchedSymbolNotCounted) {
+  MaxSubpatternHitSet hits(2);
+  PeriodicPattern ab(2);
+  ab.SetSlot(0, 0);
+  ab.SetSlot(1, 1);
+  hits.Insert(ab);
+  PeriodicPattern ba(2);
+  ba.SetSlot(0, 1);
+  EXPECT_EQ(hits.Support(ba), 0u);
+}
+
+TEST(MaxSubpatternTest, MatchesKnownPeriodMinerOnPaperStyleExample) {
+  const SymbolSeries series = Make("abcabdabcaca");
+  KnownPeriodOptions options;
+  options.min_support = 0.5;
+  auto via_hits = MineMaxSubpatternPatterns(series, 3, options);
+  auto via_bitsets = MineKnownPeriodPatterns(series, 3, options);
+  ASSERT_TRUE(via_hits.ok());
+  ASSERT_TRUE(via_bitsets.ok());
+  ASSERT_EQ(via_hits->size(), via_bitsets->size());
+  for (std::size_t i = 0; i < via_hits->size(); ++i) {
+    EXPECT_EQ(via_hits->patterns()[i], via_bitsets->patterns()[i]);
+  }
+}
+
+// The two independently-implemented known-period miners must agree on
+// arbitrary inputs — a strong cross-validation of both.
+class MinerAgreement
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, double, std::uint64_t>> {};
+
+TEST_P(MinerAgreement, HitSetEqualsBitsetDfs) {
+  const auto [n, period, min_support, seed] = GetParam();
+  Rng rng(seed);
+  SymbolSeries series(Alphabet::Latin(4));
+  for (std::size_t i = 0; i < n; ++i) {
+    series.Append(static_cast<SymbolId>(rng.UniformInt(4)));
+  }
+  KnownPeriodOptions options;
+  options.min_support = min_support;
+  auto via_hits = MineMaxSubpatternPatterns(series, period, options);
+  auto via_bitsets = MineKnownPeriodPatterns(series, period, options);
+  ASSERT_TRUE(via_hits.ok());
+  ASSERT_TRUE(via_bitsets.ok());
+  ASSERT_EQ(via_hits->size(), via_bitsets->size());
+  for (std::size_t i = 0; i < via_hits->size(); ++i) {
+    EXPECT_EQ(via_hits->patterns()[i], via_bitsets->patterns()[i])
+        << via_hits->patterns()[i].pattern.ToString(series.alphabet());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MinerAgreement,
+    ::testing::Combine(::testing::Values<std::size_t>(40, 100, 200),
+                       ::testing::Values<std::size_t>(3, 5, 8),
+                       ::testing::Values(0.2, 0.5),
+                       ::testing::Values<std::uint64_t>(1, 2)));
+
+TEST(MaxSubpatternTest, HitSetIsCompact) {
+  // Strongly periodic data yields very few distinct maximal subpatterns —
+  // the compactness Han et al.'s structure is designed around.
+  const SymbolSeries series = Make(
+      "abcabcabcabcabcabcabcabcabcabcabcabcabcabcabcabcabcabcabcabcabc");
+  KnownPeriodOptions options;
+  options.min_support = 0.9;
+  auto patterns = MineMaxSubpatternPatterns(series, 3, options);
+  ASSERT_TRUE(patterns.ok());
+  EXPECT_FALSE(patterns->empty());
+  // Every segment has the same maximal subpattern: abc with support 1.
+  bool found_full = false;
+  for (const ScoredPattern& scored : patterns->patterns()) {
+    if (scored.pattern.NumFixed() == 3) {
+      found_full = true;
+      EXPECT_DOUBLE_EQ(scored.support, 1.0);
+    }
+  }
+  EXPECT_TRUE(found_full);
+}
+
+TEST(MaxSubpatternTest, ValidatesArguments) {
+  const SymbolSeries series = Make("abcabc");
+  KnownPeriodOptions options;
+  EXPECT_TRUE(MineMaxSubpatternPatterns(series, 0, options)
+                  .status()
+                  .IsInvalidArgument());
+  options.min_support = 1.5;
+  EXPECT_TRUE(MineMaxSubpatternPatterns(series, 3, options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(MaxSubpatternTest, TruncationHonorsMaxPatterns) {
+  const SymbolSeries series = Make("abcabcabcabc");
+  KnownPeriodOptions options;
+  options.min_support = 0.5;
+  options.max_patterns = 2;
+  auto patterns = MineMaxSubpatternPatterns(series, 3, options);
+  ASSERT_TRUE(patterns.ok());
+  EXPECT_TRUE(patterns->truncated());
+  EXPECT_EQ(patterns->size(), 2u);
+}
+
+}  // namespace
+}  // namespace periodica

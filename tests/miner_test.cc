@@ -1,0 +1,294 @@
+#include "periodica/core/miner.h"
+
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+#include "periodica/gen/synthetic.h"
+#include "periodica/util/rng.h"
+
+namespace periodica {
+namespace {
+
+SymbolSeries Make(std::string_view text) {
+  auto series = SymbolSeries::FromString(text);
+  EXPECT_TRUE(series.ok()) << series.status();
+  return std::move(series).ValueOrDie();
+}
+
+TEST(ObscureMinerTest, ValidatesOptions) {
+  const SymbolSeries series = Make("abab");
+  {
+    MinerOptions options;
+    options.threshold = 0.0;
+    EXPECT_TRUE(
+        ObscureMiner(options).Mine(series).status().IsInvalidArgument());
+  }
+  {
+    MinerOptions options;
+    options.threshold = 1.5;
+    EXPECT_TRUE(
+        ObscureMiner(options).Mine(series).status().IsInvalidArgument());
+  }
+  {
+    MinerOptions options;
+    options.min_period = 0;
+    EXPECT_TRUE(
+        ObscureMiner(options).Mine(series).status().IsInvalidArgument());
+  }
+  {
+    MinerOptions options;
+    options.min_period = 10;
+    options.max_period = 5;
+    EXPECT_TRUE(
+        ObscureMiner(options).Mine(series).status().IsInvalidArgument());
+  }
+}
+
+TEST(ObscureMinerTest, RejectsTinySeries) {
+  SymbolSeries series(Alphabet::Latin(2));
+  series.Append(0);
+  EXPECT_TRUE(ObscureMiner().Mine(series).status().IsInvalidArgument());
+}
+
+TEST(ObscureMinerTest, AutoEngineSelectsBySize) {
+  MinerOptions options;
+  options.auto_engine_cutoff = 16;
+  const ObscureMiner miner(options);
+
+  auto small = miner.Mine(Make("abababab"));
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(small->engine_used, MinerEngine::kExact);
+
+  SymbolSeries big(Alphabet::Latin(2));
+  for (int i = 0; i < 100; ++i) big.Append(static_cast<SymbolId>(i % 2));
+  auto large = miner.Mine(big);
+  ASSERT_TRUE(large.ok());
+  EXPECT_EQ(large->engine_used, MinerEngine::kFft);
+}
+
+TEST(ObscureMinerTest, ExplicitEngineHonored) {
+  MinerOptions options;
+  options.engine = MinerEngine::kFft;
+  auto result = ObscureMiner(options).Mine(Make("abababab"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->engine_used, MinerEngine::kFft);
+}
+
+TEST(ObscureMinerTest, FindsEmbeddedPeriod) {
+  SyntheticSpec spec;
+  spec.length = 4000;
+  spec.alphabet_size = 8;
+  spec.period = 25;
+  spec.seed = 77;
+  auto series = GeneratePerfect(spec);
+  ASSERT_TRUE(series.ok());
+  MinerOptions options;
+  options.threshold = 1.0;
+  options.max_period = 80;
+  auto result = ObscureMiner(options).Mine(*series);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->periodicities.PeriodConfidence(25), 1.0);
+  EXPECT_DOUBLE_EQ(result->periodicities.PeriodConfidence(50), 1.0);
+  EXPECT_DOUBLE_EQ(result->periodicities.PeriodConfidence(75), 1.0);
+}
+
+TEST(ObscureMinerTest, NoisySeriesStillDetectedAtLowerThreshold) {
+  SyntheticSpec spec;
+  spec.length = 5000;
+  spec.alphabet_size = 10;
+  spec.period = 32;
+  spec.seed = 5;
+  auto perfect = GeneratePerfect(spec);
+  ASSERT_TRUE(perfect.ok());
+  auto noisy = ApplyNoise(*perfect, NoiseSpec::Replacement(0.3, 9));
+  ASSERT_TRUE(noisy.ok());
+  MinerOptions options;
+  options.threshold = 0.4;
+  options.max_period = 40;
+  auto result = ObscureMiner(options).Mine(*noisy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->periodicities.PeriodConfidence(32), 0.4);
+}
+
+TEST(ObscureMinerTest, StreamMiningEqualsBatchMining) {
+  SyntheticSpec spec;
+  spec.length = 3000;
+  spec.alphabet_size = 6;
+  spec.period = 17;
+  spec.seed = 21;
+  auto perfect = GeneratePerfect(spec);
+  ASSERT_TRUE(perfect.ok());
+  auto noisy = ApplyNoise(*perfect, NoiseSpec::Replacement(0.1, 3));
+  ASSERT_TRUE(noisy.ok());
+
+  MinerOptions options;
+  options.threshold = 0.6;
+  options.engine = MinerEngine::kFft;
+  options.max_period = 60;
+  options.mine_patterns = true;
+  options.pattern_periods = {17};
+  const ObscureMiner miner(options);
+
+  auto batch = miner.Mine(*noisy);
+  ASSERT_TRUE(batch.ok());
+  VectorStream stream(*noisy);
+  auto streamed = miner.Mine(&stream);
+  ASSERT_TRUE(streamed.ok());
+
+  ASSERT_EQ(streamed->periodicities.entries().size(),
+            batch->periodicities.entries().size());
+  for (std::size_t i = 0; i < batch->periodicities.entries().size(); ++i) {
+    EXPECT_EQ(streamed->periodicities.entries()[i],
+              batch->periodicities.entries()[i]);
+  }
+  ASSERT_EQ(streamed->patterns.size(), batch->patterns.size());
+  for (std::size_t i = 0; i < batch->patterns.size(); ++i) {
+    EXPECT_EQ(streamed->patterns.patterns()[i],
+              batch->patterns.patterns()[i]);
+  }
+}
+
+TEST(ObscureMinerTest, PatternStageProducesPaperPatterns) {
+  MinerOptions options;
+  options.threshold = 0.5;
+  options.mine_patterns = true;
+  auto result = ObscureMiner(options).Mine(Make("abcabbabcb"));
+  ASSERT_TRUE(result.ok());
+  bool found_ab = false;
+  for (const ScoredPattern& scored : result->patterns.patterns()) {
+    if (scored.pattern.period() == 3 &&
+        scored.pattern.ToString(Alphabet::Latin(3)) == "ab*") {
+      found_ab = true;
+      EXPECT_DOUBLE_EQ(scored.support, 2.0 / 3.0);
+    }
+  }
+  EXPECT_TRUE(found_ab);
+}
+
+TEST(ObscureMinerTest, PatternPeriodsRestrictsPatternMining) {
+  SyntheticSpec spec;
+  spec.length = 600;
+  spec.alphabet_size = 5;
+  spec.period = 10;
+  spec.seed = 2;
+  auto series = GeneratePerfect(spec);
+  ASSERT_TRUE(series.ok());
+  MinerOptions options;
+  options.threshold = 1.0;
+  options.mine_patterns = true;
+  options.pattern_periods = {10};
+  options.max_period = 40;
+  auto result = ObscureMiner(options).Mine(*series);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->patterns.empty());
+  for (const ScoredPattern& scored : result->patterns.patterns()) {
+    EXPECT_EQ(scored.pattern.period(), 10u);
+  }
+}
+
+TEST(ObscureMinerTest, PatternsRequirePositionsMode) {
+  MinerOptions options;
+  options.positions = false;
+  options.mine_patterns = true;
+  EXPECT_TRUE(ObscureMiner(options)
+                  .Mine(Make("abcabcabc"))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ObscureMinerTest, PeriodsOnlyModeHasNoEntries) {
+  MinerOptions options;
+  options.positions = false;
+  options.engine = MinerEngine::kFft;
+  auto result = ObscureMiner(options).Mine(Make("abcabcabcabcabc"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->periodicities.entries().empty());
+  EXPECT_FALSE(result->periodicities.summaries().empty());
+}
+
+TEST(ObscureMinerTest, NullStreamRejected) {
+  EXPECT_TRUE(ObscureMiner().Mine(nullptr).status().IsInvalidArgument());
+}
+
+TEST(ObscureMinerTest, MinPairsFiltersTriviallySupportedPeriods) {
+  // n = 20, period 9: the projection at any phase has at most 2 pairs, so a
+  // single chance repetition passes psi = 1 under the paper's definition
+  // (min_pairs = 1) but not with min_pairs = 3.
+  SymbolSeries series(Alphabet::Latin(4));
+  const char* text = "abcdabcdabcdabcdabcd";  // period 4, n = 20
+  for (const char* c = text; *c != '\0'; ++c) {
+    series.Append(static_cast<SymbolId>(*c - 'a'));
+  }
+  MinerOptions options;
+  options.threshold = 1.0;
+  options.engine = MinerEngine::kFft;
+  auto loose = ObscureMiner(options).Mine(series);
+  ASSERT_TRUE(loose.ok());
+  // Period 8 (a multiple) and period 16 are both perfect; 16 offers at most
+  // ceil(20/16)-1 = 1 pair per phase.
+  EXPECT_NE(loose->periodicities.FindPeriod(4), nullptr);
+  EXPECT_NE(loose->periodicities.FindPeriod(8), nullptr);
+
+  options.min_pairs = 3;
+  auto strict = ObscureMiner(options).Mine(series);
+  ASSERT_TRUE(strict.ok());
+  // Period 4 offers 4 pairs at every phase and survives; period 8 offers at
+  // most ceil(20/8)-1 = 2 and is filtered.
+  EXPECT_NE(strict->periodicities.FindPeriod(4), nullptr);
+  EXPECT_EQ(strict->periodicities.FindPeriod(8), nullptr);
+
+  // Exact engine applies the same filter.
+  options.engine = MinerEngine::kExact;
+  auto exact = ObscureMiner(options).Mine(series);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NE(exact->periodicities.FindPeriod(4), nullptr);
+  EXPECT_EQ(exact->periodicities.FindPeriod(8), nullptr);
+}
+
+TEST(ObscureMinerTest, SignificanceScreeningIntegrated) {
+  // Random-ish series: at a permissive threshold many chance periodicities
+  // appear; with in-miner screening almost all disappear.
+  SymbolSeries series(Alphabet::Latin(5));
+  Rng rng(71);
+  for (int i = 0; i < 3000; ++i) {
+    series.Append(static_cast<SymbolId>(rng.UniformInt(5)));
+  }
+  MinerOptions raw_options;
+  raw_options.threshold = 0.3;
+  raw_options.max_period = 300;
+  auto raw = ObscureMiner(raw_options).Mine(series);
+  ASSERT_TRUE(raw.ok());
+  ASSERT_GT(raw->periodicities.entries().size(), 20u);
+
+  MinerOptions screened_options = raw_options;
+  screened_options.significance_p_value = 1e-6;
+  auto screened = ObscureMiner(screened_options).Mine(series);
+  ASSERT_TRUE(screened.ok());
+  EXPECT_LT(screened->periodicities.entries().size(),
+            raw->periodicities.entries().size() / 5 + 1);
+  // Streaming path applies the same screen.
+  VectorStream stream(series);
+  auto streamed = ObscureMiner(screened_options).Mine(&stream);
+  ASSERT_TRUE(streamed.ok());
+  EXPECT_EQ(streamed->periodicities.entries().size(),
+            screened->periodicities.entries().size());
+}
+
+TEST(ObscureMinerTest, SignificanceRequiresPositionsMode) {
+  MinerOptions options;
+  options.positions = false;
+  options.significance_p_value = 0.01;
+  EXPECT_TRUE(
+      ObscureMiner(options).Mine(Make("abab")).status().IsInvalidArgument());
+}
+
+TEST(ObscureMinerTest, MinPairsZeroRejected) {
+  MinerOptions options;
+  options.min_pairs = 0;
+  EXPECT_TRUE(
+      ObscureMiner(options).Mine(Make("abab")).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace periodica

@@ -1,0 +1,143 @@
+// Coverage for smaller behaviors not exercised by the per-module suites:
+// multi-letter alphabet rendering, exact-engine detection modes, and
+// assorted option interactions.
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "periodica/periodica.h"
+
+namespace periodica {
+namespace {
+
+TEST(MiscTest, MultiLetterAlphabetRendering) {
+  auto alphabet = Alphabet::FromNames({"very low", "low", "high"});
+  ASSERT_TRUE(alphabet.ok());
+  SymbolSeries series(*alphabet);
+  series.Append(0);
+  series.Append(2);
+  EXPECT_EQ(series.ToString(), "very low high");
+
+  PeriodicPattern pattern(2);
+  pattern.SetSlot(1, 2);
+  EXPECT_EQ(pattern.ToString(*alphabet), "* high");
+}
+
+TEST(MiscTest, SeriesFromVectorValidatesSymbols) {
+  const Alphabet alphabet = Alphabet::Latin(2);
+  SymbolSeries series(alphabet, {0, 1, 0});
+  EXPECT_EQ(series.ToString(), "aba");
+}
+
+TEST(MiscTest, ExactEnginePeriodsOnlyMode) {
+  auto series = SymbolSeries::FromString("abcabcabcabcabc");
+  ASSERT_TRUE(series.ok());
+  MinerOptions options;
+  options.threshold = 0.9;
+  options.positions = false;
+  const PeriodicityTable table = ExactConvolutionMiner(*series).Mine(options);
+  EXPECT_TRUE(table.entries().empty());
+  ASSERT_NE(table.FindPeriod(3), nullptr);
+  // The exact engine's summaries are exact even in periods-only mode.
+  EXPECT_FALSE(table.FindPeriod(3)->aggregate_only);
+  EXPECT_DOUBLE_EQ(table.FindPeriod(3)->best_confidence, 1.0);
+}
+
+TEST(MiscTest, SingleSymbolAlphabetMinesEveryPeriod) {
+  SymbolSeries series(Alphabet::Latin(1));
+  for (int i = 0; i < 32; ++i) series.Append(0);
+  MinerOptions options;
+  options.threshold = 1.0;
+  for (const MinerEngine engine :
+       {MinerEngine::kExact, MinerEngine::kFft}) {
+    options.engine = engine;
+    auto result = ObscureMiner(options).Mine(series);
+    ASSERT_TRUE(result.ok());
+    for (std::size_t p = 1; p <= 16; ++p) {
+      EXPECT_DOUBLE_EQ(result->periodicities.PeriodConfidence(p), 1.0)
+          << "engine=" << int(engine) << " p=" << p;
+    }
+  }
+}
+
+TEST(MiscTest, PatternThresholdSeparateFromDetectionThreshold) {
+  auto series = SymbolSeries::FromString("abcabbabcbabcabbabcb");
+  ASSERT_TRUE(series.ok());
+  MinerOptions options;
+  options.threshold = 0.5;        // detection
+  options.pattern_threshold = 0.9;  // stricter pattern support
+  options.mine_patterns = true;
+  auto result = ObscureMiner(options).Mine(*series);
+  ASSERT_TRUE(result.ok());
+  for (const ScoredPattern& scored : result->patterns.patterns()) {
+    EXPECT_GE(scored.support + 1e-9, 0.9);
+  }
+}
+
+TEST(MiscTest, ReportOnStreamMinedResult) {
+  auto series = SymbolSeries::FromString("abcabcabcabc");
+  ASSERT_TRUE(series.ok());
+  VectorStream stream(*series);
+  MinerOptions options;
+  options.threshold = 0.9;
+  auto result = ObscureMiner(options).Mine(&stream);
+  ASSERT_TRUE(result.ok());
+  std::ostringstream os;
+  ASSERT_TRUE(RenderMiningResult(*result, series->alphabet(), ReportOptions(),
+                                 os)
+                  .ok());
+  EXPECT_NE(os.str().find("# periods"), std::string::npos);
+}
+
+TEST(MiscTest, MaxPeriodBeyondSeriesIsClamped) {
+  auto series = SymbolSeries::FromString("ababababab");
+  ASSERT_TRUE(series.ok());
+  MinerOptions options;
+  options.threshold = 0.9;
+  options.max_period = 1000000;  // way past n; engines clamp to n-1
+  for (const MinerEngine engine :
+       {MinerEngine::kExact, MinerEngine::kFft}) {
+    options.engine = engine;
+    auto result = ObscureMiner(options).Mine(*series);
+    ASSERT_TRUE(result.ok());
+    EXPECT_NE(result->periodicities.FindPeriod(2), nullptr);
+  }
+}
+
+TEST(MiscTest, StreamingDetectorFeedsOnlineTrackerPipeline) {
+  // The STREAMING.md deployment chain on one series: detector proposes,
+  // tracker pinned to the proposals verifies exactly.
+  SyntheticSpec spec;
+  spec.length = 4000;
+  spec.alphabet_size = 6;
+  spec.period = 21;
+  spec.seed = 99;
+  auto perfect = GeneratePerfect(spec);
+  ASSERT_TRUE(perfect.ok());
+  auto series = ApplyNoise(*perfect, NoiseSpec::Replacement(0.2, 98));
+  ASSERT_TRUE(series.ok());
+
+  auto detector = StreamingPeriodDetector::Create(series->alphabet(),
+                                                  {.max_period = 64});
+  ASSERT_TRUE(detector.ok());
+  for (std::size_t i = 0; i < series->size(); ++i) {
+    detector->Append((*series)[i]);
+  }
+  const std::vector<std::size_t> candidates =
+      detector->Detect(0.5, 2).Periods();
+  ASSERT_FALSE(candidates.empty());
+
+  auto tracker =
+      OnlinePeriodicityTracker::Create(series->alphabet(), candidates);
+  ASSERT_TRUE(tracker.ok());
+  for (std::size_t i = 0; i < series->size(); ++i) {
+    tracker->Append((*series)[i]);
+  }
+  const PeriodicityTable verified = tracker->Snapshot(0.5);
+  EXPECT_NE(verified.FindPeriod(21), nullptr);
+}
+
+}  // namespace
+}  // namespace periodica

@@ -1,0 +1,191 @@
+#include "periodica/core/pattern_miner.h"
+
+#include <cmath>
+#include <cstdint>
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+#include "periodica/util/rng.h"
+
+namespace periodica {
+namespace {
+
+SymbolSeries Make(std::string_view text) {
+  auto series = SymbolSeries::FromString(text);
+  EXPECT_TRUE(series.ok()) << series.status();
+  return std::move(series).ValueOrDie();
+}
+
+const ScoredPattern* Find(const PatternSet& set, const std::string& repr,
+                          const Alphabet& alphabet) {
+  for (const ScoredPattern& scored : set.patterns()) {
+    if (scored.pattern.ToString(alphabet) == repr) return &scored;
+  }
+  return nullptr;
+}
+
+TEST(PatternMinerTest, PaperExamplePatterns) {
+  // Sect. 2.3 with T = abcabbabcb, p = 3: candidate patterns are a**, *b*
+  // and ab*; the support of ab* is 2/3 (Sect. 3.2's W'_p example); the
+  // single-symbol supports are 2/3 for a** and 1 for *b*.
+  const SymbolSeries series = Make("abcabbabcb");
+  PatternMinerOptions options;
+  options.min_support = 0.5;
+  auto patterns = MinePatternsForPeriod(series, 3, /*threshold=*/0.5, options);
+  ASSERT_TRUE(patterns.ok()) << patterns.status();
+  const Alphabet& alphabet = series.alphabet();
+
+  const ScoredPattern* a_pattern = Find(*patterns, "a**", alphabet);
+  ASSERT_NE(a_pattern, nullptr);
+  EXPECT_DOUBLE_EQ(a_pattern->support, 2.0 / 3.0);
+
+  const ScoredPattern* b_pattern = Find(*patterns, "*b*", alphabet);
+  ASSERT_NE(b_pattern, nullptr);
+  EXPECT_DOUBLE_EQ(b_pattern->support, 1.0);
+
+  const ScoredPattern* ab_pattern = Find(*patterns, "ab*", alphabet);
+  ASSERT_NE(ab_pattern, nullptr);
+  EXPECT_DOUBLE_EQ(ab_pattern->support, 2.0 / 3.0);
+  EXPECT_EQ(ab_pattern->count, 2u);
+
+  EXPECT_EQ(patterns->size(), 3u);
+}
+
+TEST(PatternMinerTest, SupportThresholdPrunes) {
+  const SymbolSeries series = Make("abcabbabcb");
+  PatternMinerOptions options;
+  options.min_support = 0.9;  // only *b* survives
+  auto patterns = MinePatternsForPeriod(series, 3, 0.5, options);
+  ASSERT_TRUE(patterns.ok());
+  ASSERT_EQ(patterns->size(), 1u);
+  EXPECT_EQ(patterns->patterns()[0].pattern.ToString(series.alphabet()),
+            "*b*");
+}
+
+TEST(PatternMinerTest, PerfectSeriesYieldsFullPattern) {
+  const SymbolSeries series = Make("abcabcabcabc");  // n = 12, 4 occurrences
+  PatternMinerOptions options;
+  options.min_support = 0.7;
+  auto patterns = MinePatternsForPeriod(series, 3, 1.0, options);
+  ASSERT_TRUE(patterns.ok());
+  // Single-symbol supports (Definition 2, F2-based) are exactly 1; the
+  // multi-symbol W'_p estimate counts occurrences that persist into the next
+  // one, so on 4 occurrences it tops out at 3/4 — the paper's own formula.
+  const ScoredPattern* full = Find(*patterns, "abc", series.alphabet());
+  ASSERT_NE(full, nullptr);
+  EXPECT_DOUBLE_EQ(full->support, 0.75);
+  EXPECT_EQ(full->count, 3u);
+  const ScoredPattern* single = Find(*patterns, "a**", series.alphabet());
+  ASSERT_NE(single, nullptr);
+  EXPECT_DOUBLE_EQ(single->support, 1.0);
+  // 3 single-symbol patterns + 4 multi-symbol slot subsets.
+  EXPECT_EQ(patterns->size(), 7u);
+}
+
+TEST(PatternMinerTest, ExplicitSymbolSetsRestrictSearch) {
+  const SymbolSeries series = Make("abcabcabcabc");
+  std::vector<std::vector<SymbolId>> sets(3);
+  sets[0] = {0};  // only slot 0 = a may be fixed
+  PatternMinerOptions options;
+  options.min_support = 0.5;
+  auto patterns = MinePatternsForPeriod(series, 3, sets, options);
+  ASSERT_TRUE(patterns.ok());
+  ASSERT_EQ(patterns->size(), 1u);
+  EXPECT_EQ(patterns->patterns()[0].pattern.ToString(series.alphabet()),
+            "a**");
+}
+
+TEST(PatternMinerTest, MaxPatternsTruncates) {
+  const SymbolSeries series = Make("abcabcabcabc");
+  PatternMinerOptions options;
+  options.min_support = 0.5;
+  options.max_patterns = 2;
+  auto patterns = MinePatternsForPeriod(series, 3, 1.0, options);
+  ASSERT_TRUE(patterns.ok());
+  EXPECT_TRUE(patterns->truncated());
+  EXPECT_EQ(patterns->size(), 2u);
+}
+
+TEST(PatternMinerTest, InvalidArguments) {
+  const SymbolSeries series = Make("abcabc");
+  PatternMinerOptions options;
+  EXPECT_TRUE(MinePatternsForPeriod(series, 0, 0.5, options)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(MinePatternsForPeriod(series, 6, 0.5, options)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(MinePatternsForPeriod(series, 3, 0.0, options)
+                  .status()
+                  .IsInvalidArgument());
+  options.min_support = 2.0;
+  EXPECT_TRUE(MinePatternsForPeriod(series, 3, 0.5, options)
+                  .status()
+                  .IsInvalidArgument());
+  std::vector<std::vector<SymbolId>> wrong_size(2);
+  PatternMinerOptions ok_options;
+  EXPECT_TRUE(MinePatternsForPeriod(series, 3, wrong_size, ok_options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// Brute-force verification of multi-symbol supports on random series: for
+// every emitted multi-symbol pattern, recount the aligned occurrences
+// directly from the definition of W'_p.
+class PatternSupportProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PatternSupportProperty, EmittedSupportsMatchBruteForce) {
+  Rng rng(GetParam());
+  SymbolSeries series(Alphabet::Latin(3));
+  for (int i = 0; i < 60; ++i) {
+    series.Append(static_cast<SymbolId>(rng.UniformInt(3)));
+  }
+  const std::size_t period = 4;
+  PatternMinerOptions options;
+  options.min_support = 0.2;
+  auto patterns = MinePatternsForPeriod(series, period, 0.2, options);
+  ASSERT_TRUE(patterns.ok());
+  const std::size_t occurrences = series.size() / period;
+  for (const ScoredPattern& scored : patterns->patterns()) {
+    if (scored.pattern.NumFixed() < 2) continue;
+    std::uint64_t count = 0;
+    for (std::size_t m = 0; m < occurrences; ++m) {
+      bool all_match = true;
+      for (std::size_t l = 0; l < period; ++l) {
+        const auto slot = scored.pattern.At(l);
+        if (!slot.has_value()) continue;
+        const std::size_t i = l + m * period;
+        if (i + period >= series.size() || series[i] != *slot ||
+            series[i + period] != *slot) {
+          all_match = false;
+          break;
+        }
+      }
+      if (all_match) ++count;
+    }
+    EXPECT_EQ(scored.count, count)
+        << scored.pattern.ToString(series.alphabet());
+    EXPECT_DOUBLE_EQ(scored.support,
+                     static_cast<double>(count) /
+                         static_cast<double>(occurrences));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PatternSupportProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(PatternMinerTest, NoFrequentSymbolsYieldsEmptySet) {
+  // With threshold 1.0 on a random-ish series, no symbol is perfectly
+  // periodic; the pattern set is empty.
+  const SymbolSeries series = Make("abcbacbcabacbabc");
+  PatternMinerOptions options;
+  options.min_support = 1.0;
+  auto patterns = MinePatternsForPeriod(series, 5, 1.0, options);
+  ASSERT_TRUE(patterns.ok());
+  EXPECT_TRUE(patterns->empty());
+}
+
+}  // namespace
+}  // namespace periodica

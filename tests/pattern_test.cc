@@ -1,0 +1,103 @@
+#include "periodica/core/pattern.h"
+
+#include <gtest/gtest.h>
+
+namespace periodica {
+namespace {
+
+TEST(PatternTest, AllDontCareByDefault) {
+  PeriodicPattern pattern(4);
+  EXPECT_EQ(pattern.period(), 4u);
+  EXPECT_EQ(pattern.NumFixed(), 0u);
+  for (std::size_t l = 0; l < 4; ++l) {
+    EXPECT_TRUE(pattern.IsDontCare(l));
+  }
+}
+
+TEST(PatternTest, SetAndClearSlots) {
+  PeriodicPattern pattern(3);
+  pattern.SetSlot(0, 0);
+  pattern.SetSlot(1, 1);
+  EXPECT_EQ(pattern.NumFixed(), 2u);
+  EXPECT_FALSE(pattern.IsDontCare(0));
+  EXPECT_EQ(*pattern.At(1), 1);
+  pattern.ClearSlot(0);
+  EXPECT_TRUE(pattern.IsDontCare(0));
+  EXPECT_EQ(pattern.NumFixed(), 1u);
+}
+
+TEST(PatternTest, ToStringPaperNotation) {
+  // The paper writes the pattern with a at position 0 and b at position 1 of
+  // period 3 as "ab*".
+  const Alphabet alphabet = Alphabet::Latin(3);
+  PeriodicPattern pattern(3);
+  pattern.SetSlot(0, 0);
+  pattern.SetSlot(1, 1);
+  EXPECT_EQ(pattern.ToString(alphabet), "ab*");
+}
+
+TEST(PatternTest, FromStringRoundTrip) {
+  const Alphabet alphabet = Alphabet::Latin(5);
+  const auto pattern = PeriodicPattern::FromString("a*c**", alphabet);
+  ASSERT_TRUE(pattern.has_value());
+  EXPECT_EQ(pattern->period(), 5u);
+  EXPECT_EQ(pattern->NumFixed(), 2u);
+  EXPECT_EQ(pattern->ToString(alphabet), "a*c**");
+}
+
+TEST(PatternTest, FromStringRejectsUnknownSymbol) {
+  const Alphabet alphabet = Alphabet::Latin(2);
+  EXPECT_FALSE(PeriodicPattern::FromString("axz", alphabet).has_value());
+}
+
+TEST(PatternTest, Equality) {
+  PeriodicPattern a(2);
+  a.SetSlot(0, 1);
+  PeriodicPattern b(2);
+  b.SetSlot(0, 1);
+  EXPECT_EQ(a, b);
+  b.SetSlot(1, 0);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(PatternSetTest, ForPeriodFilters) {
+  PatternSet set;
+  PeriodicPattern p2(2);
+  p2.SetSlot(0, 0);
+  PeriodicPattern p3(3);
+  p3.SetSlot(0, 0);
+  set.Add(ScoredPattern{p2, 0.5, 1});
+  set.Add(ScoredPattern{p3, 0.7, 2});
+  EXPECT_EQ(set.ForPeriod(2).size(), 1u);
+  EXPECT_EQ(set.ForPeriod(3).size(), 1u);
+  EXPECT_TRUE(set.ForPeriod(4).empty());
+}
+
+TEST(PatternSetTest, SortCanonicalOrdersByPeriodFixedSupport) {
+  PatternSet set;
+  PeriodicPattern sparse(3);
+  sparse.SetSlot(0, 0);
+  PeriodicPattern dense(3);
+  dense.SetSlot(0, 0);
+  dense.SetSlot(1, 1);
+  PeriodicPattern small_period(2);
+  small_period.SetSlot(0, 0);
+  set.Add(ScoredPattern{sparse, 0.9, 9});
+  set.Add(ScoredPattern{dense, 0.5, 5});
+  set.Add(ScoredPattern{small_period, 0.1, 1});
+  set.SortCanonical();
+  // Period 2 first; within period 3 the denser pattern leads.
+  EXPECT_EQ(set.patterns()[0].pattern.period(), 2u);
+  EXPECT_EQ(set.patterns()[1].pattern.NumFixed(), 2u);
+  EXPECT_EQ(set.patterns()[2].pattern.NumFixed(), 1u);
+}
+
+TEST(PatternSetTest, TruncatedFlag) {
+  PatternSet set;
+  EXPECT_FALSE(set.truncated());
+  set.set_truncated(true);
+  EXPECT_TRUE(set.truncated());
+}
+
+}  // namespace
+}  // namespace periodica

@@ -1,0 +1,143 @@
+#include "periodica/baselines/periodic_trends.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "periodica/gen/synthetic.h"
+
+namespace periodica {
+namespace {
+
+SymbolSeries Perfect(std::size_t length, std::size_t period,
+                     std::uint64_t seed) {
+  SyntheticSpec spec;
+  spec.length = length;
+  spec.alphabet_size = 10;
+  spec.period = period;
+  spec.seed = seed;
+  auto series = GeneratePerfect(spec);
+  EXPECT_TRUE(series.ok());
+  return std::move(series).ValueOrDie();
+}
+
+TEST(PeriodicTrendsTest, ExactDistanceZeroAtTruePeriodMultiples) {
+  const SymbolSeries series = Perfect(2000, 25, 1);
+  PeriodicTrendsOptions options;
+  options.exact = true;
+  options.max_period = 200;
+  auto candidates = PeriodicTrends(options).Analyze(series);
+  ASSERT_TRUE(candidates.ok());
+  for (const TrendCandidate& candidate : *candidates) {
+    if (candidate.period % 25 == 0) {
+      EXPECT_DOUBLE_EQ(candidate.distance, 0.0) << "p=" << candidate.period;
+    } else {
+      EXPECT_GT(candidate.distance, 0.0) << "p=" << candidate.period;
+    }
+  }
+}
+
+TEST(PeriodicTrendsTest, TruePeriodsRankHighestOnPerfectData) {
+  const SymbolSeries series = Perfect(2000, 25, 2);
+  PeriodicTrendsOptions options;
+  options.exact = true;
+  options.max_period = 250;
+  auto candidates = PeriodicTrends(options).Analyze(series);
+  ASSERT_TRUE(candidates.ok());
+  // The ten multiples of 25 occupy the top ten ranks.
+  for (std::size_t rank = 0; rank < 10; ++rank) {
+    EXPECT_EQ((*candidates)[rank].period % 25, 0u) << "rank " << rank;
+  }
+  EXPECT_GT(PeriodicTrends::ConfidenceFor(*candidates, 25), 0.95);
+}
+
+TEST(PeriodicTrendsTest, TiesFavorLargerPeriods) {
+  // The documented bias (paper Sect. 4.1 / Fig. 4): among equally distant
+  // periods, the larger one ranks first.
+  const SymbolSeries series = Perfect(1000, 20, 3);
+  PeriodicTrendsOptions options;
+  options.exact = true;
+  options.max_period = 100;
+  auto candidates = PeriodicTrends(options).Analyze(series);
+  ASSERT_TRUE(candidates.ok());
+  // All multiples of 20 have distance 0; rank order must be descending
+  // period: 100, 80, 60, 40, 20.
+  EXPECT_EQ((*candidates)[0].period, 100u);
+  EXPECT_EQ((*candidates)[4].period, 20u);
+  EXPECT_GT(PeriodicTrends::ConfidenceFor(*candidates, 100),
+            PeriodicTrends::ConfidenceFor(*candidates, 20));
+}
+
+TEST(PeriodicTrendsTest, SketchApproximatesExactDistances) {
+  const SymbolSeries series = Perfect(1024, 32, 4);
+  PeriodicTrendsOptions exact_options;
+  exact_options.exact = true;
+  exact_options.max_period = 128;
+  auto exact = PeriodicTrends(exact_options).Analyze(series);
+  ASSERT_TRUE(exact.ok());
+
+  PeriodicTrendsOptions sketch_options;
+  sketch_options.exact = false;
+  sketch_options.num_sketches = 64;  // extra sketches tighten the estimate
+  sketch_options.max_period = 128;
+  auto sketched = PeriodicTrends(sketch_options).Analyze(series);
+  ASSERT_TRUE(sketched.ok());
+
+  // Compare per-period distances (sorted orders may differ slightly).
+  auto distance_of = [](const std::vector<TrendCandidate>& candidates,
+                        std::size_t period) {
+    for (const auto& candidate : candidates) {
+      if (candidate.period == period) return candidate.distance;
+    }
+    return -1.0;
+  };
+  for (const std::size_t p : {32u, 64u, 96u, 128u}) {
+    // Multiples of the true period: exact distance 0, sketch ~0.
+    EXPECT_NEAR(distance_of(*sketched, p), distance_of(*exact, p), 1e-6);
+  }
+  // Non-multiples: within a factor ~2 with 64 sketches (JL concentration).
+  for (const std::size_t p : {7u, 30u, 100u}) {
+    const double exact_distance = distance_of(*exact, p);
+    const double sketch_distance = distance_of(*sketched, p);
+    EXPECT_GT(sketch_distance, exact_distance * 0.5);
+    EXPECT_LT(sketch_distance, exact_distance * 2.0);
+  }
+}
+
+TEST(PeriodicTrendsTest, SketchRanksTruePeriodHighly) {
+  const SymbolSeries series = Perfect(4096, 25, 5);
+  PeriodicTrendsOptions options;
+  options.max_period = 400;
+  auto candidates = PeriodicTrends(options).Analyze(series);
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_GT(PeriodicTrends::ConfidenceFor(*candidates, 25), 0.9);
+}
+
+TEST(PeriodicTrendsTest, ConfidenceForMissingPeriodIsZero) {
+  EXPECT_DOUBLE_EQ(PeriodicTrends::ConfidenceFor({}, 10), 0.0);
+}
+
+TEST(PeriodicTrendsTest, RejectsTinySeries) {
+  SymbolSeries series(Alphabet::Latin(2));
+  series.Append(0);
+  EXPECT_TRUE(
+      PeriodicTrends().Analyze(series).status().IsInvalidArgument());
+}
+
+TEST(PeriodicTrendsTest, RespectsPeriodRange) {
+  const SymbolSeries series = Perfect(500, 10, 6);
+  PeriodicTrendsOptions options;
+  options.exact = true;
+  options.min_period = 5;
+  options.max_period = 50;
+  auto candidates = PeriodicTrends(options).Analyze(series);
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_EQ(candidates->size(), 46u);
+  for (const auto& candidate : *candidates) {
+    EXPECT_GE(candidate.period, 5u);
+    EXPECT_LE(candidate.period, 50u);
+  }
+}
+
+}  // namespace
+}  // namespace periodica

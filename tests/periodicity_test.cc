@@ -1,0 +1,138 @@
+#include "periodica/core/periodicity.h"
+
+#include <gtest/gtest.h>
+
+#include "periodica/core/detail.h"
+
+namespace periodica {
+namespace {
+
+SymbolPeriodicity Entry(std::size_t period, std::size_t position,
+                        SymbolId symbol, std::uint64_t f2,
+                        std::uint64_t pairs) {
+  return SymbolPeriodicity{period, position, symbol, f2, pairs,
+                           static_cast<double>(f2) /
+                               static_cast<double>(pairs)};
+}
+
+TEST(PeriodicityTableTest, PeriodsAreSortedAndUnique) {
+  PeriodicityTable table;
+  table.AddSummary(PeriodSummary{7, 1.0, 1, 0, 0, false});
+  table.AddSummary(PeriodSummary{3, 0.5, 2, 1, 1, false});
+  table.AddSummary(PeriodSummary{7, 0.9, 1, 0, 2, false});
+  EXPECT_EQ(table.Periods(), (std::vector<std::size_t>{3, 7}));
+}
+
+TEST(PeriodicityTableTest, FindPeriodAndConfidence) {
+  PeriodicityTable table;
+  table.AddSummary(PeriodSummary{5, 0.8, 3, 2, 1, false});
+  ASSERT_NE(table.FindPeriod(5), nullptr);
+  EXPECT_EQ(table.FindPeriod(5)->num_periodicities, 3u);
+  EXPECT_EQ(table.FindPeriod(6), nullptr);
+  EXPECT_DOUBLE_EQ(table.PeriodConfidence(5), 0.8);
+  EXPECT_DOUBLE_EQ(table.PeriodConfidence(99), 0.0);
+}
+
+TEST(PeriodicityTableTest, EntriesForPeriodSortedByPositionThenSymbol) {
+  PeriodicityTable table;
+  table.AddEntry(Entry(4, 2, 1, 1, 2));
+  table.AddEntry(Entry(4, 0, 2, 1, 2));
+  table.AddEntry(Entry(4, 0, 0, 1, 2));
+  table.AddEntry(Entry(5, 0, 0, 1, 2));  // other period excluded
+  const auto entries = table.EntriesForPeriod(4);
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].position, 0u);
+  EXPECT_EQ(entries[0].symbol, 0);
+  EXPECT_EQ(entries[1].position, 0u);
+  EXPECT_EQ(entries[1].symbol, 2);
+  EXPECT_EQ(entries[2].position, 2u);
+}
+
+TEST(PeriodicityTableTest, SymbolSetsDeduplicates) {
+  PeriodicityTable table;
+  table.AddEntry(Entry(3, 1, 2, 1, 2));
+  table.AddEntry(Entry(3, 1, 2, 1, 2));
+  table.AddEntry(Entry(3, 1, 0, 1, 2));
+  const auto sets = table.SymbolSets(3);
+  ASSERT_EQ(sets.size(), 3u);
+  EXPECT_TRUE(sets[0].empty());
+  EXPECT_EQ(sets[1], (std::vector<SymbolId>{0, 2}));
+  EXPECT_TRUE(sets[2].empty());
+}
+
+TEST(PeriodicityTableTest, SortCanonicalOrdersEntries) {
+  PeriodicityTable table;
+  table.AddEntry(Entry(5, 1, 0, 1, 2));
+  table.AddEntry(Entry(3, 2, 1, 1, 2));
+  table.AddEntry(Entry(3, 0, 1, 1, 2));
+  table.SortCanonical();
+  EXPECT_EQ(table.entries()[0].period, 3u);
+  EXPECT_EQ(table.entries()[0].position, 0u);
+  EXPECT_EQ(table.entries()[1].position, 2u);
+  EXPECT_EQ(table.entries()[2].period, 5u);
+}
+
+// --- internal::EmitPeriod / MinPairCount -------------------------------
+
+TEST(DetailTest, MinPairCountFormula) {
+  // n=10, p=3: pairs at the last phase l=2 is ceil(8/3)-1 = 2.
+  EXPECT_EQ(internal::MinPairCount(10, 3), 2u);
+  // Pairs of 0 clamp to 1 (a single pair can still reach confidence 1).
+  EXPECT_EQ(internal::MinPairCount(10, 9), 1u);
+  EXPECT_EQ(internal::MinPairCount(10, 12), 1u);
+  EXPECT_EQ(internal::MinPairCount(4, 1), 3u);  // ceil(4/1)-1 with l=0
+}
+
+TEST(DetailTest, EmitPeriodAppliesThreshold) {
+  MinerOptions options;
+  options.threshold = 0.6;
+  PeriodicityTable table;
+  const internal::PhaseCount counts[] = {
+      {0, 0, 3},  // pairs(10,3,0)=3 -> confidence 1.0
+      {1, 1, 1},  // pairs(10,3,1)=2 -> confidence 0.5 (below threshold)
+  };
+  internal::EmitPeriod(10, 3, counts, options, &table);
+  ASSERT_EQ(table.entries().size(), 1u);
+  EXPECT_EQ(table.entries()[0].symbol, 0);
+  ASSERT_EQ(table.summaries().size(), 1u);
+  EXPECT_EQ(table.summaries()[0].num_periodicities, 1u);
+  EXPECT_DOUBLE_EQ(table.summaries()[0].best_confidence, 1.0);
+}
+
+TEST(DetailTest, EmitPeriodNoSummaryWhenNothingPasses) {
+  MinerOptions options;
+  options.threshold = 0.9;
+  PeriodicityTable table;
+  const internal::PhaseCount counts[] = {{0, 0, 1}};
+  internal::EmitPeriod(10, 3, counts, options, &table);
+  EXPECT_TRUE(table.entries().empty());
+  EXPECT_TRUE(table.summaries().empty());
+}
+
+TEST(DetailTest, EmitPeriodHonorsMinPairs) {
+  MinerOptions options;
+  options.threshold = 0.5;
+  options.min_pairs = 3;
+  PeriodicityTable table;
+  const internal::PhaseCount counts[] = {
+      {0, 0, 3},  // pairs 3 >= min_pairs: kept
+      {0, 1, 2},  // pairs(10,3,1) = 2 < min_pairs: dropped despite conf 1.0
+  };
+  internal::EmitPeriod(10, 3, counts, options, &table);
+  ASSERT_EQ(table.entries().size(), 1u);
+  EXPECT_EQ(table.entries()[0].position, 0u);
+}
+
+TEST(DetailTest, EmitPeriodPositionsOffKeepsSummariesOnly) {
+  MinerOptions options;
+  options.threshold = 0.5;
+  options.positions = false;
+  PeriodicityTable table;
+  const internal::PhaseCount counts[] = {{0, 0, 3}};
+  internal::EmitPeriod(10, 3, counts, options, &table);
+  EXPECT_TRUE(table.entries().empty());
+  EXPECT_EQ(table.summaries().size(), 1u);
+}
+
+}  // namespace
+}  // namespace periodica

@@ -1,0 +1,95 @@
+#include "periodica/core/report.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "periodica/core/miner.h"
+
+namespace periodica {
+namespace {
+
+MiningResult MineExample() {
+  auto series = SymbolSeries::FromString("abcabbabcb");
+  EXPECT_TRUE(series.ok());
+  MinerOptions options;
+  options.threshold = 0.5;
+  options.mine_patterns = true;
+  auto result = ObscureMiner(options).Mine(*series);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).ValueOrDie();
+}
+
+TEST(ReportTest, TextFormatContainsAllSections) {
+  const MiningResult result = MineExample();
+  std::ostringstream os;
+  ASSERT_TRUE(RenderMiningResult(result, Alphabet::Latin(3), ReportOptions(),
+                                 os)
+                  .ok());
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# periods"), std::string::npos);
+  EXPECT_NE(out.find("# symbol periodicities"), std::string::npos);
+  EXPECT_NE(out.find("# patterns"), std::string::npos);
+  EXPECT_NE(out.find("ab*"), std::string::npos);
+  EXPECT_NE(out.find("0.667"), std::string::npos);  // the 2/3 confidence
+}
+
+TEST(ReportTest, CsvFormatIsParseable) {
+  const MiningResult result = MineExample();
+  ReportOptions options;
+  options.format = ReportFormat::kCsv;
+  std::ostringstream os;
+  ASSERT_TRUE(
+      RenderMiningResult(result, Alphabet::Latin(3), options, os).ok());
+  const std::string out = os.str();
+  EXPECT_NE(out.find("period,confidence,periodicities"), std::string::npos);
+  EXPECT_NE(out.find("period,position,symbol,f2,pairs,confidence"),
+            std::string::npos);
+  EXPECT_NE(out.find("pattern,period,fixed,count,support"),
+            std::string::npos);
+  // No alignment padding in CSV mode.
+  EXPECT_EQ(out.find(" | "), std::string::npos);
+}
+
+TEST(ReportTest, SectionTogglesWork) {
+  const MiningResult result = MineExample();
+  ReportOptions options;
+  options.include_entries = false;
+  options.include_patterns = false;
+  std::ostringstream os;
+  ASSERT_TRUE(
+      RenderMiningResult(result, Alphabet::Latin(3), options, os).ok());
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# periods"), std::string::npos);
+  EXPECT_EQ(out.find("# symbol periodicities"), std::string::npos);
+  EXPECT_EQ(out.find("# patterns"), std::string::npos);
+}
+
+TEST(ReportTest, MaxRowsCapsOutput) {
+  const MiningResult result = MineExample();
+  ReportOptions options;
+  options.format = ReportFormat::kCsv;
+  options.max_rows = 1;
+  options.include_summaries = false;
+  options.include_patterns = false;
+  std::ostringstream os;
+  ASSERT_TRUE(
+      RenderMiningResult(result, Alphabet::Latin(3), options, os).ok());
+  // Header + exactly one data row + blank line.
+  std::size_t lines = 0;
+  for (const char c : os.str()) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4u);  // section title, header, 1 row, trailing blank
+}
+
+TEST(ReportTest, RejectsMismatchedAlphabet) {
+  const MiningResult result = MineExample();
+  std::ostringstream os;
+  EXPECT_TRUE(RenderMiningResult(result, Alphabet::Latin(1), ReportOptions(),
+                                 os)
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace periodica

@@ -1,0 +1,99 @@
+#include "periodica/series/resample.h"
+
+#include <gtest/gtest.h>
+
+#include "periodica/gen/domain.h"
+
+namespace periodica {
+namespace {
+
+TEST(AggregateValuesTest, MeanSumMinMaxLast) {
+  const std::vector<double> values = {1, 2, 3, 4, 5, 6, 7};  // tail 7 dropped
+  auto mean = AggregateValues(values, 3, ValueAggregate::kMean);
+  ASSERT_TRUE(mean.ok());
+  EXPECT_EQ(*mean, (std::vector<double>{2, 5}));
+  auto sum = AggregateValues(values, 3, ValueAggregate::kSum);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(*sum, (std::vector<double>{6, 15}));
+  auto min = AggregateValues(values, 3, ValueAggregate::kMin);
+  ASSERT_TRUE(min.ok());
+  EXPECT_EQ(*min, (std::vector<double>{1, 4}));
+  auto max = AggregateValues(values, 3, ValueAggregate::kMax);
+  ASSERT_TRUE(max.ok());
+  EXPECT_EQ(*max, (std::vector<double>{3, 6}));
+  auto last = AggregateValues(values, 3, ValueAggregate::kLast);
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(*last, (std::vector<double>{3, 6}));
+}
+
+TEST(AggregateValuesTest, FactorOneIsIdentity) {
+  const std::vector<double> values = {1.5, -2.0};
+  auto out = AggregateValues(values, 1, ValueAggregate::kMean);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, values);
+}
+
+TEST(AggregateValuesTest, FactorZeroRejected) {
+  EXPECT_TRUE(AggregateValues(std::vector<double>{1.0}, 0,
+                              ValueAggregate::kMean)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(AggregateValuesTest, FactorLargerThanInputYieldsEmpty) {
+  const std::vector<double> values = {1, 2};
+  auto out = AggregateValues(values, 5, ValueAggregate::kSum);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+}
+
+TEST(DownsampleTest, MajorityAndTieBreak) {
+  auto series = SymbolSeries::FromString("aabbbbcaab");  // tail 'b' dropped
+  ASSERT_TRUE(series.ok());
+  auto majority = DownsampleSeries(*series, 3, SymbolAggregate::kMajority);
+  ASSERT_TRUE(majority.ok());
+  // Groups: aab -> a (tie a:2? a:2 b:1 -> a), bbb -> b, caa -> a.
+  EXPECT_EQ(majority->ToString(), "aba");
+}
+
+TEST(DownsampleTest, FirstAndLast) {
+  auto series = SymbolSeries::FromString("abcdef");
+  ASSERT_TRUE(series.ok());
+  auto first = DownsampleSeries(*series, 2, SymbolAggregate::kFirst);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->ToString(), "ace");
+  auto last = DownsampleSeries(*series, 2, SymbolAggregate::kLast);
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(last->ToString(), "bdf");
+}
+
+TEST(DownsampleTest, PreservesAlphabet) {
+  auto series = SymbolSeries::FromString("abcabc");
+  ASSERT_TRUE(series.ok());
+  auto down = DownsampleSeries(*series, 3, SymbolAggregate::kMajority);
+  ASSERT_TRUE(down.ok());
+  EXPECT_EQ(down->alphabet(), series->alphabet());
+}
+
+TEST(DownsampleTest, PeriodRescalesAcrossResolutions) {
+  // Hourly retail stream: period 168 (weekly) at hourly resolution becomes
+  // period 7 at daily resolution.
+  RetailTransactionSimulator::Options options;
+  options.weeks = 8;
+  auto hourly = RetailTransactionSimulator(options).GenerateSeries();
+  ASSERT_TRUE(hourly.ok());
+  auto daily = DownsampleSeries(*hourly, 24, SymbolAggregate::kMajority);
+  ASSERT_TRUE(daily.ok());
+  EXPECT_EQ(daily->size(), 8u * 7);
+  // The weekend shape survives aggregation: some symbol is periodic at 7.
+  double best = 0.0;
+  for (SymbolId s = 0; s < 5; ++s) {
+    for (std::size_t l = 0; l < 7; ++l) {
+      best = std::max(best, PeriodicityConfidence(*daily, s, 7, l));
+    }
+  }
+  EXPECT_GT(best, 0.7);
+}
+
+}  // namespace
+}  // namespace periodica

@@ -1,0 +1,85 @@
+#include "periodica/util/result.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace periodica {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.status().ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::NotFound("nothing"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+  EXPECT_EQ(result.status().message(), "nothing");
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(7));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = std::move(result).ValueOrDie();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> result(std::string("hello"));
+  EXPECT_EQ(result->size(), 5u);
+}
+
+TEST(ResultTest, MutableAccess) {
+  Result<std::vector<int>> result(std::vector<int>{1, 2});
+  result->push_back(3);
+  EXPECT_EQ(result.value().size(), 3u);
+}
+
+TEST(ResultTest, CopyPreservesState) {
+  Result<int> value(5);
+  Result<int> value_copy = value;
+  EXPECT_TRUE(value_copy.ok());
+  EXPECT_EQ(*value_copy, 5);
+
+  Result<int> error(Status::Internal("boom"));
+  Result<int> error_copy = error;
+  EXPECT_FALSE(error_copy.ok());
+  EXPECT_TRUE(error_copy.status().IsInternal());
+}
+
+TEST(ResultDeathTest, ValueOnErrorAborts) {
+  Result<int> result(Status::Internal("boom"));
+  EXPECT_DEATH({ (void)result.value(); }, "Result::value");
+}
+
+Result<int> ParsePositive(int raw) {
+  if (raw <= 0) return Status::InvalidArgument("must be positive");
+  return raw;
+}
+
+Result<int> Doubled(int raw) {
+  PERIODICA_ASSIGN_OR_RETURN(const int parsed, ParsePositive(raw));
+  return parsed * 2;
+}
+
+TEST(ResultTest, AssignOrReturnHappyPath) {
+  Result<int> result = Doubled(21);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  Result<int> result = Doubled(-1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace periodica

@@ -1,0 +1,142 @@
+#include "periodica/core/serialize.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "periodica/core/miner.h"
+
+namespace periodica {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("periodica_serialize_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  MiningResult MineExample() {
+    auto series = SymbolSeries::FromString("abcabbabcbabcabbabcb");
+    EXPECT_TRUE(series.ok());
+    MinerOptions options;
+    options.threshold = 0.5;
+    options.mine_patterns = true;
+    auto result = ObscureMiner(options).Mine(*series);
+    EXPECT_TRUE(result.ok());
+    return std::move(result).ValueOrDie();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(SerializeTest, PeriodicityRoundTrip) {
+  const MiningResult result = MineExample();
+  const Alphabet alphabet = Alphabet::Latin(3);
+  const std::string path = Path("periodicities.csv");
+  ASSERT_TRUE(
+      WritePeriodicityCsv(result.periodicities, alphabet, path).ok());
+  auto loaded = ReadPeriodicityCsv(path, alphabet);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  ASSERT_EQ(loaded->entries().size(), result.periodicities.entries().size());
+  for (std::size_t i = 0; i < loaded->entries().size(); ++i) {
+    EXPECT_EQ(loaded->entries()[i], result.periodicities.entries()[i]);
+  }
+  // Summaries are reconstructed from entries.
+  ASSERT_EQ(loaded->summaries().size(),
+            result.periodicities.summaries().size());
+  for (std::size_t i = 0; i < loaded->summaries().size(); ++i) {
+    EXPECT_EQ(loaded->summaries()[i], result.periodicities.summaries()[i]);
+  }
+}
+
+TEST_F(SerializeTest, PatternRoundTrip) {
+  const MiningResult result = MineExample();
+  const Alphabet alphabet = Alphabet::Latin(3);
+  const std::string path = Path("patterns.csv");
+  ASSERT_TRUE(WritePatternCsv(result.patterns, alphabet, path).ok());
+  auto loaded = ReadPatternCsv(path, alphabet);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), result.patterns.size());
+  for (std::size_t i = 0; i < loaded->size(); ++i) {
+    const auto& a = loaded->patterns()[i];
+    const auto& b = result.patterns.patterns()[i];
+    EXPECT_EQ(a.pattern, b.pattern);
+    EXPECT_EQ(a.count, b.count);
+    EXPECT_NEAR(a.support, b.support, 1e-9);
+  }
+}
+
+TEST_F(SerializeTest, ReadRejectsMalformedRows) {
+  const Alphabet alphabet = Alphabet::Latin(3);
+  {
+    std::ofstream file(Path("bad1.csv"));
+    file << "period,position,symbol,f2,pairs\n3,1,b,2\n";  // missing cell
+  }
+  EXPECT_TRUE(ReadPeriodicityCsv(Path("bad1.csv"), alphabet)
+                  .status()
+                  .IsInvalidArgument());
+  {
+    std::ofstream file(Path("bad2.csv"));
+    file << "3,5,b,2,2\n";  // position >= period
+  }
+  EXPECT_TRUE(ReadPeriodicityCsv(Path("bad2.csv"), alphabet)
+                  .status()
+                  .IsInvalidArgument());
+  {
+    std::ofstream file(Path("bad3.csv"));
+    file << "3,1,z,2,2\n";  // unknown symbol
+  }
+  EXPECT_TRUE(ReadPeriodicityCsv(Path("bad3.csv"), alphabet)
+                  .status()
+                  .IsNotFound());
+  {
+    std::ofstream file(Path("bad4.csv"));
+    file << "3,1,b,5,2\n";  // f2 > pairs
+  }
+  EXPECT_TRUE(ReadPeriodicityCsv(Path("bad4.csv"), alphabet)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(SerializeTest, PatternReadRejectsPeriodMismatch) {
+  const Alphabet alphabet = Alphabet::Latin(3);
+  {
+    std::ofstream file(Path("bad.csv"));
+    file << "pattern,period,count,support\nab*,4,2,0.5\n";  // pattern is p=3
+  }
+  EXPECT_TRUE(ReadPatternCsv(Path("bad.csv"), alphabet)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(SerializeTest, WritePatternRejectsMultiLetterAlphabet) {
+  auto alphabet = Alphabet::FromNames({"low", "high"});
+  ASSERT_TRUE(alphabet.ok());
+  PatternSet patterns;
+  EXPECT_TRUE(WritePatternCsv(patterns, *alphabet, Path("x.csv"))
+                  .IsInvalidArgument());
+}
+
+TEST_F(SerializeTest, MissingFileIsIOError) {
+  EXPECT_TRUE(ReadPeriodicityCsv("/nonexistent/x.csv", Alphabet::Latin(2))
+                  .status()
+                  .IsIOError());
+  EXPECT_TRUE(ReadPatternCsv("/nonexistent/x.csv", Alphabet::Latin(2))
+                  .status()
+                  .IsIOError());
+}
+
+}  // namespace
+}  // namespace periodica

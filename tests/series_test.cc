@@ -1,0 +1,133 @@
+#include "periodica/series/series.h"
+
+#include <gtest/gtest.h>
+
+namespace periodica {
+namespace {
+
+SymbolSeries Make(std::string_view text) {
+  auto series = SymbolSeries::FromString(text);
+  EXPECT_TRUE(series.ok()) << series.status();
+  return std::move(series).ValueOrDie();
+}
+
+TEST(SeriesTest, FromStringInfersAlphabet) {
+  const SymbolSeries series = Make("abcabbabcb");
+  EXPECT_EQ(series.size(), 10u);
+  EXPECT_EQ(series.alphabet().size(), 3u);
+  EXPECT_EQ(series[0], 0);  // a
+  EXPECT_EQ(series[2], 2);  // c
+  EXPECT_EQ(series.ToString(), "abcabbabcb");
+}
+
+TEST(SeriesTest, FromStringRejectsBadCharacters) {
+  EXPECT_TRUE(SymbolSeries::FromString("abc1").status().IsInvalidArgument());
+  EXPECT_TRUE(SymbolSeries::FromString("ab C").status().IsInvalidArgument());
+}
+
+TEST(SeriesTest, FromStringWithExplicitAlphabet) {
+  const Alphabet alphabet = Alphabet::Latin(5);
+  auto series = SymbolSeries::FromString("abc", alphabet);
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series->alphabet().size(), 5u);
+  // Symbol outside the alphabet fails.
+  EXPECT_TRUE(SymbolSeries::FromString("abz", Alphabet::Latin(3))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SeriesTest, EmptyString) {
+  auto series = SymbolSeries::FromString("");
+  ASSERT_TRUE(series.ok());
+  EXPECT_TRUE(series->empty());
+}
+
+TEST(SeriesTest, AppendAndIndex) {
+  SymbolSeries series(Alphabet::Latin(2));
+  series.Append(0);
+  series.Append(1);
+  series.Append(0);
+  EXPECT_EQ(series.size(), 3u);
+  EXPECT_EQ(series.ToString(), "aba");
+}
+
+// --- The projection examples from Sect. 2.2 of the paper. ---
+
+TEST(SeriesTest, PaperProjectionExamples) {
+  // "if T = abcabbabcb, then pi_{4,1}(T) = bbb, and pi_{3,0}(T) = aaab".
+  const SymbolSeries series = Make("abcabbabcb");
+  EXPECT_EQ(series.Projection(4, 1).ToString(), "bbb");
+  EXPECT_EQ(series.Projection(3, 0).ToString(), "aaab");
+}
+
+TEST(SeriesTest, ProjectionCoversWholeSeriesForPeriodOne) {
+  const SymbolSeries series = Make("abab");
+  EXPECT_EQ(series.Projection(1, 0), series);
+}
+
+// --- The F2 examples from Sect. 2.2. ---
+
+TEST(SeriesTest, PaperF2Examples) {
+  // "if T = abbaaabaa, then F2(a, T) = 3 and F2(b, T) = 1".
+  const SymbolSeries series = Make("abbaaabaa");
+  EXPECT_EQ(F2(series, 0), 3u);  // a
+  EXPECT_EQ(F2(series, 1), 1u);  // b
+}
+
+TEST(SeriesTest, F2ProjectionEqualsF2OfMaterializedProjection) {
+  const SymbolSeries series = Make("abcabbabcb");
+  for (std::size_t p = 1; p <= 5; ++p) {
+    for (std::size_t l = 0; l < p; ++l) {
+      const SymbolSeries projected = series.Projection(p, l);
+      for (SymbolId s = 0; s < 3; ++s) {
+        EXPECT_EQ(F2Projection(series, s, p, l), F2(projected, s))
+            << "p=" << p << " l=" << l << " s=" << int(s);
+      }
+    }
+  }
+}
+
+TEST(SeriesTest, ProjectionPairCountFormula) {
+  // n=10, p=3, l=0: ceil(10/3)-1 = 3.
+  EXPECT_EQ(ProjectionPairCount(10, 3, 0), 3u);
+  // l=1: ceil(9/3)-1 = 2.
+  EXPECT_EQ(ProjectionPairCount(10, 3, 1), 2u);
+  // Projection with a single element has no pairs.
+  EXPECT_EQ(ProjectionPairCount(10, 9, 5), 0u);
+  // Position beyond the series.
+  EXPECT_EQ(ProjectionPairCount(3, 5, 4), 0u);
+}
+
+TEST(SeriesTest, PaperDefinitionOneExample) {
+  // "F2(a, pi_{3,0}(T)) / (ceil(10/3) - 1) = 2/3, thus the symbol a is
+  // periodic with period 3 at position 0 w.r.t. psi <= 2/3" and "the symbol
+  // b is periodic with period 3 at position 1" (confidence 1).
+  const SymbolSeries series = Make("abcabbabcb");
+  EXPECT_DOUBLE_EQ(PeriodicityConfidence(series, 0, 3, 0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(PeriodicityConfidence(series, 1, 3, 1), 1.0);
+}
+
+TEST(SeriesTest, PeriodicityConfidenceEdgeCases) {
+  // p=1 over "aa": one pair, one consecutive occurrence -> confidence 1.
+  EXPECT_DOUBLE_EQ(PeriodicityConfidence(Make("aa"), 0, 1, 0), 1.0);
+  // Mixed symbols at p=1 -> no consecutive pair of 'a'.
+  EXPECT_DOUBLE_EQ(PeriodicityConfidence(Make("ab"), 0, 1, 0), 0.0);
+  // Projection that is a singleton has no pairs -> confidence 0 by definition.
+  EXPECT_DOUBLE_EQ(PeriodicityConfidence(Make("abcd"), 0, 3, 2), 0.0);
+}
+
+TEST(SeriesTest, Equality) {
+  EXPECT_EQ(Make("abc"), Make("abc"));
+  EXPECT_FALSE(Make("abc") == Make("acb"));
+}
+
+TEST(SeriesTest, DataSpanExposesSymbols) {
+  const SymbolSeries series = Make("ba");
+  const auto data = series.data();
+  ASSERT_EQ(data.size(), 2u);
+  EXPECT_EQ(data[0], 1);
+  EXPECT_EQ(data[1], 0);
+}
+
+}  // namespace
+}  // namespace periodica

@@ -1,0 +1,132 @@
+#include "periodica/core/significance.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "periodica/core/fft_miner.h"
+#include "periodica/gen/synthetic.h"
+#include "periodica/util/rng.h"
+
+namespace periodica {
+namespace {
+
+/// Brute-force P[X >= k] for X ~ Binomial(n, p).
+double NaiveUpperTail(std::uint64_t n, double p, std::uint64_t k) {
+  double total = 0.0;
+  for (std::uint64_t x = k; x <= n; ++x) {
+    double pmf = 1.0;
+    // C(n, x) p^x (1-p)^(n-x) built iteratively.
+    for (std::uint64_t i = 0; i < x; ++i) {
+      pmf *= static_cast<double>(n - i) / static_cast<double>(x - i);
+      pmf *= p;
+    }
+    for (std::uint64_t i = 0; i < n - x; ++i) pmf *= (1.0 - p);
+    total += pmf;
+  }
+  return total;
+}
+
+TEST(BinomialTailTest, MatchesNaiveComputation) {
+  const struct {
+    std::uint64_t trials;
+    double prob;
+    std::uint64_t observed;
+  } cases[] = {
+      {10, 0.5, 5},  {10, 0.5, 10}, {10, 0.1, 3},  {20, 0.25, 1},
+      {20, 0.25, 9}, {30, 0.01, 2}, {15, 0.9, 14}, {1, 0.3, 1},
+  };
+  for (const auto& test_case : cases) {
+    const double expected =
+        NaiveUpperTail(test_case.trials, test_case.prob, test_case.observed);
+    const double actual = std::exp(LogBinomialUpperTail(
+        test_case.trials, test_case.prob, test_case.observed));
+    EXPECT_NEAR(actual, expected, 1e-10 + expected * 1e-9)
+        << "n=" << test_case.trials << " p=" << test_case.prob
+        << " k=" << test_case.observed;
+  }
+}
+
+TEST(BinomialTailTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(LogBinomialUpperTail(10, 0.5, 0), 0.0);  // P >= 0 is 1
+  EXPECT_TRUE(std::isinf(LogBinomialUpperTail(10, 0.5, 11)));
+  EXPECT_TRUE(std::isinf(LogBinomialUpperTail(10, 0.0, 1)));
+  EXPECT_DOUBLE_EQ(LogBinomialUpperTail(10, 1.0, 10), 0.0);
+}
+
+TEST(BinomialTailTest, MonotoneInObserved) {
+  double previous = 0.0;
+  for (std::uint64_t k = 1; k <= 50; ++k) {
+    const double log_p = LogBinomialUpperTail(50, 0.2, k);
+    EXPECT_LT(log_p, previous) << "k=" << k;
+    previous = log_p;
+  }
+}
+
+TEST(BinomialTailTest, LargeTrialsStaysFinite) {
+  const double log_p = LogBinomialUpperTail(100000, 0.01, 1500);
+  EXPECT_TRUE(std::isfinite(log_p));
+  EXPECT_LT(log_p, std::log(1e-20));  // wildly over-represented
+}
+
+TEST(SignificanceTest, RandomDataEntriesAreNotSignificant) {
+  Rng rng(41);
+  SymbolSeries series(Alphabet::Latin(5));
+  for (int i = 0; i < 5000; ++i) {
+    series.Append(static_cast<SymbolId>(rng.UniformInt(5)));
+  }
+  // A permissive threshold admits plenty of chance periodicities...
+  MinerOptions options;
+  options.threshold = 0.3;
+  options.max_period = 500;
+  const PeriodicityTable table = FftConvolutionMiner(series).Mine(options);
+  ASSERT_GT(table.entries().size(), 50u);
+  // ...but the significance screen at 1e-6 kills essentially all of them.
+  auto significant = FilterSignificant(table, series);
+  ASSERT_TRUE(significant.ok());
+  EXPECT_LT(significant->size(), table.entries().size() / 20 + 1);
+}
+
+TEST(SignificanceTest, PlantedPeriodicitySurvives) {
+  SyntheticSpec spec;
+  spec.length = 5000;
+  spec.alphabet_size = 5;
+  spec.period = 25;
+  spec.seed = 44;
+  auto perfect = GeneratePerfect(spec);
+  ASSERT_TRUE(perfect.ok());
+  auto series = ApplyNoise(*perfect, NoiseSpec::Replacement(0.3, 45));
+  ASSERT_TRUE(series.ok());
+  MinerOptions options;
+  options.threshold = 0.3;
+  options.max_period = 30;
+  const PeriodicityTable table = FftConvolutionMiner(*series).Mine(options);
+  auto significant = FilterSignificant(table, *series);
+  ASSERT_TRUE(significant.ok());
+  ASSERT_FALSE(significant->empty());
+  // Every surviving entry sits at the planted period, and they are sorted by
+  // ascending p-value.
+  for (std::size_t i = 0; i < significant->size(); ++i) {
+    EXPECT_EQ((*significant)[i].entry.period % 25, 0u);
+    if (i > 0) {
+      EXPECT_GE((*significant)[i].log_p_value,
+                (*significant)[i - 1].log_p_value);
+    }
+  }
+}
+
+TEST(SignificanceTest, ValidatesArguments) {
+  SymbolSeries empty(Alphabet::Latin(2));
+  PeriodicityTable table;
+  EXPECT_TRUE(FilterSignificant(table, empty).status().IsInvalidArgument());
+
+  SymbolSeries tiny(Alphabet::Latin(2));
+  tiny.Append(0);
+  SignificanceOptions options;
+  options.max_p_value = 0.0;
+  EXPECT_TRUE(
+      FilterSignificant(table, tiny, options).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace periodica

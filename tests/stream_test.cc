@@ -1,0 +1,53 @@
+#include "periodica/series/stream.h"
+
+#include <gtest/gtest.h>
+
+namespace periodica {
+namespace {
+
+TEST(VectorStreamTest, YieldsAllSymbolsOnce) {
+  auto series = SymbolSeries::FromString("abca");
+  ASSERT_TRUE(series.ok());
+  VectorStream stream(*series);
+  std::vector<SymbolId> seen;
+  while (const auto symbol = stream.Next()) seen.push_back(*symbol);
+  EXPECT_EQ(seen, (std::vector<SymbolId>{0, 1, 2, 0}));
+  // Exhausted stream stays exhausted.
+  EXPECT_FALSE(stream.Next().has_value());
+}
+
+TEST(VectorStreamTest, CarriesAlphabet) {
+  auto series = SymbolSeries::FromString("abc");
+  ASSERT_TRUE(series.ok());
+  VectorStream stream(*series);
+  EXPECT_EQ(stream.alphabet().size(), 3u);
+}
+
+TEST(FunctionStreamTest, GeneratesFromCallable) {
+  int remaining = 5;
+  FunctionStream stream(Alphabet::Latin(2),
+                        [&remaining]() -> std::optional<SymbolId> {
+                          if (remaining == 0) return std::nullopt;
+                          --remaining;
+                          return static_cast<SymbolId>(remaining % 2);
+                        });
+  const SymbolSeries collected = CollectStream(&stream);
+  EXPECT_EQ(collected.size(), 5u);
+  EXPECT_EQ(collected.ToString(), "ababa");
+}
+
+TEST(CollectStreamTest, RoundTripsSeries) {
+  auto series = SymbolSeries::FromString("abcabbabcb");
+  ASSERT_TRUE(series.ok());
+  VectorStream stream(*series);
+  EXPECT_EQ(CollectStream(&stream), *series);
+}
+
+TEST(CollectStreamTest, EmptyStream) {
+  SymbolSeries empty(Alphabet::Latin(1));
+  VectorStream stream(empty);
+  EXPECT_TRUE(CollectStream(&stream).empty());
+}
+
+}  // namespace
+}  // namespace periodica

@@ -1,0 +1,145 @@
+#include "periodica/core/streaming_detector.h"
+
+#include <cstdint>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "periodica/core/fft_miner.h"
+#include "periodica/gen/synthetic.h"
+#include "periodica/util/rng.h"
+
+namespace periodica {
+namespace {
+
+SymbolSeries RandomSeries(std::size_t n, std::size_t sigma,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  SymbolSeries series(Alphabet::Latin(sigma));
+  series.Reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    series.Append(static_cast<SymbolId>(rng.UniformInt(sigma)));
+  }
+  return series;
+}
+
+TEST(StreamingDetectorTest, ValidatesArguments) {
+  EXPECT_TRUE(StreamingPeriodDetector::Create(Alphabet(), {.max_period = 5})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      StreamingPeriodDetector::Create(Alphabet::Latin(2), {.max_period = 0})
+          .status()
+          .IsInvalidArgument());
+}
+
+TEST(StreamingDetectorTest, EmptyStreamDetectsNothing) {
+  auto detector =
+      StreamingPeriodDetector::Create(Alphabet::Latin(2), {.max_period = 10});
+  ASSERT_TRUE(detector.ok());
+  EXPECT_TRUE(detector->Detect(0.5).summaries().empty());
+}
+
+// The core property: the streaming detector over bounded memory equals the
+// FFT engine's periods-only mode on the same data.
+class StreamingEquivalence
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, double, std::uint64_t>> {};
+
+TEST_P(StreamingEquivalence, EqualsFftPeriodsOnlyMode) {
+  const auto [n, max_period, threshold, seed] = GetParam();
+  SyntheticSpec spec;
+  spec.length = n;
+  spec.alphabet_size = 6;
+  spec.period = 13;
+  spec.seed = seed;
+  auto perfect = GeneratePerfect(spec);
+  ASSERT_TRUE(perfect.ok());
+  auto series = ApplyNoise(*perfect, NoiseSpec::Replacement(0.25, seed + 1));
+  ASSERT_TRUE(series.ok());
+
+  auto detector = StreamingPeriodDetector::Create(
+      series->alphabet(),
+      {.max_period = max_period, .block_size = 97});  // odd block on purpose
+  ASSERT_TRUE(detector.ok());
+  VectorStream stream(*series);
+  detector->Consume(&stream);
+  const PeriodicityTable streamed = detector->Detect(threshold);
+
+  MinerOptions options;
+  options.threshold = threshold;
+  options.max_period = max_period;
+  options.positions = false;
+  const PeriodicityTable reference =
+      FftConvolutionMiner(*series).Mine(options);
+
+  ASSERT_EQ(streamed.summaries().size(), reference.summaries().size());
+  for (std::size_t i = 0; i < reference.summaries().size(); ++i) {
+    EXPECT_EQ(streamed.summaries()[i], reference.summaries()[i])
+        << "summary " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, StreamingEquivalence,
+    ::testing::Combine(::testing::Values<std::size_t>(200, 1000, 4096),
+                       ::testing::Values<std::size_t>(20, 64),
+                       ::testing::Values(0.3, 0.7),
+                       ::testing::Values<std::uint64_t>(21, 22)));
+
+TEST(StreamingDetectorTest, DetectIsRepeatableAndAppendContinues) {
+  const SymbolSeries series = RandomSeries(600, 3, 30);
+  auto detector =
+      StreamingPeriodDetector::Create(series.alphabet(), {.max_period = 30});
+  ASSERT_TRUE(detector.ok());
+  for (std::size_t i = 0; i < 300; ++i) detector->Append(series[i]);
+  const auto mid_a = detector->Detect(0.3);
+  const auto mid_b = detector->Detect(0.3);
+  ASSERT_EQ(mid_a.summaries().size(), mid_b.summaries().size());
+  for (std::size_t i = 0; i < mid_a.summaries().size(); ++i) {
+    EXPECT_EQ(mid_a.summaries()[i], mid_b.summaries()[i]);
+  }
+  for (std::size_t i = 300; i < series.size(); ++i) {
+    detector->Append(series[i]);
+  }
+  EXPECT_EQ(detector->size(), series.size());
+}
+
+TEST(StreamingDetectorTest, PerfectPeriodDetectedWithConfidenceOne) {
+  SyntheticSpec spec;
+  spec.length = 2000;
+  spec.alphabet_size = 8;
+  spec.period = 25;
+  spec.seed = 33;
+  auto series = GeneratePerfect(spec);
+  ASSERT_TRUE(series.ok());
+  auto detector =
+      StreamingPeriodDetector::Create(series->alphabet(), {.max_period = 60});
+  ASSERT_TRUE(detector.ok());
+  for (std::size_t i = 0; i < series->size(); ++i) {
+    detector->Append((*series)[i]);
+  }
+  const PeriodicityTable table = detector->Detect(0.9);
+  const PeriodSummary* summary = table.FindPeriod(25);
+  ASSERT_NE(summary, nullptr);
+  EXPECT_TRUE(summary->aggregate_only);
+  EXPECT_DOUBLE_EQ(summary->best_confidence, 1.0);
+  ASSERT_NE(table.FindPeriod(50), nullptr);
+}
+
+TEST(StreamingDetectorTest, MinPairsFiltersShortEvidence) {
+  SymbolSeries series(Alphabet::Latin(2));
+  for (int i = 0; i < 40; ++i) series.Append(static_cast<SymbolId>(i % 2));
+  auto detector =
+      StreamingPeriodDetector::Create(series.alphabet(), {.max_period = 18});
+  ASSERT_TRUE(detector.ok());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    detector->Append(series[i]);
+  }
+  // Period 16: floor evidence is 40/16 - 1 ~ 2 pairs.
+  EXPECT_NE(detector->Detect(0.5, 1, 1).FindPeriod(16), nullptr);
+  EXPECT_EQ(detector->Detect(0.5, 1, 5).FindPeriod(16), nullptr);
+}
+
+}  // namespace
+}  // namespace periodica

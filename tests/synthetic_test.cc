@@ -1,0 +1,175 @@
+#include "periodica/gen/synthetic.h"
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+namespace periodica {
+namespace {
+
+TEST(SyntheticTest, PerfectDataRepeatsPattern) {
+  SyntheticSpec spec;
+  spec.length = 100;
+  spec.alphabet_size = 10;
+  spec.period = 7;
+  spec.seed = 3;
+  auto series = GeneratePerfect(spec);
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series->size(), 100u);
+  for (std::size_t i = 0; i + 7 < series->size(); ++i) {
+    EXPECT_EQ((*series)[i], (*series)[i + 7]) << "position " << i;
+  }
+}
+
+TEST(SyntheticTest, PatternHasRequestedLength) {
+  SyntheticSpec spec;
+  spec.period = 25;
+  auto pattern = GeneratePattern(spec);
+  ASSERT_TRUE(pattern.ok());
+  EXPECT_EQ(pattern->size(), 25u);
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticSpec spec;
+  spec.length = 200;
+  spec.period = 13;
+  spec.seed = 42;
+  auto a = GeneratePerfect(spec);
+  auto b = GeneratePerfect(spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+  spec.seed = 43;
+  auto c = GeneratePerfect(spec);
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(*a == *c);
+}
+
+TEST(SyntheticTest, NormalDistributionFavorsMiddleSymbols) {
+  SyntheticSpec spec;
+  spec.length = 0;
+  spec.period = 20000;
+  spec.alphabet_size = 10;
+  spec.distribution = SymbolDistribution::kNormal;
+  auto pattern = GeneratePattern(spec);
+  ASSERT_TRUE(pattern.ok());
+  std::vector<int> histogram(10, 0);
+  for (std::size_t i = 0; i < pattern->size(); ++i) {
+    ++histogram[(*pattern)[i]];
+  }
+  // Middle symbols (4, 5) should clearly dominate the extremes (0, 9): with
+  // stddev sigma/4 the middle two levels carry ~30% of the mass vs ~11% for
+  // the clamped tails.
+  EXPECT_GT(histogram[4] + histogram[5], 2 * (histogram[0] + histogram[9]));
+}
+
+TEST(SyntheticTest, UniformDistributionIsFlat) {
+  SyntheticSpec spec;
+  spec.period = 50000;
+  spec.alphabet_size = 5;
+  auto pattern = GeneratePattern(spec);
+  ASSERT_TRUE(pattern.ok());
+  std::vector<int> histogram(5, 0);
+  for (std::size_t i = 0; i < pattern->size(); ++i) ++histogram[(*pattern)[i]];
+  for (const int count : histogram) {
+    EXPECT_NEAR(count, 10000, 5 * std::sqrt(10000.0));
+  }
+}
+
+TEST(SyntheticTest, LargeAlphabetGetsNumberedNames) {
+  SyntheticSpec spec;
+  spec.alphabet_size = 30;
+  spec.period = 10;
+  auto pattern = GeneratePattern(spec);
+  ASSERT_TRUE(pattern.ok());
+  EXPECT_EQ(pattern->alphabet().size(), 30u);
+  EXPECT_EQ(pattern->alphabet().name(0), "s0");
+  EXPECT_EQ(pattern->alphabet().name(29), "s29");
+}
+
+TEST(SyntheticTest, InvalidSpecRejected) {
+  SyntheticSpec spec;
+  spec.period = 0;
+  EXPECT_TRUE(GeneratePerfect(spec).status().IsInvalidArgument());
+  spec.period = 5;
+  spec.alphabet_size = 0;
+  EXPECT_TRUE(GeneratePerfect(spec).status().IsInvalidArgument());
+}
+
+SymbolSeries MakePerfect(std::size_t length, std::size_t period,
+                         std::uint64_t seed) {
+  SyntheticSpec spec;
+  spec.length = length;
+  spec.period = period;
+  spec.seed = seed;
+  auto series = GeneratePerfect(spec);
+  EXPECT_TRUE(series.ok());
+  return std::move(series).ValueOrDie();
+}
+
+TEST(NoiseTest, ZeroRatioIsIdentity) {
+  const SymbolSeries series = MakePerfect(500, 25, 1);
+  auto noisy = ApplyNoise(series, NoiseSpec::Replacement(0.0));
+  ASSERT_TRUE(noisy.ok());
+  EXPECT_EQ(*noisy, series);
+}
+
+TEST(NoiseTest, ReplacementPreservesLengthAndChangesSymbols) {
+  const SymbolSeries series = MakePerfect(10000, 25, 1);
+  auto noisy = ApplyNoise(series, NoiseSpec::Replacement(0.2, 99));
+  ASSERT_TRUE(noisy.ok());
+  ASSERT_EQ(noisy->size(), series.size());
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if ((*noisy)[i] != series[i]) ++changed;
+  }
+  // Replacement always picks a *different* symbol, so the changed fraction
+  // tracks the ratio directly.
+  EXPECT_NEAR(static_cast<double>(changed) / series.size(), 0.2, 0.02);
+}
+
+TEST(NoiseTest, InsertionGrowsSeries) {
+  const SymbolSeries series = MakePerfect(10000, 25, 2);
+  auto noisy = ApplyNoise(series, NoiseSpec::Insertion(0.1, 7));
+  ASSERT_TRUE(noisy.ok());
+  EXPECT_NEAR(static_cast<double>(noisy->size()), 11000.0, 150.0);
+}
+
+TEST(NoiseTest, DeletionShrinksSeries) {
+  const SymbolSeries series = MakePerfect(10000, 25, 3);
+  auto noisy = ApplyNoise(series, NoiseSpec::Deletion(0.1, 7));
+  ASSERT_TRUE(noisy.ok());
+  EXPECT_NEAR(static_cast<double>(noisy->size()), 9000.0, 150.0);
+}
+
+TEST(NoiseTest, CombinedInsertionDeletionRoughlyPreservesLength) {
+  const SymbolSeries series = MakePerfect(20000, 32, 4);
+  auto noisy = ApplyNoise(
+      series, NoiseSpec::Combined(0.2, /*r=*/false, /*i=*/true, /*d=*/true));
+  ASSERT_TRUE(noisy.ok());
+  EXPECT_NEAR(static_cast<double>(noisy->size()), 20000.0, 400.0);
+}
+
+TEST(NoiseTest, InvalidSpecsRejected) {
+  const SymbolSeries series = MakePerfect(100, 10, 5);
+  EXPECT_TRUE(
+      ApplyNoise(series, NoiseSpec::Replacement(-0.1)).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ApplyNoise(series, NoiseSpec::Replacement(1.5)).status().IsInvalidArgument());
+  NoiseSpec none;
+  none.ratio = 0.5;  // ratio without any enabled kind
+  EXPECT_TRUE(ApplyNoise(series, none).status().IsInvalidArgument());
+}
+
+TEST(NoiseTest, DeterministicForSeed) {
+  const SymbolSeries series = MakePerfect(1000, 25, 6);
+  auto a = ApplyNoise(series, NoiseSpec::Combined(0.3, true, true, true, 11));
+  auto b = ApplyNoise(series, NoiseSpec::Combined(0.3, true, true, true, 11));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+}  // namespace
+}  // namespace periodica

@@ -1,0 +1,61 @@
+#include "periodica/util/table.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace periodica {
+namespace {
+
+TEST(TableTest, PrintsAlignedColumns) {
+  TextTable table({"Period", "Confidence"});
+  table.AddRow({"25", "1.000"});
+  table.AddRow({"168", "0.700"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Period | Confidence"), std::string::npos);
+  EXPECT_NE(out.find("25"), std::string::npos);
+  EXPECT_NE(out.find("168"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TableTest, NumRows) {
+  TextTable table({"a"});
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.AddRow({"x"});
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(TableTest, WideCellsStretchColumn) {
+  TextTable table({"x", "y"});
+  table.AddRow({"aaaaaaaaaa", "1"});
+  std::ostringstream os;
+  table.Print(os);
+  // Header cell padded to the widest row cell.
+  const std::string first_line = os.str().substr(0, os.str().find('\n'));
+  EXPECT_EQ(first_line.find('|'), std::string("aaaaaaaaaa").size() + 1);
+}
+
+TEST(FormatTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.5), "0.500");
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(-0.1, 1), "-0.1");
+}
+
+TEST(FormatTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(1024), "1.0 KB");
+  EXPECT_EQ(FormatBytes(1536), "1.5 KB");
+  EXPECT_EQ(FormatBytes(2 * 1024 * 1024), "2.0 MB");
+}
+
+TEST(FormatTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"only"}, ", "), "only");
+}
+
+}  // namespace
+}  // namespace periodica

@@ -1,0 +1,161 @@
+#include "periodica/baselines/warp.h"
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+#include "periodica/gen/synthetic.h"
+
+namespace periodica {
+namespace {
+
+SymbolSeries Make(std::string_view text) {
+  auto series = SymbolSeries::FromString(text);
+  EXPECT_TRUE(series.ok()) << series.status();
+  return std::move(series).ValueOrDie();
+}
+
+TEST(WarpTest, BandZeroEqualsRigidMismatchCount) {
+  const SymbolSeries series = Make("abcabbabcb");
+  WarpOptions rigid;
+  rigid.band = 0;
+  for (std::size_t p = 1; p < series.size(); ++p) {
+    std::uint64_t mismatches = 0;
+    for (std::size_t i = 0; i + p < series.size(); ++i) {
+      if (series[i] != series[i + p]) ++mismatches;
+    }
+    auto distance = WarpedSelfDistance(series, p, rigid);
+    ASSERT_TRUE(distance.ok());
+    EXPECT_EQ(*distance, mismatches) << "p=" << p;
+  }
+}
+
+TEST(WarpTest, PerfectPeriodScoresOne) {
+  SyntheticSpec spec;
+  spec.length = 500;
+  spec.alphabet_size = 8;
+  spec.period = 25;
+  spec.seed = 3;
+  auto series = GeneratePerfect(spec);
+  ASSERT_TRUE(series.ok());
+  for (const std::size_t p : {25u, 50u, 75u}) {
+    auto score = WarpScore(*series, p);
+    ASSERT_TRUE(score.ok());
+    EXPECT_DOUBLE_EQ(*score, 1.0) << "p=" << p;
+  }
+  // Warping deliberately blurs period resolution: a shift of 26 against a
+  // 25-periodic series re-synchronizes with one step of drift, so inside
+  // the band it still scores ~1...
+  auto near_multiple = WarpScore(*series, 26, WarpOptions{.band = 2});
+  ASSERT_TRUE(near_multiple.ok());
+  EXPECT_GT(*near_multiple, 0.95);
+  // ...while a shift far from any multiple (37 = 25+12, drift 12 > band 2)
+  // scores low.
+  auto off = WarpScore(*series, 37, WarpOptions{.band = 2});
+  ASSERT_TRUE(off.ok());
+  EXPECT_LT(*off, 0.5);
+}
+
+TEST(WarpTest, WiderBandNeverIncreasesDistance) {
+  SyntheticSpec spec;
+  spec.length = 800;
+  spec.alphabet_size = 6;
+  spec.period = 17;
+  spec.seed = 5;
+  auto perfect = GeneratePerfect(spec);
+  ASSERT_TRUE(perfect.ok());
+  auto noisy = ApplyNoise(*perfect,
+                          NoiseSpec::Combined(0.1, false, true, true, 7));
+  ASSERT_TRUE(noisy.ok());
+  std::uint64_t previous = std::numeric_limits<std::uint64_t>::max();
+  for (const std::size_t band : {0u, 1u, 2u, 4u, 8u, 16u}) {
+    auto distance =
+        WarpedSelfDistance(*noisy, 17, WarpOptions{.band = band});
+    ASSERT_TRUE(distance.ok());
+    EXPECT_LE(*distance, previous) << "band=" << band;
+    previous = *distance;
+  }
+}
+
+TEST(WarpTest, DenseDeletionsCollapseRigidButNotWarped) {
+  // In a self-comparison both copies carry the same edits, so a pair
+  // (i, i+p) only mismatches when an edit falls strictly between its
+  // endpoints — rigid confidence decays like (1-r)^p, the mechanism behind
+  // Fig. 6's insertion/deletion collapse. Deleting every 20th symbol of a
+  // period-25 series puts 1-2 edits inside *every* window: rigid collapses
+  // to near-random while a small band recovers the alignment (the needed
+  // drift is the per-window edit count, not cumulative).
+  SyntheticSpec spec;
+  spec.length = 2000;
+  spec.alphabet_size = 8;
+  spec.period = 25;
+  spec.seed = 9;
+  auto perfect = GeneratePerfect(spec);
+  ASSERT_TRUE(perfect.ok());
+  SymbolSeries deleted(perfect->alphabet());
+  for (std::size_t i = 0; i < perfect->size(); ++i) {
+    if (i % 20 != 19) deleted.Append((*perfect)[i]);
+  }
+  auto rigid = WarpScore(deleted, 25, WarpOptions{.band = 0});
+  auto warped = WarpScore(deleted, 25, WarpOptions{.band = 8});
+  ASSERT_TRUE(rigid.ok());
+  ASSERT_TRUE(warped.ok());
+  EXPECT_LT(*rigid, 0.4);
+  EXPECT_GT(*warped, 0.8);
+}
+
+TEST(WarpTest, InsertionDeletionNoiseSurvivesWarping) {
+  // The Fig. 6 failure case: I-D noise at ratio 0.1 collapses the rigid
+  // confidence to ~0.05; the warped score at the true period stays high.
+  SyntheticSpec spec;
+  spec.length = 2000;
+  spec.alphabet_size = 10;
+  spec.period = 25;
+  spec.seed = 11;
+  auto perfect = GeneratePerfect(spec);
+  ASSERT_TRUE(perfect.ok());
+  auto noisy = ApplyNoise(*perfect,
+                          NoiseSpec::Combined(0.1, false, true, true, 13));
+  ASSERT_TRUE(noisy.ok());
+  auto rigid = WarpScore(*noisy, 25, WarpOptions{.band = 0});
+  auto warped = WarpScore(*noisy, 25, WarpOptions{.band = 12});
+  ASSERT_TRUE(rigid.ok());
+  ASSERT_TRUE(warped.ok());
+  EXPECT_GT(*warped, *rigid + 0.2);
+  EXPECT_GT(*warped, 0.7);
+}
+
+TEST(WarpTest, RankWarpedPeriodsSortsByScore) {
+  SyntheticSpec spec;
+  spec.length = 1000;
+  spec.alphabet_size = 8;
+  spec.period = 20;
+  spec.seed = 15;
+  auto perfect = GeneratePerfect(spec);
+  ASSERT_TRUE(perfect.ok());
+  auto noisy = ApplyNoise(*perfect,
+                          NoiseSpec::Combined(0.05, true, true, true, 17));
+  ASSERT_TRUE(noisy.ok());
+  // Band 4 with every decoy at drift >= 7 from a multiple of 20, so the
+  // warping blur cannot rescue them.
+  auto ranked = RankWarpedPeriods(*noisy, {7, 13, 20, 40, 31},
+                                  WarpOptions{.band = 4});
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_EQ(ranked->size(), 5u);
+  // The true period (or its multiple) outranks the unrelated candidates.
+  EXPECT_TRUE((*ranked)[0].period == 20 || (*ranked)[0].period == 40);
+  for (std::size_t i = 1; i < ranked->size(); ++i) {
+    EXPECT_GE((*ranked)[i - 1].score, (*ranked)[i].score);
+  }
+}
+
+TEST(WarpTest, ValidatesArguments) {
+  const SymbolSeries series = Make("abab");
+  EXPECT_TRUE(WarpedSelfDistance(series, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(WarpedSelfDistance(series, 4).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace periodica

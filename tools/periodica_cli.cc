@@ -1,0 +1,181 @@
+// periodica_cli: mine obscure periodic patterns from a file.
+//
+//   # symbol file (single-letter symbols, whitespace ignored):
+//   periodica_cli --input series.txt --threshold 0.7 --patterns
+//
+//   # numeric CSV column, discretized to 5 quantile levels first:
+//   periodica_cli --input data.csv --csv_column 1 --levels 5
+//       --discretizer equidepth --threshold 0.6 --format csv
+//
+// Prints per-period summaries, the (symbol, period, position) periodicities,
+// and (with --patterns) the scored periodic patterns.
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "periodica/core/report.h"
+#include "periodica/core/serialize.h"
+#include "periodica/periodica.h"
+#include "periodica/util/flags.h"
+
+namespace periodica {
+namespace {
+
+Result<SymbolSeries> LoadInput(const std::string& path, std::int64_t csv_column,
+                               std::int64_t levels,
+                               const std::string& discretizer_name) {
+  if (csv_column < 0) {
+    return ReadSymbolSeries(path);
+  }
+  PERIODICA_ASSIGN_OR_RETURN(
+      std::vector<double> values,
+      ReadCsvColumn(path, static_cast<std::size_t>(csv_column)));
+  if (values.empty()) {
+    return Status::InvalidArgument("no numeric values in column " +
+                                   std::to_string(csv_column));
+  }
+  const std::size_t k = static_cast<std::size_t>(levels);
+  if (discretizer_name == "equiwidth") {
+    PERIODICA_ASSIGN_OR_RETURN(EquiWidthDiscretizer discretizer,
+                               EquiWidthDiscretizer::Fit(values, k));
+    return discretizer.Apply(values);
+  }
+  if (discretizer_name == "equidepth") {
+    PERIODICA_ASSIGN_OR_RETURN(EquiDepthDiscretizer discretizer,
+                               EquiDepthDiscretizer::Fit(values, k));
+    return discretizer.Apply(values);
+  }
+  if (discretizer_name == "gaussian") {
+    PERIODICA_ASSIGN_OR_RETURN(GaussianDiscretizer discretizer,
+                               GaussianDiscretizer::Fit(values, k));
+    return discretizer.Apply(values);
+  }
+  return Status::InvalidArgument(
+      "unknown --discretizer '" + discretizer_name +
+      "' (expected equiwidth, equidepth or gaussian)");
+}
+
+int Run(int argc, char** argv) {
+  std::string input;
+  std::int64_t csv_column = -1;
+  std::int64_t levels = 5;
+  std::string discretizer = "equidepth";
+  double threshold = 0.5;
+  std::int64_t min_period = 2;
+  std::int64_t max_period = 0;
+  std::int64_t min_pairs = 1;
+  bool patterns = false;
+  std::int64_t pattern_period = 0;
+  std::string engine = "auto";
+  std::string format = "text";
+  std::int64_t max_rows = 0;
+  double significance = 0.0;
+  std::string save_periods;
+  std::string save_patterns;
+
+  FlagSet flags("periodica_cli");
+  flags.AddString("input", &input,
+                  "symbol file, or CSV when --csv_column is set");
+  flags.AddInt64("csv_column", &csv_column,
+                 "0-based numeric CSV column to discretize (-1 = symbol file)");
+  flags.AddInt64("levels", &levels, "discretization levels for CSV input");
+  flags.AddString("discretizer", &discretizer,
+                  "equiwidth | equidepth | gaussian");
+  flags.AddDouble("threshold", &threshold, "periodicity threshold psi");
+  flags.AddInt64("min_period", &min_period, "smallest period examined");
+  flags.AddInt64("max_period", &max_period, "largest period (0 = n/2)");
+  flags.AddInt64("min_pairs", &min_pairs,
+                 "repetitions a phase must offer (1 = paper's definition)");
+  flags.AddBool("patterns", &patterns, "also mine periodic patterns");
+  flags.AddInt64("pattern_period", &pattern_period,
+                 "restrict pattern mining to this period (0 = all detected)");
+  flags.AddString("engine", &engine, "auto | exact | fft");
+  flags.AddString("format", &format, "text | csv");
+  flags.AddInt64("max_rows", &max_rows, "cap rows per report section (0 = all)");
+  flags.AddDouble("significance", &significance,
+                  "drop periodicities with binomial p-value above this "
+                  "(0 = no screening)");
+  flags.AddString("save_periods", &save_periods,
+                  "also write the periodicities to this CSV file");
+  flags.AddString("save_patterns", &save_patterns,
+                  "also write the patterns to this CSV file");
+
+  if (Status status = flags.Parse(argc, argv); !status.ok()) {
+    std::cerr << status << "\n";
+    return 2;
+  }
+  if (input.empty()) {
+    std::cerr << "--input is required\n" << flags.Usage();
+    return 2;
+  }
+
+  auto series = LoadInput(input, csv_column, levels, discretizer);
+  if (!series.ok()) {
+    std::cerr << series.status() << "\n";
+    return 1;
+  }
+
+  MinerOptions options;
+  options.threshold = threshold;
+  options.min_period = static_cast<std::size_t>(min_period);
+  options.max_period = static_cast<std::size_t>(max_period);
+  options.min_pairs = static_cast<std::size_t>(min_pairs);
+  options.mine_patterns = patterns;
+  if (pattern_period > 0) {
+    options.pattern_periods = {static_cast<std::size_t>(pattern_period)};
+  }
+  options.significance_p_value = significance;
+  if (engine == "exact") {
+    options.engine = MinerEngine::kExact;
+  } else if (engine == "fft") {
+    options.engine = MinerEngine::kFft;
+  } else if (engine != "auto") {
+    std::cerr << "unknown --engine '" << engine << "'\n";
+    return 2;
+  }
+
+  auto result = ObscureMiner(options).Mine(*series);
+  if (!result.ok()) {
+    std::cerr << result.status() << "\n";
+    return 1;
+  }
+
+  if (!save_periods.empty()) {
+    if (Status status = WritePeriodicityCsv(result->periodicities,
+                                            series->alphabet(), save_periods);
+        !status.ok()) {
+      std::cerr << status << "\n";
+      return 1;
+    }
+  }
+  if (!save_patterns.empty()) {
+    if (Status status = WritePatternCsv(result->patterns, series->alphabet(),
+                                        save_patterns);
+        !status.ok()) {
+      std::cerr << status << "\n";
+      return 1;
+    }
+  }
+
+  ReportOptions report;
+  report.max_rows = static_cast<std::size_t>(max_rows);
+  if (format == "csv") {
+    report.format = ReportFormat::kCsv;
+  } else if (format != "text") {
+    std::cerr << "unknown --format '" << format << "'\n";
+    return 2;
+  }
+  if (Status status =
+          RenderMiningResult(*result, series->alphabet(), report, std::cout);
+      !status.ok()) {
+    std::cerr << status << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace periodica
+
+int main(int argc, char** argv) { return periodica::Run(argc, argv); }

@@ -1,0 +1,167 @@
+// periodica_gen: write the library's workloads to files, so every dataset
+// the benches and examples use can be regenerated and inspected from the
+// command line (and fed back through periodica_cli).
+//
+//   # the paper's synthetic protocol: period 25, 10 symbols, 15% R noise
+//   periodica_gen --kind synthetic --length 100000 --period 25
+//       --noise_ratio 0.15 --noise r --output series.txt
+//
+//   # the domain simulators (raw values as CSV, or discretized symbols)
+//   periodica_gen --kind retail --weeks 52 --output walmart.txt
+//   periodica_gen --kind power --days 365 --csv --output cimeg.csv
+//   periodica_gen --kind events --ticks 40000 --output log.txt
+
+#include <iostream>
+#include <string>
+
+#include "periodica/periodica.h"
+#include "periodica/util/flags.h"
+
+namespace periodica {
+namespace {
+
+int Run(int argc, char** argv) {
+  std::string kind = "synthetic";
+  std::string output;
+  bool csv = false;
+  // synthetic
+  std::int64_t length = 100000;
+  std::int64_t period = 25;
+  std::int64_t alphabet = 10;
+  std::string distribution = "uniform";
+  double noise_ratio = 0.0;
+  std::string noise = "r";
+  // domain
+  std::int64_t weeks = 52;
+  std::int64_t days = 365;
+  std::int64_t ticks = 40000;
+  bool dst_anomaly = false;
+  std::int64_t seed = 1;
+
+  FlagSet flags("periodica_gen");
+  flags.AddString("kind", &kind, "synthetic | retail | power | events");
+  flags.AddString("output", &output, "output file (required)");
+  flags.AddBool("csv", &csv,
+                "write raw numeric values as CSV instead of discretized "
+                "symbols (retail/power only)");
+  flags.AddInt64("length", &length, "synthetic: series length");
+  flags.AddInt64("period", &period, "synthetic: embedded period");
+  flags.AddInt64("alphabet", &alphabet, "synthetic: alphabet size (<= 26)");
+  flags.AddString("distribution", &distribution,
+                  "synthetic: uniform | normal");
+  flags.AddDouble("noise_ratio", &noise_ratio, "synthetic: noise ratio");
+  flags.AddString("noise", &noise, "synthetic: noise kinds, subset of r i d");
+  flags.AddInt64("weeks", &weeks, "retail: weeks of hourly data");
+  flags.AddInt64("days", &days, "power: days of daily data");
+  flags.AddInt64("ticks", &ticks, "events: log length");
+  flags.AddBool("dst_anomaly", &dst_anomaly,
+                "retail: inject the daylight-saving shift");
+  flags.AddInt64("seed", &seed, "generator seed");
+  if (Status status = flags.Parse(argc, argv); !status.ok()) {
+    std::cerr << status << "\n";
+    return 2;
+  }
+  if (output.empty()) {
+    std::cerr << "--output is required\n" << flags.Usage();
+    return 2;
+  }
+
+  Result<SymbolSeries> series = Status::Internal("unset");
+  if (kind == "synthetic") {
+    SyntheticSpec spec;
+    spec.length = static_cast<std::size_t>(length);
+    spec.period = static_cast<std::size_t>(period);
+    spec.alphabet_size = static_cast<std::size_t>(alphabet);
+    spec.seed = static_cast<std::uint64_t>(seed);
+    if (distribution == "normal") {
+      spec.distribution = SymbolDistribution::kNormal;
+    } else if (distribution != "uniform") {
+      std::cerr << "unknown --distribution '" << distribution << "'\n";
+      return 2;
+    }
+    series = GeneratePerfect(spec);
+    if (series.ok() && noise_ratio > 0.0) {
+      series = ApplyNoise(
+          *series,
+          NoiseSpec::Combined(noise_ratio,
+                              noise.find('r') != std::string::npos,
+                              noise.find('i') != std::string::npos,
+                              noise.find('d') != std::string::npos,
+                              static_cast<std::uint64_t>(seed) + 1));
+    }
+  } else if (kind == "retail") {
+    RetailTransactionSimulator::Options options;
+    options.weeks = static_cast<std::size_t>(weeks);
+    options.dst_anomaly = dst_anomaly;
+    options.seed = static_cast<std::uint64_t>(seed);
+    RetailTransactionSimulator simulator(options);
+    if (csv) {
+      if (Status status = WriteCsvColumn(output, simulator.GenerateCounts());
+          !status.ok()) {
+        std::cerr << status << "\n";
+        return 1;
+      }
+      std::cout << "wrote " << options.weeks * 7 * 24
+                << " hourly counts to " << output << "\n";
+      return 0;
+    }
+    series = simulator.GenerateSeries();
+  } else if (kind == "power") {
+    PowerConsumptionSimulator::Options options;
+    options.days = static_cast<std::size_t>(days);
+    options.seed = static_cast<std::uint64_t>(seed);
+    PowerConsumptionSimulator simulator(options);
+    if (csv) {
+      if (Status status =
+              WriteCsvColumn(output, simulator.GenerateReadings());
+          !status.ok()) {
+        std::cerr << status << "\n";
+        return 1;
+      }
+      std::cout << "wrote " << options.days << " daily readings to " << output
+                << "\n";
+      return 0;
+    }
+    series = simulator.GenerateSeries();
+  } else if (kind == "events") {
+    EventLogSimulator::Options options;
+    options.ticks = static_cast<std::size_t>(ticks);
+    options.seed = static_cast<std::uint64_t>(seed);
+    options.jobs.push_back({60, 7, 0.95, 0});
+    options.jobs.push_back({45, 11, 0.9, 0});
+    series = EventLogSimulator(options).Generate();
+    if (series.ok()) {
+      // Event alphabets are multi-letter; re-encode as single letters for
+      // the symbol-file format (idle=a, job0=b, job1=c, bg0..=d..).
+      SymbolSeries encoded(Alphabet::Latin(series->alphabet().size()));
+      for (std::size_t i = 0; i < series->size(); ++i) {
+        encoded.Append((*series)[i]);
+      }
+      series = std::move(encoded);
+    }
+  } else {
+    std::cerr << "unknown --kind '" << kind << "'\n";
+    return 2;
+  }
+
+  if (!series.ok()) {
+    std::cerr << series.status() << "\n";
+    return 1;
+  }
+  if (csv) {
+    std::cerr << "--csv is only supported for retail/power\n";
+    return 2;
+  }
+  if (Status status = WriteSymbolSeries(output, *series); !status.ok()) {
+    std::cerr << status << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << series->size() << " symbols (alphabet "
+            << series->alphabet().size() << ") to " << output << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace periodica
+
+int main(int argc, char** argv) { return periodica::Run(argc, argv); }
