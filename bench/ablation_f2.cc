@@ -27,10 +27,11 @@ int Run(int argc, char** argv) {
   flags.AddInt64("sigma", &sigma, "alphabet size");
   flags.AddInt64("max_period", &max_period, "largest period checked");
   PERIODICA_CHECK_OK(flags.Parse(argc, argv));
+  PERIODICA_CHECK_GE(sigma, 1) << "--sigma must be positive";
+  const std::size_t alphabet_size = static_cast<std::size_t>(sigma);
 
   Rng rng(8);
-  SymbolSeries series(
-      Alphabet::Latin(static_cast<std::size_t>(sigma)));
+  SymbolSeries series(Alphabet::Latin(alphabet_size));
   for (std::int64_t i = 0; i < length; ++i) {
     series.Append(
         static_cast<SymbolId>(rng.UniformInt(static_cast<std::uint64_t>(sigma))));
@@ -53,8 +54,8 @@ int Run(int argc, char** argv) {
         if (pairs == 0) continue;
         // Projection length for the plain definition.
         const std::size_t projection_length = pairs + 1;
-        std::vector<std::size_t> occurrence(sigma, 0);
-        std::vector<std::size_t> consecutive(sigma, 0);
+        std::vector<std::size_t> occurrence(alphabet_size, 0);
+        std::vector<std::size_t> consecutive(alphabet_size, 0);
         SymbolId previous = 0;
         bool has_previous = false;
         for (std::size_t i = l; i < series.size(); i += p) {
@@ -63,7 +64,7 @@ int Run(int argc, char** argv) {
           previous = series[i];
           has_previous = true;
         }
-        for (std::int64_t k = 0; k < sigma; ++k) {
+        for (std::size_t k = 0; k < alphabet_size; ++k) {
           const double plain_support =
               static_cast<double>(occurrence[k]) /
               static_cast<double>(projection_length);

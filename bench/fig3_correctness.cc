@@ -46,6 +46,8 @@ int Run(int argc, char** argv) {
     length = 1000000;
     runs = 20;
   }
+  PERIODICA_CHECK_GE(multiples, 1) << "--multiples must be positive";
+  const std::size_t num_multiples = static_cast<std::size_t>(multiples);
 
   const Config configs[] = {
       {"U, P=25", SymbolDistribution::kUniform, 25},
@@ -68,7 +70,7 @@ int Run(int argc, char** argv) {
     }
     TextTable table(header);
     for (const Config& config : configs) {
-      std::vector<double> sums(multiples, 0.0);
+      std::vector<double> sums(num_multiples, 0.0);
       for (std::int64_t run = 0; run < runs; ++run) {
         SyntheticSpec spec;
         spec.length = static_cast<std::size_t>(length);
@@ -86,13 +88,13 @@ int Run(int argc, char** argv) {
           series = ApplyNoise(series, noise).ValueOrDie();
         }
         const PeriodicityTable mined =
-            MineUpTo(series, config.period * multiples);
-        for (std::int64_t m = 1; m <= multiples; ++m) {
+            MineUpTo(series, config.period * num_multiples);
+        for (std::size_t m = 1; m <= num_multiples; ++m) {
           sums[m - 1] += mined.PeriodConfidence(config.period * m);
         }
       }
       std::vector<std::string> row = {config.label};
-      for (std::int64_t m = 0; m < multiples; ++m) {
+      for (std::size_t m = 0; m < num_multiples; ++m) {
         row.push_back(FormatDouble(sums[m] / static_cast<double>(runs), 3));
       }
       table.AddRow(row);

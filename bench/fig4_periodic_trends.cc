@@ -42,6 +42,8 @@ int Run(int argc, char** argv) {
     length = 1000000;
     runs = 10;
   }
+  PERIODICA_CHECK_GE(multiples, 1) << "--multiples must be positive";
+  const std::size_t num_multiples = static_cast<std::size_t>(multiples);
 
   const Config configs[] = {
       {"U, P=25", SymbolDistribution::kUniform, 25},
@@ -63,7 +65,7 @@ int Run(int argc, char** argv) {
     }
     TextTable table(header);
     for (const Config& config : configs) {
-      std::vector<double> sums(multiples, 0.0);
+      std::vector<double> sums(num_multiples, 0.0);
       for (std::int64_t run = 0; run < runs; ++run) {
         SyntheticSpec spec;
         spec.length = static_cast<std::size_t>(length);
@@ -82,13 +84,13 @@ int Run(int argc, char** argv) {
         options.seed = 500 + static_cast<std::uint64_t>(run);
         const std::vector<TrendCandidate> candidates =
             PeriodicTrends(options).Analyze(series).ValueOrDie();
-        for (std::int64_t m = 1; m <= multiples; ++m) {
-          sums[m - 1] += PeriodicTrends::ConfidenceFor(
-              candidates, config.period * static_cast<std::size_t>(m));
+        for (std::size_t m = 1; m <= num_multiples; ++m) {
+          sums[m - 1] +=
+              PeriodicTrends::ConfidenceFor(candidates, config.period * m);
         }
       }
       std::vector<std::string> row = {config.label};
-      for (std::int64_t m = 0; m < multiples; ++m) {
+      for (std::size_t m = 0; m < num_multiples; ++m) {
         row.push_back(FormatDouble(sums[m] / static_cast<double>(runs), 3));
       }
       table.AddRow(row);

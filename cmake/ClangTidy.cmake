@@ -1,0 +1,33 @@
+# Optional build-time clang-tidy integration.
+#
+# tools/check.sh runs clang-tidy out-of-band over the compilation database
+# (the normal workflow, and what CI uses). Setting -DPERIODICA_CLANG_TIDY=ON
+# additionally runs it on every TU as it compiles, which surfaces findings
+# at the point of breakage during development at the cost of slower builds.
+#
+# Like the sanitizer flags, this must be included before any
+# add_subdirectory() so CMAKE_CXX_CLANG_TIDY reaches every target.
+
+option(PERIODICA_CLANG_TIDY
+    "Run clang-tidy (profile: .clang-tidy) on every TU during compilation"
+    OFF)
+
+if(PERIODICA_CLANG_TIDY)
+  find_program(PERIODICA_CLANG_TIDY_EXE
+      NAMES clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18
+            clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14)
+  if(NOT PERIODICA_CLANG_TIDY_EXE)
+    message(FATAL_ERROR
+        "PERIODICA_CLANG_TIDY=ON but no clang-tidy executable was found")
+  endif()
+  set(CMAKE_CXX_CLANG_TIDY "${PERIODICA_CLANG_TIDY_EXE}")
+  message(STATUS "periodica: clang-tidy on every TU "
+                 "(${PERIODICA_CLANG_TIDY_EXE})")
+endif()
+
+# Per-target opt-out: exempts `target` from the build-time clang-tidy run
+# (the out-of-band tools/check.sh run is unaffected). Use sparingly and
+# leave a comment at the call site saying why.
+function(periodica_disable_clang_tidy target)
+  set_target_properties(${target} PROPERTIES CXX_CLANG_TIDY "")
+endfunction()

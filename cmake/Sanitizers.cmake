@@ -1,0 +1,69 @@
+# Sanitizer wiring for periodica.
+#
+# PERIODICA_SANITIZE is a string option selecting which sanitizer set to
+# build with:
+#
+#   OFF                  no sanitizers (default)
+#   address              AddressSanitizer
+#   undefined            UndefinedBehaviorSanitizer (non-recoverable: UB such
+#                        as a bad shift in the bitset kernels aborts the test)
+#   thread               ThreadSanitizer (mutually exclusive with the others)
+#   memory               MemorySanitizer (clang only)
+#   address,undefined    any comma-separated combination of compatible sets
+#   ON                   legacy alias for address,undefined
+#
+# The option must be applied from the top-level CMakeLists.txt *before* any
+# add_subdirectory() call so that the flags reach every target — library,
+# tools, tests, benchmarks, and examples alike. This is a macro (not a
+# function) so add_compile_options/add_link_options run in the caller's
+# directory scope.
+
+macro(periodica_enable_sanitizers spec)
+  set(_periodica_san_spec "${spec}")
+  # Legacy spelling: -DPERIODICA_SANITIZE=ON used to mean ASan+UBSan.
+  if(_periodica_san_spec STREQUAL "ON")
+    set(_periodica_san_spec "address,undefined")
+  endif()
+
+  if(NOT _periodica_san_spec STREQUAL "OFF" AND NOT _periodica_san_spec STREQUAL "")
+    string(REPLACE "," ";" _periodica_san_list "${_periodica_san_spec}")
+    set(_periodica_san_valid address undefined thread memory)
+    foreach(_san IN LISTS _periodica_san_list)
+      if(NOT _san IN_LIST _periodica_san_valid)
+        message(FATAL_ERROR
+            "PERIODICA_SANITIZE: unknown sanitizer '${_san}' "
+            "(expected a comma-separated subset of: address, undefined, "
+            "thread, memory — or OFF)")
+      endif()
+    endforeach()
+
+    if("thread" IN_LIST _periodica_san_list AND NOT _periodica_san_spec STREQUAL "thread")
+      message(FATAL_ERROR
+          "PERIODICA_SANITIZE: 'thread' cannot be combined with other "
+          "sanitizers (TSan is incompatible with ASan/MSan shadow memory)")
+    endif()
+    if("memory" IN_LIST _periodica_san_list
+       AND NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+      message(FATAL_ERROR
+          "PERIODICA_SANITIZE: 'memory' requires clang "
+          "(current compiler: ${CMAKE_CXX_COMPILER_ID})")
+    endif()
+
+    string(REPLACE ";" "," _periodica_san_joined "${_periodica_san_list}")
+    add_compile_options(
+        -fsanitize=${_periodica_san_joined} -fno-omit-frame-pointer)
+    add_link_options(-fsanitize=${_periodica_san_joined})
+    if("undefined" IN_LIST _periodica_san_list)
+      # Abort on the first UB report instead of logging and continuing, so
+      # a bad shift or signed overflow in the convolution kernels fails the
+      # test that triggered it.
+      add_compile_options(-fno-sanitize-recover=all)
+    endif()
+    message(STATUS "periodica: building with -fsanitize=${_periodica_san_joined}")
+  endif()
+
+  unset(_periodica_san_spec)
+  unset(_periodica_san_list)
+  unset(_periodica_san_valid)
+  unset(_periodica_san_joined)
+endmacro()

@@ -41,8 +41,8 @@ struct AsyncPattern {
   std::vector<AsyncSegment> segments;  ///< in position order
   std::uint64_t total_repetitions = 0;
 
-  std::size_t start() const { return segments.front().first; }
-  std::size_t end() const { return segments.back().last; }
+  [[nodiscard]] std::size_t start() const { return segments.front().first; }
+  [[nodiscard]] std::size_t end() const { return segments.back().last; }
 };
 
 /// Asynchronous periodic pattern discovery after Yang, Wang and Yu

@@ -24,16 +24,16 @@ class MaxSubpatternHitSet {
  public:
   explicit MaxSubpatternHitSet(std::size_t period) : period_(period) {}
 
-  std::size_t period() const { return period_; }
-  std::size_t num_distinct_hits() const { return hits_.size(); }
-  std::uint64_t num_hits() const { return total_; }
+  [[nodiscard]] std::size_t period() const { return period_; }
+  [[nodiscard]] std::size_t num_distinct_hits() const { return hits_.size(); }
+  [[nodiscard]] std::uint64_t num_hits() const { return total_; }
 
   /// Records one segment's maximal subpattern.
   void Insert(const PeriodicPattern& hit);
 
   /// Number of recorded hits that contain `pattern` (every fixed slot of
   /// `pattern` fixed to the same symbol in the hit).
-  std::uint64_t Support(const PeriodicPattern& pattern) const;
+  [[nodiscard]] std::uint64_t Support(const PeriodicPattern& pattern) const;
 
  private:
   struct Hit {

@@ -1,18 +1,26 @@
 #include "periodica/core/detail.h"
 
 #include "periodica/series/series.h"
+#include "periodica/util/logging.h"
 
 namespace periodica::internal {
 
 void EmitPeriod(std::size_t n, std::size_t period,
                 std::span<const PhaseCount> counts,
                 const MinerOptions& options, PeriodicityTable* table) {
+  PERIODICA_DCHECK(table != nullptr);
+  PERIODICA_DCHECK(period >= 1);
   PeriodSummary summary;
   summary.period = period;
   bool any = false;
   bool truncated = table->truncated();
   for (const PhaseCount& count : counts) {
+    // Both engines produce phases inside the paper's W_{p,k,l} partition,
+    // and F2 counts bounded by the number of projection pairs; a violation
+    // here means a decode bug upstream, not bad user input.
+    PERIODICA_DCHECK(count.phase < period);
     const std::uint64_t pairs = ProjectionPairCount(n, period, count.phase);
+    PERIODICA_DCHECK(count.f2 <= pairs);
     if (pairs == 0 || pairs < options.min_pairs) continue;
     const double confidence =
         static_cast<double>(count.f2) / static_cast<double>(pairs);
@@ -43,6 +51,7 @@ std::uint64_t MinPairCount(std::size_t n, std::size_t period) {
   // so the smallest value over phases is at l = p-1; clamp at 1 so the
   // pre-filter threshold stays positive (a phase with a single pair can
   // reach confidence 1 with one match).
+  PERIODICA_DCHECK(period >= 1);
   if (period >= n) return 1;
   const std::uint64_t at_last_phase = ProjectionPairCount(n, period, period - 1);
   return at_last_phase == 0 ? 1 : at_last_phase;

@@ -29,10 +29,10 @@ class ExactConvolutionMiner {
 
   /// Runs periodicity detection with the given options (engine selection
   /// fields are ignored).
-  PeriodicityTable Mine(const MinerOptions& options) const;
+  [[nodiscard]] PeriodicityTable Mine(const MinerOptions& options) const;
 
   /// The underlying mapping, exposing W_p for tests and demonstrations.
-  const BinaryMapping& mapping() const { return mapping_; }
+  [[nodiscard]] const BinaryMapping& mapping() const { return mapping_; }
 
  private:
   BinaryMapping mapping_;

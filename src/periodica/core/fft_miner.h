@@ -52,26 +52,25 @@ class FftConvolutionMiner {
 
   /// Runs periodicity detection (engine selection fields of `options` are
   /// ignored).
-  PeriodicityTable Mine(const MinerOptions& options) const;
+  [[nodiscard]] PeriodicityTable Mine(const MinerOptions& options) const;
 
-  std::size_t size() const { return n_; }
-  const Alphabet& alphabet() const { return alphabet_; }
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] const Alphabet& alphabet() const { return alphabet_; }
 
   /// Reconstructs the series from the indicator vectors (they are a lossless
   /// representation); used to run the pattern stage after stream ingestion.
-  SymbolSeries ToSeries() const;
+  [[nodiscard]] SymbolSeries ToSeries() const;
 
   /// Match counts |W_{p,k}| for symbol k at every lag p in [0, max_period],
   /// straight from the FFT (exposed for the ablation benches and tests).
-  std::vector<std::uint64_t> MatchCounts(SymbolId symbol,
-                                         std::size_t max_period) const;
+  [[nodiscard]] std::vector<std::uint64_t> MatchCounts(
+      SymbolId symbol, std::size_t max_period) const;
 
   /// Identical counts computed with the bounded-lag chunked correlator:
   /// O(block_size + max_period) FFT working memory instead of a full-length
   /// transform (block_size 0 picks max(4 * max_period, 4096)).
-  std::vector<std::uint64_t> MatchCountsBounded(SymbolId symbol,
-                                                std::size_t max_period,
-                                                std::size_t block_size) const;
+  [[nodiscard]] std::vector<std::uint64_t> MatchCountsBounded(
+      SymbolId symbol, std::size_t max_period, std::size_t block_size) const;
 
  private:
   FftConvolutionMiner(Alphabet alphabet, std::size_t n,

@@ -20,20 +20,20 @@ class BinaryMapping {
  public:
   explicit BinaryMapping(const SymbolSeries& series);
 
-  std::size_t n() const { return n_; }
-  std::size_t sigma() const { return sigma_; }
+  [[nodiscard]] std::size_t n() const { return n_; }
+  [[nodiscard]] std::size_t sigma() const { return sigma_; }
 
   /// The binary vector T'. Bit j (0 = leftmost character of the paper's
   /// binary string) is set iff t_{j / sigma} == s_k with
   /// k = sigma - 1 - (j mod sigma), i.e. each symbol occupies sigma bits with
   /// the most significant bit first, exactly as printed in the paper.
-  const DynamicBitset& bits() const { return bits_; }
+  [[nodiscard]] const DynamicBitset& bits() const { return bits_; }
 
   /// The set W_p (Sect. 3.2): the exponents of the powers of two composing
   /// the weighted-convolution component c'_p, in increasing order. Each
   /// exponent w encodes one symbol match between T and T shifted by p:
   /// w = (n - p - 1 - i) * sigma + k for a match t_i == t_{i+p} == s_k.
-  std::vector<std::uint64_t> WSet(std::size_t p) const;
+  [[nodiscard]] std::vector<std::uint64_t> WSet(std::size_t p) const;
 
   /// A decoded element of W_p.
   struct Match {
@@ -45,7 +45,7 @@ class BinaryMapping {
 
   /// Decodes power w for shift p per the paper's formulas: k = w mod sigma,
   /// i = n - p - 1 - floor(w / sigma).
-  Match DecodePower(std::uint64_t w, std::size_t p) const;
+  [[nodiscard]] Match DecodePower(std::uint64_t w, std::size_t p) const;
 
  private:
   std::size_t n_;

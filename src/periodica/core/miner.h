@@ -36,18 +36,18 @@ class ObscureMiner {
   explicit ObscureMiner(MinerOptions options = MinerOptions())
       : options_(options) {}
 
-  const MinerOptions& options() const { return options_; }
+  [[nodiscard]] const MinerOptions& options() const { return options_; }
 
   /// Mines an in-memory series.
-  Result<MiningResult> Mine(const SymbolSeries& series) const;
+  [[nodiscard]] Result<MiningResult> Mine(const SymbolSeries& series) const;
 
   /// Mines a stream, consuming it exactly once (always uses the FFT engine —
   /// the exact engine's binary-vector representation is built in the same
   /// single pass by conversion).
-  Result<MiningResult> Mine(SeriesStream* stream) const;
+  [[nodiscard]] Result<MiningResult> Mine(SeriesStream* stream) const;
 
  private:
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
   Status ApplySignificance(const SymbolSeries& series,
                            MiningResult* result) const;
   Result<MiningResult> RunPatternStage(const SymbolSeries& series,

@@ -31,20 +31,22 @@ class OnlinePeriodicityTracker {
   void Append(SymbolId symbol);
 
   /// Symbols consumed so far.
-  std::size_t size() const { return n_; }
+  [[nodiscard]] std::size_t size() const { return n_; }
 
-  const Alphabet& alphabet() const { return alphabet_; }
-  const std::vector<std::size_t>& periods() const { return periods_; }
+  [[nodiscard]] const Alphabet& alphabet() const { return alphabet_; }
+  [[nodiscard]] const std::vector<std::size_t>& periods() const {
+    return periods_;
+  }
 
   /// Current F2(s, pi_{p,l}) over the whole stream; `period` must be
   /// tracked.
-  std::uint64_t F2Count(std::size_t period, SymbolId symbol,
-                        std::size_t phase) const;
+  [[nodiscard]] std::uint64_t F2Count(std::size_t period, SymbolId symbol,
+                                      std::size_t phase) const;
 
   /// The exact Definition-1 table over everything consumed so far,
   /// restricted to the tracked periods.
-  PeriodicityTable Snapshot(double threshold,
-                            std::size_t min_pairs = 1) const;
+  [[nodiscard]] PeriodicityTable Snapshot(double threshold,
+                                          std::size_t min_pairs = 1) const;
 
   /// Merge mining (the paper's reference [4]): combines the statistics of
   /// two trackers that consumed *adjacent* segments of one stream —
@@ -90,23 +92,27 @@ class WindowedPeriodicityTracker {
   void Append(SymbolId symbol);
 
   /// Symbols consumed so far (>= window size once warm).
-  std::size_t size() const { return n_; }
-  std::size_t window() const { return window_; }
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] std::size_t window() const { return window_; }
   /// Number of symbols currently inside the window.
-  std::size_t occupancy() const { return n_ < window_ ? n_ : window_; }
+  [[nodiscard]] std::size_t occupancy() const {
+    return n_ < window_ ? n_ : window_;
+  }
 
-  const Alphabet& alphabet() const { return alphabet_; }
-  const std::vector<std::size_t>& periods() const { return periods_; }
+  [[nodiscard]] const Alphabet& alphabet() const { return alphabet_; }
+  [[nodiscard]] const std::vector<std::size_t>& periods() const {
+    return periods_;
+  }
 
   /// Pairs (j, j+p) currently inside the window with symbol `symbol` at
   /// both ends and j mod p == phase.
-  std::uint64_t F2Count(std::size_t period, SymbolId symbol,
-                        std::size_t phase) const;
+  [[nodiscard]] std::uint64_t F2Count(std::size_t period, SymbolId symbol,
+                                      std::size_t phase) const;
 
   /// Definition-1 table over the current window content (confidences are
   /// F2 / #pair-slots-in-window for each absolute phase).
-  PeriodicityTable Snapshot(double threshold,
-                            std::size_t min_pairs = 1) const;
+  [[nodiscard]] PeriodicityTable Snapshot(double threshold,
+                                          std::size_t min_pairs = 1) const;
 
  private:
   WindowedPeriodicityTracker(Alphabet alphabet,

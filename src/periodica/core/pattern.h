@@ -21,13 +21,15 @@ class PeriodicPattern {
   explicit PeriodicPattern(std::vector<std::optional<SymbolId>> slots)
       : slots_(std::move(slots)) {}
 
-  std::size_t period() const { return slots_.size(); }
-  const std::vector<std::optional<SymbolId>>& slots() const { return slots_; }
+  [[nodiscard]] std::size_t period() const { return slots_.size(); }
+  [[nodiscard]] const std::vector<std::optional<SymbolId>>& slots() const {
+    return slots_;
+  }
 
-  bool IsDontCare(std::size_t position) const {
+  [[nodiscard]] bool IsDontCare(std::size_t position) const {
     return !slots_[position].has_value();
   }
-  std::optional<SymbolId> At(std::size_t position) const {
+  [[nodiscard]] std::optional<SymbolId> At(std::size_t position) const {
     return slots_[position];
   }
   void SetSlot(std::size_t position, SymbolId symbol) {
@@ -36,11 +38,11 @@ class PeriodicPattern {
   void ClearSlot(std::size_t position) { slots_[position].reset(); }
 
   /// Number of non-don't-care slots.
-  std::size_t NumFixed() const;
+  [[nodiscard]] std::size_t NumFixed() const;
 
   /// Renders e.g. "ab*" for period 3 with a at 0, b at 1 (single-letter
   /// alphabets; longer names are space-separated).
-  std::string ToString(const Alphabet& alphabet) const;
+  [[nodiscard]] std::string ToString(const Alphabet& alphabet) const;
 
   /// Parses the ToString single-letter format back into a pattern ('*' means
   /// don't care).
@@ -72,7 +74,8 @@ struct ScoredPattern {
 /// tolerant of binary floating-point (e.g. min_support 0.2 over 10
 /// occurrences demands 2, not ceil(2.0000000000000004) = 3). Shared by every
 /// pattern miner so support boundaries are consistent across them.
-std::uint64_t MinimumSupportCount(double min_support, std::uint64_t total);
+[[nodiscard]] std::uint64_t MinimumSupportCount(double min_support,
+                                                std::uint64_t total);
 
 /// The periodic patterns emitted for one or more periods, ordered by
 /// (period, more fixed slots first, support descending).
@@ -83,12 +86,14 @@ class PatternSet {
   void Add(ScoredPattern pattern) { patterns_.push_back(std::move(pattern)); }
   void set_truncated(bool truncated) { truncated_ = truncated; }
 
-  const std::vector<ScoredPattern>& patterns() const { return patterns_; }
-  bool empty() const { return patterns_.empty(); }
-  std::size_t size() const { return patterns_.size(); }
-  bool truncated() const { return truncated_; }
+  [[nodiscard]] const std::vector<ScoredPattern>& patterns() const {
+    return patterns_;
+  }
+  [[nodiscard]] bool empty() const { return patterns_.empty(); }
+  [[nodiscard]] std::size_t size() const { return patterns_.size(); }
+  [[nodiscard]] bool truncated() const { return truncated_; }
 
-  std::vector<ScoredPattern> ForPeriod(std::size_t period) const;
+  [[nodiscard]] std::vector<ScoredPattern> ForPeriod(std::size_t period) const;
 
   void SortCanonical();
 

@@ -57,27 +57,33 @@ class PeriodicityTable {
   void AddSummary(PeriodSummary summary) { summaries_.push_back(summary); }
   void set_truncated(bool truncated) { truncated_ = truncated; }
 
-  const std::vector<SymbolPeriodicity>& entries() const { return entries_; }
-  const std::vector<PeriodSummary>& summaries() const { return summaries_; }
-  bool truncated() const { return truncated_; }
+  [[nodiscard]] const std::vector<SymbolPeriodicity>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] const std::vector<PeriodSummary>& summaries() const {
+    return summaries_;
+  }
+  [[nodiscard]] bool truncated() const { return truncated_; }
 
   /// Distinct detected periods, ascending.
-  std::vector<std::size_t> Periods() const;
+  [[nodiscard]] std::vector<std::size_t> Periods() const;
 
   /// The summary for `period`, or nullptr when the period was not detected.
-  const PeriodSummary* FindPeriod(std::size_t period) const;
+  [[nodiscard]] const PeriodSummary* FindPeriod(std::size_t period) const;
 
   /// Confidence of `period`: best_confidence of its summary, or 0 when not
   /// detected. This is the quantity plotted in Figures 3 and 6.
-  double PeriodConfidence(std::size_t period) const;
+  [[nodiscard]] double PeriodConfidence(std::size_t period) const;
 
   /// Detailed entries for one period (positions mode only), ordered by
   /// (position, symbol).
-  std::vector<SymbolPeriodicity> EntriesForPeriod(std::size_t period) const;
+  [[nodiscard]] std::vector<SymbolPeriodicity> EntriesForPeriod(
+      std::size_t period) const;
 
   /// The sets S_{p,l} of Definition 3 for `period`: element l lists the
   /// symbols periodic at position l, ascending. Size = period.
-  std::vector<std::vector<SymbolId>> SymbolSets(std::size_t period) const;
+  [[nodiscard]] std::vector<std::vector<SymbolId>> SymbolSets(
+      std::size_t period) const;
 
   /// Sorts entries by (period, position, symbol) and summaries by period.
   void SortCanonical();

@@ -29,12 +29,12 @@ namespace periodica {
 /// log P[X >= observed] for X ~ Binomial(trials, prob), computed exactly by
 /// tail summation in log space. Returns 0.0 (probability 1) when
 /// observed == 0 and -infinity when prob == 0 and observed > 0.
-double LogBinomialUpperTail(std::uint64_t trials, double prob,
+[[nodiscard]] double LogBinomialUpperTail(std::uint64_t trials, double prob,
                             std::uint64_t observed);
 
 /// Natural-log p-value of one detected periodicity given the symbol's
 /// empirical frequency in the mined series.
-double PeriodicityLogPValue(const SymbolPeriodicity& entry,
+[[nodiscard]] double PeriodicityLogPValue(const SymbolPeriodicity& entry,
                             double symbol_frequency);
 
 /// Options for FilterSignificant.

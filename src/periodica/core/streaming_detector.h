@@ -38,10 +38,10 @@ class StreamingPeriodDetector {
   static Result<StreamingPeriodDetector> Create(Alphabet alphabet,
                                                 Options options);
 
-  const Alphabet& alphabet() const { return alphabet_; }
-  std::size_t max_period() const { return options_.max_period; }
+  [[nodiscard]] const Alphabet& alphabet() const { return alphabet_; }
+  [[nodiscard]] std::size_t max_period() const { return options_.max_period; }
   /// Symbols consumed so far.
-  std::size_t size() const { return n_; }
+  [[nodiscard]] std::size_t size() const { return n_; }
 
   /// Feeds the next symbol.
   void Append(SymbolId symbol);
@@ -54,8 +54,9 @@ class StreamingPeriodDetector {
   /// satisfy Definition 1 at threshold `threshold` (the lossless aggregate
   /// criterion of the FFT engine). Summaries carry upper-bound confidences
   /// and are flagged `aggregate_only`.
-  PeriodicityTable Detect(double threshold, std::size_t min_period = 1,
-                          std::size_t min_pairs = 1) const;
+  [[nodiscard]] PeriodicityTable Detect(double threshold,
+                                        std::size_t min_period = 1,
+                                        std::size_t min_pairs = 1) const;
 
  private:
   StreamingPeriodDetector(Alphabet alphabet, Options options);

@@ -23,10 +23,10 @@ class BoundedLagAutocorrelator {
   explicit BoundedLagAutocorrelator(std::size_t max_lag,
                                     std::size_t block_size = 0);
 
-  std::size_t max_lag() const { return max_lag_; }
-  std::size_t block_size() const { return block_size_; }
+  [[nodiscard]] std::size_t max_lag() const { return max_lag_; }
+  [[nodiscard]] std::size_t block_size() const { return block_size_; }
   /// Samples consumed so far.
-  std::size_t size() const { return n_; }
+  [[nodiscard]] std::size_t size() const { return n_; }
 
   /// Feeds the next chunk (any length, including empty).
   void Append(std::span<const double> chunk);
@@ -34,7 +34,7 @@ class BoundedLagAutocorrelator {
   /// The autocorrelation r[d] = sum_i x_i x_{i+d} for d = 0..max_lag over
   /// everything appended so far. May be called repeatedly; Append may
   /// continue afterwards.
-  std::vector<double> Lags() const;
+  [[nodiscard]] std::vector<double> Lags() const;
 
  private:
   void ProcessBuffered();
@@ -50,7 +50,7 @@ class BoundedLagAutocorrelator {
 /// Convenience: exact integer match counts of a 0/1 indicator at lags
 /// 0..max_lag via the bounded-memory path (counterpart of
 /// BinaryAutocorrelation for bounded lags).
-std::vector<std::uint64_t> BoundedLagBinaryAutocorrelation(
+[[nodiscard]] std::vector<std::uint64_t> BoundedLagBinaryAutocorrelation(
     std::span<const std::uint8_t> indicator, std::size_t max_lag,
     std::size_t block_size = 0);
 

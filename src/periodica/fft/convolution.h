@@ -10,26 +10,26 @@ namespace periodica::fft {
 /// Linear convolution (x * y)[i] = sum_j x[j] y[i-j], length |x|+|y|-1.
 /// Evaluated with one complex FFT by packing x and y into the real and
 /// imaginary lanes; O((|x|+|y|) log(|x|+|y|)).
-std::vector<double> LinearConvolve(std::span<const double> x,
-                                   std::span<const double> y);
+[[nodiscard]] std::vector<double> LinearConvolve(std::span<const double> x,
+                                                 std::span<const double> y);
 
 /// Autocorrelation at non-negative lags: r[p] = sum_i x[i] x[i+p] for
 /// p = 0..|x|-1. This is the per-symbol slice of the paper's self-convolution
 /// (Sect. 3.1): with x the 0/1 indicator vector of a symbol, r[p] counts the
 /// matches of that symbol when the series is compared against itself shifted
 /// by p — i.e. |W_{p,k}|. Evaluated with real-input FFTs in O(|x| log |x|).
-std::vector<double> Autocorrelation(std::span<const double> x);
+[[nodiscard]] std::vector<double> Autocorrelation(std::span<const double> x);
 
 /// Cross-correlation at non-negative lags: r[p] = sum_i x[i] y[i+p] for
 /// p = 0..|y|-1 (terms with i+p >= |y| or i >= |x| are dropped).
-std::vector<double> CrossCorrelation(std::span<const double> x,
-                                     std::span<const double> y);
+[[nodiscard]] std::vector<double> CrossCorrelation(
+    std::span<const double> x, std::span<const double> y);
 
 /// Exact integer autocorrelation of a 0/1 indicator vector: rounds the
 /// floating-point autocorrelation to the nearest integer, which is exact as
 /// long as the accumulated FFT error stays below 0.5 (holds for the series
 /// lengths this library targets; verified in tests against direct counting).
-std::vector<std::uint64_t> BinaryAutocorrelation(
+[[nodiscard]] std::vector<std::uint64_t> BinaryAutocorrelation(
     std::span<const std::uint8_t> indicator);
 
 }  // namespace periodica::fft

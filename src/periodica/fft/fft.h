@@ -11,12 +11,12 @@ namespace periodica::fft {
 
 using Complex = std::complex<double>;
 
-constexpr bool IsPowerOfTwo(std::size_t n) {
+[[nodiscard]] constexpr bool IsPowerOfTwo(std::size_t n) {
   return n != 0 && (n & (n - 1)) == 0;
 }
 
 /// Smallest power of two that is >= n (n must fit; n == 0 maps to 1).
-std::size_t NextPowerOfTwo(std::size_t n);
+[[nodiscard]] std::size_t NextPowerOfTwo(std::size_t n);
 
 /// A reusable FFT plan for a fixed power-of-two size: precomputed bit-reversal
 /// permutation and twiddle factors. Plans are immutable after construction and
@@ -30,7 +30,7 @@ class FftPlan {
   /// `n` must be a power of two (n >= 1).
   explicit FftPlan(std::size_t n);
 
-  std::size_t size() const { return n_; }
+  [[nodiscard]] std::size_t size() const { return n_; }
 
   /// In-place forward DFT: X_k = sum_j x_j e^{-2*pi*i*jk/n}.
   void Forward(Complex* data) const { Transform(data, /*inverse=*/false); }
@@ -47,7 +47,7 @@ class FftPlan {
 };
 
 /// Returns a cached plan for power-of-two size `n`. Thread-safe.
-const FftPlan& GetPlan(std::size_t n);
+[[nodiscard]] const FftPlan& GetPlan(std::size_t n);
 
 /// Forward or inverse DFT of arbitrary size, in place. Power-of-two sizes use
 /// the radix-2 plan directly; other sizes go through Bluestein's chirp-z
@@ -58,13 +58,14 @@ void Dft(std::vector<Complex>* data, bool inverse);
 /// packing trick (one complex FFT of length N/2). Returns the N/2+1
 /// non-redundant spectrum bins; the remaining bins follow from conjugate
 /// symmetry X_{N-k} = conj(X_k).
-std::vector<Complex> RealFftForward(std::span<const double> input);
+[[nodiscard]] std::vector<Complex> RealFftForward(
+    std::span<const double> input);
 
 /// Inverse of RealFftForward: reconstructs the N real samples from the N/2+1
 /// spectrum bins (`n` = output length, a power of two >= 2, and
 /// spectrum.size() == n/2 + 1).
-std::vector<double> RealFftInverse(std::span<const Complex> spectrum,
-                                   std::size_t n);
+[[nodiscard]] std::vector<double> RealFftInverse(
+    std::span<const Complex> spectrum, std::size_t n);
 
 }  // namespace periodica::fft
 

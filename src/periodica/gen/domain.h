@@ -31,13 +31,13 @@ class RetailTransactionSimulator {
       : options_(options) {}
 
   /// Hourly transaction counts (length = weeks * 168).
-  std::vector<double> GenerateCounts() const;
+  [[nodiscard]] std::vector<double> GenerateCounts() const;
 
   /// Counts discretized into the paper's five levels over alphabet a..e.
   Result<SymbolSeries> GenerateSeries() const;
 
   /// The paper's cut points for this dataset: {1, 200, 400, 600}.
-  static std::vector<double> PaperCuts();
+  [[nodiscard]] static std::vector<double> PaperCuts();
 
  private:
   Options options_;
@@ -60,13 +60,13 @@ class PowerConsumptionSimulator {
       : options_(options) {}
 
   /// Daily consumption in Watts/day (length = days).
-  std::vector<double> GenerateReadings() const;
+  [[nodiscard]] std::vector<double> GenerateReadings() const;
 
   /// Readings discretized into the paper's five levels over alphabet a..e.
   Result<SymbolSeries> GenerateSeries() const;
 
   /// The paper's cut points for this dataset: {6000, 8000, 10000, 12000}.
-  static std::vector<double> PaperCuts();
+  [[nodiscard]] static std::vector<double> PaperCuts();
 
  private:
   Options options_;

@@ -47,7 +47,7 @@ class EventLogSimulator {
   Result<SymbolSeries> Generate() const;
 
   /// Symbol id of job `index` within the generated alphabet.
-  static SymbolId JobSymbol(std::size_t index) {
+  [[nodiscard]] static SymbolId JobSymbol(std::size_t index) {
     return static_cast<SymbolId>(1 + index);
   }
   static constexpr SymbolId kIdleSymbol = 0;

@@ -37,16 +37,19 @@ struct NoiseSpec {
   bool deletion = false;
   std::uint64_t seed = 7;
 
-  static NoiseSpec Replacement(double ratio, std::uint64_t seed = 7) {
+  [[nodiscard]] static NoiseSpec Replacement(double ratio,
+                                             std::uint64_t seed = 7) {
     return {ratio, true, false, false, seed};
   }
-  static NoiseSpec Insertion(double ratio, std::uint64_t seed = 7) {
+  [[nodiscard]] static NoiseSpec Insertion(double ratio,
+                                           std::uint64_t seed = 7) {
     return {ratio, false, true, false, seed};
   }
-  static NoiseSpec Deletion(double ratio, std::uint64_t seed = 7) {
+  [[nodiscard]] static NoiseSpec Deletion(double ratio,
+                                          std::uint64_t seed = 7) {
     return {ratio, false, false, true, seed};
   }
-  static NoiseSpec Combined(double ratio, bool r, bool i, bool d,
+  [[nodiscard]] static NoiseSpec Combined(double ratio, bool r, bool i, bool d,
                             std::uint64_t seed = 7) {
     return {ratio, r, i, d, seed};
   }

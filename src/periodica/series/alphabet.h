@@ -36,13 +36,13 @@ class Alphabet {
   /// (symbols a..e).
   static Alphabet FiveLevels();
 
-  std::size_t size() const { return names_.size(); }
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
 
   /// Name of symbol `id`; id must be < size().
-  const std::string& name(SymbolId id) const;
+  [[nodiscard]] const std::string& name(SymbolId id) const;
 
   /// Id of the symbol named `name`, or NotFound.
-  Result<SymbolId> Find(const std::string& name) const;
+  [[nodiscard]] Result<SymbolId> Find(const std::string& name) const;
 
   /// Id of the symbol named `name`, adding it if absent. Fails when the
   /// alphabet is full.

@@ -19,16 +19,16 @@ class Discretizer {
   virtual ~Discretizer() = default;
 
   /// Number of output levels (alphabet size).
-  virtual std::size_t num_levels() const = 0;
+  [[nodiscard]] virtual std::size_t num_levels() const = 0;
 
   /// Level of a single value, in [0, num_levels()).
-  virtual SymbolId Level(double value) const = 0;
+  [[nodiscard]] virtual SymbolId Level(double value) const = 0;
 
   /// Discretizes a whole sequence over the given alphabet (which must have
   /// at least num_levels() symbols; defaults to Latin(num_levels())).
-  SymbolSeries Apply(std::span<const double> values) const;
-  SymbolSeries Apply(std::span<const double> values,
-                     const Alphabet& alphabet) const;
+  [[nodiscard]] SymbolSeries Apply(std::span<const double> values) const;
+  [[nodiscard]] SymbolSeries Apply(std::span<const double> values,
+                                   const Alphabet& alphabet) const;
 };
 
 /// Explicit ascending cut points: value < cuts[0] -> level 0,
@@ -40,10 +40,12 @@ class ThresholdDiscretizer : public Discretizer {
   /// `cuts` must be strictly increasing and non-empty.
   static Result<ThresholdDiscretizer> Create(std::vector<double> cuts);
 
-  std::size_t num_levels() const override { return cuts_.size() + 1; }
-  SymbolId Level(double value) const override;
+  [[nodiscard]] std::size_t num_levels() const override {
+    return cuts_.size() + 1;
+  }
+  [[nodiscard]] SymbolId Level(double value) const override;
 
-  const std::vector<double>& cuts() const { return cuts_; }
+  [[nodiscard]] const std::vector<double>& cuts() const { return cuts_; }
 
  private:
   explicit ThresholdDiscretizer(std::vector<double> cuts)
@@ -58,8 +60,8 @@ class EquiWidthDiscretizer : public Discretizer {
   static Result<EquiWidthDiscretizer> Fit(std::span<const double> values,
                                           std::size_t levels);
 
-  std::size_t num_levels() const override { return levels_; }
-  SymbolId Level(double value) const override;
+  [[nodiscard]] std::size_t num_levels() const override { return levels_; }
+  [[nodiscard]] SymbolId Level(double value) const override;
 
  private:
   EquiWidthDiscretizer(double lo, double width, std::size_t levels)
@@ -76,8 +78,10 @@ class EquiDepthDiscretizer : public Discretizer {
   static Result<EquiDepthDiscretizer> Fit(std::span<const double> values,
                                           std::size_t levels);
 
-  std::size_t num_levels() const override { return cuts_.size() + 1; }
-  SymbolId Level(double value) const override;
+  [[nodiscard]] std::size_t num_levels() const override {
+    return cuts_.size() + 1;
+  }
+  [[nodiscard]] SymbolId Level(double value) const override;
 
  private:
   explicit EquiDepthDiscretizer(std::vector<double> cuts)
@@ -93,8 +97,10 @@ class GaussianDiscretizer : public Discretizer {
   static Result<GaussianDiscretizer> Fit(std::span<const double> values,
                                          std::size_t levels);
 
-  std::size_t num_levels() const override { return cuts_.size() + 1; }
-  SymbolId Level(double value) const override;
+  [[nodiscard]] std::size_t num_levels() const override {
+    return cuts_.size() + 1;
+  }
+  [[nodiscard]] SymbolId Level(double value) const override;
 
  private:
   GaussianDiscretizer(double mean, double stddev, std::vector<double> cuts)

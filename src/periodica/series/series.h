@@ -33,22 +33,23 @@ class SymbolSeries {
   static Result<SymbolSeries> FromString(std::string_view text,
                                          const Alphabet& alphabet);
 
-  const Alphabet& alphabet() const { return alphabet_; }
-  std::size_t size() const { return data_.size(); }
-  bool empty() const { return data_.empty(); }
-  SymbolId operator[](std::size_t i) const { return data_[i]; }
-  std::span<const SymbolId> data() const { return data_; }
+  [[nodiscard]] const Alphabet& alphabet() const { return alphabet_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+  [[nodiscard]] SymbolId operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] std::span<const SymbolId> data() const { return data_; }
 
   void Append(SymbolId symbol);
   void Reserve(std::size_t n) { data_.reserve(n); }
 
   /// The projection pi_{p,l}(T) = t_l, t_{l+p}, t_{l+2p}, ... (Sect. 2.2).
   /// Requires l < p and p >= 1.
-  SymbolSeries Projection(std::size_t period, std::size_t position) const;
+  [[nodiscard]] SymbolSeries Projection(std::size_t period,
+                                        std::size_t position) const;
 
   /// Renders single-letter alphabets as a compact string ("abcab"); larger
   /// alphabets as space-separated names.
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   friend bool operator==(const SymbolSeries& a, const SymbolSeries& b) {
     return a.alphabet_ == b.alphabet_ && a.data_ == b.data_;
@@ -61,22 +62,25 @@ class SymbolSeries {
 
 /// F2(s, T): the number of times symbol `s` occurs in two consecutive
 /// positions of `T` (Sect. 2.2). E.g. F2(a, "abbaaabaa") = 3.
-std::size_t F2(const SymbolSeries& series, SymbolId symbol);
+[[nodiscard]] std::size_t F2(const SymbolSeries& series, SymbolId symbol);
 
 /// F2(s, pi_{p,l}(T)) computed without materializing the projection.
-std::size_t F2Projection(const SymbolSeries& series, SymbolId symbol,
-                         std::size_t period, std::size_t position);
+[[nodiscard]] std::size_t F2Projection(const SymbolSeries& series,
+                                       SymbolId symbol, std::size_t period,
+                                       std::size_t position);
 
 /// The denominator of Definition 1: ceil((n - l) / p) - 1, i.e. the number of
 /// consecutive pairs in the projection pi_{p,l} of a length-n series.
-std::size_t ProjectionPairCount(std::size_t n, std::size_t period,
-                                std::size_t position);
+[[nodiscard]] std::size_t ProjectionPairCount(std::size_t n,
+                                              std::size_t period,
+                                              std::size_t position);
 
 /// Definition 1's periodicity confidence for (symbol, period, position):
 /// F2(s, pi_{p,l}(T)) / (ceil((n-l)/p) - 1). Returns 0 when the projection
 /// has no consecutive pairs.
-double PeriodicityConfidence(const SymbolSeries& series, SymbolId symbol,
-                             std::size_t period, std::size_t position);
+[[nodiscard]] double PeriodicityConfidence(const SymbolSeries& series,
+                                           SymbolId symbol, std::size_t period,
+                                           std::size_t position);
 
 }  // namespace periodica
 

@@ -17,7 +17,7 @@ class SeriesStream {
   virtual ~SeriesStream() = default;
 
   /// The alphabet all emitted symbols belong to.
-  virtual const Alphabet& alphabet() const = 0;
+  [[nodiscard]] virtual const Alphabet& alphabet() const = 0;
 
   /// Next symbol, or nullopt at end of stream.
   virtual std::optional<SymbolId> Next() = 0;
@@ -28,7 +28,9 @@ class VectorStream : public SeriesStream {
  public:
   explicit VectorStream(SymbolSeries series) : series_(std::move(series)) {}
 
-  const Alphabet& alphabet() const override { return series_.alphabet(); }
+  [[nodiscard]] const Alphabet& alphabet() const override {
+    return series_.alphabet();
+  }
 
   std::optional<SymbolId> Next() override {
     if (cursor_ >= series_.size()) return std::nullopt;
@@ -48,7 +50,9 @@ class FunctionStream : public SeriesStream {
                  std::function<std::optional<SymbolId>()> next)
       : alphabet_(std::move(alphabet)), next_(std::move(next)) {}
 
-  const Alphabet& alphabet() const override { return alphabet_; }
+  [[nodiscard]] const Alphabet& alphabet() const override {
+    return alphabet_;
+  }
   std::optional<SymbolId> Next() override { return next_(); }
 
  private:
@@ -57,7 +61,7 @@ class FunctionStream : public SeriesStream {
 };
 
 /// Drains a stream into an in-memory series.
-SymbolSeries CollectStream(SeriesStream* stream);
+[[nodiscard]] SymbolSeries CollectStream(SeriesStream* stream);
 
 }  // namespace periodica
 

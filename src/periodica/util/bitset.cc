@@ -11,7 +11,9 @@ void DynamicBitset::Clear() {
 
 std::size_t DynamicBitset::Count() const {
   std::size_t total = 0;
-  for (std::uint64_t word : words_) total += std::popcount(word);
+  for (std::uint64_t word : words_) {
+    total += static_cast<std::size_t>(std::popcount(word));
+  }
   return total;
 }
 
@@ -29,6 +31,8 @@ namespace {
 inline std::uint64_t WordAtBit(const std::vector<std::uint64_t>& words,
                                std::size_t num_bits, std::size_t bit) {
   if (bit >= num_bits) return 0;
+  PERIODICA_DCHECK(words.size() * 64 >= num_bits)
+      << "word storage shorter than the advertised bit count";
   const std::size_t w = bit >> 6;
   const unsigned off = static_cast<unsigned>(bit & 63);
   std::uint64_t lo = words[w] >> off;
@@ -47,6 +51,8 @@ inline std::uint64_t WordAtBit(const std::vector<std::uint64_t>& words,
 
 void DynamicBitset::Append(const DynamicBitset& other) {
   const std::size_t old_bits = num_bits_;
+  PERIODICA_DCHECK(num_bits_ <= SIZE_MAX - other.num_bits_)
+      << "bit count overflow in Append";
   num_bits_ += other.num_bits_;
   words_.resize((num_bits_ + 63) / 64, 0);
   const unsigned offset = static_cast<unsigned>(old_bits & 63);
@@ -73,7 +79,7 @@ std::size_t DynamicBitset::CountAndShifted(const DynamicBitset& other,
     const std::uint64_t a = WordAtBit(words_, limit, base);
     const std::uint64_t b =
         WordAtBit(other.words_, other.num_bits_, base + shift);
-    total += std::popcount(a & b);
+    total += static_cast<std::size_t>(std::popcount(a & b));
   }
   return total;
 }

@@ -29,15 +29,17 @@ class DynamicBitset {
   DynamicBitset(DynamicBitset&&) = default;
   DynamicBitset& operator=(DynamicBitset&&) = default;
 
-  std::size_t size() const { return num_bits_; }
-  bool empty() const { return num_bits_ == 0; }
+  [[nodiscard]] std::size_t size() const { return num_bits_; }
+  [[nodiscard]] bool empty() const { return num_bits_ == 0; }
 
   void Set(std::size_t i) {
     PERIODICA_DCHECK(i < num_bits_);
+    PERIODICA_DCHECK((i >> 6) < words_.size());
     words_[i >> 6] |= (std::uint64_t{1} << (i & 63));
   }
   void Reset(std::size_t i) {
     PERIODICA_DCHECK(i < num_bits_);
+    PERIODICA_DCHECK((i >> 6) < words_.size());
     words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
   }
   void SetTo(std::size_t i, bool value) {
@@ -47,8 +49,9 @@ class DynamicBitset {
       Reset(i);
     }
   }
-  bool Test(std::size_t i) const {
+  [[nodiscard]] bool Test(std::size_t i) const {
     PERIODICA_DCHECK(i < num_bits_);
+    PERIODICA_DCHECK((i >> 6) < words_.size());
     return (words_[i >> 6] >> (i & 63)) & 1;
   }
 
@@ -60,14 +63,14 @@ class DynamicBitset {
   void Append(const DynamicBitset& other);
 
   /// Number of set bits.
-  std::size_t Count() const;
+  [[nodiscard]] std::size_t Count() const;
 
   /// Number of positions i with Test(i) && other.Test(i + shift).
   /// Positions where i + shift falls outside `other` contribute nothing.
   /// This is the popcount of (*this & (other >> shift)) and runs at word
   /// speed; it is the inner loop of the exact convolution miner.
-  std::size_t CountAndShifted(const DynamicBitset& other,
-                              std::size_t shift) const;
+  [[nodiscard]] std::size_t CountAndShifted(const DynamicBitset& other,
+                                            std::size_t shift) const;
 
   /// Appends to `out` every position i with Test(i) && other.Test(i + shift),
   /// in increasing order of i.
@@ -75,7 +78,7 @@ class DynamicBitset {
                          std::vector<std::size_t>* out) const;
 
   /// Positions of all set bits, in increasing order.
-  std::vector<std::size_t> SetBits() const;
+  [[nodiscard]] std::vector<std::size_t> SetBits() const;
 
   /// Calls `fn(i)` for every set bit position i, in increasing order.
   template <typename Fn>
@@ -100,7 +103,9 @@ class DynamicBitset {
   }
 
   /// Direct word access (little-endian: word 0 holds bits 0..63).
-  const std::vector<std::uint64_t>& words() const { return words_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const {
+    return words_;
+  }
 
  private:
   /// Masks the unused high bits of the final word to zero so popcounts stay

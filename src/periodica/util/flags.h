@@ -40,10 +40,12 @@ class FlagSet {
   Status Parse(int argc, char** argv);
 
   /// Positional (non-flag) arguments encountered during Parse.
-  const std::vector<std::string>& positional() const { return positional_; }
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
 
   /// Renders the usage text (also printed on --help).
-  std::string Usage() const;
+  [[nodiscard]] std::string Usage() const;
 
  private:
   enum class Kind { kInt64, kDouble, kBool, kString };

@@ -5,8 +5,7 @@
 #include <iostream>
 #include <sstream>
 
-namespace periodica {
-namespace internal {
+namespace periodica::internal {
 
 /// Accumulates a fatal-error message; prints to stderr and aborts on
 /// destruction. Used by the PERIODICA_CHECK family below.
@@ -21,7 +20,8 @@ class FatalLogMessage {
   FatalLogMessage& operator=(const FatalLogMessage&) = delete;
 
   [[noreturn]] ~FatalLogMessage() {
-    std::cerr << stream_.str() << std::endl;
+    // Flush before aborting so the diagnostic is never lost.
+    std::cerr << stream_.str() << std::endl;  // NOLINT(performance-avoid-endl)
     std::abort();
   }
 
@@ -44,8 +44,7 @@ class NullStream {
   }
 };
 
-}  // namespace internal
-}  // namespace periodica
+}  // namespace periodica::internal
 
 /// Aborts with a diagnostic when `condition` is false. Additional context can
 /// be streamed: PERIODICA_CHECK(n > 0) << "series empty";
@@ -66,9 +65,15 @@ class NullStream {
 #define PERIODICA_CHECK_GT(a, b) PERIODICA_CHECK((a) > (b))
 #define PERIODICA_CHECK_GE(a, b) PERIODICA_CHECK((a) >= (b))
 
+/// Debug-only check: fires like PERIODICA_CHECK in non-NDEBUG builds and
+/// compiles to nothing in Release. The condition stays inside the expansion
+/// (short-circuited behind `false`) so it is still type-checked in Release —
+/// a DCHECK cannot bit-rot — but is never evaluated: side effects in the
+/// condition do not run under NDEBUG (tests/logging_test.cc pins this down).
 #ifdef NDEBUG
-#define PERIODICA_DCHECK(condition) \
-  while (false) ::periodica::internal::NullStream()
+#define PERIODICA_DCHECK(condition)             \
+  while (false && static_cast<bool>(condition)) \
+  ::periodica::internal::NullStream()
 #else
 #define PERIODICA_DCHECK(condition) PERIODICA_CHECK(condition)
 #endif

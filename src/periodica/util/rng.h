@@ -20,24 +20,24 @@ class Rng {
 
   /// Uniform integer in [0, bound). `bound` must be positive. Uses Lemire's
   /// nearly-divisionless rejection method, so the result is unbiased.
-  std::uint64_t UniformInt(std::uint64_t bound);
+  [[nodiscard]] std::uint64_t UniformInt(std::uint64_t bound);
 
   /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
-  std::int64_t UniformRange(std::int64_t lo, std::int64_t hi);
+  [[nodiscard]] std::int64_t UniformRange(std::int64_t lo, std::int64_t hi);
 
   /// Uniform double in [0, 1).
-  double UniformDouble();
+  [[nodiscard]] double UniformDouble();
 
   /// Standard normal variate (Box-Muller; caches the second variate).
-  double Gaussian();
+  [[nodiscard]] double Gaussian();
 
   /// Normal variate with the given mean and standard deviation.
-  double Gaussian(double mean, double stddev) {
+  [[nodiscard]] double Gaussian(double mean, double stddev) {
     return mean + stddev * Gaussian();
   }
 
   /// True with probability `p` (clamped to [0, 1]).
-  bool Bernoulli(double p);
+  [[nodiscard]] bool Bernoulli(double p);
 
  private:
   std::uint64_t state_[4];

@@ -27,7 +27,12 @@ const char* StatusCodeToString(StatusCode code);
 
 /// A success-or-error outcome. Cheap to copy in the OK case (no allocation);
 /// error statuses carry a message describing what went wrong.
-class Status {
+///
+/// The class is [[nodiscard]]: every API returning a Status by value makes
+/// the caller inspect it (or opt out with an explicit cast to void), so a
+/// dropped error is a compiler warning — and a compile error under
+/// -DPERIODICA_WERROR=ON, which CI builds with.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -63,20 +68,28 @@ class Status {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
-  bool IsInvalidArgument() const {
+  [[nodiscard]] bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
   }
-  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
-  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
-  bool IsIOError() const { return code_ == StatusCode::kIOError; }
-  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  [[nodiscard]] bool IsOutOfRange() const {
+    return code_ == StatusCode::kOutOfRange;
+  }
+  [[nodiscard]] bool IsNotFound() const {
+    return code_ == StatusCode::kNotFound;
+  }
+  [[nodiscard]] bool IsIOError() const {
+    return code_ == StatusCode::kIOError;
+  }
+  [[nodiscard]] bool IsInternal() const {
+    return code_ == StatusCode::kInternal;
+  }
 
   /// "OK" or "<code name>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   friend bool operator==(const Status& a, const Status& b) {
     return a.code_ == b.code_ && a.message_ == b.message_;

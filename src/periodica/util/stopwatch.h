@@ -14,12 +14,14 @@ class Stopwatch {
   void Restart() { start_ = std::chrono::steady_clock::now(); }
 
   /// Seconds elapsed since construction or the last Restart().
-  double ElapsedSeconds() const {
+  [[nodiscard]] double ElapsedSeconds() const {
     const auto now = std::chrono::steady_clock::now();
     return std::chrono::duration<double>(now - start_).count();
   }
 
-  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  [[nodiscard]] double ElapsedMillis() const {
+    return ElapsedSeconds() * 1e3;
+  }
 
  private:
   std::chrono::steady_clock::time_point start_;

@@ -21,7 +21,7 @@ class TextTable {
   /// Appends a row; must have exactly as many cells as the header.
   void AddRow(std::vector<std::string> cells);
 
-  std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
 
   /// Renders with aligned columns, a header underline, and `| `-separated
   /// cells.
@@ -33,14 +33,14 @@ class TextTable {
 };
 
 /// Formats `value` with `digits` digits after the decimal point.
-std::string FormatDouble(double value, int digits = 3);
+[[nodiscard]] std::string FormatDouble(double value, int digits = 3);
 
 /// Formats a byte count as "4 KB", "2.0 MB", ... (power-of-two units).
-std::string FormatBytes(std::size_t bytes);
+[[nodiscard]] std::string FormatBytes(std::size_t bytes);
 
 /// Joins `parts` with `sep` ("a, b, c").
-std::string Join(const std::vector<std::string>& parts,
-                 const std::string& sep);
+[[nodiscard]] std::string Join(const std::vector<std::string>& parts,
+                               const std::string& sep);
 
 }  // namespace periodica
 

@@ -175,6 +175,107 @@ TEST(BitsetTest, EmptyBitset) {
   EXPECT_TRUE(bits.SetBits().empty());
 }
 
+// Word-boundary sweep: Set/Reset/Test at and around bit indices 63/64/65,
+// for sizes straddling one and two words. The word-level implementations
+// shift by (i & 63) and (64 - offset); an off-by-one in either direction is
+// a shift by 64 — undefined behavior that the asan-ubsan preset turns into
+// an abort — or a bit landing in the wrong word, which these exact
+// assertions catch in every build.
+TEST(BitsetTest, SetResetAtWordBoundaries) {
+  for (const std::size_t size : {64u, 65u, 66u, 127u, 128u, 129u}) {
+    DynamicBitset bits(size);
+    std::vector<std::size_t> boundary_bits;
+    for (const std::size_t i : {62u, 63u, 64u, 65u}) {
+      if (i < size) boundary_bits.push_back(i);
+    }
+    boundary_bits.push_back(size - 1);  // last valid bit, tail-mask edge
+    for (const std::size_t i : boundary_bits) {
+      bits.Set(i);
+      EXPECT_TRUE(bits.Test(i)) << "size=" << size << " bit=" << i;
+    }
+    // No neighbor got clobbered: the exact set survives.
+    std::vector<std::size_t> expected(boundary_bits);
+    std::sort(expected.begin(), expected.end());
+    expected.erase(std::unique(expected.begin(), expected.end()),
+                   expected.end());
+    EXPECT_EQ(bits.SetBits(), expected) << "size=" << size;
+    for (const std::size_t i : boundary_bits) {
+      bits.Reset(i);
+      EXPECT_FALSE(bits.Test(i)) << "size=" << size << " bit=" << i;
+    }
+    EXPECT_EQ(bits.Count(), 0u) << "size=" << size;
+  }
+}
+
+// Shifted-AND at shifts 63/64/65 with hand-computable patterns. All bits of
+// `a` and `b` are set, so CountAndShifted(b, shift) must equal the overlap
+// length max(0, min(|a|, |b| - shift)) exactly; a wrong carry shift in
+// WordAtBit under- or over-counts near the word seam.
+TEST(BitsetTest, CountAndShiftedAllOnesAtWordBoundaries) {
+  for (const std::size_t size : {63u, 64u, 65u, 128u, 130u}) {
+    DynamicBitset a(size);
+    DynamicBitset b(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      a.Set(i);
+      b.Set(i);
+    }
+    for (const std::size_t shift : {0u, 1u, 62u, 63u, 64u, 65u, 126u, 127u,
+                                    128u, 129u, 130u, 131u}) {
+      const std::size_t expected = shift < size ? size - shift : 0;
+      EXPECT_EQ(a.CountAndShifted(b, shift), expected)
+          << "size=" << size << " shift=" << shift;
+    }
+  }
+}
+
+// Single-bit probes across the word seam: bit i of `a` against bit i+shift
+// of `b` for every (i, shift) combination around 63/64/65. Exercises every
+// alignment of the shifted read, including the carry from the next word.
+TEST(BitsetTest, CountAndShiftedSingleBitAcrossWordSeam) {
+  const std::size_t size = 200;
+  for (const std::size_t i : {0u, 1u, 62u, 63u, 64u, 65u, 126u, 127u, 128u}) {
+    for (const std::size_t shift : {0u, 1u, 63u, 64u, 65u}) {
+      if (i + shift >= size) continue;
+      DynamicBitset a(size);
+      DynamicBitset b(size);
+      a.Set(i);
+      b.Set(i + shift);
+      EXPECT_EQ(a.CountAndShifted(b, shift), 1u)
+          << "i=" << i << " shift=" << shift;
+      std::vector<std::size_t> collected;
+      a.CollectAndShifted(b, shift, &collected);
+      EXPECT_EQ(collected, (std::vector<std::size_t>{i}))
+          << "i=" << i << " shift=" << shift;
+      // The same pair misaligned by one must not match.
+      EXPECT_EQ(a.CountAndShifted(b, shift + 1), 0u)
+          << "i=" << i << " shift=" << shift;
+    }
+  }
+}
+
+// Shift == size and beyond must be a clean no-match, never an out-of-range
+// word read (the asan-ubsan preset would flag one).
+TEST(BitsetTest, ShiftAtAndPastSizeIsEmpty) {
+  for (const std::size_t size : {63u, 64u, 65u}) {
+    DynamicBitset a(size);
+    DynamicBitset b(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      a.Set(i);
+      b.Set(i);
+    }
+    for (const std::size_t shift :
+         {size - 1, size, size + 1, size + 64, size + 1000}) {
+      const std::size_t expected = shift < size ? size - shift : 0;
+      EXPECT_EQ(a.CountAndShifted(b, shift), expected)
+          << "size=" << size << " shift=" << shift;
+      std::vector<std::size_t> collected;
+      a.CollectAndShifted(b, shift, &collected);
+      EXPECT_EQ(collected.size(), expected)
+          << "size=" << size << " shift=" << shift;
+    }
+  }
+}
+
 // Property suite: CountAndShifted / CollectAndShifted against a plain
 // vector<bool> reference, across sizes straddling word boundaries and shifts
 // of every alignment.

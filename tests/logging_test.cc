@@ -1,5 +1,7 @@
 #include "periodica/util/logging.h"
 
+#include <cstddef>
+
 #include <gtest/gtest.h>
 
 #include "periodica/util/status.h"
@@ -33,6 +35,33 @@ TEST(LoggingDeathTest, FailedCheckOkPrintsStatus) {
                "Not found: missing thing");
 }
 
+TEST(LoggingDeathTest, ComparisonChecksAbortWithCondition) {
+  EXPECT_DEATH({ PERIODICA_CHECK_LT(5, 4); }, "Check failed.*\\(5\\) < \\(4\\)");
+  EXPECT_DEATH({ PERIODICA_CHECK_LE(5, 4); }, "Check failed.*\\(5\\) <= \\(4\\)");
+  EXPECT_DEATH({ PERIODICA_CHECK_GT(4, 5); }, "Check failed.*\\(4\\) > \\(5\\)");
+  EXPECT_DEATH({ PERIODICA_CHECK_GE(4, 5); }, "Check failed.*\\(4\\) >= \\(5\\)");
+}
+
+TEST(LoggingDeathTest, StreamedContextSupportsMultipleValues) {
+  // The diagnostic must carry everything streamed after the check, in order,
+  // including non-string operands.
+  const int x = 3;
+  const double ratio = 0.25;
+  EXPECT_DEATH(
+      { PERIODICA_CHECK(x == 4) << "x=" << x << " ratio=" << ratio; },
+      "Check failed.*x == 4.*x=3 ratio=0\\.25");
+}
+
+TEST(LoggingDeathTest, DiagnosticNamesFileAndLine) {
+  EXPECT_DEATH({ PERIODICA_CHECK(false); }, "logging_test\\.cc:[0-9]+");
+}
+
+TEST(LoggingTest, PassingCheckEvaluatesConditionExactlyOnce) {
+  int calls = 0;
+  PERIODICA_CHECK(++calls > 0) << "never shown";
+  EXPECT_EQ(calls, 1);
+}
+
 TEST(LoggingTest, CheckOkInsideIfElseIsUnambiguous) {
   // The macro expands to an if/else; it must compose with surrounding
   // control flow without dangling-else surprises.
@@ -50,9 +79,39 @@ TEST(LoggingTest, CheckOkInsideIfElseIsUnambiguous) {
 TEST(LoggingDeathTest, DcheckFiresInDebugBuilds) {
   EXPECT_DEATH({ PERIODICA_DCHECK(false) << "debug only"; }, "Check failed");
 }
+
+TEST(LoggingDeathTest, DcheckStreamsContextInDebugBuilds) {
+  const std::size_t index = 64;
+  EXPECT_DEATH({ PERIODICA_DCHECK(index < 64) << "index " << index; },
+               "Check failed.*index < 64.*index 64");
+}
+
+TEST(LoggingTest, PassingDcheckEvaluatesConditionExactlyOnce) {
+  int calls = 0;
+  PERIODICA_DCHECK(++calls > 0) << "never shown";
+  EXPECT_EQ(calls, 1);
+}
 #else
 TEST(LoggingTest, DcheckCompilesAwayInReleaseBuilds) {
   PERIODICA_DCHECK(false) << "not evaluated in NDEBUG";
+}
+
+TEST(LoggingTest, DcheckDoesNotEvaluateConditionInReleaseBuilds) {
+  // The condition stays in the expansion (so it must still compile) but is
+  // short-circuited: side effects must not run under NDEBUG.
+  int calls = 0;
+  PERIODICA_DCHECK(++calls > 0) << "never shown";
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(LoggingTest, DcheckDoesNotEvaluateStreamedOperandsInReleaseBuilds) {
+  int calls = 0;
+  const auto expensive = [&calls]() {
+    ++calls;
+    return "context";
+  };
+  PERIODICA_DCHECK(false) << expensive();
+  EXPECT_EQ(calls, 0);
 }
 #endif
 

@@ -1,0 +1,175 @@
+#!/usr/bin/env bash
+# tools/check.sh — one entry point for every machine check in this repo.
+#
+# Runs, in order:
+#   1. format   clang-format --dry-run over all first-party sources
+#   2. tidy     clang-tidy (profile: .clang-tidy) over the compilation
+#               database of the `release` preset
+#   3. tests    configure + build + ctest for each preset: release,
+#               asan-ubsan, tsan
+#
+# CI and humans share this script; the GitHub Actions workflow calls it with
+# --tidy-only / --preset so each job maps to exactly one gate.
+#
+# Exit codes (documented contract — CI matches on these):
+#   0  every requested gate passed; gates whose tool is not installed were
+#      skipped with a notice (full run only — see code 6)
+#   1  usage error
+#   2  formatting violations (rerun with --fix to apply)
+#   3  clang-tidy findings (rerun with --fix to apply fix-its)
+#   4  configure or build failure
+#   5  test failure
+#   6  a gate was requested explicitly (--format-only / --tidy-only) but its
+#      tool is not installed
+#
+# Options:
+#   --fix            apply clang-format/clang-tidy fixes instead of failing
+#   --format-only    run only the format gate
+#   --tidy-only      run only the clang-tidy gate
+#   --no-sanitizers  test stage builds/runs only the `release` preset
+#   --preset NAME    test stage builds/runs only preset NAME
+#   -j N             parallelism (default: nproc)
+
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS=$(nproc 2>/dev/null || echo 4)
+MODE=all
+FIX=0
+PRESETS=(release asan-ubsan tsan)
+
+usage() { sed -n '2,37p' "$0"; }
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --fix) FIX=1 ;;
+    --format-only) MODE=format ;;
+    --tidy-only) MODE=tidy ;;
+    --no-sanitizers) PRESETS=(release) ;;
+    --preset)
+      shift
+      [ $# -gt 0 ] || { echo "check.sh: --preset needs an argument" >&2; exit 1; }
+      PRESETS=("$1")
+      ;;
+    -j)
+      shift
+      [ $# -gt 0 ] || { echo "check.sh: -j needs an argument" >&2; exit 1; }
+      JOBS="$1"
+      ;;
+    -h|--help) usage; exit 0 ;;
+    *) echo "check.sh: unknown option '$1'" >&2; usage >&2; exit 1 ;;
+  esac
+  shift
+done
+
+# Locate a tool, trying versioned names (clang-tidy-20 … clang-tidy-14).
+find_tool() {
+  local base="$1" v
+  if command -v "$base" >/dev/null 2>&1; then echo "$base"; return 0; fi
+  for v in 20 19 18 17 16 15 14; do
+    if command -v "$base-$v" >/dev/null 2>&1; then echo "$base-$v"; return 0; fi
+  done
+  return 1
+}
+
+note()  { printf '\033[1;34m== %s\033[0m\n' "$*"; }
+fail()  { printf '\033[1;31mFAIL: %s\033[0m\n' "$*"; }
+skip()  { printf '\033[1;33mSKIP: %s\033[0m\n' "$*"; }
+
+# First-party sources: everything tracked under src/ tools/ bench/ examples/
+# tests/ with a C++ extension.
+sources() {
+  git ls-files 'src/**/*.cc' 'src/**/*.h' 'tests/*.cc' 'tools/*.cc' \
+               'bench/*.cc' 'bench/*.h' 'examples/*.cpp'
+}
+
+# ---------------------------------------------------------------- format ----
+run_format() {
+  local cf
+  if ! cf=$(find_tool clang-format); then
+    if [ "$MODE" = format ]; then
+      fail "clang-format requested (--format-only) but not installed"
+      return 6
+    fi
+    skip "clang-format not installed; formatting gate not run"
+    return 0
+  fi
+  if [ "$FIX" = 1 ]; then
+    note "clang-format: applying fixes ($cf)"
+    sources | xargs -P "$JOBS" -n 16 "$cf" -i --style=file
+    return 0
+  fi
+  note "clang-format: dry run ($cf)"
+  if sources | xargs -P "$JOBS" -n 16 "$cf" --dry-run -Werror --style=file; then
+    return 0
+  fi
+  fail "formatting violations — rerun with --fix"
+  return 2
+}
+
+# ------------------------------------------------------------------ tidy ----
+run_tidy() {
+  local ct
+  if ! ct=$(find_tool clang-tidy); then
+    if [ "$MODE" = tidy ]; then
+      fail "clang-tidy requested (--tidy-only) but not installed"
+      return 6
+    fi
+    skip "clang-tidy not installed; static-analysis gate not run"
+    return 0
+  fi
+  note "configuring release preset for the compilation database"
+  cmake --preset release >/dev/null || { fail "configure failed"; return 4; }
+  local db=build-release
+  note "clang-tidy over $db/compile_commands.json ($ct)"
+  # Headers are covered via HeaderFilterRegex when their including .cc runs.
+  local tidy_sources
+  tidy_sources=$(git ls-files 'src/**/*.cc' 'tests/*.cc' 'tools/*.cc' \
+                              'bench/*.cc' 'examples/*.cpp')
+  if [ "$FIX" = 1 ]; then
+    # Serial when fixing: parallel fix-its race on shared headers.
+    echo "$tidy_sources" | xargs -n 1 "$ct" -p "$db" --quiet -fix
+    return 0
+  fi
+  if echo "$tidy_sources" | xargs -P "$JOBS" -n 1 "$ct" -p "$db" --quiet; then
+    return 0
+  fi
+  fail "clang-tidy findings — see output above (rerun with --fix for fix-its)"
+  return 3
+}
+
+# ----------------------------------------------------------------- tests ----
+run_tests() {
+  local preset
+  for preset in "${PRESETS[@]}"; do
+    note "preset $preset: configure"
+    cmake --preset "$preset" >/dev/null \
+      || { fail "configure failed for preset $preset"; return 4; }
+    note "preset $preset: build"
+    cmake --build --preset "$preset" --parallel "$JOBS" \
+      || { fail "build failed for preset $preset"; return 4; }
+    note "preset $preset: ctest"
+    ctest --preset "$preset" -j "$JOBS" \
+      || { fail "tests failed under preset $preset"; return 5; }
+  done
+  return 0
+}
+
+rc=0
+case "$MODE" in
+  format) run_format; rc=$? ;;
+  tidy)   run_tidy; rc=$? ;;
+  all)
+    run_format; rc=$?
+    if [ "$rc" = 0 ]; then run_tidy; rc=$?; fi
+    if [ "$rc" = 0 ]; then run_tests; rc=$?; fi
+    ;;
+esac
+
+if [ "$rc" = 0 ]; then
+  note "all requested checks passed"
+else
+  fail "check.sh exiting with code $rc"
+fi
+exit "$rc"
