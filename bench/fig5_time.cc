@@ -5,7 +5,11 @@
 // portions up to 128 MB; we use the retail simulator's discretized stream
 // (1 symbol = 1 byte) in power-of-two portions up to --max_mb.
 
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -33,11 +37,18 @@ int Run(int argc, char** argv) {
   std::int64_t min_kb = 128;
   std::int64_t max_mb = 4;
   std::int64_t repeats = 1;
+  std::int64_t threads = 1;
+  std::string json;
   bool paper_scale = PaperScaleFromEnv();
   FlagSet flags("fig5_time");
   flags.AddInt64("min_kb", &min_kb, "smallest series size in KB");
   flags.AddInt64("max_mb", &max_mb, "largest series size in MB");
   flags.AddInt64("repeats", &repeats, "timing repetitions per size");
+  flags.AddInt64("threads", &threads,
+                 "miner worker threads (0 = all hardware threads)");
+  flags.AddString("json", &json,
+                  "also write machine-readable timings to this file "
+                  "(same per-row schema as BENCH_parallel.json)");
   flags.AddBool("paper_scale", &paper_scale,
                 "sweep up to 64 MB like the paper's 128 MB run");
   PERIODICA_CHECK_OK(flags.Parse(argc, argv));
@@ -53,6 +64,7 @@ int Run(int argc, char** argv) {
                "memory independent of n)\n\n";
   TextTable table({"Size", "Symbols", "Miner (s)", "Streaming (s)",
                    "Trends (s)", "Trends/Miner"});
+  std::ostringstream json_rows;
 
   for (std::size_t bytes = static_cast<std::size_t>(min_kb) * 1024;
        bytes <= static_cast<std::size_t>(max_mb) * 1024 * 1024; bytes *= 2) {
@@ -68,6 +80,7 @@ int Run(int argc, char** argv) {
         MinerOptions options;
         options.threshold = 0.5;
         options.positions = false;
+        options.num_threads = static_cast<std::size_t>(threads);
         Stopwatch watch;
         const FftConvolutionMiner miner(series);
         const PeriodicityTable table_out = miner.Mine(options);
@@ -105,11 +118,33 @@ int Run(int argc, char** argv) {
                   FormatDouble(streaming_seconds, 3),
                   FormatDouble(trends_seconds, 3),
                   FormatDouble(trends_seconds / miner_seconds, 2)});
+    if (!json.empty()) {
+      if (json_rows.tellp() > 0) json_rows << ",\n";
+      json_rows << "    {\"n\": " << series.size() << ", \"sigma\": "
+                << series.alphabet().size() << ", \"threads\": " << threads
+                << ", \"miner_ms\": " << FormatDouble(miner_seconds * 1000, 3)
+                << ", \"streaming_ms\": "
+                << FormatDouble(streaming_seconds * 1000, 3)
+                << ", \"trends_ms\": "
+                << FormatDouble(trends_seconds * 1000, 3) << "}";
+    }
   }
   table.Print(std::cout);
   std::cout << "\nExpected shape: both grow near-linearly on the log-log "
                "plot; the miner stays below the baseline and the gap widens "
                "with n (n log n vs n log^2 n).\n";
+  if (!json.empty()) {
+    std::ofstream out(json);
+    if (!out) {
+      std::cerr << "cannot write --json file " << json << "\n";
+      return 1;
+    }
+    out << "{\n  \"bench\": \"fig5_time\",\n  \"hardware_concurrency\": "
+        << std::thread::hardware_concurrency() << ",\n  \"repeats\": "
+        << repeats << ",\n  \"results\": [\n"
+        << json_rows.str() << "\n  ]\n}\n";
+    std::cout << "wrote " << json << "\n";
+  }
   return 0;
 }
 

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "periodica/core/detail.h"
 #include "periodica/fft/chunked.h"
 #include "periodica/fft/convolution.h"
 #include "periodica/util/logging.h"
+#include "periodica/util/thread_pool.h"
 
 namespace periodica {
 
@@ -134,6 +136,16 @@ PeriodicityTable FftConvolutionMiner::Mine(const MinerOptions& options) const {
   max_period = std::min(max_period, n_ - 1);
   const std::size_t min_period = std::max<std::size_t>(options.min_period, 1);
 
+  // The pool lives for this call only; num_threads == 1 (the default) keeps
+  // everything on the calling thread. Every parallel stage writes into
+  // per-task slots and is merged in a fixed order below, so the table is
+  // byte-identical for every worker count.
+  const std::size_t num_workers =
+      util::ThreadPool::ResolveThreadCount(options.num_threads);
+  std::optional<util::ThreadPool> pool;
+  if (num_workers > 1) pool.emplace(num_workers);
+  util::ThreadPool* pool_ptr = pool.has_value() ? &*pool : nullptr;
+
   struct Candidate {
     std::size_t period;
     SymbolId symbol;
@@ -141,15 +153,21 @@ PeriodicityTable FftConvolutionMiner::Mine(const MinerOptions& options) const {
   };
   std::vector<Candidate> candidates;
 
-  // Stage 1: per-symbol FFT autocorrelations and the lossless aggregate
-  // pre-filter.
-  for (std::size_t k = 0; k < indicators_.size(); ++k) {
-    if (indicators_[k].Count() == 0) continue;
-    const std::vector<std::uint64_t> counts =
-        options.fft_block_size != 0
-            ? MatchCountsBounded(static_cast<SymbolId>(k), max_period,
-                                 options.fft_block_size)
-            : MatchCounts(static_cast<SymbolId>(k), max_period);
+  // Stage 1: per-symbol FFT autocorrelations — one independent transform per
+  // symbol, run across the pool — followed by the lossless aggregate
+  // pre-filter, applied sequentially in symbol order.
+  std::vector<std::vector<std::uint64_t>> match_counts(indicators_.size());
+  PERIODICA_CHECK_OK(util::ParallelFor(
+      pool_ptr, indicators_.size(), [&](std::size_t k) {
+        if (indicators_[k].Count() == 0) return;
+        match_counts[k] =
+            options.fft_block_size != 0
+                ? MatchCountsBounded(static_cast<SymbolId>(k), max_period,
+                                     options.fft_block_size)
+                : MatchCounts(static_cast<SymbolId>(k), max_period);
+      }));
+  for (std::size_t k = 0; k < match_counts.size(); ++k) {
+    const std::vector<std::uint64_t>& counts = match_counts[k];
     for (std::size_t p = min_period; p < counts.size(); ++p) {
       if (counts[p] == 0) continue;
       // No phase of this period can offer options.min_pairs repetitions if
@@ -202,35 +220,69 @@ PeriodicityTable FftConvolutionMiner::Mine(const MinerOptions& options) const {
 
   // Stage 2: split each surviving (p, k) into exact per-phase counts by
   // walking the in-memory indicator bitsets (no further pass over the input).
-  std::vector<std::size_t> match_positions;
-  std::vector<std::size_t> phases;
-  std::vector<internal::PhaseCount> counts;
+  // Each period's candidate group is an independent task — the indicator
+  // bitsets are only read — whose W_{p,k,l} counts land in a per-period slot;
+  // Definition 1 (EmitPeriod) then runs over the slots in ascending period
+  // order on this thread, which keeps the max_entries truncation point and
+  // the table layout identical to the sequential walk.
+  struct PeriodGroup {
+    std::size_t begin;  ///< first index into `candidates`
+    std::size_t end;    ///< one past the last index
+    std::vector<internal::PhaseCount> counts;
+  };
+  std::vector<PeriodGroup> groups;
   for (std::size_t start = 0; start < candidates.size();) {
-    const std::size_t p = candidates[start].period;
     std::size_t end = start;
-    counts.clear();
-    while (end < candidates.size() && candidates[end].period == p) {
-      const SymbolId k = candidates[end].symbol;
-      const DynamicBitset& indicator = indicators_[k];
-      match_positions.clear();
-      indicator.CollectAndShifted(indicator, p, &match_positions);
-      PERIODICA_DCHECK(match_positions.size() == candidates[end].matches)
-          << "FFT match count disagrees with the indicator bitsets";
-      phases.clear();
-      phases.reserve(match_positions.size());
-      for (const std::size_t i : match_positions) phases.push_back(i % p);
-      std::sort(phases.begin(), phases.end());
-      for (std::size_t lo = 0; lo < phases.size();) {
-        std::size_t hi = lo;
-        while (hi < phases.size() && phases[hi] == phases[lo]) ++hi;
-        counts.push_back(internal::PhaseCount{
-            k, phases[lo], static_cast<std::uint64_t>(hi - lo)});
-        lo = hi;
-      }
+    while (end < candidates.size() &&
+           candidates[end].period == candidates[start].period) {
       ++end;
     }
-    internal::EmitPeriod(n_, p, counts, options, &table);
+    groups.push_back(PeriodGroup{start, end, {}});
     start = end;
+  }
+  // Period groups are consumed through a bounded window: phase-splitting for
+  // one window runs across the pool, then Definition 1 drains the window in
+  // ascending period order and releases its counts. Peak memory is
+  // O(window * matches-per-period) rather than every period's phase counts
+  // at once, and the emission order — hence the table and the max_entries
+  // truncation point — does not depend on the window size.
+  const std::size_t window =
+      pool_ptr == nullptr ? 1 : pool_ptr->num_workers() * 4;
+  for (std::size_t first = 0; first < groups.size(); first += window) {
+    const std::size_t last = std::min(groups.size(), first + window);
+    PERIODICA_CHECK_OK(util::ParallelFor(
+        pool_ptr, last - first, [&](std::size_t offset) {
+          PeriodGroup& group = groups[first + offset];
+          const std::size_t p = candidates[group.begin].period;
+          std::vector<std::size_t> match_positions;
+          std::vector<std::size_t> phases;
+          for (std::size_t c = group.begin; c < group.end; ++c) {
+            const SymbolId k = candidates[c].symbol;
+            const DynamicBitset& indicator = indicators_[k];
+            match_positions.clear();
+            indicator.CollectAndShifted(indicator, p, &match_positions);
+            PERIODICA_DCHECK(match_positions.size() == candidates[c].matches)
+                << "FFT match count disagrees with the indicator bitsets";
+            phases.clear();
+            phases.reserve(match_positions.size());
+            for (const std::size_t i : match_positions) {
+              phases.push_back(i % p);
+            }
+            std::sort(phases.begin(), phases.end());
+            for (std::size_t lo = 0; lo < phases.size();) {
+              std::size_t hi = lo;
+              while (hi < phases.size() && phases[hi] == phases[lo]) ++hi;
+              group.counts.push_back(internal::PhaseCount{
+                  k, phases[lo], static_cast<std::uint64_t>(hi - lo)});
+              lo = hi;
+            }
+          }
+        }));
+    for (std::size_t g = first; g < last; ++g) {
+      internal::EmitPeriod(n_, candidates[groups[g].begin].period,
+                           groups[g].counts, options, &table);
+      std::vector<internal::PhaseCount>().swap(groups[g].counts);
+    }
   }
   table.SortCanonical();
   return table;

@@ -30,6 +30,16 @@ namespace periodica {
 /// Stage 2 never touches the input stream again; with positions mode off,
 /// only stage 1 runs and summaries carry upper-bound confidences (the
 /// O(n log n) detection phase the paper times in Fig. 5).
+///
+/// Both stages decompose into independent sub-problems (one FFT per symbol,
+/// one phase split per candidate period); MinerOptions::num_threads spreads
+/// them across a util::ThreadPool private to the Mine call. Results are
+/// merged in a fixed order, so the returned table is byte-identical for
+/// every thread count (see docs/PERFORMANCE.md).
+///
+/// Thread-safety: the miner is immutable after construction; Mine and the
+/// MatchCounts* queries are const and may be called concurrently from
+/// multiple threads on one instance.
 class FftConvolutionMiner {
  public:
   explicit FftConvolutionMiner(const SymbolSeries& series);

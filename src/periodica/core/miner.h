@@ -28,6 +28,12 @@ struct MiningResult {
 /// the positions of the periodic symbols, and the periodic patterns
 /// themselves all come out of one pass over the data.
 ///
+/// MinerOptions::num_threads spreads the FFT engine's independent
+/// sub-problems across a worker pool private to each Mine call; results are
+/// identical for every thread count (docs/PERFORMANCE.md documents the
+/// execution model). The miner itself is immutable after construction, so
+/// one instance may serve concurrent Mine calls from multiple threads.
+///
 ///   ObscureMiner miner({.threshold = 0.7, .mine_patterns = true});
 ///   PERIODICA_ASSIGN_OR_RETURN(MiningResult result, miner.Mine(series));
 ///   for (const PeriodSummary& s : result.periodicities.summaries()) ...

@@ -55,6 +55,15 @@ struct MinerOptions {
   /// length.
   std::size_t auto_engine_cutoff = 2048;
 
+  /// Worker threads for the FFT engine's independent sub-problems: the
+  /// per-symbol autocorrelation FFTs and the per-period W_{p,k} -> W_{p,k,l}
+  /// phase splits each run as their own task, merged back in a fixed order.
+  /// 0 = one worker per hardware thread, 1 = fully sequential (the default,
+  /// and the pre-parallel behavior). Output is byte-identical for every
+  /// value — only wall time changes (see docs/PERFORMANCE.md). The exact
+  /// engine and the pattern stage ignore this field.
+  std::size_t num_threads = 1;
+
   /// When true (default), the result carries exact per-(symbol, position)
   /// entries (Definition 1) for every candidate period. When false, only
   /// per-period summaries with aggregate upper-bound confidences are

@@ -5,6 +5,7 @@
 
 #include "periodica/fft/convolution.h"
 #include "periodica/util/logging.h"
+#include "periodica/util/thread_pool.h"
 
 namespace periodica::fft {
 
@@ -58,6 +59,13 @@ BoundedLagAutocorrelator::BoundedLagAutocorrelator(std::size_t max_lag,
   pending_.reserve(block_size_);
 }
 
+void BoundedLagAutocorrelator::set_thread_pool(util::ThreadPool* pool) {
+  if (pool == pool_) return;
+  // Dispatch anything staged for the old pool before switching.
+  FlushReady();
+  pool_ = pool;
+}
+
 void BoundedLagAutocorrelator::Append(std::span<const double> chunk) {
   for (const double sample : chunk) {
     pending_.push_back(sample);
@@ -67,35 +75,73 @@ void BoundedLagAutocorrelator::Append(std::span<const double> chunk) {
   }
 }
 
+void BoundedLagAutocorrelator::AdvanceTail(const std::vector<double>& block) {
+  // Retain the last <= max_lag samples (tail ++ block) as the next tail.
+  if (max_lag_ == 0) return;
+  std::vector<double> next_tail;
+  next_tail.reserve(max_lag_);
+  if (block.size() >= max_lag_) {
+    next_tail.assign(block.end() - static_cast<std::ptrdiff_t>(max_lag_),
+                     block.end());
+  } else {
+    const std::size_t from_tail = max_lag_ - block.size();
+    const std::size_t tail_start =
+        tail_.size() > from_tail ? tail_.size() - from_tail : 0;
+    next_tail.assign(tail_.begin() + static_cast<std::ptrdiff_t>(tail_start),
+                     tail_.end());
+    next_tail.insert(next_tail.end(), block.begin(), block.end());
+  }
+  tail_ = std::move(next_tail);
+}
+
 void BoundedLagAutocorrelator::ProcessBuffered() {
   if (pending_.empty()) return;
-  AccumulateBlock(tail_, pending_, max_lag_, &accumulated_);
-
-  // Retain the last <= max_lag samples (tail ++ block) as the next tail.
-  if (max_lag_ > 0) {
-    std::vector<double> next_tail;
-    next_tail.reserve(max_lag_);
-    if (pending_.size() >= max_lag_) {
-      next_tail.assign(pending_.end() - static_cast<std::ptrdiff_t>(max_lag_),
-                       pending_.end());
-    } else {
-      const std::size_t from_tail = max_lag_ - pending_.size();
-      const std::size_t tail_start =
-          tail_.size() > from_tail ? tail_.size() - from_tail : 0;
-      next_tail.assign(tail_.begin() + static_cast<std::ptrdiff_t>(tail_start),
-                       tail_.end());
-      next_tail.insert(next_tail.end(), pending_.begin(), pending_.end());
-    }
-    tail_ = std::move(next_tail);
+  if (pool_ == nullptr || pool_->num_workers() <= 1) {
+    AccumulateBlock(tail_, pending_, max_lag_, &accumulated_);
+    AdvanceTail(pending_);
+    n_ += pending_.size();
+    pending_.clear();
+    return;
   }
-  n_ += pending_.size();
+  // Pool mode: stage the block with the tail it must see; the correlation
+  // (the expensive forward FFTs) runs later, batched across the pool. The
+  // tail and sample count advance now — they depend only on the raw input,
+  // so later blocks can be staged before earlier ones are correlated.
+  ready_.push_back(ReadyBlock{tail_, std::move(pending_)});
   pending_.clear();
+  const std::vector<double>& staged = ready_.back().block;
+  AdvanceTail(staged);
+  n_ += staged.size();
+  if (ready_.size() >= pool_->num_workers()) FlushReady();
+}
+
+void BoundedLagAutocorrelator::FlushReady() {
+  if (ready_.empty()) return;
+  std::vector<std::vector<double>> partials(
+      ready_.size(), std::vector<double>(max_lag_ + 1, 0.0));
+  PERIODICA_CHECK_OK(
+      util::ParallelFor(pool_, ready_.size(), [&](std::size_t b) {
+        AccumulateBlock(ready_[b].tail, ready_[b].block, max_lag_,
+                        &partials[b]);
+      }));
+  // Fold in block order: the per-lag sums see contributions in the same
+  // order as sequential processing, keeping Lags() bit-identical.
+  for (const std::vector<double>& partial : partials) {
+    for (std::size_t d = 0; d <= max_lag_; ++d) {
+      accumulated_[d] += partial[d];
+    }
+  }
+  ready_.clear();
 }
 
 std::vector<double> BoundedLagAutocorrelator::Lags() const {
   std::vector<double> result = accumulated_;
+  // Account for staged blocks and the buffered remainder without disturbing
+  // stream state (snapshot semantics; Append may continue afterwards).
+  for (const ReadyBlock& staged : ready_) {
+    AccumulateBlock(staged.tail, staged.block, max_lag_, &result);
+  }
   if (!pending_.empty()) {
-    // Account for the buffered remainder without disturbing stream state.
     AccumulateBlock(tail_, pending_, max_lag_, &result);
   }
   return result;
@@ -103,8 +149,9 @@ std::vector<double> BoundedLagAutocorrelator::Lags() const {
 
 std::vector<std::uint64_t> BoundedLagBinaryAutocorrelation(
     std::span<const std::uint8_t> indicator, std::size_t max_lag,
-    std::size_t block_size) {
+    std::size_t block_size, util::ThreadPool* pool) {
   BoundedLagAutocorrelator correlator(max_lag, block_size);
+  correlator.set_thread_pool(pool);
   std::vector<double> buffer;
   buffer.reserve(std::min<std::size_t>(indicator.size(), 1 << 16));
   for (std::size_t start = 0; start < indicator.size();) {

@@ -5,6 +5,10 @@
 #include <span>
 #include <vector>
 
+namespace periodica::util {
+class ThreadPool;
+}  // namespace periodica::util
+
 namespace periodica::fft {
 
 /// Streaming autocorrelation restricted to lags 0..max_lag, computed block
@@ -28,6 +32,19 @@ class BoundedLagAutocorrelator {
   /// Samples consumed so far.
   [[nodiscard]] std::size_t size() const { return n_; }
 
+  /// Routes block correlations through `pool` (caller-owned; null restores
+  /// sequential processing). Each full block's forward FFTs become one
+  /// independent task: blocks are buffered together with the tail they must
+  /// be correlated against, dispatched once pool->num_workers() of them are
+  /// ready, and their partial lag vectors are folded into the accumulator in
+  /// block order — so Lags() is bit-identical with and without a pool.
+  /// Buffering holds up to num_workers blocks at once, multiplying the
+  /// O(block + max_lag) working memory by the worker count.
+  ///
+  /// The pool must outlive the correlator (or be unset first) and must not
+  /// be shared with another concurrent client during Append.
+  void set_thread_pool(util::ThreadPool* pool);
+
   /// Feeds the next chunk (any length, including empty).
   void Append(std::span<const double> chunk);
 
@@ -37,7 +54,20 @@ class BoundedLagAutocorrelator {
   [[nodiscard]] std::vector<double> Lags() const;
 
  private:
+  /// A full block waiting for its correlation pass, snapshotted with the
+  /// retained-history tail it must see (pool mode only).
+  struct ReadyBlock {
+    std::vector<double> tail;
+    std::vector<double> block;
+  };
+
   void ProcessBuffered();
+  /// Slides tail_ forward over `block` (the last <= max_lag samples of the
+  /// stream so far).
+  void AdvanceTail(const std::vector<double>& block);
+  /// Correlates every buffered ReadyBlock across the pool and folds the
+  /// partial lag vectors into accumulated_ in block order.
+  void FlushReady();
 
   std::size_t max_lag_;
   std::size_t block_size_;
@@ -45,14 +75,18 @@ class BoundedLagAutocorrelator {
   std::vector<double> tail_;        // last <= max_lag samples of the prefix
   std::vector<double> pending_;     // buffered input < block_size
   std::size_t n_ = 0;
+  util::ThreadPool* pool_ = nullptr;  // not owned
+  std::vector<ReadyBlock> ready_;    // full blocks awaiting dispatch
 };
 
 /// Convenience: exact integer match counts of a 0/1 indicator at lags
 /// 0..max_lag via the bounded-memory path (counterpart of
-/// BinaryAutocorrelation for bounded lags).
+/// BinaryAutocorrelation for bounded lags). `pool` (optional, caller-owned)
+/// spreads the per-block FFTs across workers; counts are identical either
+/// way.
 [[nodiscard]] std::vector<std::uint64_t> BoundedLagBinaryAutocorrelation(
     std::span<const std::uint8_t> indicator, std::size_t max_lag,
-    std::size_t block_size = 0);
+    std::size_t block_size = 0, util::ThreadPool* pool = nullptr);
 
 }  // namespace periodica::fft
 

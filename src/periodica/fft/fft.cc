@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 #include <numbers>
+#include <shared_mutex>
 #include <utility>
 
 #include "periodica/util/logging.h"
@@ -66,16 +67,48 @@ void FftPlan::Inverse(Complex* data) const {
   for (std::size_t i = 0; i < n_; ++i) data[i] *= scale;
 }
 
+namespace {
+
+/// The process-wide plan cache. Same-size transforms dominate the parallel
+/// mining workload (every symbol's autocorrelation and every equally-sized
+/// chunk correlates at one padded length), so lookups vastly outnumber
+/// insertions: a reader-writer lock lets concurrent workers share the hit
+/// path and only plan construction takes the exclusive lock. Plans are
+/// heap-allocated and never evicted, so returned references stay valid for
+/// the process lifetime.
+struct PlanCache {
+  std::shared_mutex mutex;
+  std::map<std::size_t, std::unique_ptr<FftPlan>> plans;
+};
+
+PlanCache& GetPlanCache() {
+  static PlanCache* cache = new PlanCache();  // intentionally leaked
+  return *cache;
+}
+
+}  // namespace
+
 const FftPlan& GetPlan(std::size_t n) {
-  static std::mutex mutex;
-  static std::map<std::size_t, std::unique_ptr<FftPlan>>* cache =
-      new std::map<std::size_t, std::unique_ptr<FftPlan>>();
-  std::lock_guard<std::mutex> lock(mutex);
-  auto it = cache->find(n);
-  if (it == cache->end()) {
-    it = cache->emplace(n, std::make_unique<FftPlan>(n)).first;
+  PlanCache& cache = GetPlanCache();
+  {
+    std::shared_lock<std::shared_mutex> lock(cache.mutex);
+    const auto it = cache.plans.find(n);
+    if (it != cache.plans.end()) return *it->second;
   }
+  // Miss: build the plan outside any lock (twiddle/bit-reversal construction
+  // is the expensive part), then race to insert; the loser's plan is
+  // discarded and the winner's is returned, so callers always share one
+  // instance per size.
+  auto plan = std::make_unique<FftPlan>(n);
+  std::unique_lock<std::shared_mutex> lock(cache.mutex);
+  const auto [it, inserted] = cache.plans.emplace(n, std::move(plan));
   return *it->second;
+}
+
+std::size_t PlanCacheSize() {
+  PlanCache& cache = GetPlanCache();
+  std::shared_lock<std::shared_mutex> lock(cache.mutex);
+  return cache.plans.size();
 }
 
 namespace {

@@ -46,8 +46,16 @@ class FftPlan {
   std::vector<Complex> twiddles_;  // twiddles_[k] = e^{-2*pi*i*k/n}, k < n/2
 };
 
-/// Returns a cached plan for power-of-two size `n`. Thread-safe.
+/// Returns a cached plan for power-of-two size `n`, building it on first
+/// use. Thread-safe: lookups take a shared (reader) lock so concurrent
+/// workers transforming at the same size never serialize on the cache, and
+/// only first-time plan construction takes the exclusive lock. The returned
+/// reference stays valid for the process lifetime (plans are never evicted).
 [[nodiscard]] const FftPlan& GetPlan(std::size_t n);
+
+/// Number of distinct transform sizes currently cached by GetPlan (exposed
+/// for tests and the performance methodology docs). Thread-safe.
+[[nodiscard]] std::size_t PlanCacheSize();
 
 /// Forward or inverse DFT of arbitrary size, in place. Power-of-two sizes use
 /// the radix-2 plan directly; other sizes go through Bluestein's chirp-z

@@ -56,5 +56,6 @@
 #include "periodica/series/stream.h"
 #include "periodica/util/result.h"
 #include "periodica/util/status.h"
+#include "periodica/util/thread_pool.h"
 
 #endif  // PERIODICA_PERIODICA_H_

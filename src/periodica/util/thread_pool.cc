@@ -1,0 +1,95 @@
+#include "periodica/util/thread_pool.h"
+
+#include <exception>
+#include <string>
+#include <utility>
+
+#include "periodica/util/logging.h"
+
+namespace periodica::util {
+
+std::size_t ThreadPool::ResolveThreadCount(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : hardware;
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t count = ResolveThreadCount(num_threads);
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  PERIODICA_DCHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PERIODICA_DCHECK(!stop_) << "Submit after destruction began";
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+Status ThreadPool::WaitAll() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  Status result = std::move(first_error_);
+  first_error_ = Status::OK();
+  return result;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Status failure = Status::OK();
+    try {
+      task();
+    } catch (const std::exception& e) {
+      failure = Status::Internal(std::string("task threw: ") + e.what());
+    } catch (...) {
+      failure = Status::Internal("task threw a non-std::exception value");
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!failure.ok() && first_error_.ok()) {
+        first_error_ = std::move(failure);
+      }
+      --in_flight_;
+      if (in_flight_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+Status ParallelFor(ThreadPool* pool, std::size_t count,
+                   const std::function<void(std::size_t)>& fn) {
+  if (pool == nullptr || pool->num_workers() <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return Status::OK();
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    pool->Submit([&fn, i] { fn(i); });
+  }
+  return pool->WaitAll();
+}
+
+}  // namespace periodica::util

@@ -1,0 +1,91 @@
+#ifndef PERIODICA_UTIL_THREAD_POOL_H_
+#define PERIODICA_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "periodica/util/status.h"
+
+namespace periodica::util {
+
+/// A fixed-size worker pool with a single shared FIFO queue, used to spread
+/// the mining engine's independent sub-problems (per-symbol FFTs, per-period
+/// phase splits, per-block correlations) across cores.
+///
+/// Design constraints, in order:
+///  * determinism of the *callers* — the pool never reorders results; tasks
+///    write to caller-owned slots and the caller merges them in a fixed
+///    order, so mining output is byte-identical for every worker count;
+///  * the library's no-throw contract — a task that does throw (e.g.
+///    std::bad_alloc inside a worker) is caught in the worker and surfaces
+///    as the Status returned by WaitAll(), never as a terminate();
+///  * simplicity — one mutex, one queue, no work stealing. The sub-problems
+///    the miner submits are coarse (an FFT or a bitset walk each), so queue
+///    contention is negligible.
+///
+/// Thread-safety contract: Submit and WaitAll may be called from any thread,
+/// but the pool is a single-client facility — WaitAll waits for *all* tasks
+/// submitted so far, so two independent users of one pool need external
+/// coordination. Never call WaitAll from inside a task: if every worker did
+/// so the queue could never drain.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers; 0 means one per hardware thread (at least
+  /// one). The workers idle until Submit.
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Waits for in-flight tasks, then joins the workers. Errors still pending
+  /// (WaitAll not called) are dropped.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ThreadPool(ThreadPool&&) = delete;
+  ThreadPool& operator=(ThreadPool&&) = delete;
+
+  /// Maps a MinerOptions-style thread count to a concrete worker count:
+  /// 0 -> std::thread::hardware_concurrency() (at least 1), anything else
+  /// unchanged.
+  [[nodiscard]] static std::size_t ResolveThreadCount(std::size_t requested);
+
+  /// Enqueues `task` for execution on some worker. Tasks must not call
+  /// Submit/WaitAll on their own pool (see class comment).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished. Returns OK, or
+  /// the first task failure (an exception escaping a task) since the last
+  /// WaitAll; the error is cleared so the pool is reusable afterwards.
+  [[nodiscard]] Status WaitAll();
+
+  [[nodiscard]] std::size_t num_workers() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< signals workers: queue or stop
+  std::condition_variable done_cv_;  ///< signals WaitAll: in_flight_ == 0
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  ///< queued + currently running tasks
+  bool stop_ = false;
+  Status first_error_ = Status::OK();
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(0) .. fn(count - 1), partitioned across `pool`'s workers, and
+/// blocks until all calls finish. With a null pool (or a single worker, where
+/// threading buys nothing) the calls run inline on the calling thread, in
+/// index order. Each index is dispatched as its own task, so `fn` should do
+/// coarse work per call. Returns the pool's WaitAll status (always OK in the
+/// inline case — the library's own tasks do not throw).
+[[nodiscard]] Status ParallelFor(ThreadPool* pool, std::size_t count,
+                                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace periodica::util
+
+#endif  // PERIODICA_UTIL_THREAD_POOL_H_

@@ -146,6 +146,30 @@ TEST_F(CliTest, SavePeriodsWritesLoadableCsv) {
   EXPECT_EQ(row.substr(0, 2), "3,");
 }
 
+TEST_F(CliTest, ThreadsFlagParsesAndOutputIsIdentical) {
+  // --threads only changes wall time, never output: 0 (all hardware
+  // threads), 1 (sequential) and 4 must mine byte-identical reports.
+  std::string text;
+  for (int i = 0; i < 400; ++i) text += "abcab"[i % 5];
+  const std::string input = WriteFile("series.txt", text + "\n");
+  const std::string base =
+      "--input " + input + " --engine fft --threshold 0.3 --format csv";
+  const auto [seq_code, seq_out] = Run(base + " --threads 1");
+  EXPECT_EQ(seq_code, 0);
+  EXPECT_FALSE(seq_out.empty());
+  for (const std::string threads : {"0", "4"}) {
+    const auto [code, out] = Run(base + " --threads " + threads);
+    EXPECT_EQ(code, 0) << "--threads " << threads;
+    EXPECT_EQ(out, seq_out) << "--threads " << threads;
+  }
+}
+
+TEST_F(CliTest, NegativeThreadsFails) {
+  const std::string input = WriteFile("series.txt", "abab\n");
+  const auto [exit_code, output] = Run("--input " + input + " --threads -2");
+  EXPECT_EQ(exit_code, 2);
+}
+
 TEST_F(CliTest, ExactAndFftEnginesAgree) {
   const std::string input =
       WriteFile("series.txt", "abcabcabcabcabcabcabcabcabcabc\n");

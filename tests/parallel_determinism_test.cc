@@ -1,0 +1,205 @@
+// Determinism contract of the parallel mining engine: for any
+// MinerOptions::num_threads, the miner's output — entries, summaries,
+// truncation flag, and the rendered report text — is byte-identical to the
+// sequential (num_threads = 1) run. The tests run the pool well
+// oversubscribed (8 workers) so TSan sees real concurrency in the ctest
+// matrix regardless of the host's core count.
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "periodica/core/fft_miner.h"
+#include "periodica/core/miner.h"
+#include "periodica/core/report.h"
+#include "periodica/fft/chunked.h"
+#include "periodica/gen/synthetic.h"
+#include "periodica/util/thread_pool.h"
+
+namespace periodica {
+namespace {
+
+/// A noisy periodic series large enough that both mining stages have real
+/// work to spread across workers.
+SymbolSeries NoisySeries(std::size_t length, std::size_t alphabet_size,
+                         std::size_t period) {
+  SyntheticSpec spec;
+  spec.length = length;
+  spec.alphabet_size = alphabet_size;
+  spec.period = period;
+  spec.seed = 42;
+  auto perfect = GeneratePerfect(spec);
+  EXPECT_TRUE(perfect.ok());
+  auto noisy = ApplyNoise(*perfect, NoiseSpec::Replacement(0.2, /*seed=*/9));
+  EXPECT_TRUE(noisy.ok());
+  return *noisy;
+}
+
+std::string RenderedReport(const SymbolSeries& series,
+                           const MinerOptions& options) {
+  auto result = ObscureMiner(options).Mine(series);
+  EXPECT_TRUE(result.ok()) << result.status();
+  std::ostringstream out;
+  ReportOptions report;
+  report.format = ReportFormat::kCsv;
+  EXPECT_TRUE(
+      RenderMiningResult(*result, series.alphabet(), report, out).ok());
+  return out.str();
+}
+
+void ExpectTablesIdentical(const PeriodicityTable& sequential,
+                           const PeriodicityTable& parallel,
+                           const std::string& label) {
+  EXPECT_EQ(sequential.entries(), parallel.entries()) << label;
+  EXPECT_EQ(sequential.summaries(), parallel.summaries()) << label;
+  EXPECT_EQ(sequential.truncated(), parallel.truncated()) << label;
+}
+
+TEST(ParallelDeterminismTest, PositionsModeMatchesSequential) {
+  const SymbolSeries series = NoisySeries(4096, 6, 25);
+  const FftConvolutionMiner miner(series);
+  MinerOptions options;
+  options.threshold = 0.3;
+  const PeriodicityTable sequential = miner.Mine(options);
+  EXPECT_FALSE(sequential.entries().empty());
+  for (const std::size_t threads : {2u, 8u}) {
+    options.num_threads = threads;
+    ExpectTablesIdentical(sequential, miner.Mine(options),
+                          "num_threads = " + std::to_string(threads));
+  }
+}
+
+TEST(ParallelDeterminismTest, PeriodsOnlyModeMatchesSequential) {
+  const SymbolSeries series = NoisySeries(4096, 6, 25);
+  const FftConvolutionMiner miner(series);
+  MinerOptions options;
+  options.threshold = 0.3;
+  options.positions = false;
+  const PeriodicityTable sequential = miner.Mine(options);
+  EXPECT_FALSE(sequential.summaries().empty());
+  for (const std::size_t threads : {2u, 8u}) {
+    options.num_threads = threads;
+    ExpectTablesIdentical(sequential, miner.Mine(options),
+                          "num_threads = " + std::to_string(threads));
+  }
+}
+
+TEST(ParallelDeterminismTest, ChunkedFftModeMatchesSequential) {
+  const SymbolSeries series = NoisySeries(4096, 6, 25);
+  const FftConvolutionMiner miner(series);
+  MinerOptions options;
+  options.threshold = 0.3;
+  options.max_period = 256;
+  options.fft_block_size = 512;  // bounded-lag correlator path
+  const PeriodicityTable sequential = miner.Mine(options);
+  EXPECT_FALSE(sequential.entries().empty());
+  for (const std::size_t threads : {2u, 8u}) {
+    options.num_threads = threads;
+    ExpectTablesIdentical(sequential, miner.Mine(options),
+                          "num_threads = " + std::to_string(threads));
+  }
+}
+
+TEST(ParallelDeterminismTest, MaxEntriesTruncationPointIsStable) {
+  // The entry cap trips mid-period on this input; the truncation point (and
+  // the truncated flag) must not depend on worker scheduling.
+  const SymbolSeries series = NoisySeries(2048, 4, 12);
+  const FftConvolutionMiner miner(series);
+  MinerOptions options;
+  options.threshold = 0.2;
+  options.max_entries = 17;
+  const PeriodicityTable sequential = miner.Mine(options);
+  EXPECT_TRUE(sequential.truncated());
+  EXPECT_EQ(sequential.entries().size(), 17u);
+  for (const std::size_t threads : {2u, 8u}) {
+    options.num_threads = threads;
+    ExpectTablesIdentical(sequential, miner.Mine(options),
+                          "num_threads = " + std::to_string(threads));
+  }
+}
+
+TEST(ParallelDeterminismTest, RenderedReportIsByteIdenticalAcrossThreads) {
+  const SymbolSeries series = NoisySeries(4096, 6, 25);
+  MinerOptions options;
+  options.threshold = 0.3;
+  options.engine = MinerEngine::kFft;
+  options.num_threads = 1;
+  const std::string sequential = RenderedReport(series, options);
+  EXPECT_FALSE(sequential.empty());
+  for (const std::size_t threads : {0u, 2u, 8u}) {
+    options.num_threads = threads;
+    EXPECT_EQ(sequential, RenderedReport(series, options))
+        << "num_threads = " << threads;
+  }
+}
+
+TEST(ParallelDeterminismTest, StreamPathMatchesSequential) {
+  const SymbolSeries series = NoisySeries(4096, 6, 25);
+  MinerOptions options;
+  options.threshold = 0.3;
+  const ObscureMiner miner(options);
+  VectorStream sequential_stream(series);
+  auto sequential = miner.Mine(&sequential_stream);
+  ASSERT_TRUE(sequential.ok());
+  for (const std::size_t threads : {2u, 8u}) {
+    MinerOptions parallel_options = options;
+    parallel_options.num_threads = threads;
+    VectorStream stream(series);
+    auto parallel = ObscureMiner(parallel_options).Mine(&stream);
+    ASSERT_TRUE(parallel.ok());
+    ExpectTablesIdentical(sequential->periodicities, parallel->periodicities,
+                          "num_threads = " + std::to_string(threads));
+  }
+}
+
+TEST(ParallelDeterminismTest, ChunkedCorrelatorBitIdenticalWithPool) {
+  // Enough samples for several blocks per flush batch, plus a buffered
+  // remainder so the Lags snapshot path is exercised too.
+  std::vector<double> samples;
+  unsigned state = 777;
+  for (int i = 0; i < 10000; ++i) {
+    state = state * 1103515245 + 12345;
+    samples.push_back(static_cast<double>((state >> 16) & 1));
+  }
+  fft::BoundedLagAutocorrelator sequential(/*max_lag=*/100,
+                                           /*block_size=*/512);
+  sequential.Append(samples);
+  const std::vector<double> expected = sequential.Lags();
+
+  util::ThreadPool pool(4);
+  fft::BoundedLagAutocorrelator parallel(/*max_lag=*/100, /*block_size=*/512);
+  parallel.set_thread_pool(&pool);
+  parallel.Append(samples);
+  const std::vector<double> actual = parallel.Lags();
+
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t d = 0; d < expected.size(); ++d) {
+    // Bit-identical, not approximately equal: block partials are folded in
+    // block order, the same order the sequential path accumulates in.
+    EXPECT_EQ(expected[d], actual[d]) << "lag " << d;
+  }
+  EXPECT_EQ(sequential.size(), parallel.size());
+}
+
+TEST(ParallelDeterminismTest, BoundedLagConvenienceMatchesWithPool) {
+  std::vector<std::uint8_t> indicator;
+  unsigned state = 31;
+  for (int i = 0; i < 5000; ++i) {
+    state = state * 1103515245 + 12345;
+    indicator.push_back(((state >> 16) % 3) == 0 ? 1 : 0);
+  }
+  const std::vector<std::uint64_t> expected =
+      fft::BoundedLagBinaryAutocorrelation(indicator, /*max_lag=*/64,
+                                           /*block_size=*/256);
+  util::ThreadPool pool(3);
+  const std::vector<std::uint64_t> actual =
+      fft::BoundedLagBinaryAutocorrelation(indicator, /*max_lag=*/64,
+                                           /*block_size=*/256, &pool);
+  EXPECT_EQ(expected, actual);
+}
+
+}  // namespace
+}  // namespace periodica

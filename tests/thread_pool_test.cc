@@ -1,0 +1,130 @@
+#include "periodica/util/thread_pool.h"
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace periodica::util {
+namespace {
+
+TEST(ThreadPoolTest, ResolveThreadCountMapsZeroToHardware) {
+  EXPECT_GE(ThreadPool::ResolveThreadCount(0), 1u);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(1), 1u);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(7), 7u);
+}
+
+TEST(ThreadPoolTest, SubmitAndWaitRunsEveryTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_workers(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  EXPECT_TRUE(pool.WaitAll().ok());
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitAllWithNothingSubmittedIsOk) {
+  ThreadPool pool(2);
+  EXPECT_TRUE(pool.WaitAll().ok());
+}
+
+TEST(ThreadPoolTest, WorksAtEveryWorkerCount) {
+  for (std::size_t workers = 1; workers <= 4; ++workers) {
+    ThreadPool pool(workers);
+    std::vector<int> slots(64, 0);
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      pool.Submit([&slots, i] { slots[i] = static_cast<int>(i) + 1; });
+    }
+    ASSERT_TRUE(pool.WaitAll().ok()) << "workers = " << workers;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      EXPECT_EQ(slots[i], static_cast<int>(i) + 1);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionSurfacesAsInternalStatus) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  const Status status = pool.WaitAll();
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsInternal());
+  EXPECT_NE(status.message().find("boom"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, FirstErrorWinsAndOthersStillRun) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.Submit([] { throw std::runtime_error("first"); });
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  const Status status = pool.WaitAll();
+  EXPECT_TRUE(status.IsInternal());
+  // A failed task never cancels the rest of the batch.
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(ThreadPoolTest, ReusableAfterWaitAndErrorIsCleared) {
+  ThreadPool pool(3);
+  pool.Submit([] { throw std::runtime_error("round one"); });
+  EXPECT_FALSE(pool.WaitAll().ok());
+
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  // The round-one error was consumed by the first WaitAll.
+  EXPECT_TRUE(pool.WaitAll().ok());
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // No WaitAll: the destructor must finish the queue before joining.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelForTest, NullPoolRunsInlineInOrder) {
+  std::vector<std::size_t> order;
+  EXPECT_TRUE(ParallelFor(nullptr, 5, [&order](std::size_t i) {
+                order.push_back(i);
+              }).ok());
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, PooledCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(128);
+  EXPECT_TRUE(ParallelFor(&pool, hits.size(), [&hits](std::size_t i) {
+                hits[i].fetch_add(1);
+              }).ok());
+  for (const std::atomic<int>& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ParallelForTest, ZeroCountIsANoOp) {
+  ThreadPool pool(2);
+  EXPECT_TRUE(ParallelFor(&pool, 0, [](std::size_t) { FAIL(); }).ok());
+}
+
+TEST(ParallelForTest, PropagatesTaskFailure) {
+  ThreadPool pool(2);
+  const Status status = ParallelFor(&pool, 8, [](std::size_t i) {
+    if (i == 3) throw std::runtime_error("index three");
+  });
+  EXPECT_TRUE(status.IsInternal());
+  EXPECT_NE(status.message().find("index three"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace periodica::util

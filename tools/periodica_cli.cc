@@ -68,6 +68,7 @@ int Run(int argc, char** argv) {
   bool patterns = false;
   std::int64_t pattern_period = 0;
   std::string engine = "auto";
+  std::int64_t threads = 1;
   std::string format = "text";
   std::int64_t max_rows = 0;
   double significance = 0.0;
@@ -91,6 +92,10 @@ int Run(int argc, char** argv) {
   flags.AddInt64("pattern_period", &pattern_period,
                  "restrict pattern mining to this period (0 = all detected)");
   flags.AddString("engine", &engine, "auto | exact | fft");
+  flags.AddInt64("threads", &threads,
+                 "worker threads for the FFT engine (0 = all hardware "
+                 "threads, 1 = sequential); output is identical for every "
+                 "value");
   flags.AddString("format", &format, "text | csv");
   flags.AddInt64("max_rows", &max_rows, "cap rows per report section (0 = all)");
   flags.AddDouble("significance", &significance,
@@ -134,6 +139,11 @@ int Run(int argc, char** argv) {
     std::cerr << "unknown --engine '" << engine << "'\n";
     return 2;
   }
+  if (threads < 0) {
+    std::cerr << "--threads must be >= 0\n";
+    return 2;
+  }
+  options.num_threads = static_cast<std::size_t>(threads);
 
   auto result = ObscureMiner(options).Mine(*series);
   if (!result.ok()) {
