@@ -97,7 +97,7 @@ int Run(int argc, char** argv) {
             StreamingPeriodDetector::Create(series.alphabet(), options);
         PERIODICA_CHECK(detector.ok());
         VectorStream stream(series);
-        detector->Consume(&stream);
+        PERIODICA_CHECK(detector->Consume(&stream).ok());
         const PeriodicityTable table_out = detector->Detect(0.5);
         streaming_seconds += watch.ElapsedSeconds();
         PERIODICA_CHECK(table_out.FindPeriod(24) != nullptr);

@@ -1,0 +1,74 @@
+#ifndef PERIODICA_CORE_CHECKPOINT_H_
+#define PERIODICA_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "periodica/core/online.h"
+#include "periodica/core/streaming_detector.h"
+#include "periodica/util/result.h"
+
+namespace periodica {
+
+/// Checkpoint/resume for the bounded-memory streaming components. The
+/// one-pass contract means a crash destroys state that can never be
+/// recomputed — the stream is gone — so the sketch state *is* the asset, and
+/// these functions make it durable.
+///
+/// Snapshot file layout (all integers little-endian, fixed width; doubles as
+/// their IEEE-754 bit patterns; see docs/ROBUSTNESS.md for the full spec):
+///
+///   offset  size  field
+///   0       4     magic "PCHK"
+///   4       4     format version (u32, currently 1)
+///   8       4     payload kind (u32: 1 = StreamingPeriodDetector,
+///                                     2 = OnlinePeriodicityTracker)
+///   12      8     payload size in bytes (u64)
+///   20      n     payload (kind-specific field stream)
+///   20+n    4     CRC-32 (IEEE) of bytes [0, 20+n)
+///
+/// Writes go through util::AtomicWriteFile: the snapshot is staged in a
+/// `.tmp` sibling and renamed over the destination only once fully flushed,
+/// so a crash mid-checkpoint leaves the previous valid snapshot in place.
+/// Loads verify magic, version, kind, declared size and CRC before touching
+/// any field; a torn or corrupted file is rejected with a precise Status —
+/// never a crash, never silently wrong state.
+///
+/// Resume is exact: restoring a snapshot and feeding the rest of the stream
+/// produces bit-identical Detect()/Snapshot() output to an uninterrupted run
+/// (property-tested in tests/checkpoint_test.cc).
+
+/// Version written by SaveCheckpoint; LoadCheckpoint accepts only this.
+inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
+
+/// What a snapshot file contains.
+enum class CheckpointKind : std::uint32_t {
+  kStreamingDetector = 1,
+  kOnlineTracker = 2,
+};
+
+/// Atomically writes `detector`'s full state to `path`.
+Status SaveCheckpoint(const StreamingPeriodDetector& detector,
+                      const std::string& path);
+
+/// Atomically writes `tracker`'s full state to `path`.
+Status SaveCheckpoint(const OnlinePeriodicityTracker& tracker,
+                      const std::string& path);
+
+/// Reads the header of `path` and reports what it holds, verifying magic,
+/// version and CRC. Use to dispatch when the snapshot kind is not known.
+Result<CheckpointKind> ProbeCheckpoint(const std::string& path);
+
+/// Restores a StreamingPeriodDetector from `path`. Fails with IOError on a
+/// missing/unreadable file and InvalidArgument on a torn, corrupt,
+/// wrong-kind or wrong-version snapshot.
+Result<StreamingPeriodDetector> LoadDetectorCheckpoint(
+    const std::string& path);
+
+/// Restores an OnlinePeriodicityTracker from `path` (same error contract).
+Result<OnlinePeriodicityTracker> LoadTrackerCheckpoint(
+    const std::string& path);
+
+}  // namespace periodica
+
+#endif  // PERIODICA_CORE_CHECKPOINT_H_

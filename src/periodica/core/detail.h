@@ -1,6 +1,7 @@
 #ifndef PERIODICA_CORE_DETAIL_H_
 #define PERIODICA_CORE_DETAIL_H_
 
+#include <chrono>
 #include <cstdint>
 #include <span>
 
@@ -8,6 +9,32 @@
 #include "periodica/core/periodicity.h"
 
 namespace periodica::internal {
+
+/// The engines' stop predicate, folding MinerOptions::cancellation and
+/// MinerOptions::deadline_ms into one poll. Constructed at Mine entry (the
+/// deadline clock starts there); Expired() is checked at stage boundaries,
+/// where stopping leaves the table a correct prefix.
+class MiningStopSignal {
+ public:
+  explicit MiningStopSignal(const MinerOptions& options)
+      : token_(options.cancellation) {
+    if (options.deadline_ms > 0) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(options.deadline_ms);
+      has_deadline_ = true;
+    }
+  }
+
+  [[nodiscard]] bool Expired() const {
+    if (token_ != nullptr && token_->Expired()) return true;
+    return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+  }
+
+ private:
+  const util::CancellationToken* token_;
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+};
 
 /// Exact F2 count for one (symbol, phase) pair of one period, as produced by
 /// either engine's analysis step.

@@ -18,6 +18,8 @@ PeriodicityTable ExactConvolutionMiner::Mine(
   std::size_t max_period = options.max_period == 0 ? n / 2 : options.max_period;
   max_period = std::min(max_period, n - 1);
 
+  const internal::MiningStopSignal stop(options);
+
   std::vector<std::size_t> matched_bits;
   std::vector<internal::PhaseCount> counts;
   // (symbol, phase) keys are flattened to symbol * period + phase and
@@ -26,6 +28,12 @@ PeriodicityTable ExactConvolutionMiner::Mine(
 
   for (std::size_t p = std::max<std::size_t>(options.min_period, 1);
        p <= max_period; ++p) {
+    // Between periods is a clean stop point: every period already emitted
+    // is exact, so a cancelled mine returns a correct prefix.
+    if (stop.Expired()) {
+      table.set_partial(true);
+      break;
+    }
     matched_bits.clear();
     mapping_.bits().CollectAndShifted(mapping_.bits(), sigma * p,
                                       &matched_bits);

@@ -35,20 +35,31 @@ FftConvolutionMiner::FftConvolutionMiner(const SymbolSeries& series)
   }
 }
 
-FftConvolutionMiner FftConvolutionMiner::FromStream(SeriesStream* stream) {
-  PERIODICA_CHECK(stream != nullptr);
+Result<FftConvolutionMiner> FftConvolutionMiner::FromStream(
+    SeriesStream* stream) {
+  if (stream == nullptr) {
+    return Status::InvalidArgument("stream must not be null");
+  }
   // The single pass over the input: symbols are requested once, appended to
   // the per-symbol indicator vectors, and never revisited.
   Alphabet alphabet = stream->alphabet();
   std::vector<std::vector<bool>> staging(alphabet.size());
   std::size_t n = 0;
   while (const std::optional<SymbolId> symbol = stream->Next()) {
-    PERIODICA_CHECK_LT(static_cast<std::size_t>(*symbol), alphabet.size());
+    if (static_cast<std::size_t>(*symbol) >= alphabet.size()) {
+      return Status::InvalidArgument(
+          "out-of-alphabet symbol " +
+          std::to_string(static_cast<std::size_t>(*symbol)) +
+          " at stream position " + std::to_string(n) + " (alphabet has " +
+          std::to_string(alphabet.size()) + " symbols)");
+    }
     for (std::size_t k = 0; k < staging.size(); ++k) {
       staging[k].push_back(k == *symbol);
     }
     ++n;
   }
+  // nullopt either ends the stream cleanly or reports a source failure.
+  PERIODICA_RETURN_NOT_OK(stream->status());
   std::vector<DynamicBitset> indicators = BuildIndicators(alphabet, n);
   for (std::size_t k = 0; k < staging.size(); ++k) {
     for (std::size_t i = 0; i < n; ++i) {
@@ -136,6 +147,14 @@ PeriodicityTable FftConvolutionMiner::Mine(const MinerOptions& options) const {
   max_period = std::min(max_period, n_ - 1);
   const std::size_t min_period = std::max<std::size_t>(options.min_period, 1);
 
+  // Cancellation/deadline polls sit at stage boundaries, where stopping
+  // leaves the table a correct prefix (periods emitted so far are exact).
+  const internal::MiningStopSignal stop(options);
+  if (stop.Expired()) {
+    table.set_partial(true);
+    return table;
+  }
+
   // The pool lives for this call only; num_threads == 1 (the default) keeps
   // everything on the calling thread. Every parallel stage writes into
   // per-task slots and is merged in a fixed order below, so the table is
@@ -193,6 +212,10 @@ PeriodicityTable FftConvolutionMiner::Mine(const MinerOptions& options) const {
     // Periods-only mode: summaries with aggregate upper-bound confidences,
     // O(n log n) total (the detection phase of Fig. 5).
     for (std::size_t start = 0; start < candidates.size();) {
+      if (stop.Expired()) {
+        table.set_partial(true);
+        break;
+      }
       std::size_t end = start;
       PeriodSummary summary;
       summary.period = candidates[start].period;
@@ -249,6 +272,10 @@ PeriodicityTable FftConvolutionMiner::Mine(const MinerOptions& options) const {
   const std::size_t window =
       pool_ptr == nullptr ? 1 : pool_ptr->num_workers() * 4;
   for (std::size_t first = 0; first < groups.size(); first += window) {
+    if (stop.Expired()) {
+      table.set_partial(true);
+      break;
+    }
     const std::size_t last = std::min(groups.size(), first + window);
     PERIODICA_CHECK_OK(util::ParallelFor(
         pool_ptr, last - first, [&](std::size_t offset) {

@@ -44,8 +44,12 @@ class FftConvolutionMiner {
  public:
   explicit FftConvolutionMiner(const SymbolSeries& series);
 
-  /// Builds the miner by consuming `stream` exactly once.
-  static FftConvolutionMiner FromStream(SeriesStream* stream);
+  /// Builds the miner by consuming `stream` exactly once. Fails with
+  /// InvalidArgument (carrying the stream position) on an out-of-alphabet
+  /// symbol and propagates the stream's own error if it dies mid-read; wrap
+  /// flaky or unvalidated sources in a ResilientStream
+  /// (series/resilient_stream.h) to retry, skip or remap instead.
+  static Result<FftConvolutionMiner> FromStream(SeriesStream* stream);
 
   /// Merge mining (the paper's reference [4]): combines the one-pass states
   /// of two adjacent segments into the state of their concatenation —

@@ -58,6 +58,7 @@ Result<MiningResult> ObscureMiner::Mine(const SymbolSeries& series) const {
   } else {
     result.periodicities = FftConvolutionMiner(series).Mine(options_);
   }
+  result.partial = result.periodicities.partial();
   PERIODICA_RETURN_NOT_OK(ApplySignificance(series, &result));
   if (!options_.mine_patterns) return result;
   return RunPatternStage(series, std::move(result));
@@ -68,7 +69,8 @@ Result<MiningResult> ObscureMiner::Mine(SeriesStream* stream) const {
   if (stream == nullptr) {
     return Status::InvalidArgument("stream must not be null");
   }
-  const FftConvolutionMiner miner = FftConvolutionMiner::FromStream(stream);
+  PERIODICA_ASSIGN_OR_RETURN(const FftConvolutionMiner miner,
+                             FftConvolutionMiner::FromStream(stream));
   if (miner.size() < 2) {
     return Status::InvalidArgument("stream must yield at least 2 symbols");
   }
@@ -77,6 +79,7 @@ Result<MiningResult> ObscureMiner::Mine(SeriesStream* stream) const {
   result.alphabet_size = miner.alphabet().size();
   result.engine_used = MinerEngine::kFft;
   result.periodicities = miner.Mine(options_);
+  result.partial = result.periodicities.partial();
   if (options_.significance_p_value > 0.0 || options_.mine_patterns) {
     // The indicator vectors hold the whole series; reconstruct once for the
     // downstream stages (no second pass over the stream).
@@ -99,6 +102,7 @@ Status ObscureMiner::ApplySignificance(const SymbolSeries& series,
       FilterSignificant(result->periodicities, series, screen));
   PeriodicityTable screened;
   screened.set_truncated(result->periodicities.truncated());
+  screened.set_partial(result->periodicities.partial());
   for (const SignificantPeriodicity& hit : significant) {
     screened.AddEntry(hit.entry);
   }

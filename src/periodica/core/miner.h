@@ -21,6 +21,11 @@ struct MiningResult {
   MinerEngine engine_used = MinerEngine::kAuto;
   std::size_t series_length = 0;
   std::size_t alphabet_size = 0;
+  /// True when detection stopped early on MinerOptions::cancellation or
+  /// deadline_ms: the periodicities are a correct prefix (periods examined
+  /// before the stop are exact, later ones absent) and the report carries a
+  /// PARTIAL marker.
+  bool partial = false;
 };
 
 /// The paper's obscure periodic patterns mining algorithm (Fig. 2), end to

@@ -10,6 +10,10 @@
 
 namespace periodica {
 
+namespace internal {
+class CheckpointAccess;
+}  // namespace internal
+
 /// Incremental maintenance of Definition-1 statistics for a fixed set of
 /// candidate periods over an unbounded stream — the online setting the
 /// paper's introduction motivates ("real-time systems ... cannot abide the
@@ -60,6 +64,10 @@ class OnlinePeriodicityTracker {
       const OnlinePeriodicityTracker& suffix);
 
  private:
+  /// Checkpoint/resume (core/checkpoint.h) snapshots and restores the
+  /// private state.
+  friend class internal::CheckpointAccess;
+
   OnlinePeriodicityTracker(Alphabet alphabet,
                            std::vector<std::size_t> periods);
 

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "periodica/util/cancellation.h"
+
 namespace periodica {
 
 /// Which convolution engine evaluates the mining.
@@ -63,6 +65,19 @@ struct MinerOptions {
   /// value — only wall time changes (see docs/PERFORMANCE.md). The exact
   /// engine and the pattern stage ignore this field.
   std::size_t num_threads = 1;
+
+  /// Cooperative cancellation for long mines (not owned; may be null). The
+  /// engines poll the token at their stage boundaries — between per-symbol
+  /// FFTs, between period groups — and stop cleanly when it trips: Mine
+  /// still succeeds, returns everything finished so far, and flags the
+  /// result partial (MiningResult::partial, rendered in the report).
+  /// Periods already emitted are exact; later periods are simply absent.
+  const util::CancellationToken* cancellation = nullptr;
+
+  /// Wall-clock budget for one Mine call in milliseconds, measured from
+  /// entry (0 = unlimited). Same clean-stop semantics as `cancellation`;
+  /// both may be set, whichever trips first wins.
+  std::size_t deadline_ms = 0;
 
   /// When true (default), the result carries exact per-(symbol, position)
   /// entries (Definition 1) for every candidate period. When false, only

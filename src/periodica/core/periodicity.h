@@ -56,6 +56,7 @@ class PeriodicityTable {
   }
   void AddSummary(PeriodSummary summary) { summaries_.push_back(summary); }
   void set_truncated(bool truncated) { truncated_ = truncated; }
+  void set_partial(bool partial) { partial_ = partial; }
 
   [[nodiscard]] const std::vector<SymbolPeriodicity>& entries() const {
     return entries_;
@@ -64,6 +65,10 @@ class PeriodicityTable {
     return summaries_;
   }
   [[nodiscard]] bool truncated() const { return truncated_; }
+  /// True when detection stopped early (cancellation or deadline,
+  /// MinerOptions::cancellation/deadline_ms): the table is a correct prefix
+  /// — periods examined before the stop are exact, later ones are absent.
+  [[nodiscard]] bool partial() const { return partial_; }
 
   /// Distinct detected periods, ascending.
   [[nodiscard]] std::vector<std::size_t> Periods() const;
@@ -97,6 +102,7 @@ class PeriodicityTable {
   std::vector<SymbolPeriodicity> entries_;
   std::vector<PeriodSummary> summaries_;
   bool truncated_ = false;
+  bool partial_ = false;
 };
 
 }  // namespace periodica

@@ -38,6 +38,11 @@ Status RenderMiningResult(const MiningResult& result, const Alphabet& alphabet,
     return options.max_rows != 0 && rows >= options.max_rows;
   };
 
+  if (result.partial) {
+    os << "# PARTIAL: detection stopped early (cancelled or deadline); "
+          "periods listed are exact, later periods were not examined\n";
+  }
+
   if (options.include_summaries) {
     std::vector<std::vector<std::string>> rows;
     for (const PeriodSummary& summary : result.periodicities.summaries()) {

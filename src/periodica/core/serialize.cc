@@ -5,6 +5,8 @@
 #include <sstream>
 #include <vector>
 
+#include "periodica/util/atomic_file.h"
+
 namespace periodica {
 
 namespace {
@@ -15,6 +17,17 @@ std::vector<std::string> SplitLine(const std::string& line) {
   std::istringstream stream(line);
   while (std::getline(stream, cell, ',')) cells.push_back(cell);
   return cells;
+}
+
+/// Normalizes one just-read line in place: strips a CRLF remainder ('\r'
+/// left by getline on Windows-written files) and, on the first line, a
+/// UTF-8 byte-order mark — both common in CSVs that passed through
+/// spreadsheet tools, neither meaningful.
+void NormalizeLine(std::string* line, std::size_t line_number) {
+  if (line_number == 1 && line->rfind("\xEF\xBB\xBF", 0) == 0) {
+    line->erase(0, 3);
+  }
+  if (!line->empty() && line->back() == '\r') line->pop_back();
 }
 
 Result<std::uint64_t> ParseCount(const std::string& text,
@@ -44,16 +57,17 @@ Status WritePeriodicityCsv(const PeriodicityTable& table,
       return Status::InvalidArgument("entry symbol outside the alphabet");
     }
   }
-  std::ofstream file(path);
-  if (!file) return Status::IOError("cannot open '" + path + "' for writing");
-  file << "period,position,symbol,f2,pairs\n";
+  // Staged in memory and committed with write-temp-then-rename, so a crash
+  // (or full disk) mid-write can never leave a truncated CSV under `path`
+  // for ReadPeriodicityCsv to half-parse.
+  std::ostringstream out;
+  out << "period,position,symbol,f2,pairs\n";
   for (const SymbolPeriodicity& entry : table.entries()) {
-    file << entry.period << ',' << entry.position << ','
-         << alphabet.name(entry.symbol) << ',' << entry.f2 << ','
-         << entry.pairs << '\n';
+    out << entry.period << ',' << entry.position << ','
+        << alphabet.name(entry.symbol) << ',' << entry.f2 << ','
+        << entry.pairs << '\n';
   }
-  if (!file) return Status::IOError("write to '" + path + "' failed");
-  return Status::OK();
+  return util::AtomicWriteFile(path, out.str());
 }
 
 Result<PeriodicityTable> ReadPeriodicityCsv(const std::string& path,
@@ -66,12 +80,14 @@ Result<PeriodicityTable> ReadPeriodicityCsv(const std::string& path,
   // Accumulate summaries per period as entries stream in.
   while (std::getline(file, line)) {
     ++line_number;
+    NormalizeLine(&line, line_number);
     if (line.empty()) continue;
     if (line_number == 1 && line.rfind("period,", 0) == 0) continue;
     const std::string context = path + ":" + std::to_string(line_number);
     const std::vector<std::string> cells = SplitLine(line);
     if (cells.size() != 5) {
-      return Status::InvalidArgument(context + ": expected 5 cells");
+      return Status::InvalidArgument(context + ": expected 5 cells, got " +
+                                     std::to_string(cells.size()));
     }
     PERIODICA_ASSIGN_OR_RETURN(const std::uint64_t period,
                                ParseCount(cells[0], context));
@@ -103,17 +119,15 @@ Status WritePatternCsv(const PatternSet& patterns, const Alphabet& alphabet,
           "pattern CSV requires a single-letter alphabet");
     }
   }
-  std::ofstream file(path);
-  if (!file) return Status::IOError("cannot open '" + path + "' for writing");
-  file << "pattern,period,count,support\n";
-  file << std::setprecision(17);  // round-trip doubles exactly
+  std::ostringstream out;
+  out << "pattern,period,count,support\n";
+  out << std::setprecision(17);  // round-trip doubles exactly
   for (const ScoredPattern& scored : patterns.patterns()) {
-    file << scored.pattern.ToString(alphabet) << ','
-         << scored.pattern.period() << ',' << scored.count << ','
-         << scored.support << '\n';
+    out << scored.pattern.ToString(alphabet) << ','
+        << scored.pattern.period() << ',' << scored.count << ','
+        << scored.support << '\n';
   }
-  if (!file) return Status::IOError("write to '" + path + "' failed");
-  return Status::OK();
+  return util::AtomicWriteFile(path, out.str());
 }
 
 Result<PatternSet> ReadPatternCsv(const std::string& path,
@@ -125,12 +139,14 @@ Result<PatternSet> ReadPatternCsv(const std::string& path,
   std::size_t line_number = 0;
   while (std::getline(file, line)) {
     ++line_number;
+    NormalizeLine(&line, line_number);
     if (line.empty()) continue;
     if (line_number == 1 && line.rfind("pattern,", 0) == 0) continue;
     const std::string context = path + ":" + std::to_string(line_number);
     const std::vector<std::string> cells = SplitLine(line);
     if (cells.size() != 4) {
-      return Status::InvalidArgument(context + ": expected 4 cells");
+      return Status::InvalidArgument(context + ": expected 4 cells, got " +
+                                     std::to_string(cells.size()));
     }
     const auto pattern = PeriodicPattern::FromString(cells[0], alphabet);
     if (!pattern.has_value()) {

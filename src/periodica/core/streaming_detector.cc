@@ -38,13 +38,25 @@ void StreamingPeriodDetector::Append(SymbolId symbol) {
   ++n_;
 }
 
-void StreamingPeriodDetector::Consume(SeriesStream* stream) {
-  PERIODICA_CHECK(stream != nullptr);
-  PERIODICA_CHECK(stream->alphabet() == alphabet_)
-      << "stream alphabet differs from the detector's";
+Status StreamingPeriodDetector::Consume(SeriesStream* stream) {
+  if (stream == nullptr) {
+    return Status::InvalidArgument("stream must not be null");
+  }
+  if (!(stream->alphabet() == alphabet_)) {
+    return Status::InvalidArgument(
+        "stream alphabet differs from the detector's");
+  }
   while (const std::optional<SymbolId> symbol = stream->Next()) {
+    if (static_cast<std::size_t>(*symbol) >= alphabet_.size()) {
+      return Status::InvalidArgument(
+          "out-of-alphabet symbol " +
+          std::to_string(static_cast<std::size_t>(*symbol)) +
+          " at stream position " + std::to_string(n_) + " (alphabet has " +
+          std::to_string(alphabet_.size()) + " symbols)");
+    }
     Append(*symbol);
   }
+  return stream->status();
 }
 
 PeriodicityTable StreamingPeriodDetector::Detect(double threshold,

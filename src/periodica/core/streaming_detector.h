@@ -12,6 +12,10 @@
 
 namespace periodica {
 
+namespace internal {
+class CheckpointAccess;
+}  // namespace internal
+
 /// One-pass candidate-period detection over an unbounded stream in bounded
 /// memory — the paper's data-streams motivation taken to its limit. The
 /// FFT engine already reads the input once but keeps the per-symbol
@@ -43,11 +47,16 @@ class StreamingPeriodDetector {
   /// Symbols consumed so far.
   [[nodiscard]] std::size_t size() const { return n_; }
 
-  /// Feeds the next symbol.
+  /// Feeds the next symbol; `symbol` must belong to the alphabet (use
+  /// Consume, or a ResilientStream, for unvalidated input).
   void Append(SymbolId symbol);
 
-  /// Drains `stream` to exhaustion.
-  void Consume(SeriesStream* stream);
+  /// Drains `stream` to exhaustion. Fails with InvalidArgument on an
+  /// alphabet mismatch or an out-of-alphabet symbol (carrying the stream
+  /// position) and propagates the stream's own error if it dies mid-read;
+  /// symbols consumed before the failure remain incorporated, so a caller
+  /// may checkpoint and retry with a fresh source.
+  Status Consume(SeriesStream* stream);
 
   /// Candidate periods over everything consumed so far: every period in
   /// [min_period, max_period] some symbol's aggregate match count could
@@ -59,6 +68,10 @@ class StreamingPeriodDetector {
                                         std::size_t min_pairs = 1) const;
 
  private:
+  /// Checkpoint/resume (core/checkpoint.h) snapshots and restores the
+  /// private state.
+  friend class internal::CheckpointAccess;
+
   StreamingPeriodDetector(Alphabet alphabet, Options options);
 
   Alphabet alphabet_;

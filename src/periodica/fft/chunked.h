@@ -9,6 +9,10 @@ namespace periodica::util {
 class ThreadPool;
 }  // namespace periodica::util
 
+namespace periodica::internal {
+class CheckpointAccess;
+}  // namespace periodica::internal
+
 namespace periodica::fft {
 
 /// Streaming autocorrelation restricted to lags 0..max_lag, computed block
@@ -54,6 +58,11 @@ class BoundedLagAutocorrelator {
   [[nodiscard]] std::vector<double> Lags() const;
 
  private:
+  /// Checkpointing (core/checkpoint.h) snapshots and restores the private
+  /// stream state; blocks staged for a pool must be flushed first (unset the
+  /// pool), so a checkpoint never captures in-flight work.
+  friend class ::periodica::internal::CheckpointAccess;
+
   /// A full block waiting for its correlation pass, snapshotted with the
   /// retained-history tail it must see (pool mode only).
   struct ReadyBlock {

@@ -27,6 +27,7 @@
 #include "periodica/baselines/ma_hellerstein.h"
 #include "periodica/baselines/periodic_trends.h"
 #include "periodica/baselines/warp.h"
+#include "periodica/core/checkpoint.h"
 #include "periodica/core/exact_miner.h"
 #include "periodica/core/fft_miner.h"
 #include "periodica/core/mapping.h"
@@ -52,8 +53,10 @@
 #include "periodica/series/discretize.h"
 #include "periodica/series/io.h"
 #include "periodica/series/resample.h"
+#include "periodica/series/resilient_stream.h"
 #include "periodica/series/series.h"
 #include "periodica/series/stream.h"
+#include "periodica/util/cancellation.h"
 #include "periodica/util/result.h"
 #include "periodica/util/status.h"
 #include "periodica/util/thread_pool.h"

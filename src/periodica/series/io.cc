@@ -1,9 +1,13 @@
 #include "periodica/series/io.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+
+#include "periodica/util/atomic_file.h"
 
 namespace periodica {
 
@@ -20,17 +24,34 @@ std::vector<std::string> SplitCsvLine(const std::string& line) {
   return cells;
 }
 
-bool ParseDouble(const std::string& text, double* out) {
+enum class ParseOutcome { kOk, kNotNumeric, kOutOfRange };
+
+ParseOutcome ParseDouble(const std::string& text, double* out) {
   const char* begin = text.c_str();
   char* end = nullptr;
+  errno = 0;
   const double value = std::strtod(begin, &end);
-  if (end == begin) return false;
+  if (end == begin) return ParseOutcome::kNotNumeric;
   while (*end != '\0') {
-    if (!std::isspace(static_cast<unsigned char>(*end))) return false;
+    if (!std::isspace(static_cast<unsigned char>(*end))) {
+      return ParseOutcome::kNotNumeric;
+    }
     ++end;
   }
+  // A cell like "1e999" overflows to +-inf with ERANGE: report it rather
+  // than feed infinities into the discretizers.
+  if (errno == ERANGE && std::isinf(value)) return ParseOutcome::kOutOfRange;
   *out = value;
-  return true;
+  return ParseOutcome::kOk;
+}
+
+/// Strips a CRLF remainder and, on line 1, a UTF-8 byte-order mark — both
+/// common in spreadsheet-exported CSVs, neither meaningful.
+void NormalizeLine(std::string* line, std::size_t line_number) {
+  if (line_number == 1 && line->rfind("\xEF\xBB\xBF", 0) == 0) {
+    line->erase(0, 3);
+  }
+  if (!line->empty() && line->back() == '\r') line->pop_back();
 }
 
 }  // namespace
@@ -47,6 +68,7 @@ Result<std::vector<double>> ReadCsvColumn(const std::string& path,
   std::size_t line_number = 0;
   while (std::getline(file, line)) {
     ++line_number;
+    NormalizeLine(&line, line_number);
     if (line.empty()) continue;
     const std::vector<std::string> cells = SplitCsvLine(line);
     if (column >= cells.size()) {
@@ -56,29 +78,36 @@ Result<std::vector<double>> ReadCsvColumn(const std::string& path,
                                      std::to_string(column));
     }
     double value = 0.0;
-    if (!ParseDouble(cells[column], &value)) {
-      if (skip_non_numeric) continue;
-      return Status::InvalidArgument(path + ":" + std::to_string(line_number) +
-                                     ": not numeric: '" + cells[column] + "'");
+    switch (ParseDouble(cells[column], &value)) {
+      case ParseOutcome::kOk:
+        values.push_back(value);
+        break;
+      case ParseOutcome::kNotNumeric:
+        if (skip_non_numeric) continue;
+        return Status::InvalidArgument(path + ":" +
+                                       std::to_string(line_number) +
+                                       ": not numeric: '" + cells[column] +
+                                       "'");
+      case ParseOutcome::kOutOfRange:
+        // Overflow is a data problem even in skip_non_numeric mode: the cell
+        // *is* numeric, it just doesn't fit a double.
+        return Status::InvalidArgument(
+            path + ":" + std::to_string(line_number) +
+            ": value out of double range: '" + cells[column] + "'");
     }
-    values.push_back(value);
   }
   return values;
 }
 
 Status WriteCsvColumn(const std::string& path,
                       const std::vector<double>& values) {
-  std::ofstream file(path);
-  if (!file) {
-    return Status::IOError("cannot open '" + path + "' for writing");
-  }
+  // Staged in memory and committed with write-temp-then-rename so a crash or
+  // full disk mid-write cannot leave a truncated file under `path`.
+  std::ostringstream out;
   for (const double value : values) {
-    file << value << '\n';
+    out << value << '\n';
   }
-  if (!file) {
-    return Status::IOError("write to '" + path + "' failed");
-  }
-  return Status::OK();
+  return util::AtomicWriteFile(path, out.str());
 }
 
 Result<SymbolSeries> ReadSymbolSeries(const std::string& path) {
@@ -103,19 +132,13 @@ Status WriteSymbolSeries(const std::string& path, const SymbolSeries& series) {
           "WriteSymbolSeries requires single-letter symbol names");
     }
   }
-  std::ofstream file(path);
-  if (!file) {
-    return Status::IOError("cannot open '" + path + "' for writing");
-  }
+  std::ostringstream out;
   for (std::size_t i = 0; i < series.size(); ++i) {
-    file << alphabet.name(series[i]);
-    if ((i + 1) % 80 == 0) file << '\n';
+    out << alphabet.name(series[i]);
+    if ((i + 1) % 80 == 0) out << '\n';
   }
-  file << '\n';
-  if (!file) {
-    return Status::IOError("write to '" + path + "' failed");
-  }
-  return Status::OK();
+  out << '\n';
+  return util::AtomicWriteFile(path, out.str());
 }
 
 }  // namespace periodica

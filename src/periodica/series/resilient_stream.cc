@@ -1,0 +1,96 @@
+#include "periodica/series/resilient_stream.h"
+
+#include <thread>
+#include <utility>
+
+#include "periodica/util/fault_injector.h"
+#include "periodica/util/logging.h"
+
+namespace periodica {
+
+ResilientStream::ResilientStream(SeriesStream* inner, Options options)
+    : inner_(inner), options_(std::move(options)) {
+  PERIODICA_CHECK(inner_ != nullptr);
+  if (options_.bad_symbol_policy == BadSymbolPolicy::kRemap) {
+    PERIODICA_CHECK_LT(
+        static_cast<std::size_t>(options_.remap_symbol),
+        inner_->alphabet().size())
+        << "remap_symbol must belong to the inner stream's alphabet";
+  }
+}
+
+const Alphabet& ResilientStream::alphabet() const {
+  return inner_->alphabet();
+}
+
+void ResilientStream::Backoff(std::size_t attempt) {
+  if (options_.backoff_base.count() <= 0) return;
+  // Exponential: base * 2^attempt, capped at 2^20 doublings (absurdly past
+  // any sensible max_retries) to keep the shift defined.
+  const std::chrono::milliseconds delay =
+      options_.backoff_base * (1LL << std::min<std::size_t>(attempt, 20));
+  if (options_.sleep_fn) {
+    options_.sleep_fn(delay);
+  } else {
+    std::this_thread::sleep_for(delay);
+  }
+}
+
+std::optional<SymbolId> ResilientStream::Next() {
+  if (!status_.ok()) return std::nullopt;
+  const std::size_t sigma = inner_->alphabet().size();
+  std::size_t attempts = 0;
+  while (true) {
+    std::optional<SymbolId> symbol;
+    Status error;
+    if (Status fault = util::FaultInjector::Check("resilient_stream/next");
+        !fault.ok()) {
+      error = std::move(fault);
+    } else {
+      symbol = inner_->Next();
+      if (!symbol.has_value()) error = inner_->status();
+    }
+
+    if (symbol.has_value()) {
+      attempts = 0;
+      ++consumed_;
+      if (static_cast<std::size_t>(*symbol) >= sigma) {
+        switch (options_.bad_symbol_policy) {
+          case BadSymbolPolicy::kError:
+            status_ = Status::InvalidArgument(
+                "out-of-alphabet symbol " +
+                std::to_string(static_cast<std::size_t>(*symbol)) +
+                " at stream position " + std::to_string(consumed_ - 1) +
+                " (alphabet has " + std::to_string(sigma) + " symbols)");
+            return std::nullopt;
+          case BadSymbolPolicy::kSkip:
+            ++skipped_;
+            continue;
+          case BadSymbolPolicy::kRemap:
+            ++remapped_;
+            symbol = options_.remap_symbol;
+            break;
+        }
+      }
+      ++position_;
+      return symbol;
+    }
+
+    if (error.ok()) return std::nullopt;  // clean end of stream
+    if (!error.IsIOError() || attempts >= options_.max_retries) {
+      status_ = Status(
+          error.code(),
+          "source failed at stream position " + std::to_string(consumed_) +
+              (attempts > 0
+                   ? " after " + std::to_string(attempts) + " retries"
+                   : "") +
+              ": " + error.message());
+      return std::nullopt;
+    }
+    Backoff(attempts);
+    ++attempts;
+    ++retries_;
+  }
+}
+
+}  // namespace periodica

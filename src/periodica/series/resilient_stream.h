@@ -1,0 +1,92 @@
+#ifndef PERIODICA_SERIES_RESILIENT_STREAM_H_
+#define PERIODICA_SERIES_RESILIENT_STREAM_H_
+
+#include <chrono>
+#include <functional>
+#include <optional>
+
+#include "periodica/series/stream.h"
+#include "periodica/util/status.h"
+
+namespace periodica {
+
+/// Fault-tolerant decorator for any SeriesStream: because the consumer reads
+/// the source exactly once, a transient hiccup or one bad symbol must not
+/// cost the whole stream. ResilientStream sits between a flaky source and a
+/// one-pass consumer and absorbs both failure classes:
+///
+///  * **Transient source errors** (inner Next() returns nullopt with a
+///    non-OK IOError status): retried up to `max_retries` times per symbol
+///    with exponential backoff (`backoff_base`, doubling per attempt).
+///    Non-IOError failures are considered permanent and fail fast — a
+///    malformed source will not heal on retry. When retries are exhausted,
+///    the stream ends with an IOError carrying the stream position.
+///
+///  * **Out-of-alphabet symbols**: handled per `bad_symbol_policy` — fail
+///    the stream with InvalidArgument (kError, the default), drop the symbol
+///    (kSkip), or substitute `remap_symbol` (kRemap, e.g. an explicit
+///    "unknown" level).
+///
+/// After Next() returns nullopt, status() distinguishes a clean end of
+/// stream (OK) from a failure; counters report how eventful the ride was.
+///
+/// Fault-injection site "resilient_stream/next" (util/fault_injector.h)
+/// fires *instead of* consulting the source, so tests can script flakiness
+/// against any inner stream.
+class ResilientStream : public SeriesStream {
+ public:
+  enum class BadSymbolPolicy {
+    kError,  ///< fail the stream (InvalidArgument with the position)
+    kSkip,   ///< drop the symbol and keep reading
+    kRemap,  ///< deliver `remap_symbol` instead
+  };
+
+  struct Options {
+    /// Retries per symbol before the stream fails (0 = fail on first error).
+    std::size_t max_retries = 3;
+    /// First retry delay; doubles on each further retry. Zero disables
+    /// sleeping entirely.
+    std::chrono::milliseconds backoff_base{0};
+    BadSymbolPolicy bad_symbol_policy = BadSymbolPolicy::kError;
+    /// Substitute for out-of-alphabet symbols under kRemap; must be a valid
+    /// id in the inner stream's alphabet.
+    SymbolId remap_symbol = 0;
+    /// Test seam: invoked instead of sleeping for each backoff pause.
+    /// Default (null) sleeps the calling thread.
+    std::function<void(std::chrono::milliseconds)> sleep_fn;
+  };
+
+  /// `inner` is caller-owned and must outlive this stream.
+  ResilientStream(SeriesStream* inner, Options options);
+
+  [[nodiscard]] const Alphabet& alphabet() const override;
+  std::optional<SymbolId> Next() override;
+  [[nodiscard]] Status status() const override { return status_; }
+
+  /// Symbols delivered downstream.
+  [[nodiscard]] std::size_t position() const { return position_; }
+  /// Symbols pulled from the inner stream (delivered + skipped).
+  [[nodiscard]] std::size_t consumed() const { return consumed_; }
+  /// Transient-error retries performed.
+  [[nodiscard]] std::size_t retries() const { return retries_; }
+  /// Out-of-alphabet symbols dropped (kSkip).
+  [[nodiscard]] std::size_t skipped() const { return skipped_; }
+  /// Out-of-alphabet symbols remapped (kRemap).
+  [[nodiscard]] std::size_t remapped() const { return remapped_; }
+
+ private:
+  void Backoff(std::size_t attempt);
+
+  SeriesStream* inner_;  // not owned
+  Options options_;
+  Status status_;
+  std::size_t position_ = 0;
+  std::size_t consumed_ = 0;
+  std::size_t retries_ = 0;
+  std::size_t skipped_ = 0;
+  std::size_t remapped_ = 0;
+};
+
+}  // namespace periodica
+
+#endif  // PERIODICA_SERIES_RESILIENT_STREAM_H_

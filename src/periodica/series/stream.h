@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "periodica/series/series.h"
+#include "periodica/util/status.h"
 
 namespace periodica {
 
@@ -21,6 +22,12 @@ class SeriesStream {
 
   /// Next symbol, or nullopt at end of stream.
   virtual std::optional<SymbolId> Next() = 0;
+
+  /// Why the last Next() returned nullopt: OK for a clean end of stream, an
+  /// error (typically IOError) when the source failed mid-stream. Consumers
+  /// that care about fault tolerance check this after draining; in-memory
+  /// streams never fail, hence the OK default.
+  [[nodiscard]] virtual Status status() const { return Status::OK(); }
 };
 
 /// Streams an in-memory series (useful to prove batch/stream equivalence).

@@ -1,0 +1,60 @@
+#include "periodica/util/atomic_file.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "periodica/util/fault_injector.h"
+
+namespace periodica::util {
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents) {
+  const std::string temp_path = path + ".tmp";
+  if (const Status fault = FaultInjector::Check("atomic_file/open");
+      !fault.ok()) {
+    return Status::IOError("cannot open '" + temp_path +
+                           "' for writing: " + fault.message());
+  }
+  std::ofstream file(temp_path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    return Status::IOError("cannot open '" + temp_path + "' for writing");
+  }
+  if (const Status fault = FaultInjector::Check("atomic_file/write");
+      !fault.ok()) {
+    // Simulated kill mid-write: half the payload reaches the temp file, the
+    // process "dies" before the commit rename. The destination survives.
+    file.write(contents.data(),
+               static_cast<std::streamsize>(contents.size() / 2));
+    file.flush();
+    return Status::IOError("write to '" + temp_path +
+                           "' failed: " + fault.message());
+  }
+  file.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  file.flush();
+  if (!file) {
+    // E.g. the disk filled up; remove the unusable temp file best-effort.
+    file.close();
+    std::error_code ec;
+    std::filesystem::remove(temp_path, ec);
+    return Status::IOError("write to '" + temp_path + "' failed");
+  }
+  file.close();
+  if (!file) {
+    return Status::IOError("closing '" + temp_path + "' failed");
+  }
+  if (const Status fault = FaultInjector::Check("atomic_file/rename");
+      !fault.ok()) {
+    return Status::IOError("renaming '" + temp_path + "' to '" + path +
+                           "' failed: " + fault.message());
+  }
+  std::error_code ec;
+  std::filesystem::rename(temp_path, path, ec);
+  if (ec) {
+    return Status::IOError("renaming '" + temp_path + "' to '" + path +
+                           "' failed: " + ec.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace periodica::util

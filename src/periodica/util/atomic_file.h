@@ -1,0 +1,32 @@
+#ifndef PERIODICA_UTIL_ATOMIC_FILE_H_
+#define PERIODICA_UTIL_ATOMIC_FILE_H_
+
+#include <string>
+#include <string_view>
+
+#include "periodica/util/status.h"
+
+namespace periodica::util {
+
+/// Crash-safe whole-file replacement: `contents` is written to a sibling
+/// temp file (`path` + ".tmp"), flushed, and only then renamed over `path`.
+/// The rename is the commit point — a crash (or injected fault) at any
+/// earlier moment leaves the previous `path` intact, so readers never see a
+/// half-written file; at worst a stale `.tmp` litters the directory and is
+/// overwritten by the next attempt.
+///
+/// Failures (directory missing, disk full at flush, rename across devices)
+/// return IOError naming the path; the destination is untouched in every
+/// error case.
+///
+/// Fault-injection sites (see util/fault_injector.h), in hit order:
+///   "atomic_file/open"    fails before the temp file is created;
+///   "atomic_file/write"   simulates a kill mid-write: a *torn* temp file
+///                         (a prefix of the contents) is left on disk and
+///                         the destination is not replaced;
+///   "atomic_file/rename"  fails at the commit point, temp left behind.
+Status AtomicWriteFile(const std::string& path, std::string_view contents);
+
+}  // namespace periodica::util
+
+#endif  // PERIODICA_UTIL_ATOMIC_FILE_H_

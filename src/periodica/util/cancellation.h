@@ -1,0 +1,63 @@
+#ifndef PERIODICA_UTIL_CANCELLATION_H_
+#define PERIODICA_UTIL_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace periodica::util {
+
+/// Cooperative cancellation for long mines. The owner keeps the token and
+/// calls RequestCancel() (or arms a deadline); workers poll Expired() at
+/// their checkpoints — between engine stages, between period groups — and
+/// wind down cleanly, returning whatever they finished with the partial flag
+/// set (see MinerOptions::cancellation and MiningResult::partial).
+///
+/// Thread-safe: RequestCancel / SetDeadline may race with Expired from any
+/// number of reader threads. Readers pay one relaxed atomic load plus, only
+/// when a deadline is armed, one steady_clock read.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Requests cancellation; irreversible, visible to all threads.
+  void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True once RequestCancel has been called.
+  [[nodiscard]] bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Arms (or re-arms) an absolute deadline.
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+  }
+
+  /// Arms a deadline `timeout` from now.
+  void SetTimeout(std::chrono::nanoseconds timeout) {
+    SetDeadline(std::chrono::steady_clock::now() + timeout);
+  }
+
+  /// True once cancelled or past the armed deadline — the predicate workers
+  /// poll.
+  [[nodiscard]] bool Expired() const {
+    if (cancelled()) return true;
+    const std::int64_t deadline =
+        deadline_ns_.load(std::memory_order_relaxed);
+    if (deadline == 0) return false;
+    return std::chrono::steady_clock::now().time_since_epoch().count() >=
+           deadline;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  /// steady_clock time_since_epoch in its native ticks; 0 = no deadline.
+  std::atomic<std::int64_t> deadline_ns_{0};
+};
+
+}  // namespace periodica::util
+
+#endif  // PERIODICA_UTIL_CANCELLATION_H_

@@ -1,0 +1,47 @@
+#include "periodica/util/crc32.h"
+
+#include <array>
+
+namespace periodica::util {
+
+namespace {
+
+std::array<std::uint32_t, 256> BuildTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) != 0 ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& Table() {
+  static const std::array<std::uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+void Crc32::Update(std::span<const std::byte> data) {
+  const auto& table = Table();
+  for (const std::byte b : data) {
+    state_ = (state_ >> 8) ^
+             table[(state_ ^ static_cast<std::uint32_t>(b)) & 0xFFu];
+  }
+}
+
+void Crc32::Update(const void* data, std::size_t size) {
+  Update(std::span<const std::byte>(static_cast<const std::byte*>(data),
+                                    size));
+}
+
+std::uint32_t Crc32Of(std::string_view data) {
+  Crc32 crc;
+  crc.Update(data.data(), data.size());
+  return crc.value();
+}
+
+}  // namespace periodica::util

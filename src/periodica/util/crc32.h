@@ -1,0 +1,32 @@
+#ifndef PERIODICA_UTIL_CRC32_H_
+#define PERIODICA_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace periodica::util {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
+/// guarding checkpoint snapshots against torn writes and bit rot. The
+/// incremental form lets a serializer checksum while it streams.
+class Crc32 {
+ public:
+  /// Feeds `data` into the running checksum.
+  void Update(std::span<const std::byte> data);
+  void Update(const void* data, std::size_t size);
+
+  /// The checksum of everything fed so far.
+  [[nodiscard]] std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot checksum of a buffer.
+[[nodiscard]] std::uint32_t Crc32Of(std::string_view data);
+
+}  // namespace periodica::util
+
+#endif  // PERIODICA_UTIL_CRC32_H_

@@ -1,0 +1,85 @@
+#include "periodica/util/fault_injector.h"
+
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace periodica::util {
+
+namespace {
+
+struct ArmedSite {
+  Status status;
+  std::uint64_t fire_on_nth = 1;
+  bool repeat = false;
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+};
+
+// Number of currently armed sites; the release fast path checks only this.
+std::atomic<int> armed_count{0};
+
+std::mutex& RegistryMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::unordered_map<std::string, ArmedSite>& Registry() {
+  static auto* registry = new std::unordered_map<std::string, ArmedSite>();
+  return *registry;
+}
+
+}  // namespace
+
+Status FaultInjector::Check(const std::string& site) {
+  if (armed_count.load(std::memory_order_relaxed) == 0) return Status::OK();
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(site);
+  if (it == Registry().end()) return Status::OK();
+  ArmedSite& armed = it->second;
+  ++armed.hits;
+  const bool fires = armed.repeat ? armed.hits >= armed.fire_on_nth
+                                  : armed.hits == armed.fire_on_nth;
+  if (!fires) return Status::OK();
+  ++armed.fires;
+  return armed.status;
+}
+
+std::uint64_t FaultInjector::HitCount(const std::string& site) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  const auto it = Registry().find(site);
+  return it == Registry().end() ? 0 : it->second.hits;
+}
+
+std::uint64_t FaultInjector::FireCount(const std::string& site) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  const auto it = Registry().find(site);
+  return it == Registry().end() ? 0 : it->second.fires;
+}
+
+void FaultInjector::Arm(const std::string& site, Status status,
+                        std::uint64_t fire_on_nth, bool repeat) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto [it, inserted] = Registry().insert_or_assign(
+      site, ArmedSite{std::move(status), fire_on_nth, repeat, 0, 0});
+  (void)it;
+  if (inserted) armed_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  if (Registry().erase(site) > 0) {
+    armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+ScopedFault::ScopedFault(std::string site, Status status,
+                         std::uint64_t fire_on_nth, bool repeat)
+    : site_(std::move(site)) {
+  FaultInjector::Arm(site_, std::move(status), fire_on_nth, repeat);
+}
+
+ScopedFault::~ScopedFault() { FaultInjector::Disarm(site_); }
+
+}  // namespace periodica::util

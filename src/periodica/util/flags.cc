@@ -111,6 +111,7 @@ std::string FlagSet::Usage() const {
     out += "  --" + flag.name + "  " + flag.help +
            " (default: " + flag.default_repr + ")\n";
   }
+  if (!epilog_.empty()) out += epilog_;
   return out;
 }
 

@@ -44,6 +44,10 @@ class FlagSet {
     return positional_;
   }
 
+  /// Appends free-form text (e.g. an exit-code table) after the flag list in
+  /// Usage() and --help output.
+  void SetEpilog(std::string epilog) { epilog_ = std::move(epilog); }
+
   /// Renders the usage text (also printed on --help).
   [[nodiscard]] std::string Usage() const;
 
@@ -63,6 +67,7 @@ class FlagSet {
   static std::string Repr(const Flag& flag);
 
   std::string program_name_;
+  std::string epilog_;
   std::vector<Flag> flags_;
   std::vector<std::string> positional_;
 };

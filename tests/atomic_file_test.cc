@@ -1,0 +1,118 @@
+#include "periodica/util/atomic_file.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "periodica/util/fault_injector.h"
+
+namespace periodica::util {
+namespace {
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    const auto dir = std::filesystem::temp_directory_path() /
+                     ("periodica_atomic_file_test_" +
+                      std::to_string(::getpid()));
+    std::filesystem::create_directories(dir);
+    created_.push_back(dir / name);
+    created_.push_back(dir / (name + ".tmp"));
+    return (dir / name).string();
+  }
+
+  static std::string ReadAll(const std::string& path) {
+    std::ifstream file(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(file),
+            std::istreambuf_iterator<char>()};
+  }
+
+  void TearDown() override {
+    for (const auto& path : created_) {
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+    }
+  }
+
+  std::vector<std::filesystem::path> created_;
+};
+
+TEST_F(AtomicFileTest, WritesContents) {
+  const std::string path = TempPath("plain.txt");
+  ASSERT_TRUE(AtomicWriteFile(path, "hello\nworld\n").ok());
+  EXPECT_EQ(ReadAll(path), "hello\nworld\n");
+  // The temp staging file is gone after the commit rename.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST_F(AtomicFileTest, OverwritesAtomically) {
+  const std::string path = TempPath("overwrite.txt");
+  ASSERT_TRUE(AtomicWriteFile(path, "old contents").ok());
+  ASSERT_TRUE(AtomicWriteFile(path, "new").ok());
+  EXPECT_EQ(ReadAll(path), "new");
+}
+
+TEST_F(AtomicFileTest, WritesBinaryDataVerbatim) {
+  const std::string path = TempPath("binary.bin");
+  std::string data = "\x00\x01\xFF\r\n\x7F";
+  data.resize(6);  // keep the embedded NUL
+  ASSERT_TRUE(AtomicWriteFile(path, data).ok());
+  EXPECT_EQ(ReadAll(path), data);
+}
+
+TEST_F(AtomicFileTest, UnwritableDirectoryIsIOError) {
+  const Status status = AtomicWriteFile("/nonexistent/dir/file.txt", "x");
+  EXPECT_TRUE(status.IsIOError());
+  // The message names the path the caller needs to fix.
+  EXPECT_NE(status.message().find("/nonexistent/dir/file.txt"),
+            std::string::npos);
+}
+
+TEST_F(AtomicFileTest, KillMidWriteLeavesDestinationUntouched) {
+  const std::string path = TempPath("torn.txt");
+  ASSERT_TRUE(AtomicWriteFile(path, "previous good contents").ok());
+
+  ScopedFault fault("atomic_file/write", Status::IOError("injected kill"));
+  const Status status = AtomicWriteFile(path, "replacement that dies");
+  EXPECT_TRUE(status.IsIOError());
+
+  // The destination still holds the previous committed contents; the torn
+  // half-written temp is what the simulated crash left behind.
+  EXPECT_EQ(ReadAll(path), "previous good contents");
+  ASSERT_TRUE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_LT(std::filesystem::file_size(path + ".tmp"),
+            std::string("replacement that dies").size());
+}
+
+TEST_F(AtomicFileTest, FailedOpenLeavesDestinationUntouched) {
+  const std::string path = TempPath("noopen.txt");
+  ASSERT_TRUE(AtomicWriteFile(path, "good").ok());
+  ScopedFault fault("atomic_file/open", Status::IOError("injected ENOSPC"));
+  EXPECT_TRUE(AtomicWriteFile(path, "bad").IsIOError());
+  EXPECT_EQ(ReadAll(path), "good");
+}
+
+TEST_F(AtomicFileTest, FailedRenameLeavesDestinationUntouched) {
+  const std::string path = TempPath("norename.txt");
+  ASSERT_TRUE(AtomicWriteFile(path, "good").ok());
+  ScopedFault fault("atomic_file/rename", Status::IOError("injected"));
+  EXPECT_TRUE(AtomicWriteFile(path, "bad").IsIOError());
+  EXPECT_EQ(ReadAll(path), "good");
+}
+
+TEST_F(AtomicFileTest, SucceedsAfterTransientFaultClears) {
+  const std::string path = TempPath("retry.txt");
+  {
+    ScopedFault fault("atomic_file/write", Status::IOError("injected"));
+    EXPECT_TRUE(AtomicWriteFile(path, "first try").IsIOError());
+  }
+  ASSERT_TRUE(AtomicWriteFile(path, "second try").ok());
+  EXPECT_EQ(ReadAll(path), "second try");
+}
+
+}  // namespace
+}  // namespace periodica::util

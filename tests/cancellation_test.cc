@@ -1,0 +1,139 @@
+#include "periodica/util/cancellation.h"
+
+#include <chrono>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "periodica/core/miner.h"
+#include "periodica/core/report.h"
+#include "periodica/util/rng.h"
+
+namespace periodica {
+namespace {
+
+SymbolSeries RandomSeries(std::size_t n, std::size_t sigma,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  SymbolSeries series(Alphabet::Latin(sigma));
+  series.Reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    series.Append(static_cast<SymbolId>(rng.UniformInt(sigma)));
+  }
+  return series;
+}
+
+TEST(CancellationTokenTest, StartsLive) {
+  util::CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.Expired());
+}
+
+TEST(CancellationTokenTest, RequestCancelExpires) {
+  util::CancellationToken token;
+  token.RequestCancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.Expired());
+}
+
+TEST(CancellationTokenTest, PastDeadlineExpires) {
+  util::CancellationToken token;
+  token.SetTimeout(std::chrono::nanoseconds(0));
+  EXPECT_TRUE(token.Expired());
+  EXPECT_FALSE(token.cancelled());  // deadline, not an explicit cancel
+}
+
+TEST(CancellationTokenTest, FutureDeadlineDoesNotExpire) {
+  util::CancellationToken token;
+  token.SetTimeout(std::chrono::hours(24));
+  EXPECT_FALSE(token.Expired());
+}
+
+class CancelledMine : public ::testing::TestWithParam<MinerEngine> {};
+
+TEST_P(CancelledMine, ReturnsEmptyPartialResult) {
+  const SymbolSeries series = RandomSeries(600, 4, 11);
+  util::CancellationToken token;
+  token.RequestCancel();
+  MinerOptions options;
+  options.threshold = 0.3;
+  options.engine = GetParam();
+  options.cancellation = &token;
+  const auto result = ObscureMiner(options).Mine(series);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->partial);
+  EXPECT_TRUE(result->periodicities.summaries().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, CancelledMine,
+                         ::testing::Values(MinerEngine::kExact,
+                                           MinerEngine::kFft));
+
+TEST(CancellationMinerTest, UncancelledTokenDoesNotPerturbResult) {
+  const SymbolSeries series = RandomSeries(400, 3, 7);
+  MinerOptions options;
+  options.threshold = 0.3;
+  const auto plain = ObscureMiner(options).Mine(series);
+  ASSERT_TRUE(plain.ok());
+
+  util::CancellationToken token;
+  options.cancellation = &token;
+  const auto watched = ObscureMiner(options).Mine(series);
+  ASSERT_TRUE(watched.ok());
+  EXPECT_FALSE(watched->partial);
+  EXPECT_EQ(watched->periodicities.entries(), plain->periodicities.entries());
+  EXPECT_EQ(watched->periodicities.summaries(),
+            plain->periodicities.summaries());
+}
+
+TEST(CancellationMinerTest, StreamMinePropagatesPartial) {
+  const SymbolSeries series = RandomSeries(500, 3, 13);
+  VectorStream stream(series);
+  util::CancellationToken token;
+  token.RequestCancel();
+  MinerOptions options;
+  options.cancellation = &token;
+  const auto result = ObscureMiner(options).Mine(&stream);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->partial);
+}
+
+TEST(CancellationMinerTest, ReportFlagsPartialResult) {
+  const SymbolSeries series = RandomSeries(300, 3, 17);
+  util::CancellationToken token;
+  token.RequestCancel();
+  MinerOptions options;
+  options.cancellation = &token;
+  const auto result = ObscureMiner(options).Mine(series);
+  ASSERT_TRUE(result.ok());
+
+  std::ostringstream out;
+  ASSERT_TRUE(
+      RenderMiningResult(*result, series.alphabet(), {}, out).ok());
+  EXPECT_NE(out.str().find("PARTIAL"), std::string::npos) << out.str();
+
+  // An uncancelled run must not carry the marker.
+  const auto full = ObscureMiner(MinerOptions{}).Mine(series);
+  ASSERT_TRUE(full.ok());
+  std::ostringstream clean;
+  ASSERT_TRUE(
+      RenderMiningResult(*full, series.alphabet(), {}, clean).ok());
+  EXPECT_EQ(clean.str().find("PARTIAL"), std::string::npos);
+}
+
+TEST(CancellationMinerTest, DeadlineOptionStopsLongMine) {
+  // A 1 ms deadline on a large series: the mine must come back quickly and
+  // flag itself partial rather than run to completion. (The poll sits at
+  // period boundaries, so this stays deterministic in outcome even though
+  // the cut point varies.)
+  const SymbolSeries series = RandomSeries(20000, 6, 23);
+  MinerOptions options;
+  options.engine = MinerEngine::kExact;
+  options.deadline_ms = 1;
+  const auto result = ObscureMiner(options).Mine(series);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->partial);
+}
+
+}  // namespace
+}  // namespace periodica

@@ -1,0 +1,357 @@
+#include "periodica/core/checkpoint.h"
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "periodica/util/fault_injector.h"
+#include "periodica/util/logging.h"
+#include "periodica/util/rng.h"
+
+namespace periodica {
+namespace {
+
+SymbolSeries RandomSeries(std::size_t n, std::size_t sigma,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  SymbolSeries series(Alphabet::Latin(sigma));
+  series.Reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    series.Append(static_cast<SymbolId>(rng.UniformInt(sigma)));
+  }
+  return series;
+}
+
+void ExpectTablesEqual(const PeriodicityTable& a, const PeriodicityTable& b) {
+  EXPECT_EQ(a.entries(), b.entries());
+  EXPECT_EQ(a.summaries(), b.summaries());
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    const auto dir = std::filesystem::temp_directory_path() /
+                     ("periodica_checkpoint_test_" +
+                      std::to_string(::getpid()));
+    std::filesystem::create_directories(dir);
+    created_.push_back(dir / name);
+    created_.push_back(dir / (name + ".tmp"));
+    return (dir / name).string();
+  }
+
+  static std::string ReadAll(const std::string& path) {
+    std::ifstream file(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(file),
+            std::istreambuf_iterator<char>()};
+  }
+
+  static void WriteAll(const std::string& path, const std::string& data) {
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    file.write(data.data(), static_cast<std::streamsize>(data.size()));
+  }
+
+  void TearDown() override {
+    for (const auto& path : created_) {
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+    }
+  }
+
+  std::vector<std::filesystem::path> created_;
+};
+
+// ---------------------------------------------------------------------------
+// The tentpole property: resume is exact.
+
+/// (series length, checkpoint position, max_period, seed). Checkpoint
+/// positions are chosen to land mid-block for the bounded correlators
+/// (block_size defaults to >= 4096 here, so any k < 4096 is mid-block).
+class DetectorResume
+    : public CheckpointTest,
+      public ::testing::WithParamInterface<
+          std::tuple<std::size_t, std::size_t, std::size_t, std::uint64_t>> {
+};
+
+TEST_P(DetectorResume, ProducesBitIdenticalDetection) {
+  const auto [n, cut, max_period, seed] = GetParam();
+  const SymbolSeries series = RandomSeries(n, 4, seed);
+  const std::string path = TempPath("detector.pchk");
+
+  auto uninterrupted = StreamingPeriodDetector::Create(
+      series.alphabet(), {.max_period = max_period});
+  ASSERT_TRUE(uninterrupted.ok());
+  for (std::size_t i = 0; i < n; ++i) uninterrupted->Append(series[i]);
+
+  // Interrupted run: consume a prefix, checkpoint, "crash", restore, finish.
+  auto first = StreamingPeriodDetector::Create(series.alphabet(),
+                                               {.max_period = max_period});
+  ASSERT_TRUE(first.ok());
+  for (std::size_t i = 0; i < cut; ++i) first->Append(series[i]);
+  ASSERT_TRUE(SaveCheckpoint(*first, path).ok());
+
+  auto resumed = LoadDetectorCheckpoint(path);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_EQ(resumed->size(), cut);
+  EXPECT_EQ(resumed->max_period(), max_period);
+  for (std::size_t i = cut; i < n; ++i) resumed->Append(series[i]);
+
+  for (const double threshold : {0.1, 0.3, 0.7}) {
+    ExpectTablesEqual(resumed->Detect(threshold),
+                      uninterrupted->Detect(threshold));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Positions, DetectorResume,
+    ::testing::Values(std::make_tuple(500, 1, 20, 1),
+                      std::make_tuple(500, 137, 20, 2),
+                      std::make_tuple(500, 499, 20, 3),
+                      std::make_tuple(2000, 963, 50, 4),
+                      std::make_tuple(2000, 1024, 32, 5)));
+
+TEST_F(CheckpointTest, DetectorRoundTripPreservesDetection) {
+  const SymbolSeries series = RandomSeries(800, 3, 42);
+  auto detector = StreamingPeriodDetector::Create(series.alphabet(),
+                                                  {.max_period = 40});
+  ASSERT_TRUE(detector.ok());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    detector->Append(series[i]);
+  }
+  const std::string path = TempPath("roundtrip.pchk");
+  ASSERT_TRUE(SaveCheckpoint(*detector, path).ok());
+  auto loaded = LoadDetectorCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->size(), detector->size());
+  EXPECT_EQ(loaded->alphabet().size(), detector->alphabet().size());
+  ExpectTablesEqual(loaded->Detect(0.4), detector->Detect(0.4));
+}
+
+TEST_F(CheckpointTest, TrackerResumeIsExact) {
+  const SymbolSeries series = RandomSeries(1200, 3, 77);
+  const std::vector<std::size_t> periods = {3, 7, 24};
+  const std::size_t cut = 531;
+  const std::string path = TempPath("tracker.pchk");
+
+  auto uninterrupted =
+      OnlinePeriodicityTracker::Create(series.alphabet(), periods);
+  ASSERT_TRUE(uninterrupted.ok());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    uninterrupted->Append(series[i]);
+  }
+
+  auto first = OnlinePeriodicityTracker::Create(series.alphabet(), periods);
+  ASSERT_TRUE(first.ok());
+  for (std::size_t i = 0; i < cut; ++i) first->Append(series[i]);
+  ASSERT_TRUE(SaveCheckpoint(*first, path).ok());
+
+  auto resumed = LoadTrackerCheckpoint(path);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_EQ(resumed->size(), cut);
+  EXPECT_EQ(resumed->periods(), periods);
+  for (std::size_t i = cut; i < series.size(); ++i) {
+    resumed->Append(series[i]);
+  }
+
+  ExpectTablesEqual(resumed->Snapshot(0.2), uninterrupted->Snapshot(0.2));
+  for (const std::size_t p : periods) {
+    for (SymbolId s = 0; s < 3; ++s) {
+      for (std::size_t l = 0; l < p; ++l) {
+        EXPECT_EQ(resumed->F2Count(p, s, l), uninterrupted->F2Count(p, s, l))
+            << "p=" << p << " s=" << int(s) << " l=" << l;
+      }
+    }
+  }
+}
+
+TEST_F(CheckpointTest, FreshTrackerRoundTrips) {
+  auto tracker = OnlinePeriodicityTracker::Create(Alphabet::Latin(2), {5});
+  ASSERT_TRUE(tracker.ok());
+  const std::string path = TempPath("fresh.pchk");
+  ASSERT_TRUE(SaveCheckpoint(*tracker, path).ok());
+  auto loaded = LoadTrackerCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-during-checkpoint: the previous snapshot must survive, the torn
+// temp must be rejected, and nothing may crash.
+
+TEST_F(CheckpointTest, KillMidWriteKeepsPreviousSnapshotLoadable) {
+  const SymbolSeries series = RandomSeries(600, 3, 9);
+  auto detector = StreamingPeriodDetector::Create(series.alphabet(),
+                                                  {.max_period = 25});
+  ASSERT_TRUE(detector.ok());
+  const std::string path = TempPath("killed.pchk");
+
+  for (std::size_t i = 0; i < 200; ++i) detector->Append(series[i]);
+  ASSERT_TRUE(SaveCheckpoint(*detector, path).ok());
+
+  for (std::size_t i = 200; i < 400; ++i) detector->Append(series[i]);
+  {
+    util::ScopedFault fault("atomic_file/write",
+                            Status::IOError("injected kill"));
+    EXPECT_TRUE(SaveCheckpoint(*detector, path).IsIOError());
+  }
+
+  // The destination still holds the 200-symbol snapshot...
+  auto recovered = LoadDetectorCheckpoint(path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(recovered->size(), 200u);
+
+  // ...the torn temp the "crash" left behind is rejected, not half-read...
+  const std::string torn_temp = path + ".tmp";
+  ASSERT_TRUE(std::filesystem::exists(torn_temp));
+  const auto torn = LoadDetectorCheckpoint(torn_temp);
+  EXPECT_TRUE(torn.status().IsInvalidArgument()) << torn.status();
+
+  // ...and resuming from the survivor converges with the uninterrupted run.
+  for (std::size_t i = 200; i < series.size(); ++i) {
+    recovered->Append(series[i]);
+  }
+  for (std::size_t i = 400; i < series.size(); ++i) {
+    detector->Append(series[i]);
+  }
+  ExpectTablesEqual(recovered->Detect(0.3), detector->Detect(0.3));
+}
+
+TEST_F(CheckpointTest, CheckpointOverwriteIsAtomic) {
+  auto tracker = OnlinePeriodicityTracker::Create(Alphabet::Latin(2), {4});
+  ASSERT_TRUE(tracker.ok());
+  const std::string path = TempPath("overwrite.pchk");
+  ASSERT_TRUE(SaveCheckpoint(*tracker, path).ok());
+  tracker->Append(0);
+  util::ScopedFault fault("atomic_file/rename", Status::IOError("injected"));
+  EXPECT_TRUE(SaveCheckpoint(*tracker, path).IsIOError());
+  auto loaded = LoadTrackerCheckpoint(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 0u);  // the pre-crash snapshot
+}
+
+// ---------------------------------------------------------------------------
+// Validation: every way a snapshot can be damaged is detected.
+
+class DamagedCheckpointTest : public CheckpointTest {
+ protected:
+  std::string WriteValidDetectorCheckpoint(const std::string& name) {
+    const SymbolSeries series = RandomSeries(300, 3, 21);
+    auto detector = StreamingPeriodDetector::Create(series.alphabet(),
+                                                    {.max_period = 15});
+    PERIODICA_CHECK(detector.ok());
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      detector->Append(series[i]);
+    }
+    const std::string path = TempPath(name);
+    PERIODICA_CHECK_OK(SaveCheckpoint(*detector, path));
+    return path;
+  }
+};
+
+TEST_F(DamagedCheckpointTest, MissingFileIsIOError) {
+  EXPECT_TRUE(
+      LoadDetectorCheckpoint("/nonexistent/state.pchk").status().IsIOError());
+}
+
+TEST_F(DamagedCheckpointTest, EmptyFileIsRejected) {
+  const std::string path = TempPath("empty.pchk");
+  WriteAll(path, "");
+  const auto status = LoadDetectorCheckpoint(path).status();
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("not a checkpoint"), std::string::npos)
+      << status;
+}
+
+TEST_F(DamagedCheckpointTest, BadMagicIsRejected) {
+  const std::string path = WriteValidDetectorCheckpoint("magic.pchk");
+  std::string contents = ReadAll(path);
+  contents[0] = 'X';
+  WriteAll(path, contents);
+  const auto status = LoadDetectorCheckpoint(path).status();
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("bad magic"), std::string::npos) << status;
+}
+
+TEST_F(DamagedCheckpointTest, TruncationIsReportedAsTorn) {
+  const std::string path = WriteValidDetectorCheckpoint("torn.pchk");
+  const std::string contents = ReadAll(path);
+  WriteAll(path, contents.substr(0, contents.size() - 10));
+  const auto status = LoadDetectorCheckpoint(path).status();
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("torn"), std::string::npos) << status;
+}
+
+TEST_F(DamagedCheckpointTest, TrailingGarbageIsRejected) {
+  const std::string path = WriteValidDetectorCheckpoint("long.pchk");
+  WriteAll(path, ReadAll(path) + "extra");
+  EXPECT_TRUE(LoadDetectorCheckpoint(path).status().IsInvalidArgument());
+}
+
+TEST_F(DamagedCheckpointTest, BitFlipFailsTheChecksum) {
+  const std::string path = WriteValidDetectorCheckpoint("flipped.pchk");
+  std::string contents = ReadAll(path);
+  contents[contents.size() / 2] ^= 0x01;  // one bit, mid-payload
+  WriteAll(path, contents);
+  const auto status = LoadDetectorCheckpoint(path).status();
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("checksum"), std::string::npos) << status;
+}
+
+TEST_F(DamagedCheckpointTest, UnsupportedVersionIsRejected) {
+  const std::string path = WriteValidDetectorCheckpoint("version.pchk");
+  std::string contents = ReadAll(path);
+  contents[4] = 99;  // version field, little-endian low byte
+  WriteAll(path, contents);
+  const auto status = LoadDetectorCheckpoint(path).status();
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("version"), std::string::npos) << status;
+}
+
+TEST_F(DamagedCheckpointTest, WrongKindIsRejectedWithBothNames) {
+  auto tracker = OnlinePeriodicityTracker::Create(Alphabet::Latin(2), {3});
+  ASSERT_TRUE(tracker.ok());
+  const std::string path = TempPath("kind.pchk");
+  ASSERT_TRUE(SaveCheckpoint(*tracker, path).ok());
+  const auto status = LoadDetectorCheckpoint(path).status();
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("OnlinePeriodicityTracker"),
+            std::string::npos)
+      << status;
+
+  const std::string detector_path =
+      WriteValidDetectorCheckpoint("kind2.pchk");
+  EXPECT_TRUE(
+      LoadTrackerCheckpoint(detector_path).status().IsInvalidArgument());
+}
+
+TEST_F(DamagedCheckpointTest, ProbeReportsTheKind) {
+  const std::string detector_path = WriteValidDetectorCheckpoint("p1.pchk");
+  auto kind = ProbeCheckpoint(detector_path);
+  ASSERT_TRUE(kind.ok());
+  EXPECT_EQ(*kind, CheckpointKind::kStreamingDetector);
+
+  auto tracker = OnlinePeriodicityTracker::Create(Alphabet::Latin(2), {3});
+  ASSERT_TRUE(tracker.ok());
+  const std::string tracker_path = TempPath("p2.pchk");
+  ASSERT_TRUE(SaveCheckpoint(*tracker, tracker_path).ok());
+  kind = ProbeCheckpoint(tracker_path);
+  ASSERT_TRUE(kind.ok());
+  EXPECT_EQ(*kind, CheckpointKind::kOnlineTracker);
+}
+
+TEST_F(DamagedCheckpointTest, InjectedReadFaultIsIOError) {
+  const std::string path = WriteValidDetectorCheckpoint("readfault.pchk");
+  util::ScopedFault fault("checkpoint/read",
+                          Status::IOError("injected EIO"));
+  EXPECT_TRUE(LoadDetectorCheckpoint(path).status().IsIOError());
+  // One-shot fault: the retry succeeds against the same intact file.
+  EXPECT_TRUE(LoadDetectorCheckpoint(path).ok());
+}
+
+}  // namespace
+}  // namespace periodica

@@ -38,17 +38,33 @@ class CliTest : public ::testing::Test {
     return path.string();
   }
 
-  /// Runs the CLI, captures stdout, returns {exit_code, output}.
-  std::pair<int, std::string> Run(const std::string& args) {
+  struct RunResult {
+    int exit_code;
+    std::string output;  // stdout
+    std::string errors;  // stderr
+  };
+
+  static std::string Slurp(const std::filesystem::path& path) {
+    std::ifstream file(path);
+    return {std::istreambuf_iterator<char>(file),
+            std::istreambuf_iterator<char>()};
+  }
+
+  /// Runs the CLI, capturing stdout and stderr separately.
+  RunResult Run(const std::string& args) {
     const auto out_path = dir_ / "stdout.txt";
+    const auto err_path = dir_ / "stderr.txt";
     const std::string command = std::string(PERIODICA_CLI_PATH) + " " + args +
-                                " > " + out_path.string() + " 2>/dev/null";
+                                " > " + out_path.string() + " 2> " +
+                                err_path.string();
     const int raw = std::system(command.c_str());
-    const int exit_code = WEXITSTATUS(raw);
-    std::ifstream file(out_path);
-    std::string output((std::istreambuf_iterator<char>(file)),
-                       std::istreambuf_iterator<char>());
-    return {exit_code, output};
+    return {WEXITSTATUS(raw), Slurp(out_path), Slurp(err_path)};
+  }
+
+  static std::size_t CountLines(const std::string& text) {
+    std::size_t lines = 0;
+    for (const char c : text) lines += c == '\n';
+    return lines;
   }
 
   std::filesystem::path dir_;
@@ -56,7 +72,7 @@ class CliTest : public ::testing::Test {
 
 TEST_F(CliTest, MinesSymbolFile) {
   const std::string input = WriteFile("series.txt", "abcabbabcb\n");
-  const auto [exit_code, output] =
+  [[maybe_unused]] const auto [exit_code, output, errors] =
       Run("--input " + input + " --threshold 0.5 --max_period 5 --patterns");
   EXPECT_EQ(exit_code, 0);
   EXPECT_NE(output.find("# periods"), std::string::npos);
@@ -71,7 +87,7 @@ TEST_F(CliTest, CsvModeDiscretizesAndMines) {
     csv += std::to_string(i) + "," + std::to_string(10 * (i % 3)) + "\n";
   }
   const std::string input = WriteFile("values.csv", csv);
-  const auto [exit_code, output] =
+  [[maybe_unused]] const auto [exit_code, output, errors] =
       Run("--input " + input +
           " --csv_column 1 --levels 3 --discretizer equiwidth "
           "--threshold 0.9 --max_period 6 --format csv");
@@ -81,26 +97,47 @@ TEST_F(CliTest, CsvModeDiscretizesAndMines) {
 }
 
 TEST_F(CliTest, MissingInputFlagFails) {
-  const auto [exit_code, output] = Run("--threshold 0.5");
+  [[maybe_unused]] const auto [exit_code, output, errors] = Run("--threshold 0.5");
   EXPECT_EQ(exit_code, 2);
   EXPECT_TRUE(output.empty());
 }
 
-TEST_F(CliTest, NonexistentFileFails) {
-  const auto [exit_code, output] = Run("--input /nonexistent/file.txt");
+TEST_F(CliTest, NonexistentFileFailsWithOneActionableLine) {
+  [[maybe_unused]] const auto [exit_code, output, errors] = Run("--input /nonexistent/file.txt");
   EXPECT_EQ(exit_code, 1);
+  // Exactly one stderr line, and it names the file the user must fix.
+  EXPECT_EQ(CountLines(errors), 1u) << errors;
+  EXPECT_NE(errors.find("/nonexistent/file.txt"), std::string::npos)
+      << errors;
+}
+
+TEST_F(CliTest, MalformedCsvFailsWithFileAndLine) {
+  const std::string input =
+      WriteFile("bad.csv", "1\n2\n999999e999999\n4\n");
+  [[maybe_unused]] const auto [exit_code, output, errors] =
+      Run("--input " + input + " --csv_column 0");
+  EXPECT_EQ(exit_code, 1);
+  EXPECT_EQ(CountLines(errors), 1u) << errors;
+  EXPECT_NE(errors.find(input + ":3"), std::string::npos) << errors;
+}
+
+TEST_F(CliTest, HelpDocumentsExitCodes) {
+  [[maybe_unused]] const auto [exit_code, output, errors] = Run("--help");
+  EXPECT_EQ(exit_code, 0);
+  EXPECT_NE(output.find("Exit codes:"), std::string::npos);
+  EXPECT_NE(output.find("usage error"), std::string::npos);
 }
 
 TEST_F(CliTest, BadFlagValueFails) {
   const std::string input = WriteFile("series.txt", "abab\n");
-  const auto [exit_code, output] =
+  [[maybe_unused]] const auto [exit_code, output, errors] =
       Run("--input " + input + " --threshold notanumber");
   EXPECT_EQ(exit_code, 2);
 }
 
 TEST_F(CliTest, UnknownEngineFails) {
   const std::string input = WriteFile("series.txt", "abab\n");
-  const auto [exit_code, output] =
+  [[maybe_unused]] const auto [exit_code, output, errors] =
       Run("--input " + input + " --engine warpdrive");
   EXPECT_EQ(exit_code, 2);
 }
@@ -115,9 +152,9 @@ TEST_F(CliTest, SignificanceScreeningDropsChancePeriodicities) {
     text += static_cast<char>('a' + ((state >> 16) % 6));
   }
   const std::string input = WriteFile("random.txt", text + "\n");
-  const auto [raw_code, raw_out] =
+  [[maybe_unused]] const auto [raw_code, raw_out, raw_err] =
       Run("--input " + input + " --threshold 0.3 --format csv");
-  const auto [screened_code, screened_out] =
+  [[maybe_unused]] const auto [screened_code, screened_out, screened_err] =
       Run("--input " + input +
           " --threshold 0.3 --significance 1e-6 --format csv");
   EXPECT_EQ(raw_code, 0);
@@ -134,7 +171,7 @@ TEST_F(CliTest, SavePeriodsWritesLoadableCsv) {
   const std::string input =
       WriteFile("series.txt", "abcabcabcabcabcabcabc\n");
   const std::string saved = (dir_ / "periods.csv").string();
-  const auto [exit_code, output] =
+  [[maybe_unused]] const auto [exit_code, output, errors] =
       Run("--input " + input + " --threshold 0.9 --save_periods " + saved);
   EXPECT_EQ(exit_code, 0);
   std::ifstream file(saved);
@@ -154,11 +191,11 @@ TEST_F(CliTest, ThreadsFlagParsesAndOutputIsIdentical) {
   const std::string input = WriteFile("series.txt", text + "\n");
   const std::string base =
       "--input " + input + " --engine fft --threshold 0.3 --format csv";
-  const auto [seq_code, seq_out] = Run(base + " --threads 1");
+  [[maybe_unused]] const auto [seq_code, seq_out, seq_err] = Run(base + " --threads 1");
   EXPECT_EQ(seq_code, 0);
   EXPECT_FALSE(seq_out.empty());
   for (const std::string threads : {"0", "4"}) {
-    const auto [code, out] = Run(base + " --threads " + threads);
+    [[maybe_unused]] const auto [code, out, err] = Run(base + " --threads " + threads);
     EXPECT_EQ(code, 0) << "--threads " << threads;
     EXPECT_EQ(out, seq_out) << "--threads " << threads;
   }
@@ -166,20 +203,134 @@ TEST_F(CliTest, ThreadsFlagParsesAndOutputIsIdentical) {
 
 TEST_F(CliTest, NegativeThreadsFails) {
   const std::string input = WriteFile("series.txt", "abab\n");
-  const auto [exit_code, output] = Run("--input " + input + " --threads -2");
+  [[maybe_unused]] const auto [exit_code, output, errors] = Run("--input " + input + " --threads -2");
   EXPECT_EQ(exit_code, 2);
 }
 
 TEST_F(CliTest, ExactAndFftEnginesAgree) {
   const std::string input =
       WriteFile("series.txt", "abcabcabcabcabcabcabcabcabcabc\n");
-  const auto [exact_code, exact_out] =
+  [[maybe_unused]] const auto [exact_code, exact_out, exact_err] =
       Run("--input " + input + " --engine exact --threshold 0.9 --format csv");
-  const auto [fft_code, fft_out] =
+  [[maybe_unused]] const auto [fft_code, fft_out, fft_err] =
       Run("--input " + input + " --engine fft --threshold 0.9 --format csv");
   EXPECT_EQ(exact_code, 0);
   EXPECT_EQ(fft_code, 0);
   EXPECT_EQ(exact_out, fft_out);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming mode, checkpoint/resume and resilience flags.
+
+std::string Repeat(const std::string& motif, int times) {
+  std::string text;
+  for (int i = 0; i < times; ++i) text += motif;
+  return text;
+}
+
+TEST_F(CliTest, StreamModeDetectsPeriods) {
+  const std::string input =
+      WriteFile("stream.txt", Repeat("abc", 200) + "\n");
+  [[maybe_unused]] const auto [exit_code, output, errors] =
+      Run("--input " + input +
+          " --stream --max_period 10 --threshold 0.9 --format csv");
+  EXPECT_EQ(exit_code, 0) << errors;
+  EXPECT_NE(output.find("3,1.000"), std::string::npos) << output;
+}
+
+TEST_F(CliTest, StreamModeRequiresMaxPeriod) {
+  const std::string input = WriteFile("stream.txt", "abcabc\n");
+  [[maybe_unused]] const auto [exit_code, output, errors] =
+      Run("--input " + input + " --stream");
+  EXPECT_EQ(exit_code, 2);
+  EXPECT_NE(errors.find("--max_period"), std::string::npos) << errors;
+}
+
+TEST_F(CliTest, StreamCheckpointResumeMatchesColdRun) {
+  // Snapshot after a 500-symbol prefix, then resume over the full input:
+  // the resumed run must print exactly what an uninterrupted run prints.
+  const std::string full_text = Repeat("abcab", 240);  // 1200 symbols
+  const std::string prefix = WriteFile("prefix.txt", full_text.substr(0, 500));
+  const std::string full = WriteFile("full.txt", full_text);
+  const std::string checkpoint = (dir_ / "state.pchk").string();
+  const std::string mine_args =
+      " --stream --max_period 12 --threshold 0.6 --format csv";
+
+  [[maybe_unused]] const auto [cold_code, cold_out, cold_err] =
+      Run("--input " + full + mine_args);
+  ASSERT_EQ(cold_code, 0) << cold_err;
+
+  [[maybe_unused]] const auto [prefix_code, prefix_out, prefix_err] =
+      Run("--input " + prefix + mine_args + " --checkpoint " + checkpoint);
+  ASSERT_EQ(prefix_code, 0) << prefix_err;
+
+  [[maybe_unused]] const auto [resumed_code, resumed_out, resumed_err] =
+      Run("--input " + full + mine_args + " --checkpoint " + checkpoint +
+          " --resume");
+  EXPECT_EQ(resumed_code, 0) << resumed_err;
+  EXPECT_EQ(resumed_out, cold_out);
+  EXPECT_NE(resumed_err.find("resumed from"), std::string::npos)
+      << resumed_err;
+}
+
+TEST_F(CliTest, PeriodicCheckpointsAreWrittenDuringTheRun) {
+  const std::string input = WriteFile("long.txt", Repeat("ab", 500));
+  const std::string checkpoint = (dir_ / "periodic.pchk").string();
+  [[maybe_unused]] const auto [exit_code, output, errors] =
+      Run("--input " + input +
+          " --stream --max_period 8 --checkpoint " + checkpoint +
+          " --checkpoint_every 100");
+  EXPECT_EQ(exit_code, 0) << errors;
+  EXPECT_TRUE(std::filesystem::exists(checkpoint));
+}
+
+TEST_F(CliTest, InvalidResumeCheckpointFailsWithOneActionableLine) {
+  const std::string input = WriteFile("stream.txt", Repeat("abc", 50));
+  const std::string bogus = WriteFile("bogus.pchk", "this is not a snapshot");
+  [[maybe_unused]] const auto [exit_code, output, errors] =
+      Run("--input " + input + " --stream --max_period 10 --checkpoint " +
+          bogus + " --resume");
+  EXPECT_EQ(exit_code, 1);
+  EXPECT_EQ(CountLines(errors), 1u) << errors;
+  EXPECT_NE(errors.find("not a checkpoint"), std::string::npos) << errors;
+}
+
+TEST_F(CliTest, MissingResumeCheckpointFails) {
+  const std::string input = WriteFile("stream.txt", Repeat("abc", 50));
+  [[maybe_unused]] const auto [exit_code, output, errors] =
+      Run("--input " + input + " --stream --max_period 10 --checkpoint " +
+          (dir_ / "never_written.pchk").string() + " --resume");
+  EXPECT_EQ(exit_code, 1);
+  EXPECT_NE(errors.find("never_written.pchk"), std::string::npos) << errors;
+}
+
+TEST_F(CliTest, BadSymbolPolicyFlags) {
+  // '9' is outside the default a-z alphabet.
+  const std::string input =
+      WriteFile("noisy.txt", Repeat("ab9ab9", 50) + "\n");
+  const std::string base = "--input " + input + " --stream --max_period 8";
+
+  [[maybe_unused]] const auto [error_code, error_out, error_err] = Run(base);
+  EXPECT_EQ(error_code, 1);
+  EXPECT_NE(error_err.find("out-of-alphabet"), std::string::npos)
+      << error_err;
+
+  [[maybe_unused]] const auto [skip_code, skip_out, skip_err] =
+      Run(base + " --on_bad_symbol skip --threshold 0.9 --format csv");
+  EXPECT_EQ(skip_code, 0) << skip_err;
+  // With the bad symbols dropped the stream is (abab)*: period 2.
+  EXPECT_NE(skip_out.find("2,1.000"), std::string::npos) << skip_out;
+
+  [[maybe_unused]] const auto [remap_code, remap_out, remap_err] =
+      Run(base + " --on_bad_symbol remap --remap_symbol 2 --threshold 0.9 "
+                 "--format csv");
+  EXPECT_EQ(remap_code, 0) << remap_err;
+  // Remapping '9' to 'c' restores the period-3 abcabc stream.
+  EXPECT_NE(remap_out.find("3,1.000"), std::string::npos) << remap_out;
+
+  [[maybe_unused]] const auto [bad_code, bad_out, bad_err] =
+      Run(base + " --on_bad_symbol explode");
+  EXPECT_EQ(bad_code, 2);
 }
 
 }  // namespace

@@ -1,0 +1,74 @@
+#include "periodica/util/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+namespace periodica::util {
+namespace {
+
+TEST(FaultInjectorTest, UnarmedSiteIsOk) {
+  EXPECT_TRUE(FaultInjector::Check("nobody/armed/this").ok());
+  EXPECT_EQ(FaultInjector::HitCount("nobody/armed/this"), 0u);
+}
+
+TEST(FaultInjectorTest, FiresOnFirstHitByDefault) {
+  ScopedFault fault("t/first", Status::IOError("injected"));
+  const Status status = FaultInjector::Check("t/first");
+  EXPECT_TRUE(status.IsIOError());
+  EXPECT_EQ(status.message(), "injected");
+  EXPECT_EQ(fault.hit_count(), 1u);
+  EXPECT_EQ(fault.fire_count(), 1u);
+}
+
+TEST(FaultInjectorTest, FiresExactlyOnNthHit) {
+  ScopedFault fault("t/nth", Status::IOError("boom"), /*fire_on_nth=*/3);
+  EXPECT_TRUE(FaultInjector::Check("t/nth").ok());
+  EXPECT_TRUE(FaultInjector::Check("t/nth").ok());
+  EXPECT_TRUE(FaultInjector::Check("t/nth").IsIOError());
+  // One-shot: the 4th hit passes again.
+  EXPECT_TRUE(FaultInjector::Check("t/nth").ok());
+  EXPECT_EQ(fault.hit_count(), 4u);
+  EXPECT_EQ(fault.fire_count(), 1u);
+}
+
+TEST(FaultInjectorTest, RepeatFiresFromNthOnward) {
+  ScopedFault fault("t/repeat", Status::IOError("boom"), /*fire_on_nth=*/2,
+                    /*repeat=*/true);
+  EXPECT_TRUE(FaultInjector::Check("t/repeat").ok());
+  EXPECT_TRUE(FaultInjector::Check("t/repeat").IsIOError());
+  EXPECT_TRUE(FaultInjector::Check("t/repeat").IsIOError());
+  EXPECT_EQ(fault.fire_count(), 2u);
+}
+
+TEST(FaultInjectorTest, SitesAreIndependent) {
+  ScopedFault fault("t/site_a", Status::IOError("a down"));
+  EXPECT_TRUE(FaultInjector::Check("t/site_b").ok());
+  EXPECT_TRUE(FaultInjector::Check("t/site_a").IsIOError());
+}
+
+TEST(FaultInjectorTest, ScopeEndDisarms) {
+  {
+    ScopedFault fault("t/scoped", Status::IOError("boom"), /*fire_on_nth=*/1,
+                      /*repeat=*/true);
+    EXPECT_TRUE(FaultInjector::Check("t/scoped").IsIOError());
+  }
+  EXPECT_TRUE(FaultInjector::Check("t/scoped").ok());
+  EXPECT_EQ(FaultInjector::HitCount("t/scoped"), 0u);
+}
+
+TEST(FaultInjectorTest, RearmingResetsCounters) {
+  ScopedFault first("t/rearm", Status::IOError("one"), /*fire_on_nth=*/1,
+                    /*repeat=*/true);
+  EXPECT_TRUE(FaultInjector::Check("t/rearm").IsIOError());
+  ScopedFault second("t/rearm", Status::Internal("two"), /*fire_on_nth=*/2);
+  EXPECT_EQ(second.hit_count(), 0u);
+  EXPECT_TRUE(FaultInjector::Check("t/rearm").ok());
+  EXPECT_TRUE(FaultInjector::Check("t/rearm").IsInternal());
+}
+
+TEST(FaultInjectorTest, InjectedStatusKindIsPreserved) {
+  ScopedFault fault("t/kind", Status::InvalidArgument("bad data"));
+  EXPECT_TRUE(FaultInjector::Check("t/kind").IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace periodica::util

@@ -66,10 +66,11 @@ TEST(FftMinerTest, ToSeriesRoundTrips) {
 TEST(FftMinerTest, FromStreamMatchesBatchConstruction) {
   const SymbolSeries series = RandomSeries(400, 3, 17);
   VectorStream stream(series);
-  const FftConvolutionMiner from_stream =
+  const Result<FftConvolutionMiner> from_stream =
       FftConvolutionMiner::FromStream(&stream);
-  EXPECT_EQ(from_stream.size(), series.size());
-  EXPECT_EQ(from_stream.ToSeries(), series);
+  ASSERT_TRUE(from_stream.ok()) << from_stream.status();
+  EXPECT_EQ(from_stream->size(), series.size());
+  EXPECT_EQ(from_stream->ToSeries(), series);
 }
 
 // The central equivalence property: the FFT engine and the literal

@@ -1,0 +1,164 @@
+// Broken-input corpus for the CSV readers: real-world files arrive
+// truncated, Windows-encoded, BOM-prefixed or with absurd numbers, and the
+// readers must answer each with a precise `file:line` Status — never an
+// abort, never silently wrong data.
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "periodica/core/serialize.h"
+#include "periodica/series/io.h"
+
+namespace periodica {
+namespace {
+
+class MalformedInputTest : public ::testing::Test {
+ protected:
+  std::string WriteFile(const std::string& name, const std::string& contents) {
+    const auto dir = std::filesystem::temp_directory_path() /
+                     ("periodica_malformed_test_" +
+                      std::to_string(::getpid()));
+    std::filesystem::create_directories(dir);
+    const auto path = dir / name;
+    created_.push_back(path);
+    std::ofstream file(path, std::ios::binary);
+    file.write(contents.data(),
+               static_cast<std::streamsize>(contents.size()));
+    return path.string();
+  }
+
+  void TearDown() override {
+    for (const auto& path : created_) {
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+    }
+  }
+
+  std::vector<std::filesystem::path> created_;
+};
+
+// ---------------------------------------------------------------------------
+// ReadCsvColumn
+
+TEST_F(MalformedInputTest, EmptyCsvYieldsNoValues) {
+  const std::string path = WriteFile("empty.csv", "");
+  auto values = ReadCsvColumn(path, 0);
+  ASSERT_TRUE(values.ok()) << values.status();
+  EXPECT_TRUE(values->empty());
+}
+
+TEST_F(MalformedInputTest, TruncatedFinalLineStillParses) {
+  // The writer died mid-row: the last line has no newline and no value in
+  // column 1. Strict mode pinpoints it; lenient mode drops it.
+  const std::string path = WriteFile("truncated.csv", "1,10\n2,20\n3");
+  auto lenient = ReadCsvColumn(path, 1);
+  ASSERT_TRUE(lenient.ok());
+  EXPECT_EQ(*lenient, (std::vector<double>{10, 20}));
+
+  const auto strict = ReadCsvColumn(path, 1, /*skip_non_numeric=*/false);
+  ASSERT_TRUE(strict.status().IsInvalidArgument());
+  EXPECT_NE(strict.status().message().find(path + ":3"), std::string::npos)
+      << strict.status();
+}
+
+TEST_F(MalformedInputTest, CrlfLineEndingsParse) {
+  const std::string path = WriteFile("crlf.csv", "1.5\r\n2.5\r\n3.5\r\n");
+  auto values = ReadCsvColumn(path, 0, /*skip_non_numeric=*/false);
+  ASSERT_TRUE(values.ok()) << values.status();
+  EXPECT_EQ(*values, (std::vector<double>{1.5, 2.5, 3.5}));
+}
+
+TEST_F(MalformedInputTest, CrlfMultiColumnLastCellHasNoStrayCarriageReturn) {
+  const std::string path = WriteFile("crlf2.csv", "1,10\r\n2,20\r\n");
+  auto values = ReadCsvColumn(path, 1, /*skip_non_numeric=*/false);
+  ASSERT_TRUE(values.ok()) << values.status();
+  EXPECT_EQ(*values, (std::vector<double>{10, 20}));
+}
+
+TEST_F(MalformedInputTest, Utf8BomIsStripped) {
+  const std::string path = WriteFile("bom.csv", "\xEF\xBB\xBF" "1\n2\n");
+  auto values = ReadCsvColumn(path, 0, /*skip_non_numeric=*/false);
+  ASSERT_TRUE(values.ok()) << values.status();
+  EXPECT_EQ(*values, (std::vector<double>{1, 2}));
+}
+
+TEST_F(MalformedInputTest, OverflowingNumberIsAnErrorEvenWhenLenient) {
+  const std::string path = WriteFile("overflow.csv", "1\n1e999\n3\n");
+  const auto values = ReadCsvColumn(path, 0);
+  ASSERT_TRUE(values.status().IsInvalidArgument());
+  EXPECT_NE(values.status().message().find(path + ":2"), std::string::npos)
+      << values.status();
+  EXPECT_NE(values.status().message().find("out of double range"),
+            std::string::npos);
+}
+
+TEST_F(MalformedInputTest, NonNumericCellNamesFileAndLine) {
+  const std::string path = WriteFile("text.csv", "1\ntwo\n3\n");
+  const auto strict = ReadCsvColumn(path, 0, /*skip_non_numeric=*/false);
+  ASSERT_TRUE(strict.status().IsInvalidArgument());
+  EXPECT_NE(strict.status().message().find(path + ":2"), std::string::npos)
+      << strict.status();
+}
+
+// ---------------------------------------------------------------------------
+// ReadPeriodicityCsv
+
+Alphabet TestAlphabet() { return Alphabet::Latin(3); }
+
+TEST_F(MalformedInputTest, PeriodicityEmptyFileYieldsEmptyTable) {
+  const std::string path = WriteFile("p_empty.csv", "");
+  auto table = ReadPeriodicityCsv(path, TestAlphabet());
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_TRUE(table->entries().empty());
+}
+
+TEST_F(MalformedInputTest, PeriodicityCrlfAndBomRoundTrip) {
+  const std::string path = WriteFile(
+      "p_crlf.csv",
+      "\xEF\xBB\xBF" "period,position,symbol,f2,pairs\r\n5,0,a,9,10\r\n");
+  auto table = ReadPeriodicityCsv(path, TestAlphabet());
+  ASSERT_TRUE(table.ok()) << table.status();
+  ASSERT_EQ(table->entries().size(), 1u);
+  EXPECT_EQ(table->entries()[0].period, 5u);
+  EXPECT_EQ(table->entries()[0].f2, 9u);
+}
+
+TEST_F(MalformedInputTest, PeriodicityTruncatedRowNamesFileAndLine) {
+  const std::string path = WriteFile(
+      "p_torn.csv", "period,position,symbol,f2,pairs\n5,0,a,9,10\n5,1,b");
+  const auto table = ReadPeriodicityCsv(path, TestAlphabet());
+  ASSERT_TRUE(table.status().IsInvalidArgument());
+  EXPECT_NE(table.status().message().find(path + ":3"), std::string::npos)
+      << table.status();
+  EXPECT_NE(table.status().message().find("expected 5 cells, got 3"),
+            std::string::npos);
+}
+
+TEST_F(MalformedInputTest, PeriodicityOverflowingCountIsRejected) {
+  const std::string path = WriteFile(
+      "p_over.csv",
+      "period,position,symbol,f2,pairs\n99999999999999999999999,0,a,1,1\n");
+  const auto table = ReadPeriodicityCsv(path, TestAlphabet());
+  ASSERT_TRUE(table.status().IsInvalidArgument());
+  EXPECT_NE(table.status().message().find(path + ":2"), std::string::npos)
+      << table.status();
+}
+
+TEST_F(MalformedInputTest, PatternCsvTruncatedRowNamesFileAndLine) {
+  const std::string path =
+      WriteFile("pat_torn.csv", "pattern,period,count,support\nab*,3\n");
+  const auto patterns = ReadPatternCsv(path, TestAlphabet());
+  ASSERT_TRUE(patterns.status().IsInvalidArgument());
+  EXPECT_NE(patterns.status().message().find(path + ":2"), std::string::npos)
+      << patterns.status();
+  EXPECT_NE(patterns.status().message().find("expected 4 cells, got 2"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace periodica

@@ -1,0 +1,223 @@
+#include "periodica/series/resilient_stream.h"
+
+#include <chrono>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "periodica/series/stream.h"
+#include "periodica/util/fault_injector.h"
+#include "periodica/util/logging.h"
+
+namespace periodica {
+namespace {
+
+SymbolSeries MakeSeries(const std::string& text) {
+  auto series = SymbolSeries::FromString(text);
+  PERIODICA_CHECK(series.ok());
+  return *std::move(series);
+}
+
+std::vector<SymbolId> Drain(SeriesStream* stream) {
+  std::vector<SymbolId> out;
+  while (const auto symbol = stream->Next()) out.push_back(*symbol);
+  return out;
+}
+
+/// A source that emits a scripted sequence of symbols, out-of-alphabet ids
+/// and transient failures.
+class ScriptedStream : public SeriesStream {
+ public:
+  struct Step {
+    std::optional<SymbolId> symbol;  // nullopt = fail with `status`
+    Status status = Status::OK();
+  };
+
+  ScriptedStream(Alphabet alphabet, std::vector<Step> steps)
+      : alphabet_(std::move(alphabet)), steps_(std::move(steps)) {}
+
+  [[nodiscard]] const Alphabet& alphabet() const override {
+    return alphabet_;
+  }
+
+  std::optional<SymbolId> Next() override {
+    if (cursor_ >= steps_.size()) {
+      status_ = Status::OK();
+      return std::nullopt;
+    }
+    const Step& step = steps_[cursor_++];
+    status_ = step.status;
+    return step.symbol;
+  }
+
+  [[nodiscard]] Status status() const override { return status_; }
+
+ private:
+  Alphabet alphabet_;
+  std::vector<Step> steps_;
+  std::size_t cursor_ = 0;
+  Status status_;
+};
+
+TEST(ResilientStreamTest, PassesCleanStreamThrough) {
+  const SymbolSeries series = MakeSeries("abcabc");
+  VectorStream inner(series);
+  ResilientStream stream(&inner, {});
+  EXPECT_EQ(Drain(&stream), (std::vector<SymbolId>{0, 1, 2, 0, 1, 2}));
+  EXPECT_TRUE(stream.status().ok());
+  EXPECT_EQ(stream.position(), 6u);
+  EXPECT_EQ(stream.retries(), 0u);
+}
+
+TEST(ResilientStreamTest, RetriesTransientErrorsAndRecovers) {
+  const Alphabet alphabet = Alphabet::Latin(2);
+  ScriptedStream inner(alphabet,
+                       {{SymbolId{0}},
+                        {std::nullopt, Status::IOError("hiccup")},
+                        {SymbolId{1}},
+                        {SymbolId{0}}});
+  ResilientStream::Options options;
+  options.max_retries = 3;
+  ResilientStream stream(&inner, options);
+  EXPECT_EQ(Drain(&stream), (std::vector<SymbolId>{0, 1, 0}));
+  EXPECT_TRUE(stream.status().ok()) << stream.status();
+  EXPECT_EQ(stream.retries(), 1u);
+}
+
+TEST(ResilientStreamTest, ExhaustedRetriesFailWithPosition) {
+  const Alphabet alphabet = Alphabet::Latin(2);
+  std::vector<ScriptedStream::Step> steps = {{SymbolId{0}}, {SymbolId{1}}};
+  for (int i = 0; i < 5; ++i) {
+    steps.push_back({std::nullopt, Status::IOError("source down")});
+  }
+  ScriptedStream inner(alphabet, steps);
+  ResilientStream::Options options;
+  options.max_retries = 2;
+  ResilientStream stream(&inner, options);
+  EXPECT_EQ(Drain(&stream), (std::vector<SymbolId>{0, 1}));
+  const Status status = stream.status();
+  EXPECT_TRUE(status.IsIOError());
+  EXPECT_NE(status.message().find("position 2"), std::string::npos)
+      << status;
+  EXPECT_NE(status.message().find("source down"), std::string::npos);
+  EXPECT_EQ(stream.retries(), 2u);
+}
+
+TEST(ResilientStreamTest, NonTransientErrorFailsFast) {
+  const Alphabet alphabet = Alphabet::Latin(2);
+  ScriptedStream inner(
+      alphabet,
+      {{SymbolId{1}}, {std::nullopt, Status::InvalidArgument("corrupt")}});
+  ResilientStream::Options options;
+  options.max_retries = 10;
+  ResilientStream stream(&inner, options);
+  EXPECT_EQ(Drain(&stream), (std::vector<SymbolId>{1}));
+  EXPECT_TRUE(stream.status().IsInvalidArgument());
+  EXPECT_EQ(stream.retries(), 0u);  // malformed input is not retried
+}
+
+TEST(ResilientStreamTest, BackoffDoublesPerAttempt) {
+  const Alphabet alphabet = Alphabet::Latin(2);
+  std::vector<ScriptedStream::Step> steps;
+  for (int i = 0; i < 4; ++i) {
+    steps.push_back({std::nullopt, Status::IOError("down")});
+  }
+  ScriptedStream inner(alphabet, steps);
+  std::vector<std::chrono::milliseconds> sleeps;
+  ResilientStream::Options options;
+  options.max_retries = 3;
+  options.backoff_base = std::chrono::milliseconds(10);
+  options.sleep_fn = [&sleeps](std::chrono::milliseconds delay) {
+    sleeps.push_back(delay);
+  };
+  ResilientStream stream(&inner, options);
+  EXPECT_EQ(stream.Next(), std::nullopt);
+  EXPECT_TRUE(stream.status().IsIOError());
+  EXPECT_EQ(sleeps, (std::vector<std::chrono::milliseconds>{
+                        std::chrono::milliseconds(10),
+                        std::chrono::milliseconds(20),
+                        std::chrono::milliseconds(40)}));
+}
+
+TEST(ResilientStreamTest, ErrorPolicyRejectsOutOfAlphabetWithPosition) {
+  const Alphabet alphabet = Alphabet::Latin(2);
+  ScriptedStream inner(alphabet, {{SymbolId{0}}, {SymbolId{7}}});
+  ResilientStream stream(&inner, {});
+  EXPECT_EQ(Drain(&stream), (std::vector<SymbolId>{0}));
+  const Status status = stream.status();
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("position 1"), std::string::npos)
+      << status;
+}
+
+TEST(ResilientStreamTest, SkipPolicyDropsOutOfAlphabet) {
+  const Alphabet alphabet = Alphabet::Latin(2);
+  ScriptedStream inner(
+      alphabet, {{SymbolId{0}}, {SymbolId{7}}, {SymbolId{1}}, {SymbolId{9}}});
+  ResilientStream::Options options;
+  options.bad_symbol_policy = ResilientStream::BadSymbolPolicy::kSkip;
+  ResilientStream stream(&inner, options);
+  EXPECT_EQ(Drain(&stream), (std::vector<SymbolId>{0, 1}));
+  EXPECT_TRUE(stream.status().ok());
+  EXPECT_EQ(stream.skipped(), 2u);
+  EXPECT_EQ(stream.position(), 2u);   // delivered
+  EXPECT_EQ(stream.consumed(), 4u);   // pulled from the source
+}
+
+TEST(ResilientStreamTest, RemapPolicySubstitutes) {
+  const Alphabet alphabet = Alphabet::Latin(3);
+  ScriptedStream inner(alphabet,
+                       {{SymbolId{0}}, {SymbolId{200}}, {SymbolId{1}}});
+  ResilientStream::Options options;
+  options.bad_symbol_policy = ResilientStream::BadSymbolPolicy::kRemap;
+  options.remap_symbol = 2;
+  ResilientStream stream(&inner, options);
+  EXPECT_EQ(Drain(&stream), (std::vector<SymbolId>{0, 2, 1}));
+  EXPECT_TRUE(stream.status().ok());
+  EXPECT_EQ(stream.remapped(), 1u);
+}
+
+TEST(ResilientStreamTest, InjectedFaultSiteSimulatesFlakySource) {
+  const SymbolSeries series = MakeSeries("ababab");
+  VectorStream inner(series);
+  // The 3rd pull fails once; the retry must resume without losing a symbol.
+  util::ScopedFault fault("resilient_stream/next",
+                          Status::IOError("injected flake"),
+                          /*fire_on_nth=*/3);
+  ResilientStream::Options options;
+  options.max_retries = 1;
+  ResilientStream stream(&inner, options);
+  EXPECT_EQ(Drain(&stream), (std::vector<SymbolId>{0, 1, 0, 1, 0, 1}));
+  EXPECT_TRUE(stream.status().ok()) << stream.status();
+  EXPECT_EQ(stream.retries(), 1u);
+}
+
+TEST(ResilientStreamTest, InjectedPermanentFaultEndsStream) {
+  const SymbolSeries series = MakeSeries("ababab");
+  VectorStream inner(series);
+  util::ScopedFault fault("resilient_stream/next",
+                          Status::IOError("injected outage"),
+                          /*fire_on_nth=*/2, /*repeat=*/true);
+  ResilientStream::Options options;
+  options.max_retries = 2;
+  ResilientStream stream(&inner, options);
+  EXPECT_EQ(Drain(&stream), (std::vector<SymbolId>{0}));
+  EXPECT_TRUE(stream.status().IsIOError());
+  EXPECT_NE(stream.status().message().find("after 2 retries"),
+            std::string::npos)
+      << stream.status();
+}
+
+TEST(ResilientStreamTest, StatusStaysFailedAfterEnd) {
+  const Alphabet alphabet = Alphabet::Latin(2);
+  ScriptedStream inner(alphabet,
+                       {{std::nullopt, Status::InvalidArgument("corrupt")}});
+  ResilientStream stream(&inner, {});
+  EXPECT_EQ(stream.Next(), std::nullopt);
+  EXPECT_EQ(stream.Next(), std::nullopt);  // stays ended
+  EXPECT_TRUE(stream.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace periodica

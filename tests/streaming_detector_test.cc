@@ -63,7 +63,7 @@ TEST_P(StreamingEquivalence, EqualsFftPeriodsOnlyMode) {
       {.max_period = max_period, .block_size = 97});  // odd block on purpose
   ASSERT_TRUE(detector.ok());
   VectorStream stream(*series);
-  detector->Consume(&stream);
+  ASSERT_TRUE(detector->Consume(&stream).ok());
   const PeriodicityTable streamed = detector->Detect(threshold);
 
   MinerOptions options;

@@ -7,9 +7,21 @@
 //   periodica_cli --input data.csv --csv_column 1 --levels 5
 //       --discretizer equidepth --threshold 0.6 --format csv
 //
+//   # bounded-memory streaming detection with periodic checkpoints:
+//   periodica_cli --stream --input feed.txt --max_period 512
+//       --checkpoint state.pchk --checkpoint_every 100000
+//   # ... after a crash, pick up where the last checkpoint left off:
+//   periodica_cli --stream --input feed.txt --max_period 512
+//       --checkpoint state.pchk --resume
+//
 // Prints per-period summaries, the (symbol, period, position) periodicities,
 // and (with --patterns) the scored periodic patterns.
+//
+// Exit codes: 0 = success; 1 = runtime failure (unreadable input, bad data,
+// I/O error, invalid checkpoint); 2 = usage error (bad flags).
 
+#include <cctype>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -21,6 +33,13 @@
 
 namespace periodica {
 namespace {
+
+constexpr char kExitCodeEpilog[] =
+    "Exit codes:\n"
+    "  0  success\n"
+    "  1  runtime failure (unreadable input, bad data, I/O error, invalid\n"
+    "     checkpoint)\n"
+    "  2  usage error (unknown or malformed flags)\n";
 
 Result<SymbolSeries> LoadInput(const std::string& path, std::int64_t csv_column,
                                std::int64_t levels,
@@ -56,6 +75,116 @@ Result<SymbolSeries> LoadInput(const std::string& path, std::int64_t csv_column,
       "' (expected equiwidth, equidepth or gaussian)");
 }
 
+/// Everything --stream mode needs, resolved from flags.
+struct StreamConfig {
+  std::string input;
+  std::size_t max_period = 0;
+  double threshold = 0.5;
+  std::size_t min_period = 1;
+  std::size_t min_pairs = 1;
+  std::string checkpoint;
+  std::size_t checkpoint_every = 0;
+  bool resume = false;
+  ResilientStream::Options resilience;
+};
+
+/// One-pass bounded-memory detection (StreamingPeriodDetector) with optional
+/// periodic checkpointing and resume. The input file is read symbol by
+/// symbol — never loaded whole — through a ResilientStream that applies the
+/// configured out-of-alphabet policy; characters outside --alphabet surface
+/// as out-of-range ids for that policy to handle.
+Result<MiningResult> RunStream(const StreamConfig& config,
+                               const Alphabet& alphabet) {
+  StreamingPeriodDetector::Options detector_options;
+  detector_options.max_period = config.max_period;
+  PERIODICA_ASSIGN_OR_RETURN(
+      StreamingPeriodDetector detector,
+      StreamingPeriodDetector::Create(alphabet, detector_options));
+  if (config.resume) {
+    if (config.checkpoint.empty()) {
+      return Status::InvalidArgument("--resume requires --checkpoint");
+    }
+    PERIODICA_ASSIGN_OR_RETURN(detector,
+                               LoadDetectorCheckpoint(config.checkpoint));
+    if (detector.alphabet().size() != alphabet.size()) {
+      return Status::InvalidArgument(
+          "checkpoint alphabet has " +
+          std::to_string(detector.alphabet().size()) + " symbols but --alphabet has " +
+          std::to_string(alphabet.size()));
+    }
+    if (detector.max_period() != config.max_period) {
+      return Status::InvalidArgument(
+          "checkpoint max_period " + std::to_string(detector.max_period()) +
+          " does not match --max_period " +
+          std::to_string(config.max_period));
+    }
+    std::cerr << "resumed from '" << config.checkpoint << "' at stream position "
+              << detector.size() << "\n";
+  }
+
+  auto file = std::make_shared<std::ifstream>(config.input);
+  if (!*file) {
+    return Status::IOError("cannot open '" + config.input + "'");
+  }
+  // Characters are mapped through the alphabet; anything unknown (or any
+  // read failure) is deferred to the ResilientStream policy via an
+  // out-of-range id. Whitespace is not data and is always skipped.
+  const std::size_t sigma = alphabet.size();
+  FunctionStream raw(alphabet, [file, &alphabet,
+                                sigma]() -> std::optional<SymbolId> {
+    char c = 0;
+    while (file->get(c)) {
+      if (std::isspace(static_cast<unsigned char>(c))) continue;
+      const auto id = alphabet.Find(std::string(1, c));
+      if (id.ok()) return *id;
+      return static_cast<SymbolId>(sigma);  // out-of-alphabet marker
+    }
+    return std::nullopt;
+  });
+  ResilientStream stream(&raw, config.resilience);
+
+  // Skip what the restored snapshot already incorporated. The resilient
+  // policy replays deterministically, so `detector.size()` *delivered*
+  // symbols lands exactly where the checkpoint was taken.
+  for (std::size_t i = 0; i < detector.size(); ++i) {
+    if (!stream.Next().has_value()) {
+      PERIODICA_RETURN_NOT_OK(stream.status());
+      return Status::InvalidArgument(
+          "checkpoint is ahead of '" + config.input + "': snapshot holds " +
+          std::to_string(detector.size()) + " symbols, input delivered " +
+          std::to_string(i));
+    }
+  }
+
+  std::size_t since_checkpoint = 0;
+  while (const std::optional<SymbolId> symbol = stream.Next()) {
+    detector.Append(*symbol);
+    if (!config.checkpoint.empty() && config.checkpoint_every != 0 &&
+        ++since_checkpoint >= config.checkpoint_every) {
+      PERIODICA_RETURN_NOT_OK(SaveCheckpoint(detector, config.checkpoint));
+      since_checkpoint = 0;
+    }
+  }
+  PERIODICA_RETURN_NOT_OK(stream.status());
+  if (!config.checkpoint.empty()) {
+    PERIODICA_RETURN_NOT_OK(SaveCheckpoint(detector, config.checkpoint));
+  }
+  if (stream.skipped() != 0 || stream.remapped() != 0 ||
+      stream.retries() != 0) {
+    std::cerr << "stream: " << stream.skipped() << " skipped, "
+              << stream.remapped() << " remapped, " << stream.retries()
+              << " retries\n";
+  }
+
+  MiningResult result;
+  result.periodicities =
+      detector.Detect(config.threshold, config.min_period, config.min_pairs);
+  result.engine_used = MinerEngine::kFft;
+  result.series_length = detector.size();
+  result.alphabet_size = alphabet.size();
+  return result;
+}
+
 int Run(int argc, char** argv) {
   std::string input;
   std::int64_t csv_column = -1;
@@ -74,6 +203,15 @@ int Run(int argc, char** argv) {
   double significance = 0.0;
   std::string save_periods;
   std::string save_patterns;
+  std::int64_t deadline_ms = 0;
+  bool stream = false;
+  std::string alphabet_chars = "abcdefghijklmnopqrstuvwxyz";
+  std::string checkpoint;
+  std::int64_t checkpoint_every = 100000;
+  bool resume = false;
+  std::string on_bad_symbol = "error";
+  std::int64_t remap_symbol = 0;
+  std::int64_t max_retries = 3;
 
   FlagSet flags("periodica_cli");
   flags.AddString("input", &input,
@@ -105,6 +243,32 @@ int Run(int argc, char** argv) {
                   "also write the periodicities to this CSV file");
   flags.AddString("save_patterns", &save_patterns,
                   "also write the patterns to this CSV file");
+  flags.AddInt64("deadline_ms", &deadline_ms,
+                 "stop mining after this many milliseconds and report the "
+                 "partial prefix (0 = no deadline)");
+  flags.AddBool("stream", &stream,
+                "one-pass bounded-memory streaming detection "
+                "(StreamingPeriodDetector); requires --max_period");
+  flags.AddString("alphabet", &alphabet_chars,
+                  "stream mode: the characters of the alphabet, in symbol-id "
+                  "order");
+  flags.AddString("checkpoint", &checkpoint,
+                  "stream mode: snapshot file written atomically during and "
+                  "after the run");
+  flags.AddInt64("checkpoint_every", &checkpoint_every,
+                 "stream mode: symbols between snapshots (0 = only at end)");
+  flags.AddBool("resume", &resume,
+                "stream mode: restore --checkpoint and continue from the "
+                "snapshot's stream position");
+  flags.AddString("on_bad_symbol", &on_bad_symbol,
+                  "stream mode: error | skip | remap — what to do with "
+                  "characters outside --alphabet");
+  flags.AddInt64("remap_symbol", &remap_symbol,
+                 "stream mode: symbol id substituted under "
+                 "--on_bad_symbol remap");
+  flags.AddInt64("max_retries", &max_retries,
+                 "stream mode: transient source-error retries per symbol");
+  flags.SetEpilog(kExitCodeEpilog);
 
   if (Status status = flags.Parse(argc, argv); !status.ok()) {
     std::cerr << status << "\n";
@@ -113,6 +277,99 @@ int Run(int argc, char** argv) {
   if (input.empty()) {
     std::cerr << "--input is required\n" << flags.Usage();
     return 2;
+  }
+
+  ReportOptions report;
+  report.max_rows = static_cast<std::size_t>(max_rows);
+  if (format == "csv") {
+    report.format = ReportFormat::kCsv;
+  } else if (format != "text") {
+    std::cerr << "unknown --format '" << format << "'\n";
+    return 2;
+  }
+
+  // Everything after mining is shared between batch and stream mode.
+  const auto emit = [&](const MiningResult& result,
+                        const Alphabet& alphabet) -> int {
+    if (!save_periods.empty()) {
+      if (Status status = WritePeriodicityCsv(result.periodicities, alphabet,
+                                              save_periods);
+          !status.ok()) {
+        std::cerr << status << "\n";
+        return 1;
+      }
+    }
+    if (!save_patterns.empty()) {
+      if (Status status =
+              WritePatternCsv(result.patterns, alphabet, save_patterns);
+          !status.ok()) {
+        std::cerr << status << "\n";
+        return 1;
+      }
+    }
+    if (Status status = RenderMiningResult(result, alphabet, report, std::cout);
+        !status.ok()) {
+      std::cerr << status << "\n";
+      return 1;
+    }
+    return 0;
+  };
+
+  if (stream) {
+    if (max_period <= 0) {
+      std::cerr << "--stream requires --max_period > 0 (it fixes the memory "
+                   "budget)\n";
+      return 2;
+    }
+    StreamConfig config;
+    config.input = input;
+    config.max_period = static_cast<std::size_t>(max_period);
+    config.threshold = threshold;
+    config.min_period = static_cast<std::size_t>(min_period);
+    config.min_pairs = static_cast<std::size_t>(min_pairs);
+    config.checkpoint = checkpoint;
+    config.checkpoint_every = checkpoint_every > 0
+                                  ? static_cast<std::size_t>(checkpoint_every)
+                                  : 0;
+    config.resume = resume;
+    if (on_bad_symbol == "error") {
+      config.resilience.bad_symbol_policy = ResilientStream::BadSymbolPolicy::kError;
+    } else if (on_bad_symbol == "skip") {
+      config.resilience.bad_symbol_policy = ResilientStream::BadSymbolPolicy::kSkip;
+    } else if (on_bad_symbol == "remap") {
+      config.resilience.bad_symbol_policy = ResilientStream::BadSymbolPolicy::kRemap;
+    } else {
+      std::cerr << "unknown --on_bad_symbol '" << on_bad_symbol
+                << "' (expected error, skip or remap)\n";
+      return 2;
+    }
+    if (remap_symbol < 0 ||
+        static_cast<std::size_t>(remap_symbol) >= alphabet_chars.size()) {
+      std::cerr << "--remap_symbol must name a symbol of --alphabet\n";
+      return 2;
+    }
+    config.resilience.remap_symbol = static_cast<SymbolId>(remap_symbol);
+    if (max_retries < 0) {
+      std::cerr << "--max_retries must be >= 0\n";
+      return 2;
+    }
+    config.resilience.max_retries = static_cast<std::size_t>(max_retries);
+
+    std::vector<std::string> names;
+    names.reserve(alphabet_chars.size());
+    for (const char c : alphabet_chars) names.emplace_back(1, c);
+    auto alphabet = Alphabet::FromNames(std::move(names));
+    if (!alphabet.ok()) {
+      std::cerr << "--alphabet: " << alphabet.status() << "\n";
+      return 2;
+    }
+
+    auto result = RunStream(config, *alphabet);
+    if (!result.ok()) {
+      std::cerr << result.status() << "\n";
+      return 1;
+    }
+    return emit(*result, *alphabet);
   }
 
   auto series = LoadInput(input, csv_column, levels, discretizer);
@@ -144,45 +401,18 @@ int Run(int argc, char** argv) {
     return 2;
   }
   options.num_threads = static_cast<std::size_t>(threads);
+  if (deadline_ms < 0) {
+    std::cerr << "--deadline_ms must be >= 0\n";
+    return 2;
+  }
+  options.deadline_ms = static_cast<std::size_t>(deadline_ms);
 
   auto result = ObscureMiner(options).Mine(*series);
   if (!result.ok()) {
     std::cerr << result.status() << "\n";
     return 1;
   }
-
-  if (!save_periods.empty()) {
-    if (Status status = WritePeriodicityCsv(result->periodicities,
-                                            series->alphabet(), save_periods);
-        !status.ok()) {
-      std::cerr << status << "\n";
-      return 1;
-    }
-  }
-  if (!save_patterns.empty()) {
-    if (Status status = WritePatternCsv(result->patterns, series->alphabet(),
-                                        save_patterns);
-        !status.ok()) {
-      std::cerr << status << "\n";
-      return 1;
-    }
-  }
-
-  ReportOptions report;
-  report.max_rows = static_cast<std::size_t>(max_rows);
-  if (format == "csv") {
-    report.format = ReportFormat::kCsv;
-  } else if (format != "text") {
-    std::cerr << "unknown --format '" << format << "'\n";
-    return 2;
-  }
-  if (Status status =
-          RenderMiningResult(*result, series->alphabet(), report, std::cout);
-      !status.ok()) {
-    std::cerr << status << "\n";
-    return 1;
-  }
-  return 0;
+  return emit(*result, series->alphabet());
 }
 
 }  // namespace
