@@ -7,9 +7,13 @@
 //   micro_parallel --n 1048576 --json out.json
 //
 // JSON schema (one object): bench, n, sigma, period, max_period, repeats,
-// hardware_concurrency, results[] of {threads, wall_ms, speedup} where
-// speedup = sequential wall_ms / this wall_ms (so 2.0 means twice as fast
-// as --threads 1). Wall times are the minimum over --repeats runs.
+// hardware_threads (with hardware_concurrency kept as a deprecated alias),
+// results[] of {threads, wall_ms, speedup} where speedup = sequential
+// wall_ms / this wall_ms (so 2.0 means twice as fast as --threads 1).
+// Wall times are the minimum over --repeats runs. On a 1-thread host the
+// speedup column is meaningless (every row contends for the same core), so
+// the bench prints a warning and readers must check hardware_threads before
+// comparing recorded baselines.
 
 #include <algorithm>
 #include <fstream>
@@ -84,6 +88,12 @@ int Run(int argc, char** argv) {
             << sigma << ", period = " << period << ", max_period = "
             << max_period << ", repeats = " << repeats
             << ", hardware threads = " << hardware << "\n\n";
+  if (hardware <= 1) {
+    std::cerr << "warning: this host reports 1 hardware thread; every row "
+                 "below contends for the same core, so the speedup column "
+                 "reads as \"no speedup\" regardless of engine quality. "
+                 "Record baselines on a multi-core host.\n\n";
+  }
 
   const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
   std::vector<double> wall_ms;
@@ -122,6 +132,7 @@ int Run(int argc, char** argv) {
         << "  \"period\": " << period << ",\n"
         << "  \"max_period\": " << max_period << ",\n"
         << "  \"repeats\": " << repeats << ",\n"
+        << "  \"hardware_threads\": " << hardware << ",\n"
         << "  \"hardware_concurrency\": " << hardware << ",\n"
         << "  \"results\": [\n";
     for (std::size_t i = 0; i < thread_counts.size(); ++i) {

@@ -4,9 +4,11 @@
 #include <chrono>
 #include <cstdint>
 #include <span>
+#include <string>
 
 #include "periodica/core/options.h"
 #include "periodica/core/periodicity.h"
+#include "periodica/util/memory_budget.h"
 
 namespace periodica::internal {
 
@@ -34,6 +36,73 @@ class MiningStopSignal {
   const util::CancellationToken* token_;
   std::chrono::steady_clock::time_point deadline_{};
   bool has_deadline_ = false;
+};
+
+/// The engines' memory-budget ledger, folding MinerOptions::
+/// memory_budget_bytes (a per-request cap, modeled as a private budget) and
+/// MinerOptions::memory_budget (the shared process pool) into one
+/// reserve/release pair the allocation sites call. Constructed at Mine
+/// entry; enabled() is false when neither limit is configured, in which
+/// case Reserve is free and always succeeds.
+///
+/// Thread-safety: Reserve/Release may be called from parallel stage tasks
+/// (the underlying budgets are atomic).
+class MiningBudget {
+ public:
+  explicit MiningBudget(const MinerOptions& options)
+      : local_(options.memory_budget_bytes), shared_(options.memory_budget) {}
+
+  [[nodiscard]] bool enabled() const {
+    return local_.limit() != 0 || shared_ != nullptr;
+  }
+
+  /// Reserves `bytes` against both limits or neither.
+  [[nodiscard]] Status Reserve(std::size_t bytes, const std::string& what) {
+    if (!enabled()) return Status::OK();
+    PERIODICA_RETURN_NOT_OK(local_.TryReserve(bytes, what));
+    if (shared_ != nullptr) {
+      if (Status status = shared_->TryReserve(bytes, what); !status.ok()) {
+        local_.Release(bytes);
+        return status;
+      }
+    }
+    return Status::OK();
+  }
+
+  void Release(std::size_t bytes) {
+    if (!enabled()) return;
+    local_.Release(bytes);
+    if (shared_ != nullptr) shared_->Release(bytes);
+  }
+
+ private:
+  util::MemoryBudget local_;
+  util::MemoryBudget* shared_;  // not owned
+};
+
+/// RAII wrapper pairing one MiningBudget::Reserve with its Release.
+class ScopedMiningCharge {
+ public:
+  explicit ScopedMiningCharge(MiningBudget* budget) : budget_(budget) {}
+  ~ScopedMiningCharge() { Reset(); }
+  ScopedMiningCharge(const ScopedMiningCharge&) = delete;
+  ScopedMiningCharge& operator=(const ScopedMiningCharge&) = delete;
+
+  [[nodiscard]] Status Acquire(std::size_t bytes, const std::string& what) {
+    Reset();
+    PERIODICA_RETURN_NOT_OK(budget_->Reserve(bytes, what));
+    bytes_ = bytes;
+    return Status::OK();
+  }
+
+  void Reset() {
+    if (bytes_ != 0) budget_->Release(bytes_);
+    bytes_ = 0;
+  }
+
+ private:
+  MiningBudget* budget_;
+  std::size_t bytes_ = 0;
 };
 
 /// Exact F2 count for one (symbol, phase) pair of one period, as produced by

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "periodica/core/detail.h"
+#include "periodica/core/memory_estimate.h"
 #include "periodica/util/logging.h"
 
 namespace periodica {
@@ -19,6 +20,22 @@ PeriodicityTable ExactConvolutionMiner::Mine(
   max_period = std::min(max_period, n - 1);
 
   const internal::MiningStopSignal stop(options);
+
+  // Memory budget: the exact engine's footprint is the sigma*n-bit mapping
+  // (already built — counted exactly) plus per-period collection scratch,
+  // charged once upfront at its worst case; stored entries are charged as
+  // they accumulate, mirroring the FFT engine.
+  internal::MiningBudget budget(options);
+  internal::ScopedMiningCharge fixed_charge(&budget);
+  if (Status status = fixed_charge.Acquire(
+          mapping_.bits().words().size() * 8 +
+              internal::PhaseSplitScratchBytes(n),
+          "mine (exact): binary mapping + per-period scratch");
+      !status.ok()) {
+    table.set_resource_error(std::move(status));
+    return table;
+  }
+  std::size_t entry_charge_bytes = 0;
 
   std::vector<std::size_t> matched_bits;
   std::vector<internal::PhaseCount> counts;
@@ -57,8 +74,20 @@ PeriodicityTable ExactConvolutionMiner::Mine(
           static_cast<std::uint64_t>(end - start)});
       start = end;
     }
+    const std::size_t entries_before = table.entries().size();
     internal::EmitPeriod(n, p, counts, options, &table);
+    const std::size_t added = table.entries().size() - entries_before;
+    if (added != 0) {
+      const std::size_t bytes = added * sizeof(SymbolPeriodicity);
+      if (Status status = budget.Reserve(bytes, "mine (exact): stored entries");
+          !status.ok()) {
+        table.set_resource_error(std::move(status));
+        break;
+      }
+      entry_charge_bytes += bytes;
+    }
   }
+  budget.Release(entry_charge_bytes);
   table.SortCanonical();
   return table;
 }

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "periodica/core/detail.h"
+#include "periodica/core/memory_estimate.h"
 #include "periodica/fft/chunked.h"
 #include "periodica/fft/convolution.h"
 #include "periodica/util/logging.h"
@@ -155,6 +156,27 @@ PeriodicityTable FftConvolutionMiner::Mine(const MinerOptions& options) const {
     return table;
   }
 
+  // Memory budget (per-request cap and/or shared process pool). The fixed
+  // charge represents the allocations alive for the whole call — the
+  // indicator bitsets (already built; the words are counted exactly) and the
+  // per-symbol match-count vectors; each stage then reserves its scratch
+  // before allocating it, so running dry aborts the mine instead of
+  // swelling the process. A failed mine returns an empty table whose
+  // resource_error() carries the ResourceExhausted.
+  internal::MiningBudget budget(options);
+  std::size_t indicator_bytes = 0;
+  for (const DynamicBitset& indicator : indicators_) {
+    indicator_bytes += indicator.words().size() * 8;
+  }
+  internal::ScopedMiningCharge fixed_charge(&budget);
+  if (Status status = fixed_charge.Acquire(
+          indicator_bytes + indicators_.size() * (max_period + 1) * 8,
+          "mine: indicators + match counts");
+      !status.ok()) {
+    table.set_resource_error(std::move(status));
+    return table;
+  }
+
   // The pool lives for this call only; num_threads == 1 (the default) keeps
   // everything on the calling thread. Every parallel stage writes into
   // per-task slots and is merged in a fixed order below, so the table is
@@ -174,17 +196,39 @@ PeriodicityTable FftConvolutionMiner::Mine(const MinerOptions& options) const {
 
   // Stage 1: per-symbol FFT autocorrelations — one independent transform per
   // symbol, run across the pool — followed by the lossless aggregate
-  // pre-filter, applied sequentially in symbol order.
+  // pre-filter, applied sequentially in symbol order. Each task reserves
+  // its transform scratch first; a task that cannot reserve records the
+  // failure in its own slot (the first one, by symbol order, wins below —
+  // deterministic at every thread count) and computes nothing.
+  const std::size_t stage1_scratch_bytes =
+      options.fft_block_size != 0
+          ? internal::ChunkedFftScratchBytes(max_period,
+                                             options.fft_block_size)
+          : internal::DirectFftScratchBytes(n_);
+  std::vector<Status> task_errors(indicators_.size(), Status::OK());
   std::vector<std::vector<std::uint64_t>> match_counts(indicators_.size());
   PERIODICA_CHECK_OK(util::ParallelFor(
       pool_ptr, indicators_.size(), [&](std::size_t k) {
         if (indicators_[k].Count() == 0) return;
+        internal::ScopedMiningCharge scratch(&budget);
+        if (Status status =
+                scratch.Acquire(stage1_scratch_bytes, "mine: stage-1 FFT");
+            !status.ok()) {
+          task_errors[k] = std::move(status);
+          return;
+        }
         match_counts[k] =
             options.fft_block_size != 0
                 ? MatchCountsBounded(static_cast<SymbolId>(k), max_period,
                                      options.fft_block_size)
                 : MatchCounts(static_cast<SymbolId>(k), max_period);
       }));
+  for (Status& status : task_errors) {
+    if (!status.ok()) {
+      table.set_resource_error(std::move(status));
+      return table;
+    }
+  }
   for (std::size_t k = 0; k < match_counts.size(); ++k) {
     const std::vector<std::uint64_t>& counts = match_counts[k];
     for (std::size_t p = min_period; p < counts.size(); ++p) {
@@ -249,9 +293,13 @@ PeriodicityTable FftConvolutionMiner::Mine(const MinerOptions& options) const {
   // order on this thread, which keeps the max_entries truncation point and
   // the table layout identical to the sequential walk.
   struct PeriodGroup {
-    std::size_t begin;  ///< first index into `candidates`
-    std::size_t end;    ///< one past the last index
+    std::size_t begin = 0;  ///< first index into `candidates`
+    std::size_t end = 0;    ///< one past the last index
     std::vector<internal::PhaseCount> counts;
+    /// Budget bytes reserved by this group's phase-split task; released
+    /// after the group is drained (the counts live until EmitPeriod).
+    std::size_t charged_bytes = 0;
+    Status charge_error = Status::OK();
   };
   std::vector<PeriodGroup> groups;
   for (std::size_t start = 0; start < candidates.size();) {
@@ -260,7 +308,10 @@ PeriodicityTable FftConvolutionMiner::Mine(const MinerOptions& options) const {
            candidates[end].period == candidates[start].period) {
       ++end;
     }
-    groups.push_back(PeriodGroup{start, end, {}});
+    PeriodGroup group;
+    group.begin = start;
+    group.end = end;
+    groups.push_back(std::move(group));
     start = end;
   }
   // Period groups are consumed through a bounded window: phase-splitting for
@@ -271,6 +322,8 @@ PeriodicityTable FftConvolutionMiner::Mine(const MinerOptions& options) const {
   // truncation point — does not depend on the window size.
   const std::size_t window =
       pool_ptr == nullptr ? 1 : pool_ptr->num_workers() * 4;
+  std::size_t entry_charge_bytes = 0;  ///< cumulative stored-entry charge
+  bool budget_aborted = false;
   for (std::size_t first = 0; first < groups.size(); first += window) {
     if (stop.Expired()) {
       table.set_partial(true);
@@ -281,6 +334,27 @@ PeriodicityTable FftConvolutionMiner::Mine(const MinerOptions& options) const {
         pool_ptr, last - first, [&](std::size_t offset) {
           PeriodGroup& group = groups[first + offset];
           const std::size_t p = candidates[group.begin].period;
+          // The FFT already told us how many positions will match, so the
+          // split's scratch (positions + phases, 8 bytes each per match)
+          // and its per-phase counts are charged exactly, before anything
+          // is allocated.
+          std::uint64_t total_matches = 0;
+          for (std::size_t c = group.begin; c < group.end; ++c) {
+            total_matches += candidates[c].matches;
+          }
+          const std::uint64_t phase_bound = std::min<std::uint64_t>(
+              total_matches,
+              static_cast<std::uint64_t>(p) * (group.end - group.begin));
+          if (Status status = budget.Reserve(
+                  static_cast<std::size_t>(16 * total_matches +
+                                           24 * phase_bound),
+                  "mine: stage-2 phase split for period " + std::to_string(p));
+              !status.ok()) {
+            group.charge_error = std::move(status);
+            return;
+          }
+          group.charged_bytes = static_cast<std::size_t>(16 * total_matches +
+                                                         24 * phase_bound);
           std::vector<std::size_t> match_positions;
           std::vector<std::size_t> phases;
           for (std::size_t c = group.begin; c < group.end; ++c) {
@@ -306,11 +380,37 @@ PeriodicityTable FftConvolutionMiner::Mine(const MinerOptions& options) const {
           }
         }));
     for (std::size_t g = first; g < last; ++g) {
-      internal::EmitPeriod(n_, candidates[groups[g].begin].period,
-                           groups[g].counts, options, &table);
-      std::vector<internal::PhaseCount>().swap(groups[g].counts);
+      PeriodGroup& group = groups[g];
+      if (!budget_aborted && !group.charge_error.ok()) {
+        table.set_resource_error(group.charge_error);
+        budget_aborted = true;
+      }
+      if (!budget_aborted) {
+        const std::size_t entries_before = table.entries().size();
+        internal::EmitPeriod(n_, candidates[group.begin].period, group.counts,
+                             options, &table);
+        // Stored entries outlive every stage; their bytes stay reserved
+        // until the call returns (the charge trails each period's emission
+        // by one append — bounded skew, released wholesale below).
+        const std::size_t added = table.entries().size() - entries_before;
+        if (added != 0) {
+          const std::size_t bytes = added * sizeof(SymbolPeriodicity);
+          if (Status status = budget.Reserve(bytes, "mine: stored entries");
+              !status.ok()) {
+            table.set_resource_error(std::move(status));
+            budget_aborted = true;
+          } else {
+            entry_charge_bytes += bytes;
+          }
+        }
+      }
+      budget.Release(group.charged_bytes);
+      group.charged_bytes = 0;
+      std::vector<internal::PhaseCount>().swap(group.counts);
     }
+    if (budget_aborted) break;
   }
+  budget.Release(entry_charge_bytes);
   table.SortCanonical();
   return table;
 }

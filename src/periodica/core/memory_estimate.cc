@@ -1,0 +1,154 @@
+#include "periodica/core/memory_estimate.h"
+
+#include <algorithm>
+
+#include "periodica/core/periodicity.h"
+#include "periodica/util/memory_budget.h"
+#include "periodica/util/thread_pool.h"
+
+namespace periodica {
+
+namespace {
+
+std::size_t NextPowerOfTwoBytes(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+namespace internal {
+
+std::size_t DirectFftScratchBytes(std::size_t n) {
+  // Autocorrelation(): the input copy (n doubles), the zero-padded real
+  // buffer (padded doubles), the half-spectrum (padded/2+1 complex = ~padded
+  // doubles) and the inverse output (padded doubles), padded =
+  // NextPowerOfTwo(2n) <= 4n.
+  const std::size_t padded = NextPowerOfTwoBytes(2 * std::max<std::size_t>(n, 1));
+  return 8 * n + 3 * 8 * padded;
+}
+
+std::size_t ChunkedFftScratchBytes(std::size_t max_period,
+                                   std::size_t block_size) {
+  // BoundedLagAutocorrelator: accumulator + tail (max_period doubles each),
+  // a pending block, the staging chunk, and the per-block correlation
+  // transform over block + max_period samples.
+  const std::size_t block =
+      block_size != 0 ? block_size
+                      : std::max<std::size_t>(4 * max_period, 4096);
+  const std::size_t span = block + max_period;
+  const std::size_t padded = NextPowerOfTwoBytes(2 * std::max<std::size_t>(span, 1));
+  return 8 * (2 * max_period + 2 * block) + 3 * 8 * padded;
+}
+
+std::size_t PhaseSplitScratchBytes(std::size_t n) {
+  // Stage 2, per period group: match positions + phases (<= n size_t each,
+  // since at most n positions can match one lag across all symbols) and the
+  // run-length PhaseCount output.
+  return 2 * 8 * n + 24 * n;
+}
+
+std::size_t MaxPossibleEntries(std::size_t n, std::size_t sigma,
+                               std::size_t min_period,
+                               std::size_t max_period) {
+  // Period p contributes at most min(p * sigma, n) entries: one per
+  // (position < p, symbol) pair, but also no more than one per position of
+  // the series that matches at lag p. Summed in closed form with the
+  // crossover at t = n / sigma; evaluated in floating point and clamped, as
+  // the true value only matters when it is *small*.
+  if (max_period < min_period || sigma == 0) return 0;
+  const auto f = [](long double x) { return x * (x + 1) / 2; };
+  const std::size_t t = n / sigma;
+  long double total = 0;
+  const std::size_t ramp_end = std::min(max_period, t);
+  if (ramp_end >= min_period) {
+    total += static_cast<long double>(sigma) *
+             (f(static_cast<long double>(ramp_end)) -
+              f(static_cast<long double>(min_period) - 1));
+  }
+  if (max_period > t) {
+    total += static_cast<long double>(n) *
+             static_cast<long double>(max_period - std::max(t, min_period - 1));
+  }
+  constexpr long double kCap = 1e18L;
+  return total > kCap ? static_cast<std::size_t>(kCap)
+                      : static_cast<std::size_t>(total);
+}
+
+}  // namespace internal
+
+MineMemoryEstimate EstimateMineMemory(std::size_t n, std::size_t sigma,
+                                      const MinerOptions& options) {
+  MineMemoryEstimate estimate;
+  if (n == 0 || sigma == 0) return estimate;
+
+  std::size_t max_period = options.max_period == 0 ? n / 2 : options.max_period;
+  max_period = std::min(max_period, n > 0 ? n - 1 : 0);
+
+  MinerEngine engine = options.engine;
+  if (engine == MinerEngine::kAuto) {
+    engine = n <= options.auto_engine_cutoff ? MinerEngine::kExact
+                                             : MinerEngine::kFft;
+  }
+
+  estimate.indicator_bytes = sigma * ((n + 63) / 64) * 8;
+
+  if (engine == MinerEngine::kExact) {
+    // The exact engine walks one sigma*n-bit mapping (counted as the
+    // indicator term) with per-period scratch: matched bit positions + keys
+    // (<= sigma*n matches of 8 bytes each in the worst case) + counts.
+    estimate.workers = 1;  // the exact engine is sequential
+    estimate.counts_bytes = 0;
+    estimate.indicator_bytes = ((sigma * n + 63) / 64) * 8;
+    estimate.stage1_scratch_bytes = internal::PhaseSplitScratchBytes(n);
+    estimate.stage2_scratch_bytes = 0;
+  } else {
+    const std::size_t workers = std::min<std::size_t>(
+        util::ThreadPool::ResolveThreadCount(options.num_threads),
+        std::max<std::size_t>(sigma, 1));
+    estimate.workers = workers;
+    estimate.chunked = options.fft_block_size != 0;
+    estimate.counts_bytes = sigma * (max_period + 1) * 8;
+    const std::size_t per_task =
+        estimate.chunked
+            ? internal::ChunkedFftScratchBytes(max_period,
+                                               options.fft_block_size)
+            : internal::DirectFftScratchBytes(n);
+    estimate.stage1_scratch_bytes = per_task * workers;
+    if (options.positions) {
+      estimate.stage2_scratch_bytes =
+          internal::PhaseSplitScratchBytes(n) * workers;
+    }
+  }
+  if (options.positions) {
+    const std::size_t min_period = std::max<std::size_t>(options.min_period, 1);
+    estimate.entry_bytes =
+        std::min(options.max_entries,
+                 internal::MaxPossibleEntries(n, sigma, min_period,
+                                              max_period)) *
+        sizeof(SymbolPeriodicity);
+  }
+  return estimate;
+}
+
+std::string MineMemoryEstimate::ToString() const {
+  std::string out = "total " + util::FormatBytes(total_bytes()) +
+                    " (indicators " + util::FormatBytes(indicator_bytes);
+  if (counts_bytes != 0) {
+    out += ", counts " + util::FormatBytes(counts_bytes);
+  }
+  out += ", fft " + util::FormatBytes(stage1_scratch_bytes) +
+         (chunked ? " chunked" : " direct") + " x" + std::to_string(workers) +
+         " workers";
+  if (stage2_scratch_bytes != 0) {
+    out += ", phase-split " + util::FormatBytes(stage2_scratch_bytes);
+  }
+  if (entry_bytes != 0) {
+    out += ", entries " + util::FormatBytes(entry_bytes);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace periodica

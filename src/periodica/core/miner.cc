@@ -5,10 +5,34 @@
 
 #include "periodica/core/exact_miner.h"
 #include "periodica/core/fft_miner.h"
+#include "periodica/core/memory_estimate.h"
 #include "periodica/core/pattern_miner.h"
 #include "periodica/core/significance.h"
 
 namespace periodica {
+
+namespace {
+
+// Upfront admission check against the per-request cap: a request whose
+// predicted peak exceeds memory_budget_bytes is rejected before any
+// allocation, with the full per-stage breakdown in the error so the caller
+// can see what to shrink (n, max_period, workers, or positions mode). The
+// shared pool is deliberately not checked here — its headroom changes with
+// concurrent requests, so it is enforced by the engines' actual charges.
+Status CheckMemoryEstimate(std::size_t n, std::size_t sigma,
+                           const MinerOptions& options) {
+  if (options.memory_budget_bytes == 0) return Status::OK();
+  const MineMemoryEstimate estimate = EstimateMineMemory(n, sigma, options);
+  if (estimate.total_bytes() > options.memory_budget_bytes) {
+    return Status::ResourceExhausted(
+        "mine rejected upfront: estimated peak memory " + estimate.ToString() +
+        " exceeds the per-request budget of " +
+        util::FormatBytes(options.memory_budget_bytes));
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Status ObscureMiner::Validate() const {
   if (options_.threshold <= 0.0 || options_.threshold > 1.0) {
@@ -53,11 +77,14 @@ Result<MiningResult> ObscureMiner::Mine(const SymbolSeries& series) const {
                                                           : MinerEngine::kFft;
   }
   result.engine_used = engine;
+  PERIODICA_RETURN_NOT_OK(
+      CheckMemoryEstimate(series.size(), series.alphabet().size(), options_));
   if (engine == MinerEngine::kExact) {
     result.periodicities = ExactConvolutionMiner(series).Mine(options_);
   } else {
     result.periodicities = FftConvolutionMiner(series).Mine(options_);
   }
+  PERIODICA_RETURN_NOT_OK(result.periodicities.resource_error());
   result.partial = result.periodicities.partial();
   PERIODICA_RETURN_NOT_OK(ApplySignificance(series, &result));
   if (!options_.mine_patterns) return result;
@@ -78,7 +105,10 @@ Result<MiningResult> ObscureMiner::Mine(SeriesStream* stream) const {
   result.series_length = miner.size();
   result.alphabet_size = miner.alphabet().size();
   result.engine_used = MinerEngine::kFft;
+  PERIODICA_RETURN_NOT_OK(
+      CheckMemoryEstimate(miner.size(), miner.alphabet().size(), options_));
   result.periodicities = miner.Mine(options_);
+  PERIODICA_RETURN_NOT_OK(result.periodicities.resource_error());
   result.partial = result.periodicities.partial();
   if (options_.significance_p_value > 0.0 || options_.mine_patterns) {
     // The indicator vectors hold the whole series; reconstruct once for the

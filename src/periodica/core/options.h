@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "periodica/util/cancellation.h"
+#include "periodica/util/memory_budget.h"
 
 namespace periodica {
 
@@ -78,6 +79,23 @@ struct MinerOptions {
   /// entry (0 = unlimited). Same clean-stop semantics as `cancellation`;
   /// both may be set, whichever trips first wins.
   std::size_t deadline_ms = 0;
+
+  /// Per-request working-memory cap in bytes (0 = unlimited). Enforced
+  /// twice: ObscureMiner::Mine rejects upfront — with the full
+  /// MineMemoryEstimate breakdown in the error — any request whose predicted
+  /// peak exceeds the cap, and the FFT engine additionally charges its
+  /// actual stage allocations against the cap mid-flight, so a request that
+  /// outgrows its prediction fails with ResourceExhausted instead of
+  /// swelling the process (see core/memory_estimate.h).
+  std::size_t memory_budget_bytes = 0;
+
+  /// Optional process-global memory pool shared by concurrent Mine calls
+  /// (not owned; may be null). The engines reserve their allocations here
+  /// too, so the *sum* of concurrent requests stays bounded: when the pool
+  /// runs dry the request that overflowed it fails with ResourceExhausted
+  /// and every other request keeps its memory. A serving layer typically
+  /// also pre-reserves the fixed (indicator) bytes at admission time.
+  util::MemoryBudget* memory_budget = nullptr;
 
   /// When true (default), the result carries exact per-(symbol, position)
   /// entries (Definition 1) for every candidate period. When false, only

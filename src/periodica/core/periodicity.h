@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "periodica/series/alphabet.h"
+#include "periodica/util/status.h"
 
 namespace periodica {
 
@@ -57,6 +58,9 @@ class PeriodicityTable {
   void AddSummary(PeriodSummary summary) { summaries_.push_back(summary); }
   void set_truncated(bool truncated) { truncated_ = truncated; }
   void set_partial(bool partial) { partial_ = partial; }
+  void set_resource_error(Status status) {
+    resource_error_ = std::move(status);
+  }
 
   [[nodiscard]] const std::vector<SymbolPeriodicity>& entries() const {
     return entries_;
@@ -69,6 +73,14 @@ class PeriodicityTable {
   /// MinerOptions::cancellation/deadline_ms): the table is a correct prefix
   /// — periods examined before the stop are exact, later ones are absent.
   [[nodiscard]] bool partial() const { return partial_; }
+  /// Non-OK (ResourceExhausted) when the mine aborted on a memory-budget
+  /// charge (MinerOptions::memory_budget_bytes / memory_budget): the engine
+  /// stopped before the offending allocation, so the process never swelled,
+  /// and the table contents are not meaningful results. ObscureMiner turns
+  /// this into the Mine call's returned error.
+  [[nodiscard]] const Status& resource_error() const {
+    return resource_error_;
+  }
 
   /// Distinct detected periods, ascending.
   [[nodiscard]] std::vector<std::size_t> Periods() const;
@@ -103,6 +115,7 @@ class PeriodicityTable {
   std::vector<PeriodSummary> summaries_;
   bool truncated_ = false;
   bool partial_ = false;
+  Status resource_error_ = Status::OK();
 };
 
 }  // namespace periodica

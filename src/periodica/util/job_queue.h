@@ -1,0 +1,144 @@
+#ifndef PERIODICA_UTIL_JOB_QUEUE_H_
+#define PERIODICA_UTIL_JOB_QUEUE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+
+#include "periodica/util/status.h"
+#include "periodica/util/thread_pool.h"
+
+namespace periodica::util {
+
+/// A bounded, priority-aware admission layer on top of util::ThreadPool —
+/// the piece that lets a long-running mining service degrade gracefully
+/// instead of dying: when the queue is deeper than `max_queue_depth`, or the
+/// EWMA of how long jobs sit in the queue exceeds `max_queue_latency_ms`,
+/// TrySubmit *rejects* the work with Unavailable and a structured retry-after
+/// hint rather than letting the backlog (and its memory) grow without bound.
+/// Modeled on rippled's JobQueue/LoadMonitor pair: admission is decided at
+/// enqueue time from cheap load statistics, never by blocking the caller.
+///
+/// Execution order is priority-then-FIFO: every dispatch runs the oldest job
+/// of the highest non-empty priority band. The pool's workers are shared
+/// across bands, so one band cannot starve the others of *running* slots —
+/// only overtake them in line.
+///
+/// Lifecycle: Drain() (idempotent) stops admission — every later TrySubmit
+/// fails with Unavailable("draining") — and blocks until queued and running
+/// jobs finish; the destructor drains implicitly. Jobs must not call
+/// TrySubmit/Drain on their own queue.
+///
+/// Fault-injection site "job_queue/enqueue" (util/fault_injector.h) fires
+/// inside TrySubmit after admission checks, so tests can script enqueue
+/// failures independently of real load.
+///
+/// Thread-safety: all public methods may be called concurrently.
+class JobQueue {
+ public:
+  /// Dispatch bands, highest first.
+  enum class Priority { kHigh = 0, kNormal = 1, kLow = 2 };
+  static constexpr std::size_t kNumPriorities = 3;
+
+  struct Options {
+    /// Worker threads (ThreadPool semantics: 0 = hardware concurrency).
+    std::size_t num_threads = 1;
+    /// Jobs allowed to *wait* (running jobs do not count). 0 admits nothing
+    /// beyond what a free worker picks up immediately.
+    std::size_t max_queue_depth = 16;
+    /// Reject when the queue-wait EWMA exceeds this (0 = depth-only
+    /// admission). Latency admission kicks in even below max_queue_depth —
+    /// a queue of two multi-minute jobs is as overloaded as a deep one. It
+    /// only applies while a backlog exists: an empty queue always admits
+    /// (the job starts immediately), which is also how a high EWMA decays.
+    double max_queue_latency_ms = 0.0;
+    /// EWMA smoothing factor in (0, 1]; 1 = last observation only.
+    double ewma_alpha = 0.2;
+  };
+
+  /// Why a TrySubmit was rejected, in wire-protocol-ready form.
+  struct OverloadInfo {
+    std::size_t queue_depth = 0;
+    double queue_latency_ewma_ms = 0.0;
+    /// When a client should try again: the current backlog's expected drain
+    /// time, floored at 10 ms.
+    std::chrono::milliseconds retry_after{0};
+    /// True when the queue is draining (shutdown) rather than overloaded.
+    bool draining = false;
+  };
+
+  struct Stats {
+    std::size_t queue_depth = 0;    ///< waiting jobs
+    std::size_t running = 0;        ///< jobs currently on a worker
+    std::uint64_t accepted = 0;     ///< TrySubmit successes, ever
+    std::uint64_t rejected = 0;     ///< TrySubmit overload rejections, ever
+    std::uint64_t completed = 0;    ///< jobs finished, ever
+    double queue_latency_ewma_ms = 0.0;
+    /// Age of the longest-running in-flight job (0 when idle) — the
+    /// watchdog's wedge signal.
+    double oldest_running_ms = 0.0;
+  };
+
+  explicit JobQueue(Options options);
+
+  /// Drains (waits for queued and running jobs), then joins the workers.
+  ~JobQueue();
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Admits `job` into `priority`'s band or rejects it. Returns OK (the job
+  /// will run exactly once), or Unavailable when the queue is past its depth
+  /// or latency limit or draining — in which case `overload`, when non-null,
+  /// carries the structured rejection and `job` was NOT taken (no silent
+  /// drops: every submission is either run or visibly rejected).
+  [[nodiscard]] Status TrySubmit(Priority priority, std::function<void()> job,
+                                 OverloadInfo* overload = nullptr);
+
+  /// Stops admission and blocks until every admitted job has finished.
+  /// Idempotent; concurrent callers all block until the drain completes.
+  void Drain();
+
+  /// True once Drain has been requested.
+  [[nodiscard]] bool draining() const;
+
+  [[nodiscard]] Stats GetStats() const;
+
+  [[nodiscard]] std::size_t num_workers() const {
+    return pool_.num_workers();
+  }
+
+ private:
+  struct QueuedJob {
+    std::function<void()> job;
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
+
+  /// Pops and runs the oldest job of the highest non-empty band; executed on
+  /// a pool worker, one call per admitted job.
+  void RunNext();
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::deque<QueuedJob> bands_[kNumPriorities];
+  std::size_t queue_depth_ = 0;  ///< sum of band sizes
+  std::size_t running_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t completed_ = 0;
+  double latency_ewma_ms_ = 0.0;
+  bool draining_ = false;
+  std::uint64_t next_run_id_ = 0;
+  /// Start times of in-flight jobs, keyed by a dispatch id (for
+  /// oldest_running_ms; a std::map keeps the oldest at begin()).
+  std::map<std::uint64_t, std::chrono::steady_clock::time_point> running_since_;
+  ThreadPool pool_;  ///< declared last: workers must die before the state
+};
+
+}  // namespace periodica::util
+
+#endif  // PERIODICA_UTIL_JOB_QUEUE_H_

@@ -1,0 +1,329 @@
+#include "periodica/util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace periodica::util {
+
+namespace {
+
+/// Recursive-descent parser over a string. Depth is bounded so a hostile
+/// request of 100k '[' cannot blow the stack.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Run() {
+    SkipWhitespace();
+    PERIODICA_ASSIGN_OR_RETURN(JsonValue value, ParseValue(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr std::size_t kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at byte " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue(std::size_t depth) {  // NOLINT(misc-no-recursion)
+    if (depth > kMaxDepth) return Error("nesting deeper than 64 levels");
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"':
+        return ParseString();
+      case 't':
+        return ParseLiteral("true", JsonValue(true));
+      case 'f':
+        return ParseLiteral("false", JsonValue(false));
+      case 'n':
+        return ParseLiteral("null", JsonValue());
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<JsonValue> ParseLiteral(const char* literal, JsonValue value) {
+    for (const char* p = literal; *p != '\0'; ++p) {
+      if (!Consume(*p)) return Error(std::string("expected '") + literal + "'");
+    }
+    return value;
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const std::size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    std::size_t consumed = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(token, &consumed);
+    } catch (const std::exception&) {
+      return Error("malformed number '" + token + "'");
+    }
+    if (consumed != token.size()) {
+      return Error("malformed number '" + token + "'");
+    }
+    return JsonValue(value);
+  }
+
+  Result<JsonValue> ParseString() {
+    PERIODICA_ASSIGN_OR_RETURN(std::string text, ParseRawString());
+    return JsonValue(std::move(text));
+  }
+
+  Result<std::string> ParseRawString() {
+    if (!Consume('"')) return Error("expected '\"'");
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("bad hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are passed
+          // through as two 3-byte sequences — the protocol is ASCII in
+          // practice and lossless round-tripping is not required here).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error(std::string("unknown escape '\\") + esc + "'");
+      }
+    }
+  }
+
+  Result<JsonValue> ParseArray(std::size_t depth) {  // NOLINT(misc-no-recursion)
+    PERIODICA_CHECK(Consume('['));
+    JsonValue::Array items;
+    SkipWhitespace();
+    if (Consume(']')) return JsonValue(std::move(items));
+    while (true) {
+      SkipWhitespace();
+      PERIODICA_ASSIGN_OR_RETURN(JsonValue item, ParseValue(depth + 1));
+      items.push_back(std::move(item));
+      SkipWhitespace();
+      if (Consume(']')) return JsonValue(std::move(items));
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<JsonValue> ParseObject(std::size_t depth) {  // NOLINT(misc-no-recursion)
+    PERIODICA_CHECK(Consume('{'));
+    JsonValue::Object members;
+    SkipWhitespace();
+    if (Consume('}')) return JsonValue(std::move(members));
+    while (true) {
+      SkipWhitespace();
+      PERIODICA_ASSIGN_OR_RETURN(std::string key, ParseRawString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      SkipWhitespace();
+      PERIODICA_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      members.insert_or_assign(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return JsonValue(std::move(members));
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+void DumpString(const std::string& text, std::string* out) {
+  out->push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buffer;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void DumpNumber(double value, std::string* out) {
+  if (!std::isfinite(value)) {
+    *out += "null";
+    return;
+  }
+  // Integer fast path: counts, sizes and ids stay "123", not "123.0".
+  if (value == std::floor(value) && std::abs(value) < 9.0e15) {
+    *out += std::to_string(static_cast<long long>(value));
+    return;
+  }
+  std::ostringstream stream;
+  stream.precision(17);
+  stream << value;
+  *out += stream.str();
+}
+
+void DumpValue(const JsonValue& value, std::string* out) {  // NOLINT(misc-no-recursion)
+  switch (value.kind()) {
+    case JsonValue::Kind::kNull:
+      *out += "null";
+      break;
+    case JsonValue::Kind::kBool:
+      *out += value.as_bool() ? "true" : "false";
+      break;
+    case JsonValue::Kind::kNumber:
+      DumpNumber(value.as_number(), out);
+      break;
+    case JsonValue::Kind::kString:
+      DumpString(value.as_string(), out);
+      break;
+    case JsonValue::Kind::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& item : value.as_array()) {
+        if (!first) out->push_back(',');
+        first = false;
+        DumpValue(item, out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, member] : value.as_object()) {
+        if (!first) out->push_back(',');
+        first = false;
+        DumpString(key, out);
+        out->push_back(':');
+        DumpValue(member, out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Result<JsonValue> JsonValue::Parse(const std::string& text) {
+  return Parser(text).Run();
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+std::string JsonValue::GetString(const std::string& key,
+                                 const std::string& fallback) const {
+  const JsonValue* member = Find(key);
+  return member != nullptr && member->is_string() ? member->as_string()
+                                                  : fallback;
+}
+
+double JsonValue::GetNumber(const std::string& key, double fallback) const {
+  const JsonValue* member = Find(key);
+  return member != nullptr && member->is_number() ? member->as_number()
+                                                  : fallback;
+}
+
+bool JsonValue::GetBool(const std::string& key, bool fallback) const {
+  const JsonValue* member = Find(key);
+  return member != nullptr && member->is_bool() ? member->as_bool() : fallback;
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpValue(*this, &out);
+  return out;
+}
+
+}  // namespace periodica::util

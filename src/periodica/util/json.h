@@ -1,0 +1,95 @@
+#ifndef PERIODICA_UTIL_JSON_H_
+#define PERIODICA_UTIL_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "periodica/util/result.h"
+
+namespace periodica::util {
+
+/// A minimal JSON document model for the periodicad wire protocol
+/// (newline-delimited JSON over a local socket, docs/SERVING.md). Scope is
+/// deliberately small — parse a request line, build a response — not a
+/// general serialization framework:
+///
+///  * numbers are doubles (with an integer fast path in Dump, so counts
+///    round-trip without a trailing ".0");
+///  * object keys keep insertion order irrelevant (std::map, sorted), which
+///    makes responses byte-stable for tests;
+///  * Dump never emits raw newlines, so one document is always one line.
+///
+/// Parse rejects malformed input with InvalidArgument carrying the byte
+/// offset — a garbled request must produce a structured error, never UB.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(bool value) : kind_(Kind::kBool), bool_(value) {}  // NOLINT
+  JsonValue(double value) : kind_(Kind::kNumber), number_(value) {}  // NOLINT
+  JsonValue(std::int64_t value)  // NOLINT
+      : kind_(Kind::kNumber), number_(static_cast<double>(value)) {}
+  JsonValue(std::size_t value)  // NOLINT
+      : kind_(Kind::kNumber), number_(static_cast<double>(value)) {}
+  JsonValue(std::string value)  // NOLINT
+      : kind_(Kind::kString), string_(std::move(value)) {}
+  JsonValue(const char* value)  // NOLINT
+      : kind_(Kind::kString), string_(value) {}
+  JsonValue(Array value)  // NOLINT
+      : kind_(Kind::kArray), array_(std::move(value)) {}
+  JsonValue(Object value)  // NOLINT
+      : kind_(Kind::kObject), object_(std::move(value)) {}
+
+  /// Parses exactly one JSON document; trailing non-whitespace is an error.
+  static Result<JsonValue> Parse(const std::string& text);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_number() const { return number_; }
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+  [[nodiscard]] const Array& as_array() const { return array_; }
+  [[nodiscard]] const Object& as_object() const { return object_; }
+  [[nodiscard]] Object& mutable_object() { return object_; }
+  [[nodiscard]] Array& mutable_array() { return array_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* Find(const std::string& key) const;
+
+  /// Typed member accessors with defaults — the shape request handlers want:
+  /// missing member or wrong type yields the fallback.
+  [[nodiscard]] std::string GetString(const std::string& key,
+                                      const std::string& fallback) const;
+  [[nodiscard]] double GetNumber(const std::string& key,
+                                 double fallback) const;
+  [[nodiscard]] bool GetBool(const std::string& key, bool fallback) const;
+
+  /// Serializes to a single line (no raw newlines; non-finite numbers emit
+  /// null, as JSON has no representation for them).
+  [[nodiscard]] std::string Dump() const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace periodica::util
+
+#endif  // PERIODICA_UTIL_JSON_H_

@@ -1,0 +1,86 @@
+#include "periodica/util/memory_budget.h"
+
+#include <algorithm>
+#include <iterator>
+#include <sstream>
+
+namespace periodica::util {
+
+Status MemoryBudget::TryReserve(std::size_t bytes, const std::string& what) {
+  std::size_t current = used_.load(std::memory_order_relaxed);
+  for (;;) {
+    const std::size_t next = current + bytes;
+    if (next < current) {  // overflow: necessarily over any finite limit
+      return Status::ResourceExhausted(what + ": reservation of " +
+                                       FormatBytes(bytes) +
+                                       " overflows the accounting counter");
+    }
+    if (limit_ != 0 && next > limit_) {
+      return Status::ResourceExhausted(
+          what + " needs " + FormatBytes(bytes) + " but only " +
+          FormatBytes(limit_ - std::min(limit_, current)) +
+          " of the " + FormatBytes(limit_) + " memory budget is free (" +
+          FormatBytes(current) + " in use)");
+    }
+    if (used_.compare_exchange_weak(current, next, std::memory_order_relaxed,
+                                    std::memory_order_relaxed)) {
+      // The high-water mark is advisory; a stale race simply under-reports.
+      std::size_t seen = high_water_.load(std::memory_order_relaxed);
+      while (seen < next && !high_water_.compare_exchange_weak(
+                                seen, next, std::memory_order_relaxed,
+                                std::memory_order_relaxed)) {
+      }
+      return Status::OK();
+    }
+  }
+}
+
+void MemoryBudget::Release(std::size_t bytes) {
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+Status MemoryReservation::Acquire(MemoryBudget* first, MemoryBudget* second,
+                                  std::size_t bytes, const std::string& what) {
+  Reset();
+  if (first != nullptr) {
+    PERIODICA_RETURN_NOT_OK(first->TryReserve(bytes, what));
+  }
+  if (second != nullptr) {
+    if (Status status = second->TryReserve(bytes, what); !status.ok()) {
+      if (first != nullptr) first->Release(bytes);
+      return status;
+    }
+  }
+  first_ = first;
+  second_ = second;
+  bytes_ = bytes;
+  return Status::OK();
+}
+
+void MemoryReservation::Reset() {
+  if (first_ != nullptr) first_->Release(bytes_);
+  if (second_ != nullptr) second_->Release(bytes_);
+  first_ = second_ = nullptr;
+  bytes_ = 0;
+}
+
+std::string FormatBytes(std::uint64_t bytes) {
+  static constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < std::size(kUnits)) {
+    value /= 1024.0;
+    ++unit;
+  }
+  std::ostringstream out;
+  if (unit == 0) {
+    out << bytes << " B";
+  } else {
+    out.setf(std::ios::fixed);
+    out.precision(2);
+    out << value << " " << kUnits[unit];
+  }
+  return out.str();
+}
+
+}  // namespace periodica::util

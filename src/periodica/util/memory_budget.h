@@ -1,0 +1,107 @@
+#ifndef PERIODICA_UTIL_MEMORY_BUDGET_H_
+#define PERIODICA_UTIL_MEMORY_BUDGET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "periodica/util/status.h"
+
+namespace periodica::util {
+
+/// A thread-safe byte budget shared by concurrent mining requests. The point
+/// is to turn "one oversized request OOM-kills the process and every other
+/// request's state with it" into "the oversized request alone fails with
+/// ResourceExhausted": the hot allocation sites reserve their bytes *before*
+/// allocating and release them when the memory is returned, so the process
+/// never commits more than `limit` bytes of mining working memory.
+///
+/// Accounting is cooperative and approximate-by-design: callers charge the
+/// dominant allocations (indicator bitsets, FFT scratch, phase-split
+/// buffers), not every control-block byte. The slack is bounded and small
+/// relative to the sigma*n-bit payloads the budget exists to police.
+///
+/// Thread-safety: TryReserve/Release are lock-free (one CAS loop / one
+/// fetch_sub) and may race freely. A failed TryReserve changes nothing.
+class MemoryBudget {
+ public:
+  /// A budget of `limit_bytes` (0 = unlimited: reservations always succeed
+  /// and only the high-water statistics are kept).
+  explicit MemoryBudget(std::size_t limit_bytes = 0) : limit_(limit_bytes) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  /// Reserves `bytes` against the budget. Fails with ResourceExhausted —
+  /// naming the request, the budget and the current usage — when the
+  /// reservation would push usage past the limit; on failure nothing is
+  /// charged. `what` labels the allocation in the error message.
+  Status TryReserve(std::size_t bytes, const std::string& what);
+
+  /// Returns `bytes` to the budget. Must pair with a successful TryReserve.
+  void Release(std::size_t bytes);
+
+  [[nodiscard]] std::size_t limit() const { return limit_; }
+  [[nodiscard]] std::size_t used() const {
+    return used_.load(std::memory_order_relaxed);
+  }
+  /// Largest usage ever observed (for capacity planning and the soak job).
+  [[nodiscard]] std::size_t high_water() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::size_t limit_;
+  std::atomic<std::size_t> used_{0};
+  std::atomic<std::size_t> high_water_{0};
+};
+
+/// RAII charge against one or two budgets (a per-request cap and the
+/// process-global pool — the common daemon shape). Acquire() reserves the
+/// same byte count from every non-null budget or from none (a later failure
+/// rolls back the earlier reservation); destruction releases whatever is
+/// held. Movable so charges can live in containers.
+class MemoryReservation {
+ public:
+  MemoryReservation() = default;
+  ~MemoryReservation() { Reset(); }
+
+  MemoryReservation(MemoryReservation&& other) noexcept { *this = std::move(other); }
+  MemoryReservation& operator=(MemoryReservation&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      first_ = other.first_;
+      second_ = other.second_;
+      bytes_ = other.bytes_;
+      other.first_ = other.second_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  MemoryReservation(const MemoryReservation&) = delete;
+  MemoryReservation& operator=(const MemoryReservation&) = delete;
+
+  /// Reserves `bytes` from `first` and `second` (either may be null). On any
+  /// failure the other reservation is rolled back and *this stays empty.
+  Status Acquire(MemoryBudget* first, MemoryBudget* second, std::size_t bytes,
+                 const std::string& what);
+
+  /// Releases the held reservation (idempotent).
+  void Reset();
+
+  [[nodiscard]] std::size_t bytes() const { return bytes_; }
+
+ private:
+  MemoryBudget* first_ = nullptr;
+  MemoryBudget* second_ = nullptr;
+  std::size_t bytes_ = 0;
+};
+
+/// Renders a byte count for error messages and reports: "1.5 GiB", "640 KiB",
+/// "123 B". Two significant decimals, binary units.
+std::string FormatBytes(std::uint64_t bytes);
+
+}  // namespace periodica::util
+
+#endif  // PERIODICA_UTIL_MEMORY_BUDGET_H_

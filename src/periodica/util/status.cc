@@ -20,6 +20,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kNotImplemented:
       return "Not implemented";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -19,6 +19,13 @@ enum class StatusCode {
   kIOError,
   kInternal,
   kNotImplemented,
+  /// A resource budget (memory, queue slots) was exhausted. Retrying with a
+  /// smaller request — or after other work releases its share — can succeed.
+  kResourceExhausted,
+  /// The service is temporarily unable to take the work (overload,
+  /// draining); retry later. The paired retry-after hint, when one exists,
+  /// travels in the message or in a structured side channel.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "Invalid argument",
@@ -67,6 +74,12 @@ class [[nodiscard]] Status {
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
   [[nodiscard]] StatusCode code() const { return code_; }
@@ -86,6 +99,12 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] bool IsInternal() const {
     return code_ == StatusCode::kInternal;
+  }
+  [[nodiscard]] bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  [[nodiscard]] bool IsUnavailable() const {
+    return code_ == StatusCode::kUnavailable;
   }
 
   /// "OK" or "<code name>: <message>".

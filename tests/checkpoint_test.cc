@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include "periodica/series/resilient_stream.h"
+#include "periodica/series/stream.h"
 #include "periodica/util/fault_injector.h"
 #include "periodica/util/logging.h"
 #include "periodica/util/rng.h"
@@ -130,6 +132,78 @@ TEST_F(CheckpointTest, DetectorRoundTripPreservesDetection) {
   EXPECT_EQ(loaded->size(), detector->size());
   EXPECT_EQ(loaded->alphabet().size(), detector->alphabet().size());
   ExpectTablesEqual(loaded->Detect(0.4), detector->Detect(0.4));
+}
+
+TEST_F(CheckpointTest, ResumeThroughResilientRemapStreamIsBitIdentical) {
+  // The full ingestion pipeline under interruption: a dirty source (every
+  // 7th symbol is out-of-alphabet) flows through ResilientStream with the
+  // remap policy into a StreamingPeriodDetector. Interrupting that pipeline
+  // mid-stream, checkpointing, and resuming into a fresh detector must
+  // reproduce the uninterrupted run exactly — same resilience counters,
+  // bit-identical detection.
+  constexpr std::size_t kDirtyLength = 1200;
+  constexpr std::size_t kCut = 500;  // delivered symbols before the "crash"
+  const Alphabet alphabet = Alphabet::Latin(3);
+  std::vector<SymbolId> dirty(kDirtyLength);
+  for (std::size_t i = 0; i < kDirtyLength; ++i) {
+    dirty[i] = i % 7 == 6 ? SymbolId{9} : static_cast<SymbolId>(i % 5 % 3);
+  }
+  const auto make_source = [&](std::size_t* cursor) {
+    return FunctionStream(alphabet, [&dirty, cursor]() -> std::optional<SymbolId> {
+      if (*cursor >= dirty.size()) return std::nullopt;
+      return dirty[(*cursor)++];
+    });
+  };
+  ResilientStream::Options options;
+  options.bad_symbol_policy = ResilientStream::BadSymbolPolicy::kRemap;
+  options.remap_symbol = 2;
+
+  // Uninterrupted reference run.
+  std::size_t reference_cursor = 0;
+  FunctionStream reference_source = make_source(&reference_cursor);
+  ResilientStream reference_stream(&reference_source, options);
+  auto reference =
+      StreamingPeriodDetector::Create(alphabet, {.max_period = 40});
+  ASSERT_TRUE(reference.ok());
+  while (const auto symbol = reference_stream.Next()) {
+    reference->Append(*symbol);
+  }
+  ASSERT_TRUE(reference_stream.status().ok());
+  ASSERT_GT(reference_stream.remapped(), 0u);
+
+  // Interrupted run: deliver kCut symbols, checkpoint, "crash", resume into
+  // a freshly loaded detector, and drain the rest of the same stream.
+  std::size_t cursor = 0;
+  FunctionStream source = make_source(&cursor);
+  ResilientStream stream(&source, options);
+  auto first = StreamingPeriodDetector::Create(alphabet, {.max_period = 40});
+  ASSERT_TRUE(first.ok());
+  while (first->size() < kCut) {
+    const auto symbol = stream.Next();
+    ASSERT_TRUE(symbol.has_value());
+    first->Append(*symbol);
+  }
+  const std::string path = TempPath("resilient_resume.pchk");
+  ASSERT_TRUE(SaveCheckpoint(*first, path).ok());
+
+  auto resumed = LoadDetectorCheckpoint(path);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_EQ(resumed->size(), kCut);
+  while (const auto symbol = stream.Next()) {
+    resumed->Append(*symbol);
+  }
+  ASSERT_TRUE(stream.status().ok());
+
+  // Same number of symbols delivered, skipped and remapped...
+  EXPECT_EQ(stream.position(), reference_stream.position());
+  EXPECT_EQ(stream.consumed(), reference_stream.consumed());
+  EXPECT_EQ(stream.remapped(), reference_stream.remapped());
+  EXPECT_EQ(resumed->size(), reference->size());
+  // ...and bit-identical detection at several thresholds.
+  for (const double threshold : {0.1, 0.3, 0.7}) {
+    ExpectTablesEqual(resumed->Detect(threshold),
+                      reference->Detect(threshold));
+  }
 }
 
 TEST_F(CheckpointTest, TrackerResumeIsExact) {

@@ -126,6 +126,31 @@ TEST_F(CliTest, HelpDocumentsExitCodes) {
   EXPECT_EQ(exit_code, 0);
   EXPECT_NE(output.find("Exit codes:"), std::string::npos);
   EXPECT_NE(output.find("usage error"), std::string::npos);
+  EXPECT_NE(output.find("3  partial result"), std::string::npos);
+}
+
+TEST_F(CliTest, DeadlineExpiryExitsWithPartialResultCode) {
+  // 1 ms cannot cover an exact mine of 60k symbols over all periods: the run
+  // must stop at the deadline, keep the prefix it finished, and exit 3 —
+  // distinguishable from both success (0) and failure (1).
+  std::string text;
+  for (int i = 0; i < 60000; ++i) text += "abcde"[i % 5];
+  const std::string input = WriteFile("big.txt", text + "\n");
+  [[maybe_unused]] const auto [exit_code, output, errors] =
+      Run("--input " + input +
+          " --engine exact --threshold 0.9 --format csv --deadline_ms 1");
+  EXPECT_EQ(exit_code, 3) << errors;
+  EXPECT_NE(errors.find("deadline expired"), std::string::npos) << errors;
+
+  // The same mine with a bounded period range and a generous deadline
+  // completes: exit 0, no partial warning.
+  [[maybe_unused]] const auto [full_code, full_out, full_err] =
+      Run("--input " + input +
+          " --engine exact --threshold 0.9 --format csv --max_period 20 "
+          "--deadline_ms 60000");
+  EXPECT_EQ(full_code, 0) << full_err;
+  EXPECT_TRUE(full_err.empty()) << full_err;
+  EXPECT_NE(full_out.find("5,1.000"), std::string::npos) << full_out;
 }
 
 TEST_F(CliTest, BadFlagValueFails) {

@@ -1,0 +1,242 @@
+#include "periodica/util/job_queue.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "periodica/util/fault_injector.h"
+
+namespace periodica::util {
+namespace {
+
+using Priority = JobQueue::Priority;
+
+/// A manually-released gate the tests park the (single) worker on, making
+/// queue contents deterministic while more work is submitted.
+class Gate {
+ public:
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+void SpinUntilRunning(JobQueue& queue, std::size_t expected) {
+  while (queue.GetStats().running < expected) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(JobQueueTest, RunsSubmittedJobs) {
+  JobQueue::Options options;
+  options.num_threads = 2;
+  JobQueue queue(options);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(queue.TrySubmit(Priority::kNormal, [&ran] { ++ran; }).ok());
+  }
+  queue.Drain();
+  EXPECT_EQ(ran.load(), 10);
+  const JobQueue::Stats stats = queue.GetStats();
+  EXPECT_EQ(stats.accepted, 10u);
+  EXPECT_EQ(stats.completed, 10u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.running, 0u);
+}
+
+// The ISSUE's overload-accounting contract: a 2-slot queue under a
+// 16-request burst yields exactly {accepted completions} + {structured
+// rejections}, nothing silently dropped.
+TEST(JobQueueTest, BurstAgainstFullQueueAccountsEveryRequest) {
+  JobQueue::Options options;
+  options.num_threads = 1;
+  options.max_queue_depth = 2;
+  JobQueue queue(options);
+
+  Gate gate;
+  std::atomic<int> completed{0};
+  ASSERT_TRUE(queue
+                  .TrySubmit(Priority::kNormal,
+                             [&] {
+                               gate.Wait();
+                               ++completed;
+                             })
+                  .ok());
+  SpinUntilRunning(queue, 1);  // the gate job holds the only worker
+
+  int accepted = 0;
+  int rejected = 0;
+  for (int i = 0; i < 16; ++i) {
+    JobQueue::OverloadInfo info;
+    const Status status =
+        queue.TrySubmit(Priority::kNormal, [&] { ++completed; }, &info);
+    if (status.ok()) {
+      ++accepted;
+    } else {
+      ++rejected;
+      EXPECT_TRUE(status.IsUnavailable());
+      EXPECT_NE(status.message().find("retry after"), std::string::npos);
+      EXPECT_EQ(info.queue_depth, 2u);
+      EXPECT_FALSE(info.draining);
+      EXPECT_GE(info.retry_after.count(), 10);
+      EXPECT_LE(info.retry_after.count(), 5000);
+    }
+  }
+  EXPECT_EQ(accepted, 2) << "exactly the two queue slots";
+  EXPECT_EQ(rejected, 14);
+
+  gate.Open();
+  queue.Drain();
+  EXPECT_EQ(completed.load(), 1 + accepted)
+      << "every accepted job ran; every rejected one visibly did not";
+  const JobQueue::Stats stats = queue.GetStats();
+  EXPECT_EQ(stats.accepted, 3u);
+  EXPECT_EQ(stats.rejected, 14u);
+  EXPECT_EQ(stats.completed, 3u);
+}
+
+TEST(JobQueueTest, DispatchIsPriorityThenFifo) {
+  JobQueue::Options options;
+  options.num_threads = 1;
+  options.max_queue_depth = 16;
+  JobQueue queue(options);
+
+  Gate gate;
+  ASSERT_TRUE(queue.TrySubmit(Priority::kNormal, [&gate] { gate.Wait(); }).ok());
+  SpinUntilRunning(queue, 1);
+
+  std::mutex order_mutex;
+  std::vector<std::string> order;
+  const auto tag = [&](std::string name) {
+    return [&order_mutex, &order, name = std::move(name)] {
+      std::lock_guard<std::mutex> lock(order_mutex);
+      order.push_back(name);
+    };
+  };
+  ASSERT_TRUE(queue.TrySubmit(Priority::kLow, tag("low-1")).ok());
+  ASSERT_TRUE(queue.TrySubmit(Priority::kNormal, tag("normal-1")).ok());
+  ASSERT_TRUE(queue.TrySubmit(Priority::kHigh, tag("high-1")).ok());
+  ASSERT_TRUE(queue.TrySubmit(Priority::kHigh, tag("high-2")).ok());
+  ASSERT_TRUE(queue.TrySubmit(Priority::kNormal, tag("normal-2")).ok());
+
+  gate.Open();
+  queue.Drain();
+  EXPECT_EQ(order, (std::vector<std::string>{"high-1", "high-2", "normal-1",
+                                             "normal-2", "low-1"}));
+}
+
+TEST(JobQueueTest, LatencyEwmaRejectsWhileBacklogged) {
+  JobQueue::Options options;
+  options.num_threads = 1;
+  options.max_queue_depth = 16;
+  options.max_queue_latency_ms = 5.0;
+  // Half-weight smoothing: one ~30 ms queue wait puts the EWMA at ~15 ms,
+  // and it stays above the 5 ms limit through one immediate dispatch.
+  options.ewma_alpha = 0.5;
+  JobQueue queue(options);
+
+  Gate gate;
+  ASSERT_TRUE(queue.TrySubmit(Priority::kNormal, [&gate] { gate.Wait(); }).ok());
+  SpinUntilRunning(queue, 1);
+  // This job will sit in the queue well past the 5 ms limit before the gate
+  // opens, driving the EWMA over the limit when it dispatches.
+  ASSERT_TRUE(queue.TrySubmit(Priority::kNormal, [] {}).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  gate.Open();
+  while (queue.GetStats().completed < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GT(queue.GetStats().queue_latency_ewma_ms, 5.0);
+
+  // An empty queue admits despite the high EWMA (the job starts at once, and
+  // dispatching jobs is what decays the EWMA)...
+  Gate gate2;
+  ASSERT_TRUE(queue.TrySubmit(Priority::kNormal, [&gate2] { gate2.Wait(); }).ok());
+  SpinUntilRunning(queue, 1);
+  ASSERT_TRUE(queue.TrySubmit(Priority::kNormal, [] {}).ok());
+  // ...but with a backlog present, latency admission rejects.
+  JobQueue::OverloadInfo info;
+  const Status status = queue.TrySubmit(Priority::kNormal, [] {}, &info);
+  EXPECT_TRUE(status.IsUnavailable());
+  EXPECT_NE(status.message().find("EWMA"), std::string::npos);
+  EXPECT_GT(info.queue_latency_ewma_ms, 5.0);
+  gate2.Open();
+  queue.Drain();
+}
+
+TEST(JobQueueTest, DrainStopsAdmissionAndFinishesBacklog) {
+  JobQueue::Options options;
+  options.num_threads = 1;
+  JobQueue queue(options);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(queue.TrySubmit(Priority::kLow, [&ran] { ++ran; }).ok());
+  }
+  queue.Drain();
+  EXPECT_EQ(ran.load(), 5) << "drain waits for the backlog";
+  EXPECT_TRUE(queue.draining());
+
+  JobQueue::OverloadInfo info;
+  const Status status = queue.TrySubmit(Priority::kHigh, [&ran] { ++ran; }, &info);
+  EXPECT_TRUE(status.IsUnavailable());
+  EXPECT_TRUE(info.draining);
+  queue.Drain();  // idempotent
+  EXPECT_EQ(ran.load(), 5);
+}
+
+TEST(JobQueueTest, StatsTrackOldestRunningJob) {
+  JobQueue::Options options;
+  options.num_threads = 1;
+  JobQueue queue(options);
+  Gate gate;
+  ASSERT_TRUE(queue.TrySubmit(Priority::kNormal, [&gate] { gate.Wait(); }).ok());
+  SpinUntilRunning(queue, 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const JobQueue::Stats stats = queue.GetStats();
+  EXPECT_EQ(stats.running, 1u);
+  EXPECT_GE(stats.oldest_running_ms, 15.0);
+  gate.Open();
+  queue.Drain();
+  EXPECT_DOUBLE_EQ(queue.GetStats().oldest_running_ms, 0.0);
+}
+
+TEST(JobQueueTest, EnqueueFaultSiteRejectsStructurally) {
+  JobQueue::Options options;
+  options.num_threads = 1;
+  JobQueue queue(options);
+  std::atomic<int> ran{0};
+  {
+    ScopedFault fault("job_queue/enqueue",
+                      Status::IOError("injected enqueue failure"),
+                      /*fire_on_nth=*/2);
+    EXPECT_TRUE(queue.TrySubmit(Priority::kNormal, [&ran] { ++ran; }).ok());
+    const Status status = queue.TrySubmit(Priority::kNormal, [&ran] { ++ran; });
+    EXPECT_TRUE(status.IsIOError());
+  }
+  EXPECT_TRUE(queue.TrySubmit(Priority::kNormal, [&ran] { ++ran; }).ok());
+  queue.Drain();
+  EXPECT_EQ(ran.load(), 2);
+  EXPECT_EQ(queue.GetStats().rejected, 1u);
+}
+
+}  // namespace
+}  // namespace periodica::util

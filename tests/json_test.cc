@@ -1,0 +1,108 @@
+#include "periodica/util/json.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace periodica::util {
+namespace {
+
+Result<JsonValue> Parse(const std::string& text) {
+  return JsonValue::Parse(text);
+}
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(Parse("null").value().is_null());
+  EXPECT_EQ(Parse("true").value().as_bool(), true);
+  EXPECT_EQ(Parse("false").value().as_bool(), false);
+  EXPECT_DOUBLE_EQ(Parse("42").value().as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(Parse("-3.5e2").value().as_number(), -350.0);
+  EXPECT_EQ(Parse("\"hi\"").value().as_string(), "hi");
+}
+
+TEST(JsonParseTest, Escapes) {
+  const JsonValue value =
+      Parse("\"a\\n\\t\\\"\\\\b\\u0041\\u00e9\"").value();
+  EXPECT_EQ(value.as_string(), "a\n\t\"\\bA\xc3\xa9");
+}
+
+TEST(JsonParseTest, NestedStructure) {
+  const JsonValue value =
+      Parse(R"({"method":"mine","params":{"n":100,"syms":["a","b"]}})")
+          .value();
+  ASSERT_TRUE(value.is_object());
+  EXPECT_EQ(value.GetString("method", ""), "mine");
+  const JsonValue* params = value.Find("params");
+  ASSERT_NE(params, nullptr);
+  EXPECT_DOUBLE_EQ(params->GetNumber("n", 0), 100.0);
+  const JsonValue* syms = params->Find("syms");
+  ASSERT_NE(syms, nullptr);
+  ASSERT_TRUE(syms->is_array());
+  ASSERT_EQ(syms->as_array().size(), 2u);
+  EXPECT_EQ(syms->as_array()[0].as_string(), "a");
+}
+
+TEST(JsonParseTest, MalformedInputsAreStructuredErrors) {
+  // A garbled request line must produce InvalidArgument with a byte offset,
+  // never UB — this is the daemon's first line of defense.
+  const char* bad[] = {
+      "",           "{",        "[1,",       "{\"a\":}",  "tru",
+      "\"unterm",   "{1: 2}",   "[1 2]",     "nul",       "0x10",
+      "\"\\u12\"",  "{}extra",  "[,]",       "{\"a\" 1}", "--5",
+  };
+  for (const char* text : bad) {
+    const Result<JsonValue> result = Parse(text);
+    ASSERT_FALSE(result.ok()) << "accepted: " << text;
+    EXPECT_TRUE(result.status().IsInvalidArgument()) << text;
+  }
+}
+
+TEST(JsonParseTest, DepthLimit) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  EXPECT_FALSE(Parse(deep).ok()) << "100 levels must exceed the depth cap";
+  EXPECT_TRUE(Parse("[[[[[[1]]]]]]").ok());
+}
+
+TEST(JsonDumpTest, SingleLineSortedKeys) {
+  JsonValue::Object object;
+  object["zeta"] = 1.0;
+  object["alpha"] = "x";
+  object["mid"] = JsonValue::Array{JsonValue(true), JsonValue()};
+  const std::string dumped = JsonValue(object).Dump();
+  EXPECT_EQ(dumped, R"({"alpha":"x","mid":[true,null],"zeta":1})");
+  EXPECT_EQ(dumped.find('\n'), std::string::npos);
+}
+
+TEST(JsonDumpTest, IntegersHaveNoTrailingPointZero) {
+  EXPECT_EQ(JsonValue(std::size_t{12345}).Dump(), "12345");
+  EXPECT_EQ(JsonValue(std::int64_t{-7}).Dump(), "-7");
+  EXPECT_EQ(JsonValue(2.5).Dump(), "2.5");
+}
+
+TEST(JsonDumpTest, StringEscaping) {
+  EXPECT_EQ(JsonValue("a\"b\\c\nd\x01").Dump(), R"("a\"b\\c\nd\u0001")");
+}
+
+TEST(JsonDumpTest, RoundTrip) {
+  const std::string wire =
+      R"({"error":{"code":"OVERLOADED","retry_after_ms":120},"id":7,"ok":false})";
+  const JsonValue value = Parse(wire).value();
+  EXPECT_EQ(value.Dump(), wire);
+}
+
+TEST(JsonValueTest, TypedAccessorsFallBack) {
+  const JsonValue value = Parse(R"({"s":"x","n":3,"b":true})").value();
+  EXPECT_EQ(value.GetString("s", "d"), "x");
+  EXPECT_EQ(value.GetString("missing", "d"), "d");
+  EXPECT_EQ(value.GetString("n", "d"), "d") << "wrong type yields fallback";
+  EXPECT_DOUBLE_EQ(value.GetNumber("n", -1), 3.0);
+  EXPECT_DOUBLE_EQ(value.GetNumber("s", -1), -1.0);
+  EXPECT_EQ(value.GetBool("b", false), true);
+  EXPECT_EQ(value.GetBool("missing", true), true);
+  EXPECT_EQ(JsonValue("scalar").Find("k"), nullptr);
+}
+
+}  // namespace
+}  // namespace periodica::util

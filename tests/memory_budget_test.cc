@@ -1,0 +1,141 @@
+#include "periodica/util/memory_budget.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace periodica::util {
+namespace {
+
+TEST(MemoryBudgetTest, ReserveAndRelease) {
+  MemoryBudget budget(1000);
+  EXPECT_EQ(budget.limit(), 1000u);
+  EXPECT_EQ(budget.used(), 0u);
+
+  EXPECT_TRUE(budget.TryReserve(600, "a").ok());
+  EXPECT_EQ(budget.used(), 600u);
+  EXPECT_TRUE(budget.TryReserve(400, "b").ok());
+  EXPECT_EQ(budget.used(), 1000u);
+
+  budget.Release(600);
+  EXPECT_EQ(budget.used(), 400u);
+  budget.Release(400);
+  EXPECT_EQ(budget.used(), 0u);
+  EXPECT_EQ(budget.high_water(), 1000u);
+}
+
+TEST(MemoryBudgetTest, OverLimitFailsAndChargesNothing) {
+  MemoryBudget budget(1000);
+  ASSERT_TRUE(budget.TryReserve(900, "base").ok());
+
+  const Status status = budget.TryReserve(200, "fft scratch");
+  EXPECT_TRUE(status.IsResourceExhausted());
+  // The message names the request, the shortfall and the budget.
+  EXPECT_NE(status.message().find("fft scratch"), std::string::npos);
+  EXPECT_NE(status.message().find("200"), std::string::npos);
+  EXPECT_EQ(budget.used(), 900u) << "failed reservation must charge nothing";
+}
+
+TEST(MemoryBudgetTest, SingleRequestLargerThanLimitFails) {
+  MemoryBudget budget(100);
+  EXPECT_TRUE(budget.TryReserve(2000, "huge").IsResourceExhausted());
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(MemoryBudgetTest, UnlimitedBudgetAlwaysAdmitsAndTracksHighWater) {
+  MemoryBudget budget;  // limit 0 = unlimited
+  EXPECT_TRUE(budget.TryReserve(1u << 30, "big").ok());
+  EXPECT_TRUE(budget.TryReserve(123, "small").ok());
+  EXPECT_EQ(budget.high_water(), (1u << 30) + 123u);
+  budget.Release((1u << 30) + 123u);
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(MemoryBudgetTest, ConcurrentReservationsNeverExceedLimit) {
+  // 8 threads fight over a budget that fits only 4 concurrent chunks; the
+  // invariant under every interleaving is used() <= limit().
+  constexpr std::size_t kChunk = 250;
+  MemoryBudget budget(4 * kChunk);
+  std::atomic<std::uint64_t> admitted{0};
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&budget, &admitted] {
+      for (int i = 0; i < 2000; ++i) {
+        if (budget.TryReserve(kChunk, "chunk").ok()) {
+          admitted.fetch_add(1, std::memory_order_relaxed);
+          EXPECT_LE(budget.used(), budget.limit());
+          budget.Release(kChunk);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_GT(admitted.load(), 0u);
+  EXPECT_EQ(budget.used(), 0u);
+  EXPECT_LE(budget.high_water(), budget.limit());
+}
+
+TEST(MemoryReservationTest, AcquiresBothOrNeither) {
+  MemoryBudget local(1000);
+  MemoryBudget shared(500);
+
+  MemoryReservation ok;
+  EXPECT_TRUE(ok.Acquire(&local, &shared, 400, "both").ok());
+  EXPECT_EQ(local.used(), 400u);
+  EXPECT_EQ(shared.used(), 400u);
+
+  // Second acquire fits the local budget but not the shared pool: the local
+  // reservation must be rolled back.
+  MemoryReservation fail;
+  EXPECT_TRUE(fail.Acquire(&local, &shared, 300, "rollback")
+                  .IsResourceExhausted());
+  EXPECT_EQ(local.used(), 400u);
+  EXPECT_EQ(shared.used(), 400u);
+  EXPECT_EQ(fail.bytes(), 0u);
+
+  ok.Reset();
+  EXPECT_EQ(local.used(), 0u);
+  EXPECT_EQ(shared.used(), 0u);
+}
+
+TEST(MemoryReservationTest, ReleasesOnDestruction) {
+  MemoryBudget budget(100);
+  {
+    MemoryReservation charge;
+    ASSERT_TRUE(charge.Acquire(&budget, nullptr, 80, "scoped").ok());
+    EXPECT_EQ(budget.used(), 80u);
+  }
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(MemoryReservationTest, MoveTransfersOwnership) {
+  MemoryBudget budget(100);
+  MemoryReservation a;
+  ASSERT_TRUE(a.Acquire(&budget, nullptr, 60, "moved").ok());
+  MemoryReservation b = std::move(a);
+  EXPECT_EQ(a.bytes(), 0u);
+  EXPECT_EQ(b.bytes(), 60u);
+  EXPECT_EQ(budget.used(), 60u);
+  b.Reset();
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(MemoryReservationTest, NullBudgetsAreFree) {
+  MemoryReservation charge;
+  EXPECT_TRUE(charge.Acquire(nullptr, nullptr, 1u << 30, "nothing").ok());
+  EXPECT_EQ(charge.bytes(), 1u << 30);
+}
+
+TEST(FormatBytesTest, BinaryUnits) {
+  EXPECT_EQ(FormatBytes(0), "0 B");
+  EXPECT_EQ(FormatBytes(123), "123 B");
+  EXPECT_EQ(FormatBytes(1024), "1.00 KiB");
+  EXPECT_EQ(FormatBytes(1536), "1.50 KiB");
+  EXPECT_EQ(FormatBytes(1024ull * 1024), "1.00 MiB");
+  EXPECT_EQ(FormatBytes(1600ull * 1024 * 1024), "1.56 GiB");
+}
+
+}  // namespace
+}  // namespace periodica::util

@@ -1,0 +1,428 @@
+// End-to-end tests for periodicad: spawn the real daemon binary, speak the
+// wire protocol over its Unix socket, and assert the robustness contracts
+// of docs/SERVING.md — exact overload accounting (no silent drops), upfront
+// memory-estimate rejection, watchdog cancellation, and SIGTERM draining
+// that checkpoints streaming sessions and exits 0.
+
+#include <csignal>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../tools/unix_socket.h"
+#include "periodica/util/json.h"
+
+namespace periodica::tools {
+namespace {
+
+using util::JsonValue;
+
+std::string UniqueDir() {
+  static std::atomic<int> counter{0};
+  const std::string dir =
+      std::filesystem::temp_directory_path() /
+      ("periodicad_test_" + std::to_string(::getpid()) + "_" +
+       std::to_string(counter.fetch_add(1)));
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// The daemon under test, as a child process. Kills with SIGKILL on
+/// destruction unless the test already waited for it.
+class DaemonProcess {
+ public:
+  explicit DaemonProcess(std::vector<std::string> extra_args) {
+    dir_ = UniqueDir();
+    socket_ = dir_ + "/d.sock";
+    std::vector<std::string> args = {PERIODICAD_PATH, "--socket=" + socket_};
+    for (std::string& arg : extra_args) args.push_back(std::move(arg));
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    pid_ = ::fork();
+    if (pid_ == 0) {
+      // Quiet the child's stderr chatter unless a test fails mysteriously.
+      ::execv(PERIODICAD_PATH, argv.data());
+      std::perror("execv");
+      ::_exit(127);
+    }
+    // Wait for the socket to accept connections.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (ConnectUnix(socket_).ok()) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ADD_FAILURE() << "daemon did not come up on " << socket_;
+  }
+
+  ~DaemonProcess() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      ::waitpid(pid_, nullptr, 0);
+    }
+    std::error_code ignored;
+    std::filesystem::remove_all(dir_, ignored);
+  }
+
+  /// Sends SIGTERM and returns the daemon's exit code (-1 on abnormal
+  /// death). Marks the process reaped.
+  int TerminateAndWait() {
+    ::kill(pid_, SIGTERM);
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+  [[nodiscard]] const std::string& socket_path() const { return socket_; }
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+  std::string socket_;
+  pid_t pid_ = -1;
+};
+
+/// One connection to the daemon; Call sends a request and reads the reply.
+class Client {
+ public:
+  explicit Client(const std::string& socket_path) {
+    Result<FdHandle> fd = ConnectUnix(socket_path);
+    if (fd.ok()) fd_ = std::move(fd.value());
+  }
+
+  [[nodiscard]] bool connected() const { return fd_.valid(); }
+
+  JsonValue Call(const std::string& method, JsonValue::Object params) {
+    JsonValue::Object request;
+    request["id"] = std::size_t{1};
+    request["method"] = method;
+    request["params"] = JsonValue(std::move(params));
+    if (!SendLine(fd_.get(), JsonValue(std::move(request)).Dump()).ok()) {
+      return JsonValue();
+    }
+    LineReader reader(fd_.get());
+    Result<std::string> line = reader.Next();
+    if (!line.ok()) return JsonValue();
+    Result<JsonValue> response = JsonValue::Parse(line.value());
+    return response.ok() ? response.value() : JsonValue();
+  }
+
+ private:
+  FdHandle fd_;
+};
+
+std::string ErrorCode(const JsonValue& response) {
+  const JsonValue* error = response.Find("error");
+  return error == nullptr ? "" : error->GetString("code", "");
+}
+
+/// result.queue.<key> from a stats response, or `fallback` when any level
+/// is missing (e.g. the call failed).
+double QueueStat(const JsonValue& stats, const std::string& key,
+                 double fallback) {
+  const JsonValue* result = stats.Find("result");
+  if (result == nullptr) return fallback;
+  const JsonValue* queue = result->Find("queue");
+  if (queue == nullptr) return fallback;
+  return queue->GetNumber(key, fallback);
+}
+
+/// Polls `stats` on `client` until one mining job is on a worker.
+void WaitForRunningJob(Client& client) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (QueueStat(client.Call("stats", {}), "running", 0.0) >= 1.0) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ADD_FAILURE() << "no job reached a worker in time";
+}
+
+std::string PeriodicSeries(std::size_t n, std::size_t period) {
+  std::string series;
+  series.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    series.push_back(static_cast<char>('a' + (i % period) % 3));
+  }
+  return series;
+}
+
+TEST(PeriodicadTest, PingStatsAndMine) {
+  DaemonProcess daemon({});
+  Client client(daemon.socket_path());
+  ASSERT_TRUE(client.connected());
+
+  const JsonValue pong = client.Call("ping", {});
+  EXPECT_TRUE(pong.GetBool("ok", false)) << pong.Dump();
+
+  JsonValue::Object params;
+  params["series"] = PeriodicSeries(120, 3);
+  params["threshold"] = 0.9;
+  const JsonValue mined = client.Call("mine", params);
+  ASSERT_TRUE(mined.GetBool("ok", false)) << mined.Dump();
+  const JsonValue* result = mined.Find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_FALSE(result->GetBool("partial", true));
+  const JsonValue* summaries = result->Find("summaries");
+  ASSERT_NE(summaries, nullptr);
+  bool found_period_3 = false;
+  for (const JsonValue& summary : summaries->as_array()) {
+    if (summary.GetNumber("period", 0) == 3.0) found_period_3 = true;
+  }
+  EXPECT_TRUE(found_period_3) << mined.Dump();
+
+  // The worker bumps `completed` just after the response is handed to the
+  // connection thread, so poll briefly instead of asserting instantly.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  double completed = -1;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const JsonValue stats = client.Call("stats", {});
+    ASSERT_TRUE(stats.GetBool("ok", false));
+    completed = QueueStat(stats, "completed", -1);
+    if (completed >= 1.0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(completed, 1.0);
+}
+
+TEST(PeriodicadTest, MalformedAndUnknownRequestsAreStructuredErrors) {
+  DaemonProcess daemon({});
+  Client client(daemon.socket_path());
+  ASSERT_TRUE(client.connected());
+  EXPECT_EQ(ErrorCode(client.Call("no_such_method", {})), "INVALID_ARGUMENT");
+  JsonValue::Object params;
+  params["series"] = "abc!?$";
+  EXPECT_EQ(ErrorCode(client.Call("mine", params)), "INVALID_ARGUMENT");
+  // The connection survives garbage and keeps serving.
+  EXPECT_TRUE(client.Call("ping", {}).GetBool("ok", false));
+}
+
+// The ISSUE's acceptance scenario: 1 worker, 2 queue slots, a 16-request
+// burst while the worker is pinned. Every request must come back either
+// accepted-and-completed or OVERLOADED-with-retry-hint; the sum accounts
+// for all 16.
+TEST(PeriodicadTest, OverloadBurstAccountsEveryRequest) {
+  DaemonProcess daemon({"--workers=1", "--max_queue_depth=2"});
+  ASSERT_TRUE(Client(daemon.socket_path()).connected());
+
+  // Pin the worker from a dedicated connection (response arrives later).
+  std::thread pin([&daemon] {
+    Client client(daemon.socket_path());
+    JsonValue::Object params;
+    params["ms"] = std::size_t{3000};
+    const JsonValue response = client.Call("sleep", params);
+    EXPECT_TRUE(response.GetBool("ok", false));
+  });
+  // Wait until the sleep job occupies the worker.
+  Client probe(daemon.socket_path());
+  WaitForRunningJob(probe);
+
+  std::atomic<int> accepted{0};
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> burst;
+  burst.reserve(16);
+  for (int i = 0; i < 16; ++i) {
+    burst.emplace_back([&daemon, &accepted, &rejected] {
+      Client client(daemon.socket_path());
+      JsonValue::Object params;
+      params["ms"] = std::size_t{1};
+      const JsonValue response = client.Call("sleep", params);
+      if (response.GetBool("ok", false)) {
+        accepted.fetch_add(1);
+        return;
+      }
+      ASSERT_EQ(ErrorCode(response), "OVERLOADED") << response.Dump();
+      const JsonValue* error = response.Find("error");
+      EXPECT_GE(error->GetNumber("retry_after_ms", -1), 10.0);
+      EXPECT_EQ(error->GetBool("draining", true), false);
+      rejected.fetch_add(1);
+    });
+  }
+  for (std::thread& thread : burst) thread.join();
+  pin.join();
+
+  EXPECT_EQ(accepted.load() + rejected.load(), 16) << "no silent drops";
+  EXPECT_EQ(accepted.load(), 2) << "exactly the two queue slots";
+  EXPECT_EQ(rejected.load(), 14);
+
+  // All three accepted jobs (pin + 2 slots) have responded, but the worker
+  // bumps `completed` just after handing each response over — poll briefly.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  JsonValue stats;
+  while (std::chrono::steady_clock::now() < deadline) {
+    stats = probe.Call("stats", {});
+    if (QueueStat(stats, "completed", -1) >= 3.0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(QueueStat(stats, "completed", -1), 3.0) << stats.Dump();
+  EXPECT_EQ(QueueStat(stats, "rejected", -1), 14.0);
+}
+
+TEST(PeriodicadTest, OversizedRequestRejectedUpfrontWithEstimate) {
+  DaemonProcess daemon({"--request_budget_bytes=20000"});
+  Client client(daemon.socket_path());
+  ASSERT_TRUE(client.connected());
+  JsonValue::Object params;
+  params["series"] = PeriodicSeries(30000, 7);
+  params["engine"] = "fft";
+  const JsonValue response = client.Call("mine", params);
+  ASSERT_FALSE(response.GetBool("ok", true));
+  EXPECT_EQ(ErrorCode(response), "RESOURCE_EXHAUSTED");
+  const std::string message =
+      response.Find("error")->GetString("message", "");
+  EXPECT_NE(message.find("estimated peak memory"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("indicators"), std::string::npos)
+      << "estimate breakdown missing: " << message;
+  // The daemon is fine afterwards.
+  EXPECT_TRUE(client.Call("ping", {}).GetBool("ok", false));
+}
+
+TEST(PeriodicadTest, WatchdogCancelsWedgedJobs) {
+  DaemonProcess daemon({"--wedge_timeout_ms=200", "--watchdog_interval_ms=50"});
+  Client client(daemon.socket_path());
+  ASSERT_TRUE(client.connected());
+  JsonValue::Object params;
+  params["ms"] = std::size_t{30000};
+  const auto start = std::chrono::steady_clock::now();
+  const JsonValue response = client.Call("sleep", params);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  ASSERT_TRUE(response.GetBool("ok", false)) << response.Dump();
+  const JsonValue* result = response.Find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_TRUE(result->GetBool("partial", false))
+      << "watchdog cancellation must surface as a partial result";
+  EXPECT_LT(elapsed.count(), 10000) << "the 30 s job must be cut short";
+
+  const JsonValue stats = client.Call("stats", {});
+  const JsonValue* stats_result = stats.Find("result");
+  ASSERT_NE(stats_result, nullptr);
+  EXPECT_GE(stats_result->GetNumber("watchdog_cancels", 0), 1.0);
+}
+
+TEST(PeriodicadTest, SigtermDrainsInFlightWorkAndExitsZero) {
+  DaemonProcess daemon({"--workers=1"});
+  Client client(daemon.socket_path());
+  ASSERT_TRUE(client.connected());
+
+  std::atomic<bool> got_response{false};
+  std::thread in_flight([&daemon, &got_response] {
+    Client slow(daemon.socket_path());
+    JsonValue::Object params;
+    params["ms"] = std::size_t{800};
+    const JsonValue response = slow.Call("sleep", params);
+    EXPECT_TRUE(response.GetBool("ok", false)) << response.Dump();
+    EXPECT_FALSE(response.Find("result")->GetBool("partial", true))
+        << "drain must let the job finish, not cancel it";
+    got_response.store(true);
+  });
+  // Make sure the job is on the worker, then TERM the daemon under it.
+  WaitForRunningJob(client);
+  EXPECT_EQ(daemon.TerminateAndWait(), 0) << "graceful drain exits 0";
+  in_flight.join();
+  EXPECT_TRUE(got_response.load())
+      << "the in-flight response must be delivered before exit";
+}
+
+TEST(PeriodicadTest, StreamingSessionCheckpointsOnDrainAndResumes) {
+  const std::string series = PeriodicSeries(600, 5);
+  const std::string first_half = series.substr(0, 300);
+  const std::string second_half = series.substr(300);
+
+  JsonValue::Object open;
+  open["session"] = "s1";
+  open["max_period"] = std::size_t{32};
+  open["alphabet_size"] = std::size_t{3};
+
+  // Uninterrupted reference run.
+  std::string reference;
+  {
+    DaemonProcess daemon({});
+    Client client(daemon.socket_path());
+    ASSERT_TRUE(client.Call("stream_open", open).GetBool("ok", false));
+    JsonValue::Object feed;
+    feed["session"] = "s1";
+    feed["symbols"] = series;
+    ASSERT_TRUE(client.Call("stream_feed", feed).GetBool("ok", false));
+    JsonValue::Object detect;
+    detect["session"] = "s1";
+    detect["threshold"] = 0.5;
+    const JsonValue detected = client.Call("stream_detect", detect);
+    ASSERT_TRUE(detected.GetBool("ok", false)) << detected.Dump();
+    reference = detected.Dump();
+  }
+
+  // Interrupted run: feed half, SIGTERM (drain checkpoints the session),
+  // restart with the same checkpoint dir, resume, feed the rest.
+  const std::string dir = UniqueDir();
+  {
+    DaemonProcess daemon({"--checkpoint_dir=" + dir});
+    Client client(daemon.socket_path());
+    ASSERT_TRUE(client.Call("stream_open", open).GetBool("ok", false));
+    JsonValue::Object feed;
+    feed["session"] = "s1";
+    feed["symbols"] = first_half;
+    ASSERT_TRUE(client.Call("stream_feed", feed).GetBool("ok", false));
+    ASSERT_EQ(daemon.TerminateAndWait(), 0);
+    ASSERT_TRUE(std::filesystem::exists(dir + "/s1.pchk"))
+        << "drain must checkpoint the open session";
+  }
+  {
+    DaemonProcess daemon({"--checkpoint_dir=" + dir});
+    Client client(daemon.socket_path());
+    JsonValue::Object resume;
+    resume["session"] = "s1";
+    resume["resume"] = true;
+    const JsonValue reopened = client.Call("stream_open", resume);
+    ASSERT_TRUE(reopened.GetBool("ok", false)) << reopened.Dump();
+    EXPECT_EQ(reopened.Find("result")->GetNumber("size", 0), 300.0);
+    JsonValue::Object feed;
+    feed["session"] = "s1";
+    feed["symbols"] = second_half;
+    ASSERT_TRUE(client.Call("stream_feed", feed).GetBool("ok", false));
+    JsonValue::Object detect;
+    detect["session"] = "s1";
+    detect["threshold"] = 0.5;
+    const JsonValue detected = client.Call("stream_detect", detect);
+    ASSERT_TRUE(detected.GetBool("ok", false));
+    EXPECT_EQ(detected.Dump(), reference)
+        << "resume through drain must be byte-identical to uninterrupted";
+  }
+  std::error_code ignored;
+  std::filesystem::remove_all(dir, ignored);
+}
+
+TEST(PeriodicadTest, FaultInjectedReadsDropConnectionsNotTheDaemon) {
+  // Every read fails: each connection is dropped before serving a request,
+  // exactly as if the peer vanished mid-line. The daemon itself must keep
+  // accepting, survive the storm, and still drain cleanly on SIGTERM.
+  DaemonProcess daemon({"--faults=server/read:1:repeat"});
+  for (int i = 0; i < 5; ++i) {
+    Client client(daemon.socket_path());
+    ASSERT_TRUE(client.connected()) << "accept must keep working";
+    EXPECT_TRUE(client.Call("ping", {}).is_null())
+        << "the injected read failure drops the connection";
+  }
+  EXPECT_EQ(daemon.TerminateAndWait(), 0);
+}
+
+}  // namespace
+}  // namespace periodica::tools

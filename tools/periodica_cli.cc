@@ -18,7 +18,9 @@
 // and (with --patterns) the scored periodic patterns.
 //
 // Exit codes: 0 = success; 1 = runtime failure (unreadable input, bad data,
-// I/O error, invalid checkpoint); 2 = usage error (bad flags).
+// I/O error, invalid checkpoint); 2 = usage error (bad flags); 3 = partial
+// result (--deadline_ms expired mid-mine: the printed prefix is valid but
+// periods past the cutoff were never examined).
 
 #include <cctype>
 #include <fstream>
@@ -39,7 +41,9 @@ constexpr char kExitCodeEpilog[] =
     "  0  success\n"
     "  1  runtime failure (unreadable input, bad data, I/O error, invalid\n"
     "     checkpoint)\n"
-    "  2  usage error (unknown or malformed flags)\n";
+    "  2  usage error (unknown or malformed flags)\n"
+    "  3  partial result: --deadline_ms expired mid-mine; the output is a\n"
+    "     valid prefix, but periods past the cutoff were never examined\n";
 
 Result<SymbolSeries> LoadInput(const std::string& path, std::int64_t csv_column,
                                std::int64_t levels,
@@ -311,6 +315,11 @@ int Run(int argc, char** argv) {
         !status.ok()) {
       std::cerr << status << "\n";
       return 1;
+    }
+    if (result.partial) {
+      std::cerr << "warning: deadline expired mid-mine; results above are a "
+                   "valid prefix (exit code 3)\n";
+      return 3;
     }
     return 0;
   };

@@ -1,0 +1,111 @@
+// periodica_client: one-shot command-line client for periodicad
+// (docs/SERVING.md). Sends a single newline-delimited JSON request over the
+// daemon's Unix socket, prints the response line to stdout, and maps the
+// structured outcome to an exit code scripts can branch on:
+//
+//   0  success (response ok:true, not partial)
+//   1  request failed (error response other than OVERLOADED) or I/O error
+//   2  usage error
+//   3  partial result (ok:true but the deadline/cancellation truncated it)
+//   4  overloaded: the daemon rejected the request with a retry-after hint
+//
+// Examples:
+//   periodica_client --socket=/run/periodicad.sock --method=ping
+//   periodica_client --socket=... --method=mine
+//       --params='{"series":"abcabcabcabc","threshold":0.9}'
+
+#include <cstdio>
+#include <string>
+
+#include "periodica/util/flags.h"
+#include "periodica/util/json.h"
+#include "unix_socket.h"
+
+namespace periodica::tools {
+namespace {
+
+using util::JsonValue;
+
+int Main(int argc, char** argv) {
+  std::string socket_path;
+  std::string method;
+  std::string params_json = "{}";
+  std::int64_t id = 1;
+  FlagSet flags("periodica_client");
+  flags.AddString("socket", &socket_path, "daemon Unix socket path");
+  flags.AddString("method", &method,
+                  "request method (ping, stats, mine, stream_open, "
+                  "stream_feed, stream_detect, stream_close)");
+  flags.AddString("params", &params_json, "request params as a JSON object");
+  flags.AddInt64("id", &id, "request id echoed by the daemon");
+  flags.SetEpilog(
+      "Exit codes: 0 success; 1 error; 2 usage; 3 partial result;\n"
+      "4 overloaded (retry later; see error.retry_after_ms).");
+  if (const Status status = flags.Parse(argc, argv); !status.ok()) {
+    std::fprintf(stderr, "periodica_client: %s\n%s",
+                 status.ToString().c_str(), flags.Usage().c_str());
+    return 2;
+  }
+  if (socket_path.empty() || method.empty()) {
+    std::fprintf(stderr,
+                 "periodica_client: --socket and --method are required\n%s",
+                 flags.Usage().c_str());
+    return 2;
+  }
+  const Result<JsonValue> params = JsonValue::Parse(params_json);
+  if (!params.ok() || !params.value().is_object()) {
+    std::fprintf(stderr, "periodica_client: --params is not a JSON object");
+    if (!params.ok()) {
+      std::fprintf(stderr, ": %s", params.status().message().c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+
+  JsonValue::Object request;
+  request["id"] = id;
+  request["method"] = method;
+  request["params"] = params.value();
+
+  Result<FdHandle> fd = ConnectUnix(socket_path);
+  if (!fd.ok()) {
+    std::fprintf(stderr, "periodica_client: %s\n",
+                 fd.status().ToString().c_str());
+    return 1;
+  }
+  if (const Status sent = SendLine(fd.value().get(),
+                                   JsonValue(std::move(request)).Dump());
+      !sent.ok()) {
+    std::fprintf(stderr, "periodica_client: %s\n", sent.ToString().c_str());
+    return 1;
+  }
+  LineReader reader(fd.value().get());
+  const Result<std::string> line = reader.Next();
+  if (!line.ok()) {
+    std::fprintf(stderr, "periodica_client: no response: %s\n",
+                 line.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", line.value().c_str());
+
+  const Result<JsonValue> response = JsonValue::Parse(line.value());
+  if (!response.ok()) {
+    std::fprintf(stderr, "periodica_client: unparseable response\n");
+    return 1;
+  }
+  if (response.value().GetBool("ok", false)) {
+    const JsonValue* result = response.value().Find("result");
+    if (result != nullptr && result->GetBool("partial", false)) return 3;
+    return 0;
+  }
+  const JsonValue* error = response.value().Find("error");
+  if (error != nullptr && error->GetString("code", "") == "OVERLOADED") {
+    return 4;
+  }
+  return 1;
+}
+
+}  // namespace
+}  // namespace periodica::tools
+
+int main(int argc, char** argv) { return periodica::tools::Main(argc, argv); }

@@ -1,0 +1,193 @@
+// periodica_load: closed-loop load generator for periodicad, used by
+// tools/soak.sh and by hand when sizing a deployment (docs/SERVING.md).
+//
+// Each of --concurrency worker threads loops for --seconds: connect, send a
+// `mine` request for a synthetic periodic series, read the response, tally
+// the outcome. OVERLOADED responses are part of normal operation — the
+// worker honors error.retry_after_ms (capped) and tries again; connection
+// errors are retried with a short backoff, since the soak kills and drains
+// the daemon mid-run on purpose.
+//
+// Prints a one-line JSON summary to stdout, e.g.
+//   {"errors":0,"ok":412,"overloaded":118,"partial":3,
+//    "resource_exhausted":0,"sent":533}
+// and exits 0 when every response was structured (ok / overloaded /
+// resource-exhausted / partial), 1 when any malformed or unexpected
+// response was seen. Connection failures are tallied separately
+// ("connect_errors") and do not fail the run.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "periodica/util/flags.h"
+#include "periodica/util/json.h"
+#include "unix_socket.h"
+
+namespace periodica::tools {
+namespace {
+
+using util::JsonValue;
+
+struct Tally {
+  std::atomic<std::uint64_t> sent{0};
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> partial{0};
+  std::atomic<std::uint64_t> overloaded{0};
+  std::atomic<std::uint64_t> resource_exhausted{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::atomic<std::uint64_t> connect_errors{0};
+};
+
+/// A periodic series of `n` symbols with period `period` over letters
+/// a..a+sigma-1, plus ~10% replacement noise so mining does real work.
+std::string MakeSeries(std::mt19937_64& rng, std::size_t n,
+                       std::size_t period, std::size_t sigma) {
+  std::string pattern;
+  pattern.reserve(period);
+  std::uniform_int_distribution<int> symbol(0, static_cast<int>(sigma) - 1);
+  for (std::size_t i = 0; i < period; ++i) {
+    pattern.push_back(static_cast<char>('a' + symbol(rng)));
+  }
+  std::string series;
+  series.reserve(n);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    char c = pattern[i % period];
+    if (unit(rng) < 0.1) c = static_cast<char>('a' + symbol(rng));
+    series.push_back(c);
+  }
+  return series;
+}
+
+void Worker(const std::string& socket_path, std::size_t n, std::size_t period,
+            std::size_t sigma, std::chrono::steady_clock::time_point stop_at,
+            std::uint64_t seed, Tally* tally) {
+  std::mt19937_64 rng(seed);
+  while (std::chrono::steady_clock::now() < stop_at) {
+    Result<FdHandle> fd = ConnectUnix(socket_path);
+    if (!fd.ok()) {
+      tally->connect_errors.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      continue;
+    }
+    LineReader reader(fd.value().get());
+    // Reuse one connection for a few requests, as a real client would.
+    for (int burst = 0; burst < 8; ++burst) {
+      if (std::chrono::steady_clock::now() >= stop_at) break;
+      JsonValue::Object params;
+      params["series"] = MakeSeries(rng, n, period, sigma);
+      params["threshold"] = 0.6;
+      params["max_entries_returned"] = std::size_t{5};
+      JsonValue::Object request;
+      request["id"] = std::size_t{1};
+      request["method"] = "mine";
+      request["params"] = JsonValue(std::move(params));
+      tally->sent.fetch_add(1);
+      if (!SendLine(fd.value().get(), JsonValue(std::move(request)).Dump())
+               .ok()) {
+        tally->connect_errors.fetch_add(1);
+        break;
+      }
+      const Result<std::string> line = reader.Next();
+      if (!line.ok()) {
+        // Mid-drain the daemon closes connections; that's expected.
+        tally->connect_errors.fetch_add(1);
+        break;
+      }
+      const Result<JsonValue> response = JsonValue::Parse(line.value());
+      if (!response.ok()) {
+        tally->errors.fetch_add(1);
+        continue;
+      }
+      if (response.value().GetBool("ok", false)) {
+        const JsonValue* result = response.value().Find("result");
+        if (result != nullptr && result->GetBool("partial", false)) {
+          tally->partial.fetch_add(1);
+        } else {
+          tally->ok.fetch_add(1);
+        }
+        continue;
+      }
+      const JsonValue* error = response.value().Find("error");
+      const std::string code =
+          error != nullptr ? error->GetString("code", "") : "";
+      if (code == "OVERLOADED") {
+        tally->overloaded.fetch_add(1);
+        const double retry_ms =
+            error->GetNumber("retry_after_ms", 50.0);
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            std::min<std::int64_t>(static_cast<std::int64_t>(retry_ms), 250)));
+      } else if (code == "RESOURCE_EXHAUSTED") {
+        tally->resource_exhausted.fetch_add(1);
+      } else {
+        tally->errors.fetch_add(1);
+      }
+    }
+  }
+}
+
+int Main(int argc, char** argv) {
+  std::string socket_path;
+  std::int64_t seconds = 10;
+  std::int64_t concurrency = 4;
+  std::int64_t n = 4096;
+  std::int64_t period = 25;
+  std::int64_t sigma = 4;
+  std::int64_t seed = 1;
+  FlagSet flags("periodica_load");
+  flags.AddString("socket", &socket_path, "daemon Unix socket path");
+  flags.AddInt64("seconds", &seconds, "wall-clock run length");
+  flags.AddInt64("concurrency", &concurrency, "closed-loop client threads");
+  flags.AddInt64("length", &n, "series length per mine request");
+  flags.AddInt64("period", &period, "planted period");
+  flags.AddInt64("sigma", &sigma, "alphabet size (<= 26)");
+  flags.AddInt64("seed", &seed, "base RNG seed");
+  flags.SetEpilog(
+      "Exit codes: 0 = every response structured (overload rejections are\n"
+      "normal); 1 = malformed/unexpected responses or usage error.");
+  if (const Status status = flags.Parse(argc, argv); !status.ok()) {
+    std::fprintf(stderr, "periodica_load: %s\n%s", status.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 1;
+  }
+  if (socket_path.empty() || concurrency < 1 || seconds < 1 || sigma < 1 ||
+      sigma > 26 || n < 2 || period < 1) {
+    std::fprintf(stderr, "periodica_load: bad arguments\n%s",
+                 flags.Usage().c_str());
+    return 1;
+  }
+
+  const auto stop_at =
+      std::chrono::steady_clock::now() + std::chrono::seconds(seconds);
+  Tally tally;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(concurrency));
+  for (std::int64_t i = 0; i < concurrency; ++i) {
+    workers.emplace_back(Worker, socket_path, static_cast<std::size_t>(n),
+                         static_cast<std::size_t>(period),
+                         static_cast<std::size_t>(sigma), stop_at,
+                         static_cast<std::uint64_t>(seed + i), &tally);
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  JsonValue::Object summary;
+  summary["sent"] = tally.sent.load();
+  summary["ok"] = tally.ok.load();
+  summary["partial"] = tally.partial.load();
+  summary["overloaded"] = tally.overloaded.load();
+  summary["resource_exhausted"] = tally.resource_exhausted.load();
+  summary["errors"] = tally.errors.load();
+  summary["connect_errors"] = tally.connect_errors.load();
+  std::printf("%s\n", JsonValue(std::move(summary)).Dump().c_str());
+  return tally.errors.load() == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace periodica::tools
+
+int main(int argc, char** argv) { return periodica::tools::Main(argc, argv); }

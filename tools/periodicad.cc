@@ -1,0 +1,898 @@
+// periodicad: a long-running periodicity-mining service over a local Unix
+// socket, speaking newline-delimited JSON (docs/SERVING.md).
+//
+// The daemon exists to demonstrate — and test — graceful degradation of the
+// mining engines under production pressures the CLI never faces:
+//
+//  * admission control: mining work enters a bounded util::JobQueue; when
+//    the backlog is past its depth or queue-wait-latency limit the request
+//    is *rejected* with a structured OVERLOADED error carrying a
+//    retry-after hint, never silently queued without bound;
+//  * memory budgets: each request is estimated upfront
+//    (core/memory_estimate.h) and charged mid-flight against a per-request
+//    cap and the process-global pool, so one oversized series fails alone
+//    with RESOURCE_EXHAUSTED instead of OOM-killing every in-flight job;
+//  * deadlines and a watchdog: every mining job runs under a
+//    CancellationToken; a watchdog thread cancels jobs that exceed the
+//    wedge timeout, turning a hung worker into a partial result;
+//  * graceful drain: SIGTERM/SIGINT stop admission, finish (or cancel, at
+//    the drain deadline) in-flight jobs, checkpoint open streaming sessions
+//    to --checkpoint_dir (core/checkpoint.h), and exit 0.
+//
+// Fault-injection sites "server/accept", "server/read", "server/write"
+// (armed via --faults) let the soak test walk the failure edges of the
+// exact binary that serves real traffic.
+
+#include <csignal>
+#include <sys/select.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "periodica/core/checkpoint.h"
+#include "periodica/core/memory_estimate.h"
+#include "periodica/core/miner.h"
+#include "periodica/core/streaming_detector.h"
+#include "periodica/series/series.h"
+#include "periodica/util/cancellation.h"
+#include "periodica/util/fault_injector.h"
+#include "periodica/util/flags.h"
+#include "periodica/util/job_queue.h"
+#include "periodica/util/json.h"
+#include "periodica/util/memory_budget.h"
+#include "unix_socket.h"
+
+namespace periodica::tools {
+namespace {
+
+using util::JobQueue;
+using util::JsonValue;
+
+std::atomic<bool> g_shutdown{false};
+int g_wake_pipe[2] = {-1, -1};
+
+void HandleShutdownSignal(int /*signo*/) {
+  g_shutdown.store(true, std::memory_order_relaxed);
+  // Wake the accept loop; write(2) is async-signal-safe.
+  const char byte = 'x';
+  [[maybe_unused]] const ssize_t ignored = ::write(g_wake_pipe[1], &byte, 1);
+}
+
+struct DaemonConfig {
+  std::string socket_path;
+  std::string checkpoint_dir;
+  std::int64_t workers = 1;
+  std::int64_t max_queue_depth = 16;
+  double max_queue_latency_ms = 0.0;
+  std::int64_t memory_budget_bytes = 0;   // process pool; 0 = unlimited
+  std::int64_t request_budget_bytes = 0;  // per-request default cap
+  std::int64_t default_deadline_ms = 0;
+  std::int64_t wedge_timeout_ms = 0;  // watchdog cancel threshold; 0 = off
+  std::int64_t watchdog_interval_ms = 250;
+  std::int64_t max_request_bytes = 64 << 20;
+  std::string faults;  // "site:nth[:repeat],..." armed for the process life
+};
+
+/// One open streaming session (stream_open .. stream_close). Sessions are
+/// daemon-global, named by the client, and serialized per-session: feeds and
+/// detects on the same session take its mutex.
+struct StreamSession {
+  std::mutex mutex;
+  std::unique_ptr<StreamingPeriodDetector> detector;
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonConfig config)
+      : config_(std::move(config)),
+        pool_(static_cast<std::size_t>(
+            std::max<std::int64_t>(0, config_.memory_budget_bytes))),
+        queue_(MakeQueueOptions(config_)) {}
+
+  Status Run();
+  void RequestShutdown() { g_shutdown.store(true); }
+
+ private:
+  static JobQueue::Options MakeQueueOptions(const DaemonConfig& config) {
+    JobQueue::Options options;
+    options.num_threads = static_cast<std::size_t>(config.workers);
+    options.max_queue_depth =
+        static_cast<std::size_t>(config.max_queue_depth);
+    options.max_queue_latency_ms = config.max_queue_latency_ms;
+    return options;
+  }
+
+  void ServeConnection(FdHandle fd);
+  JsonValue Dispatch(const JsonValue& request);
+
+  JsonValue HandlePing();
+  JsonValue HandleStats();
+  JsonValue HandleSleep(const JsonValue& params);
+  JsonValue HandleMine(const JsonValue& params);
+  JsonValue HandleStreamOpen(const JsonValue& params);
+  JsonValue HandleStreamFeed(const JsonValue& params);
+  JsonValue HandleStreamDetect(const JsonValue& params);
+  JsonValue HandleStreamClose(const JsonValue& params);
+
+  /// Runs `work` on the job queue at `priority` and blocks the connection
+  /// thread until it finishes; a rejected submission becomes the structured
+  /// OVERLOADED (or draining) error instead.
+  JsonValue RunQueued(JobQueue::Priority priority,
+                      std::function<JsonValue()> work);
+
+  void WatchdogLoop();
+  void CheckpointSessionsForDrain();
+
+  std::string CheckpointPath(const std::string& session) const {
+    return config_.checkpoint_dir + "/" + session + ".pchk";
+  }
+
+  DaemonConfig config_;
+  util::MemoryBudget pool_;
+  JobQueue queue_;
+
+  std::mutex sessions_mutex_;
+  std::map<std::string, std::shared_ptr<StreamSession>> sessions_;
+
+  /// In-flight mining jobs, for the watchdog: id -> (token, start).
+  struct FlightRecord {
+    util::CancellationToken* token;
+    std::chrono::steady_clock::time_point start;
+  };
+  std::mutex flights_mutex_;
+  std::map<std::uint64_t, FlightRecord> flights_;
+  std::uint64_t next_flight_id_ = 0;
+  std::atomic<std::uint64_t> watchdog_cancels_{0};
+
+  std::mutex threads_mutex_;
+  std::vector<std::thread> connection_threads_;
+  /// Live connection fds, so drain can shutdown(2) them and unblock the
+  /// threads parked in recv.
+  std::set<int> connection_fds_;
+};
+
+// --- JSON response helpers -------------------------------------------------
+
+JsonValue ErrorResponse(const std::string& code, const std::string& message) {
+  JsonValue::Object error;
+  error["code"] = code;
+  error["message"] = message;
+  JsonValue::Object response;
+  response["ok"] = false;
+  response["error"] = JsonValue(std::move(error));
+  return JsonValue(std::move(response));
+}
+
+JsonValue StatusToResponse(const Status& status) {
+  std::string code = "INTERNAL";
+  if (status.IsInvalidArgument()) code = "INVALID_ARGUMENT";
+  if (status.IsResourceExhausted()) code = "RESOURCE_EXHAUSTED";
+  if (status.IsUnavailable()) code = "OVERLOADED";
+  if (status.IsNotFound()) code = "NOT_FOUND";
+  if (status.IsIOError()) code = "IO_ERROR";
+  return ErrorResponse(code, status.message());
+}
+
+JsonValue OkResponse(JsonValue::Object result) {
+  JsonValue::Object response;
+  response["ok"] = true;
+  response["result"] = JsonValue(std::move(result));
+  return JsonValue(std::move(response));
+}
+
+JsonValue TableToJson(const PeriodicityTable& table,
+                      std::size_t max_entries_returned) {
+  JsonValue::Array summaries;
+  summaries.reserve(table.summaries().size());
+  for (const PeriodSummary& summary : table.summaries()) {
+    JsonValue::Object entry;
+    entry["period"] = summary.period;
+    entry["confidence"] = summary.best_confidence;
+    entry["periodicities"] = summary.num_periodicities;
+    entry["aggregate_only"] = summary.aggregate_only;
+    summaries.push_back(JsonValue(std::move(entry)));
+  }
+  JsonValue::Array entries;
+  const std::size_t limit =
+      std::min(max_entries_returned, table.entries().size());
+  entries.reserve(limit);
+  for (std::size_t i = 0; i < limit; ++i) {
+    const SymbolPeriodicity& hit = table.entries()[i];
+    JsonValue::Object entry;
+    entry["period"] = hit.period;
+    entry["position"] = hit.position;
+    entry["symbol"] = static_cast<std::size_t>(hit.symbol);
+    entry["confidence"] = hit.confidence;
+    entries.push_back(JsonValue(std::move(entry)));
+  }
+  JsonValue::Object result;
+  result["summaries"] = JsonValue(std::move(summaries));
+  result["entries"] = JsonValue(std::move(entries));
+  result["entries_truncated"] =
+      (table.entries().size() > limit) || table.truncated();
+  result["partial"] = table.partial();
+  return JsonValue(std::move(result));
+}
+
+JobQueue::Priority ParsePriority(const JsonValue& params) {
+  const std::string name = params.GetString("priority", "normal");
+  if (name == "high") return JobQueue::Priority::kHigh;
+  if (name == "low") return JobQueue::Priority::kLow;
+  return JobQueue::Priority::kNormal;
+}
+
+// --- Daemon ----------------------------------------------------------------
+
+JsonValue Daemon::RunQueued(JobQueue::Priority priority,
+                            std::function<JsonValue()> work) {
+  // The connection thread blocks on its own job; concurrency and backlog
+  // are bounded by the queue, which is where admission is decided.
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  bool done = false;
+  JsonValue response;
+  JobQueue::OverloadInfo overload;
+  const Status admitted = queue_.TrySubmit(
+      priority,
+      [&] {
+        JsonValue result = work();
+        // Signal while holding the mutex: the waiter destroys done_cv the
+        // moment it observes done, so an unlocked notify could touch a
+        // dead condition variable.
+        std::lock_guard<std::mutex> lock(done_mutex);
+        response = std::move(result);
+        done = true;
+        done_cv.notify_one();
+      },
+      &overload);
+  if (!admitted.ok()) {
+    JsonValue rejection = StatusToResponse(admitted);
+    JsonValue::Object& error =
+        rejection.mutable_object()["error"].mutable_object();
+    error["retry_after_ms"] =
+        static_cast<std::size_t>(overload.retry_after.count());
+    error["queue_depth"] = overload.queue_depth;
+    error["draining"] = overload.draining;
+    return rejection;
+  }
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&done] { return done; });
+  return response;
+}
+
+JsonValue Daemon::HandlePing() {
+  JsonValue::Object result;
+  result["pong"] = true;
+  return OkResponse(std::move(result));
+}
+
+JsonValue Daemon::HandleStats() {
+  const JobQueue::Stats stats = queue_.GetStats();
+  JsonValue::Object queue;
+  queue["depth"] = stats.queue_depth;
+  queue["running"] = stats.running;
+  queue["accepted"] = stats.accepted;
+  queue["rejected"] = stats.rejected;
+  queue["completed"] = stats.completed;
+  queue["latency_ewma_ms"] = stats.queue_latency_ewma_ms;
+  queue["oldest_running_ms"] = stats.oldest_running_ms;
+  queue["workers"] = queue_.num_workers();
+  JsonValue::Object memory;
+  memory["pool_limit"] = pool_.limit();
+  memory["pool_used"] = pool_.used();
+  memory["pool_high_water"] = pool_.high_water();
+  JsonValue::Object result;
+  result["queue"] = JsonValue(std::move(queue));
+  result["memory"] = JsonValue(std::move(memory));
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    result["sessions"] = sessions_.size();
+  }
+  result["watchdog_cancels"] =
+      watchdog_cancels_.load(std::memory_order_relaxed);
+  result["draining"] = queue_.draining();
+  return OkResponse(std::move(result));
+}
+
+JsonValue Daemon::HandleSleep(const JsonValue& params) {
+  // Diagnostic: occupies one worker slot for `ms`, cancellable like a real
+  // mine. Lets operators (and the e2e tests) probe admission control, the
+  // watchdog and drain behavior with precisely-timed load.
+  const auto ms = static_cast<std::int64_t>(params.GetNumber("ms", 0));
+  if (ms < 0 || ms > 60000) {
+    return ErrorResponse("INVALID_ARGUMENT",
+                         "sleep: params.ms must be in [0, 60000]");
+  }
+  return RunQueued(ParsePriority(params), [this, ms]() {
+    util::CancellationToken token;
+    std::uint64_t flight_id = 0;
+    {
+      std::lock_guard<std::mutex> lock(flights_mutex_);
+      flight_id = next_flight_id_++;
+      flights_.emplace(flight_id,
+                       FlightRecord{&token, std::chrono::steady_clock::now()});
+    }
+    const auto wake_at = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(ms);
+    while (std::chrono::steady_clock::now() < wake_at && !token.Expired()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    {
+      std::lock_guard<std::mutex> lock(flights_mutex_);
+      flights_.erase(flight_id);
+    }
+    JsonValue::Object result;
+    result["partial"] = token.Expired();
+    return OkResponse(std::move(result));
+  });
+}
+
+JsonValue Daemon::HandleMine(const JsonValue& params) {
+  const std::string text = params.GetString("series", "");
+  if (text.empty()) {
+    return ErrorResponse("INVALID_ARGUMENT",
+                         "mine: params.series (single-letter symbol string) "
+                         "is required and must be non-empty");
+  }
+  MinerOptions options;
+  options.threshold = params.GetNumber("threshold", options.threshold);
+  options.min_period = static_cast<std::size_t>(
+      params.GetNumber("min_period", 1));
+  options.max_period = static_cast<std::size_t>(
+      params.GetNumber("max_period", 0));
+  options.min_pairs = static_cast<std::size_t>(
+      params.GetNumber("min_pairs", 1));
+  options.positions = params.GetBool("positions", true);
+  const std::string engine = params.GetString("engine", "auto");
+  if (engine == "exact") {
+    options.engine = MinerEngine::kExact;
+  } else if (engine == "fft") {
+    options.engine = MinerEngine::kFft;
+  } else if (engine != "auto") {
+    return ErrorResponse("INVALID_ARGUMENT",
+                         "mine: unknown engine '" + engine + "'");
+  }
+  // Per-request budget: the request may *lower* the server default, never
+  // raise past it.
+  const auto server_cap =
+      static_cast<std::size_t>(config_.request_budget_bytes);
+  auto request_cap = static_cast<std::size_t>(
+      params.GetNumber("memory_budget_bytes",
+                       static_cast<double>(server_cap)));
+  if (server_cap != 0) {
+    request_cap = request_cap == 0 ? server_cap
+                                   : std::min(request_cap, server_cap);
+  }
+  options.memory_budget_bytes = request_cap;
+  if (pool_.limit() != 0) options.memory_budget = &pool_;
+  auto deadline_ms = static_cast<std::size_t>(params.GetNumber(
+      "deadline_ms", static_cast<double>(config_.default_deadline_ms)));
+
+  Result<SymbolSeries> series = SymbolSeries::FromString(text);
+  if (!series.ok()) return StatusToResponse(series.status());
+
+  // Advisory admission check before the queue: a request that cannot fit
+  // even an *empty* pool is rejected immediately with the full estimate —
+  // no queue slot, no allocation. (The engines still charge for real.)
+  if (pool_.limit() != 0) {
+    const MineMemoryEstimate estimate = EstimateMineMemory(
+        series.value().size(), series.value().alphabet().size(), options);
+    if (estimate.total_bytes() > pool_.limit()) {
+      return ErrorResponse(
+          "RESOURCE_EXHAUSTED",
+          "mine rejected at admission: estimated peak memory " +
+              estimate.ToString() + " exceeds the process pool of " +
+              util::FormatBytes(pool_.limit()));
+    }
+  }
+
+  const std::size_t max_entries_returned = static_cast<std::size_t>(
+      params.GetNumber("max_entries_returned", 100));
+  return RunQueued(ParsePriority(params), [this, series =
+                                               std::move(series.value()),
+                                           options, deadline_ms,
+                                           max_entries_returned]() mutable {
+    util::CancellationToken token;
+    if (deadline_ms > 0) {
+      token.SetTimeout(std::chrono::milliseconds(deadline_ms));
+    }
+    options.cancellation = &token;
+    std::uint64_t flight_id = 0;
+    {
+      std::lock_guard<std::mutex> lock(flights_mutex_);
+      flight_id = next_flight_id_++;
+      flights_.emplace(flight_id,
+                       FlightRecord{&token, std::chrono::steady_clock::now()});
+    }
+    const Result<MiningResult> mined = ObscureMiner(options).Mine(series);
+    {
+      std::lock_guard<std::mutex> lock(flights_mutex_);
+      flights_.erase(flight_id);
+    }
+    if (!mined.ok()) return StatusToResponse(mined.status());
+    JsonValue response = TableToJson(mined.value().periodicities,
+                                     max_entries_returned);
+    JsonValue::Object& result = response.mutable_object();
+    result["n"] = mined.value().series_length;
+    result["sigma"] = mined.value().alphabet_size;
+    result["engine"] =
+        mined.value().engine_used == MinerEngine::kExact ? "exact" : "fft";
+    result["partial"] = mined.value().partial;
+    return OkResponse(std::move(result));
+  });
+}
+
+JsonValue Daemon::HandleStreamOpen(const JsonValue& params) {
+  const std::string name = params.GetString("session", "");
+  if (name.empty() || name.find('/') != std::string::npos ||
+      name.find("..") != std::string::npos) {
+    return ErrorResponse("INVALID_ARGUMENT",
+                         "stream_open: params.session must be a non-empty "
+                         "name without '/' or '..'");
+  }
+  auto session = std::make_shared<StreamSession>();
+  if (params.GetBool("resume", false)) {
+    if (config_.checkpoint_dir.empty()) {
+      return ErrorResponse("INVALID_ARGUMENT",
+                           "stream_open: resume requires --checkpoint_dir");
+    }
+    Result<StreamingPeriodDetector> restored =
+        LoadDetectorCheckpoint(CheckpointPath(name));
+    if (!restored.ok()) return StatusToResponse(restored.status());
+    session->detector = std::make_unique<StreamingPeriodDetector>(
+        std::move(restored.value()));
+  } else {
+    const auto max_period = static_cast<std::size_t>(
+        params.GetNumber("max_period", 0));
+    const auto alphabet_size = static_cast<std::size_t>(
+        params.GetNumber("alphabet_size", 0));
+    if (max_period == 0 || alphabet_size == 0) {
+      return ErrorResponse("INVALID_ARGUMENT",
+                           "stream_open: params.max_period and "
+                           "params.alphabet_size are required (or resume)");
+    }
+    StreamingPeriodDetector::Options options;
+    options.max_period = max_period;
+    options.block_size = static_cast<std::size_t>(
+        params.GetNumber("block_size", 0));
+    Result<StreamingPeriodDetector> created = StreamingPeriodDetector::Create(
+        Alphabet::Latin(alphabet_size), options);
+    if (!created.ok()) return StatusToResponse(created.status());
+    session->detector = std::make_unique<StreamingPeriodDetector>(
+        std::move(created.value()));
+  }
+  std::size_t restored_size = session->detector->size();
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    if (queue_.draining()) {
+      return ErrorResponse("OVERLOADED", "daemon is draining for shutdown");
+    }
+    const auto [it, inserted] = sessions_.emplace(name, std::move(session));
+    if (!inserted) {
+      return ErrorResponse("INVALID_ARGUMENT",
+                           "stream_open: session '" + name +
+                               "' is already open");
+    }
+  }
+  JsonValue::Object result;
+  result["session"] = name;
+  result["size"] = restored_size;
+  return OkResponse(std::move(result));
+}
+
+std::shared_ptr<StreamSession> FindSession(
+    std::mutex& mutex, std::map<std::string,
+    std::shared_ptr<StreamSession>>& sessions, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex);
+  const auto it = sessions.find(name);
+  return it == sessions.end() ? nullptr : it->second;
+}
+
+JsonValue Daemon::HandleStreamFeed(const JsonValue& params) {
+  const std::string name = params.GetString("session", "");
+  const std::string symbols = params.GetString("symbols", "");
+  std::shared_ptr<StreamSession> session =
+      FindSession(sessions_mutex_, sessions_, name);
+  if (session == nullptr) {
+    return ErrorResponse("NOT_FOUND", "no open session '" + name + "'");
+  }
+  std::lock_guard<std::mutex> lock(session->mutex);
+  const Alphabet& alphabet = session->detector->alphabet();
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    const Result<SymbolId> id =
+        alphabet.Find(std::string(1, symbols[i]));
+    if (!id.ok()) {
+      return ErrorResponse("INVALID_ARGUMENT",
+                           "stream_feed: symbol '" +
+                               std::string(1, symbols[i]) + "' at offset " +
+                               std::to_string(i) +
+                               " is outside the session alphabet (symbols "
+                               "before it were consumed)");
+    }
+    session->detector->Append(id.value());
+  }
+  JsonValue::Object result;
+  result["consumed"] = symbols.size();
+  result["size"] = session->detector->size();
+  return OkResponse(std::move(result));
+}
+
+JsonValue Daemon::HandleStreamDetect(const JsonValue& params) {
+  const std::string name = params.GetString("session", "");
+  std::shared_ptr<StreamSession> session =
+      FindSession(sessions_mutex_, sessions_, name);
+  if (session == nullptr) {
+    return ErrorResponse("NOT_FOUND", "no open session '" + name + "'");
+  }
+  const double threshold = params.GetNumber("threshold", 0.5);
+  const auto min_period = static_cast<std::size_t>(
+      params.GetNumber("min_period", 1));
+  const auto min_pairs = static_cast<std::size_t>(
+      params.GetNumber("min_pairs", 1));
+  return RunQueued(ParsePriority(params), [session, threshold, min_period,
+                                           min_pairs]() {
+    std::lock_guard<std::mutex> lock(session->mutex);
+    const PeriodicityTable table =
+        session->detector->Detect(threshold, min_period, min_pairs);
+    JsonValue response = TableToJson(table, 0);
+    response.mutable_object()["size"] = session->detector->size();
+    return OkResponse(std::move(response.mutable_object()));
+  });
+}
+
+JsonValue Daemon::HandleStreamClose(const JsonValue& params) {
+  const std::string name = params.GetString("session", "");
+  std::shared_ptr<StreamSession> session;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    const auto it = sessions_.find(name);
+    if (it == sessions_.end()) {
+      return ErrorResponse("NOT_FOUND", "no open session '" + name + "'");
+    }
+    session = std::move(it->second);
+    sessions_.erase(it);
+  }
+  JsonValue::Object result;
+  result["session"] = name;
+  std::lock_guard<std::mutex> lock(session->mutex);
+  if (params.GetBool("checkpoint", false)) {
+    if (config_.checkpoint_dir.empty()) {
+      return ErrorResponse("INVALID_ARGUMENT",
+                           "stream_close: checkpoint requires "
+                           "--checkpoint_dir");
+    }
+    if (Status saved =
+            SaveCheckpoint(*session->detector, CheckpointPath(name));
+        !saved.ok()) {
+      return StatusToResponse(saved);
+    }
+    result["checkpoint"] = CheckpointPath(name);
+  }
+  result["size"] = session->detector->size();
+  return OkResponse(std::move(result));
+}
+
+JsonValue Daemon::Dispatch(const JsonValue& request) {
+  if (!request.is_object()) {
+    return ErrorResponse("INVALID_ARGUMENT", "request must be a JSON object");
+  }
+  const std::string method = request.GetString("method", "");
+  const JsonValue* params_ptr = request.Find("params");
+  const JsonValue params =
+      params_ptr != nullptr ? *params_ptr : JsonValue(JsonValue::Object{});
+
+  JsonValue response;
+  if (method == "ping") {
+    response = HandlePing();
+  } else if (method == "stats") {
+    response = HandleStats();
+  } else if (method == "sleep") {
+    response = HandleSleep(params);
+  } else if (method == "mine") {
+    response = HandleMine(params);
+  } else if (method == "stream_open") {
+    response = HandleStreamOpen(params);
+  } else if (method == "stream_feed") {
+    response = HandleStreamFeed(params);
+  } else if (method == "stream_detect") {
+    response = HandleStreamDetect(params);
+  } else if (method == "stream_close") {
+    response = HandleStreamClose(params);
+  } else {
+    response = ErrorResponse("INVALID_ARGUMENT",
+                             "unknown method '" + method + "'");
+  }
+  // Echo the request id so clients can pipeline.
+  if (const JsonValue* id = request.Find("id"); id != nullptr) {
+    response.mutable_object()["id"] = *id;
+  }
+  return response;
+}
+
+void Daemon::ServeConnection(FdHandle fd) {
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    connection_fds_.insert(fd.get());
+  }
+  const auto unregister = [this, raw = fd.get()] {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    connection_fds_.erase(raw);
+  };
+  LineReader reader(fd.get(),
+                    static_cast<std::size_t>(config_.max_request_bytes));
+  while (!g_shutdown.load(std::memory_order_relaxed)) {
+    if (Status injected = util::FaultInjector::Check("server/read");
+        !injected.ok()) {
+      // An injected read failure behaves like a broken peer: drop the
+      // connection. The client sees EOF and retries; no partial state leaks.
+      break;
+    }
+    Result<std::string> line = reader.Next();
+    if (!line.ok()) break;  // EOF or read error: connection is done
+    if (line.value().empty()) continue;
+    JsonValue response;
+    Result<JsonValue> request = JsonValue::Parse(line.value());
+    if (!request.ok()) {
+      response = ErrorResponse("INVALID_ARGUMENT",
+                               "bad request JSON: " +
+                                   request.status().message());
+    } else {
+      response = Dispatch(request.value());
+    }
+    if (Status injected = util::FaultInjector::Check("server/write");
+        !injected.ok()) {
+      break;
+    }
+    if (!SendLine(fd.get(), response.Dump()).ok()) break;
+  }
+  unregister();
+}
+
+void Daemon::WatchdogLoop() {
+  while (!g_shutdown.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(config_.watchdog_interval_ms));
+    if (config_.wedge_timeout_ms <= 0) continue;
+    const auto now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(flights_mutex_);
+    for (auto& [id, flight] : flights_) {
+      const auto age = std::chrono::duration_cast<std::chrono::milliseconds>(
+          now - flight.start);
+      if (age.count() >= config_.wedge_timeout_ms &&
+          !flight.token->cancelled()) {
+        // A wedged (or merely over-budget) job: cancel cooperatively. The
+        // engine stops at its next stage boundary and returns a partial
+        // result; the worker slot comes back.
+        flight.token->RequestCancel();
+        watchdog_cancels_.fetch_add(1, std::memory_order_relaxed);
+        std::fprintf(stderr,
+                     "periodicad: watchdog cancelled job %llu after %lld ms\n",
+                     static_cast<unsigned long long>(id),
+                     static_cast<long long>(age.count()));
+      }
+    }
+  }
+}
+
+void Daemon::CheckpointSessionsForDrain() {
+  std::map<std::string, std::shared_ptr<StreamSession>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    sessions.swap(sessions_);
+  }
+  for (auto& [name, session] : sessions) {
+    std::lock_guard<std::mutex> lock(session->mutex);
+    if (config_.checkpoint_dir.empty()) {
+      std::fprintf(stderr,
+                   "periodicad: dropping session '%s' (%zu symbols): no "
+                   "--checkpoint_dir\n",
+                   name.c_str(), session->detector->size());
+      continue;
+    }
+    const Status saved =
+        SaveCheckpoint(*session->detector, CheckpointPath(name));
+    if (saved.ok()) {
+      std::fprintf(stderr, "periodicad: checkpointed session '%s' to %s\n",
+                   name.c_str(), CheckpointPath(name).c_str());
+    } else {
+      std::fprintf(stderr,
+                   "periodicad: FAILED to checkpoint session '%s': %s\n",
+                   name.c_str(), saved.ToString().c_str());
+    }
+  }
+}
+
+Status Daemon::Run() {
+  Result<FdHandle> listener = ListenUnix(config_.socket_path);
+  PERIODICA_RETURN_NOT_OK(listener.status());
+  std::fprintf(stderr, "periodicad: serving on %s (%zu workers, depth %lld)\n",
+               config_.socket_path.c_str(), queue_.num_workers(),
+               static_cast<long long>(config_.max_queue_depth));
+
+  std::thread watchdog([this] { WatchdogLoop(); });
+
+  while (!g_shutdown.load(std::memory_order_relaxed)) {
+    // Wait for a connection or the shutdown pipe.
+    fd_set fds;
+    FD_ZERO(&fds);
+    FD_SET(listener.value().get(), &fds);
+    FD_SET(g_wake_pipe[0], &fds);
+    const int nfds = std::max(listener.value().get(), g_wake_pipe[0]) + 1;
+    const int ready = ::select(nfds, &fds, nullptr, nullptr, nullptr);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (g_shutdown.load(std::memory_order_relaxed)) break;
+    if (!FD_ISSET(listener.value().get(), &fds)) continue;
+    if (Status injected = util::FaultInjector::Check("server/accept");
+        !injected.ok()) {
+      // Injected accept failure: take and drop the pending connection, as a
+      // transient accept(2) error would.
+      const int dropped = ::accept(listener.value().get(), nullptr, nullptr);
+      if (dropped >= 0) ::close(dropped);
+      continue;
+    }
+    const int client = ::accept(listener.value().get(), nullptr, nullptr);
+    if (client < 0) continue;
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    connection_threads_.emplace_back(
+        [this, fd = FdHandle(client)]() mutable {
+          ServeConnection(std::move(fd));
+        });
+  }
+
+  // Graceful drain: stop admitting (queue rejects with draining=true for
+  // any request that still races in), finish the backlog, checkpoint every
+  // open streaming session, then leave.
+  std::fprintf(stderr, "periodicad: draining...\n");
+  listener.value().Close();
+  ::unlink(config_.socket_path.c_str());
+  queue_.Drain();  // in-flight jobs finish; their responses are delivered
+  CheckpointSessionsForDrain();
+  {
+    // Unblock connection threads parked in recv, then join them. The joins
+    // run outside the lock: exiting threads need it to unregister.
+    std::vector<std::thread> threads;
+    {
+      std::lock_guard<std::mutex> lock(threads_mutex_);
+      for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+      threads.swap(connection_threads_);
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  watchdog.join();
+  std::fprintf(stderr, "periodicad: drained, exiting\n");
+  return Status::OK();
+}
+
+// --- Fault arming ----------------------------------------------------------
+
+/// Parses "--faults site:nth[:repeat],..." into armed ScopedFaults that live
+/// for the process lifetime (the soak's knob for exercising the
+/// server/accept, server/read, server/write and job_queue/enqueue sites in
+/// the shipped binary).
+Status ArmFaults(const std::string& spec,
+                 std::vector<std::unique_ptr<util::ScopedFault>>* armed) {
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(start, end - start);
+    start = end + 1;
+    if (item.empty()) continue;
+    const std::size_t colon = item.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("--faults item '" + item +
+                                     "' is not site:nth[:repeat]");
+    }
+    const std::string site = item.substr(0, colon);
+    std::string rest = item.substr(colon + 1);
+    bool repeat = false;
+    if (const std::size_t colon2 = rest.find(':');
+        colon2 != std::string::npos) {
+      repeat = rest.substr(colon2 + 1) == "repeat";
+      rest = rest.substr(0, colon2);
+    }
+    char* parse_end = nullptr;
+    const unsigned long long nth = std::strtoull(rest.c_str(), &parse_end, 10);
+    if (parse_end == rest.c_str() || *parse_end != '\0' || nth == 0) {
+      return Status::InvalidArgument("--faults item '" + item +
+                                     "' has a bad hit number");
+    }
+    armed->push_back(std::make_unique<util::ScopedFault>(
+        site, Status::IOError("injected fault at " + site), nth, repeat));
+  }
+  return Status::OK();
+}
+
+int Main(int argc, char** argv) {
+  DaemonConfig config;
+  FlagSet flags("periodicad");
+  flags.AddString("socket", &config.socket_path,
+                  "Unix socket path to serve on (required)");
+  flags.AddString("checkpoint_dir", &config.checkpoint_dir,
+                  "directory for streaming-session checkpoints (drain "
+                  "target; empty disables checkpointing)");
+  flags.AddInt64("workers", &config.workers,
+                 "mining worker threads (0 = hardware concurrency)");
+  flags.AddInt64("max_queue_depth", &config.max_queue_depth,
+                 "max jobs waiting before OVERLOADED rejection");
+  flags.AddDouble("max_queue_latency_ms", &config.max_queue_latency_ms,
+                  "queue-wait EWMA limit for admission (0 = depth only)");
+  flags.AddInt64("memory_budget_bytes", &config.memory_budget_bytes,
+                 "process-global mining memory pool (0 = unlimited)");
+  flags.AddInt64("request_budget_bytes", &config.request_budget_bytes,
+                 "per-request memory cap; requests may lower but not raise "
+                 "it (0 = unlimited)");
+  flags.AddInt64("default_deadline_ms", &config.default_deadline_ms,
+                 "deadline for requests that do not set one (0 = none)");
+  flags.AddInt64("wedge_timeout_ms", &config.wedge_timeout_ms,
+                 "watchdog cancels mining jobs running longer than this "
+                 "(0 = never)");
+  flags.AddInt64("watchdog_interval_ms", &config.watchdog_interval_ms,
+                 "watchdog scan interval");
+  flags.AddInt64("max_request_bytes", &config.max_request_bytes,
+                 "max bytes in one request line");
+  flags.AddString("faults", &config.faults,
+                  "fault sites to arm: site:nth[:repeat],... (e.g. "
+                  "server/read:3:repeat)");
+  flags.SetEpilog(
+      "Serves newline-delimited JSON requests over a Unix socket; see\n"
+      "docs/SERVING.md for the protocol, overload semantics and capacity\n"
+      "planning. SIGTERM drains gracefully: admission stops, in-flight\n"
+      "jobs finish, streaming sessions checkpoint to --checkpoint_dir,\n"
+      "exit code 0.");
+  if (const Status status = flags.Parse(argc, argv); !status.ok()) {
+    std::fprintf(stderr, "periodicad: %s\n%s", status.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 2;
+  }
+  if (config.socket_path.empty()) {
+    std::fprintf(stderr, "periodicad: --socket is required\n%s",
+                 flags.Usage().c_str());
+    return 2;
+  }
+
+  std::vector<std::unique_ptr<util::ScopedFault>> armed_faults;
+  if (const Status status = ArmFaults(config.faults, &armed_faults);
+      !status.ok()) {
+    std::fprintf(stderr, "periodicad: %s\n", status.ToString().c_str());
+    return 2;
+  }
+
+  if (::pipe(g_wake_pipe) != 0) {
+    std::fprintf(stderr, "periodicad: pipe() failed\n");
+    return 1;
+  }
+  struct sigaction action = {};
+  action.sa_handler = HandleShutdownSignal;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  Daemon daemon(std::move(config));
+  if (const Status status = daemon.Run(); !status.ok()) {
+    std::fprintf(stderr, "periodicad: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace periodica::tools
+
+int main(int argc, char** argv) { return periodica::tools::Main(argc, argv); }

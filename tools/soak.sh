@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# tools/soak.sh — serving-layer soak test (docs/ROBUSTNESS.md, docs/SERVING.md).
+#
+# Storms periodicad with the closed-loop load generator while fault injection
+# drops an accept, an enqueue, a read and a write mid-run, samples the
+# daemon's resident set once a second, and finishes with the nastiest
+# composite: SIGTERM while load is still arriving.
+#
+#   tools/soak.sh [--build-dir DIR] [--seconds N] [--concurrency N]
+#                 [--rss-limit-mb N]
+#
+# Asserts, in order:
+#   1. zero crashes — the daemon stays up through the whole load phase;
+#   2. every response the load generator saw was structured (ok / OVERLOADED
+#      / RESOURCE_EXHAUSTED / partial; dropped connections are expected,
+#      malformed lines are not): periodica_load exits 0;
+#   3. bounded RSS — the daemon's peak resident set stays under
+#      --rss-limit-mb despite the sustained request stream;
+#   4. clean drain — SIGTERM mid-load stops admission, finishes in-flight
+#      work, and the daemon exits 0.
+#
+# Exits 0 iff all four hold; prints the failing assertion otherwise.
+set -euo pipefail
+
+BUILD_DIR=build/release
+DURATION=60
+CONCURRENCY=8
+RSS_LIMIT_MB=512
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) BUILD_DIR=$2; shift 2 ;;
+    --seconds) DURATION=$2; shift 2 ;;
+    --concurrency) CONCURRENCY=$2; shift 2 ;;
+    --rss-limit-mb) RSS_LIMIT_MB=$2; shift 2 ;;
+    *) echo "soak.sh: unknown argument '$1'" >&2; exit 2 ;;
+  esac
+done
+
+DAEMON=$BUILD_DIR/tools/periodicad
+LOAD=$BUILD_DIR/tools/periodica_load
+for bin in "$DAEMON" "$LOAD"; do
+  if [[ ! -x $bin ]]; then
+    echo "soak.sh: $bin is not built (cmake --build --preset release)" >&2
+    exit 2
+  fi
+done
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/periodica_soak.XXXXXX")
+SOCKET=$WORK/soak.sock
+DAEMON_PID=""
+LOAD_PID=""
+cleanup() {
+  [[ -n $DAEMON_PID ]] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+  [[ -n $LOAD_PID ]] && kill -9 "$LOAD_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# A deliberately small daemon so the load actually overloads it, with a
+# global memory budget and one injected fault on each serving-layer site.
+"$DAEMON" --socket="$SOCKET" --checkpoint_dir="$WORK/ckpt" \
+  --workers=2 --max_queue_depth=4 --max_queue_latency_ms=2000 \
+  --memory_budget_bytes=$((256 * 1024 * 1024)) \
+  --wedge_timeout_ms=30000 \
+  --faults=server/accept:25,job_queue/enqueue:40,server/read:120,server/write:200 \
+  >"$WORK/daemon.log" 2>&1 &
+DAEMON_PID=$!
+
+for _ in $(seq 1 100); do
+  [[ -S $SOCKET ]] && break
+  if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+    echo "soak.sh: FAIL — daemon died during startup:" >&2
+    cat "$WORK/daemon.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[[ -S $SOCKET ]] || { echo "soak.sh: FAIL — socket never appeared" >&2; exit 1; }
+
+"$LOAD" --socket="$SOCKET" --seconds="$DURATION" \
+  --concurrency="$CONCURRENCY" --length=4096 --period=25 --sigma=4 \
+  >"$WORK/load.json" 2>"$WORK/load.log" &
+LOAD_PID=$!
+
+# Sample the daemon's resident set once a second for the load phase, then
+# TERM it while requests are still arriving (the last third of the run).
+LOAD_PHASE=$((DURATION * 2 / 3))
+[[ $LOAD_PHASE -lt 1 ]] && LOAD_PHASE=1
+MAX_RSS_KB=0
+for _ in $(seq 1 "$LOAD_PHASE"); do
+  if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+    echo "soak.sh: FAIL — daemon crashed under load:" >&2
+    tail -20 "$WORK/daemon.log" >&2
+    exit 1
+  fi
+  rss_kb=$(awk '/^VmRSS:/ {print $2}' "/proc/$DAEMON_PID/status" 2>/dev/null || echo 0)
+  [[ ${rss_kb:-0} -gt $MAX_RSS_KB ]] && MAX_RSS_KB=$rss_kb
+  sleep 1
+done
+
+kill -TERM "$DAEMON_PID"
+DAEMON_RC=0
+wait "$DAEMON_PID" || DAEMON_RC=$?
+LOAD_RC=0
+wait "$LOAD_PID" || LOAD_RC=$?
+
+echo "soak.sh: load summary: $(cat "$WORK/load.json" 2>/dev/null || echo '(missing)')"
+echo "soak.sh: daemon peak RSS: $((MAX_RSS_KB / 1024)) MiB (limit ${RSS_LIMIT_MB} MiB)"
+echo "soak.sh: daemon exit after SIGTERM mid-load: $DAEMON_RC"
+
+FAILED=0
+if [[ $DAEMON_RC -ne 0 ]]; then
+  echo "soak.sh: FAIL — SIGTERM drain exited $DAEMON_RC, want 0:" >&2
+  tail -20 "$WORK/daemon.log" >&2
+  FAILED=1
+fi
+if [[ $LOAD_RC -ne 0 ]]; then
+  echo "soak.sh: FAIL — load generator saw malformed responses:" >&2
+  cat "$WORK/load.json" "$WORK/load.log" >&2 || true
+  FAILED=1
+fi
+if [[ $((MAX_RSS_KB / 1024)) -ge $RSS_LIMIT_MB ]]; then
+  echo "soak.sh: FAIL — peak RSS $((MAX_RSS_KB / 1024)) MiB >= ${RSS_LIMIT_MB} MiB" >&2
+  FAILED=1
+fi
+if grep -qE "Sanitizer|runtime error" "$WORK/daemon.log"; then
+  echo "soak.sh: FAIL — sanitizer findings in the daemon log:" >&2
+  grep -E "Sanitizer|runtime error" "$WORK/daemon.log" >&2
+  FAILED=1
+fi
+
+if [[ $FAILED -ne 0 ]]; then
+  exit 1
+fi
+echo "soak.sh: PASS — zero crashes, structured responses, bounded RSS, clean drain"

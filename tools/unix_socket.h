@@ -1,0 +1,165 @@
+#ifndef PERIODICA_TOOLS_UNIX_SOCKET_H_
+#define PERIODICA_TOOLS_UNIX_SOCKET_H_
+
+// Small blocking Unix-domain-socket helpers shared by periodicad, its
+// client, the load generator and the end-to-end tests. Newline-delimited
+// messages (one JSON document per line, docs/SERVING.md); all functions
+// return Status instead of throwing, matching the library idiom.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "periodica/util/result.h"
+#include "periodica/util/status.h"
+
+namespace periodica::tools {
+
+/// An owned file descriptor (closes on destruction; movable).
+class FdHandle {
+ public:
+  FdHandle() = default;
+  explicit FdHandle(int fd) : fd_(fd) {}
+  ~FdHandle() { Close(); }
+  FdHandle(FdHandle&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  FdHandle& operator=(FdHandle&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  FdHandle(const FdHandle&) = delete;
+  FdHandle& operator=(const FdHandle&) = delete;
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+inline Status FillSockAddr(const std::string& path, sockaddr_un* addr) {
+  if (path.empty() || path.size() >= sizeof(addr->sun_path)) {
+    return Status::InvalidArgument("socket path empty or too long: " + path);
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return Status::OK();
+}
+
+/// Binds and listens on a Unix stream socket at `path` (unlinking any stale
+/// socket file first).
+inline Result<FdHandle> ListenUnix(const std::string& path, int backlog = 64) {
+  sockaddr_un addr{};
+  PERIODICA_RETURN_NOT_OK(FillSockAddr(path, &addr));
+  FdHandle fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    return Status::IOError("socket(): " + std::string(std::strerror(errno)));
+  }
+  ::unlink(path.c_str());
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Status::IOError("bind(" + path +
+                           "): " + std::string(std::strerror(errno)));
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    return Status::IOError("listen(" + path +
+                           "): " + std::string(std::strerror(errno)));
+  }
+  return fd;
+}
+
+/// Connects to the Unix stream socket at `path`.
+inline Result<FdHandle> ConnectUnix(const std::string& path) {
+  sockaddr_un addr{};
+  PERIODICA_RETURN_NOT_OK(FillSockAddr(path, &addr));
+  FdHandle fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    return Status::IOError("socket(): " + std::string(std::strerror(errno)));
+  }
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return Status::IOError("connect(" + path +
+                           "): " + std::string(std::strerror(errno)));
+  }
+  return fd;
+}
+
+/// Writes `line` plus a trailing newline, retrying on EINTR and partial
+/// writes.
+inline Status SendLine(int fd, const std::string& line) {
+  std::string wire = line;
+  wire.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t wrote =
+        ::send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("send(): " + std::string(std::strerror(errno)));
+    }
+    sent += static_cast<std::size_t>(wrote);
+  }
+  return Status::OK();
+}
+
+/// Buffered newline-framed reader for one connection. `max_line` bounds a
+/// single message so a malicious or broken peer cannot balloon memory.
+class LineReader {
+ public:
+  explicit LineReader(int fd, std::size_t max_line = 64u << 20)
+      : fd_(fd), max_line_(max_line) {}
+
+  /// Reads the next line (without the newline). NotFound signals clean EOF
+  /// before any partial line; IOError a read failure or an oversized line.
+  Result<std::string> Next() {
+    while (true) {
+      const std::size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        std::string line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return line;
+      }
+      if (buffer_.size() > max_line_) {
+        return Status::IOError("line exceeds " + std::to_string(max_line_) +
+                               " bytes");
+      }
+      char chunk[4096];
+      const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError("recv(): " +
+                               std::string(std::strerror(errno)));
+      }
+      if (got == 0) {
+        if (!buffer_.empty()) {
+          return Status::IOError("connection closed mid-line");
+        }
+        return Status::NotFound("end of stream");
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(got));
+    }
+  }
+
+ private:
+  int fd_;
+  std::size_t max_line_;
+  std::string buffer_;
+};
+
+}  // namespace periodica::tools
+
+#endif  // PERIODICA_TOOLS_UNIX_SOCKET_H_
