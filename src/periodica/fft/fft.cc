@@ -1,14 +1,14 @@
 #include "periodica/fft/fft.h"
 
+#include <atomic>
 #include <cmath>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <numbers>
-#include <shared_mutex>
 #include <utility>
 
 #include "periodica/util/logging.h"
+#include "periodica/util/sync.h"
 
 namespace periodica::fft {
 
@@ -77,8 +77,9 @@ namespace {
 /// heap-allocated and never evicted, so returned references stay valid for
 /// the process lifetime.
 struct PlanCache {
-  std::shared_mutex mutex;
-  std::map<std::size_t, std::unique_ptr<FftPlan>> plans;
+  util::SharedMutex mutex;
+  std::map<std::size_t, std::unique_ptr<FftPlan>> plans
+      PERIODICA_GUARDED_BY(mutex);
 };
 
 PlanCache& GetPlanCache() {
@@ -86,29 +87,50 @@ PlanCache& GetPlanCache() {
   return *cache;
 }
 
+/// Plans ever constructed by GetPlan.
+///
+/// Ordering: relaxed — a monotone statistic read by the plan-cache
+/// contention regression test (and PlanCacheBuildCount()); nothing
+/// synchronizes through it. The single-builder guarantee itself comes from
+/// the writer lock in GetPlan, not from this counter.
+std::atomic<std::uint64_t> plan_builds{0};
+
 }  // namespace
 
 const FftPlan& GetPlan(std::size_t n) {
   PlanCache& cache = GetPlanCache();
   {
-    std::shared_lock<std::shared_mutex> lock(cache.mutex);
+    util::ReaderLock lock(&cache.mutex);
     const auto it = cache.plans.find(n);
     if (it != cache.plans.end()) return *it->second;
   }
-  // Miss: build the plan outside any lock (twiddle/bit-reversal construction
-  // is the expensive part), then race to insert; the loser's plan is
-  // discarded and the winner's is returned, so callers always share one
-  // instance per size.
-  auto plan = std::make_unique<FftPlan>(n);
-  std::unique_lock<std::shared_mutex> lock(cache.mutex);
-  const auto [it, inserted] = cache.plans.emplace(n, std::move(plan));
-  return *it->second;
+  // Miss. A shared->exclusive handoff is not an atomic upgrade: any number
+  // of threads can observe the miss under the reader lock, so the writer
+  // side must re-check before building. Construction happens *under* the
+  // writer lock — exactly one thread builds each size, and concurrent
+  // requesters of that size block on the builder instead of burning CPU on
+  // duplicate twiddle tables that would be discarded. The cost is that a
+  // first-time build briefly stalls readers of other sizes; builds happen
+  // once per size per process, which the contention regression test in
+  // tests/fft_test.cc pins down via PlanCacheBuildCount().
+  util::WriterLock lock(&cache.mutex);
+  const auto it = cache.plans.find(n);
+  if (it != cache.plans.end()) return *it->second;
+  plan_builds.fetch_add(1, std::memory_order_relaxed);
+  const auto [inserted, ok] =
+      cache.plans.emplace(n, std::make_unique<FftPlan>(n));
+  PERIODICA_DCHECK(ok);
+  return *inserted->second;
 }
 
 std::size_t PlanCacheSize() {
   PlanCache& cache = GetPlanCache();
-  std::shared_lock<std::shared_mutex> lock(cache.mutex);
+  util::ReaderLock lock(&cache.mutex);
   return cache.plans.size();
+}
+
+std::uint64_t PlanCacheBuildCount() {
+  return plan_builds.load(std::memory_order_relaxed);
 }
 
 namespace {

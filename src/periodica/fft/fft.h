@@ -49,13 +49,22 @@ class FftPlan {
 /// Returns a cached plan for power-of-two size `n`, building it on first
 /// use. Thread-safe: lookups take a shared (reader) lock so concurrent
 /// workers transforming at the same size never serialize on the cache, and
-/// only first-time plan construction takes the exclusive lock. The returned
-/// reference stays valid for the process lifetime (plans are never evicted).
+/// only first-time plan construction takes the exclusive lock, with a
+/// re-check under that lock so exactly one thread ever builds a given size
+/// (concurrent missers block on the builder rather than constructing
+/// duplicates). The returned reference stays valid for the process lifetime
+/// (plans are never evicted).
 [[nodiscard]] const FftPlan& GetPlan(std::size_t n);
 
 /// Number of distinct transform sizes currently cached by GetPlan (exposed
 /// for tests and the performance methodology docs). Thread-safe.
 [[nodiscard]] std::size_t PlanCacheSize();
+
+/// Number of plans GetPlan has ever *constructed* in this process — the
+/// observable for the single-builder guarantee: after any number of
+/// concurrent GetPlan(n) calls, the build count for a previously unseen `n`
+/// rises by exactly one (regression-tested in tests/fft_test.cc).
+[[nodiscard]] std::uint64_t PlanCacheBuildCount();
 
 /// Forward or inverse DFT of arbitrary size, in place. Power-of-two sizes use
 /// the radix-2 plan directly; other sizes go through Bluestein's chirp-z

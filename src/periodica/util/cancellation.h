@@ -53,8 +53,17 @@ class CancellationToken {
   }
 
  private:
+  /// Ordering: relaxed. Cancellation is a level-triggered flag polled at
+  /// stage boundaries; the only requirement is eventual visibility, which
+  /// every atomic store provides. Workers must not use Expired() to
+  /// synchronize on data written by the cancelling thread — partial-result
+  /// handoff goes through the pool's WaitAll join, not through this flag.
   std::atomic<bool> cancelled_{false};
   /// steady_clock time_since_epoch in its native ticks; 0 = no deadline.
+  ///
+  /// Ordering: relaxed — same contract as cancelled_: a reader that misses
+  /// a just-armed deadline by one poll simply expires one checkpoint later,
+  /// which the cooperative-cancellation contract already allows.
   std::atomic<std::int64_t> deadline_ns_{0};
 };
 

@@ -1,9 +1,10 @@
 #include "periodica/util/fault_injector.h"
 
 #include <atomic>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
+
+#include "periodica/util/sync.h"
 
 namespace periodica::util {
 
@@ -17,15 +18,27 @@ struct ArmedSite {
   std::uint64_t fires = 0;
 };
 
-// Number of currently armed sites; the release fast path checks only this.
+/// Number of currently armed sites; the release fast path checks only this.
+///
+/// Ordering: relaxed. The counter is a fire-fast hint, not a
+/// synchronization edge: a Check that reads 0 while another thread is
+/// mid-Arm simply skips the registry, which is indistinguishable from the
+/// Check having run just before the Arm. Every transition that must be
+/// observed exactly — hit counting, fire scheduling, arm/disarm — happens
+/// under registry_mutex below, whose lock/unlock pair provides all the
+/// ordering the registry state needs.
 std::atomic<int> armed_count{0};
 
-std::mutex& RegistryMutex() {
-  static std::mutex mutex;
-  return mutex;
-}
+/// Serializes all registry state; annotated so the analyzer proves every
+/// Registry() caller holds it (see util/sync.h).
+constinit Mutex registry_mutex;
+
+std::unordered_map<std::string, ArmedSite>& Registry()
+    PERIODICA_REQUIRES(registry_mutex);
 
 std::unordered_map<std::string, ArmedSite>& Registry() {
+  // Heap-allocated and leaked so the registry outlives static destruction —
+  // ScopedFaults in other translation units may disarm during teardown.
   static auto* registry = new std::unordered_map<std::string, ArmedSite>();
   return *registry;
 }
@@ -34,7 +47,7 @@ std::unordered_map<std::string, ArmedSite>& Registry() {
 
 Status FaultInjector::Check(const std::string& site) {
   if (armed_count.load(std::memory_order_relaxed) == 0) return Status::OK();
-  std::lock_guard<std::mutex> lock(RegistryMutex());
+  MutexLock lock(&registry_mutex);
   auto it = Registry().find(site);
   if (it == Registry().end()) return Status::OK();
   ArmedSite& armed = it->second;
@@ -47,20 +60,20 @@ Status FaultInjector::Check(const std::string& site) {
 }
 
 std::uint64_t FaultInjector::HitCount(const std::string& site) {
-  std::lock_guard<std::mutex> lock(RegistryMutex());
+  MutexLock lock(&registry_mutex);
   const auto it = Registry().find(site);
   return it == Registry().end() ? 0 : it->second.hits;
 }
 
 std::uint64_t FaultInjector::FireCount(const std::string& site) {
-  std::lock_guard<std::mutex> lock(RegistryMutex());
+  MutexLock lock(&registry_mutex);
   const auto it = Registry().find(site);
   return it == Registry().end() ? 0 : it->second.fires;
 }
 
 void FaultInjector::Arm(const std::string& site, Status status,
                         std::uint64_t fire_on_nth, bool repeat) {
-  std::lock_guard<std::mutex> lock(RegistryMutex());
+  MutexLock lock(&registry_mutex);
   auto [it, inserted] = Registry().insert_or_assign(
       site, ArmedSite{std::move(status), fire_on_nth, repeat, 0, 0});
   (void)it;
@@ -68,7 +81,7 @@ void FaultInjector::Arm(const std::string& site, Status status,
 }
 
 void FaultInjector::Disarm(const std::string& site) {
-  std::lock_guard<std::mutex> lock(RegistryMutex());
+  MutexLock lock(&registry_mutex);
   if (Registry().erase(site) > 0) {
     armed_count.fetch_sub(1, std::memory_order_relaxed);
   }

@@ -32,7 +32,7 @@ Status JobQueue::TrySubmit(Priority priority, std::function<void()> job,
     return status;
   };
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     OverloadInfo info;
     info.queue_depth = queue_depth_;
     info.queue_latency_ewma_ms = latency_ewma_ms_;
@@ -95,7 +95,7 @@ void JobQueue::RunNext() {
   std::function<void()> job;
   std::uint64_t run_id = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     // One RunNext per admitted job, so some band is non-empty.
     for (auto& band : bands_) {
       if (band.empty()) continue;
@@ -117,7 +117,7 @@ void JobQueue::RunNext() {
   // exception upstream and reports it via WaitAll; the queue itself must
   // stay consistent either way).
   const auto finish = [this, run_id] {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     --running_;
     ++completed_;
     running_since_.erase(run_id);
@@ -133,7 +133,7 @@ void JobQueue::RunNext() {
 
 void JobQueue::Drain() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     draining_ = true;
   }
   // WaitAll blocks until every admitted RunNext wrapper has finished. The
@@ -145,12 +145,12 @@ void JobQueue::Drain() {
 }
 
 bool JobQueue::draining() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return draining_;
 }
 
 JobQueue::Stats JobQueue::GetStats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   Stats stats;
   stats.queue_depth = queue_depth_;
   stats.running = running_;

@@ -6,10 +6,10 @@
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 
 #include "periodica/util/status.h"
+#include "periodica/util/sync.h"
 #include "periodica/util/thread_pool.h"
 
 namespace periodica::util {
@@ -37,7 +37,9 @@ namespace periodica::util {
 /// inside TrySubmit after admission checks, so tests can script enqueue
 /// failures independently of real load.
 ///
-/// Thread-safety: all public methods may be called concurrently.
+/// Thread-safety: all public methods may be called concurrently. The
+/// locking discipline is annotated (util/sync.h) and verified by Clang
+/// Thread Safety Analysis in the CI `thread-safety` job.
 class JobQueue {
  public:
   /// Dispatch bands, highest first.
@@ -97,16 +99,17 @@ class JobQueue {
   /// carries the structured rejection and `job` was NOT taken (no silent
   /// drops: every submission is either run or visibly rejected).
   [[nodiscard]] Status TrySubmit(Priority priority, std::function<void()> job,
-                                 OverloadInfo* overload = nullptr);
+                                 OverloadInfo* overload = nullptr)
+      PERIODICA_EXCLUDES(mutex_);
 
   /// Stops admission and blocks until every admitted job has finished.
   /// Idempotent; concurrent callers all block until the drain completes.
-  void Drain();
+  void Drain() PERIODICA_EXCLUDES(mutex_);
 
   /// True once Drain has been requested.
-  [[nodiscard]] bool draining() const;
+  [[nodiscard]] bool draining() const PERIODICA_EXCLUDES(mutex_);
 
-  [[nodiscard]] Stats GetStats() const;
+  [[nodiscard]] Stats GetStats() const PERIODICA_EXCLUDES(mutex_);
 
   [[nodiscard]] std::size_t num_workers() const {
     return pool_.num_workers();
@@ -120,23 +123,27 @@ class JobQueue {
 
   /// Pops and runs the oldest job of the highest non-empty band; executed on
   /// a pool worker, one call per admitted job.
-  void RunNext();
+  void RunNext() PERIODICA_EXCLUDES(mutex_);
 
-  Options options_;
-  mutable std::mutex mutex_;
-  std::deque<QueuedJob> bands_[kNumPriorities];
-  std::size_t queue_depth_ = 0;  ///< sum of band sizes
-  std::size_t running_ = 0;
-  std::uint64_t accepted_ = 0;
-  std::uint64_t rejected_ = 0;
-  std::uint64_t completed_ = 0;
-  double latency_ewma_ms_ = 0.0;
-  bool draining_ = false;
-  std::uint64_t next_run_id_ = 0;
+  const Options options_;  ///< immutable after construction
+  mutable Mutex mutex_;
+  std::deque<QueuedJob> bands_[kNumPriorities] PERIODICA_GUARDED_BY(mutex_);
+  /// Sum of band sizes.
+  std::size_t queue_depth_ PERIODICA_GUARDED_BY(mutex_) = 0;
+  std::size_t running_ PERIODICA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t accepted_ PERIODICA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t rejected_ PERIODICA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t completed_ PERIODICA_GUARDED_BY(mutex_) = 0;
+  double latency_ewma_ms_ PERIODICA_GUARDED_BY(mutex_) = 0.0;
+  bool draining_ PERIODICA_GUARDED_BY(mutex_) = false;
+  std::uint64_t next_run_id_ PERIODICA_GUARDED_BY(mutex_) = 0;
   /// Start times of in-flight jobs, keyed by a dispatch id (for
   /// oldest_running_ms; a std::map keeps the oldest at begin()).
-  std::map<std::uint64_t, std::chrono::steady_clock::time_point> running_since_;
-  ThreadPool pool_;  ///< declared last: workers must die before the state
+  std::map<std::uint64_t, std::chrono::steady_clock::time_point>
+      running_since_ PERIODICA_GUARDED_BY(mutex_);
+  /// Declared last: workers must die before the state. Internally
+  /// synchronized. lint: unguarded(pool_): ThreadPool has its own mutex.
+  ThreadPool pool_;
 };
 
 }  // namespace periodica::util

@@ -52,8 +52,21 @@ class MemoryBudget {
   }
 
  private:
-  std::size_t limit_;
+  const std::size_t limit_;  ///< immutable after construction
+
+  /// Bytes currently reserved.
+  ///
+  /// Ordering: relaxed. The budget is an admission counter, not a
+  /// publication mechanism — no caller reads memory "handed over" by a
+  /// reservation, so acquire/release edges would buy nothing. The CAS loop
+  /// in TryReserve stays correct under relaxed ordering because
+  /// compare_exchange re-reads the current value on every failure; the
+  /// counter can never over-admit, only transiently refuse.
   std::atomic<std::size_t> used_{0};
+
+  /// Ordering: relaxed — advisory statistic. A racy update may under-report
+  /// the true peak by one in-flight reservation; capacity planning tolerates
+  /// that, and nothing branches on it.
   std::atomic<std::size_t> high_water_{0};
 };
 

@@ -1,0 +1,224 @@
+#ifndef PERIODICA_UTIL_SYNC_H_
+#define PERIODICA_UTIL_SYNC_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+namespace periodica::util {
+
+/// Compile-time thread-safety layer (Clang Thread Safety Analysis).
+///
+/// Every lock in this codebase goes through the capability-annotated
+/// wrappers below instead of the raw standard-library primitives, so that
+/// locking contracts — "this member is only touched under that mutex",
+/// "this function must be called with the lock held" — are *machine-checked
+/// at compile time* by Clang's `-Wthread-safety` analysis, not just
+/// empirically by whatever interleavings the TSan test runs happen to hit.
+/// The CI `thread-safety` job builds with `-Werror=thread-safety`, and
+/// `tools/lint_concurrency.py` rejects raw `std::mutex` / `std::lock_guard`
+/// declarations outside this header, so the annotations cannot silently
+/// decay as the concurrent surface grows (sharded serving, the multi-tenant
+/// stream hub).
+///
+/// Usage pattern:
+///
+///   class Account {
+///    public:
+///     void Deposit(int amount) PERIODICA_EXCLUDES(mutex_) {
+///       MutexLock lock(&mutex_);
+///       balance_ += amount;
+///     }
+///    private:
+///     Mutex mutex_;
+///     int balance_ PERIODICA_GUARDED_BY(mutex_) = 0;
+///   };
+///
+/// On non-Clang compilers (the local GCC toolchain) every macro expands to
+/// nothing and the wrappers are zero-cost veneers over the standard
+/// primitives — behavior is identical, only the static analysis is absent.
+///
+/// Condition-variable waits: Clang's analysis cannot see through a
+/// `cv.wait(lock, predicate)` lambda (the lambda body is analyzed as a
+/// separate function that does not know the lock is held), so `CondVar`
+/// deliberately offers only the predicate-less `Wait`. Write the loop at
+/// the call site, where every guarded access is visible to the analyzer:
+///
+///   MutexLock lock(&mutex_);
+///   while (!ready_) cv_.Wait(mutex_);
+
+// clang-format off
+#if defined(__clang__)
+#define PERIODICA_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define PERIODICA_THREAD_ANNOTATION_(x)  // no-op: analysis is Clang-only
+#endif
+
+/// Declares a type to be a lockable capability (goes on the class).
+#define PERIODICA_CAPABILITY(x) PERIODICA_THREAD_ANNOTATION_(capability(x))
+/// Declares an RAII type that acquires in its constructor and releases in
+/// its destructor.
+#define PERIODICA_SCOPED_CAPABILITY PERIODICA_THREAD_ANNOTATION_(scoped_lockable)
+/// Member may only be read or written while holding the given mutex.
+#define PERIODICA_GUARDED_BY(x) PERIODICA_THREAD_ANNOTATION_(guarded_by(x))
+/// Pointee may only be accessed while holding the given mutex.
+#define PERIODICA_PT_GUARDED_BY(x) PERIODICA_THREAD_ANNOTATION_(pt_guarded_by(x))
+/// Function requires the mutex(es) to be held on entry (and exit).
+#define PERIODICA_REQUIRES(...) \
+  PERIODICA_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+/// Function requires at least shared (reader) access on entry.
+#define PERIODICA_REQUIRES_SHARED(...) \
+  PERIODICA_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+/// Function acquires the mutex(es); they must not be held on entry.
+#define PERIODICA_ACQUIRE(...) \
+  PERIODICA_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+/// Function acquires shared (reader) access.
+#define PERIODICA_ACQUIRE_SHARED(...) \
+  PERIODICA_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+/// Function releases the mutex(es) (exclusive or shared).
+#define PERIODICA_RELEASE(...) \
+  PERIODICA_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+/// Function releases shared (reader) access specifically.
+#define PERIODICA_RELEASE_SHARED(...) \
+  PERIODICA_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+/// Function tries to acquire; first argument is the success return value.
+#define PERIODICA_TRY_ACQUIRE(...) \
+  PERIODICA_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+/// Function may only be called while NOT holding the mutex(es) — documents
+/// (and, within analyzed code, checks) self-deadlock freedom.
+#define PERIODICA_EXCLUDES(...) \
+  PERIODICA_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+/// Assertion that the calling thread already holds the mutex (a runtime
+/// fact the analyzer is told to trust from here on).
+#define PERIODICA_ASSERT_CAPABILITY(x) \
+  PERIODICA_THREAD_ANNOTATION_(assert_capability(x))
+/// Function returns a reference to the given mutex.
+#define PERIODICA_RETURN_CAPABILITY(x) \
+  PERIODICA_THREAD_ANNOTATION_(lock_returned(x))
+/// Escape hatch: disables analysis for one function. Every use needs a
+/// comment explaining why the discipline holds anyway.
+#define PERIODICA_NO_THREAD_SAFETY_ANALYSIS \
+  PERIODICA_THREAD_ANNOTATION_(no_thread_safety_analysis)
+// clang-format on
+
+class CondVar;
+
+/// Capability-annotated exclusive mutex. Identical runtime behavior to
+/// std::mutex; the annotations make lock discipline checkable. Prefer the
+/// RAII `MutexLock` over manual Lock/Unlock pairs.
+class PERIODICA_CAPABILITY("mutex") Mutex {
+ public:
+  constexpr Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() PERIODICA_ACQUIRE() { mutex_.lock(); }
+  void Unlock() PERIODICA_RELEASE() { mutex_.unlock(); }
+  [[nodiscard]] bool TryLock() PERIODICA_TRY_ACQUIRE(true) {
+    return mutex_.try_lock();
+  }
+
+  /// Tells the analyzer (not the runtime) that the lock is held — for the
+  /// rare helper whose caller provably holds it in a way the analysis
+  /// cannot follow.
+  void AssertHeld() const PERIODICA_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;  // Wait needs the underlying std::mutex
+  std::mutex mutex_;
+};
+
+/// Capability-annotated reader-writer mutex over std::shared_mutex.
+class PERIODICA_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() PERIODICA_ACQUIRE() { mutex_.lock(); }
+  void Unlock() PERIODICA_RELEASE() { mutex_.unlock(); }
+  void LockShared() PERIODICA_ACQUIRE_SHARED() { mutex_.lock_shared(); }
+  void UnlockShared() PERIODICA_RELEASE_SHARED() { mutex_.unlock_shared(); }
+  [[nodiscard]] bool TryLock() PERIODICA_TRY_ACQUIRE(true) {
+    return mutex_.try_lock();
+  }
+
+ private:
+  std::shared_mutex mutex_;
+};
+
+/// RAII exclusive lock on a Mutex (the std::lock_guard replacement).
+class PERIODICA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mutex) PERIODICA_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_->Lock();
+  }
+  ~MutexLock() PERIODICA_RELEASE() { mutex_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mutex_;
+};
+
+/// RAII shared (reader) lock on a SharedMutex.
+class PERIODICA_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex* mutex) PERIODICA_ACQUIRE_SHARED(mutex)
+      : mutex_(mutex) {
+    mutex_->LockShared();
+  }
+  ~ReaderLock() PERIODICA_RELEASE() { mutex_->UnlockShared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex* const mutex_;
+};
+
+/// RAII exclusive (writer) lock on a SharedMutex.
+class PERIODICA_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex* mutex) PERIODICA_ACQUIRE(mutex)
+      : mutex_(mutex) {
+    mutex_->Lock();
+  }
+  ~WriterLock() PERIODICA_RELEASE() { mutex_->Unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex* const mutex_;
+};
+
+/// Condition variable paired with util::Mutex. Only the predicate-less Wait
+/// is offered — see the header comment for why the waiting loop belongs at
+/// the (analyzed) call site.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mutex`, blocks until notified, and reacquires it
+  /// before returning. As with any condition variable, spurious wakeups are
+  /// possible: always call in a `while (!condition)` loop.
+  void Wait(Mutex& mutex) PERIODICA_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.mutex_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's MutexLock still owns the mutex
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace periodica::util
+
+#endif  // PERIODICA_UTIL_SYNC_H_

@@ -24,28 +24,28 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+    MutexLock lock(&mutex_);
+    while (in_flight_ != 0) done_cv_.Wait(mutex_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   PERIODICA_DCHECK(task != nullptr);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     PERIODICA_DCHECK(!stop_) << "Submit after destruction began";
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 Status ThreadPool::WaitAll() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(&mutex_);
+  while (in_flight_ != 0) done_cv_.Wait(mutex_);
   Status result = std::move(first_error_);
   first_error_ = Status::OK();
   return result;
@@ -55,8 +55,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(&mutex_);
+      while (!stop_ && queue_.empty()) work_cv_.Wait(mutex_);
       if (queue_.empty()) return;  // stop_ set and nothing left to run
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -70,12 +70,12 @@ void ThreadPool::WorkerLoop() {
       failure = Status::Internal("task threw a non-std::exception value");
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       if (!failure.ok() && first_error_.ok()) {
         first_error_ = std::move(failure);
       }
       --in_flight_;
-      if (in_flight_ == 0) done_cv_.notify_all();
+      if (in_flight_ == 0) done_cv_.NotifyAll();
     }
   }
 }

@@ -1,15 +1,14 @@
 #ifndef PERIODICA_UTIL_THREAD_POOL_H_
 #define PERIODICA_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "periodica/util/status.h"
+#include "periodica/util/sync.h"
 
 namespace periodica::util {
 
@@ -32,7 +31,9 @@ namespace periodica::util {
 /// but the pool is a single-client facility — WaitAll waits for *all* tasks
 /// submitted so far, so two independent users of one pool need external
 /// coordination. Never call WaitAll from inside a task: if every worker did
-/// so the queue could never drain.
+/// so the queue could never drain. The per-member locking discipline is
+/// annotated below and verified by Clang Thread Safety Analysis (the CI
+/// `thread-safety` job; see util/sync.h).
 class ThreadPool {
  public:
   /// Starts `num_threads` workers; 0 means one per hardware thread (at least
@@ -55,25 +56,29 @@ class ThreadPool {
 
   /// Enqueues `task` for execution on some worker. Tasks must not call
   /// Submit/WaitAll on their own pool (see class comment).
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) PERIODICA_EXCLUDES(mutex_);
 
   /// Blocks until every task submitted so far has finished. Returns OK, or
   /// the first task failure (an exception escaping a task) since the last
   /// WaitAll; the error is cleared so the pool is reusable afterwards.
-  [[nodiscard]] Status WaitAll();
+  [[nodiscard]] Status WaitAll() PERIODICA_EXCLUDES(mutex_);
 
   [[nodiscard]] std::size_t num_workers() const { return workers_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() PERIODICA_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable work_cv_;  ///< signals workers: queue or stop
-  std::condition_variable done_cv_;  ///< signals WaitAll: in_flight_ == 0
-  std::deque<std::function<void()>> queue_;
-  std::size_t in_flight_ = 0;  ///< queued + currently running tasks
-  bool stop_ = false;
-  Status first_error_ = Status::OK();
+  Mutex mutex_;
+  CondVar work_cv_;  ///< signals workers: queue or stop
+  CondVar done_cv_;  ///< signals WaitAll: in_flight_ == 0
+  std::deque<std::function<void()>> queue_ PERIODICA_GUARDED_BY(mutex_);
+  /// Queued + currently running tasks.
+  std::size_t in_flight_ PERIODICA_GUARDED_BY(mutex_) = 0;
+  bool stop_ PERIODICA_GUARDED_BY(mutex_) = false;
+  Status first_error_ PERIODICA_GUARDED_BY(mutex_) = Status::OK();
+  /// Written only by the constructor, joined by the destructor; read-only
+  /// (num_workers) in between. lint: unguarded(workers_): immutable after
+  /// construction.
   std::vector<std::thread> workers_;
 };
 

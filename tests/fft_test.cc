@@ -210,6 +210,44 @@ TEST(FftPlanTest, PlanCacheIsThreadSafe) {
   EXPECT_EQ(failures.load(), 0);
 }
 
+TEST(FftPlanTest, ConcurrentMissesBuildExactlyOnePlan) {
+  // Regression test for the shared->exclusive upgrade window: GetPlan's
+  // reader-lock fast path cannot atomically upgrade to the writer lock, so
+  // every miss must re-check under the writer lock before building. Without
+  // the re-check, N concurrent first requesters of an unseen size would
+  // build N duplicate plans (and with map::emplace, N-1 would leak as
+  // discarded twiddle tables). PlanCacheBuildCount() observes construction
+  // directly, so the test fails if even one duplicate build sneaks through.
+  constexpr std::size_t kSize = std::size_t{1} << 19;  // unseen by other tests
+  const std::uint64_t builds_before = PlanCacheBuildCount();
+  const std::size_t cache_before = PlanCacheSize();
+
+  constexpr int kThreads = 8;
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<const FftPlan*> plans(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &ready, &go, &plans] {
+      ready.fetch_add(1);
+      while (!go.load()) {
+      }  // spin so all threads hit the cold cache as close together as we can
+      plans[t] = &GetPlan(kSize);
+    });
+  }
+  while (ready.load() < kThreads) {
+  }
+  go.store(true);
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(PlanCacheBuildCount() - builds_before, 1u)
+      << "concurrent misses built duplicate plans";
+  EXPECT_EQ(PlanCacheSize() - cache_before, 1u);
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(plans[t], plans[0]) << "thread " << t << " got a different plan";
+  }
+}
+
 TEST(RealFftTest, DcOnlySignal) {
   std::vector<double> input(8, 1.0);
   const auto spectrum = RealFftForward(input);

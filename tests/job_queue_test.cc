@@ -2,8 +2,6 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -11,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "periodica/util/fault_injector.h"
+#include "periodica/util/sync.h"
 
 namespace periodica::util {
 namespace {
@@ -21,22 +20,22 @@ using Priority = JobQueue::Priority;
 /// queue contents deterministic while more work is submitted.
 class Gate {
  public:
-  void Wait() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return open_; });
+  void Wait() PERIODICA_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    while (!open_) cv_.Wait(mutex_);
   }
-  void Open() {
+  void Open() PERIODICA_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       open_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
  private:
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool open_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  bool open_ PERIODICA_GUARDED_BY(mutex_) = false;
 };
 
 void SpinUntilRunning(JobQueue& queue, std::size_t expected) {
@@ -124,11 +123,11 @@ TEST(JobQueueTest, DispatchIsPriorityThenFifo) {
   ASSERT_TRUE(queue.TrySubmit(Priority::kNormal, [&gate] { gate.Wait(); }).ok());
   SpinUntilRunning(queue, 1);
 
-  std::mutex order_mutex;
+  Mutex order_mutex;
   std::vector<std::string> order;
   const auto tag = [&](std::string name) {
     return [&order_mutex, &order, name = std::move(name)] {
-      std::lock_guard<std::mutex> lock(order_mutex);
+      MutexLock lock(&order_mutex);
       order.push_back(name);
     };
   };

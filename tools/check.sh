@@ -3,13 +3,16 @@
 #
 # Runs, in order:
 #   1. format   clang-format --dry-run over all first-party sources
-#   2. tidy     clang-tidy (profile: .clang-tidy) over the compilation
+#   2. lint     tools/lint_concurrency.py self-test + tree scan (raw sync
+#               primitives, unguarded members, fault-site registry, atomic
+#               ordering contracts, detached threads — docs/DEVELOPMENT.md)
+#   3. tidy     clang-tidy (profile: .clang-tidy) over the compilation
 #               database of the `release` preset
-#   3. tests    configure + build + ctest for each preset: release,
+#   4. tests    configure + build + ctest for each preset: release,
 #               asan-ubsan, tsan
 #
 # CI and humans share this script; the GitHub Actions workflow calls it with
-# --tidy-only / --preset so each job maps to exactly one gate.
+# --tidy-only / --lint-only / --preset so each job maps to exactly one gate.
 #
 # Exit codes (documented contract — CI matches on these):
 #   0  every requested gate passed; gates whose tool is not installed were
@@ -19,13 +22,15 @@
 #   3  clang-tidy findings (rerun with --fix to apply fix-its)
 #   4  configure or build failure
 #   5  test failure
-#   6  a gate was requested explicitly (--format-only / --tidy-only) but its
-#      tool is not installed
+#   6  a gate was requested explicitly (--format-only / --tidy-only /
+#      --lint-only) but its tool is not installed
+#   7  concurrency-lint findings (or a dead lint rule in its self-test)
 #
 # Options:
 #   --fix            apply clang-format/clang-tidy fixes instead of failing
 #   --format-only    run only the format gate
 #   --tidy-only      run only the clang-tidy gate
+#   --lint-only      run only the concurrency lint
 #   --no-sanitizers  test stage builds/runs only the `release` preset
 #   --preset NAME    test stage builds/runs only preset NAME
 #   -j N             parallelism (default: nproc)
@@ -39,13 +44,14 @@ MODE=all
 FIX=0
 PRESETS=(release asan-ubsan tsan)
 
-usage() { sed -n '2,37p' "$0"; }
+usage() { sed -n '2,43p' "$0"; }
 
 while [ $# -gt 0 ]; do
   case "$1" in
     --fix) FIX=1 ;;
     --format-only) MODE=format ;;
     --tidy-only) MODE=tidy ;;
+    --lint-only) MODE=lint ;;
     --no-sanitizers) PRESETS=(release) ;;
     --preset)
       shift
@@ -108,6 +114,28 @@ run_format() {
   return 2
 }
 
+# ------------------------------------------------------------------ lint ----
+run_lint() {
+  if ! command -v python3 >/dev/null 2>&1; then
+    if [ "$MODE" = lint ]; then
+      fail "concurrency lint requested (--lint-only) but python3 not installed"
+      return 6
+    fi
+    skip "python3 not installed; concurrency lint not run"
+    return 0
+  fi
+  # Self-test first: a lint whose rules silently died would pass everything.
+  note "concurrency lint: self-test (every rule must fire on a seeded violation)"
+  python3 tools/lint_concurrency.py --self-test \
+    || { fail "lint_concurrency self-test found a dead rule"; return 7; }
+  note "concurrency lint: scanning src/ tools/ tests/ bench/ examples/"
+  if python3 tools/lint_concurrency.py; then
+    return 0
+  fi
+  fail "concurrency-lint findings — see output above (docs/DEVELOPMENT.md)"
+  return 7
+}
+
 # ------------------------------------------------------------------ tidy ----
 run_tidy() {
   local ct
@@ -160,8 +188,10 @@ rc=0
 case "$MODE" in
   format) run_format; rc=$? ;;
   tidy)   run_tidy; rc=$? ;;
+  lint)   run_lint; rc=$? ;;
   all)
     run_format; rc=$?
+    if [ "$rc" = 0 ]; then run_lint; rc=$?; fi
     if [ "$rc" = 0 ]; then run_tidy; rc=$?; fi
     if [ "$rc" = 0 ]; then run_tests; rc=$?; fi
     ;;

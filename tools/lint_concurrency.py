@@ -1,0 +1,498 @@
+#!/usr/bin/env python3
+"""Concurrency lint: keeps the compile-time thread-safety layer honest.
+
+Clang's -Wthread-safety analysis (see src/periodica/util/sync.h and
+docs/DEVELOPMENT.md) only checks code that goes through the annotated
+wrappers and only fires on members that carry PERIODICA_GUARDED_BY. This
+lint closes the gaps the analyzer cannot see:
+
+  raw-sync          Raw std::mutex / std::lock_guard / std::condition_variable
+                    (and friends) anywhere outside util/sync.h. Raw primitives
+                    are invisible to the analysis, so one stray std::mutex
+                    silently exempts its critical sections from checking.
+  unguarded-member  A mutable data member of an annotated class (one that
+                    declares a util::Mutex/util::SharedMutex or uses
+                    PERIODICA_GUARDED_BY) that itself has no
+                    PERIODICA_GUARDED_BY, is not const/atomic, and carries no
+                    waiver. Waive with a comment on the declaration line or
+                    the line above:  // lint: unguarded(member_name): reason
+  fault-site        A FaultInjector::Check("site") string in src/ or tools/
+                    that is missing from the registered-sites table in
+                    docs/ROBUSTNESS.md (the operator-facing registry).
+  atomic-ordering   A std::atomic declaration in src/ or tools/ whose
+                    preceding comment block does not state its memory-ordering
+                    contract with an "Ordering:" line.
+  detached-thread   Any .detach() on a thread: detached threads outlive every
+                    join point, so neither the analyzer, TSan, nor graceful
+                    drain can reason about them.
+
+Usage:
+  tools/lint_concurrency.py [--root DIR]    lint the tree (exit 1 on findings)
+  tools/lint_concurrency.py --self-test     verify every rule fires on a
+                                            seeded violation (exit 1 if a rule
+                                            is dead)
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+import tempfile
+
+SCAN_DIRS = ("src", "tools", "tests", "bench", "examples")
+# Registry-backed rules (fault-site, atomic-ordering) only police shipped
+# code: tests and benches may arm throwaway sites and use scratch atomics.
+SHIPPED_DIRS = ("src", "tools")
+SYNC_HEADER = pathlib.Path("src/periodica/util/sync.h")
+
+RAW_SYNC_TOKENS = (
+    "std::mutex",
+    "std::timed_mutex",
+    "std::recursive_mutex",
+    "std::recursive_timed_mutex",
+    "std::shared_mutex",
+    "std::shared_timed_mutex",
+    "std::lock_guard",
+    "std::unique_lock",
+    "std::scoped_lock",
+    "std::shared_lock",
+    "std::condition_variable",
+    "std::condition_variable_any",
+)
+
+MUTEX_MEMBER_RE = re.compile(
+    r"\b(?:util::)?(?:Mutex|SharedMutex)\s+\w+\s*;")
+WAIVER_RE = re.compile(r"lint:\s*unguarded\((\w+)\)\s*:\s*\S")
+CHECK_SITE_RE = re.compile(r'FaultInjector::Check\(\s*"([^"]+)"')
+DOC_SITE_RE = re.compile(r"\|\s*`([a-z0-9_]+/[a-z0-9_]+)`\s*\|")
+ATOMIC_DECL_RE = re.compile(r"^\s*(?:mutable\s+)?std::atomic<")
+
+
+class Finding:
+    def __init__(self, rule: str, path: pathlib.Path, line: int, message: str):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving newlines and
+    column positions so reported line numbers stay accurate."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out.append(" ")
+                i += 1
+        elif c == "/" and nxt == "*":
+            out.append("  ")
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n
+                                 and text[i + 1] == "/"):
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            if i < n:
+                out.append("  ")
+                i += 2
+        elif c in ('"', "'"):
+            quote = c
+            out.append(" ")
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out.append("  ")
+                    i += 2
+                else:
+                    out.append("\n" if text[i] == "\n" else " ")
+                    i += 1
+            if i < n:
+                out.append(" ")
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def iter_source_files(root: pathlib.Path, dirs=SCAN_DIRS):
+    for directory in dirs:
+        base = root / directory
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in (".h", ".cc") and path.is_file():
+                yield path
+
+
+def is_comment_line(line: str) -> bool:
+    stripped = line.strip()
+    return (stripped.startswith("//") or stripped.startswith("*")
+            or stripped.startswith("/*") or stripped.endswith("*/")
+            or stripped == "")
+
+
+# --- rule: raw-sync ---------------------------------------------------------
+
+
+def check_raw_sync(path: pathlib.Path, rel: pathlib.Path,
+                   stripped: str) -> list[Finding]:
+    if rel == SYNC_HEADER:
+        return []
+    findings = []
+    for lineno, line in enumerate(stripped.splitlines(), start=1):
+        for token in RAW_SYNC_TOKENS:
+            if re.search(re.escape(token) + r"\b", line):
+                findings.append(
+                    Finding(
+                        "raw-sync", rel, lineno,
+                        f"raw {token} outside util/sync.h; use the "
+                        "capability-annotated util:: wrappers"))
+                break
+    return findings
+
+
+# --- rule: unguarded-member -------------------------------------------------
+
+
+def find_class_bodies(stripped: str):
+    """Yields (class_name, header_line, body_text, body_start_line) for every
+    top-level and nested class/struct with a braced body."""
+    for match in re.finditer(
+            r"\b(class|struct)\s+(?:PERIODICA_\w+(?:\([^)]*\))?\s+)?(\w+)"
+            r"[^;{(]*\{", stripped):
+        name = match.group(2)
+        open_brace = match.end() - 1
+        depth = 0
+        for i in range(open_brace, len(stripped)):
+            if stripped[i] == "{":
+                depth += 1
+            elif stripped[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    body = stripped[open_brace + 1:i]
+                    start_line = stripped.count("\n", 0, open_brace) + 1
+                    yield name, body, start_line
+                    break
+
+
+def class_member_statements(body: str):
+    """Yields (statement_text, line_offset) for class-depth statements,
+    skipping nested braced regions (method bodies, nested types, brace
+    initializers reduced to their head)."""
+    statement = []
+    line = 0
+    depth = 0
+    start_line = 0
+    for c in body:
+        if c == "\n":
+            line += 1
+        if depth == 0 and not statement and c not in " \n\t":
+            start_line = line
+        if c == "{":
+            depth += 1
+            continue
+        if c == "}":
+            depth -= 1
+            # A closed braced region ends any pending statement (function
+            # definition / nested type); drop it.
+            if depth == 0:
+                statement = []
+            continue
+        if depth > 0:
+            continue
+        if c == ";":
+            text = "".join(statement).strip()
+            if text:
+                yield text, start_line
+            statement = []
+        else:
+            statement.append(c)
+
+
+MEMBER_SKIP_PREFIXES = (
+    "public", "private", "protected", "using", "typedef", "friend",
+    "static", "enum", "template", "explicit", "virtual", "return",
+    "PERIODICA_", "#",
+)
+
+UNGUARDED_OK_TYPES = re.compile(
+    r"^\s*(?:mutable\s+)?(?:const\b|constexpr\b|static\b"
+    r"|(?:util::)?(?:Mutex|SharedMutex|CondVar)\b"
+    r"|std::atomic\b|std::atomic<)")
+
+
+def check_unguarded_members(rel: pathlib.Path, raw: str,
+                            stripped: str) -> list[Finding]:
+    waivers = set(WAIVER_RE.findall(raw))
+    findings = []
+    for name, body, start_line in find_class_bodies(stripped):
+        annotated = ("PERIODICA_GUARDED_BY" in body
+                     or MUTEX_MEMBER_RE.search(body) is not None)
+        if not annotated:
+            continue
+        for statement, offset in class_member_statements(body):
+            flat = " ".join(statement.split())
+            if "PERIODICA_GUARDED_BY" in flat:
+                continue
+            if any(flat.startswith(p) for p in MEMBER_SKIP_PREFIXES):
+                continue
+            if UNGUARDED_OK_TYPES.match(flat):
+                continue
+            # Function declarations and constructor-style initializers have
+            # parentheses; member variables in this codebase use brace or =
+            # initializers (the brace part was consumed by the splitter).
+            if "(" in flat or ")" in flat:
+                continue
+            decl = flat.split("=")[0].strip()
+            words = re.findall(r"\w+", decl)
+            if len(words) < 2:
+                continue  # not a "type name" shaped declaration
+            member = words[-1]
+            if re.match(r"^\d", member):
+                member = words[-2] if len(words) >= 2 else member
+            if member in waivers:
+                continue
+            findings.append(
+                Finding(
+                    "unguarded-member", rel, start_line + offset + 1,
+                    f"member '{member}' of annotated class '{name}' has no "
+                    "PERIODICA_GUARDED_BY; annotate it, make it "
+                    "const/atomic, or waive with "
+                    f"'// lint: unguarded({member}): reason'"))
+    return findings
+
+
+# --- rule: fault-site -------------------------------------------------------
+
+
+def registered_fault_sites(root: pathlib.Path) -> set[str]:
+    doc = root / "docs" / "ROBUSTNESS.md"
+    if not doc.is_file():
+        return set()
+    return set(DOC_SITE_RE.findall(doc.read_text(encoding="utf-8")))
+
+
+def check_fault_sites(rel: pathlib.Path, raw: str,
+                      registered: set[str]) -> list[Finding]:
+    findings = []
+    for lineno, line in enumerate(raw.splitlines(), start=1):
+        for site in CHECK_SITE_RE.findall(line):
+            if site not in registered:
+                findings.append(
+                    Finding(
+                        "fault-site", rel, lineno,
+                        f"fault-injection site '{site}' is not in the "
+                        "registered-sites table in docs/ROBUSTNESS.md"))
+    return findings
+
+
+# --- rule: atomic-ordering --------------------------------------------------
+
+
+def check_atomic_ordering(rel: pathlib.Path, raw: str,
+                          stripped: str) -> list[Finding]:
+    raw_lines = raw.splitlines()
+    findings = []
+    for lineno, line in enumerate(stripped.splitlines(), start=1):
+        if not ATOMIC_DECL_RE.match(line):
+            continue
+        # Walk upward through the contiguous block of comments, blank lines
+        # and sibling atomic declarations looking for the contract. One
+        # "Ordering:" block may cover a group of adjacent counters.
+        has_contract = False
+        i = lineno - 2  # 0-based index of the line above the declaration
+        while i >= 0:
+            above = raw_lines[i]
+            if "Ordering:" in above:
+                has_contract = True
+                break
+            if (is_comment_line(above)
+                    or ATOMIC_DECL_RE.match(strip_comments_and_strings(above))
+                    # A class/struct header or access specifier: the contract
+                    # may be the type's doc comment covering all members.
+                    or re.match(r"\s*(?:class|struct)\b.*\{\s*$", above)
+                    or re.match(r"\s*(?:public|private|protected)\s*:", above)):
+                i -= 1
+                continue
+            break
+        if not has_contract:
+            findings.append(
+                Finding(
+                    "atomic-ordering", rel, lineno,
+                    "std::atomic declaration without an 'Ordering:' comment "
+                    "stating its memory-ordering contract (see "
+                    "docs/DEVELOPMENT.md)"))
+    return findings
+
+
+# --- rule: detached-thread --------------------------------------------------
+
+
+def check_detached_threads(rel: pathlib.Path,
+                           stripped: str) -> list[Finding]:
+    findings = []
+    for lineno, line in enumerate(stripped.splitlines(), start=1):
+        if re.search(r"\.\s*detach\s*\(\s*\)", line):
+            findings.append(
+                Finding(
+                    "detached-thread", rel, lineno,
+                    ".detach()ed threads escape every join point; keep the "
+                    "handle and join (see the drain path in periodicad)"))
+    return findings
+
+
+# --- driver -----------------------------------------------------------------
+
+
+def lint_tree(root: pathlib.Path) -> list[Finding]:
+    findings: list[Finding] = []
+    registered = registered_fault_sites(root)
+    shipped = {p for p in iter_source_files(root, SHIPPED_DIRS)}
+    for path in iter_source_files(root):
+        rel = path.relative_to(root)
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        stripped = strip_comments_and_strings(raw)
+        findings += check_raw_sync(path, rel, stripped)
+        findings += check_unguarded_members(rel, raw, stripped)
+        findings += check_detached_threads(rel, stripped)
+        if path in shipped:
+            findings += check_fault_sites(rel, raw, registered)
+            findings += check_atomic_ordering(rel, raw, stripped)
+    return findings
+
+
+# --- self-test --------------------------------------------------------------
+
+SELF_TEST_CASES = {
+    # rule -> (file contents, expectation: fires?)
+    "raw-sync": (
+        "src/bad_raw.cc",
+        "#include <mutex>\nstd::mutex m;\n",
+        True,
+    ),
+    "unguarded-member": (
+        "src/bad_member.h",
+        "#include \"periodica/util/sync.h\"\n"
+        "class Counter {\n"
+        " private:\n"
+        "  util::Mutex mutex_;\n"
+        "  int guarded_ PERIODICA_GUARDED_BY(mutex_) = 0;\n"
+        "  int naked_ = 0;\n"
+        "};\n",
+        True,
+    ),
+    "fault-site": (
+        "src/bad_site.cc",
+        "Status S() { return FaultInjector::Check(\"no_such/site\"); }\n",
+        True,
+    ),
+    "atomic-ordering": (
+        "src/bad_atomic.h",
+        "#include <atomic>\n"
+        "class C {\n"
+        "  std::atomic<int> undocumented_{0};\n"
+        "};\n",
+        True,
+    ),
+    "detached-thread": (
+        "src/bad_detach.cc",
+        "void F() { std::thread([] {}).detach(); }\n",
+        True,
+    ),
+    # A clean annotated class: no rule may fire (false-positive canary).
+    "clean": (
+        "src/clean.h",
+        "#include \"periodica/util/sync.h\"\n"
+        "#include <atomic>\n"
+        "class Clean {\n"
+        " public:\n"
+        "  void Add(int d) PERIODICA_EXCLUDES(mutex_) {\n"
+        "    util::MutexLock lock(&mutex_);\n"
+        "    total_ += d;\n"
+        "  }\n"
+        " private:\n"
+        "  util::Mutex mutex_;\n"
+        "  int total_ PERIODICA_GUARDED_BY(mutex_) = 0;\n"
+        "  const int limit_ = 10;\n"
+        "  // Ordering: relaxed - advisory statistic.\n"
+        "  std::atomic<int> peeks_{0};\n"
+        "  int cache_ = 0;  // lint: unguarded(cache_): thread-local scratch\n"
+        "};\n",
+        False,
+    ),
+}
+
+
+def self_test() -> int:
+    failures = 0
+    for rule, (rel_name, contents, should_fire) in SELF_TEST_CASES.items():
+        with tempfile.TemporaryDirectory() as tmp:
+            root = pathlib.Path(tmp)
+            target = root / rel_name
+            target.parent.mkdir(parents=True)
+            target.write_text(contents, encoding="utf-8")
+            (root / "docs").mkdir()
+            (root / "docs" / "ROBUSTNESS.md").write_text(
+                "| `real/site` | somewhere | a registered site |\n",
+                encoding="utf-8")
+            findings = lint_tree(root)
+            if rule == "clean":
+                ok = not findings
+                detail = "; ".join(str(f) for f in findings)
+            else:
+                ok = any(f.rule == rule for f in findings)
+                detail = f"rule '{rule}' did not fire on a seeded violation"
+            status = "ok" if ok else "FAIL"
+            print(f"self-test [{rule}]: {status}"
+                  + ("" if ok else f" ({detail})"))
+            if not ok:
+                failures += 1
+    if failures:
+        print(f"self-test: {failures} dead or over-eager rule(s)",
+              file=sys.stderr)
+        return 1
+    print("self-test: all rules verified live")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Concurrency lint for the periodica tree.")
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: this script's parent's "
+                        "parent)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify each rule fires on a seeded violation")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = pathlib.Path(args.root) if args.root else \
+        pathlib.Path(__file__).resolve().parent.parent
+    if not root.is_dir():
+        print(f"lint_concurrency: no such root: {root}", file=sys.stderr)
+        return 2
+
+    findings = lint_tree(root)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"lint_concurrency: {len(findings)} finding(s)",
+              file=sys.stderr)
+        return 1
+    print("lint_concurrency: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

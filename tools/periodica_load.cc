@@ -33,6 +33,12 @@ namespace {
 
 using util::JsonValue;
 
+/// Per-outcome request counters shared by the load workers.
+///
+/// Ordering: relaxed (the fetch_add default is stronger than needed, but
+/// these are pure tallies) — each counter is independent, nothing is
+/// published through them, and the final report reads them after join(),
+/// which already orders every worker's writes before the read.
 struct Tally {
   std::atomic<std::uint64_t> sent{0};
   std::atomic<std::uint64_t> ok{0};

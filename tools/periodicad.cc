@@ -29,13 +29,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -53,6 +51,7 @@
 #include "periodica/util/job_queue.h"
 #include "periodica/util/json.h"
 #include "periodica/util/memory_budget.h"
+#include "periodica/util/sync.h"
 #include "unix_socket.h"
 
 namespace periodica::tools {
@@ -61,6 +60,14 @@ namespace {
 using util::JobQueue;
 using util::JsonValue;
 
+/// Set from the signal handler, polled by the accept loop, the watchdog and
+/// every connection thread.
+///
+/// Ordering: relaxed. A one-way level-triggered flag: loops that read it a
+/// beat late run one extra iteration and then exit, which shutdown
+/// tolerates by construction (drain waits for the queue and joins every
+/// thread). No data is published through this flag — and a signal handler
+/// could not establish a happens-before edge anyway.
 std::atomic<bool> g_shutdown{false};
 int g_wake_pipe[2] = {-1, -1};
 
@@ -90,8 +97,9 @@ struct DaemonConfig {
 /// daemon-global, named by the client, and serialized per-session: feeds and
 /// detects on the same session take its mutex.
 struct StreamSession {
-  std::mutex mutex;
-  std::unique_ptr<StreamingPeriodDetector> detector;
+  util::Mutex mutex;
+  std::unique_ptr<StreamingPeriodDetector> detector
+      PERIODICA_GUARDED_BY(mutex);
 };
 
 class Daemon {
@@ -140,28 +148,41 @@ class Daemon {
     return config_.checkpoint_dir + "/" + session + ".pchk";
   }
 
-  DaemonConfig config_;
-  util::MemoryBudget pool_;
-  JobQueue queue_;
+  /// Finds an open session by name (nullptr if absent). The returned
+  /// shared_ptr keeps the session alive even if a concurrent stream_close
+  /// removes it from the map.
+  std::shared_ptr<StreamSession> FindSession(const std::string& name)
+      PERIODICA_EXCLUDES(sessions_mutex_);
 
-  std::mutex sessions_mutex_;
-  std::map<std::string, std::shared_ptr<StreamSession>> sessions_;
+  const DaemonConfig config_;        ///< immutable after construction
+  util::MemoryBudget pool_;          // lint: unguarded(pool_): internally atomic
+  JobQueue queue_;                   // lint: unguarded(queue_): has its own mutex
+
+  util::Mutex sessions_mutex_;
+  std::map<std::string, std::shared_ptr<StreamSession>> sessions_
+      PERIODICA_GUARDED_BY(sessions_mutex_);
 
   /// In-flight mining jobs, for the watchdog: id -> (token, start).
   struct FlightRecord {
     util::CancellationToken* token;
     std::chrono::steady_clock::time_point start;
   };
-  std::mutex flights_mutex_;
-  std::map<std::uint64_t, FlightRecord> flights_;
-  std::uint64_t next_flight_id_ = 0;
+  util::Mutex flights_mutex_;
+  std::map<std::uint64_t, FlightRecord> flights_
+      PERIODICA_GUARDED_BY(flights_mutex_);
+  std::uint64_t next_flight_id_ PERIODICA_GUARDED_BY(flights_mutex_) = 0;
+  /// Jobs the watchdog has ever cancelled (surfaced in `stats`).
+  ///
+  /// Ordering: relaxed — monotone statistic; the cancellation itself goes
+  /// through CancellationToken, not through this counter.
   std::atomic<std::uint64_t> watchdog_cancels_{0};
 
-  std::mutex threads_mutex_;
-  std::vector<std::thread> connection_threads_;
+  util::Mutex threads_mutex_;
+  std::vector<std::thread> connection_threads_
+      PERIODICA_GUARDED_BY(threads_mutex_);
   /// Live connection fds, so drain can shutdown(2) them and unblock the
   /// threads parked in recv.
-  std::set<int> connection_fds_;
+  std::set<int> connection_fds_ PERIODICA_GUARDED_BY(threads_mutex_);
 };
 
 // --- JSON response helpers -------------------------------------------------
@@ -240,8 +261,8 @@ JsonValue Daemon::RunQueued(JobQueue::Priority priority,
                             std::function<JsonValue()> work) {
   // The connection thread blocks on its own job; concurrency and backlog
   // are bounded by the queue, which is where admission is decided.
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  util::Mutex done_mutex;
+  util::CondVar done_cv;
   bool done = false;
   JsonValue response;
   JobQueue::OverloadInfo overload;
@@ -249,13 +270,13 @@ JsonValue Daemon::RunQueued(JobQueue::Priority priority,
       priority,
       [&] {
         JsonValue result = work();
-        // Signal while holding the mutex: the waiter destroys done_cv the
+        // Notify while holding the mutex: the waiter destroys done_cv the
         // moment it observes done, so an unlocked notify could touch a
         // dead condition variable.
-        std::lock_guard<std::mutex> lock(done_mutex);
+        util::MutexLock lock(&done_mutex);
         response = std::move(result);
         done = true;
-        done_cv.notify_one();
+        done_cv.NotifyOne();
       },
       &overload);
   if (!admitted.ok()) {
@@ -268,8 +289,8 @@ JsonValue Daemon::RunQueued(JobQueue::Priority priority,
     error["draining"] = overload.draining;
     return rejection;
   }
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&done] { return done; });
+  util::MutexLock lock(&done_mutex);
+  while (!done) done_cv.Wait(done_mutex);
   return response;
 }
 
@@ -298,7 +319,7 @@ JsonValue Daemon::HandleStats() {
   result["queue"] = JsonValue(std::move(queue));
   result["memory"] = JsonValue(std::move(memory));
   {
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    util::MutexLock lock(&sessions_mutex_);
     result["sessions"] = sessions_.size();
   }
   result["watchdog_cancels"] =
@@ -320,7 +341,7 @@ JsonValue Daemon::HandleSleep(const JsonValue& params) {
     util::CancellationToken token;
     std::uint64_t flight_id = 0;
     {
-      std::lock_guard<std::mutex> lock(flights_mutex_);
+      util::MutexLock lock(&flights_mutex_);
       flight_id = next_flight_id_++;
       flights_.emplace(flight_id,
                        FlightRecord{&token, std::chrono::steady_clock::now()});
@@ -331,7 +352,7 @@ JsonValue Daemon::HandleSleep(const JsonValue& params) {
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
     }
     {
-      std::lock_guard<std::mutex> lock(flights_mutex_);
+      util::MutexLock lock(&flights_mutex_);
       flights_.erase(flight_id);
     }
     JsonValue::Object result;
@@ -412,14 +433,14 @@ JsonValue Daemon::HandleMine(const JsonValue& params) {
     options.cancellation = &token;
     std::uint64_t flight_id = 0;
     {
-      std::lock_guard<std::mutex> lock(flights_mutex_);
+      util::MutexLock lock(&flights_mutex_);
       flight_id = next_flight_id_++;
       flights_.emplace(flight_id,
                        FlightRecord{&token, std::chrono::steady_clock::now()});
     }
     const Result<MiningResult> mined = ObscureMiner(options).Mine(series);
     {
-      std::lock_guard<std::mutex> lock(flights_mutex_);
+      util::MutexLock lock(&flights_mutex_);
       flights_.erase(flight_id);
     }
     if (!mined.ok()) return StatusToResponse(mined.status());
@@ -443,7 +464,10 @@ JsonValue Daemon::HandleStreamOpen(const JsonValue& params) {
                          "stream_open: params.session must be a non-empty "
                          "name without '/' or '..'");
   }
-  auto session = std::make_shared<StreamSession>();
+  // Build the detector before the session exists: the fresh session is not
+  // yet published in sessions_, but its detector member is still guarded, so
+  // installation below happens under the (uncontended) session mutex.
+  std::unique_ptr<StreamingPeriodDetector> detector;
   if (params.GetBool("resume", false)) {
     if (config_.checkpoint_dir.empty()) {
       return ErrorResponse("INVALID_ARGUMENT",
@@ -452,7 +476,7 @@ JsonValue Daemon::HandleStreamOpen(const JsonValue& params) {
     Result<StreamingPeriodDetector> restored =
         LoadDetectorCheckpoint(CheckpointPath(name));
     if (!restored.ok()) return StatusToResponse(restored.status());
-    session->detector = std::make_unique<StreamingPeriodDetector>(
+    detector = std::make_unique<StreamingPeriodDetector>(
         std::move(restored.value()));
   } else {
     const auto max_period = static_cast<std::size_t>(
@@ -471,12 +495,17 @@ JsonValue Daemon::HandleStreamOpen(const JsonValue& params) {
     Result<StreamingPeriodDetector> created = StreamingPeriodDetector::Create(
         Alphabet::Latin(alphabet_size), options);
     if (!created.ok()) return StatusToResponse(created.status());
-    session->detector = std::make_unique<StreamingPeriodDetector>(
+    detector = std::make_unique<StreamingPeriodDetector>(
         std::move(created.value()));
   }
-  std::size_t restored_size = session->detector->size();
+  const std::size_t restored_size = detector->size();
+  auto session = std::make_shared<StreamSession>();
   {
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    util::MutexLock lock(&session->mutex);
+    session->detector = std::move(detector);
+  }
+  {
+    util::MutexLock lock(&sessions_mutex_);
     if (queue_.draining()) {
       return ErrorResponse("OVERLOADED", "daemon is draining for shutdown");
     }
@@ -493,23 +522,21 @@ JsonValue Daemon::HandleStreamOpen(const JsonValue& params) {
   return OkResponse(std::move(result));
 }
 
-std::shared_ptr<StreamSession> FindSession(
-    std::mutex& mutex, std::map<std::string,
-    std::shared_ptr<StreamSession>>& sessions, const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex);
-  const auto it = sessions.find(name);
-  return it == sessions.end() ? nullptr : it->second;
+std::shared_ptr<StreamSession> Daemon::FindSession(const std::string& name) {
+  util::MutexLock lock(&sessions_mutex_);
+  const auto it = sessions_.find(name);
+  return it == sessions_.end() ? nullptr : it->second;
 }
 
 JsonValue Daemon::HandleStreamFeed(const JsonValue& params) {
   const std::string name = params.GetString("session", "");
   const std::string symbols = params.GetString("symbols", "");
   std::shared_ptr<StreamSession> session =
-      FindSession(sessions_mutex_, sessions_, name);
+      FindSession(name);
   if (session == nullptr) {
     return ErrorResponse("NOT_FOUND", "no open session '" + name + "'");
   }
-  std::lock_guard<std::mutex> lock(session->mutex);
+  util::MutexLock lock(&session->mutex);
   const Alphabet& alphabet = session->detector->alphabet();
   for (std::size_t i = 0; i < symbols.size(); ++i) {
     const Result<SymbolId> id =
@@ -533,7 +560,7 @@ JsonValue Daemon::HandleStreamFeed(const JsonValue& params) {
 JsonValue Daemon::HandleStreamDetect(const JsonValue& params) {
   const std::string name = params.GetString("session", "");
   std::shared_ptr<StreamSession> session =
-      FindSession(sessions_mutex_, sessions_, name);
+      FindSession(name);
   if (session == nullptr) {
     return ErrorResponse("NOT_FOUND", "no open session '" + name + "'");
   }
@@ -544,7 +571,7 @@ JsonValue Daemon::HandleStreamDetect(const JsonValue& params) {
       params.GetNumber("min_pairs", 1));
   return RunQueued(ParsePriority(params), [session, threshold, min_period,
                                            min_pairs]() {
-    std::lock_guard<std::mutex> lock(session->mutex);
+    util::MutexLock lock(&session->mutex);
     const PeriodicityTable table =
         session->detector->Detect(threshold, min_period, min_pairs);
     JsonValue response = TableToJson(table, 0);
@@ -557,7 +584,7 @@ JsonValue Daemon::HandleStreamClose(const JsonValue& params) {
   const std::string name = params.GetString("session", "");
   std::shared_ptr<StreamSession> session;
   {
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    util::MutexLock lock(&sessions_mutex_);
     const auto it = sessions_.find(name);
     if (it == sessions_.end()) {
       return ErrorResponse("NOT_FOUND", "no open session '" + name + "'");
@@ -567,7 +594,7 @@ JsonValue Daemon::HandleStreamClose(const JsonValue& params) {
   }
   JsonValue::Object result;
   result["session"] = name;
-  std::lock_guard<std::mutex> lock(session->mutex);
+  util::MutexLock lock(&session->mutex);
   if (params.GetBool("checkpoint", false)) {
     if (config_.checkpoint_dir.empty()) {
       return ErrorResponse("INVALID_ARGUMENT",
@@ -624,11 +651,11 @@ JsonValue Daemon::Dispatch(const JsonValue& request) {
 
 void Daemon::ServeConnection(FdHandle fd) {
   {
-    std::lock_guard<std::mutex> lock(threads_mutex_);
+    util::MutexLock lock(&threads_mutex_);
     connection_fds_.insert(fd.get());
   }
   const auto unregister = [this, raw = fd.get()] {
-    std::lock_guard<std::mutex> lock(threads_mutex_);
+    util::MutexLock lock(&threads_mutex_);
     connection_fds_.erase(raw);
   };
   LineReader reader(fd.get(),
@@ -667,7 +694,7 @@ void Daemon::WatchdogLoop() {
         std::chrono::milliseconds(config_.watchdog_interval_ms));
     if (config_.wedge_timeout_ms <= 0) continue;
     const auto now = std::chrono::steady_clock::now();
-    std::lock_guard<std::mutex> lock(flights_mutex_);
+    util::MutexLock lock(&flights_mutex_);
     for (auto& [id, flight] : flights_) {
       const auto age = std::chrono::duration_cast<std::chrono::milliseconds>(
           now - flight.start);
@@ -690,11 +717,11 @@ void Daemon::WatchdogLoop() {
 void Daemon::CheckpointSessionsForDrain() {
   std::map<std::string, std::shared_ptr<StreamSession>> sessions;
   {
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    util::MutexLock lock(&sessions_mutex_);
     sessions.swap(sessions_);
   }
   for (auto& [name, session] : sessions) {
-    std::lock_guard<std::mutex> lock(session->mutex);
+    util::MutexLock lock(&session->mutex);
     if (config_.checkpoint_dir.empty()) {
       std::fprintf(stderr,
                    "periodicad: dropping session '%s' (%zu symbols): no "
@@ -748,7 +775,7 @@ Status Daemon::Run() {
     }
     const int client = ::accept(listener.value().get(), nullptr, nullptr);
     if (client < 0) continue;
-    std::lock_guard<std::mutex> lock(threads_mutex_);
+    util::MutexLock lock(&threads_mutex_);
     connection_threads_.emplace_back(
         [this, fd = FdHandle(client)]() mutable {
           ServeConnection(std::move(fd));
@@ -768,7 +795,7 @@ Status Daemon::Run() {
     // run outside the lock: exiting threads need it to unregister.
     std::vector<std::thread> threads;
     {
-      std::lock_guard<std::mutex> lock(threads_mutex_);
+      util::MutexLock lock(&threads_mutex_);
       for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
       threads.swap(connection_threads_);
     }
