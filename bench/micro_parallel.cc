@@ -12,8 +12,10 @@
 // wall_ms / this wall_ms (so 2.0 means twice as fast as --threads 1).
 // Wall times are the minimum over --repeats runs. On a 1-thread host the
 // speedup column is meaningless (every row contends for the same core), so
-// the bench prints a warning and readers must check hardware_threads before
-// comparing recorded baselines.
+// the bench still runs the determinism sweep but refuses to record it: no
+// JSON file is written and the process exits with status 3 (distinct from
+// 0 = recorded and 1 = error) so scripts cannot silently commit a 1-thread
+// baseline.
 
 #include <algorithm>
 #include <fstream>
@@ -88,11 +90,14 @@ int Run(int argc, char** argv) {
             << sigma << ", period = " << period << ", max_period = "
             << max_period << ", repeats = " << repeats
             << ", hardware threads = " << hardware << "\n\n";
-  if (hardware <= 1) {
+  const bool single_core = hardware <= 1;
+  if (single_core) {
     std::cerr << "warning: this host reports 1 hardware thread; every row "
                  "below contends for the same core, so the speedup column "
                  "reads as \"no speedup\" regardless of engine quality. "
-                 "Record baselines on a multi-core host.\n\n";
+                 "The determinism sweep still runs, but no JSON is written "
+                 "and the exit status is 3 — record baselines on a "
+                 "multi-core host.\n\n";
   }
 
   const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
@@ -118,6 +123,13 @@ int Run(int argc, char** argv) {
   std::cout << "\nSpeedup saturates at the physical core count; on a "
                "single-core host every row stays near 1.0 (determinism is "
                "still exercised). See docs/PERFORMANCE.md.\n";
+
+  if (single_core) {
+    std::cout << "skipping " << (json.empty() ? "JSON output" : json)
+              << ": 1-thread host, nothing comparable to record "
+                 "(exit status 3)\n";
+    return 3;
+  }
 
   if (!json.empty()) {
     std::ofstream out(json);

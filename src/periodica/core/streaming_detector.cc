@@ -29,6 +29,22 @@ Result<StreamingPeriodDetector> StreamingPeriodDetector::Create(
   return StreamingPeriodDetector(std::move(alphabet), options);
 }
 
+std::size_t StreamingPeriodDetector::EstimateMemoryBytes(
+    std::size_t alphabet_size, const Options& options) {
+  // Mirrors BoundedLagAutocorrelator storage (fft/chunked.h): accumulated
+  // lags r[0..max_lag], the retained max_lag-sample tail, and up to one
+  // block of buffered input, all doubles. The pool-mode ReadyBlock staging
+  // is not modeled — session detectors run without a pool.
+  const std::size_t block = options.block_size != 0
+                                ? options.block_size
+                                : std::max<std::size_t>(
+                                      4 * options.max_period, 4096);
+  const std::size_t per_symbol_doubles =
+      (options.max_period + 1) + options.max_period + block;
+  return alphabet_size * per_symbol_doubles * sizeof(double) +
+         alphabet_size * sizeof(fft::BoundedLagAutocorrelator);
+}
+
 void StreamingPeriodDetector::Append(SymbolId symbol) {
   PERIODICA_DCHECK(static_cast<std::size_t>(symbol) < alphabet_.size());
   for (std::size_t k = 0; k < correlators_.size(); ++k) {

@@ -42,8 +42,19 @@ class StreamingPeriodDetector {
   static Result<StreamingPeriodDetector> Create(Alphabet alphabet,
                                                 Options options);
 
+  /// Upper bound on the resident working memory of a detector created with
+  /// `options` over an `alphabet_size`-symbol alphabet. Because the sketch
+  /// is bounded by construction — per symbol one accumulated-lag vector, a
+  /// max_period-sample tail and at most one buffered block — the bound is
+  /// independent of how much stream is fed, so a session table can charge a
+  /// session's bytes once at creation and trust the figure forever
+  /// (serve/session_table.h layers per-tenant quotas on exactly this).
+  [[nodiscard]] static std::size_t EstimateMemoryBytes(
+      std::size_t alphabet_size, const Options& options);
+
   [[nodiscard]] const Alphabet& alphabet() const { return alphabet_; }
   [[nodiscard]] std::size_t max_period() const { return options_.max_period; }
+  [[nodiscard]] const Options& options() const { return options_; }
   /// Symbols consumed so far.
   [[nodiscard]] std::size_t size() const { return n_; }
 

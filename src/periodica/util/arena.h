@@ -1,0 +1,176 @@
+#ifndef PERIODICA_UTIL_ARENA_H_
+#define PERIODICA_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "periodica/util/logging.h"
+#include "periodica/util/sync.h"
+
+namespace periodica::util {
+
+/// Chunked bump allocator: carves aligned blocks out of large malloc'd
+/// chunks, freeing everything at once on destruction (or Reset). The stream
+/// hub's session table lives on top of this (via Slab below) so that tens of
+/// thousands of small, churning session control blocks allocate from a few
+/// large stable chunks instead of fragmenting the general heap — the
+/// slab/arena idiom of every long-lived server.
+///
+/// Thread-safety: none; wrap in a lock or confine to one thread. Slab<T>
+/// below adds its own mutex and is the concurrent entry point.
+class Arena {
+ public:
+  /// `chunk_bytes` is the allocation granularity requested from the heap;
+  /// blocks larger than it get a dedicated chunk.
+  explicit Arena(std::size_t chunk_bytes = 64 * 1024)
+      : chunk_bytes_(chunk_bytes == 0 ? 64 * 1024 : chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (a power of two). The
+  /// pointer stays valid until Reset() or destruction; there is no per-block
+  /// free — that is what Slab's freelist is for.
+  void* Allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    PERIODICA_DCHECK(align != 0 && (align & (align - 1)) == 0);
+    if (bytes == 0) bytes = 1;
+    std::uintptr_t next = (cursor_ + (align - 1)) & ~(align - 1);
+    if (next + bytes > limit_) {
+      NewChunk(bytes + align);
+      next = (cursor_ + (align - 1)) & ~(align - 1);
+    }
+    cursor_ = next + bytes;
+    used_bytes_ += bytes;
+    return reinterpret_cast<void*>(next);
+  }
+
+  /// Drops every chunk; all outstanding pointers become invalid.
+  void Reset() {
+    chunks_.clear();
+    cursor_ = limit_ = 0;
+    used_bytes_ = 0;
+    allocated_bytes_ = 0;
+  }
+
+  [[nodiscard]] std::size_t num_chunks() const { return chunks_.size(); }
+  /// Bytes handed out by Allocate (excluding alignment padding).
+  [[nodiscard]] std::size_t used_bytes() const { return used_bytes_; }
+  /// Bytes requested from the heap (chunk granularity).
+  [[nodiscard]] std::size_t allocated_bytes() const {
+    return allocated_bytes_;
+  }
+
+ private:
+  void NewChunk(std::size_t min_bytes) {
+    const std::size_t size = min_bytes > chunk_bytes_ ? min_bytes
+                                                      : chunk_bytes_;
+    chunks_.push_back(std::make_unique<unsigned char[]>(size));
+    cursor_ = reinterpret_cast<std::uintptr_t>(chunks_.back().get());
+    limit_ = cursor_ + size;
+    allocated_bytes_ += size;
+  }
+
+  const std::size_t chunk_bytes_;
+  std::vector<std::unique_ptr<unsigned char[]>> chunks_;
+  std::uintptr_t cursor_ = 0;  ///< next free byte in the current chunk
+  std::uintptr_t limit_ = 0;   ///< one past the current chunk
+  std::size_t used_bytes_ = 0;
+  std::size_t allocated_bytes_ = 0;
+};
+
+/// Typed slab on top of Arena: fixed-size slots with a freelist, so deleted
+/// objects recycle their slot instead of returning memory to the heap.
+/// Pointers are stable for the life of the object; capacity only grows (in
+/// chunk-sized steps) and is reused forever — exactly the allocation shape a
+/// session table with heavy open/close churn wants.
+///
+/// Thread-safety: New/Delete/statistics may be called concurrently (one
+/// mutex around the freelist). The *objects* are not synchronized — callers
+/// guard them (the session table gives every session its own mutex).
+template <typename T>
+class Slab {
+ public:
+  /// `slots_per_chunk` tunes how many T-sized slots each arena chunk holds.
+  explicit Slab(std::size_t slots_per_chunk = 256)
+      : arena_(sizeof(Slot) * (slots_per_chunk == 0 ? 256 : slots_per_chunk)) {
+  }
+
+  ~Slab() {
+    // Every object must have been Delete()d: the slab cannot tell live slots
+    // from free ones, so destroying live objects here would double-destroy
+    // on a caller that still holds one.
+    PERIODICA_DCHECK(live_ == 0);
+  }
+
+  Slab(const Slab&) = delete;
+  Slab& operator=(const Slab&) = delete;
+
+  /// Constructs a T in a recycled or fresh slot.
+  template <typename... Args>
+  T* New(Args&&... args) {
+    Slot* slot = nullptr;
+    {
+      MutexLock lock(&mutex_);
+      if (free_ != nullptr) {
+        slot = free_;
+        free_ = free_->next_free;
+      } else {
+        slot = static_cast<Slot*>(
+            arena_.Allocate(sizeof(Slot), alignof(Slot)));
+        ++capacity_;
+      }
+      ++live_;
+    }
+    // Construct outside the lock: T's constructor may be arbitrarily heavy.
+    return new (slot->storage) T(std::forward<Args>(args)...);
+  }
+
+  /// Destroys `object` and returns its slot to the freelist.
+  void Delete(T* object) {
+    if (object == nullptr) return;
+    object->~T();
+    Slot* slot = reinterpret_cast<Slot*>(
+        reinterpret_cast<unsigned char*>(object) -
+        offsetof(Slot, storage));
+    MutexLock lock(&mutex_);
+    slot->next_free = free_;
+    free_ = slot;
+    --live_;
+  }
+
+  [[nodiscard]] std::size_t live() const PERIODICA_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return live_;
+  }
+  /// Slots ever carved (live + free).
+  [[nodiscard]] std::size_t capacity() const PERIODICA_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return capacity_;
+  }
+  [[nodiscard]] std::size_t num_chunks() const PERIODICA_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return arena_.num_chunks();
+  }
+
+ private:
+  struct Slot {
+    union {
+      Slot* next_free;
+      alignas(T) unsigned char storage[sizeof(T)];
+    };
+  };
+
+  mutable Mutex mutex_;
+  Arena arena_ PERIODICA_GUARDED_BY(mutex_);
+  Slot* free_ PERIODICA_GUARDED_BY(mutex_) = nullptr;
+  std::size_t live_ PERIODICA_GUARDED_BY(mutex_) = 0;
+  std::size_t capacity_ PERIODICA_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace periodica::util
+
+#endif  // PERIODICA_UTIL_ARENA_H_

@@ -1,0 +1,194 @@
+#include "periodica/util/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "periodica/util/fault_injector.h"
+
+namespace periodica::util {
+
+namespace {
+
+constexpr int kMaxEventsPerPoll = 64;
+
+std::uint32_t InterestMask(bool want_read, bool want_write) {
+  std::uint32_t mask = 0;
+  if (want_read) mask |= EPOLLIN;
+  if (want_write) mask |= EPOLLOUT;
+  return mask;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<EventLoop>> EventLoop::Create() {
+  const int epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd < 0) {
+    return Status::IOError("epoll_create1(): " +
+                           std::string(std::strerror(errno)));
+  }
+  const int wake_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd < 0) {
+    const Status status = Status::IOError(
+        "eventfd(): " + std::string(std::strerror(errno)));
+    ::close(epoll_fd);
+    return status;
+  }
+  std::unique_ptr<EventLoop> loop(new EventLoop(epoll_fd, wake_fd));
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.fd = wake_fd;
+  if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, wake_fd, &event) != 0) {
+    return Status::IOError("epoll_ctl(wakeup): " +
+                           std::string(std::strerror(errno)));
+  }
+  return loop;
+}
+
+EventLoop::EventLoop(int epoll_fd, int wake_fd)
+    : epoll_fd_(epoll_fd), wake_fd_(wake_fd) {}
+
+EventLoop::~EventLoop() {
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+}
+
+Status EventLoop::UpdateEpoll(int fd, int op) {
+  const Entry& entry = handlers_[fd];
+  epoll_event event{};
+  event.events = InterestMask(entry.want_read, entry.want_write);
+  event.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, op, fd, &event) != 0) {
+    return Status::IOError("epoll_ctl(fd " + std::to_string(fd) +
+                           "): " + std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status EventLoop::Add(int fd, bool want_read, bool want_write,
+                      Handler handler) {
+  if (fd < 0) return Status::InvalidArgument("EventLoop::Add: bad fd");
+  if (handlers_.count(fd) != 0) {
+    return Status::InvalidArgument("EventLoop::Add: fd " +
+                                   std::to_string(fd) +
+                                   " is already registered");
+  }
+  Entry entry;
+  entry.handler = std::make_shared<Handler>(std::move(handler));
+  entry.want_read = want_read;
+  entry.want_write = want_write;
+  handlers_.emplace(fd, std::move(entry));
+  if (Status status = UpdateEpoll(fd, EPOLL_CTL_ADD); !status.ok()) {
+    handlers_.erase(fd);
+    return status;
+  }
+  return Status::OK();
+}
+
+Status EventLoop::SetInterest(int fd, bool want_read, bool want_write) {
+  const auto it = handlers_.find(fd);
+  if (it == handlers_.end()) {
+    return Status::InvalidArgument("EventLoop::SetInterest: fd " +
+                                   std::to_string(fd) +
+                                   " is not registered");
+  }
+  if (it->second.want_read == want_read &&
+      it->second.want_write == want_write) {
+    return Status::OK();
+  }
+  it->second.want_read = want_read;
+  it->second.want_write = want_write;
+  return UpdateEpoll(fd, EPOLL_CTL_MOD);
+}
+
+void EventLoop::Remove(int fd) {
+  const auto it = handlers_.find(fd);
+  if (it == handlers_.end()) return;
+  // The shared_ptr in any in-progress dispatch keeps the Handler alive; the
+  // kernel stops reporting the fd immediately.
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(it);
+}
+
+void EventLoop::Post(std::function<void()> task) {
+  {
+    MutexLock lock(&post_mutex_);
+    posted_.push_back(std::move(task));
+  }
+  const std::uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) already guarantees a pending wakeup.
+  [[maybe_unused]] const ssize_t ignored =
+      ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::Stop() {
+  Post([this] { stop_ = true; });
+}
+
+void EventLoop::RunPostedTasks() {
+  std::vector<std::function<void()>> tasks;
+  {
+    MutexLock lock(&post_mutex_);
+    tasks.swap(posted_);
+  }
+  for (std::function<void()>& task : tasks) task();
+}
+
+Status EventLoop::Run() {
+  epoll_event events[kMaxEventsPerPoll];
+  while (!stop_) {
+    if (Status injected = FaultInjector::Check("event_loop/poll");
+        !injected.ok()) {
+      // An injected poll fault behaves like EINTR: re-poll. Level-triggered
+      // registration means no readiness report is lost.
+      continue;
+    }
+    const int ready = ::epoll_wait(epoll_fd_, events, kMaxEventsPerPoll, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("epoll_wait(): " +
+                             std::string(std::strerror(errno)));
+    }
+    polls_.fetch_add(1, std::memory_order_relaxed);
+    bool woken = false;
+    for (int i = 0; i < ready; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] const ssize_t ignored =
+            ::read(wake_fd_, &drained, sizeof(drained));
+        woken = true;
+        continue;
+      }
+      // Re-look-up per event: an earlier callback in this batch may have
+      // removed this fd. Copy the shared_ptr so a handler that removes its
+      // own fd stays alive through its final call.
+      const std::uint32_t mask = events[i].events;
+      if ((mask & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0) {
+        const auto it = handlers_.find(fd);
+        if (it != handlers_.end()) {
+          const std::shared_ptr<Handler> handler = it->second.handler;
+          if (handler->on_readable) handler->on_readable();
+        }
+      }
+      if ((mask & EPOLLOUT) != 0) {
+        const auto it = handlers_.find(fd);
+        if (it != handlers_.end()) {
+          const std::shared_ptr<Handler> handler = it->second.handler;
+          if (handler->on_writable) handler->on_writable();
+        }
+      }
+    }
+    if (woken) RunPostedTasks();
+  }
+  // Run anything posted between the final poll and Stop taking effect, so a
+  // drain that posts "flush then stop" never strands a response.
+  RunPostedTasks();
+  return Status::OK();
+}
+
+}  // namespace periodica::util

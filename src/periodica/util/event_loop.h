@@ -1,0 +1,129 @@
+#ifndef PERIODICA_UTIL_EVENT_LOOP_H_
+#define PERIODICA_UTIL_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "periodica/util/result.h"
+#include "periodica/util/status.h"
+#include "periodica/util/sync.h"
+
+namespace periodica::util {
+
+/// A single-threaded epoll readiness loop — the front end of the
+/// multi-tenant stream hub (docs/SERVING.md). One thread multiplexes every
+/// connection: file descriptors are registered with level-triggered read
+/// and/or write interest, and their callbacks run on the loop thread when
+/// the kernel reports readiness. CPU-bound work never runs here — it is
+/// dispatched to a util::JobQueue, and the completion hands its response
+/// back to the loop via Post(), which is the only thread-safe entry point
+/// besides Stop(). This is what makes the daemon's thread count O(worker
+/// pool) instead of O(connections).
+///
+/// Confinement discipline: Add/SetInterest/Remove and every handler
+/// callback run on the loop thread (the thread inside Run()); they touch
+/// the handler table without locks. Post() and Stop() may be called from
+/// any thread: posted tasks are queued under a mutex and executed on the
+/// loop thread after an eventfd wakeup, so a posted task sees the handler
+/// table exactly as if it had run inline. Members below marked
+/// "loop-confined" rely on this discipline (tools/lint_concurrency.py
+/// checks the waiver is only used next to an EventLoop).
+///
+/// Level-triggered semantics: a readable fd whose callback does not drain
+/// it is reported again on the next poll, so a callback may consume a
+/// bounded amount per wakeup without losing data. EPOLLHUP/EPOLLERR are
+/// delivered as readability (the subsequent read observes EOF or the
+/// error), matching how the connection state machines expect to discover a
+/// vanished peer.
+///
+/// Fault-injection site "event_loop/poll" fires before each epoll_wait and
+/// is treated exactly like a transient EINTR: the iteration is skipped and
+/// the loop re-polls, so an injected poll fault can never lose events
+/// (level-triggered) or crash the daemon — asserted by tools/soak.sh.
+class EventLoop {
+ public:
+  /// Per-fd readiness callbacks. Either may be empty; both run on the loop
+  /// thread. A callback may Remove() its own fd (the loop holds the handler
+  /// alive for the remainder of the dispatch).
+  struct Handler {
+    std::function<void()> on_readable;
+    std::function<void()> on_writable;
+  };
+
+  /// Creates the epoll instance and the wakeup eventfd.
+  static Result<std::unique_ptr<EventLoop>> Create();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` with the given interest. Loop thread only (or before
+  /// Run starts). The fd must be non-blocking; the loop never owns it.
+  Status Add(int fd, bool want_read, bool want_write, Handler handler);
+
+  /// Adjusts read/write interest for a registered fd. Loop thread only.
+  /// Cheap when the interest is unchanged (no syscall).
+  Status SetInterest(int fd, bool want_read, bool want_write);
+
+  /// Unregisters `fd` (idempotent). Loop thread only. The handler is
+  /// released after any in-progress dispatch of it completes.
+  void Remove(int fd);
+
+  /// Enqueues `task` to run on the loop thread; wakes the loop. Thread-safe
+  /// and non-blocking — this is how job-queue completions deliver responses.
+  /// Tasks posted after Run() returned are destroyed unexecuted.
+  void Post(std::function<void()> task);
+
+  /// Runs the loop until Stop(). Dispatches readiness callbacks and posted
+  /// tasks; returns the first non-transient poll failure, or OK on Stop.
+  Status Run();
+
+  /// Asks Run() to return after the current iteration. Thread-safe.
+  void Stop();
+
+  /// Registered fds (loop thread only; for tests and stats).
+  [[nodiscard]] std::size_t num_fds() const { return handlers_.size(); }
+  /// Poll iterations completed, ever.
+  ///
+  /// Ordering: relaxed — monotone statistic read by tests after the loop
+  /// thread is joined (which already orders the writes).
+  [[nodiscard]] std::uint64_t polls() const {
+    return polls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  EventLoop(int epoll_fd, int wake_fd);
+
+  /// Re-arms `fd`'s epoll registration from `want_read`/`want_write`.
+  Status UpdateEpoll(int fd, int op);
+  /// Swaps out the posted-task queue and runs every task on the loop thread.
+  void RunPostedTasks() PERIODICA_EXCLUDES(post_mutex_);
+
+  struct Entry {
+    std::shared_ptr<Handler> handler;
+    bool want_read = false;
+    bool want_write = false;
+  };
+
+  const int epoll_fd_;
+  const int wake_fd_;
+
+  /// Registered fds. lint: unguarded(handlers_): loop-confined
+  std::map<int, Entry> handlers_;
+  /// Set by Stop() via a posted task. lint: unguarded(stop_): loop-confined
+  bool stop_ = false;
+
+  Mutex post_mutex_;
+  std::vector<std::function<void()>> posted_ PERIODICA_GUARDED_BY(post_mutex_);
+
+  /// Ordering: relaxed — advisory statistic (see polls()).
+  std::atomic<std::uint64_t> polls_{0};
+};
+
+}  // namespace periodica::util
+
+#endif  // PERIODICA_UTIL_EVENT_LOOP_H_

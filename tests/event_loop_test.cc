@@ -1,0 +1,215 @@
+#include "periodica/util/event_loop.h"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "periodica/util/fault_injector.h"
+
+namespace periodica::util {
+namespace {
+
+void MakeNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ASSERT_GE(flags, 0);
+  ASSERT_EQ(::fcntl(fd, F_SETFL, flags | O_NONBLOCK), 0);
+}
+
+/// A connected non-blocking socketpair whose ends close on destruction.
+struct Pair {
+  Pair() {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = fds[0];
+    b = fds[1];
+    MakeNonBlocking(a);
+    MakeNonBlocking(b);
+  }
+  ~Pair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+  int a = -1;
+  int b = -1;
+};
+
+TEST(EventLoopTest, DispatchesReadableAndStops) {
+  Result<std::unique_ptr<EventLoop>> loop = EventLoop::Create();
+  ASSERT_TRUE(loop.ok()) << loop.status().ToString();
+  Pair pair;
+
+  std::string received;
+  EventLoop::Handler handler;
+  handler.on_readable = [&] {
+    char buffer[64];
+    const ssize_t got = ::read(pair.a, buffer, sizeof(buffer));
+    if (got > 0) received.append(buffer, static_cast<std::size_t>(got));
+    if (received.size() >= 5) loop.value()->Stop();
+  };
+  ASSERT_TRUE(loop.value()
+                  ->Add(pair.a, /*want_read=*/true, /*want_write=*/false,
+                        std::move(handler))
+                  .ok());
+  EXPECT_EQ(loop.value()->num_fds(), 1u);
+
+  std::thread writer([&] {
+    EXPECT_EQ(::write(pair.b, "hello", 5), 5);
+  });
+  EXPECT_TRUE(loop.value()->Run().ok());
+  writer.join();
+  EXPECT_EQ(received, "hello");
+  EXPECT_GT(loop.value()->polls(), 0u);
+}
+
+TEST(EventLoopTest, WriteInterestFiresWhenRequested) {
+  Result<std::unique_ptr<EventLoop>> loop = EventLoop::Create();
+  ASSERT_TRUE(loop.ok());
+  Pair pair;
+
+  int writable_events = 0;
+  EventLoop::Handler handler;
+  handler.on_writable = [&] {
+    ++writable_events;
+    // Flip back to read-only interest; with level-triggered polling this
+    // must silence further writable events.
+    EXPECT_TRUE(loop.value()
+                    ->SetInterest(pair.a, /*want_read=*/true,
+                                  /*want_write=*/false)
+                    .ok());
+    loop.value()->Post([&] { loop.value()->Stop(); });
+  };
+  // An idle socket is immediately writable.
+  ASSERT_TRUE(loop.value()
+                  ->Add(pair.a, /*want_read=*/false, /*want_write=*/true,
+                        std::move(handler))
+                  .ok());
+  EXPECT_TRUE(loop.value()->Run().ok());
+  EXPECT_EQ(writable_events, 1);
+}
+
+TEST(EventLoopTest, PostRunsTasksOnLoopThreadAndWakes) {
+  Result<std::unique_ptr<EventLoop>> loop = EventLoop::Create();
+  ASSERT_TRUE(loop.ok());
+
+  std::thread::id loop_thread_id;
+  std::atomic<int> ran{0};
+  std::thread runner([&] {
+    loop_thread_id = std::this_thread::get_id();
+    EXPECT_TRUE(loop.value()->Run().ok());
+  });
+
+  // Post from a foreign thread: each task must run on the loop thread even
+  // though no fd ever becomes ready.
+  for (int i = 0; i < 10; ++i) {
+    loop.value()->Post([&, i] {
+      EXPECT_EQ(std::this_thread::get_id(), loop_thread_id);
+      ran.fetch_add(1);
+      if (i == 9) loop.value()->Stop();
+    });
+  }
+  runner.join();
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(EventLoopTest, RemoveIsIdempotentAndSilencesCallbacks) {
+  Result<std::unique_ptr<EventLoop>> loop = EventLoop::Create();
+  ASSERT_TRUE(loop.ok());
+  Pair pair;
+
+  int events = 0;
+  EventLoop::Handler handler;
+  handler.on_readable = [&] { ++events; };
+  ASSERT_TRUE(loop.value()
+                  ->Add(pair.a, true, false, std::move(handler))
+                  .ok());
+  loop.value()->Remove(pair.a);
+  loop.value()->Remove(pair.a);  // second Remove is a no-op
+  EXPECT_EQ(loop.value()->num_fds(), 0u);
+
+  EXPECT_EQ(::write(pair.b, "x", 1), 1);
+  loop.value()->Post([&] { loop.value()->Stop(); });
+  EXPECT_TRUE(loop.value()->Run().ok());
+  EXPECT_EQ(events, 0);
+}
+
+TEST(EventLoopTest, HandlerMayRemoveItsOwnFd) {
+  Result<std::unique_ptr<EventLoop>> loop = EventLoop::Create();
+  ASSERT_TRUE(loop.ok());
+  Pair pair;
+
+  int events = 0;
+  EventLoop::Handler handler;
+  handler.on_readable = [&] {
+    ++events;
+    loop.value()->Remove(pair.a);  // self-removal mid-dispatch
+    loop.value()->Stop();
+  };
+  ASSERT_TRUE(loop.value()
+                  ->Add(pair.a, true, false, std::move(handler))
+                  .ok());
+  EXPECT_EQ(::write(pair.b, "x", 1), 1);
+  EXPECT_TRUE(loop.value()->Run().ok());
+  EXPECT_EQ(events, 1);
+  EXPECT_EQ(loop.value()->num_fds(), 0u);
+}
+
+TEST(EventLoopTest, InjectedPollFaultIsTransparent) {
+  Result<std::unique_ptr<EventLoop>> loop = EventLoop::Create();
+  ASSERT_TRUE(loop.ok());
+  Pair pair;
+
+  // Fault the first poll: level-triggered readiness means the data written
+  // before Run() still gets delivered once polling recovers.
+  ScopedFault fault("event_loop/poll", Status::IOError("injected"), 1, false);
+
+  std::string received;
+  EventLoop::Handler handler;
+  handler.on_readable = [&] {
+    char buffer[16];
+    const ssize_t got = ::read(pair.a, buffer, sizeof(buffer));
+    if (got > 0) received.append(buffer, static_cast<std::size_t>(got));
+    loop.value()->Stop();
+  };
+  ASSERT_TRUE(loop.value()
+                  ->Add(pair.a, true, false, std::move(handler))
+                  .ok());
+  EXPECT_EQ(::write(pair.b, "ok", 2), 2);
+  EXPECT_TRUE(loop.value()->Run().ok());
+  EXPECT_EQ(received, "ok");
+  EXPECT_EQ(fault.fire_count(), 1u);
+}
+
+TEST(EventLoopTest, HupDeliversAsReadableEof) {
+  Result<std::unique_ptr<EventLoop>> loop = EventLoop::Create();
+  ASSERT_TRUE(loop.ok());
+  Pair pair;
+
+  bool saw_eof = false;
+  EventLoop::Handler handler;
+  handler.on_readable = [&] {
+    char buffer[16];
+    if (::read(pair.a, buffer, sizeof(buffer)) == 0) {
+      saw_eof = true;
+      loop.value()->Remove(pair.a);
+      loop.value()->Stop();
+    }
+  };
+  ASSERT_TRUE(loop.value()
+                  ->Add(pair.a, true, false, std::move(handler))
+                  .ok());
+  ::close(pair.b);
+  pair.b = -1;
+  EXPECT_TRUE(loop.value()->Run().ok());
+  EXPECT_TRUE(saw_eof);
+}
+
+}  // namespace
+}  // namespace periodica::util

@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -90,6 +91,7 @@ class DaemonProcess {
 
   [[nodiscard]] const std::string& socket_path() const { return socket_; }
   [[nodiscard]] const std::string& dir() const { return dir_; }
+  [[nodiscard]] pid_t pid() const { return pid_; }
 
  private:
   std::string dir_;
@@ -406,6 +408,172 @@ TEST(PeriodicadTest, StreamingSessionCheckpointsOnDrainAndResumes) {
     EXPECT_EQ(detected.Dump(), reference)
         << "resume through drain must be byte-identical to uninterrupted";
   }
+  std::error_code ignored;
+  std::filesystem::remove_all(dir, ignored);
+}
+
+// The event-loop acceptance criterion: the daemon's thread count is
+// O(worker pool), not O(connections). With 1000 connections held open, the
+// process may run the loop thread, the workers, the watchdog and a few
+// runtime threads — nowhere near 1000.
+TEST(PeriodicadTest, ThreadCountStaysFlatWithAThousandConnections) {
+  DaemonProcess daemon({"--workers=2"});
+  Client control(daemon.socket_path());
+  ASSERT_TRUE(control.connected());
+
+  std::vector<FdHandle> held;
+  held.reserve(1000);
+  for (int i = 0; i < 1000; ++i) {
+    Result<FdHandle> fd = ConnectUnix(daemon.socket_path());
+    for (int retry = 0; !fd.ok() && retry < 50; ++retry) {
+      // The listen backlog can fill while the loop is busy accepting.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      fd = ConnectUnix(daemon.socket_path());
+    }
+    ASSERT_TRUE(fd.ok()) << "connection " << i << ": "
+                         << fd.status().ToString();
+    held.push_back(std::move(fd.value()));
+  }
+
+  // Wait until the loop has registered (nearly) all of them, then check the
+  // kernel's thread count for the daemon process.
+  double connections = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const JsonValue stats = control.Call("stats", {});
+    const JsonValue* result = stats.Find("result");
+    ASSERT_NE(result, nullptr) << stats.Dump();
+    connections = result->GetNumber("connections", 0);
+    if (connections >= 1001.0) break;  // 1000 held + the control client
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(connections, 1001.0);
+
+  std::ifstream status("/proc/" + std::to_string(daemon.pid()) + "/status");
+  ASSERT_TRUE(status.is_open());
+  int threads = -1;
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      threads = std::stoi(line.substr(8));
+      break;
+    }
+  }
+  ASSERT_GT(threads, 0);
+  EXPECT_LE(threads, 8) << "thread count must be O(workers), got " << threads
+                        << " with 1000 open connections";
+
+  // The daemon still serves through the crowd.
+  EXPECT_TRUE(control.Call("ping", {}).GetBool("ok", false));
+}
+
+// Tenant quotas travel the wire: past the per-tenant session cap the daemon
+// answers QUOTA_EXCEEDED with a retry hint, other tenants are untouched,
+// and the rejection is visible in per-tenant stats.
+TEST(PeriodicadTest, TenantQuotaRejectsWithRetryHintAndShowsInStats) {
+  DaemonProcess daemon(
+      {"--max_sessions_per_tenant=2", "--quota_retry_after_ms=123"});
+  Client client(daemon.socket_path());
+  ASSERT_TRUE(client.connected());
+
+  auto open = [&](const std::string& tenant, const std::string& session) {
+    JsonValue::Object params;
+    params["tenant"] = tenant;
+    params["session"] = session;
+    params["max_period"] = std::size_t{16};
+    params["alphabet_size"] = std::size_t{3};
+    return client.Call("stream_open", params);
+  };
+  ASSERT_TRUE(open("acme", "s1").GetBool("ok", false));
+  ASSERT_TRUE(open("acme", "s2").GetBool("ok", false));
+
+  const JsonValue denied = open("acme", "s3");
+  ASSERT_FALSE(denied.GetBool("ok", true)) << denied.Dump();
+  EXPECT_EQ(ErrorCode(denied), "QUOTA_EXCEEDED");
+  const JsonValue* error = denied.Find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->GetNumber("retry_after_ms", -1), 123.0);
+  EXPECT_EQ(error->GetString("tenant", ""), "acme");
+
+  // Another tenant (and the default tenant) are isolated from acme's cap.
+  EXPECT_TRUE(open("beta", "s1").GetBool("ok", false));
+  JsonValue::Object untenanted;
+  untenanted["session"] = "s1";
+  untenanted["max_period"] = std::size_t{16};
+  untenanted["alphabet_size"] = std::size_t{3};
+  EXPECT_TRUE(client.Call("stream_open", untenanted).GetBool("ok", false));
+
+  // Same (tenant, session) key spaces are disjoint: acme@s1, beta@s1 and
+  // default@s1 coexist; feeding one does not touch the others.
+  JsonValue::Object feed;
+  feed["tenant"] = "beta";
+  feed["session"] = "s1";
+  feed["symbols"] = "abcabc";
+  ASSERT_TRUE(client.Call("stream_feed", feed).GetBool("ok", false));
+
+  const JsonValue stats = client.Call("stats", {});
+  const JsonValue* result = stats.Find("result");
+  ASSERT_NE(result, nullptr);
+  const JsonValue* tenants = result->Find("tenants");
+  ASSERT_NE(tenants, nullptr) << stats.Dump();
+  const JsonValue* acme = tenants->Find("acme");
+  ASSERT_NE(acme, nullptr) << stats.Dump();
+  EXPECT_EQ(acme->GetNumber("sessions", -1), 2.0);
+  EXPECT_GE(acme->GetNumber("quota_rejections", -1), 1.0);
+  const JsonValue* beta = tenants->Find("beta");
+  ASSERT_NE(beta, nullptr);
+  EXPECT_EQ(beta->GetNumber("quota_rejections", -1), 0.0);
+  EXPECT_EQ(beta->GetNumber("feeds", -1), 1.0);
+  EXPECT_EQ(beta->GetNumber("symbols", -1), 6.0);
+
+  EXPECT_EQ(daemon.TerminateAndWait(), 0);
+}
+
+// Eviction end to end: a budgeted daemon under per-tenant memory pressure
+// evicts cold sessions to checkpoints and thaws them on the next feed, with
+// the counters visible in session_table stats.
+TEST(PeriodicadTest, BudgetPressureEvictsAndThawsThroughTheWire) {
+  const std::string dir = UniqueDir();
+  // Room for roughly one ~100 KB session per tenant: the second open must
+  // evict the first instead of failing.
+  DaemonProcess daemon({"--checkpoint_dir=" + dir,
+                        "--tenant_budget_bytes=150000"});
+  Client client(daemon.socket_path());
+  ASSERT_TRUE(client.connected());
+
+  auto request = [&](const std::string& method, const std::string& session,
+                     JsonValue::Object params) {
+    params["tenant"] = "acme";
+    params["session"] = session;
+    return client.Call(method, std::move(params));
+  };
+  JsonValue::Object geometry;
+  geometry["max_period"] = std::size_t{16};
+  geometry["alphabet_size"] = std::size_t{3};
+  ASSERT_TRUE(request("stream_open", "hot", geometry).GetBool("ok", false));
+  JsonValue::Object feed;
+  feed["symbols"] = "abcabcabcabc";
+  ASSERT_TRUE(request("stream_feed", "hot", feed).GetBool("ok", false));
+
+  const JsonValue second = request("stream_open", "cold", geometry);
+  ASSERT_TRUE(second.GetBool("ok", false))
+      << "eviction should make room, not reject: " << second.Dump();
+  EXPECT_TRUE(std::filesystem::exists(dir + "/acme@hot.pchk"))
+      << "the idle session must have been checkpointed out";
+
+  // Feeding the evicted session thaws it transparently, same state.
+  const JsonValue thawed = request("stream_feed", "hot", feed);
+  ASSERT_TRUE(thawed.GetBool("ok", false)) << thawed.Dump();
+  EXPECT_EQ(thawed.Find("result")->GetNumber("size", 0), 24.0);
+
+  const JsonValue stats = client.Call("stats", {});
+  const JsonValue* table = stats.Find("result")->Find("session_table");
+  ASSERT_NE(table, nullptr) << stats.Dump();
+  EXPECT_GE(table->GetNumber("evictions", 0), 1.0);
+  EXPECT_GE(table->GetNumber("thaws", 0), 1.0);
+
+  EXPECT_EQ(daemon.TerminateAndWait(), 0);
   std::error_code ignored;
   std::filesystem::remove_all(dir, ignored);
 }

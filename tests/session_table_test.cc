@@ -1,0 +1,347 @@
+#include "periodica/serve/session_table.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "periodica/core/streaming_detector.h"
+#include "periodica/util/rng.h"
+
+namespace periodica::serve {
+namespace {
+
+class SessionTableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "session_table_test_" +
+           std::to_string(::getpid()) + "_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// One resident session costs this much, per the estimator the table
+  /// charges with (max_period=16, sigma=3, default block size).
+  static std::size_t SessionBytes() {
+    StreamingPeriodDetector::Options options;
+    options.max_period = 16;
+    return StreamingPeriodDetector::EstimateMemoryBytes(3, options);
+  }
+
+  static SessionTable::Options BaseOptions(const std::string& dir) {
+    SessionTable::Options options;
+    options.checkpoint_dir = dir;
+    return options;
+  }
+
+  static Result<SessionTable::OpenResult> OpenSmall(SessionTable* table,
+                                                    const std::string& tenant,
+                                                    const std::string& id,
+                                                    SessionTable::Rejection*
+                                                        rejection) {
+    StreamingPeriodDetector::Options options;
+    options.max_period = 16;
+    return table->Open(tenant, id, /*alphabet_size=*/3, options,
+                       /*resume=*/false, rejection);
+  }
+
+  static void Feed(SessionTable* table, const std::string& tenant,
+                   const std::string& id, const std::string& symbols) {
+    SessionTable::Rejection rejection;
+    Result<SessionTable::Handle> handle =
+        table->Acquire(tenant, id, &rejection);
+    ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+    for (char c : symbols) {
+      handle.value().detector()->Append(
+          static_cast<SymbolId>(c - 'a'));
+    }
+  }
+
+  std::string dir_;
+};
+
+TEST_F(SessionTableTest, OpenAcquireCloseLifecycle) {
+  SessionTable table(BaseOptions(dir_));
+  SessionTable::Rejection rejection;
+  Result<SessionTable::OpenResult> opened =
+      OpenSmall(&table, "acme", "s1", &rejection);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ(opened.value().size, 0u);
+  EXPECT_TRUE(table.Contains("acme", "s1"));
+  EXPECT_FALSE(table.Contains("other", "s1"));  // tenants are namespaces
+
+  Feed(&table, "acme", "s1", "abcabcabc");
+  {
+    Result<SessionTable::Handle> handle =
+        table.Acquire("acme", "s1", &rejection);
+    ASSERT_TRUE(handle.ok());
+    EXPECT_EQ(handle.value().detector()->size(), 9u);
+  }
+
+  // Duplicate open fails; unknown sessions are NotFound.
+  EXPECT_TRUE(OpenSmall(&table, "acme", "s1", &rejection)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      table.Acquire("acme", "nope", &rejection).status().IsNotFound());
+  EXPECT_TRUE(table.Close("acme", "nope", false).status().IsNotFound());
+
+  Result<SessionTable::CloseResult> closed = table.Close("acme", "s1", true);
+  ASSERT_TRUE(closed.ok());
+  EXPECT_EQ(closed.value().size, 9u);
+  EXPECT_EQ(closed.value().checkpoint_path, dir_ + "/acme@s1.pchk");
+  EXPECT_TRUE(std::filesystem::exists(closed.value().checkpoint_path));
+  EXPECT_FALSE(table.Contains("acme", "s1"));
+}
+
+TEST_F(SessionTableTest, DefaultTenantKeepsLegacyCheckpointName) {
+  SessionTable table(BaseOptions(dir_));
+  EXPECT_EQ(table.CheckpointPath("default", "s1"), dir_ + "/s1.pchk");
+  EXPECT_EQ(table.CheckpointPath("acme", "s1"), dir_ + "/acme@s1.pchk");
+}
+
+TEST_F(SessionTableTest, ValidNameRejectsPathTricks) {
+  EXPECT_TRUE(SessionTable::ValidName("s1"));
+  EXPECT_TRUE(SessionTable::ValidName("a-b_c.9"));
+  EXPECT_FALSE(SessionTable::ValidName(""));
+  EXPECT_FALSE(SessionTable::ValidName("a/b"));
+  EXPECT_FALSE(SessionTable::ValidName(".."));
+  EXPECT_FALSE(SessionTable::ValidName("x..y"));
+  EXPECT_FALSE(SessionTable::ValidName("a@b"));  // '@' is the tenant sep
+  EXPECT_FALSE(SessionTable::ValidName(std::string(201, 'a')));
+}
+
+// The S3 regression: force eviction under tenant memory pressure, feed the
+// evicted session again (transparent thaw), and require detection output
+// bit-identical to a session that was never evicted.
+TEST_F(SessionTableTest, EvictedSessionThawsBitIdentical) {
+  // Budget for two resident sessions per tenant: opening the third evicts
+  // the LRU-idle one.
+  SessionTable::Options options = BaseOptions(dir_);
+  options.tenant_budget_bytes = 2 * SessionBytes() + SessionBytes() / 2;
+  SessionTable table(options);
+
+  // The control lives in an unbudgeted table and is never evicted.
+  SessionTable control_table(BaseOptions(dir_ + "/control"));
+  std::filesystem::create_directories(dir_ + "/control");
+
+  SessionTable::Rejection rejection;
+  ASSERT_TRUE(OpenSmall(&table, "acme", "victim", &rejection).ok());
+  ASSERT_TRUE(OpenSmall(&control_table, "acme", "victim", &rejection).ok());
+
+  // Identical prefix into both detectors.
+  Rng rng(7);
+  std::string prefix;
+  for (int i = 0; i < 200; ++i) {
+    prefix.push_back(static_cast<char>('a' + rng.UniformInt(3)));
+  }
+  Feed(&table, "acme", "victim", prefix);
+  Feed(&control_table, "acme", "victim", prefix);
+
+  // Two more opens push the tenant over budget; "victim" is LRU → evicted.
+  ASSERT_TRUE(OpenSmall(&table, "acme", "filler1", &rejection).ok());
+  Feed(&table, "acme", "filler1", "abc");
+  ASSERT_TRUE(OpenSmall(&table, "acme", "filler2", &rejection).ok());
+  const SessionTable::Stats mid = table.GetStats();
+  ASSERT_GE(mid.evictions, 1u) << "tenant budget did not force an eviction";
+  ASSERT_TRUE(std::filesystem::exists(dir_ + "/acme@victim.pchk"));
+  EXPECT_TRUE(table.Contains("acme", "victim"));  // still open, just cold
+
+  // Feeding again thaws transparently; same suffix into the control.
+  std::string suffix;
+  for (int i = 0; i < 100; ++i) {
+    suffix.push_back(static_cast<char>('a' + rng.UniformInt(3)));
+  }
+  Feed(&table, "acme", "victim", suffix);
+  Feed(&control_table, "acme", "victim", suffix);
+  const SessionTable::Stats after = table.GetStats();
+  EXPECT_GE(after.thaws, 1u);
+
+  // Detection must be bit-identical to the never-evicted control.
+  SessionTable::Rejection r2;
+  Result<SessionTable::Handle> thawed = table.Acquire("acme", "victim", &r2);
+  ASSERT_TRUE(thawed.ok()) << thawed.status().ToString();
+  Result<SessionTable::Handle> fresh =
+      control_table.Acquire("acme", "victim", &r2);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(thawed.value().detector()->size(),
+            fresh.value().detector()->size());
+  const PeriodicityTable thawed_result =
+      thawed.value().detector()->Detect(0.3, 2, 1);
+  const PeriodicityTable fresh_result =
+      fresh.value().detector()->Detect(0.3, 2, 1);
+  EXPECT_EQ(thawed_result.entries(), fresh_result.entries());
+  EXPECT_EQ(thawed_result.summaries(), fresh_result.summaries());
+}
+
+TEST_F(SessionTableTest, QuotaRejectsWhenNothingIsEvictable) {
+  // No checkpoint_dir: eviction is impossible, so quota pressure must turn
+  // into a structured rejection, not an eviction.
+  SessionTable::Options options;
+  options.tenant_budget_bytes = SessionBytes() + SessionBytes() / 2;
+  options.quota_retry_after_ms = 77;
+  SessionTable table(options);
+
+  SessionTable::Rejection rejection;
+  ASSERT_TRUE(OpenSmall(&table, "acme", "s1", &rejection).ok());
+  Result<SessionTable::OpenResult> denied =
+      OpenSmall(&table, "acme", "s2", &rejection);
+  ASSERT_TRUE(denied.status().IsResourceExhausted());
+  EXPECT_TRUE(rejection.quota_exceeded);
+  EXPECT_EQ(rejection.retry_after_ms, 77);
+  EXPECT_EQ(rejection.tenant, "acme");
+  EXPECT_FALSE(table.Contains("acme", "s2"));
+
+  // Another tenant has its own budget and is unaffected.
+  SessionTable::Rejection other;
+  EXPECT_TRUE(OpenSmall(&table, "beta", "s1", &other).ok());
+
+  const SessionTable::Stats stats = table.GetStats();
+  EXPECT_EQ(stats.quota_rejections, 1u);
+  EXPECT_EQ(stats.tenants.at("acme").quota_rejections, 1u);
+  EXPECT_EQ(stats.tenants.at("beta").quota_rejections, 0u);
+}
+
+TEST_F(SessionTableTest, SessionCapIsPerTenant) {
+  SessionTable::Options options = BaseOptions(dir_);
+  options.max_sessions_per_tenant = 2;
+  SessionTable table(options);
+  SessionTable::Rejection rejection;
+  ASSERT_TRUE(OpenSmall(&table, "acme", "s1", &rejection).ok());
+  ASSERT_TRUE(OpenSmall(&table, "acme", "s2", &rejection).ok());
+  EXPECT_TRUE(OpenSmall(&table, "acme", "s3", &rejection)
+                  .status()
+                  .IsResourceExhausted());
+  EXPECT_TRUE(OpenSmall(&table, "beta", "s1", &rejection).ok());
+  // Closing frees a slot.
+  ASSERT_TRUE(table.Close("acme", "s1", false).ok());
+  EXPECT_TRUE(OpenSmall(&table, "acme", "s3", &rejection).ok());
+}
+
+TEST_F(SessionTableTest, GlobalBudgetEvictsFairShareAcrossTenants) {
+  // Global budget holds 3 resident sessions; tenant "hog" owns 3, then
+  // "small" opens one — the fair-share evictor must take a hog session,
+  // not reject small.
+  SessionTable::Options options = BaseOptions(dir_);
+  options.global_budget_bytes = 3 * SessionBytes() + SessionBytes() / 2;
+  SessionTable table(options);
+  SessionTable::Rejection rejection;
+  ASSERT_TRUE(OpenSmall(&table, "hog", "h1", &rejection).ok());
+  ASSERT_TRUE(OpenSmall(&table, "hog", "h2", &rejection).ok());
+  ASSERT_TRUE(OpenSmall(&table, "hog", "h3", &rejection).ok());
+  ASSERT_TRUE(OpenSmall(&table, "small", "s1", &rejection).ok());
+
+  const SessionTable::Stats stats = table.GetStats();
+  EXPECT_EQ(stats.sessions, 4u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.tenants.at("hog").evictions, 1u);
+  EXPECT_EQ(stats.tenants.at("small").evictions, 0u);
+  EXPECT_EQ(stats.tenants.at("small").resident, 1u);
+  // h1 was the oldest idle hog session.
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/hog@h1.pchk"));
+}
+
+TEST_F(SessionTableTest, AcquirePinsAgainstEviction) {
+  SessionTable::Options options = BaseOptions(dir_);
+  options.tenant_budget_bytes = SessionBytes() + SessionBytes() / 2;
+  SessionTable table(options);
+  SessionTable::Rejection rejection;
+  ASSERT_TRUE(OpenSmall(&table, "acme", "pinned", &rejection).ok());
+
+  Result<SessionTable::Handle> held =
+      table.Acquire("acme", "pinned", &rejection);
+  ASSERT_TRUE(held.ok());
+  // While "pinned" is held it cannot be evicted; with nothing else
+  // evictable the second open must be rejected, not deadlock.
+  Result<SessionTable::OpenResult> denied =
+      OpenSmall(&table, "acme", "other", &rejection);
+  EXPECT_TRUE(denied.status().IsResourceExhausted());
+  EXPECT_TRUE(rejection.quota_exceeded);
+}
+
+TEST_F(SessionTableTest, CloseWithoutCheckpointRemovesStaleFile) {
+  SessionTable::Options options = BaseOptions(dir_);
+  options.tenant_budget_bytes = SessionBytes() + SessionBytes() / 2;
+  SessionTable table(options);
+  SessionTable::Rejection rejection;
+  ASSERT_TRUE(OpenSmall(&table, "acme", "old", &rejection).ok());
+  Feed(&table, "acme", "old", "abcabc");
+  // Evict "old" by opening another session.
+  ASSERT_TRUE(OpenSmall(&table, "acme", "new", &rejection).ok());
+  const std::string path = dir_ + "/acme@old.pchk";
+  ASSERT_TRUE(std::filesystem::exists(path));
+  // Closing without checkpoint=true must not leave the eviction file
+  // behind to be resumed later.
+  ASSERT_TRUE(table.Close("acme", "old", false).ok());
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST_F(SessionTableTest, DrainCheckpointsEveryResidentSession) {
+  SessionTable table(BaseOptions(dir_));
+  SessionTable::Rejection rejection;
+  ASSERT_TRUE(OpenSmall(&table, "acme", "a", &rejection).ok());
+  ASSERT_TRUE(OpenSmall(&table, "default", "b", &rejection).ok());
+  Feed(&table, "acme", "a", "abcabc");
+
+  std::vector<std::string> log;
+  EXPECT_EQ(table.CheckpointAllForDrain(&log), 0u);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/acme@a.pchk"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/b.pchk"));
+
+  // The drain checkpoint resumes bit-exactly into a fresh table.
+  SessionTable resumed(BaseOptions(dir_));
+  Result<SessionTable::OpenResult> opened =
+      resumed.Open("acme", "a", 0, {}, /*resume=*/true, &rejection);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ(opened.value().size, 6u);
+}
+
+TEST_F(SessionTableTest, ConcurrentChurnAcrossTenantsStaysConsistent) {
+  SessionTable::Options options = BaseOptions(dir_);
+  options.tenant_budget_bytes = 2 * SessionBytes() + SessionBytes() / 2;
+  SessionTable table(options);
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 40;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&table, t] {
+      const std::string tenant = "t" + std::to_string(t % 2);
+      for (int i = 0; i < kRounds; ++i) {
+        const std::string id =
+            "s" + std::to_string(t) + "_" + std::to_string(i % 5);
+        SessionTable::Rejection rejection;
+        StreamingPeriodDetector::Options detector_options;
+        detector_options.max_period = 16;
+        if (table.Open(tenant, id, 3, detector_options, false, &rejection)
+                .ok()) {
+          SessionTable::Rejection r2;
+          if (Result<SessionTable::Handle> handle =
+                  table.Acquire(tenant, id, &r2);
+              handle.ok()) {
+            handle.value().detector()->Append(0);
+            handle.value().detector()->Append(1);
+          }
+          (void)table.Close(tenant, id, (i % 3) == 0);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const SessionTable::Stats stats = table.GetStats();
+  EXPECT_EQ(stats.sessions, 0u);
+  EXPECT_EQ(stats.resident, 0u);
+  EXPECT_EQ(stats.resident_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace periodica::serve

@@ -1,0 +1,248 @@
+// Regression tests for the framing and partial-I/O helpers in
+// tools/unix_socket.h: short reads (bytes arriving one at a time), short
+// writes (a full kernel buffer mid-message), and EINTR at every layer. The
+// blocking (LineReader/SendLine) and non-blocking (LineBuffer/
+// DrainReadable/SendSome) shapes share the framing core, so both are
+// exercised against the same adversarial byte streams.
+
+#include "../tools/unix_socket.h"
+
+#include <csignal>
+#include <fcntl.h>
+#include <pthread.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace periodica::tools {
+namespace {
+
+struct Pair {
+  Pair() {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = fds[0];
+    b = fds[1];
+  }
+  ~Pair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+  void CloseB() {
+    ::close(b);
+    b = -1;
+  }
+  int a = -1;
+  int b = -1;
+};
+
+TEST(LineBufferTest, OneByteAtATimeFramesIdentically) {
+  const std::string wire = "first\nsecond line\n\nlast\n";
+  LineBuffer buffer;
+  std::vector<std::string> lines;
+  for (char c : wire) {
+    ASSERT_TRUE(buffer.Feed(&c, 1).ok());
+    while (std::optional<std::string> line = buffer.NextLine()) {
+      lines.push_back(*line);
+    }
+  }
+  const std::vector<std::string> expected = {"first", "second line", "",
+                                             "last"};
+  EXPECT_EQ(lines, expected);
+  EXPECT_FALSE(buffer.mid_line());
+}
+
+TEST(LineBufferTest, ManyLinesInOneFeed) {
+  LineBuffer buffer;
+  const std::string wire = "a\nb\nc\npartial";
+  ASSERT_TRUE(buffer.Feed(wire.data(), wire.size()).ok());
+  EXPECT_EQ(buffer.NextLine().value(), "a");
+  EXPECT_EQ(buffer.NextLine().value(), "b");
+  EXPECT_EQ(buffer.NextLine().value(), "c");
+  EXPECT_FALSE(buffer.NextLine().has_value());
+  EXPECT_TRUE(buffer.mid_line());
+  ASSERT_TRUE(buffer.Feed("\n", 1).ok());
+  EXPECT_EQ(buffer.NextLine().value(), "partial");
+}
+
+TEST(LineBufferTest, OversizedUnterminatedLineFailsEvenFedBytewise) {
+  LineBuffer buffer(/*max_line=*/16);
+  Status status = Status::OK();
+  for (int i = 0; i < 64 && status.ok(); ++i) {
+    status = buffer.Feed("x", 1);
+  }
+  EXPECT_TRUE(status.IsIOError());
+  // A complete line of the same total length is fine: the cap is on one
+  // unterminated message, not the buffer.
+  LineBuffer roomy(/*max_line=*/16);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(roomy.Feed("ab\n", 3).ok());
+  }
+}
+
+TEST(SendSomeTest, ShortWritesResumeFromOffset) {
+  Pair pair;
+  // Shrink the send buffer so a large message cannot go out in one call.
+  const int small = 4096;
+  ASSERT_EQ(::setsockopt(pair.a, SOL_SOCKET, SO_SNDBUF, &small,
+                         sizeof(small)),
+            0);
+  int flags = ::fcntl(pair.a, F_GETFL, 0);
+  ASSERT_EQ(::fcntl(pair.a, F_SETFL, flags | O_NONBLOCK), 0);
+
+  const std::string message(1 << 20, 'z');
+  std::size_t offset = 0;
+  std::string received;
+  // Alternate: push until the socket fills, then drain the other end —
+  // SendSome must pick up exactly where it stopped.
+  while (true) {
+    const Result<bool> done = SendSome(pair.a, message, &offset);
+    ASSERT_TRUE(done.ok()) << done.status().ToString();
+    if (done.value()) break;
+    char chunk[8192];
+    const ssize_t got = ::recv(pair.b, chunk, sizeof(chunk), 0);
+    ASSERT_GT(got, 0);
+    received.append(chunk, static_cast<std::size_t>(got));
+  }
+  char chunk[8192];
+  ssize_t got;
+  while ((got = ::recv(pair.b, chunk, sizeof(chunk), MSG_DONTWAIT)) > 0) {
+    received.append(chunk, static_cast<std::size_t>(got));
+  }
+  EXPECT_EQ(received, message);
+  EXPECT_EQ(offset, message.size());
+}
+
+TEST(DrainReadableTest, StopsAtWouldBlockAndReportsEof) {
+  Pair pair;
+  int flags = ::fcntl(pair.a, F_GETFL, 0);
+  ASSERT_EQ(::fcntl(pair.a, F_SETFL, flags | O_NONBLOCK), 0);
+
+  LineBuffer buffer;
+  ASSERT_EQ(::send(pair.b, "ping\npo", 7, 0), 7);
+  Result<bool> eof = DrainReadable(pair.a, &buffer);
+  ASSERT_TRUE(eof.ok());
+  EXPECT_FALSE(eof.value());  // would block, not EOF
+  EXPECT_EQ(buffer.NextLine().value(), "ping");
+  EXPECT_TRUE(buffer.mid_line());
+
+  ASSERT_EQ(::send(pair.b, "ng\n", 3, 0), 3);
+  pair.CloseB();
+  eof = DrainReadable(pair.a, &buffer);
+  ASSERT_TRUE(eof.ok());
+  EXPECT_TRUE(eof.value());  // now a real EOF, after the tail was drained
+  EXPECT_EQ(buffer.NextLine().value(), "pong");
+  EXPECT_FALSE(buffer.mid_line());
+}
+
+TEST(LineReaderTest, CleanEofIsNotFoundMidLineIsIOError) {
+  {
+    Pair pair;
+    ASSERT_EQ(::send(pair.b, "whole\n", 6, 0), 6);
+    pair.CloseB();
+    LineReader reader(pair.a);
+    Result<std::string> line = reader.Next();
+    ASSERT_TRUE(line.ok());
+    EXPECT_EQ(line.value(), "whole");
+    EXPECT_TRUE(reader.Next().status().IsNotFound());  // clean EOF
+  }
+  {
+    Pair pair;
+    ASSERT_EQ(::send(pair.b, "torn", 4, 0), 4);
+    pair.CloseB();
+    LineReader reader(pair.a);
+    EXPECT_TRUE(reader.Next().status().IsIOError());  // died mid-line
+  }
+}
+
+// --- EINTR ----------------------------------------------------------------
+
+std::atomic<int> g_sigusr1_seen{0};
+void CountSignal(int) { g_sigusr1_seen.fetch_add(1); }
+
+/// Installs a no-SA_RESTART handler so recv/send actually return EINTR,
+/// restoring the previous disposition on destruction.
+class InterruptingSignal {
+ public:
+  InterruptingSignal() {
+    struct sigaction action = {};
+    action.sa_handler = CountSignal;
+    action.sa_flags = 0;  // no SA_RESTART: syscalls fail with EINTR
+    sigaction(SIGUSR1, &action, &previous_);
+  }
+  ~InterruptingSignal() { sigaction(SIGUSR1, &previous_, nullptr); }
+
+ private:
+  struct sigaction previous_ = {};
+};
+
+TEST(LineReaderTest, RetriesThroughEintr) {
+  InterruptingSignal guard;
+  Pair pair;
+
+  std::atomic<bool> reading{false};
+  std::string got;
+  Status status = Status::OK();
+  std::thread reader_thread([&] {
+    LineReader reader(pair.a);
+    reading.store(true);
+    Result<std::string> line = reader.Next();  // blocks in recv
+    if (line.ok()) {
+      got = line.value();
+    } else {
+      status = line.status();
+    }
+  });
+  while (!reading.load()) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Interrupt the blocked recv a few times, then let data through.
+  for (int i = 0; i < 3; ++i) {
+    pthread_kill(reader_thread.native_handle(), SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(::send(pair.b, "survived\n", 9, 0), 9);
+  reader_thread.join();
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(got, "survived");
+  EXPECT_GE(g_sigusr1_seen.load(), 1);
+}
+
+// (The EINTR-during-send counterpart is deliberately absent: on this test
+// kernel, signaling a thread blocked in send(2) on a full AF_UNIX buffer
+// misbehaves — verified with a standalone repro — so the write-side retry
+// loops are exercised through short writes below instead.)
+TEST(SendLineTest, ShortWritesDeliverTheWholeMessageInOrder) {
+  Pair pair;
+  const int small = 4096;
+  ASSERT_EQ(::setsockopt(pair.a, SOL_SOCKET, SO_SNDBUF, &small,
+                         sizeof(small)),
+            0);
+
+  // A message much larger than the send buffer: SendLine must loop over
+  // partial writes while the receiver drains, and every byte arrives in
+  // order with the newline terminator.
+  const std::string message(1 << 20, 'q');
+  Status status = Status::OK();
+  std::thread sender([&] { status = SendLine(pair.a, message); });
+  std::string received;
+  char chunk[8192];
+  while (received.size() < message.size() + 1) {
+    const ssize_t got = ::recv(pair.b, chunk, sizeof(chunk), 0);
+    ASSERT_GT(got, 0);
+    received.append(chunk, static_cast<std::size_t>(got));
+  }
+  sender.join();
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(received, message + "\n");
+}
+
+}  // namespace
+}  // namespace periodica::tools

@@ -25,6 +25,13 @@ lint closes the gaps the analyzer cannot see:
   detached-thread   Any .detach() on a thread: detached threads outlive every
                     join point, so neither the analyzer, TSan, nor graceful
                     drain can reason about them.
+  loop-confined-waiver
+                    A "lint: unguarded(x): loop-confined" waiver in a file
+                    that never references EventLoop. Loop confinement is a
+                    real discipline only where a util::EventLoop serializes
+                    access on its one thread (see util/event_loop.h); in any
+                    other file the waiver is a lie and must state a
+                    different reason (or the member must be guarded).
 
 Usage:
   tools/lint_concurrency.py [--root DIR]    lint the tree (exit 1 on findings)
@@ -64,7 +71,12 @@ RAW_SYNC_TOKENS = (
 
 MUTEX_MEMBER_RE = re.compile(
     r"\b(?:util::)?(?:Mutex|SharedMutex)\s+\w+\s*;")
-WAIVER_RE = re.compile(r"lint:\s*unguarded\((\w+)\)\s*:\s*\S")
+WAIVER_RE = re.compile(r"lint:\s*unguarded\((\w+)\)\s*:\s*(\S[^\n]*)")
+# The one waiver reason with teeth: "loop-confined" asserts the member is
+# only touched on an EventLoop's loop thread, which is checkable — the file
+# must actually use EventLoop for the claim to mean anything.
+LOOP_CONFINED_REASON = "loop-confined"
+EVENT_LOOP_USE_RE = re.compile(r"\bEventLoop\b")
 CHECK_SITE_RE = re.compile(r'FaultInjector::Check\(\s*"([^"]+)"')
 DOC_SITE_RE = re.compile(r"\|\s*`([a-z0-9_]+/[a-z0-9_]+)`\s*\|")
 ATOMIC_DECL_RE = re.compile(r"^\s*(?:mutable\s+)?std::atomic<")
@@ -221,6 +233,7 @@ def class_member_statements(body: str):
 MEMBER_SKIP_PREFIXES = (
     "public", "private", "protected", "using", "typedef", "friend",
     "static", "enum", "template", "explicit", "virtual", "return",
+    "class", "struct",  # forward declarations of nested types
     "PERIODICA_", "#",
 )
 
@@ -232,7 +245,7 @@ UNGUARDED_OK_TYPES = re.compile(
 
 def check_unguarded_members(rel: pathlib.Path, raw: str,
                             stripped: str) -> list[Finding]:
-    waivers = set(WAIVER_RE.findall(raw))
+    waivers = {member for member, _reason in WAIVER_RE.findall(raw)}
     findings = []
     for name, body, start_line in find_class_bodies(stripped):
         annotated = ("PERIODICA_GUARDED_BY" in body
@@ -268,6 +281,30 @@ def check_unguarded_members(rel: pathlib.Path, raw: str,
                     "PERIODICA_GUARDED_BY; annotate it, make it "
                     "const/atomic, or waive with "
                     f"'// lint: unguarded({member}): reason'"))
+    return findings
+
+
+# --- rule: loop-confined-waiver ---------------------------------------------
+
+
+def check_loop_confined_waivers(rel: pathlib.Path, raw: str,
+                                stripped: str) -> list[Finding]:
+    """A 'loop-confined' waiver is only honest in a file that actually runs
+    code on a util::EventLoop. The EventLoop reference is checked in the
+    comment-stripped text so a mention inside a comment cannot satisfy it."""
+    if EVENT_LOOP_USE_RE.search(stripped):
+        return []
+    findings = []
+    for lineno, line in enumerate(raw.splitlines(), start=1):
+        for member, reason in WAIVER_RE.findall(line):
+            if reason.split()[0].rstrip(".,;") == LOOP_CONFINED_REASON:
+                findings.append(
+                    Finding(
+                        "loop-confined-waiver", rel, lineno,
+                        f"waiver 'unguarded({member}): loop-confined' in a "
+                        "file that never uses EventLoop; confinement to a "
+                        "loop thread requires one (see util/event_loop.h) — "
+                        "guard the member or state the real reason"))
     return findings
 
 
@@ -363,6 +400,7 @@ def lint_tree(root: pathlib.Path) -> list[Finding]:
         stripped = strip_comments_and_strings(raw)
         findings += check_raw_sync(path, rel, stripped)
         findings += check_unguarded_members(rel, raw, stripped)
+        findings += check_loop_confined_waivers(rel, raw, stripped)
         findings += check_detached_threads(rel, stripped)
         if path in shipped:
             findings += check_fault_sites(rel, raw, registered)
@@ -373,10 +411,14 @@ def lint_tree(root: pathlib.Path) -> list[Finding]:
 # --- self-test --------------------------------------------------------------
 
 SELF_TEST_CASES = {
-    # rule -> (file contents, expectation: fires?)
+    # case name -> (file path, file contents, rule, expectation)
+    # rule + should_fire=True:  that rule must fire on the seeded violation.
+    # rule + should_fire=False: that rule must stay silent on the file.
+    # rule=None (should_fire=False): NO rule may fire — a clean canary.
     "raw-sync": (
         "src/bad_raw.cc",
         "#include <mutex>\nstd::mutex m;\n",
+        "raw-sync",
         True,
     ),
     "unguarded-member": (
@@ -388,11 +430,13 @@ SELF_TEST_CASES = {
         "  int guarded_ PERIODICA_GUARDED_BY(mutex_) = 0;\n"
         "  int naked_ = 0;\n"
         "};\n",
+        "unguarded-member",
         True,
     ),
     "fault-site": (
         "src/bad_site.cc",
         "Status S() { return FaultInjector::Check(\"no_such/site\"); }\n",
+        "fault-site",
         True,
     ),
     "atomic-ordering": (
@@ -401,12 +445,47 @@ SELF_TEST_CASES = {
         "class C {\n"
         "  std::atomic<int> undocumented_{0};\n"
         "};\n",
+        "atomic-ordering",
         True,
     ),
     "detached-thread": (
         "src/bad_detach.cc",
         "void F() { std::thread([] {}).detach(); }\n",
+        "detached-thread",
         True,
+    ),
+    # A loop-confined waiver in a file with no EventLoop in sight: the claim
+    # is uncheckable, so the rule must fire. The comment-only mention of
+    # EventLoop must NOT count as usage.
+    "loop-confined-waiver": (
+        "src/bad_loop_waiver.h",
+        "#include \"periodica/util/sync.h\"\n"
+        "// This class has nothing to do with the EventLoop.\n"
+        "class Worker {\n"
+        " private:\n"
+        "  util::Mutex mutex_;\n"
+        "  int jobs_ PERIODICA_GUARDED_BY(mutex_) = 0;\n"
+        "  int state_ = 0;  // lint: unguarded(state_): loop-confined\n"
+        "};\n",
+        "loop-confined-waiver",
+        True,
+    ),
+    # The same waiver next to real EventLoop usage is legitimate: the rule
+    # must stay silent (and no other rule may complain about the member).
+    "loop-confined-near-event-loop": (
+        "src/good_loop_waiver.h",
+        "#include \"periodica/util/event_loop.h\"\n"
+        "#include \"periodica/util/sync.h\"\n"
+        "class Hub {\n"
+        " private:\n"
+        "  util::Mutex mutex_;\n"
+        "  int jobs_ PERIODICA_GUARDED_BY(mutex_) = 0;\n"
+        "  util::EventLoop* loop_ = nullptr;"
+        "  // lint: unguarded(loop_): set before Run\n"
+        "  int state_ = 0;  // lint: unguarded(state_): loop-confined\n"
+        "};\n",
+        None,
+        False,
     ),
     # A clean annotated class: no rule may fire (false-positive canary).
     "clean": (
@@ -427,6 +506,7 @@ SELF_TEST_CASES = {
         "  std::atomic<int> peeks_{0};\n"
         "  int cache_ = 0;  // lint: unguarded(cache_): thread-local scratch\n"
         "};\n",
+        None,
         False,
     ),
 }
@@ -434,7 +514,8 @@ SELF_TEST_CASES = {
 
 def self_test() -> int:
     failures = 0
-    for rule, (rel_name, contents, should_fire) in SELF_TEST_CASES.items():
+    for case, (rel_name, contents, rule, should_fire) \
+            in SELF_TEST_CASES.items():
         with tempfile.TemporaryDirectory() as tmp:
             root = pathlib.Path(tmp)
             target = root / rel_name
@@ -445,14 +526,18 @@ def self_test() -> int:
                 "| `real/site` | somewhere | a registered site |\n",
                 encoding="utf-8")
             findings = lint_tree(root)
-            if rule == "clean":
+            if rule is None:
                 ok = not findings
                 detail = "; ".join(str(f) for f in findings)
-            else:
+            elif should_fire:
                 ok = any(f.rule == rule for f in findings)
                 detail = f"rule '{rule}' did not fire on a seeded violation"
+            else:
+                hits = [f for f in findings if f.rule == rule]
+                ok = not hits
+                detail = "; ".join(str(f) for f in hits)
             status = "ok" if ok else "FAIL"
-            print(f"self-test [{rule}]: {status}"
+            print(f"self-test [{case}]: {status}"
                   + ("" if ok else f" ({detail})"))
             if not ok:
                 failures += 1

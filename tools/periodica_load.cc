@@ -1,24 +1,42 @@
 // periodica_load: closed-loop load generator for periodicad, used by
 // tools/soak.sh and by hand when sizing a deployment (docs/SERVING.md).
 //
-// Each of --concurrency worker threads loops for --seconds: connect, send a
-// `mine` request for a synthetic periodic series, read the response, tally
-// the outcome. OVERLOADED responses are part of normal operation — the
-// worker honors error.retry_after_ms (capped) and tries again; connection
-// errors are retried with a short backoff, since the soak kills and drains
-// the daemon mid-run on purpose.
+// Two modes:
+//
+//  * mine mode (default): each of --concurrency worker threads loops for
+//    --seconds: connect, send a `mine` request for a synthetic periodic
+//    series, read the response, tally the outcome. OVERLOADED responses
+//    are part of normal operation — the worker honors error.retry_after_ms
+//    (capped) and tries again; connection errors are retried with a short
+//    backoff, since the soak kills and drains the daemon mid-run on
+//    purpose.
+//
+//  * session mode (--sessions N, optionally --tenants K): exercises the
+//    multi-tenant stream hub. The N sessions are spread over K tenants and
+//    the worker threads; each worker opens its slice, feeds every session
+//    --feed_rounds rounds of symbols, runs stream_detect on a sample, and
+//    closes everything. Per-request latency is recorded and reported as
+//    p50/p90/p99/max; QUOTA_EXCEEDED rejections are retried after the
+//    server's retry_after_ms hint and tallied, and the final report folds
+//    in the daemon's own eviction/thaw counters (from `stats`) so a
+//    budgeted run shows the eviction machinery working.
 //
 // Prints a one-line JSON summary to stdout, e.g.
 //   {"errors":0,"ok":412,"overloaded":118,"partial":3,
 //    "resource_exhausted":0,"sent":533}
-// and exits 0 when every response was structured (ok / overloaded /
-// resource-exhausted / partial), 1 when any malformed or unexpected
-// response was seen. Connection failures are tallied separately
-// ("connect_errors") and do not fail the run.
+// (session mode adds "latency_ms", "evictions", "thaws",
+// "quota_exceeded", ...) and exits 0 when every response was structured
+// (ok / overloaded / resource-exhausted / quota-exceeded / partial), 1
+// when any malformed or unexpected response was seen. Connection failures
+// are tallied separately ("connect_errors") and do not fail the run.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <memory>
+#include <optional>
 #include <random>
 #include <string>
 #include <thread>
@@ -26,6 +44,7 @@
 
 #include "periodica/util/flags.h"
 #include "periodica/util/json.h"
+#include "periodica/util/sync.h"
 #include "unix_socket.h"
 
 namespace periodica::tools {
@@ -137,6 +156,305 @@ void Worker(const std::string& socket_path, std::size_t n, std::size_t period,
   }
 }
 
+// --- Session mode ----------------------------------------------------------
+
+/// Counters for the stream-hub workload, same relaxed-tally discipline as
+/// Tally.
+///
+/// Ordering: relaxed — independent tallies, read only after join().
+struct SessionTally {
+  std::atomic<std::uint64_t> opens{0};
+  std::atomic<std::uint64_t> feeds{0};
+  std::atomic<std::uint64_t> detects{0};
+  std::atomic<std::uint64_t> closes{0};
+  std::atomic<std::uint64_t> quota_exceeded{0};  ///< rejections retried
+  std::atomic<std::uint64_t> overloaded{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::atomic<std::uint64_t> connect_errors{0};
+};
+
+/// Latency samples merged from all workers after join().
+struct LatencyPool {
+  util::Mutex mutex;
+  std::vector<double> samples_ms PERIODICA_GUARDED_BY(mutex);
+
+  void Merge(std::vector<double>&& local) {
+    util::MutexLock lock(&mutex);
+    samples_ms.insert(samples_ms.end(), local.begin(), local.end());
+  }
+};
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto index = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1));
+  return sorted[index];
+}
+
+/// Sends one request and reads its response, timing the round trip.
+/// QUOTA_EXCEEDED and OVERLOADED rejections are retried (up to `attempts`)
+/// after the server's retry_after_ms hint; the returned JsonValue is the
+/// final response (or nullopt on a connection-level failure).
+std::string ErrorCode(const JsonValue& response) {
+  const JsonValue* error = response.Find("error");
+  return error != nullptr ? error->GetString("code", "") : "";
+}
+
+std::optional<JsonValue> TimedRpc(int fd, LineReader* reader,
+                                  const JsonValue& request,
+                                  SessionTally* tally,
+                                  std::vector<double>* latencies,
+                                  int attempts = 120) {
+  const std::string wire = request.Dump();
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    const auto start = std::chrono::steady_clock::now();
+    if (!SendLine(fd, wire).ok()) {
+      tally->connect_errors.fetch_add(1);
+      return std::nullopt;
+    }
+    const Result<std::string> line = reader->Next();
+    if (!line.ok()) {
+      tally->connect_errors.fetch_add(1);
+      return std::nullopt;
+    }
+    const auto elapsed = std::chrono::duration<double, std::milli>(
+        std::chrono::steady_clock::now() - start);
+    latencies->push_back(elapsed.count());
+    Result<JsonValue> response = JsonValue::Parse(line.value());
+    if (!response.ok()) {
+      tally->errors.fetch_add(1);
+      return std::nullopt;
+    }
+    if (response.value().GetBool("ok", false)) return response.value();
+    const std::string code = ErrorCode(response.value());
+    if (code == "QUOTA_EXCEEDED" || code == "OVERLOADED") {
+      (code == "QUOTA_EXCEEDED" ? tally->quota_exceeded : tally->overloaded)
+          .fetch_add(1);
+      const JsonValue* error = response.value().Find("error");
+      const double retry_ms =
+          error != nullptr ? error->GetNumber("retry_after_ms", 50.0) : 50.0;
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          std::min<std::int64_t>(static_cast<std::int64_t>(retry_ms), 250)));
+      continue;
+    }
+    return response.value();  // other errors: caller decides
+  }
+  tally->errors.fetch_add(1);  // never admitted within the retry budget
+  return std::nullopt;
+}
+
+struct SessionConfig {
+  std::string socket_path;
+  std::size_t sessions = 0;
+  std::size_t tenants = 1;
+  std::size_t concurrency = 4;
+  std::size_t max_period = 32;
+  std::size_t sigma = 4;
+  std::size_t feed_rounds = 2;
+  std::size_t feed_chunk = 64;
+  std::size_t detect_every = 64;  ///< run stream_detect on every k-th session
+  std::uint64_t seed = 1;
+};
+
+JsonValue SessionRequest(const std::string& method, const std::string& tenant,
+                         const std::string& session, JsonValue::Object extra) {
+  extra["tenant"] = tenant;
+  extra["session"] = session;
+  JsonValue::Object request;
+  request["method"] = method;
+  request["params"] = JsonValue(std::move(extra));
+  return JsonValue(std::move(request));
+}
+
+/// Runs one worker's slice [begin, end) of the session space through the
+/// open -> feed* -> detect(sample) -> close lifecycle on one connection
+/// (reconnecting on failure).
+void SessionWorker(const SessionConfig& config, std::size_t begin,
+                   std::size_t end, SessionTally* tally, LatencyPool* pool) {
+  std::mt19937_64 rng(config.seed + begin);
+  std::vector<double> latencies;
+  latencies.reserve((end - begin) * (config.feed_rounds + 2));
+  Result<FdHandle> fd = ConnectUnix(config.socket_path);
+  auto reconnect = [&]() -> bool {
+    for (int attempt = 0; attempt < 20; ++attempt) {
+      fd = ConnectUnix(config.socket_path);
+      if (fd.ok()) return true;
+      tally->connect_errors.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    return false;
+  };
+  if (!fd.ok() && !reconnect()) {
+    pool->Merge(std::move(latencies));
+    return;
+  }
+  auto reader = std::make_unique<LineReader>(fd.value().get());
+  // Issues the request, transparently reconnecting once on a dropped
+  // connection (the soak injects connection-killing faults on purpose).
+  // `rpc_resent` flags that the returned response came from a resend: the
+  // first attempt's connection died after the request may already have been
+  // applied, so the caller must treat duplicate-state errors as success
+  // (at-least-once delivery ambiguity).
+  bool rpc_resent = false;
+  auto rpc = [&](const JsonValue& request) -> std::optional<JsonValue> {
+    rpc_resent = false;
+    std::optional<JsonValue> response =
+        TimedRpc(fd.value().get(), reader.get(), request, tally, &latencies);
+    if (!response.has_value()) {
+      if (!reconnect()) return std::nullopt;
+      reader = std::make_unique<LineReader>(fd.value().get());
+      rpc_resent = true;
+      response =
+          TimedRpc(fd.value().get(), reader.get(), request, tally, &latencies);
+    }
+    return response;
+  };
+  auto tenant_of = [&](std::size_t i) {
+    return "t" + std::to_string(i % config.tenants);
+  };
+  auto session_of = [&](std::size_t i) {
+    return "load-" + std::to_string(i);
+  };
+
+  for (std::size_t i = begin; i < end; ++i) {
+    JsonValue::Object params;
+    params["max_period"] = config.max_period;
+    params["alphabet_size"] = config.sigma;
+    const std::optional<JsonValue> response = rpc(SessionRequest(
+        "stream_open", tenant_of(i), session_of(i), std::move(params)));
+    if (response.has_value() && response->GetBool("ok", false)) {
+      tally->opens.fetch_add(1);
+    } else if (response.has_value()) {
+      // A duplicate-session rejection on a resend means the first attempt
+      // landed before its connection was killed: the session is open.
+      if (rpc_resent && ErrorCode(*response) == "INVALID_ARGUMENT") {
+        tally->opens.fetch_add(1);
+      } else {
+        tally->errors.fetch_add(1);
+      }
+    }
+  }
+  for (std::size_t round = 0; round < config.feed_rounds; ++round) {
+    for (std::size_t i = begin; i < end; ++i) {
+      JsonValue::Object params;
+      params["symbols"] =
+          MakeSeries(rng, config.feed_chunk, config.max_period / 2,
+                     config.sigma);
+      const std::optional<JsonValue> response = rpc(SessionRequest(
+          "stream_feed", tenant_of(i), session_of(i), std::move(params)));
+      if (response.has_value() && response->GetBool("ok", false)) {
+        tally->feeds.fetch_add(1);
+      } else if (response.has_value()) {
+        tally->errors.fetch_add(1);
+      }
+    }
+  }
+  for (std::size_t i = begin; i < end; i += config.detect_every) {
+    JsonValue::Object params;
+    params["threshold"] = 0.4;
+    const std::optional<JsonValue> response = rpc(SessionRequest(
+        "stream_detect", tenant_of(i), session_of(i), std::move(params)));
+    if (response.has_value() && response->GetBool("ok", false)) {
+      tally->detects.fetch_add(1);
+    } else if (response.has_value()) {
+      tally->errors.fetch_add(1);
+    }
+  }
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::optional<JsonValue> response = rpc(SessionRequest(
+        "stream_close", tenant_of(i), session_of(i), JsonValue::Object{}));
+    if (response.has_value() && response->GetBool("ok", false)) {
+      tally->closes.fetch_add(1);
+    } else if (response.has_value()) {
+      // NOT_FOUND on a resend means the first close was applied before its
+      // connection was killed: the session is gone, which is the goal.
+      if (rpc_resent && ErrorCode(*response) == "NOT_FOUND") {
+        tally->closes.fetch_add(1);
+      } else {
+        tally->errors.fetch_add(1);
+      }
+    }
+  }
+  pool->Merge(std::move(latencies));
+}
+
+int RunSessionMode(const SessionConfig& config) {
+  SessionTally tally;
+  LatencyPool pool;
+  const std::size_t workers =
+      std::max<std::size_t>(1, std::min(config.concurrency, config.sessions));
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  const std::size_t per_worker = (config.sessions + workers - 1) / workers;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t begin = w * per_worker;
+    const std::size_t end = std::min(config.sessions, begin + per_worker);
+    if (begin >= end) break;
+    threads.emplace_back(SessionWorker, std::cref(config), begin, end, &tally,
+                         &pool);
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // One last stats call folds the daemon's own eviction/thaw counters into
+  // the report (best-effort: the daemon may already be gone under soak).
+  std::uint64_t evictions = 0;
+  std::uint64_t thaws = 0;
+  std::uint64_t server_quota_rejections = 0;
+  if (Result<FdHandle> fd = ConnectUnix(config.socket_path); fd.ok()) {
+    LineReader reader(fd.value().get());
+    JsonValue::Object request;
+    request["method"] = "stats";
+    if (SendLine(fd.value().get(), JsonValue(std::move(request)).Dump())
+            .ok()) {
+      if (const Result<std::string> line = reader.Next(); line.ok()) {
+        if (Result<JsonValue> response = JsonValue::Parse(line.value());
+            response.ok()) {
+          if (const JsonValue* result = response.value().Find("result")) {
+            if (const JsonValue* table = result->Find("session_table")) {
+              evictions = static_cast<std::uint64_t>(
+                  table->GetNumber("evictions", 0));
+              thaws = static_cast<std::uint64_t>(table->GetNumber("thaws", 0));
+              server_quota_rejections = static_cast<std::uint64_t>(
+                  table->GetNumber("quota_rejections", 0));
+            }
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<double> sorted;
+  {
+    util::MutexLock lock(&pool.mutex);
+    sorted = pool.samples_ms;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  JsonValue::Object latency;
+  latency["p50"] = Percentile(sorted, 0.50);
+  latency["p90"] = Percentile(sorted, 0.90);
+  latency["p99"] = Percentile(sorted, 0.99);
+  latency["max"] = sorted.empty() ? 0.0 : sorted.back();
+  latency["samples"] = sorted.size();
+
+  JsonValue::Object summary;
+  summary["sessions"] = config.sessions;
+  summary["tenants"] = config.tenants;
+  summary["opens"] = tally.opens.load();
+  summary["feeds"] = tally.feeds.load();
+  summary["detects"] = tally.detects.load();
+  summary["closes"] = tally.closes.load();
+  summary["quota_exceeded"] = tally.quota_exceeded.load();
+  summary["overloaded"] = tally.overloaded.load();
+  summary["errors"] = tally.errors.load();
+  summary["connect_errors"] = tally.connect_errors.load();
+  summary["evictions"] = evictions;
+  summary["thaws"] = thaws;
+  summary["server_quota_rejections"] = server_quota_rejections;
+  summary["latency_ms"] = JsonValue(std::move(latency));
+  std::printf("%s\n", JsonValue(std::move(summary)).Dump().c_str());
+  return tally.errors.load() == 0 ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   std::string socket_path;
   std::int64_t seconds = 10;
@@ -145,6 +463,12 @@ int Main(int argc, char** argv) {
   std::int64_t period = 25;
   std::int64_t sigma = 4;
   std::int64_t seed = 1;
+  std::int64_t sessions = 0;
+  std::int64_t tenants = 1;
+  std::int64_t feed_rounds = 2;
+  std::int64_t feed_chunk = 64;
+  std::int64_t detect_every = 64;
+  std::int64_t max_period = 32;
   FlagSet flags("periodica_load");
   flags.AddString("socket", &socket_path, "daemon Unix socket path");
   flags.AddInt64("seconds", &seconds, "wall-clock run length");
@@ -153,19 +477,50 @@ int Main(int argc, char** argv) {
   flags.AddInt64("period", &period, "planted period");
   flags.AddInt64("sigma", &sigma, "alphabet size (<= 26)");
   flags.AddInt64("seed", &seed, "base RNG seed");
+  flags.AddInt64("sessions", &sessions,
+                 "session mode: open/feed/detect/close this many streaming "
+                 "sessions instead of mining (0 = mine mode)");
+  flags.AddInt64("tenants", &tenants,
+                 "session mode: spread sessions over this many tenants");
+  flags.AddInt64("feed_rounds", &feed_rounds,
+                 "session mode: stream_feed rounds per session");
+  flags.AddInt64("feed_chunk", &feed_chunk,
+                 "session mode: symbols per stream_feed");
+  flags.AddInt64("detect_every", &detect_every,
+                 "session mode: stream_detect every k-th session");
+  flags.AddInt64("max_period", &max_period,
+                 "session mode: max_period for opened sessions");
   flags.SetEpilog(
-      "Exit codes: 0 = every response structured (overload rejections are\n"
-      "normal); 1 = malformed/unexpected responses or usage error.");
+      "Exit codes: 0 = every response structured (overload and quota\n"
+      "rejections are normal); 1 = malformed/unexpected responses or usage\n"
+      "error. Session mode reports per-request latency percentiles and the\n"
+      "daemon's eviction/thaw counters.");
   if (const Status status = flags.Parse(argc, argv); !status.ok()) {
     std::fprintf(stderr, "periodica_load: %s\n%s", status.ToString().c_str(),
                  flags.Usage().c_str());
     return 1;
   }
   if (socket_path.empty() || concurrency < 1 || seconds < 1 || sigma < 1 ||
-      sigma > 26 || n < 2 || period < 1) {
+      sigma > 26 || n < 2 || period < 1 || sessions < 0 || tenants < 1 ||
+      feed_rounds < 0 || feed_chunk < 1 || detect_every < 1 ||
+      max_period < 2) {
     std::fprintf(stderr, "periodica_load: bad arguments\n%s",
                  flags.Usage().c_str());
     return 1;
+  }
+  if (sessions > 0) {
+    SessionConfig config;
+    config.socket_path = socket_path;
+    config.sessions = static_cast<std::size_t>(sessions);
+    config.tenants = static_cast<std::size_t>(tenants);
+    config.concurrency = static_cast<std::size_t>(concurrency);
+    config.max_period = static_cast<std::size_t>(max_period);
+    config.sigma = static_cast<std::size_t>(sigma);
+    config.feed_rounds = static_cast<std::size_t>(feed_rounds);
+    config.feed_chunk = static_cast<std::size_t>(feed_chunk);
+    config.detect_every = static_cast<std::size_t>(detect_every);
+    config.seed = static_cast<std::uint64_t>(seed);
+    return RunSessionMode(config);
   }
 
   const auto stop_at =

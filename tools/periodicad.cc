@@ -1,51 +1,59 @@
 // periodicad: a long-running periodicity-mining service over a local Unix
 // socket, speaking newline-delimited JSON (docs/SERVING.md).
 //
-// The daemon exists to demonstrate — and test — graceful degradation of the
-// mining engines under production pressures the CLI never faces:
+// Architecture (the multi-tenant stream hub):
 //
-//  * admission control: mining work enters a bounded util::JobQueue; when
-//    the backlog is past its depth or queue-wait-latency limit the request
-//    is *rejected* with a structured OVERLOADED error carrying a
-//    retry-after hint, never silently queued without bound;
-//  * memory budgets: each request is estimated upfront
-//    (core/memory_estimate.h) and charged mid-flight against a per-request
-//    cap and the process-global pool, so one oversized series fails alone
-//    with RESOURCE_EXHAUSTED instead of OOM-killing every in-flight job;
+//  * one epoll event loop (util::EventLoop) multiplexes every connection on
+//    a single thread — connections are state machines (LineBuffer in,
+//    buffered response out), not threads, so the daemon's thread count is
+//    O(worker pool), never O(connections);
+//  * CPU-bound work (mine, stream_detect, sleep) is dispatched to a bounded
+//    util::JobQueue; the completion hands its response back to the loop via
+//    Post(), which writes it out when the socket is writable;
+//  * streaming-session state lives in a serve::SessionTable keyed by
+//    (tenant, session): slab-allocated control blocks, per-tenant
+//    util::MemoryBudget quotas, and fair-share LRU eviction of idle
+//    sessions to bit-exact checkpoints (thawed transparently on next use);
+//  * admission control: past queue depth/latency limits the request is
+//    *rejected* with a structured OVERLOADED error carrying a retry-after
+//    hint; past tenant quotas with nothing evictable it is rejected with
+//    QUOTA_EXCEEDED, same shape;
 //  * deadlines and a watchdog: every mining job runs under a
 //    CancellationToken; a watchdog thread cancels jobs that exceed the
 //    wedge timeout, turning a hung worker into a partial result;
-//  * graceful drain: SIGTERM/SIGINT stop admission, finish (or cancel, at
-//    the drain deadline) in-flight jobs, checkpoint open streaming sessions
-//    to --checkpoint_dir (core/checkpoint.h), and exit 0.
+//  * graceful drain: SIGTERM/SIGINT stop admission, finish in-flight jobs
+//    and flush their responses, checkpoint every open streaming session to
+//    --checkpoint_dir (core/checkpoint.h), and exit 0.
 //
-// Fault-injection sites "server/accept", "server/read", "server/write"
-// (armed via --faults) let the soak test walk the failure edges of the
-// exact binary that serves real traffic.
+// Fault-injection sites "server/accept", "server/read", "server/write" and
+// "event_loop/poll" (armed via --faults) let the soak test walk the failure
+// edges of the exact binary that serves real traffic.
 
 #include <csignal>
-#include <sys/select.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
+#include <system_error>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
-#include <set>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
-#include "periodica/core/checkpoint.h"
 #include "periodica/core/memory_estimate.h"
 #include "periodica/core/miner.h"
 #include "periodica/core/streaming_detector.h"
+#include "periodica/serve/session_table.h"
 #include "periodica/series/series.h"
 #include "periodica/util/cancellation.h"
+#include "periodica/util/event_loop.h"
 #include "periodica/util/fault_injector.h"
 #include "periodica/util/flags.h"
 #include "periodica/util/job_queue.h"
@@ -57,11 +65,13 @@
 namespace periodica::tools {
 namespace {
 
+using serve::SessionTable;
+using util::EventLoop;
 using util::JobQueue;
 using util::JsonValue;
 
-/// Set from the signal handler, polled by the accept loop, the watchdog and
-/// every connection thread.
+/// Set from the signal handler, polled by the watchdog; the loop itself is
+/// woken through g_wake_pipe (registered in the event loop).
 ///
 /// Ordering: relaxed. A one-way level-triggered flag: loops that read it a
 /// beat late run one extra iteration and then exit, which shutdown
@@ -73,7 +83,7 @@ int g_wake_pipe[2] = {-1, -1};
 
 void HandleShutdownSignal(int /*signo*/) {
   g_shutdown.store(true, std::memory_order_relaxed);
-  // Wake the accept loop; write(2) is async-signal-safe.
+  // Wake the event loop; write(2) is async-signal-safe.
   const char byte = 'x';
   [[maybe_unused]] const ssize_t ignored = ::write(g_wake_pipe[1], &byte, 1);
 }
@@ -84,8 +94,12 @@ struct DaemonConfig {
   std::int64_t workers = 1;
   std::int64_t max_queue_depth = 16;
   double max_queue_latency_ms = 0.0;
-  std::int64_t memory_budget_bytes = 0;   // process pool; 0 = unlimited
+  std::int64_t memory_budget_bytes = 0;   // mining pool; 0 = unlimited
   std::int64_t request_budget_bytes = 0;  // per-request default cap
+  std::int64_t session_budget_bytes = 0;  // resident sessions, all tenants
+  std::int64_t tenant_budget_bytes = 0;   // resident sessions, per tenant
+  std::int64_t max_sessions_per_tenant = 0;
+  std::int64_t quota_retry_after_ms = 100;
   std::int64_t default_deadline_ms = 0;
   std::int64_t wedge_timeout_ms = 0;  // watchdog cancel threshold; 0 = off
   std::int64_t watchdog_interval_ms = 250;
@@ -93,13 +107,33 @@ struct DaemonConfig {
   std::string faults;  // "site:nth[:repeat],..." armed for the process life
 };
 
-/// One open streaming session (stream_open .. stream_close). Sessions are
-/// daemon-global, named by the client, and serialized per-session: feeds and
-/// detects on the same session take its mutex.
-struct StreamSession {
-  util::Mutex mutex;
-  std::unique_ptr<StreamingPeriodDetector> detector
-      PERIODICA_GUARDED_BY(mutex);
+/// One client connection as event-loop state: framed input, buffered
+/// output, and a serial-processing flag. Loop-confined — only the loop
+/// thread touches a Connection (job completions come back via Post).
+struct Connection {
+  Connection(FdHandle fd_in, std::size_t max_line)
+      : fd(std::move(fd_in)), in(max_line) {}
+
+  FdHandle fd;
+  LineBuffer in;
+  std::string out;             ///< undelivered response bytes
+  std::size_t out_offset = 0;  ///< prefix of `out` already sent
+  /// A request is in flight (possibly on a worker); the next pipelined
+  /// line is not parsed until its response has been fully flushed — the
+  /// same serial-per-connection semantics the thread-per-connection daemon
+  /// had.
+  bool busy = false;
+  bool saw_eof = false;  ///< peer half-closed; finish the backlog, then close
+  bool closed = false;   ///< unregistered; drop any late job completion
+};
+
+/// Per-tenant request counters (stats surface). Loop-confined.
+struct TenantCounters {
+  std::uint64_t opens = 0;
+  std::uint64_t feeds = 0;
+  std::uint64_t symbols = 0;
+  std::uint64_t detects = 0;
+  std::uint64_t closes = 0;
 };
 
 class Daemon {
@@ -108,10 +142,10 @@ class Daemon {
       : config_(std::move(config)),
         pool_(static_cast<std::size_t>(
             std::max<std::int64_t>(0, config_.memory_budget_bytes))),
-        queue_(MakeQueueOptions(config_)) {}
+        queue_(MakeQueueOptions(config_)),
+        table_(MakeTableOptions(config_)) {}
 
   Status Run();
-  void RequestShutdown() { g_shutdown.store(true); }
 
  private:
   static JobQueue::Options MakeQueueOptions(const DaemonConfig& config) {
@@ -123,44 +157,98 @@ class Daemon {
     return options;
   }
 
-  void ServeConnection(FdHandle fd);
-  JsonValue Dispatch(const JsonValue& request);
-
-  JsonValue HandlePing();
-  JsonValue HandleStats();
-  JsonValue HandleSleep(const JsonValue& params);
-  JsonValue HandleMine(const JsonValue& params);
-  JsonValue HandleStreamOpen(const JsonValue& params);
-  JsonValue HandleStreamFeed(const JsonValue& params);
-  JsonValue HandleStreamDetect(const JsonValue& params);
-  JsonValue HandleStreamClose(const JsonValue& params);
-
-  /// Runs `work` on the job queue at `priority` and blocks the connection
-  /// thread until it finishes; a rejected submission becomes the structured
-  /// OVERLOADED (or draining) error instead.
-  JsonValue RunQueued(JobQueue::Priority priority,
-                      std::function<JsonValue()> work);
-
-  void WatchdogLoop();
-  void CheckpointSessionsForDrain();
-
-  std::string CheckpointPath(const std::string& session) const {
-    return config_.checkpoint_dir + "/" + session + ".pchk";
+  static SessionTable::Options MakeTableOptions(const DaemonConfig& config) {
+    SessionTable::Options options;
+    options.checkpoint_dir = config.checkpoint_dir;
+    options.global_budget_bytes = static_cast<std::size_t>(
+        std::max<std::int64_t>(0, config.session_budget_bytes));
+    options.tenant_budget_bytes = static_cast<std::size_t>(
+        std::max<std::int64_t>(0, config.tenant_budget_bytes));
+    options.max_sessions_per_tenant = static_cast<std::size_t>(
+        std::max<std::int64_t>(0, config.max_sessions_per_tenant));
+    options.quota_retry_after_ms = config.quota_retry_after_ms;
+    return options;
   }
 
-  /// Finds an open session by name (nullptr if absent). The returned
-  /// shared_ptr keeps the session alive even if a concurrent stream_close
-  /// removes it from the map.
-  std::shared_ptr<StreamSession> FindSession(const std::string& name)
-      PERIODICA_EXCLUDES(sessions_mutex_);
+  // Event-loop callbacks (loop thread).
+  void OnAcceptable();
+  void OnReadable(const std::shared_ptr<Connection>& conn);
+  void OnWritable(const std::shared_ptr<Connection>& conn);
+  void OnWakePipe();
 
-  const DaemonConfig config_;        ///< immutable after construction
-  util::MemoryBudget pool_;          // lint: unguarded(pool_): internally atomic
-  JobQueue queue_;                   // lint: unguarded(queue_): has its own mutex
+  // Connection state machine (loop thread).
+  void ProcessNextLine(const std::shared_ptr<Connection>& conn);
+  void HandleRequestLine(const std::shared_ptr<Connection>& conn,
+                         const std::string& line);
+  void EnqueueResponse(const std::shared_ptr<Connection>& conn,
+                       JsonValue response);
+  void FlushOut(const std::shared_ptr<Connection>& conn);
+  void CloseConnection(const std::shared_ptr<Connection>& conn);
 
-  util::Mutex sessions_mutex_;
-  std::map<std::string, std::shared_ptr<StreamSession>> sessions_
-      PERIODICA_GUARDED_BY(sessions_mutex_);
+  // Request handlers. Immediate handlers run wholly on the loop thread and
+  // return the response; queued handlers return nullopt after dispatching
+  // to the job queue (the completion posts the response back), or an
+  // immediate error (validation, overload).
+  JsonValue HandlePing();
+  JsonValue HandleStats();
+  JsonValue HandleStreamOpen(const JsonValue& params);
+  JsonValue HandleStreamFeed(const JsonValue& params);
+  JsonValue HandleStreamClose(const JsonValue& params);
+  std::optional<JsonValue> HandleSleep(
+      const std::shared_ptr<Connection>& conn, const JsonValue& params,
+      const JsonValue* id);
+  std::optional<JsonValue> HandleMine(
+      const std::shared_ptr<Connection>& conn, const JsonValue& params,
+      const JsonValue* id);
+  std::optional<JsonValue> HandleStreamDetect(
+      const std::shared_ptr<Connection>& conn, const JsonValue& params,
+      const JsonValue* id);
+
+  /// Submits `work` to the job queue; the completion posts the response
+  /// (with `id` echoed) back to the loop, which writes it to `conn` if the
+  /// connection is still alive. Returns the structured OVERLOADED (or
+  /// draining) rejection when admission fails, nullopt when queued.
+  std::optional<JsonValue> StartQueued(
+      const std::shared_ptr<Connection>& conn, JobQueue::Priority priority,
+      std::function<JsonValue()> work, const JsonValue* id);
+
+  // Drain sequence (loop thread unless noted).
+  void BeginDrain();
+  void MaybeFinishDrain();
+  void CheckpointSessionsForDrain();
+
+  void WatchdogLoop();
+
+  TenantCounters& CountersFor(const std::string& tenant) {
+    return tenant_counters_[tenant];
+  }
+
+  const DaemonConfig config_;  ///< immutable after construction
+  util::MemoryBudget pool_;  // lint: unguarded(pool_): internally atomic
+  JobQueue queue_;           // lint: unguarded(queue_): has its own mutex
+  SessionTable table_;       // lint: unguarded(table_): has its own mutex
+
+  // The event loop and everything it confines. The loop_ pointer itself is
+  // set once in Run() before any other thread exists; Post() is its
+  // thread-safe entry point. lint: unguarded(loop_): set before threads start
+  std::unique_ptr<EventLoop> loop_;
+  /// lint: unguarded(listener_): loop-confined
+  FdHandle listener_;
+  /// Open connections by fd. lint: unguarded(connections_): loop-confined
+  std::map<int, std::shared_ptr<Connection>> connections_;
+  /// lint: unguarded(tenant_counters_): loop-confined
+  std::map<std::string, TenantCounters> tenant_counters_;
+  /// lint: unguarded(draining_): loop-confined
+  bool draining_ = false;
+  /// Set by a task the drain thread posts after queue_.Drain() returns.
+  /// lint: unguarded(drain_queue_done_): loop-confined
+  bool drain_queue_done_ = false;
+  /// lint: unguarded(drain_done_): loop-confined
+  bool drain_done_ = false;
+  /// Runs queue_.Drain() off-loop so completions can still flush through
+  /// the live loop. Created and joined by the loop thread (join happens
+  /// after Run() returns). lint: unguarded(drain_thread_): loop-confined
+  std::thread drain_thread_;
 
   /// In-flight mining jobs, for the watchdog: id -> (token, start).
   struct FlightRecord {
@@ -176,13 +264,6 @@ class Daemon {
   /// Ordering: relaxed — monotone statistic; the cancellation itself goes
   /// through CancellationToken, not through this counter.
   std::atomic<std::uint64_t> watchdog_cancels_{0};
-
-  util::Mutex threads_mutex_;
-  std::vector<std::thread> connection_threads_
-      PERIODICA_GUARDED_BY(threads_mutex_);
-  /// Live connection fds, so drain can shutdown(2) them and unblock the
-  /// threads parked in recv.
-  std::set<int> connection_fds_ PERIODICA_GUARDED_BY(threads_mutex_);
 };
 
 // --- JSON response helpers -------------------------------------------------
@@ -205,6 +286,21 @@ JsonValue StatusToResponse(const Status& status) {
   if (status.IsNotFound()) code = "NOT_FOUND";
   if (status.IsIOError()) code = "IO_ERROR";
   return ErrorResponse(code, status.message());
+}
+
+/// Maps a SessionTable failure to the wire: quota rejections become the
+/// structured QUOTA_EXCEEDED error with a retry hint, everything else goes
+/// through the generic status mapping.
+JsonValue TableStatusToResponse(const Status& status,
+                                const SessionTable::Rejection& rejection) {
+  if (!rejection.quota_exceeded) return StatusToResponse(status);
+  JsonValue response = ErrorResponse("QUOTA_EXCEEDED", status.message());
+  JsonValue::Object& error =
+      response.mutable_object()["error"].mutable_object();
+  error["retry_after_ms"] =
+      static_cast<std::size_t>(rejection.retry_after_ms);
+  error["tenant"] = rejection.tenant;
+  return response;
 }
 
 JsonValue OkResponse(JsonValue::Object result) {
@@ -255,32 +351,237 @@ JobQueue::Priority ParsePriority(const JsonValue& params) {
   return JobQueue::Priority::kNormal;
 }
 
-// --- Daemon ----------------------------------------------------------------
+/// The tenant a request acts for: the optional "tenant" param, defaulting
+/// to the shared "default" tenant (whose checkpoint paths keep the
+/// pre-tenant layout).
+std::string RequestTenant(const JsonValue& params) {
+  std::string tenant = params.GetString("tenant", "default");
+  return tenant.empty() ? "default" : tenant;
+}
 
-JsonValue Daemon::RunQueued(JobQueue::Priority priority,
-                            std::function<JsonValue()> work) {
-  // The connection thread blocks on its own job; concurrency and backlog
-  // are bounded by the queue, which is where admission is decided.
-  util::Mutex done_mutex;
-  util::CondVar done_cv;
-  bool done = false;
-  JsonValue response;
+// --- Event-loop plumbing ---------------------------------------------------
+
+void Daemon::OnAcceptable() {
+  while (true) {
+    if (Status injected = util::FaultInjector::Check("server/accept");
+        !injected.ok()) {
+      // Injected accept failure: take and drop the pending connection, as a
+      // transient accept(2) error would.
+      const int dropped = ::accept(listener_.get(), nullptr, nullptr);
+      if (dropped >= 0) ::close(dropped);
+      continue;
+    }
+    const int client = ::accept(listener_.get(), nullptr, nullptr);
+    if (client < 0) return;  // EAGAIN (drained) or transient failure
+    FdHandle fd(client);
+    if (!SetNonBlocking(fd.get()).ok()) continue;
+    auto conn = std::make_shared<Connection>(
+        std::move(fd), static_cast<std::size_t>(config_.max_request_bytes));
+    EventLoop::Handler handler;
+    handler.on_readable = [this, conn] { OnReadable(conn); };
+    handler.on_writable = [this, conn] { OnWritable(conn); };
+    const int raw = conn->fd.get();
+    if (!loop_->Add(raw, /*want_read=*/true, /*want_write=*/false,
+                    std::move(handler))
+             .ok()) {
+      continue;  // conn (and its fd) die here
+    }
+    connections_.emplace(raw, std::move(conn));
+  }
+}
+
+void Daemon::OnReadable(const std::shared_ptr<Connection>& conn) {
+  if (conn->closed) return;
+  if (Status injected = util::FaultInjector::Check("server/read");
+      !injected.ok()) {
+    // An injected read failure behaves like a broken peer: drop the
+    // connection. The client sees EOF and retries; no partial state leaks.
+    CloseConnection(conn);
+    return;
+  }
+  const Result<bool> eof = DrainReadable(conn->fd.get(), &conn->in);
+  if (!eof.ok()) {
+    CloseConnection(conn);
+    return;
+  }
+  if (eof.value()) {
+    if (conn->in.mid_line()) {
+      CloseConnection(conn);  // peer died mid-request
+      return;
+    }
+    conn->saw_eof = true;
+    // Drop read interest: a level-triggered EOF reports readable forever.
+    (void)loop_->SetInterest(conn->fd.get(), /*want_read=*/false,
+                             /*want_write=*/!conn->out.empty());
+  }
+  ProcessNextLine(conn);
+}
+
+void Daemon::OnWritable(const std::shared_ptr<Connection>& conn) {
+  if (conn->closed) return;
+  FlushOut(conn);
+  if (!conn->closed && conn->out.empty()) ProcessNextLine(conn);
+}
+
+void Daemon::OnWakePipe() {
+  char drain[256];
+  while (::read(g_wake_pipe[0], drain, sizeof(drain)) > 0) {
+  }
+  if (g_shutdown.load(std::memory_order_relaxed)) BeginDrain();
+}
+
+void Daemon::ProcessNextLine(const std::shared_ptr<Connection>& conn) {
+  // Serial per connection: pull the next buffered request only when the
+  // previous response is fully out. During drain, buffered-but-unparsed
+  // requests are dropped (the thread-per-connection daemon did the same).
+  while (!conn->busy && !conn->closed && !draining_) {
+    const std::optional<std::string> line = conn->in.NextLine();
+    if (!line.has_value()) break;
+    if (line->empty()) continue;
+    HandleRequestLine(conn, *line);
+  }
+  if (!conn->closed && conn->saw_eof && !conn->busy && conn->out.empty() &&
+      !conn->in.mid_line()) {
+    CloseConnection(conn);
+  }
+}
+
+void Daemon::HandleRequestLine(const std::shared_ptr<Connection>& conn,
+                               const std::string& line) {
+  conn->busy = true;
+  const Result<JsonValue> parsed = JsonValue::Parse(line);
+  if (!parsed.ok()) {
+    EnqueueResponse(
+        conn, ErrorResponse("INVALID_ARGUMENT", "bad request JSON: " +
+                                                    parsed.status().message()));
+    return;
+  }
+  const JsonValue& request = parsed.value();
+  if (!request.is_object()) {
+    EnqueueResponse(
+        conn, ErrorResponse("INVALID_ARGUMENT",
+                            "request must be a JSON object"));
+    return;
+  }
+  JsonValue id;
+  bool has_id = false;
+  if (const JsonValue* found = request.Find("id"); found != nullptr) {
+    id = *found;
+    has_id = true;
+  }
+  const std::string method = request.GetString("method", "");
+  const JsonValue* params_ptr = request.Find("params");
+  const JsonValue params =
+      params_ptr != nullptr ? *params_ptr : JsonValue(JsonValue::Object{});
+
+  std::optional<JsonValue> response;
+  if (method == "ping") {
+    response = HandlePing();
+  } else if (method == "stats") {
+    response = HandleStats();
+  } else if (method == "sleep") {
+    response = HandleSleep(conn, params, has_id ? &id : nullptr);
+  } else if (method == "mine") {
+    response = HandleMine(conn, params, has_id ? &id : nullptr);
+  } else if (method == "stream_open") {
+    response = HandleStreamOpen(params);
+  } else if (method == "stream_feed") {
+    response = HandleStreamFeed(params);
+  } else if (method == "stream_detect") {
+    response = HandleStreamDetect(conn, params, has_id ? &id : nullptr);
+  } else if (method == "stream_close") {
+    response = HandleStreamClose(params);
+  } else {
+    response = ErrorResponse("INVALID_ARGUMENT",
+                             "unknown method '" + method + "'");
+  }
+  if (response.has_value()) {
+    // Echo the request id so clients can pipeline. (Queued handlers echo it
+    // in their completion instead.)
+    if (has_id) response->mutable_object()["id"] = id;
+    EnqueueResponse(conn, *std::move(response));
+  }
+}
+
+void Daemon::EnqueueResponse(const std::shared_ptr<Connection>& conn,
+                             JsonValue response) {
+  if (conn->closed) return;
+  if (Status injected = util::FaultInjector::Check("server/write");
+      !injected.ok()) {
+    CloseConnection(conn);
+    return;
+  }
+  conn->out += response.Dump();
+  conn->out.push_back('\n');
+  FlushOut(conn);
+}
+
+void Daemon::FlushOut(const std::shared_ptr<Connection>& conn) {
+  const Result<bool> sent =
+      SendSome(conn->fd.get(), conn->out, &conn->out_offset);
+  if (!sent.ok()) {
+    CloseConnection(conn);
+    return;
+  }
+  if (sent.value()) {
+    conn->out.clear();
+    conn->out_offset = 0;
+    conn->busy = false;
+    (void)loop_->SetInterest(conn->fd.get(), /*want_read=*/!conn->saw_eof,
+                             /*want_write=*/false);
+    if (draining_) MaybeFinishDrain();
+  } else {
+    // Short write: the kernel buffer is full. Wait for writability; reading
+    // stays paused (the connection is serial anyway) so a slow consumer
+    // exerts backpressure instead of growing `out` without bound.
+    (void)loop_->SetInterest(conn->fd.get(), /*want_read=*/false,
+                             /*want_write=*/true);
+  }
+}
+
+void Daemon::CloseConnection(const std::shared_ptr<Connection>& conn) {
+  if (conn->closed) return;
+  conn->closed = true;
+  loop_->Remove(conn->fd.get());
+  connections_.erase(conn->fd.get());
+  if (draining_) MaybeFinishDrain();
+}
+
+// --- Request handlers ------------------------------------------------------
+
+std::optional<JsonValue> Daemon::StartQueued(
+    const std::shared_ptr<Connection>& conn, JobQueue::Priority priority,
+    std::function<JsonValue()> work, const JsonValue* id) {
   JobQueue::OverloadInfo overload;
+  std::weak_ptr<Connection> weak = conn;
+  JsonValue id_copy;
+  const bool has_id = id != nullptr;
+  if (has_id) id_copy = *id;
   const Status admitted = queue_.TrySubmit(
       priority,
-      [&] {
-        JsonValue result = work();
-        // Notify while holding the mutex: the waiter destroys done_cv the
-        // moment it observes done, so an unlocked notify could touch a
-        // dead condition variable.
-        util::MutexLock lock(&done_mutex);
-        response = std::move(result);
-        done = true;
-        done_cv.NotifyOne();
+      [this, weak = std::move(weak), work = std::move(work), id_copy,
+       has_id] {
+        JsonValue response = work();
+        if (has_id) response.mutable_object()["id"] = id_copy;
+        loop_->Post([this, weak, response = std::move(response)]() mutable {
+          const std::shared_ptr<Connection> conn = weak.lock();
+          if (conn == nullptr || conn->closed) return;  // peer went away
+          EnqueueResponse(conn, std::move(response));
+          if (!conn->closed && conn->out.empty()) ProcessNextLine(conn);
+        });
       },
       &overload);
   if (!admitted.ok()) {
-    JsonValue rejection = StatusToResponse(admitted);
+    // Every admission failure is retryable from the client's point of view:
+    // the job never ran. That includes a job lost between admission and the
+    // worker pool (the job_queue/enqueue fault site), which surfaces as a
+    // structured rejection rather than leaking an internal I/O code.
+    JsonValue rejection =
+        (admitted.IsUnavailable() || admitted.IsResourceExhausted())
+            ? StatusToResponse(admitted)
+            : ErrorResponse("OVERLOADED",
+                            "job not admitted: " + std::string(
+                                admitted.message()));
     JsonValue::Object& error =
         rejection.mutable_object()["error"].mutable_object();
     error["retry_after_ms"] =
@@ -289,9 +590,7 @@ JsonValue Daemon::RunQueued(JobQueue::Priority priority,
     error["draining"] = overload.draining;
     return rejection;
   }
-  util::MutexLock lock(&done_mutex);
-  while (!done) done_cv.Wait(done_mutex);
-  return response;
+  return std::nullopt;
 }
 
 JsonValue Daemon::HandlePing() {
@@ -315,20 +614,63 @@ JsonValue Daemon::HandleStats() {
   memory["pool_limit"] = pool_.limit();
   memory["pool_used"] = pool_.used();
   memory["pool_high_water"] = pool_.high_water();
+
+  const SessionTable::Stats table = table_.GetStats();
+  JsonValue::Object session_table;
+  session_table["sessions"] = table.sessions;
+  session_table["resident"] = table.resident;
+  session_table["resident_bytes"] = table.resident_bytes;
+  session_table["budget_limit"] = table.global_budget_limit;
+  session_table["budget_high_water"] = table.global_high_water;
+  session_table["evictions"] = table.evictions;
+  session_table["thaws"] = table.thaws;
+  session_table["quota_rejections"] = table.quota_rejections;
+  session_table["slab_capacity"] = table.slab_capacity;
+  session_table["slab_chunks"] = table.slab_chunks;
+
+  JsonValue::Object tenants;
+  for (const auto& [name, tenant] : table.tenants) {
+    JsonValue::Object entry;
+    entry["sessions"] = tenant.sessions;
+    entry["resident"] = tenant.resident;
+    entry["resident_bytes"] = tenant.resident_bytes;
+    entry["budget_limit"] = tenant.budget_limit;
+    entry["opened"] = tenant.opened;
+    entry["evictions"] = tenant.evictions;
+    entry["thaws"] = tenant.thaws;
+    entry["quota_rejections"] = tenant.quota_rejections;
+    const auto counters = tenant_counters_.find(name);
+    if (counters != tenant_counters_.end()) {
+      entry["feeds"] = counters->second.feeds;
+      entry["symbols"] = counters->second.symbols;
+      entry["detects"] = counters->second.detects;
+      entry["opens"] = counters->second.opens;
+      entry["closes"] = counters->second.closes;
+    }
+    tenants[name] = JsonValue(std::move(entry));
+  }
+
+  JsonValue::Object event_loop;
+  event_loop["polls"] = loop_->polls();
+  event_loop["fds"] = loop_->num_fds();
+
   JsonValue::Object result;
   result["queue"] = JsonValue(std::move(queue));
   result["memory"] = JsonValue(std::move(memory));
-  {
-    util::MutexLock lock(&sessions_mutex_);
-    result["sessions"] = sessions_.size();
-  }
+  result["sessions"] = table.sessions;
+  result["session_table"] = JsonValue(std::move(session_table));
+  result["tenants"] = JsonValue(std::move(tenants));
+  result["connections"] = connections_.size();
+  result["event_loop"] = JsonValue(std::move(event_loop));
   result["watchdog_cancels"] =
       watchdog_cancels_.load(std::memory_order_relaxed);
   result["draining"] = queue_.draining();
   return OkResponse(std::move(result));
 }
 
-JsonValue Daemon::HandleSleep(const JsonValue& params) {
+std::optional<JsonValue> Daemon::HandleSleep(
+    const std::shared_ptr<Connection>& conn, const JsonValue& params,
+    const JsonValue* id) {
   // Diagnostic: occupies one worker slot for `ms`, cancellable like a real
   // mine. Lets operators (and the e2e tests) probe admission control, the
   // watchdog and drain behavior with precisely-timed load.
@@ -337,7 +679,7 @@ JsonValue Daemon::HandleSleep(const JsonValue& params) {
     return ErrorResponse("INVALID_ARGUMENT",
                          "sleep: params.ms must be in [0, 60000]");
   }
-  return RunQueued(ParsePriority(params), [this, ms]() {
+  return StartQueued(conn, ParsePriority(params), [this, ms]() {
     util::CancellationToken token;
     std::uint64_t flight_id = 0;
     {
@@ -358,10 +700,12 @@ JsonValue Daemon::HandleSleep(const JsonValue& params) {
     JsonValue::Object result;
     result["partial"] = token.Expired();
     return OkResponse(std::move(result));
-  });
+  }, id);
 }
 
-JsonValue Daemon::HandleMine(const JsonValue& params) {
+std::optional<JsonValue> Daemon::HandleMine(
+    const std::shared_ptr<Connection>& conn, const JsonValue& params,
+    const JsonValue* id) {
   const std::string text = params.GetString("series", "");
   if (text.empty()) {
     return ErrorResponse("INVALID_ARGUMENT",
@@ -422,10 +766,11 @@ JsonValue Daemon::HandleMine(const JsonValue& params) {
 
   const std::size_t max_entries_returned = static_cast<std::size_t>(
       params.GetNumber("max_entries_returned", 100));
-  return RunQueued(ParsePriority(params), [this, series =
-                                               std::move(series.value()),
-                                           options, deadline_ms,
-                                           max_entries_returned]() mutable {
+  return StartQueued(conn, ParsePriority(params), [this, series =
+                                                       std::move(
+                                                           series.value()),
+                                                   options, deadline_ms,
+                                                   max_entries_returned]() mutable {
     util::CancellationToken token;
     if (deadline_ms > 0) {
       token.SetTimeout(std::chrono::milliseconds(deadline_ms));
@@ -453,91 +798,77 @@ JsonValue Daemon::HandleMine(const JsonValue& params) {
         mined.value().engine_used == MinerEngine::kExact ? "exact" : "fft";
     result["partial"] = mined.value().partial;
     return OkResponse(std::move(result));
-  });
+  }, id);
 }
 
 JsonValue Daemon::HandleStreamOpen(const JsonValue& params) {
   const std::string name = params.GetString("session", "");
-  if (name.empty() || name.find('/') != std::string::npos ||
-      name.find("..") != std::string::npos) {
+  const std::string tenant = RequestTenant(params);
+  if (!SessionTable::ValidName(name) || !SessionTable::ValidName(tenant)) {
     return ErrorResponse("INVALID_ARGUMENT",
-                         "stream_open: params.session must be a non-empty "
-                         "name without '/' or '..'");
+                         "stream_open: params.session (and params.tenant, if "
+                         "set) must be non-empty names without '/', '..' or "
+                         "'@'");
   }
-  // Build the detector before the session exists: the fresh session is not
-  // yet published in sessions_, but its detector member is still guarded, so
-  // installation below happens under the (uncontended) session mutex.
-  std::unique_ptr<StreamingPeriodDetector> detector;
-  if (params.GetBool("resume", false)) {
+  if (queue_.draining() || draining_) {
+    return ErrorResponse("OVERLOADED", "daemon is draining for shutdown");
+  }
+  const bool resume = params.GetBool("resume", false);
+  StreamingPeriodDetector::Options options;
+  std::size_t alphabet_size = 0;
+  if (resume) {
     if (config_.checkpoint_dir.empty()) {
       return ErrorResponse("INVALID_ARGUMENT",
                            "stream_open: resume requires --checkpoint_dir");
     }
-    Result<StreamingPeriodDetector> restored =
-        LoadDetectorCheckpoint(CheckpointPath(name));
-    if (!restored.ok()) return StatusToResponse(restored.status());
-    detector = std::make_unique<StreamingPeriodDetector>(
-        std::move(restored.value()));
   } else {
-    const auto max_period = static_cast<std::size_t>(
+    options.max_period = static_cast<std::size_t>(
         params.GetNumber("max_period", 0));
-    const auto alphabet_size = static_cast<std::size_t>(
+    options.block_size = static_cast<std::size_t>(
+        params.GetNumber("block_size", 0));
+    alphabet_size = static_cast<std::size_t>(
         params.GetNumber("alphabet_size", 0));
-    if (max_period == 0 || alphabet_size == 0) {
+    if (options.max_period == 0 || alphabet_size == 0) {
       return ErrorResponse("INVALID_ARGUMENT",
                            "stream_open: params.max_period and "
                            "params.alphabet_size are required (or resume)");
     }
-    StreamingPeriodDetector::Options options;
-    options.max_period = max_period;
-    options.block_size = static_cast<std::size_t>(
-        params.GetNumber("block_size", 0));
-    Result<StreamingPeriodDetector> created = StreamingPeriodDetector::Create(
-        Alphabet::Latin(alphabet_size), options);
-    if (!created.ok()) return StatusToResponse(created.status());
-    detector = std::make_unique<StreamingPeriodDetector>(
-        std::move(created.value()));
   }
-  const std::size_t restored_size = detector->size();
-  auto session = std::make_shared<StreamSession>();
-  {
-    util::MutexLock lock(&session->mutex);
-    session->detector = std::move(detector);
-  }
-  {
-    util::MutexLock lock(&sessions_mutex_);
-    if (queue_.draining()) {
-      return ErrorResponse("OVERLOADED", "daemon is draining for shutdown");
+  SessionTable::Rejection rejection;
+  const Result<SessionTable::OpenResult> opened =
+      table_.Open(tenant, name, alphabet_size, options, resume, &rejection);
+  if (!opened.ok()) {
+    if (opened.status().IsInvalidArgument() && !resume &&
+        table_.Contains(tenant, name)) {
+      return ErrorResponse("INVALID_ARGUMENT", "stream_open: session '" +
+                                                   name +
+                                                   "' is already open");
     }
-    const auto [it, inserted] = sessions_.emplace(name, std::move(session));
-    if (!inserted) {
-      return ErrorResponse("INVALID_ARGUMENT",
-                           "stream_open: session '" + name +
-                               "' is already open");
-    }
+    return TableStatusToResponse(opened.status(), rejection);
   }
+  ++CountersFor(tenant).opens;
   JsonValue::Object result;
   result["session"] = name;
-  result["size"] = restored_size;
+  result["tenant"] = tenant;
+  result["size"] = opened.value().size;
   return OkResponse(std::move(result));
-}
-
-std::shared_ptr<StreamSession> Daemon::FindSession(const std::string& name) {
-  util::MutexLock lock(&sessions_mutex_);
-  const auto it = sessions_.find(name);
-  return it == sessions_.end() ? nullptr : it->second;
 }
 
 JsonValue Daemon::HandleStreamFeed(const JsonValue& params) {
   const std::string name = params.GetString("session", "");
+  const std::string tenant = RequestTenant(params);
   const std::string symbols = params.GetString("symbols", "");
-  std::shared_ptr<StreamSession> session =
-      FindSession(name);
-  if (session == nullptr) {
-    return ErrorResponse("NOT_FOUND", "no open session '" + name + "'");
+  SessionTable::Rejection rejection;
+  Result<SessionTable::Handle> handle =
+      table_.Acquire(tenant, name, &rejection);
+  if (!handle.ok()) {
+    if (handle.status().IsNotFound()) {
+      return ErrorResponse("NOT_FOUND", "no open session '" + name + "'");
+    }
+    return TableStatusToResponse(handle.status(), rejection);
   }
-  util::MutexLock lock(&session->mutex);
-  const Alphabet& alphabet = session->detector->alphabet();
+  StreamingPeriodDetector* detector = handle.value().detector();
+  const Alphabet& alphabet = detector->alphabet();
   for (std::size_t i = 0; i < symbols.size(); ++i) {
     const Result<SymbolId> id =
         alphabet.Find(std::string(1, symbols[i]));
@@ -549,19 +880,23 @@ JsonValue Daemon::HandleStreamFeed(const JsonValue& params) {
                                " is outside the session alphabet (symbols "
                                "before it were consumed)");
     }
-    session->detector->Append(id.value());
+    detector->Append(id.value());
   }
+  TenantCounters& counters = CountersFor(tenant);
+  ++counters.feeds;
+  counters.symbols += symbols.size();
   JsonValue::Object result;
   result["consumed"] = symbols.size();
-  result["size"] = session->detector->size();
+  result["size"] = detector->size();
   return OkResponse(std::move(result));
 }
 
-JsonValue Daemon::HandleStreamDetect(const JsonValue& params) {
+std::optional<JsonValue> Daemon::HandleStreamDetect(
+    const std::shared_ptr<Connection>& conn, const JsonValue& params,
+    const JsonValue* id) {
   const std::string name = params.GetString("session", "");
-  std::shared_ptr<StreamSession> session =
-      FindSession(name);
-  if (session == nullptr) {
+  const std::string tenant = RequestTenant(params);
+  if (!table_.Contains(tenant, name)) {
     return ErrorResponse("NOT_FOUND", "no open session '" + name + "'");
   }
   const double threshold = params.GetNumber("threshold", 0.5);
@@ -569,123 +904,101 @@ JsonValue Daemon::HandleStreamDetect(const JsonValue& params) {
       params.GetNumber("min_period", 1));
   const auto min_pairs = static_cast<std::size_t>(
       params.GetNumber("min_pairs", 1));
-  return RunQueued(ParsePriority(params), [session, threshold, min_period,
-                                           min_pairs]() {
-    util::MutexLock lock(&session->mutex);
+  ++CountersFor(tenant).detects;
+  return StartQueued(conn, ParsePriority(params), [this, tenant, name,
+                                                   threshold, min_period,
+                                                   min_pairs]() {
+    // Acquire on the worker: an evicted session thaws here, off the loop
+    // thread, so the file read never stalls other connections.
+    SessionTable::Rejection rejection;
+    Result<SessionTable::Handle> handle =
+        table_.Acquire(tenant, name, &rejection);
+    if (!handle.ok()) {
+      if (handle.status().IsNotFound()) {
+        return ErrorResponse("NOT_FOUND", "no open session '" + name + "'");
+      }
+      return TableStatusToResponse(handle.status(), rejection);
+    }
+    StreamingPeriodDetector* detector = handle.value().detector();
     const PeriodicityTable table =
-        session->detector->Detect(threshold, min_period, min_pairs);
+        detector->Detect(threshold, min_period, min_pairs);
     JsonValue response = TableToJson(table, 0);
-    response.mutable_object()["size"] = session->detector->size();
+    response.mutable_object()["size"] = detector->size();
     return OkResponse(std::move(response.mutable_object()));
-  });
+  }, id);
 }
 
 JsonValue Daemon::HandleStreamClose(const JsonValue& params) {
   const std::string name = params.GetString("session", "");
-  std::shared_ptr<StreamSession> session;
-  {
-    util::MutexLock lock(&sessions_mutex_);
-    const auto it = sessions_.find(name);
-    if (it == sessions_.end()) {
+  const std::string tenant = RequestTenant(params);
+  const bool checkpoint = params.GetBool("checkpoint", false);
+  if (checkpoint && config_.checkpoint_dir.empty()) {
+    if (!table_.Contains(tenant, name)) {
       return ErrorResponse("NOT_FOUND", "no open session '" + name + "'");
     }
-    session = std::move(it->second);
-    sessions_.erase(it);
+    return ErrorResponse("INVALID_ARGUMENT",
+                         "stream_close: checkpoint requires "
+                         "--checkpoint_dir");
   }
+  const Result<SessionTable::CloseResult> closed =
+      table_.Close(tenant, name, checkpoint);
+  if (!closed.ok()) {
+    if (closed.status().IsNotFound()) {
+      return ErrorResponse("NOT_FOUND", "no open session '" + name + "'");
+    }
+    return StatusToResponse(closed.status());
+  }
+  ++CountersFor(tenant).closes;
   JsonValue::Object result;
   result["session"] = name;
-  util::MutexLock lock(&session->mutex);
-  if (params.GetBool("checkpoint", false)) {
-    if (config_.checkpoint_dir.empty()) {
-      return ErrorResponse("INVALID_ARGUMENT",
-                           "stream_close: checkpoint requires "
-                           "--checkpoint_dir");
-    }
-    if (Status saved =
-            SaveCheckpoint(*session->detector, CheckpointPath(name));
-        !saved.ok()) {
-      return StatusToResponse(saved);
-    }
-    result["checkpoint"] = CheckpointPath(name);
+  result["tenant"] = tenant;
+  result["size"] = closed.value().size;
+  if (!closed.value().checkpoint_path.empty()) {
+    result["checkpoint"] = closed.value().checkpoint_path;
   }
-  result["size"] = session->detector->size();
   return OkResponse(std::move(result));
 }
 
-JsonValue Daemon::Dispatch(const JsonValue& request) {
-  if (!request.is_object()) {
-    return ErrorResponse("INVALID_ARGUMENT", "request must be a JSON object");
-  }
-  const std::string method = request.GetString("method", "");
-  const JsonValue* params_ptr = request.Find("params");
-  const JsonValue params =
-      params_ptr != nullptr ? *params_ptr : JsonValue(JsonValue::Object{});
+// --- Drain and watchdog ----------------------------------------------------
 
-  JsonValue response;
-  if (method == "ping") {
-    response = HandlePing();
-  } else if (method == "stats") {
-    response = HandleStats();
-  } else if (method == "sleep") {
-    response = HandleSleep(params);
-  } else if (method == "mine") {
-    response = HandleMine(params);
-  } else if (method == "stream_open") {
-    response = HandleStreamOpen(params);
-  } else if (method == "stream_feed") {
-    response = HandleStreamFeed(params);
-  } else if (method == "stream_detect") {
-    response = HandleStreamDetect(params);
-  } else if (method == "stream_close") {
-    response = HandleStreamClose(params);
-  } else {
-    response = ErrorResponse("INVALID_ARGUMENT",
-                             "unknown method '" + method + "'");
-  }
-  // Echo the request id so clients can pipeline.
-  if (const JsonValue* id = request.Find("id"); id != nullptr) {
-    response.mutable_object()["id"] = *id;
-  }
-  return response;
+void Daemon::BeginDrain() {
+  if (draining_) return;
+  draining_ = true;
+  std::fprintf(stderr, "periodicad: draining...\n");
+  // Stop accepting: no new connections, and the queue rejects new work with
+  // draining=true for anything that still races in.
+  loop_->Remove(listener_.get());
+  listener_.Close();
+  ::unlink(config_.socket_path.c_str());
+  // Drain the queue off-loop: in-flight jobs finish and their completions
+  // flush through the still-running loop; the final posted task fires once
+  // every completion is already behind it (Post order is submission order).
+  drain_thread_ = std::thread([this] {
+    queue_.Drain();
+    loop_->Post([this] {
+      drain_queue_done_ = true;
+      MaybeFinishDrain();
+    });
+  });
+  MaybeFinishDrain();
 }
 
-void Daemon::ServeConnection(FdHandle fd) {
-  {
-    util::MutexLock lock(&threads_mutex_);
-    connection_fds_.insert(fd.get());
+void Daemon::MaybeFinishDrain() {
+  if (!draining_ || !drain_queue_done_ || drain_done_) return;
+  for (const auto& [fd, conn] : connections_) {
+    if (!conn->out.empty()) return;  // a response is still flushing
   }
-  const auto unregister = [this, raw = fd.get()] {
-    util::MutexLock lock(&threads_mutex_);
-    connection_fds_.erase(raw);
-  };
-  LineReader reader(fd.get(),
-                    static_cast<std::size_t>(config_.max_request_bytes));
-  while (!g_shutdown.load(std::memory_order_relaxed)) {
-    if (Status injected = util::FaultInjector::Check("server/read");
-        !injected.ok()) {
-      // An injected read failure behaves like a broken peer: drop the
-      // connection. The client sees EOF and retries; no partial state leaks.
-      break;
-    }
-    Result<std::string> line = reader.Next();
-    if (!line.ok()) break;  // EOF or read error: connection is done
-    if (line.value().empty()) continue;
-    JsonValue response;
-    Result<JsonValue> request = JsonValue::Parse(line.value());
-    if (!request.ok()) {
-      response = ErrorResponse("INVALID_ARGUMENT",
-                               "bad request JSON: " +
-                                   request.status().message());
-    } else {
-      response = Dispatch(request.value());
-    }
-    if (Status injected = util::FaultInjector::Check("server/write");
-        !injected.ok()) {
-      break;
-    }
-    if (!SendLine(fd.get(), response.Dump()).ok()) break;
+  drain_done_ = true;
+  CheckpointSessionsForDrain();
+  loop_->Stop();
+}
+
+void Daemon::CheckpointSessionsForDrain() {
+  std::vector<std::string> log;
+  table_.CheckpointAllForDrain(&log);
+  for (const std::string& line : log) {
+    std::fprintf(stderr, "periodicad: %s\n", line.c_str());
   }
-  unregister();
 }
 
 void Daemon::WatchdogLoop() {
@@ -714,94 +1027,50 @@ void Daemon::WatchdogLoop() {
   }
 }
 
-void Daemon::CheckpointSessionsForDrain() {
-  std::map<std::string, std::shared_ptr<StreamSession>> sessions;
-  {
-    util::MutexLock lock(&sessions_mutex_);
-    sessions.swap(sessions_);
-  }
-  for (auto& [name, session] : sessions) {
-    util::MutexLock lock(&session->mutex);
-    if (config_.checkpoint_dir.empty()) {
-      std::fprintf(stderr,
-                   "periodicad: dropping session '%s' (%zu symbols): no "
-                   "--checkpoint_dir\n",
-                   name.c_str(), session->detector->size());
-      continue;
-    }
-    const Status saved =
-        SaveCheckpoint(*session->detector, CheckpointPath(name));
-    if (saved.ok()) {
-      std::fprintf(stderr, "periodicad: checkpointed session '%s' to %s\n",
-                   name.c_str(), CheckpointPath(name).c_str());
-    } else {
-      std::fprintf(stderr,
-                   "periodicad: FAILED to checkpoint session '%s': %s\n",
-                   name.c_str(), saved.ToString().c_str());
-    }
-  }
-}
-
 Status Daemon::Run() {
+  Result<std::unique_ptr<EventLoop>> loop = EventLoop::Create();
+  PERIODICA_RETURN_NOT_OK(loop.status());
+  loop_ = std::move(loop.value());
+
   Result<FdHandle> listener = ListenUnix(config_.socket_path);
   PERIODICA_RETURN_NOT_OK(listener.status());
+  listener_ = std::move(listener.value());
+  PERIODICA_RETURN_NOT_OK(SetNonBlocking(listener_.get()));
+  PERIODICA_RETURN_NOT_OK(SetNonBlocking(g_wake_pipe[0]));
+
+  EventLoop::Handler accept_handler;
+  accept_handler.on_readable = [this] { OnAcceptable(); };
+  PERIODICA_RETURN_NOT_OK(loop_->Add(listener_.get(), /*want_read=*/true,
+                                     /*want_write=*/false,
+                                     std::move(accept_handler)));
+  EventLoop::Handler wake_handler;
+  wake_handler.on_readable = [this] { OnWakePipe(); };
+  PERIODICA_RETURN_NOT_OK(loop_->Add(g_wake_pipe[0], /*want_read=*/true,
+                                     /*want_write=*/false,
+                                     std::move(wake_handler)));
+
   std::fprintf(stderr, "periodicad: serving on %s (%zu workers, depth %lld)\n",
                config_.socket_path.c_str(), queue_.num_workers(),
                static_cast<long long>(config_.max_queue_depth));
 
   std::thread watchdog([this] { WatchdogLoop(); });
 
-  while (!g_shutdown.load(std::memory_order_relaxed)) {
-    // Wait for a connection or the shutdown pipe.
-    fd_set fds;
-    FD_ZERO(&fds);
-    FD_SET(listener.value().get(), &fds);
-    FD_SET(g_wake_pipe[0], &fds);
-    const int nfds = std::max(listener.value().get(), g_wake_pipe[0]) + 1;
-    const int ready = ::select(nfds, &fds, nullptr, nullptr, nullptr);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (g_shutdown.load(std::memory_order_relaxed)) break;
-    if (!FD_ISSET(listener.value().get(), &fds)) continue;
-    if (Status injected = util::FaultInjector::Check("server/accept");
-        !injected.ok()) {
-      // Injected accept failure: take and drop the pending connection, as a
-      // transient accept(2) error would.
-      const int dropped = ::accept(listener.value().get(), nullptr, nullptr);
-      if (dropped >= 0) ::close(dropped);
-      continue;
-    }
-    const int client = ::accept(listener.value().get(), nullptr, nullptr);
-    if (client < 0) continue;
-    util::MutexLock lock(&threads_mutex_);
-    connection_threads_.emplace_back(
-        [this, fd = FdHandle(client)]() mutable {
-          ServeConnection(std::move(fd));
-        });
-  }
+  // One thread multiplexes every connection; it returns after the drain
+  // sequence (BeginDrain -> queue drained -> responses flushed ->
+  // sessions checkpointed -> Stop).
+  const Status served = loop_->Run();
 
-  // Graceful drain: stop admitting (queue rejects with draining=true for
-  // any request that still races in), finish the backlog, checkpoint every
-  // open streaming session, then leave.
-  std::fprintf(stderr, "periodicad: draining...\n");
-  listener.value().Close();
-  ::unlink(config_.socket_path.c_str());
-  queue_.Drain();  // in-flight jobs finish; their responses are delivered
-  CheckpointSessionsForDrain();
-  {
-    // Unblock connection threads parked in recv, then join them. The joins
-    // run outside the lock: exiting threads need it to unregister.
-    std::vector<std::thread> threads;
-    {
-      util::MutexLock lock(&threads_mutex_);
-      for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
-      threads.swap(connection_threads_);
-    }
-    for (std::thread& thread : threads) thread.join();
-  }
+  g_shutdown.store(true, std::memory_order_relaxed);
+  if (drain_thread_.joinable()) drain_thread_.join();
   watchdog.join();
+  // Close every remaining connection; their pending output (if any) was
+  // already flushed by MaybeFinishDrain's gating.
+  for (auto& [fd, conn] : connections_) {
+    conn->closed = true;
+    loop_->Remove(fd);
+  }
+  connections_.clear();
+  PERIODICA_RETURN_NOT_OK(served);
   std::fprintf(stderr, "periodicad: drained, exiting\n");
   return Status::OK();
 }
@@ -810,8 +1079,8 @@ Status Daemon::Run() {
 
 /// Parses "--faults site:nth[:repeat],..." into armed ScopedFaults that live
 /// for the process lifetime (the soak's knob for exercising the
-/// server/accept, server/read, server/write and job_queue/enqueue sites in
-/// the shipped binary).
+/// server/accept, server/read, server/write, event_loop/poll and
+/// job_queue/enqueue sites in the shipped binary).
 Status ArmFaults(const std::string& spec,
                  std::vector<std::unique_ptr<util::ScopedFault>>* armed) {
   std::size_t start = 0;
@@ -852,8 +1121,9 @@ int Main(int argc, char** argv) {
   flags.AddString("socket", &config.socket_path,
                   "Unix socket path to serve on (required)");
   flags.AddString("checkpoint_dir", &config.checkpoint_dir,
-                  "directory for streaming-session checkpoints (drain "
-                  "target; empty disables checkpointing)");
+                  "directory for streaming-session checkpoints (drain and "
+                  "eviction target; empty disables checkpointing AND "
+                  "quota eviction)");
   flags.AddInt64("workers", &config.workers,
                  "mining worker threads (0 = hardware concurrency)");
   flags.AddInt64("max_queue_depth", &config.max_queue_depth,
@@ -865,6 +1135,17 @@ int Main(int argc, char** argv) {
   flags.AddInt64("request_budget_bytes", &config.request_budget_bytes,
                  "per-request memory cap; requests may lower but not raise "
                  "it (0 = unlimited)");
+  flags.AddInt64("session_budget_bytes", &config.session_budget_bytes,
+                 "resident streaming-session bytes across all tenants; past "
+                 "it idle sessions evict to checkpoints (0 = unlimited)");
+  flags.AddInt64("tenant_budget_bytes", &config.tenant_budget_bytes,
+                 "resident streaming-session bytes per tenant (0 = "
+                 "unlimited)");
+  flags.AddInt64("max_sessions_per_tenant", &config.max_sessions_per_tenant,
+                 "open sessions (resident + evicted) per tenant before "
+                 "QUOTA_EXCEEDED (0 = no cap)");
+  flags.AddInt64("quota_retry_after_ms", &config.quota_retry_after_ms,
+                 "retry hint carried in QUOTA_EXCEEDED rejections");
   flags.AddInt64("default_deadline_ms", &config.default_deadline_ms,
                  "deadline for requests that do not set one (0 = none)");
   flags.AddInt64("wedge_timeout_ms", &config.wedge_timeout_ms,
@@ -880,9 +1161,11 @@ int Main(int argc, char** argv) {
   flags.SetEpilog(
       "Serves newline-delimited JSON requests over a Unix socket; see\n"
       "docs/SERVING.md for the protocol, overload semantics and capacity\n"
-      "planning. SIGTERM drains gracefully: admission stops, in-flight\n"
-      "jobs finish, streaming sessions checkpoint to --checkpoint_dir,\n"
-      "exit code 0.");
+      "planning. One epoll event loop multiplexes every connection;\n"
+      "streaming sessions are multi-tenant with per-tenant memory quotas\n"
+      "(idle sessions evict to --checkpoint_dir and thaw on next use).\n"
+      "SIGTERM drains gracefully: admission stops, in-flight jobs finish,\n"
+      "streaming sessions checkpoint to --checkpoint_dir, exit code 0.");
   if (const Status status = flags.Parse(argc, argv); !status.ok()) {
     std::fprintf(stderr, "periodicad: %s\n%s", status.ToString().c_str(),
                  flags.Usage().c_str());
@@ -892,6 +1175,17 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "periodicad: --socket is required\n%s",
                  flags.Usage().c_str());
     return 2;
+  }
+  if (!config.checkpoint_dir.empty()) {
+    // Eviction and drain both write here; a missing directory would
+    // silently turn every eviction into a quota rejection.
+    std::error_code error;
+    std::filesystem::create_directories(config.checkpoint_dir, error);
+    if (error) {
+      std::fprintf(stderr, "periodicad: cannot create --checkpoint_dir %s: %s\n",
+                   config.checkpoint_dir.c_str(), error.message().c_str());
+      return 2;
+    }
   }
 
   std::vector<std::unique_ptr<util::ScopedFault>> armed_faults;

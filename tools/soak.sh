@@ -1,37 +1,50 @@
 #!/usr/bin/env bash
 # tools/soak.sh — serving-layer soak test (docs/ROBUSTNESS.md, docs/SERVING.md).
 #
-# Storms periodicad with the closed-loop load generator while fault injection
-# drops an accept, an enqueue, a read and a write mid-run, samples the
-# daemon's resident set once a second, and finishes with the nastiest
-# composite: SIGTERM while load is still arriving.
+# Two stages, each against its own deliberately undersized daemon:
+#
+#   Stage 1 (overload + drain): storms periodicad with the closed-loop mine
+#   load generator while fault injection drops an accept, an enqueue, a read
+#   and a write mid-run, samples the daemon's resident set once a second,
+#   and finishes with the nastiest composite: SIGTERM while load is still
+#   arriving.
+#
+#   Stage 2 (multi-tenant sessions): runs the session-lifecycle load
+#   (open -> feed -> detect -> close across many tenants) against a daemon
+#   whose tenant budgets force continuous eviction/thaw, with faults armed
+#   on server/accept, server/read, server/write and event_loop/poll.
 #
 #   tools/soak.sh [--build-dir DIR] [--seconds N] [--concurrency N]
-#                 [--rss-limit-mb N]
+#                 [--rss-limit-mb N] [--sessions N] [--tenants N]
 #
-# Asserts, in order:
+# Asserts, per stage:
 #   1. zero crashes — the daemon stays up through the whole load phase;
 #   2. every response the load generator saw was structured (ok / OVERLOADED
-#      / RESOURCE_EXHAUSTED / partial; dropped connections are expected,
+#      / QUOTA_EXCEEDED / partial; dropped connections are expected,
 #      malformed lines are not): periodica_load exits 0;
 #   3. bounded RSS — the daemon's peak resident set stays under
 #      --rss-limit-mb despite the sustained request stream;
-#   4. clean drain — SIGTERM mid-load stops admission, finishes in-flight
-#      work, and the daemon exits 0.
+#   4. clean drain — SIGTERM stops admission, finishes in-flight work,
+#      checkpoints open sessions, and the daemon exits 0.
 #
-# Exits 0 iff all four hold; prints the failing assertion otherwise.
+# Exits 0 iff all hold for both stages; prints the failing assertion
+# otherwise.
 set -euo pipefail
 
 BUILD_DIR=build/release
 DURATION=60
 CONCURRENCY=8
 RSS_LIMIT_MB=512
+SESSIONS=2000
+TENANTS=16
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --build-dir) BUILD_DIR=$2; shift 2 ;;
     --seconds) DURATION=$2; shift 2 ;;
     --concurrency) CONCURRENCY=$2; shift 2 ;;
     --rss-limit-mb) RSS_LIMIT_MB=$2; shift 2 ;;
+    --sessions) SESSIONS=$2; shift 2 ;;
+    --tenants) TENANTS=$2; shift 2 ;;
     *) echo "soak.sh: unknown argument '$1'" >&2; exit 2 ;;
   esac
 done
@@ -132,4 +145,102 @@ fi
 if [[ $FAILED -ne 0 ]]; then
   exit 1
 fi
-echo "soak.sh: PASS — zero crashes, structured responses, bounded RSS, clean drain"
+echo "soak.sh: stage 1 PASS — zero crashes, structured responses, bounded RSS, clean drain"
+
+# --- Stage 2: multi-tenant session soak -------------------------------------
+# A fresh daemon with tenant budgets small enough that the session load
+# churns through eviction/thaw continuously, and one injected fault on each
+# connection-facing site plus the event loop's poll itself (which must be
+# absorbed like EINTR). The tenant budget must bite even in the worst-case
+# schedule where the load's worker threads serialize (a real mode on
+# 1-core CI hosts: only one worker's session slice is resident at a time,
+# ~sessions/concurrency/tenants sessions per tenant at ~130 KiB each), so
+# it is sized well below one serialized slice, not just below the full
+# session count.
+SOCKET2=$WORK/soak2.sock
+"$DAEMON" --socket="$SOCKET2" --checkpoint_dir="$WORK/ckpt2" \
+  --workers=2 --max_queue_depth=64 --max_queue_latency_ms=5000 \
+  --session_budget_bytes=$((64 * 1024 * 1024)) \
+  --tenant_budget_bytes=$((1 * 1024 * 1024)) \
+  --wedge_timeout_ms=30000 \
+  --faults=server/accept:15,server/read:60,server/write:110,event_loop/poll:30 \
+  >"$WORK/daemon2.log" 2>&1 &
+DAEMON_PID=$!
+
+for _ in $(seq 1 100); do
+  [[ -S $SOCKET2 ]] && break
+  if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+    echo "soak.sh: FAIL — stage 2 daemon died during startup:" >&2
+    cat "$WORK/daemon2.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[[ -S $SOCKET2 ]] || { echo "soak.sh: FAIL — stage 2 socket never appeared" >&2; exit 1; }
+
+"$LOAD" --socket="$SOCKET2" --sessions="$SESSIONS" --tenants="$TENANTS" \
+  --concurrency="$CONCURRENCY" --feed_rounds=2 --feed_chunk=64 \
+  --detect_every=32 --max_period=16 \
+  >"$WORK/load2.json" 2>"$WORK/load2.log" &
+LOAD_PID=$!
+
+MAX_RSS2_KB=0
+while kill -0 "$LOAD_PID" 2>/dev/null; do
+  if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+    echo "soak.sh: FAIL — stage 2 daemon crashed under session load:" >&2
+    tail -20 "$WORK/daemon2.log" >&2
+    exit 1
+  fi
+  rss_kb=$(awk '/^VmRSS:/ {print $2}' "/proc/$DAEMON_PID/status" 2>/dev/null || echo 0)
+  [[ ${rss_kb:-0} -gt $MAX_RSS2_KB ]] && MAX_RSS2_KB=$rss_kb
+  sleep 0.5
+done
+LOAD_RC2=0
+wait "$LOAD_PID" || LOAD_RC2=$?
+LOAD_PID=""
+
+if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+  echo "soak.sh: FAIL — stage 2 daemon crashed before drain:" >&2
+  tail -20 "$WORK/daemon2.log" >&2
+  exit 1
+fi
+kill -TERM "$DAEMON_PID"
+DAEMON_RC2=0
+wait "$DAEMON_PID" || DAEMON_RC2=$?
+DAEMON_PID=""
+
+EVICTIONS=$(python3 -c 'import json,sys; print(int(json.load(open(sys.argv[1])).get("evictions", 0)))' \
+  "$WORK/load2.json" 2>/dev/null || echo 0)
+
+echo "soak.sh: stage 2 load summary: $(cat "$WORK/load2.json" 2>/dev/null || echo '(missing)')"
+echo "soak.sh: stage 2 daemon peak RSS: $((MAX_RSS2_KB / 1024)) MiB (limit ${RSS_LIMIT_MB} MiB)"
+echo "soak.sh: stage 2 daemon exit after SIGTERM: $DAEMON_RC2"
+
+if [[ $DAEMON_RC2 -ne 0 ]]; then
+  echo "soak.sh: FAIL — stage 2 SIGTERM drain exited $DAEMON_RC2, want 0:" >&2
+  tail -20 "$WORK/daemon2.log" >&2
+  FAILED=1
+fi
+if [[ $LOAD_RC2 -ne 0 ]]; then
+  echo "soak.sh: FAIL — stage 2 session load saw unexpected errors:" >&2
+  cat "$WORK/load2.json" "$WORK/load2.log" >&2 || true
+  FAILED=1
+fi
+if [[ $((MAX_RSS2_KB / 1024)) -ge $RSS_LIMIT_MB ]]; then
+  echo "soak.sh: FAIL — stage 2 peak RSS $((MAX_RSS2_KB / 1024)) MiB >= ${RSS_LIMIT_MB} MiB" >&2
+  FAILED=1
+fi
+if [[ $EVICTIONS -lt 1 ]]; then
+  echo "soak.sh: FAIL — stage 2 never evicted a session (budgets did not bite)" >&2
+  FAILED=1
+fi
+if grep -qE "Sanitizer|runtime error" "$WORK/daemon2.log"; then
+  echo "soak.sh: FAIL — sanitizer findings in the stage 2 daemon log:" >&2
+  grep -E "Sanitizer|runtime error" "$WORK/daemon2.log" >&2
+  FAILED=1
+fi
+
+if [[ $FAILED -ne 0 ]]; then
+  exit 1
+fi
+echo "soak.sh: PASS — both stages: zero crashes, structured responses, bounded RSS, clean drain"

@@ -1,17 +1,26 @@
 #ifndef PERIODICA_TOOLS_UNIX_SOCKET_H_
 #define PERIODICA_TOOLS_UNIX_SOCKET_H_
 
-// Small blocking Unix-domain-socket helpers shared by periodicad, its
-// client, the load generator and the end-to-end tests. Newline-delimited
-// messages (one JSON document per line, docs/SERVING.md); all functions
-// return Status instead of throwing, matching the library idiom.
+// Unix-domain-socket helpers shared by periodicad, its client, the load
+// generator and the end-to-end tests. Newline-delimited messages (one JSON
+// document per line, docs/SERVING.md); all functions return Status instead
+// of throwing, matching the library idiom.
+//
+// Two usage shapes share the same framing:
+//   - blocking callers (client, load generator, tests) use LineReader /
+//     SendLine, which retry EINTR and short reads/writes internally;
+//   - the event-loop daemon puts fds in non-blocking mode (SetNonBlocking)
+//     and composes LineBuffer with DrainReadable / SendSome, which stop at
+//     EAGAIN instead of blocking.
 
+#include <fcntl.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "periodica/util/result.h"
@@ -98,6 +107,16 @@ inline Result<FdHandle> ConnectUnix(const std::string& path) {
   return fd;
 }
 
+/// Switches `fd` to non-blocking mode (event-loop registration).
+inline Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Status::IOError("fcntl(O_NONBLOCK): " +
+                           std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
 /// Writes `line` plus a trailing newline, retrying on EINTR and partial
 /// writes.
 inline Status SendLine(int fd, const std::string& line) {
@@ -116,26 +135,107 @@ inline Status SendLine(int fd, const std::string& line) {
   return Status::OK();
 }
 
-/// Buffered newline-framed reader for one connection. `max_line` bounds a
-/// single message so a malicious or broken peer cannot balloon memory.
+/// Newline framing over externally fed bytes: the transport-independent
+/// core of LineReader, and the per-connection input state of the event-loop
+/// daemon (which feeds it whatever recv returned and pops complete lines).
+/// `max_line` bounds a single message so a malicious or broken peer cannot
+/// balloon memory; bytes arriving one at a time (short reads) frame
+/// identically to one big write.
+class LineBuffer {
+ public:
+  explicit LineBuffer(std::size_t max_line = 64u << 20)
+      : max_line_(max_line) {}
+
+  /// Appends raw bytes. Fails with IOError as soon as the unterminated tail
+  /// exceeds `max_line` (complete-but-unpopped lines never trip it).
+  Status Feed(const char* data, std::size_t size) {
+    buffer_.append(data, size);
+    if (buffer_.find('\n', searched_) == std::string::npos) {
+      // No newline anywhere: remember that so the next Feed/NextLine only
+      // scans fresh bytes (keeps pathological long lines O(n), not O(n^2)).
+      searched_ = buffer_.size();
+      if (buffer_.size() > max_line_) {
+        return Status::IOError("line exceeds " + std::to_string(max_line_) +
+                               " bytes");
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Pops the next complete line (without its newline), or nullopt when no
+  /// full line is buffered yet.
+  std::optional<std::string> NextLine() {
+    const std::size_t newline = buffer_.find('\n', searched_);
+    if (newline == std::string::npos) {
+      searched_ = buffer_.size();
+      return std::nullopt;
+    }
+    std::string line = buffer_.substr(0, newline);
+    buffer_.erase(0, newline + 1);
+    searched_ = 0;
+    return line;
+  }
+
+  /// True when a partial (unterminated) message is pending — EOF now means
+  /// the peer died mid-line.
+  [[nodiscard]] bool mid_line() const { return !buffer_.empty(); }
+  [[nodiscard]] std::size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  const std::size_t max_line_;
+  std::string buffer_;
+  std::size_t searched_ = 0;  ///< prefix known to contain no newline
+};
+
+/// Drains everything currently readable from non-blocking `fd` into
+/// `buffer`. Returns true on EOF (peer closed), false once the socket would
+/// block; IOError on a read failure or an oversized line.
+inline Result<bool> DrainReadable(int fd, LineBuffer* buffer) {
+  while (true) {
+    char chunk[16384];
+    const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
+      return Status::IOError("recv(): " + std::string(std::strerror(errno)));
+    }
+    if (got == 0) return true;
+    PERIODICA_RETURN_NOT_OK(buffer->Feed(chunk, static_cast<std::size_t>(got)));
+  }
+}
+
+/// Sends as much of `data` from `*offset` onward as non-blocking `fd`
+/// accepts, advancing `*offset` past what went out (short writes leave the
+/// remainder for the next writable event). Returns true when everything has
+/// been sent, false when the socket filled up.
+inline Result<bool> SendSome(int fd, const std::string& data,
+                             std::size_t* offset) {
+  while (*offset < data.size()) {
+    const ssize_t wrote = ::send(fd, data.data() + *offset,
+                                 data.size() - *offset, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
+      return Status::IOError("send(): " + std::string(std::strerror(errno)));
+    }
+    *offset += static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+/// Buffered newline-framed blocking reader for one connection (LineBuffer
+/// over blocking recv).
 class LineReader {
  public:
   explicit LineReader(int fd, std::size_t max_line = 64u << 20)
-      : fd_(fd), max_line_(max_line) {}
+      : fd_(fd), buffer_(max_line) {}
 
   /// Reads the next line (without the newline). NotFound signals clean EOF
   /// before any partial line; IOError a read failure or an oversized line.
   Result<std::string> Next() {
     while (true) {
-      const std::size_t newline = buffer_.find('\n');
-      if (newline != std::string::npos) {
-        std::string line = buffer_.substr(0, newline);
-        buffer_.erase(0, newline + 1);
-        return line;
-      }
-      if (buffer_.size() > max_line_) {
-        return Status::IOError("line exceeds " + std::to_string(max_line_) +
-                               " bytes");
+      if (std::optional<std::string> line = buffer_.NextLine()) {
+        return *std::move(line);
       }
       char chunk[4096];
       const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
@@ -145,19 +245,19 @@ class LineReader {
                                std::string(std::strerror(errno)));
       }
       if (got == 0) {
-        if (!buffer_.empty()) {
+        if (buffer_.mid_line()) {
           return Status::IOError("connection closed mid-line");
         }
         return Status::NotFound("end of stream");
       }
-      buffer_.append(chunk, static_cast<std::size_t>(got));
+      PERIODICA_RETURN_NOT_OK(
+          buffer_.Feed(chunk, static_cast<std::size_t>(got)));
     }
   }
 
  private:
   int fd_;
-  std::size_t max_line_;
-  std::string buffer_;
+  LineBuffer buffer_;
 };
 
 }  // namespace periodica::tools
