@@ -1,0 +1,362 @@
+// Per-stage performance harness for the mining pipeline: times the hot
+// stages separately — indicator construction, stage-1 per-symbol indicator
+// FFTs, stage-2 DynamicBitset phase refinement (once per available SIMD
+// kernel), and the chunked bounded-lag correlator — and emits
+// BENCH_stages.json, the baseline tools/perf_gate.py gates CI against.
+//
+//   stagebench                       # full scale: n = 2^18, max_period 4096
+//   stagebench --quick               # CI scale: n = 2^16, max_period 1024
+//   stagebench --json out.json       # write somewhere else ('' = skip)
+//
+// Methodology (docs/PERFORMANCE.md, "Measuring: stagebench"): every stage
+// runs once unrecorded to warm caches (FFT plans, twiddles, page faults),
+// then --repeats recorded runs; the JSON keeps every wall-clock sample plus
+// min/mean/max and the minimum cycle count (util::CycleCount — see
+// "cycle_counter" in the output for the unit). Stage-2 runs once per kernel
+// available on this host via the ScopedSimdKernelOverride test hook, with a
+// checksum asserting all kernels computed identical phase counts; the
+// scalar-vs-best ratio is reported as "stage2_simd_speedup".
+//
+// JSON schema: documented in bench/README.md ("BENCH_stages.json").
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "periodica/core/detail.h"
+#include "periodica/fft/chunked.h"
+#include "periodica/gen/synthetic.h"
+#include "periodica/util/bitset.h"
+#include "periodica/util/cpu_features.h"
+#include "periodica/util/stopwatch.h"
+#include "periodica/util/table.h"
+
+namespace periodica::bench {
+namespace {
+
+std::string FormatMs(double ms) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(3);
+  out << ms;
+  return out.str();
+}
+
+const char* ArchName() {
+#if defined(__x86_64__)
+  return "x86_64";
+#elif defined(__aarch64__)
+  return "aarch64";
+#else
+  return "unknown";
+#endif
+}
+
+/// One timed stage: every recorded wall sample plus the minimum cycle count.
+struct StageResult {
+  std::string stage;
+  std::string kernel;  // "default" when the stage does not dispatch on SIMD
+  std::vector<double> samples_ms;
+  std::uint64_t cycles_min = 0;
+
+  [[nodiscard]] double MinMs() const {
+    return *std::min_element(samples_ms.begin(), samples_ms.end());
+  }
+  [[nodiscard]] double MeanMs() const {
+    return std::accumulate(samples_ms.begin(), samples_ms.end(), 0.0) /
+           static_cast<double>(samples_ms.size());
+  }
+  [[nodiscard]] double MaxMs() const {
+    return *std::max_element(samples_ms.begin(), samples_ms.end());
+  }
+};
+
+/// Runs `body` once unrecorded (warm-up) and `repeats` recorded times.
+template <typename Body>
+StageResult TimeStage(const std::string& stage, const std::string& kernel,
+                      std::int64_t repeats, Body&& body) {
+  StageResult result;
+  result.stage = stage;
+  result.kernel = kernel;
+  result.cycles_min = std::numeric_limits<std::uint64_t>::max();
+  body();  // warm-up: plans, twiddles, and page faults land here
+  for (std::int64_t rep = 0; rep < repeats; ++rep) {
+    const std::uint64_t cycles_begin = util::CycleCount();
+    Stopwatch watch;
+    body();
+    result.samples_ms.push_back(watch.ElapsedSeconds() * 1000.0);
+    const std::uint64_t cycles = util::CycleCount() - cycles_begin;
+    result.cycles_min = std::min(result.cycles_min, cycles);
+  }
+  return result;
+}
+
+struct Candidate {
+  std::size_t period;
+  SymbolId symbol;
+  std::uint64_t matches;
+};
+
+int Run(int argc, char** argv) {
+  std::int64_t n = std::int64_t{1} << 18;
+  // Default sigma 32: the paper's target regime is obscure patterns — rare
+  // symbols over a sizeable alphabet — which makes the stage-2 match masks
+  // sparse (about one match per 16 words here). Stage-2 SIMD gains are
+  // density-dependent; see docs/PERFORMANCE.md for the dense-regime
+  // (--sigma 8) numbers.
+  std::int64_t sigma = 32;
+  std::int64_t period = 25;
+  std::int64_t max_period = 4096;
+  std::int64_t repeats = 5;
+  double threshold = 0.3;
+  bool quick = false;
+  std::string json = "BENCH_stages.json";
+  FlagSet flags("stagebench");
+  flags.AddInt64("n", &n, "series length (default 2^18)");
+  flags.AddInt64("sigma", &sigma,
+                 "alphabet size (controls stage-2 match density)");
+  flags.AddInt64("period", &period, "embedded period of the synthetic input");
+  flags.AddInt64("max_period", &max_period, "largest period mined");
+  flags.AddInt64("repeats", &repeats, "recorded runs per stage (min is kept)");
+  flags.AddDouble("threshold", &threshold,
+                  "pre-filter threshold deciding the stage-2 candidate set");
+  flags.AddBool("quick", &quick,
+                "CI scale: n = 2^16, max_period = 1024, repeats = 3 "
+                "(overrides --n/--max_period/--repeats)");
+  flags.AddString("json", &json,
+                  "write machine-readable results here ('' = skip)");
+  PERIODICA_CHECK_OK(flags.Parse(argc, argv));
+  if (quick) {
+    n = std::int64_t{1} << 16;
+    max_period = 1024;
+    repeats = 3;
+  }
+
+  // Same synthetic input family as micro_parallel: a planted period with 10%
+  // replacement noise, fixed seeds, so numbers are comparable run to run.
+  SyntheticSpec spec;
+  spec.length = static_cast<std::size_t>(n);
+  spec.alphabet_size = static_cast<std::size_t>(sigma);
+  spec.period = static_cast<std::size_t>(period);
+  spec.seed = 42;
+  const SymbolSeries series =
+      ApplyNoise(GeneratePerfect(spec).ValueOrDie(),
+                 NoiseSpec::Replacement(0.1, /*seed=*/9))
+          .ValueOrDie();
+  const std::size_t length = series.size();
+  const std::size_t max_lag =
+      std::min(static_cast<std::size_t>(max_period), length - 1);
+
+  std::cout << "stagebench: n = " << length << ", sigma = " << sigma
+            << ", period = " << period << ", max_period = " << max_period
+            << ", threshold = " << threshold << ", repeats = " << repeats
+            << (quick ? " (--quick)" : "") << "\n"
+            << "host: arch = " << ArchName() << ", simd = "
+            << util::SimdKernelName(util::BestSimdKernel())
+            << ", cycle counter = " << util::CycleCounterName()
+            << ", hardware threads = "
+            << std::thread::hardware_concurrency() << "\n\n";
+
+  std::vector<StageResult> results;
+
+  // --- Stage 0: indicator construction (the miner's one pass). -----------
+  results.push_back(TimeStage("indicator_build", "default", repeats, [&] {
+    const FftConvolutionMiner built(series);
+    PERIODICA_CHECK(built.size() == length);
+  }));
+
+  // The miner every later stage reads from (indicators built once, outside
+  // the timed regions).
+  const FftConvolutionMiner miner(series);
+
+  // --- Stage 1: per-symbol indicator FFT autocorrelations. ---------------
+  std::vector<std::vector<std::uint64_t>> match_counts(
+      static_cast<std::size_t>(sigma));
+  results.push_back(TimeStage("stage1_symbol_fft", "default", repeats, [&] {
+    for (std::size_t k = 0; k < static_cast<std::size_t>(sigma); ++k) {
+      match_counts[k] = miner.MatchCounts(static_cast<SymbolId>(k), max_lag);
+    }
+  }));
+
+  // Candidate derivation: exactly the Mine() lossless aggregate pre-filter
+  // (counts[p] != 0, enough repetitions for min_pairs = 1, and the
+  // threshold * MinPairCount cut), so stage 2 below refines the same
+  // (period, symbol) set a real --threshold mine would.
+  std::vector<Candidate> candidates;
+  for (std::size_t k = 0; k < match_counts.size(); ++k) {
+    const std::vector<std::uint64_t>& counts = match_counts[k];
+    for (std::size_t p = 1; p < counts.size(); ++p) {
+      if (counts[p] == 0) continue;
+      if ((length + p - 1) / p - 1 < 1) continue;
+      const double min_pairs =
+          static_cast<double>(internal::MinPairCount(length, p));
+      if (static_cast<double>(counts[p]) + 1e-9 < threshold * min_pairs) {
+        continue;
+      }
+      candidates.push_back(Candidate{p, static_cast<SymbolId>(k), counts[p]});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return std::tie(a.period, a.symbol) <
+                     std::tie(b.period, b.symbol);
+            });
+
+  // Per-symbol indicator bitsets for the refinement loop (same content the
+  // miner holds internally).
+  std::vector<DynamicBitset> indicators(
+      static_cast<std::size_t>(sigma), DynamicBitset(length));
+  for (std::size_t i = 0; i < length; ++i) {
+    indicators[series[i]].Set(i);
+  }
+
+  // --- Stage 2: phase refinement, once per available SIMD kernel. --------
+  // The work per candidate mirrors Mine()'s stage 2: collect the matching
+  // positions with CollectAndShifted, then split them into per-phase counts
+  // with counting buckets. The checksum folds every (phase, count) pair, so
+  // a kernel that produced different positions — or a different order —
+  // cannot go unnoticed.
+  int num_kernels = 0;
+  const util::SimdKernel* kernels = util::AvailableSimdKernels(&num_kernels);
+  std::uint64_t reference_checksum = 0;
+  bool have_reference = false;
+  double stage2_scalar_min_ms = 0.0;
+  double stage2_best_min_ms = 0.0;
+  for (int ki = 0; ki < num_kernels; ++ki) {
+    const util::SimdKernel kernel = kernels[ki];
+    const util::ScopedSimdKernelOverride forced(kernel);
+    std::uint64_t checksum = 0;
+    std::vector<std::size_t> positions;
+    std::vector<std::uint64_t> phase_counts;
+    StageResult timed = TimeStage(
+        "stage2_phase_refine", util::SimdKernelName(kernel), repeats, [&] {
+          checksum = 0;
+          for (const Candidate& candidate : candidates) {
+            const std::size_t p = candidate.period;
+            const DynamicBitset& indicator = indicators[candidate.symbol];
+            positions.clear();
+            indicator.CollectAndShifted(indicator, p, &positions);
+            // Incremental phase tracking, mirroring Mine()'s stage 2
+            // (positions are ascending, so no per-position modulo).
+            phase_counts.assign(p, 0);
+            std::size_t base = 0;
+            for (const std::size_t i : positions) {
+              if (i - base >= p) {
+                base = i - base >= 2 * p ? i - (i % p) : base + p;
+              }
+              ++phase_counts[i - base];
+            }
+            for (std::size_t phase = 0; phase < p; ++phase) {
+              if (phase_counts[phase] == 0) continue;
+              checksum = checksum * 1000003u +
+                         static_cast<std::uint64_t>(phase + 1) * 31u +
+                         phase_counts[phase];
+            }
+          }
+        });
+    if (!have_reference) {
+      reference_checksum = checksum;
+      have_reference = true;
+    }
+    PERIODICA_CHECK(checksum == reference_checksum)
+        << "kernel " << util::SimdKernelName(kernel)
+        << " produced different phase counts than "
+        << util::SimdKernelName(kernels[0]);
+    if (kernel == util::SimdKernel::kScalar) {
+      stage2_scalar_min_ms = timed.MinMs();
+      if (stage2_best_min_ms == 0.0) stage2_best_min_ms = timed.MinMs();
+    } else {
+      stage2_best_min_ms = timed.MinMs();
+    }
+    results.push_back(std::move(timed));
+  }
+  const double stage2_simd_speedup =
+      stage2_best_min_ms > 0.0 ? stage2_scalar_min_ms / stage2_best_min_ms
+                               : 1.0;
+
+  // --- Stage 3: the chunked bounded-lag correlator. -----------------------
+  results.push_back(TimeStage("chunked_correlator", "default", repeats, [&] {
+    fft::BoundedLagAutocorrelator correlator(max_lag, /*block_size=*/0);
+    std::vector<double> buffer;
+    const std::size_t chunk =
+        std::max<std::size_t>(correlator.block_size(), 4096);
+    for (std::size_t start = 0; start < length;) {
+      const std::size_t end = std::min(length, start + chunk);
+      buffer.assign(end - start, 0.0);
+      for (std::size_t i = start; i < end; ++i) {
+        if (indicators[0].Test(i)) buffer[i - start] = 1.0;
+      }
+      correlator.Append(buffer);
+      start = end;
+    }
+    const std::vector<double> lags = correlator.Lags();
+    PERIODICA_CHECK(lags.size() == max_lag + 1);
+  }));
+
+  TextTable table({"Stage", "Kernel", "Min (ms)", "Mean (ms)", "Max (ms)"});
+  for (const StageResult& result : results) {
+    table.AddRow({result.stage, result.kernel, FormatMs(result.MinMs()),
+                  FormatMs(result.MeanMs()), FormatMs(result.MaxMs())});
+  }
+  table.Print(std::cout);
+  std::cout << "\nstage-2 SIMD speedup over scalar (min/min): "
+            << FormatDouble(stage2_simd_speedup, 2) << "x ("
+            << candidates.size() << " candidates refined)\n";
+
+  if (!json.empty()) {
+    std::ofstream out(json);
+    if (!out) {
+      std::cerr << "cannot write --json file " << json << "\n";
+      return 1;
+    }
+    out << "{\n"
+        << "  \"bench\": \"stagebench\",\n"
+        << "  \"schema_version\": 1,\n"
+        << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+        << "  \"n\": " << length << ",\n"
+        << "  \"sigma\": " << sigma << ",\n"
+        << "  \"period\": " << period << ",\n"
+        << "  \"max_period\": " << max_period << ",\n"
+        << "  \"threshold\": " << FormatDouble(threshold, 6) << ",\n"
+        << "  \"repeats\": " << repeats << ",\n"
+        << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+        << ",\n"
+        << "  \"arch\": \"" << ArchName() << "\",\n"
+        << "  \"simd_detected\": \""
+        << util::SimdKernelName(util::BestSimdKernel()) << "\",\n"
+        << "  \"cycle_counter\": \"" << util::CycleCounterName() << "\",\n"
+        << "  \"stage2_simd_speedup\": "
+        << FormatDouble(stage2_simd_speedup, 3) << ",\n"
+        << "  \"stages\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const StageResult& result = results[i];
+      out << "    {\"stage\": \"" << result.stage << "\", \"kernel\": \""
+          << result.kernel << "\", \"wall_ms\": {\"min\": "
+          << FormatMs(result.MinMs()) << ", \"mean\": "
+          << FormatMs(result.MeanMs()) << ", \"max\": "
+          << FormatMs(result.MaxMs()) << "}, \"cycles_min\": "
+          << result.cycles_min << ", \"samples_ms\": [";
+      for (std::size_t s = 0; s < result.samples_ms.size(); ++s) {
+        out << FormatMs(result.samples_ms[s])
+            << (s + 1 < result.samples_ms.size() ? ", " : "");
+      }
+      out << "]}" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "wrote " << json << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace periodica::bench
+
+int main(int argc, char** argv) { return periodica::bench::Run(argc, argv); }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <optional>
+#include <span>
 
 #include "periodica/core/detail.h"
 #include "periodica/core/memory_estimate.h"
@@ -25,15 +26,38 @@ std::vector<DynamicBitset> BuildIndicators(const Alphabet& alphabet,
   return indicators;
 }
 
+/// Cache-blocked indicator construction. The naive loop
+/// (indicators[series[i]].Set(i)) touches one of sigma destination cache
+/// lines per input symbol in data-dependent order; this walks the input in
+/// 64-position blocks, accumulates one word per symbol in a sigma-entry
+/// local array (which fits in L1 for any realistic alphabet), and then ORs
+/// only the nonzero words into the bitsets — each destination word is
+/// written at most once, in address order.
+void FillIndicatorsBlocked(std::span<const SymbolId> series,
+                           std::vector<DynamicBitset>* indicators) {
+  const std::size_t n = series.size();
+  const std::size_t sigma = indicators->size();
+  std::vector<std::uint64_t> block(sigma, 0);
+  for (std::size_t base = 0; base < n; base += 64) {
+    const std::size_t len = std::min<std::size_t>(64, n - base);
+    std::fill(block.begin(), block.end(), 0);
+    for (std::size_t j = 0; j < len; ++j) {
+      block[series[base + j]] |= std::uint64_t{1} << j;
+    }
+    const std::size_t w = base >> 6;
+    for (std::size_t k = 0; k < sigma; ++k) {
+      if (block[k] != 0) (*indicators)[k].OrWord(w, block[k]);
+    }
+  }
+}
+
 }  // namespace
 
 FftConvolutionMiner::FftConvolutionMiner(const SymbolSeries& series)
     : alphabet_(series.alphabet()),
       n_(series.size()),
       indicators_(BuildIndicators(series.alphabet(), series.size())) {
-  for (std::size_t i = 0; i < n_; ++i) {
-    indicators_[series[i]].Set(i);
-  }
+  FillIndicatorsBlocked(series.data(), &indicators_);
 }
 
 Result<FftConvolutionMiner> FftConvolutionMiner::FromStream(
@@ -41,32 +65,27 @@ Result<FftConvolutionMiner> FftConvolutionMiner::FromStream(
   if (stream == nullptr) {
     return Status::InvalidArgument("stream must not be null");
   }
-  // The single pass over the input: symbols are requested once, appended to
-  // the per-symbol indicator vectors, and never revisited.
+  // The single pass over the input: symbols are requested once, staged into
+  // a flat buffer (1 byte/symbol, vs. sigma bits/symbol for the old
+  // per-symbol staging vectors), and blocked into the indicator bitsets —
+  // the stream itself is never revisited.
   Alphabet alphabet = stream->alphabet();
-  std::vector<std::vector<bool>> staging(alphabet.size());
-  std::size_t n = 0;
+  std::vector<SymbolId> symbols;
   while (const std::optional<SymbolId> symbol = stream->Next()) {
     if (static_cast<std::size_t>(*symbol) >= alphabet.size()) {
       return Status::InvalidArgument(
           "out-of-alphabet symbol " +
           std::to_string(static_cast<std::size_t>(*symbol)) +
-          " at stream position " + std::to_string(n) + " (alphabet has " +
-          std::to_string(alphabet.size()) + " symbols)");
+          " at stream position " + std::to_string(symbols.size()) +
+          " (alphabet has " + std::to_string(alphabet.size()) + " symbols)");
     }
-    for (std::size_t k = 0; k < staging.size(); ++k) {
-      staging[k].push_back(k == *symbol);
-    }
-    ++n;
+    symbols.push_back(*symbol);
   }
   // nullopt either ends the stream cleanly or reports a source failure.
   PERIODICA_RETURN_NOT_OK(stream->status());
+  const std::size_t n = symbols.size();
   std::vector<DynamicBitset> indicators = BuildIndicators(alphabet, n);
-  for (std::size_t k = 0; k < staging.size(); ++k) {
-    for (std::size_t i = 0; i < n; ++i) {
-      if (staging[k][i]) indicators[k].Set(i);
-    }
-  }
+  FillIndicatorsBlocked(symbols, &indicators);
   return FftConvolutionMiner(std::move(alphabet), n, std::move(indicators));
 }
 
@@ -335,9 +354,9 @@ PeriodicityTable FftConvolutionMiner::Mine(const MinerOptions& options) const {
           PeriodGroup& group = groups[first + offset];
           const std::size_t p = candidates[group.begin].period;
           // The FFT already told us how many positions will match, so the
-          // split's scratch (positions + phases, 8 bytes each per match)
-          // and its per-phase counts are charged exactly, before anything
-          // is allocated.
+          // split's scratch (8 bytes per collected position plus one 8-byte
+          // bucket per phase) and its per-phase counts (24 bytes each) are
+          // charged exactly, before anything is allocated.
           std::uint64_t total_matches = 0;
           for (std::size_t c = group.begin; c < group.end; ++c) {
             total_matches += candidates[c].matches;
@@ -345,18 +364,19 @@ PeriodicityTable FftConvolutionMiner::Mine(const MinerOptions& options) const {
           const std::uint64_t phase_bound = std::min<std::uint64_t>(
               total_matches,
               static_cast<std::uint64_t>(p) * (group.end - group.begin));
+          const std::size_t scratch_bytes = static_cast<std::size_t>(
+              8 * total_matches + 8 * static_cast<std::uint64_t>(p) +
+              24 * phase_bound);
           if (Status status = budget.Reserve(
-                  static_cast<std::size_t>(16 * total_matches +
-                                           24 * phase_bound),
+                  scratch_bytes,
                   "mine: stage-2 phase split for period " + std::to_string(p));
               !status.ok()) {
             group.charge_error = std::move(status);
             return;
           }
-          group.charged_bytes = static_cast<std::size_t>(16 * total_matches +
-                                                         24 * phase_bound);
+          group.charged_bytes = scratch_bytes;
           std::vector<std::size_t> match_positions;
-          std::vector<std::size_t> phases;
+          std::vector<std::uint64_t> phase_counts(p, 0);
           for (std::size_t c = group.begin; c < group.end; ++c) {
             const SymbolId k = candidates[c].symbol;
             const DynamicBitset& indicator = indicators_[k];
@@ -364,18 +384,25 @@ PeriodicityTable FftConvolutionMiner::Mine(const MinerOptions& options) const {
             indicator.CollectAndShifted(indicator, p, &match_positions);
             PERIODICA_DCHECK(match_positions.size() == candidates[c].matches)
                 << "FFT match count disagrees with the indicator bitsets";
-            phases.clear();
-            phases.reserve(match_positions.size());
+            // Counting buckets instead of sort + run-length: O(m + p) per
+            // candidate rather than O(m log m), and scanning the buckets in
+            // index order emits phases in the same ascending sequence the
+            // sorted walk produced — the table is unchanged. Positions
+            // arrive in increasing order, so the phase is tracked against a
+            // running multiple of p instead of a per-position 64-bit
+            // modulo (which would otherwise dominate the split).
+            std::fill(phase_counts.begin(), phase_counts.end(), 0);
+            std::size_t base = 0;  // largest multiple of p <= position
             for (const std::size_t i : match_positions) {
-              phases.push_back(i % p);
+              if (i - base >= p) {
+                base = i - base >= 2 * p ? i - (i % p) : base + p;
+              }
+              ++phase_counts[i - base];
             }
-            std::sort(phases.begin(), phases.end());
-            for (std::size_t lo = 0; lo < phases.size();) {
-              std::size_t hi = lo;
-              while (hi < phases.size() && phases[hi] == phases[lo]) ++hi;
-              group.counts.push_back(internal::PhaseCount{
-                  k, phases[lo], static_cast<std::uint64_t>(hi - lo)});
-              lo = hi;
+            for (std::size_t phase = 0; phase < p; ++phase) {
+              if (phase_counts[phase] == 0) continue;
+              group.counts.push_back(
+                  internal::PhaseCount{k, phase, phase_counts[phase]});
             }
           }
         }));

@@ -43,9 +43,11 @@ std::size_t ChunkedFftScratchBytes(std::size_t max_period,
 }
 
 std::size_t PhaseSplitScratchBytes(std::size_t n) {
-  // Stage 2, per period group: match positions + phases (<= n size_t each,
-  // since at most n positions can match one lag across all symbols) and the
-  // run-length PhaseCount output.
+  // Stage 2, per period group: match positions (<= n size_t, since at most n
+  // positions can match one lag across all symbols), the per-phase counting
+  // buckets (p < n of them), and the PhaseCount output. The mining loop
+  // charges the exact per-group figure (8 * matches + 8 * p +
+  // 24 * phase_bound); this is its worst case over any group.
   return 2 * 8 * n + 24 * n;
 }
 

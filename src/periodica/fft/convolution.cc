@@ -42,9 +42,8 @@ std::vector<double> Autocorrelation(std::span<const double> x) {
   const std::size_t n = x.size();
   const std::size_t padded = NextPowerOfTwo(2 * n);
 
-  std::vector<double> buffer(padded, 0.0);
-  for (std::size_t i = 0; i < n; ++i) buffer[i] = x[i];
-  std::vector<Complex> spectrum = RealFftForward(buffer);
+  // The padding overload zero-extends internally — no O(padded) copy.
+  std::vector<Complex> spectrum = RealFftForward(x, padded);
   for (auto& bin : spectrum) {
     bin = Complex(std::norm(bin), 0.0);
   }

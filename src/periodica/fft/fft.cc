@@ -34,8 +34,8 @@ FftPlan::FftPlan(std::size_t n) : n_(n) {
 
   twiddles_.resize(n_ / 2);
   for (std::size_t k = 0; k < n_ / 2; ++k) {
-    const double angle =
-        -2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(n_);
+    const double angle = -2.0 * std::numbers::pi * static_cast<double>(k) /
+                         static_cast<double>(n_);
     twiddles_[k] = Complex(std::cos(angle), std::sin(angle));
   }
 }
@@ -79,6 +79,12 @@ namespace {
 struct PlanCache {
   util::SharedMutex mutex;
   std::map<std::size_t, std::unique_ptr<FftPlan>> plans
+      PERIODICA_GUARDED_BY(mutex);
+  // Real-FFT untangling twiddles e^{-2*pi*i*k/n} for k <= n/2, keyed by n.
+  // Shares the plan mutex: both maps are touched at the same call sites with
+  // the same hit-dominated access pattern, and one lock keeps the order
+  // trivial.
+  std::map<std::size_t, std::unique_ptr<std::vector<Complex>>> real_twiddles
       PERIODICA_GUARDED_BY(mutex);
 };
 
@@ -132,6 +138,43 @@ std::size_t PlanCacheSize() {
 std::uint64_t PlanCacheBuildCount() {
   return plan_builds.load(std::memory_order_relaxed);
 }
+
+std::size_t RealFftTwiddleCacheSize() {
+  PlanCache& cache = GetPlanCache();
+  util::ReaderLock lock(&cache.mutex);
+  return cache.real_twiddles.size();
+}
+
+namespace {
+
+/// Returns the cached e^{-2*pi*i*k/n} table (k <= n/2) for real-FFT
+/// untangling, building it on first use. Same reader/writer discipline as
+/// GetPlan: the hit path shares the reader lock, construction happens once
+/// under the writer lock with a re-check. References stay valid for the
+/// process lifetime (never evicted).
+const std::vector<Complex>& GetRealFftTwiddles(std::size_t n) {
+  PlanCache& cache = GetPlanCache();
+  {
+    util::ReaderLock lock(&cache.mutex);
+    const auto it = cache.real_twiddles.find(n);
+    if (it != cache.real_twiddles.end()) return *it->second;
+  }
+  util::WriterLock lock(&cache.mutex);
+  const auto it = cache.real_twiddles.find(n);
+  if (it != cache.real_twiddles.end()) return *it->second;
+  const std::size_t m = n / 2;
+  auto table = std::make_unique<std::vector<Complex>>(m + 1);
+  for (std::size_t k = 0; k <= m; ++k) {
+    const double angle = -2.0 * std::numbers::pi * static_cast<double>(k) /
+                         static_cast<double>(n);
+    (*table)[k] = Complex(std::cos(angle), std::sin(angle));
+  }
+  const auto [inserted, ok] = cache.real_twiddles.emplace(n, std::move(table));
+  PERIODICA_DCHECK(ok);
+  return *inserted->second;
+}
+
+}  // namespace
 
 namespace {
 
@@ -196,30 +239,46 @@ void Dft(std::vector<Complex>* data, bool inverse) {
 }
 
 std::vector<Complex> RealFftForward(std::span<const double> input) {
-  const std::size_t n = input.size();
-  PERIODICA_CHECK(IsPowerOfTwo(n) && n >= 2)
+  PERIODICA_CHECK(IsPowerOfTwo(input.size()) && input.size() >= 2)
       << "RealFftForward requires a power-of-two length >= 2";
+  return RealFftForward(input, input.size());
+}
+
+std::vector<Complex> RealFftForward(std::span<const double> input,
+                                    std::size_t padded_n) {
+  const std::size_t n = padded_n;
+  PERIODICA_CHECK(IsPowerOfTwo(n) && n >= 2)
+      << "RealFftForward requires a power-of-two padded length >= 2";
+  PERIODICA_CHECK(input.size() <= n)
+      << "RealFftForward input longer than the padded length";
   const std::size_t m = n / 2;
+  const std::size_t in_n = input.size();
 
   // Pack even samples into the real lanes and odd samples into the imaginary
-  // lanes of a half-size complex vector.
+  // lanes of a half-size complex vector; positions at or past input.size()
+  // read as zero (the virtual padding).
   std::vector<Complex> packed(m);
-  for (std::size_t j = 0; j < m; ++j) {
+  const std::size_t full = in_n / 2;  // pairs entirely inside the input
+  for (std::size_t j = 0; j < full; ++j) {
     packed[j] = Complex(input[2 * j], input[2 * j + 1]);
+  }
+  if (full < m) {
+    packed[full] = (in_n & 1) != 0 ? Complex(input[in_n - 1], 0.0)
+                                   : Complex(0.0, 0.0);
+    for (std::size_t j = full + 1; j < m; ++j) packed[j] = Complex(0.0, 0.0);
   }
   if (m > 1) {
     GetPlan(m).Forward(packed.data());
   }
 
+  const std::vector<Complex>& twiddles = GetRealFftTwiddles(n);
   std::vector<Complex> spectrum(m + 1);
   for (std::size_t k = 0; k <= m; ++k) {
     const Complex z_k = packed[k % m];
     const Complex z_conj = std::conj(packed[(m - k) % m]);
     const Complex even = 0.5 * (z_k + z_conj);
     const Complex odd = Complex(0, -0.5) * (z_k - z_conj);
-    const double angle =
-        -2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(n);
-    spectrum[k] = even + Complex(std::cos(angle), std::sin(angle)) * odd;
+    spectrum[k] = even + twiddles[k] * odd;
   }
   return spectrum;
 }
@@ -232,15 +291,15 @@ std::vector<double> RealFftInverse(std::span<const Complex> spectrum,
   PERIODICA_CHECK_EQ(spectrum.size(), m + 1);
 
   // Invert the untangling of RealFftForward, then a half-size inverse FFT.
+  // The inverse twiddle e^{+2*pi*i*k/n} is the conjugate of the cached
+  // forward table entry.
+  const std::vector<Complex>& twiddles = GetRealFftTwiddles(n);
   std::vector<Complex> packed(m);
   for (std::size_t k = 0; k < m; ++k) {
     const Complex x_k = spectrum[k];
     const Complex x_conj = std::conj(spectrum[m - k]);
     const Complex even = 0.5 * (x_k + x_conj);
-    const double angle =
-        2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(n);
-    const Complex odd =
-        0.5 * (x_k - x_conj) * Complex(std::cos(angle), std::sin(angle));
+    const Complex odd = 0.5 * (x_k - x_conj) * std::conj(twiddles[k]);
     packed[k] = even + Complex(0, 1) * odd;
   }
   if (m > 1) {

@@ -74,9 +74,24 @@ void Dft(std::vector<Complex>* data, bool inverse);
 /// Real-input FFT of even power-of-two length N using the half-size complex
 /// packing trick (one complex FFT of length N/2). Returns the N/2+1
 /// non-redundant spectrum bins; the remaining bins follow from conjugate
-/// symmetry X_{N-k} = conj(X_k).
+/// symmetry X_{N-k} = conj(X_k). The untangling twiddles e^{-2*pi*i*k/N} are
+/// cached per size alongside the FFT plans, so repeated same-size transforms
+/// (every per-symbol indicator FFT in the miner) pay no trigonometry.
 [[nodiscard]] std::vector<Complex> RealFftForward(
     std::span<const double> input);
+
+/// Zero-padding overload: transforms `input` as if it were extended with
+/// zeros to length `padded_n` (a power of two >= 2 with
+/// input.size() <= padded_n). Bit-identical to copying `input` into a
+/// zero-filled buffer of length `padded_n` and calling the overload above,
+/// without materializing that buffer — the convolution paths pad every
+/// input, and the copy showed up in stage-1 profiles.
+[[nodiscard]] std::vector<Complex> RealFftForward(
+    std::span<const double> input, std::size_t padded_n);
+
+/// Number of distinct sizes with a cached real-FFT twiddle table (exposed
+/// for tests and the performance methodology docs). Thread-safe.
+[[nodiscard]] std::size_t RealFftTwiddleCacheSize();
 
 /// Inverse of RealFftForward: reconstructs the N real samples from the N/2+1
 /// spectrum bins (`n` = output length, a power of two >= 2, and

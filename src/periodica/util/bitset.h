@@ -55,6 +55,21 @@ class DynamicBitset {
     return (words_[i >> 6] >> (i & 63)) & 1;
   }
 
+  /// ORs a whole 64-bit word of bits into word `w` (bits 64*w .. 64*w+63) in
+  /// one store. This is the cache-blocked indicator builder's write primitive:
+  /// it lets core/fft_miner.cc accumulate one word per symbol in registers
+  /// and touch each destination cache line once instead of once per bit.
+  /// `bits` must not set positions at or beyond size() (the tail-mask
+  /// invariant is the caller's responsibility here, checked in debug builds).
+  void OrWord(std::size_t w, std::uint64_t bits) {
+    PERIODICA_DCHECK(w < words_.size());
+    PERIODICA_DCHECK(w * 64 < num_bits_);
+    PERIODICA_DCHECK(num_bits_ - w * 64 >= 64 ||
+                     (bits >> (num_bits_ - w * 64)) == 0)
+        << "OrWord bits past size()";
+    words_[w] |= bits;
+  }
+
   /// Sets every bit to zero without changing the size.
   void Clear();
 
@@ -67,13 +82,18 @@ class DynamicBitset {
 
   /// Number of positions i with Test(i) && other.Test(i + shift).
   /// Positions where i + shift falls outside `other` contribute nothing.
-  /// This is the popcount of (*this & (other >> shift)) and runs at word
-  /// speed; it is the inner loop of the exact convolution miner.
+  /// This is the popcount of (*this & (other >> shift)) and is the inner
+  /// loop of the exact convolution miner. The bulk of the work dispatches to
+  /// the active SIMD kernel (util/cpu_features.h); every kernel returns the
+  /// identical count.
   [[nodiscard]] std::size_t CountAndShifted(const DynamicBitset& other,
                                             std::size_t shift) const;
 
   /// Appends to `out` every position i with Test(i) && other.Test(i + shift),
-  /// in increasing order of i.
+  /// in increasing order of i. This is stage 2 of the FFT miner (phase
+  /// refinement). Like CountAndShifted, the word loop dispatches to the
+  /// active SIMD kernel; the appended positions are identical — including
+  /// their order — under every kernel.
   void CollectAndShifted(const DynamicBitset& other, std::size_t shift,
                          std::vector<std::size_t>* out) const;
 

@@ -1,0 +1,153 @@
+#include "periodica/util/cpu_features.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "periodica/util/logging.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace periodica::util {
+namespace {
+
+/// Probes the hardware once. Separated from BestSimdKernel so the answer is
+/// computed exactly one time even when many threads race the first call.
+SimdKernel ProbeBestKernel() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx2")) return SimdKernel::kAvx2;
+  return SimdKernel::kScalar;
+#elif defined(__aarch64__)
+  // Advanced SIMD (NEON) is architecturally mandatory on AArch64.
+  return SimdKernel::kNeon;
+#else
+  return SimdKernel::kScalar;
+#endif
+}
+
+/// Applies the PERIODICA_SIMD environment override to the probed default.
+/// Unknown or unavailable names are ignored with a one-time warning rather
+/// than aborting: a stale override in a CI environment must not take the
+/// binary down, and the scalar fallback is always correct.
+SimdKernel InitialKernel() {
+  const SimdKernel best = ProbeBestKernel();
+  const char* env = std::getenv("PERIODICA_SIMD");
+  if (env == nullptr || *env == '\0') return best;
+  for (const SimdKernel kernel :
+       {SimdKernel::kScalar, SimdKernel::kAvx2, SimdKernel::kNeon}) {
+    if (std::strcmp(env, SimdKernelName(kernel)) != 0) continue;
+    if (SimdKernelAvailable(kernel)) return kernel;
+    std::cerr << "periodica: PERIODICA_SIMD=" << env
+              << " is not available on this host; using "
+              << SimdKernelName(best) << "\n";
+    return best;
+  }
+  std::cerr << "periodica: unrecognized PERIODICA_SIMD=" << env
+            << " (expected scalar|avx2|neon); using " << SimdKernelName(best)
+            << "\n";
+  return best;
+}
+
+/// The process-wide dispatch choice. Ordering: relaxed loads/stores suffice —
+/// every kernel computes bit-identical results, so a thread observing a stale
+/// or mid-override value still produces correct output; the variable only
+/// selects among equivalent implementations and synchronizes-with nothing.
+std::atomic<SimdKernel>& ActiveKernelSlot() {
+  static std::atomic<SimdKernel> slot{InitialKernel()};
+  return slot;
+}
+
+}  // namespace
+
+const char* SimdKernelName(SimdKernel kernel) {
+  switch (kernel) {
+    case SimdKernel::kScalar:
+      return "scalar";
+    case SimdKernel::kAvx2:
+      return "avx2";
+    case SimdKernel::kNeon:
+      return "neon";
+  }
+  PERIODICA_CHECK(false) << "invalid SimdKernel";
+  return "invalid";
+}
+
+bool SimdKernelAvailable(SimdKernel kernel) {
+  switch (kernel) {
+    case SimdKernel::kScalar:
+      return true;
+    case SimdKernel::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case SimdKernel::kNeon:
+#if defined(__aarch64__)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+SimdKernel BestSimdKernel() {
+  static const SimdKernel best = ProbeBestKernel();
+  return best;
+}
+
+SimdKernel ActiveSimdKernel() {
+  return ActiveKernelSlot().load(std::memory_order_relaxed);
+}
+
+ScopedSimdKernelOverride::ScopedSimdKernelOverride(SimdKernel kernel) {
+  PERIODICA_CHECK(SimdKernelAvailable(kernel))
+      << "cannot force SIMD kernel '" << SimdKernelName(kernel)
+      << "': not available on this host (iterate AvailableSimdKernels())";
+  previous_ = ActiveKernelSlot().exchange(kernel, std::memory_order_relaxed);
+}
+
+ScopedSimdKernelOverride::~ScopedSimdKernelOverride() {
+  ActiveKernelSlot().store(previous_, std::memory_order_relaxed);
+}
+
+const SimdKernel* AvailableSimdKernels(int* count) {
+  // At most one vector kernel exists per architecture, so the available set
+  // is always {kScalar} or {kScalar, BestSimdKernel()}.
+  static const SimdKernel kernels[] = {SimdKernel::kScalar, BestSimdKernel()};
+  PERIODICA_DCHECK(count != nullptr);
+  *count = BestSimdKernel() == SimdKernel::kScalar ? 1 : 2;
+  return kernels;
+}
+
+std::uint64_t CycleCount() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __rdtsc();
+#elif defined(__aarch64__)
+  std::uint64_t value = 0;
+  asm volatile("mrs %0, cntvct_el0" : "=r"(value));
+  return value;
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+const char* CycleCounterName() {
+#if defined(__x86_64__) || defined(__i386__)
+  return "rdtsc";
+#elif defined(__aarch64__)
+  return "cntvct_el0";
+#else
+  return "steady_clock_ns";
+#endif
+}
+
+}  // namespace periodica::util

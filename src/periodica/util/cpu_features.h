@@ -1,0 +1,85 @@
+#ifndef PERIODICA_UTIL_CPU_FEATURES_H_
+#define PERIODICA_UTIL_CPU_FEATURES_H_
+
+#include <cstdint>
+
+namespace periodica::util {
+
+/// The SIMD implementation the word-level bitset kernels dispatch to
+/// (popcount and shifted-AND in util/bitset.cc — the stage-2 phase
+/// refinement substrate and the exact engine's inner loop). Every kernel
+/// computes bit-identical results; the choice changes wall time only, which
+/// is what lets the dispatch be a startup decision instead of part of the
+/// output contract (docs/PERFORMANCE.md, "Kernel dispatch").
+enum class SimdKernel {
+  kScalar,  ///< portable word-at-a-time C++; always available
+  kAvx2,    ///< x86-64 AVX2: 4 words per vector, PSHUFB nibble popcount
+  kNeon,    ///< AArch64 NEON: 2 words per vector, VCNT popcount
+};
+
+/// Human-readable kernel name ("scalar", "avx2", "neon") — the spelling used
+/// by BENCH_stages.json, the PERIODICA_SIMD environment override and the
+/// docs.
+[[nodiscard]] const char* SimdKernelName(SimdKernel kernel);
+
+/// True when this host can execute `kernel`. kScalar is always available;
+/// kAvx2 requires an x86 CPU reporting AVX2; kNeon requires AArch64 (where
+/// NEON is architecturally baseline).
+[[nodiscard]] bool SimdKernelAvailable(SimdKernel kernel);
+
+/// The fastest kernel this host supports, probed once on first use.
+[[nodiscard]] SimdKernel BestSimdKernel();
+
+/// The kernel the bitset hot paths currently dispatch to. Defaults to
+/// BestSimdKernel(); the environment variable PERIODICA_SIMD
+/// (scalar|avx2|neon) pins it for a whole process (ignored with a warning
+/// when the named kernel is unavailable), and ScopedSimdKernelOverride pins
+/// it for a scope.
+[[nodiscard]] SimdKernel ActiveSimdKernel();
+
+/// Test hook: forces every bitset kernel dispatch to `kernel` for the
+/// lifetime of the object, then restores the previous choice. Dies (CHECK)
+/// if the kernel is not available on this host — tests iterate over
+/// AvailableSimdKernels() rather than guessing.
+///
+/// Scopes must be destroyed in reverse construction order (stack them).
+/// Because every kernel produces identical output, a concurrent thread
+/// observing the override mid-flight still computes correct results — the
+/// hook is safe to use in multi-threaded tests, it just isn't a per-thread
+/// setting.
+class ScopedSimdKernelOverride {
+ public:
+  explicit ScopedSimdKernelOverride(SimdKernel kernel);
+  ~ScopedSimdKernelOverride();
+
+  ScopedSimdKernelOverride(const ScopedSimdKernelOverride&) = delete;
+  ScopedSimdKernelOverride& operator=(const ScopedSimdKernelOverride&) =
+      delete;
+
+ private:
+  SimdKernel previous_;
+};
+
+/// The kernels available on this host, kScalar first, best last. `count` is
+/// written with the number of valid entries (1..3) in the returned array.
+/// (A fixed array keeps the query allocation-free for use in tight test
+/// loops.)
+[[nodiscard]] const SimdKernel* AvailableSimdKernels(int* count);
+
+/// A raw cycle counter for the per-stage perf harness (bench/stagebench.cc):
+/// RDTSC on x86, CNTVCT_EL0 on AArch64, steady_clock nanoseconds elsewhere.
+/// Monotone on the hosts we record benches on; only differences are
+/// meaningful, and the unit is "counter ticks" (see CycleCounterName()), not
+/// necessarily core cycles — modern x86 TSCs tick at a constant rate
+/// regardless of frequency scaling, which is exactly what makes them a good
+/// low-noise complement to wall time.
+[[nodiscard]] std::uint64_t CycleCount();
+
+/// Which counter CycleCount() reads: "rdtsc", "cntvct_el0" or
+/// "steady_clock_ns" (recorded in BENCH_stages.json so numbers from
+/// different hosts are never silently compared in the wrong unit).
+[[nodiscard]] const char* CycleCounterName();
+
+}  // namespace periodica::util
+
+#endif  // PERIODICA_UTIL_CPU_FEATURES_H_

@@ -7,6 +7,7 @@
 
 #include "periodica/core/exact_miner.h"
 #include "periodica/gen/synthetic.h"
+#include "periodica/util/cpu_features.h"
 #include "periodica/util/rng.h"
 
 namespace periodica {
@@ -174,6 +175,30 @@ TEST(FftMinerTest, ConcatenateRejectsDifferentAlphabets) {
                                                FftConvolutionMiner(b))
                   .status()
                   .IsInvalidArgument());
+}
+
+TEST(FftMinerTest, MiningIsIdenticalUnderEveryKernel) {
+  // End-to-end identity with the SIMD kernel forced via the test hook:
+  // the mined table — entries, order, F2 counts, summaries — must be
+  // byte-identical under every kernel the host can run. This is the
+  // determinism guarantee extended to kernel choice (docs/PERFORMANCE.md).
+  const SymbolSeries series = RandomSeries(4000, 6, 23);
+  MinerOptions options;
+  options.threshold = 0.3;
+  PeriodicityTable reference;
+  {
+    util::ScopedSimdKernelOverride scalar(util::SimdKernel::kScalar);
+    reference = FftConvolutionMiner(series).Mine(options);
+  }
+  ASSERT_FALSE(reference.entries().empty());
+  int kernel_count = 0;
+  const util::SimdKernel* kernels =
+      util::AvailableSimdKernels(&kernel_count);
+  for (int i = 0; i < kernel_count; ++i) {
+    util::ScopedSimdKernelOverride override(kernels[i]);
+    SCOPED_TRACE(util::SimdKernelName(kernels[i]));
+    ExpectTablesEqual(FftConvolutionMiner(series).Mine(options), reference);
+  }
 }
 
 TEST(FftMinerTest, PerfectSeriesAllMultiplesDetected) {
