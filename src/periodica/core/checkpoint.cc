@@ -189,9 +189,9 @@ Status DecodeSymbolVector(Decoder* dec, std::size_t sigma,
   return Status::OK();
 }
 
-/// Wraps `payload` in the header/CRC envelope and writes it atomically.
-Status WriteSnapshot(CheckpointKind kind, const std::string& payload,
-                     const std::string& path) {
+/// Wraps `payload` in the header/CRC envelope — the byte string both the
+/// file and store persistence paths share.
+std::string EncodeSnapshot(CheckpointKind kind, const std::string& payload) {
   Encoder file;
   file.PutBytes(kMagic, sizeof(kMagic));
   file.PutU32(kCheckpointFormatVersion);
@@ -200,12 +200,73 @@ Status WriteSnapshot(CheckpointKind kind, const std::string& payload,
   file.PutBytes(payload.data(), payload.size());
   Encoder footer;
   footer.PutU32(util::Crc32Of(file.buffer()));
-  const std::string contents = file.buffer() + footer.buffer();
-  return util::AtomicWriteFile(path, contents);
+  return file.buffer() + footer.buffer();
 }
 
-/// Reads and fully verifies the envelope; on success `*payload` holds the
-/// kind-specific field stream.
+/// Wraps `payload` in the envelope and writes it atomically.
+Status WriteSnapshot(CheckpointKind kind, const std::string& payload,
+                     const std::string& path) {
+  return util::AtomicWriteFile(path, EncodeSnapshot(kind, payload));
+}
+
+/// Fully verifies the envelope in `contents`; on success `*payload` holds
+/// the kind-specific field stream. `context` names the source ("'<path>'",
+/// a store key) in every error message.
+Result<CheckpointKind> ParseSnapshot(std::string_view contents,
+                                     const std::string& context,
+                                     std::string* payload) {
+  if (contents.size() < kHeaderSize + kFooterSize) {
+    return Status::InvalidArgument(
+        "'" + context + "' is not a checkpoint: " +
+        std::to_string(contents.size()) + " bytes is shorter than the " +
+        std::to_string(kHeaderSize + kFooterSize) + "-byte envelope");
+  }
+  if (std::memcmp(contents.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("'" + context +
+                                   "' is not a checkpoint (bad magic)");
+  }
+  Decoder dec(contents.substr(sizeof(kMagic)));
+  std::uint32_t version = 0;
+  std::uint32_t kind_raw = 0;
+  std::uint64_t payload_size = 0;
+  PERIODICA_RETURN_NOT_OK(dec.GetU32(&version));
+  PERIODICA_RETURN_NOT_OK(dec.GetU32(&kind_raw));
+  PERIODICA_RETURN_NOT_OK(dec.GetU64(&payload_size));
+  if (version != kCheckpointFormatVersion) {
+    return Status::InvalidArgument(
+        "'" + context + "': unsupported checkpoint version " +
+        std::to_string(version) + " (this build reads version " +
+        std::to_string(kCheckpointFormatVersion) + ")");
+  }
+  if (kind_raw != static_cast<std::uint32_t>(
+                      CheckpointKind::kStreamingDetector) &&
+      kind_raw !=
+          static_cast<std::uint32_t>(CheckpointKind::kOnlineTracker)) {
+    return Status::InvalidArgument("'" + context +
+                                   "': unknown checkpoint payload kind " +
+                                   std::to_string(kind_raw));
+  }
+  const std::size_t expected = kHeaderSize + payload_size + kFooterSize;
+  if (contents.size() != expected) {
+    return Status::InvalidArgument(
+        "'" + context + "' is torn: header declares " +
+        std::to_string(expected) + " bytes, file has " +
+        std::to_string(contents.size()));
+  }
+  const std::string_view checked = contents.substr(
+      0, kHeaderSize + payload_size);
+  Decoder footer(contents.substr(checked.size()));
+  std::uint32_t stored_crc = 0;
+  PERIODICA_RETURN_NOT_OK(footer.GetU32(&stored_crc));
+  if (util::Crc32Of(checked) != stored_crc) {
+    return Status::InvalidArgument(
+        "'" + context + "': checksum mismatch (torn or corrupted snapshot)");
+  }
+  payload->assign(checked.substr(kHeaderSize));
+  return static_cast<CheckpointKind>(kind_raw);
+}
+
+/// Reads and fully verifies the envelope from a file.
 Result<CheckpointKind> ReadSnapshot(const std::string& path,
                                     std::string* payload) {
   if (const Status fault = util::FaultInjector::Check("checkpoint/read");
@@ -220,53 +281,7 @@ Result<CheckpointKind> ReadSnapshot(const std::string& path,
   std::ostringstream buffer;
   buffer << file.rdbuf();
   const std::string contents = buffer.str();
-  if (contents.size() < kHeaderSize + kFooterSize) {
-    return Status::InvalidArgument(
-        "'" + path + "' is not a checkpoint: " +
-        std::to_string(contents.size()) + " bytes is shorter than the " +
-        std::to_string(kHeaderSize + kFooterSize) + "-byte envelope");
-  }
-  if (std::memcmp(contents.data(), kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("'" + path +
-                                   "' is not a checkpoint (bad magic)");
-  }
-  Decoder dec(std::string_view(contents).substr(sizeof(kMagic)));
-  std::uint32_t version = 0;
-  std::uint32_t kind_raw = 0;
-  std::uint64_t payload_size = 0;
-  PERIODICA_RETURN_NOT_OK(dec.GetU32(&version));
-  PERIODICA_RETURN_NOT_OK(dec.GetU32(&kind_raw));
-  PERIODICA_RETURN_NOT_OK(dec.GetU64(&payload_size));
-  if (version != kCheckpointFormatVersion) {
-    return Status::InvalidArgument(
-        "'" + path + "': unsupported checkpoint version " +
-        std::to_string(version) + " (this build reads version " +
-        std::to_string(kCheckpointFormatVersion) + ")");
-  }
-  if (kind_raw != static_cast<std::uint32_t>(
-                      CheckpointKind::kStreamingDetector) &&
-      kind_raw !=
-          static_cast<std::uint32_t>(CheckpointKind::kOnlineTracker)) {
-    return Status::InvalidArgument("'" + path +
-                                   "': unknown checkpoint payload kind " +
-                                   std::to_string(kind_raw));
-  }
-  const std::size_t expected = kHeaderSize + payload_size + kFooterSize;
-  if (contents.size() != expected) {
-    return Status::InvalidArgument(
-        "'" + path + "' is torn: header declares " + std::to_string(expected) +
-        " bytes, file has " + std::to_string(contents.size()));
-  }
-  const std::string_view checked(contents.data(), kHeaderSize + payload_size);
-  Decoder footer(std::string_view(contents).substr(checked.size()));
-  std::uint32_t stored_crc = 0;
-  PERIODICA_RETURN_NOT_OK(footer.GetU32(&stored_crc));
-  if (util::Crc32Of(checked) != stored_crc) {
-    return Status::InvalidArgument(
-        "'" + path + "': checksum mismatch (torn or corrupted snapshot)");
-  }
-  payload->assign(contents, kHeaderSize, payload_size);
-  return static_cast<CheckpointKind>(kind_raw);
+  return ParseSnapshot(contents, path, payload);
 }
 
 }  // namespace
@@ -434,6 +449,49 @@ class CheckpointAccess {
 
 }  // namespace internal
 
+namespace {
+
+/// Kind check + field-stream decode shared by the file and in-memory loads.
+Result<StreamingPeriodDetector> DecodeDetectorPayload(
+    CheckpointKind kind, const std::string& payload,
+    const std::string& context) {
+  if (kind != CheckpointKind::kStreamingDetector) {
+    return Status::InvalidArgument(
+        "'" + context + "' holds an OnlinePeriodicityTracker snapshot, not a "
+        "StreamingPeriodDetector");
+  }
+  Decoder dec(payload);
+  PERIODICA_ASSIGN_OR_RETURN(
+      StreamingPeriodDetector detector,
+      internal::CheckpointAccess::DecodeDetector(&dec));
+  if (!dec.exhausted()) {
+    return Status::InvalidArgument(
+        "'" + context + "': trailing bytes after the detector payload");
+  }
+  return detector;
+}
+
+Result<OnlinePeriodicityTracker> DecodeTrackerPayload(
+    CheckpointKind kind, const std::string& payload,
+    const std::string& context) {
+  if (kind != CheckpointKind::kOnlineTracker) {
+    return Status::InvalidArgument(
+        "'" + context + "' holds a StreamingPeriodDetector snapshot, not an "
+        "OnlinePeriodicityTracker");
+  }
+  Decoder dec(payload);
+  PERIODICA_ASSIGN_OR_RETURN(
+      OnlinePeriodicityTracker tracker,
+      internal::CheckpointAccess::DecodeTracker(&dec));
+  if (!dec.exhausted()) {
+    return Status::InvalidArgument(
+        "'" + context + "': trailing bytes after the tracker payload");
+  }
+  return tracker;
+}
+
+}  // namespace
+
 Status SaveCheckpoint(const StreamingPeriodDetector& detector,
                       const std::string& path) {
   PERIODICA_ASSIGN_OR_RETURN(const std::string payload,
@@ -449,6 +507,20 @@ Status SaveCheckpoint(const OnlinePeriodicityTracker& tracker,
                        path);
 }
 
+Result<std::string> EncodeDetectorCheckpoint(
+    const StreamingPeriodDetector& detector) {
+  PERIODICA_ASSIGN_OR_RETURN(const std::string payload,
+                             internal::CheckpointAccess::EncodeDetector(
+                                 detector));
+  return EncodeSnapshot(CheckpointKind::kStreamingDetector, payload);
+}
+
+Result<std::string> EncodeTrackerCheckpoint(
+    const OnlinePeriodicityTracker& tracker) {
+  return EncodeSnapshot(CheckpointKind::kOnlineTracker,
+                        internal::CheckpointAccess::EncodeTracker(tracker));
+}
+
 Result<CheckpointKind> ProbeCheckpoint(const std::string& path) {
   std::string payload;
   return ReadSnapshot(path, &payload);
@@ -459,20 +531,7 @@ Result<StreamingPeriodDetector> LoadDetectorCheckpoint(
   std::string payload;
   PERIODICA_ASSIGN_OR_RETURN(const CheckpointKind kind,
                              ReadSnapshot(path, &payload));
-  if (kind != CheckpointKind::kStreamingDetector) {
-    return Status::InvalidArgument(
-        "'" + path + "' holds an OnlinePeriodicityTracker snapshot, not a "
-        "StreamingPeriodDetector");
-  }
-  Decoder dec(payload);
-  PERIODICA_ASSIGN_OR_RETURN(
-      StreamingPeriodDetector detector,
-      internal::CheckpointAccess::DecodeDetector(&dec));
-  if (!dec.exhausted()) {
-    return Status::InvalidArgument(
-        "'" + path + "': trailing bytes after the detector payload");
-  }
-  return detector;
+  return DecodeDetectorPayload(kind, payload, path);
 }
 
 Result<OnlinePeriodicityTracker> LoadTrackerCheckpoint(
@@ -480,20 +539,23 @@ Result<OnlinePeriodicityTracker> LoadTrackerCheckpoint(
   std::string payload;
   PERIODICA_ASSIGN_OR_RETURN(const CheckpointKind kind,
                              ReadSnapshot(path, &payload));
-  if (kind != CheckpointKind::kOnlineTracker) {
-    return Status::InvalidArgument(
-        "'" + path + "' holds a StreamingPeriodDetector snapshot, not an "
-        "OnlinePeriodicityTracker");
-  }
-  Decoder dec(payload);
-  PERIODICA_ASSIGN_OR_RETURN(
-      OnlinePeriodicityTracker tracker,
-      internal::CheckpointAccess::DecodeTracker(&dec));
-  if (!dec.exhausted()) {
-    return Status::InvalidArgument(
-        "'" + path + "': trailing bytes after the tracker payload");
-  }
-  return tracker;
+  return DecodeTrackerPayload(kind, payload, path);
+}
+
+Result<StreamingPeriodDetector> DecodeDetectorCheckpoint(
+    std::string_view bytes, const std::string& context) {
+  std::string payload;
+  PERIODICA_ASSIGN_OR_RETURN(const CheckpointKind kind,
+                             ParseSnapshot(bytes, context, &payload));
+  return DecodeDetectorPayload(kind, payload, context);
+}
+
+Result<OnlinePeriodicityTracker> DecodeTrackerCheckpoint(
+    std::string_view bytes, const std::string& context) {
+  std::string payload;
+  PERIODICA_ASSIGN_OR_RETURN(const CheckpointKind kind,
+                             ParseSnapshot(bytes, context, &payload));
+  return DecodeTrackerPayload(kind, payload, context);
 }
 
 }  // namespace periodica

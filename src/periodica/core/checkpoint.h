@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "periodica/core/online.h"
 #include "periodica/core/streaming_detector.h"
@@ -54,6 +55,29 @@ Status SaveCheckpoint(const StreamingPeriodDetector& detector,
 /// Atomically writes `tracker`'s full state to `path`.
 Status SaveCheckpoint(const OnlinePeriodicityTracker& tracker,
                       const std::string& path);
+
+/// Serializes `detector` into the complete PCHK envelope (header, payload,
+/// CRC) as an in-memory byte string — what SaveCheckpoint writes to disk,
+/// byte for byte. The durable store (store::KvStore) persists these as
+/// values, so a session checkpointed to the store and one checkpointed to a
+/// file thaw bit-identically.
+Result<std::string> EncodeDetectorCheckpoint(
+    const StreamingPeriodDetector& detector);
+
+/// Serializes `tracker` into the complete PCHK envelope (see above).
+Result<std::string> EncodeTrackerCheckpoint(
+    const OnlinePeriodicityTracker& tracker);
+
+/// Restores a StreamingPeriodDetector from in-memory PCHK envelope bytes,
+/// with the same full validation (magic, version, kind, size, CRC) and
+/// error contract as LoadDetectorCheckpoint. `context` names the source in
+/// error messages (a store key, a file path).
+Result<StreamingPeriodDetector> DecodeDetectorCheckpoint(
+    std::string_view bytes, const std::string& context);
+
+/// Restores an OnlinePeriodicityTracker from envelope bytes (see above).
+Result<OnlinePeriodicityTracker> DecodeTrackerCheckpoint(
+    std::string_view bytes, const std::string& context);
 
 /// Reads the header of `path` and reports what it holds, verifying magic,
 /// version and CRC. Use to dispatch when the snapshot kind is not known.

@@ -1,5 +1,6 @@
 #include "periodica/serve/session_table.h"
 
+#include <chrono>
 #include <cstdio>
 #include <utility>
 
@@ -59,13 +60,17 @@ struct SessionTable::Session {
 
   bool resident = true;       // lint: unguarded(resident): table mutex
   std::uint64_t last_used = 0;   // lint: unguarded(last_used): table mutex
+  /// Wall-clock twin of last_used, feeding the idle-age histogram.
+  /// lint: unguarded(last_used_at): table mutex
+  std::chrono::steady_clock::time_point last_used_at{};
   std::uint32_t pins = 0;        // lint: unguarded(pins): table mutex
   bool erased = false;           // lint: unguarded(erased): table mutex
   /// Stream length frozen at eviction, so Close can report a size without
   /// thawing. lint: unguarded(evicted_size): table mutex
   std::size_t evicted_size = 0;
-  /// A .pchk file exists on disk (eviction or an explicit checkpoint wrote
-  /// it). lint: unguarded(has_checkpoint_file): table mutex
+  /// A durable checkpoint exists — a .pchk file or a store record written
+  /// by eviction, drain or an explicit checkpoint.
+  /// lint: unguarded(has_checkpoint_file): table mutex
   bool has_checkpoint_file = false;
 };
 
@@ -145,6 +150,60 @@ std::string SessionTable::CheckpointPath(const std::string& tenant,
     return options_.checkpoint_dir + "/" + id + ".pchk";
   }
   return options_.checkpoint_dir + "/" + tenant + "@" + id + ".pchk";
+}
+
+bool SessionTable::CanPersist() const {
+  return options_.store != nullptr || !options_.checkpoint_dir.empty();
+}
+
+std::string SessionTable::PersistLocation(const std::string& tenant,
+                                          const std::string& id) const {
+  if (options_.store != nullptr) {
+    return "store://" + tenant + "/" + id;
+  }
+  return CheckpointPath(tenant, id);
+}
+
+Status SessionTable::PersistCheckpoint(const StreamingPeriodDetector& detector,
+                                       const std::string& tenant,
+                                       const std::string& id) {
+  if (options_.store != nullptr) {
+    PERIODICA_ASSIGN_OR_RETURN(const std::string envelope,
+                               EncodeDetectorCheckpoint(detector));
+    return options_.store->Put(store::JoinKey({"ckpt", tenant, id}),
+                               envelope);
+  }
+  return SaveCheckpoint(detector, CheckpointPath(tenant, id));
+}
+
+Result<StreamingPeriodDetector> SessionTable::LoadPersisted(
+    const std::string& tenant, const std::string& id) {
+  if (options_.store != nullptr) {
+    const std::string key = store::JoinKey({"ckpt", tenant, id});
+    Result<std::string> envelope = options_.store->Get(key);
+    if (envelope.ok()) {
+      return DecodeDetectorCheckpoint(*envelope,
+                                      PersistLocation(tenant, id));
+    }
+    // A key the store never saw may still exist as a pre-store loose file;
+    // anything worse than NotFound (store read fault) is reported as-is.
+    if (!envelope.status().IsNotFound() || options_.checkpoint_dir.empty()) {
+      return envelope.status();
+    }
+  }
+  return LoadDetectorCheckpoint(CheckpointPath(tenant, id));
+}
+
+void SessionTable::DropPersisted(const std::string& tenant,
+                                 const std::string& id) {
+  if (options_.store != nullptr) {
+    const Status dropped =
+        options_.store->Delete(store::JoinKey({"ckpt", tenant, id}));
+    (void)dropped;  // best-effort: a stale record only wastes a resume
+  }
+  if (!options_.checkpoint_dir.empty()) {
+    std::remove(CheckpointPath(tenant, id).c_str());
+  }
 }
 
 SessionTable::Tenant* SessionTable::GetTenantLocked(const std::string& name) {
@@ -244,13 +303,13 @@ bool SessionTable::EvictOneLocked(Tenant* tenant) {
 }
 
 bool SessionTable::EvictSessionLocked(Session* session) {
-  if (options_.checkpoint_dir.empty()) return false;
+  if (!CanPersist()) return false;
   // pins == 0 (the caller only picks idle victims), so the detector is
   // exclusively ours while we hold the table mutex.
   std::unique_ptr<StreamingPeriodDetector>& detector =
       IdleDetectorLocked(session);
-  const Status saved = SaveCheckpoint(
-      *detector, CheckpointPath(session->tenant, session->id));
+  const Status saved =
+      PersistCheckpoint(*detector, session->tenant, session->id);
   if (!saved.ok()) return false;  // stay resident; caller degrades to quota
   const std::size_t size = detector->size();
   detector.reset();
@@ -279,12 +338,11 @@ Result<SessionTable::OpenResult> SessionTable::Open(
   // charge figure from the snapshot, not the caller's parameters.
   std::unique_ptr<StreamingPeriodDetector> restored;
   if (resume) {
-    if (options_.checkpoint_dir.empty()) {
+    if (!CanPersist()) {
       return Status::InvalidArgument(
-          "resume requires a checkpoint directory");
+          "resume requires a checkpoint directory or a durable store");
     }
-    Result<StreamingPeriodDetector> loaded =
-        LoadDetectorCheckpoint(CheckpointPath(tenant_name, id));
+    Result<StreamingPeriodDetector> loaded = LoadPersisted(tenant_name, id);
     if (!loaded.ok()) return loaded.status();
     restored = std::make_unique<StreamingPeriodDetector>(
         std::move(loaded.value()));
@@ -341,6 +399,7 @@ Result<SessionTable::OpenResult> SessionTable::Open(
   Session* session =
       slab_->New(tenant_name, id, tenant, std::move(detector), bytes);
   session->last_used = ++lru_tick_;
+  session->last_used_at = std::chrono::steady_clock::now();
   if (resume) session->has_checkpoint_file = true;
   sessions_.emplace(key, session);
   ++tenant->sessions;
@@ -362,6 +421,7 @@ Result<SessionTable::Handle> SessionTable::Acquire(
     }
     session = it->second;
     session->last_used = ++lru_tick_;
+    session->last_used_at = std::chrono::steady_clock::now();
     ++session->pins;
   }
 
@@ -415,7 +475,7 @@ Status SessionTable::ThawPinned(Session* session, Rejection* rejection) {
     ++session->owner->resident;
   }
   Result<StreamingPeriodDetector> loaded =
-      LoadDetectorCheckpoint(CheckpointPath(session->tenant, session->id));
+      LoadPersisted(session->tenant, session->id);
   if (!loaded.ok()) {
     MutexLock lock(&mutex_);
     session->resident = false;
@@ -487,18 +547,19 @@ Result<SessionTable::CloseResult> SessionTable::Close(
     MutexLock lock(&session->mutex);  // waits for an in-flight feed/detect
     if (session->detector != nullptr) {
       result.size = session->detector->size();
-      if (checkpoint && !options_.checkpoint_dir.empty()) {
-        const std::string path = CheckpointPath(tenant_name, id);
-        failure = SaveCheckpoint(*session->detector, path);
-        if (failure.ok()) result.checkpoint_path = path;
+      if (checkpoint && CanPersist()) {
+        failure = PersistCheckpoint(*session->detector, tenant_name, id);
+        if (failure.ok()) {
+          result.checkpoint_path = PersistLocation(tenant_name, id);
+        }
       }
     } else {
-      // Evicted: the eviction snapshot on disk is already current (any feed
-      // would have thawed it first).
+      // Evicted: the eviction snapshot is already current (any feed would
+      // have thawed it first).
       MutexLock table(&mutex_);
       result.size = session->evicted_size;
       if (checkpoint) {
-        result.checkpoint_path = CheckpointPath(tenant_name, id);
+        result.checkpoint_path = PersistLocation(tenant_name, id);
       }
     }
   }
@@ -506,9 +567,8 @@ Result<SessionTable::CloseResult> SessionTable::Close(
     // Drop a stale snapshot when the caller declined a checkpoint, so a
     // later resume cannot silently revive out-of-date state.
     MutexLock lock(&mutex_);
-    if (!checkpoint && session->has_checkpoint_file &&
-        !options_.checkpoint_dir.empty()) {
-      std::remove(CheckpointPath(tenant_name, id).c_str());
+    if (!checkpoint && session->has_checkpoint_file && CanPersist()) {
+      DropPersisted(tenant_name, id);
     }
   }
   Unpin(session);
@@ -524,7 +584,7 @@ std::size_t SessionTable::CheckpointAllForDrain(
   MutexLock lock(&mutex_);
   std::size_t failures = 0;
   for (auto& [key, session] : sessions_) {
-    if (options_.checkpoint_dir.empty()) {
+    if (!CanPersist()) {
       ++failures;
       if (log != nullptr) {
         std::size_t size = 0;
@@ -534,7 +594,7 @@ std::size_t SessionTable::CheckpointAllForDrain(
         }
         log->push_back("dropping session " + session->id + " (tenant " +
                        session->tenant + ", " + std::to_string(size) +
-                       " symbols): no checkpoint directory");
+                       " symbols): no checkpoint directory or store");
       }
       continue;
     }
@@ -547,8 +607,9 @@ std::size_t SessionTable::CheckpointAllForDrain(
       continue;
     }
     if (!session->resident) continue;  // eviction snapshot already current
-    const std::string path = CheckpointPath(session->tenant, session->id);
-    const Status saved = SaveCheckpoint(*IdleDetectorLocked(session), path);
+    const std::string path = PersistLocation(session->tenant, session->id);
+    const Status saved = PersistCheckpoint(*IdleDetectorLocked(session),
+                                           session->tenant, session->id);
     if (saved.ok()) {
       session->has_checkpoint_file = true;
       if (log != nullptr) {
@@ -583,6 +644,19 @@ SessionTable::Stats SessionTable::GetStats() const {
   stats.quota_rejections = quota_rejections_;
   stats.slab_capacity = slab_->capacity();
   stats.slab_chunks = slab_->num_chunks();
+  const auto now = std::chrono::steady_clock::now();
+  for (const auto& [key, session] : sessions_) {
+    if (!session->resident || session->pins > 0) continue;
+    const auto idle = std::chrono::duration_cast<std::chrono::seconds>(
+                          now - session->last_used_at)
+                          .count();
+    const std::size_t bucket = idle < 1    ? 0
+                               : idle < 10  ? 1
+                               : idle < 60  ? 2
+                               : idle < 600 ? 3
+                                            : 4;
+    ++stats.idle_age_buckets[bucket];
+  }
   for (const auto& [name, tenant] : tenants_) {
     TenantStats t;
     t.sessions = tenant->sessions;

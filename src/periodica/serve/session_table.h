@@ -1,6 +1,8 @@
 #ifndef PERIODICA_SERVE_SESSION_TABLE_H_
 #define PERIODICA_SERVE_SESSION_TABLE_H_
 
+#include <array>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -9,6 +11,7 @@
 #include <vector>
 
 #include "periodica/core/streaming_detector.h"
+#include "periodica/store/kv_store.h"
 #include "periodica/util/arena.h"
 #include "periodica/util/memory_budget.h"
 #include "periodica/util/result.h"
@@ -56,8 +59,16 @@ class SessionTable {
  public:
   struct Options {
     /// Eviction/resume checkpoint directory; "" disables eviction (quota
-    /// pressure then rejects immediately) and resume.
+    /// pressure then rejects immediately) and resume — unless `store` is
+    /// set, which provides the same durability through the KvStore instead.
     std::string checkpoint_dir;
+    /// Durable checkpoint backend (not owned; must outlive the table).
+    /// When set, eviction/drain/close checkpoints are stored under the key
+    /// ("ckpt", tenant, id) — crash-safe WAL semantics instead of loose
+    /// .pchk files — and thaw/resume reads them back bit-identically. A
+    /// non-empty checkpoint_dir then only serves as a read fallback, so
+    /// pre-store loose checkpoints stay resumable (migration path).
+    store::KvStore* store = nullptr;
     /// Resident-session bytes allowed across all tenants (0 = unlimited).
     std::size_t global_budget_bytes = 0;
     /// Resident-session bytes allowed per tenant (0 = unlimited).
@@ -99,6 +110,13 @@ class SessionTable {
     std::uint64_t quota_rejections = 0;
     std::size_t slab_capacity = 0;  ///< session slots ever carved
     std::size_t slab_chunks = 0;
+    /// Idle-age histogram over resident, unpinned sessions — time since
+    /// each was last opened or acquired, bucketed <1s, 1–10s, 10–60s,
+    /// 60–600s, ≥600s. Read together with per-tenant `evictions`, this is
+    /// the eviction-pressure view `periodicad stats` exposes: lots of
+    /// young-bucket sessions plus climbing evictions means the working set
+    /// genuinely exceeds the budget, not that stale sessions are lingering.
+    std::array<std::size_t, 5> idle_age_buckets{};
     std::map<std::string, TenantStats> tenants;
   };
 
@@ -248,6 +266,25 @@ class SessionTable {
       Session* session) PERIODICA_REQUIRES(mutex_);
   Tenant* GetTenantLocked(const std::string& name)
       PERIODICA_REQUIRES(mutex_);
+  /// True when checkpoints have somewhere durable to go — a store, loose
+  /// files, or both. False disables eviction, resume and drain snapshots.
+  [[nodiscard]] bool CanPersist() const;
+  /// Where Close/drain report (tenant, id)'s checkpoint landed: the store
+  /// key rendered as "store://<tenant>/<id>", or the loose file path.
+  [[nodiscard]] std::string PersistLocation(const std::string& tenant,
+                                            const std::string& id) const;
+  /// Writes `detector`'s checkpoint for (tenant, id) to the durable
+  /// backend: the store under ("ckpt", tenant, id) when configured,
+  /// otherwise an atomically-renamed .pchk file.
+  Status PersistCheckpoint(const StreamingPeriodDetector& detector,
+                           const std::string& tenant, const std::string& id);
+  /// Reads the checkpoint back. Store-backed tables fall back to the loose
+  /// file on store NotFound when a checkpoint_dir is also configured, so
+  /// checkpoints written before the store existed stay resumable.
+  Result<StreamingPeriodDetector> LoadPersisted(const std::string& tenant,
+                                                const std::string& id);
+  /// Best-effort removal of (tenant, id)'s stored and/or filed checkpoint.
+  void DropPersisted(const std::string& tenant, const std::string& id);
 
   const Options options_;  ///< immutable after construction
 

@@ -1,0 +1,778 @@
+#include "periodica/store/kv_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "periodica/util/atomic_file.h"
+#include "periodica/util/crc32.h"
+#include "periodica/util/fault_injector.h"
+
+namespace periodica::store {
+
+namespace {
+
+// On-disk names and magics. The WAL is the only file written in place; the
+// manifest and every segment go through util::AtomicWriteFile, so they are
+// either absent or complete — never torn.
+constexpr char kWalFile[] = "wal.log";
+constexpr char kManifestFile[] = "MANIFEST";
+constexpr char kWalMagic[4] = {'P', 'W', 'A', 'L'};
+constexpr char kSegmentMagic[4] = {'P', 'S', 'E', 'G'};
+constexpr char kManifestMagic[4] = {'P', 'M', 'A', 'N'};
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::size_t kWalHeaderSize = 8;   // magic + version
+constexpr std::size_t kWalFrameSize = 8;    // body length + body CRC
+/// A WAL record body longer than this is treated as tail garbage rather than
+/// attempted as an allocation: no legitimate batch approaches it.
+constexpr std::uint64_t kMaxWalRecordBytes = 1ull << 32;
+
+constexpr std::uint8_t kOpPut = 1;
+constexpr std::uint8_t kOpDelete = 2;
+
+/// Appends fixed-width little-endian fields to a growing buffer (same wire
+/// idiom as the PCHK checkpoint envelope in core/checkpoint.cc).
+class Encoder {
+ public:
+  void PutU8(std::uint8_t value) {
+    buffer_.push_back(static_cast<char>(value));
+  }
+  void PutU32(std::uint32_t value) {
+    for (int i = 0; i < 4; ++i) {
+      buffer_.push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+    }
+  }
+  void PutU64(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      buffer_.push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+    }
+  }
+  void PutBytes(const void* data, std::size_t size) {
+    buffer_.append(static_cast<const char*>(data), size);
+  }
+  void PutString(std::string_view text) {
+    PutU64(text.size());
+    PutBytes(text.data(), text.size());
+  }
+
+  [[nodiscard]] const std::string& buffer() const { return buffer_; }
+
+ private:
+  std::string buffer_;
+};
+
+/// Reads the fields back, failing with a precise offset on truncation.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  Status GetU8(std::uint8_t* out) {
+    PERIODICA_RETURN_NOT_OK(Need(1));
+    *out = static_cast<std::uint8_t>(data_[pos_]);
+    pos_ += 1;
+    return Status::OK();
+  }
+  Status GetU32(std::uint32_t* out) {
+    PERIODICA_RETURN_NOT_OK(Need(4));
+    *out = 0;
+    for (int i = 0; i < 4; ++i) {
+      *out |= static_cast<std::uint32_t>(
+                  static_cast<unsigned char>(data_[pos_ + i]))
+              << (8 * i);
+    }
+    pos_ += 4;
+    return Status::OK();
+  }
+  Status GetU64(std::uint64_t* out) {
+    PERIODICA_RETURN_NOT_OK(Need(8));
+    *out = 0;
+    for (int i = 0; i < 8; ++i) {
+      *out |= static_cast<std::uint64_t>(
+                  static_cast<unsigned char>(data_[pos_ + i]))
+              << (8 * i);
+    }
+    pos_ += 8;
+    return Status::OK();
+  }
+  Status GetString(std::string* out) {
+    std::uint64_t size = 0;
+    PERIODICA_RETURN_NOT_OK(GetU64(&size));
+    PERIODICA_RETURN_NOT_OK(Need(size));
+    out->assign(data_.substr(pos_, size));
+    pos_ += size;
+    return Status::OK();
+  }
+
+  [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  Status Need(std::uint64_t bytes) {
+    if (bytes > data_.size() - pos_) {
+      return Status::InvalidArgument("truncated record at offset " +
+                                     std::to_string(pos_));
+    }
+    return Status::OK();
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+Status ReadFile(const std::string& path, std::string* out) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::IOError("cannot read '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  *out = buffer.str();
+  return Status::OK();
+}
+
+std::string SegmentName(std::uint64_t id) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "seg-%06llu.pseg",
+                static_cast<unsigned long long>(id));
+  return name;
+}
+
+/// Encodes one WAL record: a whole batch committed atomically under one
+/// sequence number. Layout (little-endian):
+///   u32 body length | u32 CRC-32 of body | body
+///   body: u64 seq | u32 write count | per write: u8 op, key, value (puts)
+/// where key/value are u64-length-prefixed strings. The frame CRC is what
+/// lets recovery tell "torn tail" from "valid record" without trusting any
+/// byte of the body.
+std::string EncodeWalRecord(std::uint64_t seq,
+                            const std::vector<KvStore::Write>& batch) {
+  Encoder body;
+  body.PutU64(seq);
+  body.PutU32(static_cast<std::uint32_t>(batch.size()));
+  for (const KvStore::Write& write : batch) {
+    body.PutU8(write.deleted ? kOpDelete : kOpPut);
+    body.PutString(write.key);
+    if (!write.deleted) {
+      body.PutString(write.value);
+    }
+  }
+  Encoder frame;
+  frame.PutU32(static_cast<std::uint32_t>(body.buffer().size()));
+  frame.PutU32(util::Crc32Of(body.buffer()));
+  return frame.buffer() + body.buffer();
+}
+
+/// Writes exactly `data` at the current offset of `fd`, looping over short
+/// writes. Returns the number of bytes that reached the file (== size on
+/// success).
+std::size_t WriteFully(int fd, std::string_view data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written,
+                              data.size() - written);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return written;
+}
+
+}  // namespace
+
+std::string JoinKey(std::initializer_list<std::string_view> parts) {
+  std::string key;
+  bool first = true;
+  for (const std::string_view part : parts) {
+    if (!first) key.push_back('\x1f');
+    key.append(part);
+    first = false;
+  }
+  return key;
+}
+
+KvStore::KvStore(Options options) : options_(std::move(options)) {}
+
+KvStore::~KvStore() {
+  util::MutexLock lock(&mutex_);
+  if (wal_fd_ >= 0) {
+    ::close(wal_fd_);
+    wal_fd_ = -1;
+  }
+}
+
+std::string KvStore::PathFor(const std::string& name) const {
+  return options_.dir + "/" + name;
+}
+
+Result<std::unique_ptr<KvStore>> KvStore::Open(Options options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("KvStore requires a store directory");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options.dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create store directory '" + options.dir +
+                           "': " + ec.message());
+  }
+  // unique_ptr because the constructor is private; the mutex also makes the
+  // class immovable.
+  std::unique_ptr<KvStore> kv(new KvStore(std::move(options)));
+  util::MutexLock lock(&kv->mutex_);
+  PERIODICA_RETURN_NOT_OK(kv->Recover());
+  return kv;
+}
+
+Status KvStore::Recover() {
+  const std::string manifest_path = PathFor(kManifestFile);
+  const std::string wal_path = PathFor(kWalFile);
+  const bool had_manifest = std::filesystem::exists(manifest_path);
+  const bool had_wal = std::filesystem::exists(wal_path);
+  if (had_manifest) {
+    PERIODICA_RETURN_NOT_OK(LoadManifest(manifest_path));
+  }
+  if (had_wal) {
+    PERIODICA_RETURN_NOT_OK(ReplayWal(wal_path));
+  }
+  if (had_manifest || had_wal) {
+    stats_.recoveries = 1;
+  }
+  // Open (or create) the live WAL. O_APPEND is deliberately absent: recovery
+  // may have truncated a torn tail away, and rotation rewinds the log, so
+  // writes are positioned by explicit lseek-to-end below.
+  const int fd = ::open(wal_path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open WAL '" + wal_path +
+                           "': " + std::strerror(errno));
+  }
+  wal_fd_ = fd;
+  const off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) {
+    return Status::IOError("cannot seek WAL '" + wal_path +
+                           "': " + std::strerror(errno));
+  }
+  if (end == 0) {
+    Encoder header;
+    header.PutBytes(kWalMagic, sizeof(kWalMagic));
+    header.PutU32(kFormatVersion);
+    if (WriteFully(fd, header.buffer()) != header.buffer().size() ||
+        ::fsync(fd) != 0) {
+      return Status::IOError("cannot initialize WAL '" + wal_path + "'");
+    }
+    wal_bytes_ = kWalHeaderSize;
+  } else {
+    wal_bytes_ = static_cast<std::size_t>(end);
+  }
+  stats_.wal_bytes = wal_bytes_;
+  return Status::OK();
+}
+
+Status KvStore::LoadManifest(const std::string& path) {
+  if (const Status fault = util::FaultInjector::Check("store/read");
+      !fault.ok()) {
+    return Status::IOError("cannot read manifest '" + path +
+                           "': " + fault.message());
+  }
+  std::string contents;
+  PERIODICA_RETURN_NOT_OK(ReadFile(path, &contents));
+  // The manifest is written atomically, so any damage here is bit rot or
+  // operator error, never a crash artifact — always refuse to open.
+  if (contents.size() < sizeof(kManifestMagic) + 4 ||
+      std::memcmp(contents.data(), kManifestMagic,
+                  sizeof(kManifestMagic)) != 0) {
+    return Status::IOError("'" + path + "' is not a store manifest");
+  }
+  const std::string_view checked(contents.data(), contents.size() - 4);
+  Decoder footer(std::string_view(contents).substr(checked.size()));
+  std::uint32_t stored_crc = 0;
+  PERIODICA_RETURN_NOT_OK(footer.GetU32(&stored_crc));
+  if (util::Crc32Of(checked) != stored_crc) {
+    return Status::IOError("'" + path +
+                           "': manifest checksum mismatch (corrupted)");
+  }
+  Decoder dec(checked.substr(sizeof(kManifestMagic)));
+  std::uint32_t version = 0;
+  std::uint64_t next_segment_id = 0;
+  std::uint32_t count = 0;
+  PERIODICA_RETURN_NOT_OK(dec.GetU32(&version));
+  if (version != kFormatVersion) {
+    return Status::IOError("'" + path + "': unsupported manifest version " +
+                           std::to_string(version) + " (this build reads " +
+                           std::to_string(kFormatVersion) + ")");
+  }
+  PERIODICA_RETURN_NOT_OK(dec.GetU64(&next_segment_id));
+  PERIODICA_RETURN_NOT_OK(dec.GetU32(&count));
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    PERIODICA_RETURN_NOT_OK(dec.GetString(&name));
+    PERIODICA_RETURN_NOT_OK(LoadSegment(name));
+  }
+  if (!dec.exhausted()) {
+    return Status::IOError("'" + path +
+                           "': trailing bytes after the manifest body");
+  }
+  next_segment_id_ = next_segment_id;
+  return Status::OK();
+}
+
+Status KvStore::LoadSegment(const std::string& name) {
+  const std::string path = PathFor(name);
+  const auto corrupt = [&](const std::string& why) -> Status {
+    // The scrub policy: a segment that fails verification either fails the
+    // whole Open (default — losing data silently is worse than refusing to
+    // start) or is dropped and counted, per Options::drop_corrupt_segments.
+    if (options_.drop_corrupt_segments) {
+      ++stats_.scrub_errors;
+      return Status::OK();
+    }
+    return Status::IOError("segment '" + path + "' failed its scrub: " + why);
+  };
+  if (const Status fault = util::FaultInjector::Check("store/read");
+      !fault.ok()) {
+    return Status::IOError("cannot read segment '" + path +
+                           "': " + fault.message());
+  }
+  std::string contents;
+  if (const Status read = ReadFile(path, &contents); !read.ok()) {
+    return corrupt(read.message());
+  }
+  if (contents.size() < sizeof(kSegmentMagic) + 4 ||
+      std::memcmp(contents.data(), kSegmentMagic,
+                  sizeof(kSegmentMagic)) != 0) {
+    return corrupt("bad magic");
+  }
+  const std::string_view checked(contents.data(), contents.size() - 4);
+  Decoder footer(std::string_view(contents).substr(checked.size()));
+  std::uint32_t stored_crc = 0;
+  if (const Status st = footer.GetU32(&stored_crc); !st.ok()) {
+    return corrupt(st.message());
+  }
+  if (util::Crc32Of(checked) != stored_crc) {
+    return corrupt("checksum mismatch");
+  }
+  Decoder dec(checked.substr(sizeof(kSegmentMagic)));
+  std::uint32_t version = 0;
+  std::uint64_t count = 0;
+  if (const Status st = dec.GetU32(&version); !st.ok()) {
+    return corrupt(st.message());
+  }
+  if (version != kFormatVersion) {
+    return corrupt("unsupported segment version " + std::to_string(version));
+  }
+  if (const Status st = dec.GetU64(&count); !st.ok()) {
+    return corrupt(st.message());
+  }
+  Segment segment;
+  segment.file = name;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint8_t op = 0;
+    std::string key;
+    if (const Status st = dec.GetU8(&op); !st.ok()) return corrupt(st.message());
+    if (op != kOpPut && op != kOpDelete) {
+      return corrupt("unknown entry op " + std::to_string(op));
+    }
+    if (const Status st = dec.GetString(&key); !st.ok()) {
+      return corrupt(st.message());
+    }
+    std::optional<std::string> value;
+    if (op == kOpPut) {
+      std::string bytes;
+      if (const Status st = dec.GetString(&bytes); !st.ok()) {
+        return corrupt(st.message());
+      }
+      value = std::move(bytes);
+    }
+    segment.entries.emplace(std::move(key), std::move(value));
+  }
+  if (!dec.exhausted()) {
+    return corrupt("trailing bytes after the declared entries");
+  }
+  segments_.push_back(std::move(segment));
+  return Status::OK();
+}
+
+Status KvStore::ReplayWal(const std::string& path) {
+  if (const Status fault = util::FaultInjector::Check("store/read");
+      !fault.ok()) {
+    return Status::IOError("cannot read WAL '" + path +
+                           "': " + fault.message());
+  }
+  std::string contents;
+  PERIODICA_RETURN_NOT_OK(ReadFile(path, &contents));
+  // A file shorter than the header can only be a crash during store
+  // creation: nothing was ever acknowledged, so reset it.
+  if (contents.size() < kWalHeaderSize) {
+    stats_.torn_tail_bytes += contents.size();
+    return TruncateWalFile(path, 0);
+  }
+  if (std::memcmp(contents.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+    return Status::IOError("'" + path + "' is not a store WAL (bad magic)");
+  }
+  Decoder header(std::string_view(contents).substr(sizeof(kWalMagic)));
+  std::uint32_t version = 0;
+  PERIODICA_RETURN_NOT_OK(header.GetU32(&version));
+  if (version != kFormatVersion) {
+    return Status::IOError("'" + path + "': unsupported WAL version " +
+                           std::to_string(version) + " (this build reads " +
+                           std::to_string(kFormatVersion) + ")");
+  }
+  // Replay records until the log ends — or stops making sense. Everything
+  // from the first bad frame on is the torn tail: bytes the process wrote
+  // but never acknowledged before dying. Discarding them is not data loss;
+  // keeping them would be serving garbage.
+  std::size_t offset = kWalHeaderSize;
+  std::uint64_t last_seq = 0;
+  while (offset < contents.size()) {
+    const std::size_t remaining = contents.size() - offset;
+    if (remaining < kWalFrameSize) break;
+    Decoder frame(std::string_view(contents).substr(offset, kWalFrameSize));
+    std::uint32_t body_size = 0;
+    std::uint32_t body_crc = 0;
+    PERIODICA_RETURN_NOT_OK(frame.GetU32(&body_size));
+    PERIODICA_RETURN_NOT_OK(frame.GetU32(&body_crc));
+    if (body_size > kMaxWalRecordBytes ||
+        body_size > remaining - kWalFrameSize) {
+      break;
+    }
+    const std::string_view body(contents.data() + offset + kWalFrameSize,
+                                body_size);
+    if (util::Crc32Of(body) != body_crc) break;
+    Decoder dec(body);
+    std::uint64_t seq = 0;
+    std::uint32_t count = 0;
+    if (!dec.GetU64(&seq).ok() || !dec.GetU32(&count).ok()) break;
+    if (seq <= last_seq) break;  // stale bytes from a previous log life
+    // Decode the whole batch before applying any of it: a batch is atomic,
+    // and a record whose CRC passed but whose fields do not parse is tail
+    // garbage, not a partial commit.
+    std::vector<Write> batch;
+    batch.reserve(count);
+    bool parsed = true;
+    for (std::uint32_t i = 0; i < count && parsed; ++i) {
+      Write write;
+      std::uint8_t op = 0;
+      parsed = dec.GetU8(&op).ok() && dec.GetString(&write.key).ok();
+      if (parsed && op == kOpPut) {
+        parsed = dec.GetString(&write.value).ok();
+      } else if (parsed && op == kOpDelete) {
+        write.deleted = true;
+      } else if (parsed) {
+        parsed = false;
+      }
+      if (parsed) batch.push_back(std::move(write));
+    }
+    if (!parsed || !dec.exhausted()) break;
+    for (Write& write : batch) {
+      if (write.deleted) {
+        table_[std::move(write.key)] = std::nullopt;
+      } else {
+        table_[std::move(write.key)] = std::move(write.value);
+      }
+    }
+    last_seq = seq;
+    ++stats_.recovered_records;
+    offset += kWalFrameSize + body_size;
+  }
+  next_seq_ = last_seq + 1;
+  if (offset < contents.size()) {
+    stats_.torn_tail_bytes += contents.size() - offset;
+    PERIODICA_RETURN_NOT_OK(TruncateWalFile(path, offset));
+  }
+  return Status::OK();
+}
+
+Status KvStore::TruncateWalFile(const std::string& path, std::size_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Status::IOError("cannot truncate torn WAL tail of '" + path +
+                           "': " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status KvStore::AppendToWal(const std::string& encoded) {
+  const off_t start = ::lseek(wal_fd_, 0, SEEK_END);
+  if (start < 0) {
+    return Status::IOError("cannot seek WAL: " +
+                           std::string(std::strerror(errno)));
+  }
+  if (const Status fault = util::FaultInjector::Check("store/wal_append");
+      !fault.ok()) {
+    // Simulated kill mid-append: half the record reaches the log and the
+    // store object is as good as dead — the tail is garbage only recovery
+    // can repair, so every later write must refuse rather than append after
+    // it. Recovery discards the tear (frame CRC cannot match half a body).
+    (void)WriteFully(wal_fd_, std::string_view(encoded).substr(
+                                  0, encoded.size() / 2));
+    wal_broken_ = true;
+    return Status::IOError("WAL append failed: " + fault.message());
+  }
+  if (WriteFully(wal_fd_, encoded) != encoded.size()) {
+    // A real short write: try to rewind the log to the record boundary. If
+    // that also fails the tail is garbage and the store is write-dead.
+    if (::ftruncate(wal_fd_, start) != 0) wal_broken_ = true;
+    return Status::IOError("WAL append failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  if (const Status fault = util::FaultInjector::Check("store/wal_fsync");
+      !fault.ok()) {
+    // The record is fully written but its durability is unknown, and the
+    // caller will be told "failed" — so it must not be applied in memory.
+    // The bytes stay (they are a valid record; recovery may legitimately
+    // replay a write that was never acknowledged), but this store object
+    // can no longer trust log position against memory: write-dead.
+    wal_broken_ = true;
+    return Status::IOError("WAL fsync failed: " + fault.message());
+  }
+  if (options_.sync_writes && ::fsync(wal_fd_) != 0) {
+    wal_broken_ = true;
+    return Status::IOError("WAL fsync failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  wal_bytes_ = static_cast<std::size_t>(start) + encoded.size();
+  stats_.wal_bytes = wal_bytes_;
+  return Status::OK();
+}
+
+Status KvStore::ApplyBatch(const std::vector<Write>& batch) {
+  if (batch.empty()) return Status::OK();
+  for (const Write& write : batch) {
+    if (write.key.empty()) {
+      return Status::InvalidArgument("store keys must be non-empty");
+    }
+  }
+  util::MutexLock lock(&mutex_);
+  if (wal_broken_) {
+    return Status::IOError(
+        "store WAL is in an unknown state after a failed append; reopen the "
+        "store to recover");
+  }
+  PERIODICA_RETURN_NOT_OK(AppendToWal(EncodeWalRecord(next_seq_, batch)));
+  ++next_seq_;
+  for (const Write& write : batch) {
+    if (write.deleted) {
+      table_[write.key] = std::nullopt;
+      ++stats_.deletes;
+    } else {
+      table_[write.key] = write.value;
+      ++stats_.puts;
+    }
+  }
+  // The batch is durable and visible, so the write itself succeeded no
+  // matter what rotation does; a rotation error (disk full, injected fault)
+  // just leaves the WAL long, and the next write retries.
+  if (options_.wal_rotate_bytes > 0 &&
+      wal_bytes_ >= options_.wal_rotate_bytes) {
+    const Status rotated = RotateLocked();
+    (void)rotated;
+  }
+  return Status::OK();
+}
+
+Status KvStore::Put(const std::string& key, std::string_view value) {
+  return ApplyBatch({{key, std::string(value), false}});
+}
+
+Status KvStore::Delete(const std::string& key) {
+  return ApplyBatch({{key, std::string(), true}});
+}
+
+Result<std::string> KvStore::Get(const std::string& key) {
+  util::MutexLock lock(&mutex_);
+  ++stats_.gets;
+  if (const Status fault = util::FaultInjector::Check("store/read");
+      !fault.ok()) {
+    return Status::IOError("store read failed: " + fault.message());
+  }
+  if (const auto it = table_.find(key); it != table_.end()) {
+    if (!it->second.has_value()) {
+      return Status::NotFound("key '" + key + "' is not in the store");
+    }
+    ++stats_.hits;
+    return *it->second;
+  }
+  for (auto seg = segments_.rbegin(); seg != segments_.rend(); ++seg) {
+    if (const auto it = seg->entries.find(key); it != seg->entries.end()) {
+      if (!it->second.has_value()) {
+        return Status::NotFound("key '" + key + "' is not in the store");
+      }
+      ++stats_.hits;
+      return *it->second;
+    }
+  }
+  return Status::NotFound("key '" + key + "' is not in the store");
+}
+
+std::vector<std::string> KvStore::ListKeys(const std::string& prefix) const {
+  util::MutexLock lock(&mutex_);
+  return MergedLiveKeysLocked(prefix);
+}
+
+std::vector<std::string> KvStore::MergedLiveKeysLocked(
+    const std::string& prefix) const {
+  // Oldest to newest so later writes (and tombstones) shadow earlier ones.
+  std::map<std::string, bool> live;
+  const auto fold = [&](const Table& entries) {
+    for (const auto& [key, value] : entries) {
+      if (key.compare(0, prefix.size(), prefix) != 0) continue;
+      live[key] = value.has_value();
+    }
+  };
+  for (const Segment& segment : segments_) fold(segment.entries);
+  fold(table_);
+  std::vector<std::string> keys;
+  for (const auto& [key, alive] : live) {
+    if (alive) keys.push_back(key);
+  }
+  return keys;
+}
+
+Status KvStore::Flush() {
+  util::MutexLock lock(&mutex_);
+  if (wal_broken_) {
+    return Status::IOError(
+        "store WAL is in an unknown state after a failed append; reopen the "
+        "store to recover");
+  }
+  return RotateLocked();
+}
+
+Status KvStore::RotateLocked() {
+  if (table_.empty()) return Status::OK();
+  // Step 1: freeze the live table into an immutable sorted segment.
+  // Tombstones are kept — they must keep shadowing older segments.
+  if (const Status fault = util::FaultInjector::Check("store/segment_write");
+      !fault.ok()) {
+    return Status::IOError("segment write failed: " + fault.message());
+  }
+  const std::uint64_t id = next_segment_id_;
+  const std::string name = SegmentName(id);
+  Encoder body;
+  body.PutBytes(kSegmentMagic, sizeof(kSegmentMagic));
+  body.PutU32(kFormatVersion);
+  body.PutU64(table_.size());
+  for (const auto& [key, value] : table_) {
+    body.PutU8(value.has_value() ? kOpPut : kOpDelete);
+    body.PutString(key);
+    if (value.has_value()) body.PutString(*value);
+  }
+  Encoder footer;
+  footer.PutU32(util::Crc32Of(body.buffer()));
+  PERIODICA_RETURN_NOT_OK(
+      util::AtomicWriteFile(PathFor(name), body.buffer() + footer.buffer()));
+  // Step 2: publish it. Until the manifest rename commits, the new file is
+  // an orphan recovery ignores, and the WAL still holds every record — a
+  // crash anywhere in between replays to the same state.
+  next_segment_id_ = id + 1;
+  segments_.push_back(Segment{name, std::move(table_)});
+  table_.clear();
+  if (const Status manifest = WriteManifestLocked(); !manifest.ok()) {
+    // Unpublish in memory; the WAL still covers these writes.
+    table_ = std::move(segments_.back().entries);
+    segments_.pop_back();
+    next_segment_id_ = id;
+    return manifest;
+  }
+  ++stats_.rotations;
+  // Step 3: the segment now owns the data, so the WAL can rewind. A failure
+  // here is safe (records replay onto identical values) but write-deadly:
+  // the in-memory log offset no longer matches the file.
+  if (::ftruncate(wal_fd_, static_cast<off_t>(kWalHeaderSize)) != 0 ||
+      ::lseek(wal_fd_, 0, SEEK_END) < 0 ||
+      (options_.sync_writes && ::fsync(wal_fd_) != 0)) {
+    wal_broken_ = true;
+    return Status::IOError("cannot rewind WAL after rotation: " +
+                           std::string(std::strerror(errno)));
+  }
+  wal_bytes_ = kWalHeaderSize;
+  stats_.wal_bytes = wal_bytes_;
+  if (options_.max_segments > 0 && segments_.size() > options_.max_segments) {
+    return CompactLocked();
+  }
+  return Status::OK();
+}
+
+Status KvStore::CompactLocked() {
+  // Merge every segment oldest-to-newest; tombstones shadow, then drop —
+  // after compaction there is nothing older left for them to delete.
+  Table merged;
+  for (const Segment& segment : segments_) {
+    for (const auto& [key, value] : segment.entries) {
+      merged[key] = value;
+    }
+  }
+  for (auto it = merged.begin(); it != merged.end();) {
+    it = it->second.has_value() ? std::next(it) : merged.erase(it);
+  }
+  if (const Status fault = util::FaultInjector::Check("store/segment_write");
+      !fault.ok()) {
+    return Status::IOError("segment write failed: " + fault.message());
+  }
+  const std::uint64_t id = next_segment_id_;
+  const std::string name = SegmentName(id);
+  Encoder body;
+  body.PutBytes(kSegmentMagic, sizeof(kSegmentMagic));
+  body.PutU32(kFormatVersion);
+  body.PutU64(merged.size());
+  for (const auto& [key, value] : merged) {
+    body.PutU8(kOpPut);
+    body.PutString(key);
+    body.PutString(*value);
+  }
+  Encoder footer;
+  footer.PutU32(util::Crc32Of(body.buffer()));
+  PERIODICA_RETURN_NOT_OK(
+      util::AtomicWriteFile(PathFor(name), body.buffer() + footer.buffer()));
+  std::vector<Segment> replaced = std::move(segments_);
+  segments_.clear();
+  segments_.push_back(Segment{name, std::move(merged)});
+  next_segment_id_ = id + 1;
+  if (const Status manifest = WriteManifestLocked(); !manifest.ok()) {
+    segments_ = std::move(replaced);
+    next_segment_id_ = id;
+    return manifest;
+  }
+  ++stats_.compactions;
+  // The old files are unreferenced now; removal is cosmetic, so best-effort
+  // (a crash here just leaves orphans the manifest never mentions).
+  for (const Segment& segment : replaced) {
+    (void)std::remove(PathFor(segment.file).c_str());
+  }
+  return Status::OK();
+}
+
+Status KvStore::WriteManifestLocked() {
+  if (const Status fault = util::FaultInjector::Check("store/manifest_rename");
+      !fault.ok()) {
+    return Status::IOError("manifest update failed: " + fault.message());
+  }
+  Encoder body;
+  body.PutBytes(kManifestMagic, sizeof(kManifestMagic));
+  body.PutU32(kFormatVersion);
+  body.PutU64(next_segment_id_);
+  body.PutU32(static_cast<std::uint32_t>(segments_.size()));
+  for (const Segment& segment : segments_) {
+    body.PutString(segment.file);
+  }
+  Encoder footer;
+  footer.PutU32(util::Crc32Of(body.buffer()));
+  return util::AtomicWriteFile(PathFor(kManifestFile),
+                               body.buffer() + footer.buffer());
+}
+
+KvStore::Stats KvStore::GetStats() const {
+  util::MutexLock lock(&mutex_);
+  Stats stats = stats_;
+  stats.keys = MergedLiveKeysLocked("").size();
+  stats.wal_bytes = wal_bytes_;
+  stats.segments = segments_.size();
+  return stats;
+}
+
+}  // namespace periodica::store

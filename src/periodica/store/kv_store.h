@@ -1,0 +1,200 @@
+#ifndef PERIODICA_STORE_KV_STORE_H_
+#define PERIODICA_STORE_KV_STORE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "periodica/util/result.h"
+#include "periodica/util/status.h"
+#include "periodica/util/sync.h"
+
+namespace periodica::store {
+
+/// A small crash-safe key-value store — the durability layer under
+/// `periodicad`'s result cache and restart-survivable streaming sessions
+/// (docs/ROBUSTNESS.md "Durability"). The one-pass premise makes mined
+/// results and session checkpoints irreplaceable: the stream that produced
+/// them is gone, so losing them to a crash means losing history that can
+/// never be recomputed. KvStore keeps them in a log-structured SSTable-lite
+/// built from the repo's own atomic-file and CRC-32 primitives:
+///
+///  * every write is appended to a CRC-framed write-ahead log and fsynced
+///    (one fsync per batch — group commit) *before* the call returns OK, so
+///    an acknowledged write survives kill -9 at any instant;
+///  * when the WAL outgrows `wal_rotate_bytes`, the in-memory table is
+///    flushed into an immutable, sorted, CRC-footed segment file written
+///    via util::AtomicWriteFile (temp-then-rename, never torn), the
+///    manifest is atomically updated to reference it, and the WAL resets;
+///  * startup recovery loads the manifest, verifies every segment checksum
+///    (scrub), replays the WAL on top, and *discards the torn tail* — a
+///    record cut short by a crash was by definition never acknowledged;
+///  * reads consult the live table, then segments newest-to-oldest; a
+///    record can only be served after its framing CRC verified, so a
+///    corrupt byte is a precise Status, never silently wrong data.
+///
+/// Keys are flat strings; the serving layer names them with JoinKey over
+/// (namespace, tenant, series-id, config-hash) components — see docs/API.md
+/// for the schema. Values are opaque bytes (mined-result JSON, "PCHK"
+/// checkpoint envelopes).
+///
+/// Crash-consistency contract (torture-tested in tests/store_crash_test.cc
+/// by killing mid-write at every fault site below):
+///  * a write acknowledged with OK is never lost by recovery;
+///  * a write that failed (or never returned) may or may not survive, but
+///    recovery never serves a half-applied or corrupt version of it;
+///  * segment and manifest publication are atomic renames, so rotation and
+///    compaction can crash at any point without losing either the old or
+///    the new view.
+///
+/// Fault-injection sites (util/fault_injector.h), all registered in
+/// docs/ROBUSTNESS.md: "store/wal_append" (torn append: half the batch
+/// reaches the log), "store/wal_fsync" (data written, durability unknown),
+/// "store/segment_write" (rotation dies before the segment exists),
+/// "store/manifest_rename" (rotation dies between segment and manifest),
+/// "store/read" (lookup or recovery read failure).
+///
+/// Thread-safety: all public methods may be called concurrently; one mutex
+/// serializes them (writes are I/O-bound on the WAL fsync anyway).
+class KvStore {
+ public:
+  struct Options {
+    /// Store directory (created if missing). Holds `wal.log`, `MANIFEST`
+    /// and `seg-\d+.pseg` files; nothing else should live there.
+    std::string dir;
+    /// WAL size that triggers rotation into a segment (0 = never rotate;
+    /// the WAL then grows until Flush is called explicitly).
+    std::size_t wal_rotate_bytes = 4u << 20;
+    /// Segment-file count that triggers a full compaction into one segment
+    /// at the next rotation (0 = never compact).
+    std::size_t max_segments = 8;
+    /// fsync the WAL before acknowledging a write. Turning this off makes
+    /// writes group-buffered by the OS: an acknowledged write then survives
+    /// a process crash but not a host crash. Tests and bulk loads only.
+    bool sync_writes = true;
+    /// Recovery policy for a segment whose checksum fails the scrub: false
+    /// (default) fails Open with a Status naming the segment — bit rot
+    /// needs an operator, not silent data loss; true drops the segment,
+    /// counts it in Stats::scrub_errors, and serves what remains.
+    bool drop_corrupt_segments = false;
+  };
+
+  struct Stats {
+    std::size_t keys = 0;       ///< live keys across table + segments
+    std::size_t wal_bytes = 0;  ///< current WAL size, header included
+    std::size_t segments = 0;
+    std::uint64_t puts = 0;
+    std::uint64_t deletes = 0;
+    std::uint64_t gets = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t rotations = 0;
+    std::uint64_t compactions = 0;
+    /// 1 when Open found prior state (a WAL and/or manifest) to recover.
+    std::uint64_t recoveries = 0;
+    std::uint64_t recovered_records = 0;  ///< WAL records replayed at Open
+    std::uint64_t torn_tail_bytes = 0;    ///< discarded unacknowledged tail
+    std::uint64_t scrub_errors = 0;  ///< segments dropped by a failed scrub
+  };
+
+  /// One write in a batch (group commit: the whole batch is one WAL append
+  /// and one fsync). `deleted` makes the entry a tombstone for `key`.
+  struct Write {
+    std::string key;
+    std::string value;
+    bool deleted = false;
+  };
+
+  /// Opens (or creates) the store in `options.dir`, running recovery:
+  /// manifest load, segment scrub, WAL replay with torn-tail discard.
+  static Result<std::unique_ptr<KvStore>> Open(Options options);
+
+  /// Closes the WAL fd. Never writes — a KvStore is crash-consistent at
+  /// every instant by construction, so shutdown needs no flush.
+  ~KvStore();
+
+  KvStore(const KvStore&) = delete;
+  KvStore& operator=(const KvStore&) = delete;
+
+  /// Durably records `key` -> `value`. OK means the write is in the fsynced
+  /// WAL and visible to Get; any error means it was not applied.
+  Status Put(const std::string& key, std::string_view value);
+
+  /// Durably records a tombstone for `key` (absent keys are fine).
+  Status Delete(const std::string& key);
+
+  /// Applies every write in `batch` atomically-in-order with one WAL append
+  /// and one fsync. On error none of the batch is visible.
+  Status ApplyBatch(const std::vector<Write>& batch);
+
+  /// The current value of `key`; NotFound when absent or deleted, IOError
+  /// on an injected/real read failure.
+  Result<std::string> Get(const std::string& key);
+
+  /// Live keys beginning with `prefix`, sorted (diagnostics and tests).
+  [[nodiscard]] std::vector<std::string> ListKeys(
+      const std::string& prefix) const;
+
+  /// Forces a rotation now (flushes the live table into a segment and
+  /// resets the WAL). No-op when the live table is empty.
+  Status Flush();
+
+  [[nodiscard]] Stats GetStats() const;
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  /// Live-table entry: a value, or a tombstone shadowing older segments.
+  using Table = std::map<std::string, std::optional<std::string>>;
+
+  struct Segment {
+    std::string file;  ///< file name within the store directory
+    Table entries;     ///< loaded + CRC-verified at Open
+  };
+
+  explicit KvStore(Options options);
+
+  Status Recover() PERIODICA_REQUIRES(mutex_);
+  Status ReplayWal(const std::string& path) PERIODICA_REQUIRES(mutex_);
+  static Status TruncateWalFile(const std::string& path, std::size_t size);
+  Status LoadManifest(const std::string& path) PERIODICA_REQUIRES(mutex_);
+  Status LoadSegment(const std::string& name) PERIODICA_REQUIRES(mutex_);
+  Status AppendToWal(const std::string& encoded) PERIODICA_REQUIRES(mutex_);
+  Status RotateLocked() PERIODICA_REQUIRES(mutex_);
+  Status CompactLocked() PERIODICA_REQUIRES(mutex_);
+  Status WriteManifestLocked() PERIODICA_REQUIRES(mutex_);
+  [[nodiscard]] std::vector<std::string> MergedLiveKeysLocked(
+      const std::string& prefix) const PERIODICA_REQUIRES(mutex_);
+  [[nodiscard]] std::string PathFor(const std::string& name) const;
+
+  const Options options_;  ///< immutable after construction
+
+  mutable util::Mutex mutex_;
+  int wal_fd_ PERIODICA_GUARDED_BY(mutex_) = -1;
+  /// A torn append could not be truncated away: the log tail is garbage, so
+  /// further appends would be unrecoverable. All writes fail until reopen.
+  bool wal_broken_ PERIODICA_GUARDED_BY(mutex_) = false;
+  std::size_t wal_bytes_ PERIODICA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t next_seq_ PERIODICA_GUARDED_BY(mutex_) = 1;
+  std::uint64_t next_segment_id_ PERIODICA_GUARDED_BY(mutex_) = 1;
+  Table table_ PERIODICA_GUARDED_BY(mutex_);
+  /// Oldest first; readers scan from the back (newest shadows oldest).
+  std::vector<Segment> segments_ PERIODICA_GUARDED_BY(mutex_);
+  Stats stats_ PERIODICA_GUARDED_BY(mutex_);
+};
+
+/// Builds a store key from components, joined with the 0x1F unit separator
+/// (which cannot appear in validated tenant/session/series names). The
+/// serving layer's schema — documented in docs/API.md — is
+/// ("mine", tenant, series-id, config-hash) for cached results and
+/// ("ckpt", tenant, session-id) for session checkpoints.
+[[nodiscard]] std::string JoinKey(
+    std::initializer_list<std::string_view> parts);
+
+}  // namespace periodica::store
+
+#endif  // PERIODICA_STORE_KV_STORE_H_

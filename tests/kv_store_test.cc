@@ -1,0 +1,339 @@
+#include "periodica/store/kv_store.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "periodica/util/fault_injector.h"
+
+namespace periodica::store {
+namespace {
+
+class KvStoreTest : public ::testing::Test {
+ protected:
+  std::string StoreDir() {
+    const auto dir =
+        std::filesystem::temp_directory_path() /
+        ("periodica_kv_store_test_" + std::to_string(::getpid())) /
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir);
+    created_.push_back(dir);
+    return dir.string();
+  }
+
+  static std::unique_ptr<KvStore> MustOpen(KvStore::Options options) {
+    auto kv = KvStore::Open(std::move(options));
+    EXPECT_TRUE(kv.ok()) << kv.status();
+    return std::move(kv).ValueOrDie();
+  }
+
+  void TearDown() override {
+    for (const auto& dir : created_) {
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
+    }
+  }
+
+  std::vector<std::filesystem::path> created_;
+};
+
+TEST_F(KvStoreTest, PutGetRoundTrips) {
+  auto kv = MustOpen({.dir = StoreDir()});
+  ASSERT_TRUE(kv->Put("alpha", "one").ok());
+  ASSERT_TRUE(kv->Put("beta", "two").ok());
+  EXPECT_EQ(kv->Get("alpha").ValueOrDie(), "one");
+  EXPECT_EQ(kv->Get("beta").ValueOrDie(), "two");
+  EXPECT_TRUE(kv->Get("gamma").status().IsNotFound());
+}
+
+TEST_F(KvStoreTest, OverwriteReturnsLatestValue) {
+  auto kv = MustOpen({.dir = StoreDir()});
+  ASSERT_TRUE(kv->Put("key", "v1").ok());
+  ASSERT_TRUE(kv->Put("key", "v2").ok());
+  EXPECT_EQ(kv->Get("key").ValueOrDie(), "v2");
+}
+
+TEST_F(KvStoreTest, DeleteHidesTheKey) {
+  auto kv = MustOpen({.dir = StoreDir()});
+  ASSERT_TRUE(kv->Put("key", "value").ok());
+  ASSERT_TRUE(kv->Delete("key").ok());
+  EXPECT_TRUE(kv->Get("key").status().IsNotFound());
+  // Deleting an absent key is not an error (idempotent tombstone).
+  EXPECT_TRUE(kv->Delete("never-existed").ok());
+}
+
+TEST_F(KvStoreTest, EmptyKeyIsRejected) {
+  auto kv = MustOpen({.dir = StoreDir()});
+  EXPECT_TRUE(kv->Put("", "value").IsInvalidArgument());
+}
+
+TEST_F(KvStoreTest, BinaryValuesSurviveVerbatim) {
+  const std::string dir = StoreDir();
+  std::string value = "\x00\x01\xFF\r\n\x7F";
+  value.resize(6);  // keep the embedded NUL
+  {
+    auto kv = MustOpen({.dir = dir});
+    ASSERT_TRUE(kv->Put("bin", value).ok());
+  }
+  auto kv = MustOpen({.dir = dir});
+  EXPECT_EQ(kv->Get("bin").ValueOrDie(), value);
+}
+
+TEST_F(KvStoreTest, BatchIsAppliedInOrder) {
+  auto kv = MustOpen({.dir = StoreDir()});
+  ASSERT_TRUE(kv->ApplyBatch({{"a", "1", false},
+                              {"b", "2", false},
+                              {"a", "", true},
+                              {"c", "3", false}})
+                  .ok());
+  EXPECT_TRUE(kv->Get("a").status().IsNotFound());
+  EXPECT_EQ(kv->Get("b").ValueOrDie(), "2");
+  EXPECT_EQ(kv->Get("c").ValueOrDie(), "3");
+}
+
+TEST_F(KvStoreTest, ReopenRecoversEverythingFromTheWal) {
+  const std::string dir = StoreDir();
+  {
+    auto kv = MustOpen({.dir = dir});
+    ASSERT_TRUE(kv->Put("persist", "me").ok());
+    ASSERT_TRUE(kv->Put("tomb", "stone").ok());
+    ASSERT_TRUE(kv->Delete("tomb").ok());
+  }
+  auto kv = MustOpen({.dir = dir});
+  EXPECT_EQ(kv->Get("persist").ValueOrDie(), "me");
+  EXPECT_TRUE(kv->Get("tomb").status().IsNotFound());
+  const KvStore::Stats stats = kv->GetStats();
+  EXPECT_EQ(stats.recoveries, 1u);
+  EXPECT_EQ(stats.recovered_records, 3u);
+  EXPECT_EQ(stats.torn_tail_bytes, 0u);
+}
+
+TEST_F(KvStoreTest, FreshStoreReportsNoRecovery) {
+  auto kv = MustOpen({.dir = StoreDir()});
+  EXPECT_EQ(kv->GetStats().recoveries, 0u);
+}
+
+TEST_F(KvStoreTest, RotationMovesDataIntoSegments) {
+  const std::string dir = StoreDir();
+  auto kv = MustOpen({.dir = dir, .wal_rotate_bytes = 256});
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(
+        kv->Put("key" + std::to_string(i), std::string(32, 'x')).ok());
+  }
+  KvStore::Stats stats = kv->GetStats();
+  EXPECT_GT(stats.rotations, 0u);
+  EXPECT_GT(stats.segments, 0u);
+  EXPECT_EQ(stats.keys, 32u);
+  // Everything is still readable, from whichever layer it landed in.
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(kv->Get("key" + std::to_string(i)).ValueOrDie(),
+              std::string(32, 'x'));
+  }
+  // And after a restart (segments + manifest + WAL replay).
+  kv = MustOpen({.dir = dir, .wal_rotate_bytes = 256});
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(kv->Get("key" + std::to_string(i)).ValueOrDie(),
+              std::string(32, 'x'));
+  }
+}
+
+TEST_F(KvStoreTest, CompactionBoundsTheSegmentCountAndDropsTombstones) {
+  const std::string dir = StoreDir();
+  auto kv = MustOpen({.dir = dir, .wal_rotate_bytes = 1, .max_segments = 2});
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(kv->Put("key" + std::to_string(i), "v").ok());
+    ASSERT_TRUE(kv->Delete("key" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(kv->Put("survivor", "yes").ok());
+  const KvStore::Stats stats = kv->GetStats();
+  EXPECT_GT(stats.compactions, 0u);
+  EXPECT_LE(stats.segments, 3u);  // at most max_segments + the newest
+  // Compaction removed the files the manifest no longer references.
+  std::size_t seg_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".pseg") ++seg_files;
+  }
+  EXPECT_EQ(seg_files, stats.segments);
+  kv = MustOpen({.dir = dir});
+  EXPECT_EQ(kv->Get("survivor").ValueOrDie(), "yes");
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_TRUE(kv->Get("key" + std::to_string(i)).status().IsNotFound());
+  }
+}
+
+TEST_F(KvStoreTest, FlushRotatesOnDemand) {
+  const std::string dir = StoreDir();
+  auto kv = MustOpen({.dir = dir, .wal_rotate_bytes = 0});
+  ASSERT_TRUE(kv->Put("key", "value").ok());
+  ASSERT_TRUE(kv->Flush().ok());
+  const KvStore::Stats stats = kv->GetStats();
+  EXPECT_EQ(stats.rotations, 1u);
+  EXPECT_EQ(stats.segments, 1u);
+  EXPECT_EQ(kv->Get("key").ValueOrDie(), "value");
+  // A flush with nothing buffered is a no-op, not an empty segment.
+  ASSERT_TRUE(kv->Flush().ok());
+  EXPECT_EQ(kv->GetStats().segments, 1u);
+}
+
+TEST_F(KvStoreTest, ListKeysMergesLayersAndHonorsPrefix) {
+  auto kv = MustOpen({.dir = StoreDir(), .wal_rotate_bytes = 0});
+  ASSERT_TRUE(kv->Put("mine/a", "1").ok());
+  ASSERT_TRUE(kv->Put("ckpt/b", "2").ok());
+  ASSERT_TRUE(kv->Flush().ok());  // push both into a segment
+  ASSERT_TRUE(kv->Put("mine/c", "3").ok());
+  ASSERT_TRUE(kv->Delete("mine/a").ok());
+  EXPECT_EQ(kv->ListKeys("mine/"),
+            (std::vector<std::string>{"mine/c"}));
+  EXPECT_EQ(kv->ListKeys(""),
+            (std::vector<std::string>{"ckpt/b", "mine/c"}));
+}
+
+TEST_F(KvStoreTest, StatsCountTheTraffic) {
+  auto kv = MustOpen({.dir = StoreDir()});
+  ASSERT_TRUE(kv->Put("key", "value").ok());
+  ASSERT_TRUE(kv->Delete("gone").ok());
+  EXPECT_TRUE(kv->Get("key").ok());
+  EXPECT_TRUE(kv->Get("missing").status().IsNotFound());
+  const KvStore::Stats stats = kv->GetStats();
+  EXPECT_EQ(stats.puts, 1u);
+  EXPECT_EQ(stats.deletes, 1u);
+  EXPECT_EQ(stats.gets, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_GT(stats.wal_bytes, 8u);
+}
+
+TEST_F(KvStoreTest, MissingDirectoryIsCreated) {
+  const std::string dir = StoreDir() + "/nested/deeper";
+  auto kv = MustOpen({.dir = dir});
+  ASSERT_TRUE(kv->Put("key", "value").ok());
+  EXPECT_TRUE(std::filesystem::exists(dir + "/wal.log"));
+}
+
+TEST_F(KvStoreTest, EmptyDirOptionIsRejected) {
+  EXPECT_TRUE(KvStore::Open({}).status().IsInvalidArgument());
+}
+
+TEST_F(KvStoreTest, FailedAppendIsNotAppliedAndStoreGoesWriteDead) {
+  const std::string dir = StoreDir();
+  auto kv = MustOpen({.dir = dir});
+  ASSERT_TRUE(kv->Put("before", "ok").ok());
+  {
+    util::ScopedFault fault("store/wal_append", Status::IOError("injected"));
+    EXPECT_TRUE(kv->Put("torn", "never-acked").IsIOError());
+  }
+  // The failed write is invisible, and the store refuses further writes
+  // (the log tail is garbage only recovery can repair)...
+  EXPECT_TRUE(kv->Get("torn").status().IsNotFound());
+  EXPECT_TRUE(kv->Put("after", "x").IsIOError());
+  EXPECT_EQ(kv->Get("before").ValueOrDie(), "ok");  // reads still fine
+  // ...and a reopen discards the torn tail and serves every acked write.
+  kv = MustOpen({.dir = dir});
+  EXPECT_EQ(kv->Get("before").ValueOrDie(), "ok");
+  EXPECT_TRUE(kv->Get("torn").status().IsNotFound());
+  EXPECT_GT(kv->GetStats().torn_tail_bytes, 0u);
+  ASSERT_TRUE(kv->Put("after", "works again").ok());
+}
+
+TEST_F(KvStoreTest, FailedFsyncIsReportedAndNotApplied) {
+  const std::string dir = StoreDir();
+  auto kv = MustOpen({.dir = dir});
+  {
+    util::ScopedFault fault("store/wal_fsync", Status::IOError("injected"));
+    EXPECT_TRUE(kv->Put("unsynced", "value").IsIOError());
+  }
+  EXPECT_TRUE(kv->Get("unsynced").status().IsNotFound());
+  EXPECT_TRUE(kv->Put("next", "x").IsIOError());  // write-dead until reopen
+}
+
+TEST_F(KvStoreTest, FailedRotationKeepsWritesDurable) {
+  const std::string dir = StoreDir();
+  auto kv = MustOpen({.dir = dir, .wal_rotate_bytes = 64});
+  {
+    util::ScopedFault fault("store/segment_write",
+                            Status::IOError("injected"), /*fire_on_nth=*/1,
+                            /*repeat=*/true);
+    for (int i = 0; i < 8; ++i) {
+      // The puts themselves succeed — rotation failing must not fail the
+      // already-durable write.
+      ASSERT_TRUE(kv->Put("key" + std::to_string(i), "value").ok());
+    }
+  }
+  EXPECT_EQ(kv->GetStats().segments, 0u);
+  // With the fault gone the next write retries the rotation.
+  ASSERT_TRUE(kv->Put("trigger", "rotation").ok());
+  EXPECT_GT(kv->GetStats().segments, 0u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(kv->Get("key" + std::to_string(i)).ValueOrDie(), "value");
+  }
+}
+
+TEST_F(KvStoreTest, FailedManifestRenameLeavesAnIgnorableOrphan) {
+  const std::string dir = StoreDir();
+  auto kv = MustOpen({.dir = dir, .wal_rotate_bytes = 0});
+  ASSERT_TRUE(kv->Put("key", "value").ok());
+  {
+    util::ScopedFault fault("store/manifest_rename",
+                            Status::IOError("injected"));
+    EXPECT_TRUE(kv->Flush().IsIOError());
+  }
+  // The orphan segment is on disk but unpublished; reads and a reopen both
+  // serve the WAL copy.
+  EXPECT_EQ(kv->Get("key").ValueOrDie(), "value");
+  kv = MustOpen({.dir = dir});
+  EXPECT_EQ(kv->Get("key").ValueOrDie(), "value");
+  EXPECT_EQ(kv->GetStats().segments, 0u);
+}
+
+TEST_F(KvStoreTest, InjectedReadFaultIsACleanIOError) {
+  auto kv = MustOpen({.dir = StoreDir()});
+  ASSERT_TRUE(kv->Put("key", "value").ok());
+  util::ScopedFault fault("store/read", Status::IOError("injected"));
+  EXPECT_TRUE(kv->Get("key").status().IsIOError());
+  EXPECT_EQ(kv->Get("key").ValueOrDie(), "value");  // one-shot fault
+}
+
+TEST_F(KvStoreTest, CorruptSegmentFailsOpenByDefault) {
+  const std::string dir = StoreDir();
+  {
+    auto kv = MustOpen({.dir = dir, .wal_rotate_bytes = 0});
+    ASSERT_TRUE(kv->Put("key", "value").ok());
+    ASSERT_TRUE(kv->Flush().ok());
+  }
+  // Flip one byte in the middle of the (only) segment.
+  std::string seg_path;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".pseg") seg_path = entry.path();
+  }
+  ASSERT_FALSE(seg_path.empty());
+  {
+    std::fstream file(seg_path, std::ios::in | std::ios::out |
+                                    std::ios::binary);
+    file.seekp(static_cast<std::streamoff>(
+        std::filesystem::file_size(seg_path) / 2));
+    file.put('\xA5');
+  }
+  const auto strict = KvStore::Open({.dir = dir});
+  ASSERT_FALSE(strict.ok());
+  EXPECT_TRUE(strict.status().IsIOError());
+  EXPECT_NE(strict.status().message().find("scrub"), std::string::npos);
+  // The permissive policy drops the segment, counts it, and serves the rest.
+  auto kv = MustOpen({.dir = dir, .drop_corrupt_segments = true});
+  EXPECT_EQ(kv->GetStats().scrub_errors, 1u);
+  EXPECT_TRUE(kv->Get("key").status().IsNotFound());
+}
+
+TEST_F(KvStoreTest, JoinKeySeparatesComponentsUnambiguously) {
+  EXPECT_EQ(JoinKey({"mine", "tenant", "series"}),
+            std::string("mine\x1ftenant\x1fseries"));
+  EXPECT_EQ(JoinKey({"one"}), "one");
+  EXPECT_NE(JoinKey({"ab", "c"}), JoinKey({"a", "bc"}));
+}
+
+}  // namespace
+}  // namespace periodica::store

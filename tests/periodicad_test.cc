@@ -578,6 +578,197 @@ TEST(PeriodicadTest, BudgetPressureEvictsAndThawsThroughTheWire) {
   std::filesystem::remove_all(dir, ignored);
 }
 
+/// Runs the real periodica_client binary against `daemon` and returns its
+/// exit code (-1 on abnormal death). Stdout is silenced — the tests assert
+/// on exit codes, the shell contract scripts branch on.
+int RunClient(const DaemonProcess& daemon,
+              const std::vector<std::string>& extra_args) {
+  std::vector<std::string> args = {PERIODICA_CLIENT_PATH,
+                                   "--socket=" + daemon.socket_path()};
+  for (const std::string& arg : extra_args) args.push_back(arg);
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& arg : args) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::freopen("/dev/null", "w", stdout);
+    ::execv(PERIODICA_CLIENT_PATH, argv.data());
+    ::_exit(127);
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+// Satellite #1: the client retries structured OVERLOADED rejections with
+// backoff. job_queue/enqueue:1 makes the daemon lose exactly the first
+// admitted job (surfaced as OVERLOADED with a retry hint), so a client
+// allowed one retry succeeds where a fail-fast client exits 4.
+TEST(PeriodicadTest, ClientRetriesOverloadedRejectionsWithBackoff) {
+  {
+    DaemonProcess daemon({"--faults=job_queue/enqueue:1"});
+    EXPECT_EQ(RunClient(daemon, {"--method=sleep", "--params={\"ms\":1}",
+                                 "--max_retries=2"}),
+              0)
+        << "one retry must absorb the single injected enqueue fault";
+  }
+  {
+    DaemonProcess daemon({"--faults=job_queue/enqueue:1"});
+    EXPECT_EQ(RunClient(daemon, {"--method=sleep", "--params={\"ms\":1}"}),
+              4)
+        << "the default is fail-fast: surface the rejection as exit 4";
+  }
+}
+
+// Tentpole serving path #1: a mine request that names its series is cached
+// in the durable store and answered from it on repeat — including across a
+// full daemon restart.
+TEST(PeriodicadTest, MineResultCacheHitsRepeatQueriesAcrossRestart) {
+  const std::string dir = UniqueDir();
+  JsonValue::Object params;
+  params["series"] = PeriodicSeries(120, 3);
+  params["series_id"] = "sensor-7";
+  params["threshold"] = 0.9;
+
+  std::string first_result;
+  {
+    DaemonProcess daemon({"--store_dir=" + dir + "/store"});
+    Client client(daemon.socket_path());
+    ASSERT_TRUE(client.connected());
+    const JsonValue first = client.Call("mine", params);
+    ASSERT_TRUE(first.GetBool("ok", false)) << first.Dump();
+    EXPECT_FALSE(first.Find("result")->GetBool("cached", false))
+        << "first query must be computed, not served from the cache";
+    first_result = first.Find("result")->Dump();
+
+    const JsonValue second = client.Call("mine", params);
+    ASSERT_TRUE(second.GetBool("ok", false)) << second.Dump();
+    EXPECT_TRUE(second.Find("result")->GetBool("cached", false))
+        << second.Dump();
+
+    // A different config hashes to a different key — no false sharing.
+    JsonValue::Object other = params;
+    other["threshold"] = 0.5;
+    const JsonValue recomputed = client.Call("mine", other);
+    ASSERT_TRUE(recomputed.GetBool("ok", false));
+    EXPECT_FALSE(recomputed.Find("result")->GetBool("cached", false));
+
+    const JsonValue stats = client.Call("stats", {});
+    const JsonValue* store = stats.Find("result")->Find("store");
+    ASSERT_NE(store, nullptr) << stats.Dump();
+    EXPECT_TRUE(store->GetBool("enabled", false));
+    EXPECT_EQ(store->GetNumber("mine_cache_hits", -1), 1.0);
+    EXPECT_EQ(store->GetNumber("mine_cache_misses", -1), 2.0);
+    EXPECT_GE(store->GetNumber("wal_bytes", 0), 1.0);
+    EXPECT_EQ(daemon.TerminateAndWait(), 0);
+  }
+  {
+    // The cache is durable: the restarted daemon recovers it from the WAL
+    // and serves the repeat query without recomputing.
+    DaemonProcess daemon({"--store_dir=" + dir + "/store"});
+    Client client(daemon.socket_path());
+    ASSERT_TRUE(client.connected());
+    const JsonValue cached = client.Call("mine", params);
+    ASSERT_TRUE(cached.GetBool("ok", false)) << cached.Dump();
+    EXPECT_TRUE(cached.Find("result")->GetBool("cached", false))
+        << "the cache must survive a restart";
+    JsonValue stripped = cached;
+    stripped.mutable_object()["result"].mutable_object().erase("cached");
+    EXPECT_EQ(stripped.Find("result")->Dump(), first_result)
+        << "the cached answer must be byte-identical to the computed one";
+  }
+  std::error_code ignored;
+  std::filesystem::remove_all(dir, ignored);
+}
+
+// Tentpole serving path #2: with --store_dir (and no --checkpoint_dir) the
+// drain checkpoint goes through the KV store's WAL, and a session resumed
+// after a full daemon restart detects byte-identically to an uninterrupted
+// run.
+TEST(PeriodicadTest, StoreBackedSessionsThawBitIdenticalAfterRestart) {
+  const std::string series = PeriodicSeries(600, 5);
+  const std::string first_half = series.substr(0, 300);
+  const std::string second_half = series.substr(300);
+
+  JsonValue::Object open;
+  open["session"] = "s1";
+  open["max_period"] = std::size_t{32};
+  open["alphabet_size"] = std::size_t{3};
+
+  std::string reference;
+  {
+    DaemonProcess daemon({});
+    Client client(daemon.socket_path());
+    ASSERT_TRUE(client.Call("stream_open", open).GetBool("ok", false));
+    JsonValue::Object feed;
+    feed["session"] = "s1";
+    feed["symbols"] = series;
+    ASSERT_TRUE(client.Call("stream_feed", feed).GetBool("ok", false));
+    JsonValue::Object detect;
+    detect["session"] = "s1";
+    detect["threshold"] = 0.5;
+    const JsonValue detected = client.Call("stream_detect", detect);
+    ASSERT_TRUE(detected.GetBool("ok", false)) << detected.Dump();
+    reference = detected.Dump();
+  }
+
+  const std::string dir = UniqueDir();
+  {
+    DaemonProcess daemon({"--store_dir=" + dir + "/store"});
+    Client client(daemon.socket_path());
+    ASSERT_TRUE(client.Call("stream_open", open).GetBool("ok", false));
+    JsonValue::Object feed;
+    feed["session"] = "s1";
+    feed["symbols"] = first_half;
+    ASSERT_TRUE(client.Call("stream_feed", feed).GetBool("ok", false));
+    ASSERT_EQ(daemon.TerminateAndWait(), 0);
+    // Durability went through the store, not loose checkpoint files.
+    ASSERT_TRUE(std::filesystem::exists(dir + "/store/wal.log"));
+  }
+  {
+    DaemonProcess daemon({"--store_dir=" + dir + "/store"});
+    Client client(daemon.socket_path());
+    JsonValue::Object resume;
+    resume["session"] = "s1";
+    resume["resume"] = true;
+    const JsonValue reopened = client.Call("stream_open", resume);
+    ASSERT_TRUE(reopened.GetBool("ok", false)) << reopened.Dump();
+    EXPECT_EQ(reopened.Find("result")->GetNumber("size", 0), 300.0);
+    JsonValue::Object feed;
+    feed["session"] = "s1";
+    feed["symbols"] = second_half;
+    ASSERT_TRUE(client.Call("stream_feed", feed).GetBool("ok", false));
+    JsonValue::Object detect;
+    detect["session"] = "s1";
+    detect["threshold"] = 0.5;
+    const JsonValue detected = client.Call("stream_detect", detect);
+    ASSERT_TRUE(detected.GetBool("ok", false));
+    EXPECT_EQ(detected.Dump(), reference)
+        << "store-backed resume must be byte-identical to uninterrupted";
+
+    // The recovery that made this possible is visible in stats.
+    const JsonValue stats = client.Call("stats", {});
+    const JsonValue* store = stats.Find("result")->Find("store");
+    ASSERT_NE(store, nullptr);
+    EXPECT_GE(store->GetNumber("recoveries", 0), 1.0);
+    EXPECT_EQ(store->GetNumber("scrub_errors", -1), 0.0);
+    // Satellite #2: the eviction-pressure histogram rides along in stats.
+    const JsonValue* table = stats.Find("result")->Find("session_table");
+    ASSERT_NE(table, nullptr);
+    const JsonValue* buckets = table->Find("idle_age_buckets");
+    ASSERT_NE(buckets, nullptr) << stats.Dump();
+    ASSERT_EQ(buckets->as_array().size(), 5u);
+    double total = 0;
+    for (const JsonValue& bucket : buckets->as_array()) {
+      total += bucket.as_number();
+    }
+    EXPECT_EQ(total, 1.0) << "one resident idle session: " << stats.Dump();
+  }
+  std::error_code ignored;
+  std::filesystem::remove_all(dir, ignored);
+}
+
 TEST(PeriodicadTest, FaultInjectedReadsDropConnectionsNotTheDaemon) {
   // Every read fails: each connection is dropped before serving a request,
   // exactly as if the peer vanished mid-line. The daemon itself must keep

@@ -343,5 +343,211 @@ TEST_F(SessionTableTest, ConcurrentChurnAcrossTenantsStaysConsistent) {
   EXPECT_EQ(stats.resident_bytes, 0u);
 }
 
+// --- Store-backed checkpoints ------------------------------------------------
+//
+// The same lifecycle, but durability goes through store::KvStore (WAL +
+// segments) instead of loose .pchk files. The contract under test: a
+// store-backed table behaves exactly like a file-backed one — evictions
+// thaw bit-identically, Close(checkpoint=true) survives a full store
+// reopen — with no .pchk files ever appearing.
+
+class StoreBackedSessionTest : public SessionTableTest {
+ protected:
+  std::unique_ptr<store::KvStore> OpenStore() {
+    store::KvStore::Options options;
+    options.dir = dir_ + "/store";
+    Result<std::unique_ptr<store::KvStore>> opened =
+        store::KvStore::Open(std::move(options));
+    EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+    return opened.ok() ? std::move(opened.value()) : nullptr;
+  }
+
+  static SessionTable::Options StoreOnlyOptions(store::KvStore* kv) {
+    SessionTable::Options options;  // deliberately no checkpoint_dir
+    options.store = kv;
+    return options;
+  }
+};
+
+TEST_F(StoreBackedSessionTest, EvictionThawsBitIdenticalWithNoFiles) {
+  std::unique_ptr<store::KvStore> kv = OpenStore();
+  ASSERT_NE(kv, nullptr);
+  SessionTable::Options options = StoreOnlyOptions(kv.get());
+  options.tenant_budget_bytes = 2 * SessionBytes() + SessionBytes() / 2;
+  SessionTable table(options);
+  SessionTable control(StoreOnlyOptions(kv.get()));
+
+  SessionTable::Rejection rejection;
+  ASSERT_TRUE(OpenSmall(&table, "acme", "victim", &rejection).ok());
+  ASSERT_TRUE(OpenSmall(&control, "acme", "victim", &rejection).ok());
+  Rng rng(11);
+  std::string prefix;
+  for (int i = 0; i < 200; ++i) {
+    prefix.push_back(static_cast<char>('a' + rng.UniformInt(3)));
+  }
+  Feed(&table, "acme", "victim", prefix);
+  Feed(&control, "acme", "victim", prefix);
+
+  ASSERT_TRUE(OpenSmall(&table, "acme", "filler1", &rejection).ok());
+  Feed(&table, "acme", "filler1", "abc");
+  ASSERT_TRUE(OpenSmall(&table, "acme", "filler2", &rejection).ok());
+  ASSERT_GE(table.GetStats().evictions, 1u)
+      << "tenant budget did not force an eviction through the store";
+
+  std::string suffix;
+  for (int i = 0; i < 100; ++i) {
+    suffix.push_back(static_cast<char>('a' + rng.UniformInt(3)));
+  }
+  Feed(&table, "acme", "victim", suffix);
+  Feed(&control, "acme", "victim", suffix);
+  EXPECT_GE(table.GetStats().thaws, 1u);
+
+  SessionTable::Rejection r2;
+  Result<SessionTable::Handle> thawed = table.Acquire("acme", "victim", &r2);
+  ASSERT_TRUE(thawed.ok()) << thawed.status().ToString();
+  Result<SessionTable::Handle> fresh = control.Acquire("acme", "victim", &r2);
+  ASSERT_TRUE(fresh.ok());
+  const PeriodicityTable thawed_result =
+      thawed.value().detector()->Detect(0.3, 2, 1);
+  const PeriodicityTable fresh_result =
+      fresh.value().detector()->Detect(0.3, 2, 1);
+  EXPECT_EQ(thawed_result.entries(), fresh_result.entries());
+  EXPECT_EQ(thawed_result.summaries(), fresh_result.summaries());
+
+  // Everything durable went through the store: no loose checkpoint files.
+  std::size_t pchk_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().extension() == ".pchk") ++pchk_files;
+  }
+  EXPECT_EQ(pchk_files, 0u);
+}
+
+TEST_F(StoreBackedSessionTest, CloseCheckpointSurvivesStoreReopen) {
+  // The full-restart path: checkpoint to the store, tear down table AND
+  // store (daemon death), recover the store from disk, resume. The thawed
+  // session must detect bit-identically to the pre-restart one.
+  PeriodicityTable before = [&] {
+    std::unique_ptr<store::KvStore> kv = OpenStore();
+    SessionTable table(StoreOnlyOptions(kv.get()));
+    SessionTable::Rejection rejection;
+    EXPECT_TRUE(OpenSmall(&table, "acme", "s1", &rejection).ok());
+    Feed(&table, "acme", "s1", "abcabcabcabcabcabc");
+    Result<SessionTable::Handle> handle =
+        table.Acquire("acme", "s1", &rejection);
+    EXPECT_TRUE(handle.ok());
+    const PeriodicityTable result =
+        handle.value().detector()->Detect(0.3, 2, 1);
+    handle = SessionTable::Handle();  // release before Close
+    Result<SessionTable::CloseResult> closed = table.Close("acme", "s1", true);
+    EXPECT_TRUE(closed.ok()) << closed.status().ToString();
+    EXPECT_EQ(closed.value().checkpoint_path, "store://acme/s1");
+    EXPECT_EQ(closed.value().size, 18u);
+    return result;
+  }();
+
+  std::unique_ptr<store::KvStore> kv = OpenStore();  // WAL replay happens here
+  ASSERT_NE(kv, nullptr);
+  EXPECT_GE(kv->GetStats().recoveries, 1u);
+  SessionTable table(StoreOnlyOptions(kv.get()));
+  SessionTable::Rejection rejection;
+  Result<SessionTable::OpenResult> resumed =
+      table.Open("acme", "s1", 0, {}, /*resume=*/true, &rejection);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(resumed.value().size, 18u);
+  Result<SessionTable::Handle> handle = table.Acquire("acme", "s1", &rejection);
+  ASSERT_TRUE(handle.ok());
+  const PeriodicityTable after = handle.value().detector()->Detect(0.3, 2, 1);
+  EXPECT_EQ(before.entries(), after.entries());
+  EXPECT_EQ(before.summaries(), after.summaries());
+}
+
+TEST_F(StoreBackedSessionTest, CloseWithoutCheckpointDropsTheStoreRecord) {
+  std::unique_ptr<store::KvStore> kv = OpenStore();
+  ASSERT_NE(kv, nullptr);
+  {
+    SessionTable table(StoreOnlyOptions(kv.get()));
+    SessionTable::Rejection rejection;
+    ASSERT_TRUE(OpenSmall(&table, "acme", "s1", &rejection).ok());
+    Feed(&table, "acme", "s1", "abcabc");
+    ASSERT_TRUE(table.Close("acme", "s1", true).ok());
+    // Reopen-from-checkpoint, then close *declining* the checkpoint: the
+    // stale record must not survive to be resumed later.
+    ASSERT_TRUE(table.Open("acme", "s1", 0, {}, true, &rejection).ok());
+    ASSERT_TRUE(table.Close("acme", "s1", false).ok());
+  }
+  SessionTable table(StoreOnlyOptions(kv.get()));
+  SessionTable::Rejection rejection;
+  EXPECT_FALSE(table.Open("acme", "s1", 0, {}, true, &rejection).ok());
+}
+
+TEST_F(StoreBackedSessionTest, LooseFileCheckpointsStayResumable) {
+  // Migration: checkpoints written by a file-backed table (pre-store
+  // deployments) must still resume once the store is switched on, when the
+  // old checkpoint_dir is kept as the fallback.
+  {
+    SessionTable file_backed(BaseOptions(dir_));
+    SessionTable::Rejection rejection;
+    ASSERT_TRUE(OpenSmall(&file_backed, "acme", "old", &rejection).ok());
+    Feed(&file_backed, "acme", "old", "abcabcabc");
+    ASSERT_TRUE(file_backed.Close("acme", "old", true).ok());
+  }
+  ASSERT_TRUE(std::filesystem::exists(dir_ + "/acme@old.pchk"));
+
+  std::unique_ptr<store::KvStore> kv = OpenStore();
+  ASSERT_NE(kv, nullptr);
+  SessionTable::Options options = BaseOptions(dir_);  // dir kept as fallback
+  options.store = kv.get();
+  SessionTable table(options);
+  SessionTable::Rejection rejection;
+  Result<SessionTable::OpenResult> resumed =
+      table.Open("acme", "old", 0, {}, /*resume=*/true, &rejection);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(resumed.value().size, 9u);
+}
+
+TEST_F(StoreBackedSessionTest, DrainCheckpointsEverySessionToTheStore) {
+  std::unique_ptr<store::KvStore> kv = OpenStore();
+  ASSERT_NE(kv, nullptr);
+  {
+    SessionTable table(StoreOnlyOptions(kv.get()));
+    SessionTable::Rejection rejection;
+    ASSERT_TRUE(OpenSmall(&table, "acme", "a", &rejection).ok());
+    ASSERT_TRUE(OpenSmall(&table, "default", "b", &rejection).ok());
+    Feed(&table, "acme", "a", "abcabc");
+    std::vector<std::string> log;
+    EXPECT_EQ(table.CheckpointAllForDrain(&log), 0u);
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_NE(log[0].find("store://"), std::string::npos) << log[0];
+  }
+  SessionTable resumed(StoreOnlyOptions(kv.get()));
+  SessionTable::Rejection rejection;
+  Result<SessionTable::OpenResult> opened =
+      resumed.Open("acme", "a", 0, {}, /*resume=*/true, &rejection);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ(opened.value().size, 6u);
+  EXPECT_TRUE(resumed.Open("default", "b", 0, {}, true, &rejection).ok());
+}
+
+TEST_F(SessionTableTest, IdleAgeHistogramCountsResidentIdleSessions) {
+  SessionTable table(BaseOptions(dir_));
+  SessionTable::Rejection rejection;
+  ASSERT_TRUE(OpenSmall(&table, "acme", "s1", &rejection).ok());
+  ASSERT_TRUE(OpenSmall(&table, "acme", "s2", &rejection).ok());
+
+  SessionTable::Stats stats = table.GetStats();
+  std::size_t total = 0;
+  for (const std::size_t bucket : stats.idle_age_buckets) total += bucket;
+  EXPECT_EQ(total, 2u);
+  EXPECT_EQ(stats.idle_age_buckets[0], 2u);  // both touched just now
+
+  // A pinned session is in use, not idle — it leaves the histogram.
+  Result<SessionTable::Handle> held = table.Acquire("acme", "s1", &rejection);
+  ASSERT_TRUE(held.ok());
+  stats = table.GetStats();
+  total = 0;
+  for (const std::size_t bucket : stats.idle_age_buckets) total += bucket;
+  EXPECT_EQ(total, 1u);
+}
+
 }  // namespace
 }  // namespace periodica::serve

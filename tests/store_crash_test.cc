@@ -1,0 +1,231 @@
+// Crash-consistency torture for store::KvStore (ISSUE 9 acceptance
+// criterion): at every registered store/* fault site, simulate a kill at
+// every reachable hit of that site, "crash" (abandon the store object
+// without cleanup, exactly what SIGKILL leaves on disk), recover, and
+// assert the two durability invariants:
+//
+//   1. no acknowledged write is ever lost — if Put returned OK before the
+//      crash, recovery serves exactly that value;
+//   2. no corrupt record is ever served — an unacknowledged write may
+//      surface (it reached the log) or vanish (it did not), but the value
+//      read back is always either the exact bytes written or NotFound.
+//
+// tools/soak.sh stage 3 runs the same loop end-to-end through periodicad
+// with real SIGKILL.
+
+#include <unistd.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "periodica/store/kv_store.h"
+#include "periodica/util/fault_injector.h"
+
+namespace periodica::store {
+namespace {
+
+const char* const kWriteSites[] = {
+    "store/wal_append",
+    "store/wal_fsync",
+    "store/segment_write",
+    "store/manifest_rename",
+};
+
+class StoreCrashTest : public ::testing::Test {
+ protected:
+  std::string FreshDir(const std::string& tag) {
+    const auto dir =
+        std::filesystem::temp_directory_path() /
+        ("periodica_store_crash_test_" + std::to_string(::getpid())) / tag;
+    std::filesystem::remove_all(dir);
+    created_.push_back(dir);
+    return dir.string();
+  }
+
+  void TearDown() override {
+    for (const auto& dir : created_) {
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
+    }
+  }
+
+  std::vector<std::filesystem::path> created_;
+};
+
+std::string ValueFor(int i) {
+  return "value-" + std::to_string(i) + "-" + std::string(1 + i % 37, 'x');
+}
+
+/// One torture trial: write through an armed fault, crash at the failure,
+/// recover, verify. Returns true when the fault actually fired (so the
+/// caller knows when `nth` has walked past every reachable hit).
+bool RunTrial(const std::string& dir, const char* site, std::uint64_t nth) {
+  // Tiny rotation threshold so every trial exercises segment and manifest
+  // churn, not just the WAL.
+  KvStore::Options options{.dir = dir, .wal_rotate_bytes = 96,
+                           .max_segments = 2};
+  // Per key: the index of the last *acknowledged* write (-1 = never acked).
+  // The durability invariant per key is then: recovery serves ValueFor(j)
+  // for some attempted write j to that key with j >= last acked — an
+  // unacknowledged later write may legitimately surface (it reached the
+  // log), but an acked write can never be shadowed by anything older, lost,
+  // or replaced by bytes that were never written.
+  int last_acked[8];
+  for (int& index : last_acked) index = -1;
+  bool fired = false;
+  {
+    auto opened = KvStore::Open(options);
+    if (!opened.ok()) {
+      ADD_FAILURE() << "fresh open: " << opened.status();
+      return false;
+    }
+    auto kv = std::move(opened).ValueOrDie();
+    util::ScopedFault fault(site, Status::IOError("injected crash"),
+                            /*fire_on_nth=*/nth);
+    for (int i = 0; i < 24; ++i) {
+      const std::string key = "key-" + std::to_string(i % 8);
+      const Status put = kv->Put(key, ValueFor(i));
+      if (put.ok()) {
+        last_acked[i % 8] = i;
+      } else {
+        break;  // the simulated kill: stop driving, abandon the object
+      }
+    }
+    fired = fault.fire_count() > 0;
+    // `kv` is destroyed without any orderly shutdown — its destructor only
+    // closes the fd, which is what the kernel does on SIGKILL too.
+  }
+
+  // Recovery must succeed and uphold the invariant for every key.
+  auto reopened = KvStore::Open(options);
+  if (!reopened.ok()) {
+    ADD_FAILURE() << "recovery open: " << reopened.status();
+    return fired;
+  }
+  auto kv = std::move(reopened).ValueOrDie();
+  EXPECT_EQ(kv->GetStats().scrub_errors, 0u);
+  for (int k = 0; k < 8; ++k) {
+    const std::string key = "key-" + std::to_string(k);
+    auto got = kv->Get(key);
+    if (!got.ok()) {
+      EXPECT_TRUE(got.status().IsNotFound()) << got.status();
+      EXPECT_LT(last_acked[k], 0)
+          << "acked key '" << key << "' lost: " << got.status();
+      continue;
+    }
+    bool legitimate = false;
+    for (int i = k; i < 24; i += 8) {
+      if (i >= last_acked[k] && *got == ValueFor(i)) legitimate = true;
+    }
+    EXPECT_TRUE(legitimate) << "key '" << key
+                            << "' recovered a value that is stale or was "
+                               "never written: "
+                            << got->substr(0, 40);
+  }
+  // The recovered store is fully writable again.
+  EXPECT_TRUE(kv->Put("post-recovery", "alive").ok());
+  return fired;
+}
+
+TEST_F(StoreCrashTest, EveryWriteSiteEveryHit) {
+  for (const char* site : kWriteSites) {
+    // Walk the fault through every hit the workload reaches: nth=1 crashes
+    // the first append, larger nth crash deeper into rotations and
+    // compactions, until a trial no longer fires (workload exhausted).
+    bool fired_any = false;
+    bool fired = true;
+    for (std::uint64_t nth = 1; fired && nth <= 64; ++nth) {
+      const std::string tag =
+          std::string(site).substr(std::string(site).find('/') + 1) + "-" +
+          std::to_string(nth);
+      SCOPED_TRACE(tag);
+      fired = RunTrial(FreshDir(tag), site, nth);
+      fired_any |= fired;
+      if (HasFailure()) return;
+    }
+    // Sanity: every site is actually on the workload's path.
+    EXPECT_TRUE(fired_any) << site << " never fired — dead torture loop";
+  }
+}
+
+TEST_F(StoreCrashTest, PhysicalTornTailIsDiscarded) {
+  const std::string dir = FreshDir("torn-tail");
+  {
+    auto kv = KvStore::Open({.dir = dir}).ValueOrDie();
+    ASSERT_TRUE(kv->Put("acked", "survives").ok());
+    ASSERT_TRUE(kv->Put("victim", "whole record about to be cut").ok());
+  }
+  // Chop bytes off the WAL tail — the raw effect of a kill mid-write —
+  // and verify recovery at every truncation point between the two records.
+  const std::string wal = dir + "/wal.log";
+  const auto full_size = std::filesystem::file_size(wal);
+  for (std::uintmax_t cut = full_size - 1; cut > 8; cut -= 7) {
+    std::filesystem::resize_file(wal, cut);
+    auto kv = KvStore::Open({.dir = dir});
+    ASSERT_TRUE(kv.ok()) << "cut=" << cut << ": " << kv.status();
+    auto got = (*kv)->Get("acked");
+    // Cutting into the *first* record may legitimately lose it (it is no
+    // longer acknowledged state on this disk); it must never be garbled.
+    if (got.ok()) {
+      EXPECT_EQ(*got, "survives") << "cut=" << cut;
+    } else {
+      EXPECT_TRUE(got.status().IsNotFound()) << "cut=" << cut;
+    }
+    auto victim = (*kv)->Get("victim");
+    if (victim.ok()) {
+      EXPECT_EQ(*victim, "whole record about to be cut") << "cut=" << cut;
+    } else {
+      EXPECT_TRUE(victim.status().IsNotFound()) << "cut=" << cut;
+    }
+  }
+}
+
+TEST_F(StoreCrashTest, ReadFaultAtRecoveryIsACleanError) {
+  const std::string dir = FreshDir("read-fault");
+  {
+    auto kv = KvStore::Open({.dir = dir, .wal_rotate_bytes = 0})
+                  .ValueOrDie();
+    ASSERT_TRUE(kv->Put("key", "value").ok());
+    ASSERT_TRUE(kv->Flush().ok());
+  }
+  // Fail each of the recovery reads (manifest, segment, WAL) in turn.
+  for (std::uint64_t nth = 1; nth <= 3; ++nth) {
+    util::ScopedFault fault("store/read", Status::IOError("injected"), nth);
+    auto kv = KvStore::Open({.dir = dir, .wal_rotate_bytes = 0});
+    ASSERT_FALSE(kv.ok()) << "nth=" << nth;
+    EXPECT_TRUE(kv.status().IsIOError()) << "nth=" << nth;
+  }
+  // And with no fault armed the same directory opens fine.
+  auto kv = KvStore::Open({.dir = dir, .wal_rotate_bytes = 0});
+  ASSERT_TRUE(kv.ok()) << kv.status();
+  EXPECT_EQ((*kv)->Get("key").ValueOrDie(), "value");
+}
+
+TEST_F(StoreCrashTest, CrashDuringAtomicSegmentWriteLeavesOldViewIntact) {
+  // The segment/manifest files go through util::AtomicWriteFile; its own
+  // torn-temp fault composes with the store: a kill mid-segment-write
+  // leaves a .tmp corpse the store never reads.
+  const std::string dir = FreshDir("atomic-compose");
+  KvStore::Options options{.dir = dir, .wal_rotate_bytes = 0};
+  {
+    auto kv = KvStore::Open(options).ValueOrDie();
+    ASSERT_TRUE(kv->Put("key", "value").ok());
+    util::ScopedFault fault("atomic_file/write",
+                            Status::IOError("injected kill"));
+    EXPECT_FALSE(kv->Flush().ok());
+  }
+  auto kv = KvStore::Open(options);
+  ASSERT_TRUE(kv.ok()) << kv.status();
+  EXPECT_EQ((*kv)->Get("key").ValueOrDie(), "value");
+  EXPECT_EQ((*kv)->GetStats().segments, 0u);
+}
+
+}  // namespace
+}  // namespace periodica::store

@@ -9,16 +9,29 @@
 //   3  partial result (ok:true but the deadline/cancellation truncated it)
 //   4  overloaded: the daemon rejected the request with a retry-after hint
 //
+// With --max_retries=N the client honors those hints itself: an OVERLOADED
+// or QUOTA_EXCEEDED rejection is retried up to N times on a fresh
+// connection, sleeping error.retry_after_ms (or an exponential fallback)
+// with jitter, capped by --max_backoff_ms. Only those two codes retry —
+// they are the daemon's explicit "try again later"; every other error is
+// final and surfaces immediately.
+//
 // Examples:
 //   periodica_client --socket=/run/periodicad.sock --method=ping
-//   periodica_client --socket=... --method=mine
+//   periodica_client --socket=... --method=mine --max_retries=3
 //       --params='{"series":"abcabcabcabc","threshold":0.9}'
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "periodica/util/flags.h"
 #include "periodica/util/json.h"
+#include "periodica/util/rng.h"
 #include "unix_socket.h"
 
 namespace periodica::tools {
@@ -26,55 +39,26 @@ namespace {
 
 using util::JsonValue;
 
-int Main(int argc, char** argv) {
-  std::string socket_path;
-  std::string method;
-  std::string params_json = "{}";
-  std::int64_t id = 1;
-  FlagSet flags("periodica_client");
-  flags.AddString("socket", &socket_path, "daemon Unix socket path");
-  flags.AddString("method", &method,
-                  "request method (ping, stats, mine, stream_open, "
-                  "stream_feed, stream_detect, stream_close)");
-  flags.AddString("params", &params_json, "request params as a JSON object");
-  flags.AddInt64("id", &id, "request id echoed by the daemon");
-  flags.SetEpilog(
-      "Exit codes: 0 success; 1 error; 2 usage; 3 partial result;\n"
-      "4 overloaded (retry later; see error.retry_after_ms).");
-  if (const Status status = flags.Parse(argc, argv); !status.ok()) {
-    std::fprintf(stderr, "periodica_client: %s\n%s",
-                 status.ToString().c_str(), flags.Usage().c_str());
-    return 2;
-  }
-  if (socket_path.empty() || method.empty()) {
-    std::fprintf(stderr,
-                 "periodica_client: --socket and --method are required\n%s",
-                 flags.Usage().c_str());
-    return 2;
-  }
-  const Result<JsonValue> params = JsonValue::Parse(params_json);
-  if (!params.ok() || !params.value().is_object()) {
-    std::fprintf(stderr, "periodica_client: --params is not a JSON object");
-    if (!params.ok()) {
-      std::fprintf(stderr, ": %s", params.status().message().c_str());
-    }
-    std::fprintf(stderr, "\n");
-    return 2;
-  }
+/// The structured rejections worth retrying: the daemon says the request
+/// never ran and hints when to come back.
+bool IsRetryableCode(const std::string& code) {
+  return code == "OVERLOADED" || code == "QUOTA_EXCEEDED";
+}
 
-  JsonValue::Object request;
-  request["id"] = id;
-  request["method"] = method;
-  request["params"] = params.value();
-
+/// One request/response round trip on a fresh connection. Returns the exit
+/// code; fills `retry_after_ms` (from the error payload, 0 if absent) and
+/// `retryable` when the daemon sent a structured try-again-later rejection.
+int RunOnce(const std::string& socket_path, const std::string& request_line,
+            std::int64_t* retry_after_ms, bool* retryable) {
+  *retry_after_ms = 0;
+  *retryable = false;
   Result<FdHandle> fd = ConnectUnix(socket_path);
   if (!fd.ok()) {
     std::fprintf(stderr, "periodica_client: %s\n",
                  fd.status().ToString().c_str());
     return 1;
   }
-  if (const Status sent = SendLine(fd.value().get(),
-                                   JsonValue(std::move(request)).Dump());
+  if (const Status sent = SendLine(fd.value().get(), request_line);
       !sent.ok()) {
     std::fprintf(stderr, "periodica_client: %s\n", sent.ToString().c_str());
     return 1;
@@ -99,10 +83,105 @@ int Main(int argc, char** argv) {
     return 0;
   }
   const JsonValue* error = response.value().Find("error");
-  if (error != nullptr && error->GetString("code", "") == "OVERLOADED") {
-    return 4;
+  if (error != nullptr) {
+    const std::string code = error->GetString("code", "");
+    if (IsRetryableCode(code)) {
+      *retryable = true;
+      *retry_after_ms = static_cast<std::int64_t>(
+          error->GetNumber("retry_after_ms", 0));
+      return 4;
+    }
   }
   return 1;
+}
+
+int Main(int argc, char** argv) {
+  std::string socket_path;
+  std::string method;
+  std::string params_json = "{}";
+  std::int64_t id = 1;
+  std::int64_t max_retries = 0;
+  std::int64_t max_backoff_ms = 2000;
+  FlagSet flags("periodica_client");
+  flags.AddString("socket", &socket_path, "daemon Unix socket path");
+  flags.AddString("method", &method,
+                  "request method (ping, stats, mine, stream_open, "
+                  "stream_feed, stream_detect, stream_close)");
+  flags.AddString("params", &params_json, "request params as a JSON object");
+  flags.AddInt64("id", &id, "request id echoed by the daemon");
+  flags.AddInt64("max_retries", &max_retries,
+                 "retry OVERLOADED/QUOTA_EXCEEDED rejections up to this many "
+                 "times, honoring error.retry_after_ms (0 = fail fast)");
+  flags.AddInt64("max_backoff_ms", &max_backoff_ms,
+                 "cap on any single retry sleep");
+  flags.SetEpilog(
+      "Exit codes: 0 success; 1 error; 2 usage; 3 partial result;\n"
+      "4 overloaded (retry later; see error.retry_after_ms).");
+  if (const Status status = flags.Parse(argc, argv); !status.ok()) {
+    std::fprintf(stderr, "periodica_client: %s\n%s",
+                 status.ToString().c_str(), flags.Usage().c_str());
+    return 2;
+  }
+  if (socket_path.empty() || method.empty()) {
+    std::fprintf(stderr,
+                 "periodica_client: --socket and --method are required\n%s",
+                 flags.Usage().c_str());
+    return 2;
+  }
+  if (max_retries < 0 || max_backoff_ms < 0) {
+    std::fprintf(stderr,
+                 "periodica_client: --max_retries and --max_backoff_ms must "
+                 "be non-negative\n");
+    return 2;
+  }
+  const Result<JsonValue> params = JsonValue::Parse(params_json);
+  if (!params.ok() || !params.value().is_object()) {
+    std::fprintf(stderr, "periodica_client: --params is not a JSON object");
+    if (!params.ok()) {
+      std::fprintf(stderr, ": %s", params.status().message().c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+
+  JsonValue::Object request;
+  request["id"] = id;
+  request["method"] = method;
+  request["params"] = params.value();
+  const std::string request_line = JsonValue(std::move(request)).Dump();
+
+  // Jitter is deterministic per process invocation but spread across
+  // concurrent clients by pid, so a thundering herd that got rejected
+  // together does not come back together.
+  Rng rng(0x9e3779b97f4a7c15ULL ^ static_cast<std::uint64_t>(::getpid()));
+
+  for (std::int64_t attempt = 0;; ++attempt) {
+    std::int64_t retry_after_ms = 0;
+    bool retryable = false;
+    const int code = RunOnce(socket_path, request_line, &retry_after_ms,
+                             &retryable);
+    if (!retryable || attempt >= max_retries) return code;
+
+    // Backoff: the daemon's hint when it gave one, else 100ms doubling per
+    // attempt; capped, then jittered ±25% so synchronized clients spread.
+    std::int64_t backoff =
+        retry_after_ms > 0 ? retry_after_ms
+                           : 100 * (std::int64_t{1} << std::min<std::int64_t>(
+                                        attempt, 20));
+    backoff = std::min(backoff, max_backoff_ms);
+    if (backoff > 0) {
+      const std::int64_t quarter = std::max<std::int64_t>(1, backoff / 4);
+      backoff += rng.UniformRange(-quarter, quarter);
+      if (backoff < 0) backoff = 0;
+    }
+    std::fprintf(stderr,
+                 "periodica_client: rejected (attempt %lld of %lld), "
+                 "retrying in %lld ms\n",
+                 static_cast<long long>(attempt + 1),
+                 static_cast<long long>(max_retries + 1),
+                 static_cast<long long>(backoff));
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+  }
 }
 
 }  // namespace

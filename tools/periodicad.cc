@@ -25,9 +25,16 @@
 //    and flush their responses, checkpoint every open streaming session to
 //    --checkpoint_dir (core/checkpoint.h), and exit 0.
 //
-// Fault-injection sites "server/accept", "server/read", "server/write" and
-// "event_loop/poll" (armed via --faults) let the soak test walk the failure
-// edges of the exact binary that serves real traffic.
+//  * durability (--store_dir): a log-structured KV store (store/kv_store.h)
+//    holds session checkpoints and a mine result cache keyed by
+//    ("mine", tenant, series_id, config-hash); recovery replays the WAL and
+//    scrubs segments at startup, so sessions thaw bit-identically after a
+//    crash and repeat mine queries are served from the store.
+//
+// Fault-injection sites "server/accept", "server/read", "server/write",
+// "event_loop/poll" and the store/* family (armed via --faults) let the
+// soak test walk the failure edges of the exact binary that serves real
+// traffic.
 
 #include <csignal>
 #include <unistd.h>
@@ -52,7 +59,9 @@
 #include "periodica/core/streaming_detector.h"
 #include "periodica/serve/session_table.h"
 #include "periodica/series/series.h"
+#include "periodica/store/kv_store.h"
 #include "periodica/util/cancellation.h"
+#include "periodica/util/crc32.h"
 #include "periodica/util/event_loop.h"
 #include "periodica/util/fault_injector.h"
 #include "periodica/util/flags.h"
@@ -91,6 +100,11 @@ void HandleShutdownSignal(int /*signo*/) {
 struct DaemonConfig {
   std::string socket_path;
   std::string checkpoint_dir;
+  std::string store_dir;  ///< durable KvStore root; "" disables the store
+  std::int64_t store_wal_rotate_bytes = 0;  ///< 0 = library default
+  /// Opened in Main() (so recovery failures abort startup with a clear
+  /// message), owned there, borrowed by the daemon for its whole life.
+  store::KvStore* store = nullptr;
   std::int64_t workers = 1;
   std::int64_t max_queue_depth = 16;
   double max_queue_latency_ms = 0.0;
@@ -160,6 +174,7 @@ class Daemon {
   static SessionTable::Options MakeTableOptions(const DaemonConfig& config) {
     SessionTable::Options options;
     options.checkpoint_dir = config.checkpoint_dir;
+    options.store = config.store;
     options.global_budget_bytes = static_cast<std::size_t>(
         std::max<std::int64_t>(0, config.session_budget_bytes));
     options.tenant_budget_bytes = static_cast<std::size_t>(
@@ -223,6 +238,11 @@ class Daemon {
     return tenant_counters_[tenant];
   }
 
+  /// Session checkpoints have somewhere durable to go (store or files).
+  [[nodiscard]] bool Durable() const {
+    return config_.store != nullptr || !config_.checkpoint_dir.empty();
+  }
+
   const DaemonConfig config_;  ///< immutable after construction
   util::MemoryBudget pool_;  // lint: unguarded(pool_): internally atomic
   JobQueue queue_;           // lint: unguarded(queue_): has its own mutex
@@ -238,6 +258,11 @@ class Daemon {
   std::map<int, std::shared_ptr<Connection>> connections_;
   /// lint: unguarded(tenant_counters_): loop-confined
   std::map<std::string, TenantCounters> tenant_counters_;
+  /// Result-cache traffic for `mine` requests carrying a series_id.
+  /// lint: unguarded(mine_cache_hits_): loop-confined
+  std::uint64_t mine_cache_hits_ = 0;
+  /// lint: unguarded(mine_cache_misses_): loop-confined
+  std::uint64_t mine_cache_misses_ = 0;
   /// lint: unguarded(draining_): loop-confined
   bool draining_ = false;
   /// Set by a task the drain thread posts after queue_.Drain() returns.
@@ -627,6 +652,17 @@ JsonValue Daemon::HandleStats() {
   session_table["quota_rejections"] = table.quota_rejections;
   session_table["slab_capacity"] = table.slab_capacity;
   session_table["slab_chunks"] = table.slab_chunks;
+  {
+    // Eviction-pressure view: how long resident idle sessions have sat
+    // unused (buckets <1s, 1-10s, 10-60s, 60-600s, >=600s). Read with the
+    // per-tenant eviction counts below.
+    JsonValue::Array buckets;
+    buckets.reserve(table.idle_age_buckets.size());
+    for (const std::size_t count : table.idle_age_buckets) {
+      buckets.push_back(JsonValue(count));
+    }
+    session_table["idle_age_buckets"] = JsonValue(std::move(buckets));
+  }
 
   JsonValue::Object tenants;
   for (const auto& [name, tenant] : table.tenants) {
@@ -654,9 +690,31 @@ JsonValue Daemon::HandleStats() {
   event_loop["polls"] = loop_->polls();
   event_loop["fds"] = loop_->num_fds();
 
+  JsonValue::Object store;
+  store["enabled"] = config_.store != nullptr;
+  store["mine_cache_hits"] = mine_cache_hits_;
+  store["mine_cache_misses"] = mine_cache_misses_;
+  if (config_.store != nullptr) {
+    const store::KvStore::Stats kv = config_.store->GetStats();
+    store["keys"] = kv.keys;
+    store["wal_bytes"] = kv.wal_bytes;
+    store["segments"] = kv.segments;
+    store["puts"] = kv.puts;
+    store["deletes"] = kv.deletes;
+    store["gets"] = kv.gets;
+    store["hits"] = kv.hits;
+    store["rotations"] = kv.rotations;
+    store["compactions"] = kv.compactions;
+    store["recoveries"] = kv.recoveries;
+    store["recovered_records"] = kv.recovered_records;
+    store["torn_tail_bytes"] = kv.torn_tail_bytes;
+    store["scrub_errors"] = kv.scrub_errors;
+  }
+
   JsonValue::Object result;
   result["queue"] = JsonValue(std::move(queue));
   result["memory"] = JsonValue(std::move(memory));
+  result["store"] = JsonValue(std::move(store));
   result["sessions"] = table.sessions;
   result["session_table"] = JsonValue(std::move(session_table));
   result["tenants"] = JsonValue(std::move(tenants));
@@ -745,6 +803,57 @@ std::optional<JsonValue> Daemon::HandleMine(
   if (pool_.limit() != 0) options.memory_budget = &pool_;
   auto deadline_ms = static_cast<std::size_t>(params.GetNumber(
       "deadline_ms", static_cast<double>(config_.default_deadline_ms)));
+  const std::size_t max_entries_returned = static_cast<std::size_t>(
+      params.GetNumber("max_entries_returned", 100));
+
+  // Result cache: a request that names its series (params.series_id) is
+  // keyed by ("mine", tenant, series_id, config-hash) in the durable store,
+  // where the config hash covers every input that shapes the response. A
+  // repeat query is answered from the store on the loop thread — no queue
+  // slot, no recompute, works across daemon restarts — with "cached": true
+  // so callers can tell. Partial (deadline/cancel) results are never cached.
+  std::string cache_key;
+  if (config_.store != nullptr) {
+    const std::string series_id = params.GetString("series_id", "");
+    if (!series_id.empty()) {
+      if (!SessionTable::ValidName(series_id)) {
+        return ErrorResponse("INVALID_ARGUMENT",
+                             "mine: params.series_id must be a non-empty name "
+                             "without '/', '..' or '@'");
+      }
+      const std::string config_canon =
+          std::to_string(options.threshold) + "|" +
+          std::to_string(options.min_period) + "|" +
+          std::to_string(options.max_period) + "|" +
+          std::to_string(options.min_pairs) + "|" +
+          (options.positions ? "p" : "-") + "|" + engine + "|" +
+          std::to_string(max_entries_returned);
+      util::Crc32 hash;
+      hash.Update(text.data(), text.size());
+      hash.Update(config_canon.data(), config_canon.size());
+      char hex[16];
+      std::snprintf(hex, sizeof(hex), "%08x",
+                    static_cast<unsigned>(hash.value()));
+      cache_key = store::JoinKey(
+          {"mine", RequestTenant(params), series_id, hex});
+      if (Result<std::string> stored = config_.store->Get(cache_key);
+          stored.ok()) {
+        Result<JsonValue> cached = JsonValue::Parse(*stored);
+        if (cached.ok() && cached.value().is_object() &&
+            cached.value().Find("result") != nullptr &&
+            cached.value().Find("result")->is_object()) {
+          ++mine_cache_hits_;
+          JsonValue response = std::move(cached.value());
+          response.mutable_object()["result"].mutable_object()["cached"] =
+              true;
+          return response;
+        }
+        // A record that no longer parses is treated as a miss; recompute
+        // and overwrite it.
+      }
+      ++mine_cache_misses_;
+    }
+  }
 
   Result<SymbolSeries> series = SymbolSeries::FromString(text);
   if (!series.ok()) return StatusToResponse(series.status());
@@ -764,13 +873,12 @@ std::optional<JsonValue> Daemon::HandleMine(
     }
   }
 
-  const std::size_t max_entries_returned = static_cast<std::size_t>(
-      params.GetNumber("max_entries_returned", 100));
   return StartQueued(conn, ParsePriority(params), [this, series =
                                                        std::move(
                                                            series.value()),
                                                    options, deadline_ms,
-                                                   max_entries_returned]() mutable {
+                                                   max_entries_returned,
+                                                   cache_key]() mutable {
     util::CancellationToken token;
     if (deadline_ms > 0) {
       token.SetTimeout(std::chrono::milliseconds(deadline_ms));
@@ -797,7 +905,18 @@ std::optional<JsonValue> Daemon::HandleMine(
     result["engine"] =
         mined.value().engine_used == MinerEngine::kExact ? "exact" : "fft";
     result["partial"] = mined.value().partial;
-    return OkResponse(std::move(result));
+    JsonValue ok = OkResponse(std::move(result));
+    if (!cache_key.empty() && !mined.value().partial) {
+      // KvStore serializes internally, so the worker can write the cache
+      // record directly. A failed write only costs the next query a
+      // recompute — never the response.
+      if (const Status stored = config_.store->Put(cache_key, ok.Dump());
+          !stored.ok()) {
+        std::fprintf(stderr, "periodicad: mine cache write failed: %s\n",
+                     stored.ToString().c_str());
+      }
+    }
+    return ok;
   }, id);
 }
 
@@ -817,9 +936,10 @@ JsonValue Daemon::HandleStreamOpen(const JsonValue& params) {
   StreamingPeriodDetector::Options options;
   std::size_t alphabet_size = 0;
   if (resume) {
-    if (config_.checkpoint_dir.empty()) {
+    if (!Durable()) {
       return ErrorResponse("INVALID_ARGUMENT",
-                           "stream_open: resume requires --checkpoint_dir");
+                           "stream_open: resume requires --checkpoint_dir "
+                           "or --store_dir");
     }
   } else {
     options.max_period = static_cast<std::size_t>(
@@ -932,13 +1052,13 @@ JsonValue Daemon::HandleStreamClose(const JsonValue& params) {
   const std::string name = params.GetString("session", "");
   const std::string tenant = RequestTenant(params);
   const bool checkpoint = params.GetBool("checkpoint", false);
-  if (checkpoint && config_.checkpoint_dir.empty()) {
+  if (checkpoint && !Durable()) {
     if (!table_.Contains(tenant, name)) {
       return ErrorResponse("NOT_FOUND", "no open session '" + name + "'");
     }
     return ErrorResponse("INVALID_ARGUMENT",
                          "stream_close: checkpoint requires "
-                         "--checkpoint_dir");
+                         "--checkpoint_dir or --store_dir");
   }
   const Result<SessionTable::CloseResult> closed =
       table_.Close(tenant, name, checkpoint);
@@ -1123,7 +1243,15 @@ int Main(int argc, char** argv) {
   flags.AddString("checkpoint_dir", &config.checkpoint_dir,
                   "directory for streaming-session checkpoints (drain and "
                   "eviction target; empty disables checkpointing AND "
-                  "quota eviction)");
+                  "quota eviction unless --store_dir is set)");
+  flags.AddString("store_dir", &config.store_dir,
+                  "directory for the durable KV store (WAL + sorted "
+                  "segments): session checkpoints and the mine result cache "
+                  "live here and survive crashes; empty disables it");
+  flags.AddInt64("store_wal_rotate_bytes", &config.store_wal_rotate_bytes,
+                 "rotate the store WAL into a sorted segment past this many "
+                 "bytes (0 = library default; the soak shrinks it to "
+                 "exercise rotation and compaction under faults)");
   flags.AddInt64("workers", &config.workers,
                  "mining worker threads (0 = hardware concurrency)");
   flags.AddInt64("max_queue_depth", &config.max_queue_depth,
@@ -1193,6 +1321,40 @@ int Main(int argc, char** argv) {
       !status.ok()) {
     std::fprintf(stderr, "periodicad: %s\n", status.ToString().c_str());
     return 2;
+  }
+
+  // Open the durable store before serving: recovery (WAL replay, segment
+  // scrub) happens here, so a damaged store stops the daemon with a precise
+  // error instead of surfacing corruption to some later request. Faults
+  // armed above are live during recovery — the soak kills the daemon
+  // mid-write and restarts it through this exact path.
+  std::unique_ptr<store::KvStore> kv_store;
+  if (!config.store_dir.empty()) {
+    store::KvStore::Options store_options;
+    store_options.dir = config.store_dir;
+    if (config.store_wal_rotate_bytes > 0) {
+      store_options.wal_rotate_bytes =
+          static_cast<std::size_t>(config.store_wal_rotate_bytes);
+    }
+    Result<std::unique_ptr<store::KvStore>> opened =
+        store::KvStore::Open(std::move(store_options));
+    if (!opened.ok()) {
+      std::fprintf(stderr, "periodicad: cannot open --store_dir %s: %s\n",
+                   config.store_dir.c_str(),
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    kv_store = std::move(opened.value());
+    config.store = kv_store.get();
+    const store::KvStore::Stats stats = kv_store->GetStats();
+    if (stats.recoveries > 0) {
+      std::fprintf(stderr,
+                   "periodicad: store recovered %llu records (%llu torn "
+                   "tail bytes discarded, %zu segments)\n",
+                   static_cast<unsigned long long>(stats.recovered_records),
+                   static_cast<unsigned long long>(stats.torn_tail_bytes),
+                   stats.segments);
+    }
   }
 
   if (::pipe(g_wake_pipe) != 0) {

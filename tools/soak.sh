@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # tools/soak.sh — serving-layer soak test (docs/ROBUSTNESS.md, docs/SERVING.md).
 #
-# Two stages, each against its own deliberately undersized daemon:
+# Three stages, each against its own deliberately undersized daemon:
 #
 #   Stage 1 (overload + drain): storms periodicad with the closed-loop mine
 #   load generator while fault injection drops an accept, an enqueue, a read
@@ -13,6 +13,12 @@
 #   (open -> feed -> detect -> close across many tenants) against a daemon
 #   whose tenant budgets force continuous eviction/thaw, with faults armed
 #   on server/accept, server/read, server/write and event_loop/poll.
+#
+#   Stage 3 (store crash consistency): for every store/* write fault site,
+#   SIGKILLs a --store_dir daemon while that site is failing every write,
+#   restarts it cold, and asserts recovery succeeds, a previously drained
+#   session thaws byte-identically, acknowledged checkpoints survive, and
+#   the segment scrub reports zero errors.
 #
 #   tools/soak.sh [--build-dir DIR] [--seconds N] [--concurrency N]
 #                 [--rss-limit-mb N] [--sessions N] [--tenants N]
@@ -243,4 +249,157 @@ fi
 if [[ $FAILED -ne 0 ]]; then
   exit 1
 fi
-echo "soak.sh: PASS — both stages: zero crashes, structured responses, bounded RSS, clean drain"
+echo "soak.sh: stage 2 PASS — session churn under faults, evictions=$EVICTIONS, clean drain"
+
+# --- Stage 3: store crash consistency (SIGKILL mid-write) --------------------
+# One daemon lineage over a single --store_dir, killed with SIGKILL while a
+# different store/* write site is failing every write, then restarted cold.
+# The invariants, per site (docs/ROBUSTNESS.md "Durability"):
+#   1. startup recovery always succeeds (torn WAL tails are discarded, never
+#      fatal; segment scrub reports zero errors);
+#   2. the session checkpointed before the crashes thaws bit-identically —
+#      the same stream_detect response, byte for byte, after every kill;
+#   3. an acknowledged write survives: if stream_close(checkpoint) returned
+#      ok under the injected fault, the session must resume after the kill.
+# The WAL rotation threshold is shrunk so checkpoint-sized writes cross the
+# rotation and compaction paths (store/segment_write, store/manifest_rename),
+# not just the append path.
+CLIENT=$BUILD_DIR/tools/periodica_client
+if [[ ! -x $CLIENT ]]; then
+  echo "soak.sh: $CLIENT is not built (cmake --build --preset release)" >&2
+  exit 2
+fi
+SOCKET3=$WORK/soak3.sock
+STORE3=$WORK/store3
+SYMS=$(printf 'abcabcabcabc%.0s' $(seq 1 25))  # 300 symbols, period 3
+
+start_store_daemon() {  # args: extra daemon flags
+  rm -f "$SOCKET3"
+  "$DAEMON" --socket="$SOCKET3" --store_dir="$STORE3" \
+    --store_wal_rotate_bytes=4096 --workers=2 "$@" \
+    >>"$WORK/daemon3.log" 2>&1 &
+  DAEMON_PID=$!
+  for _ in $(seq 1 100); do
+    [[ -S $SOCKET3 ]] && break
+    if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+      echo "soak.sh: FAIL — stage 3 daemon died during startup:" >&2
+      tail -20 "$WORK/daemon3.log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  [[ -S $SOCKET3 ]] || { echo "soak.sh: FAIL — stage 3 socket never appeared" >&2; exit 1; }
+}
+
+req3() {  # method params — prints the response line, returns the client code
+  "$CLIENT" --socket="$SOCKET3" --method="$1" --params="$2"
+}
+
+# Baseline: establish session s1, capture the reference detect response, and
+# let SIGTERM drain checkpoint it into the store.
+start_store_daemon
+req3 stream_open '{"session":"s1","max_period":16,"alphabet_size":3}' >/dev/null
+req3 stream_feed "{\"session\":\"s1\",\"symbols\":\"$SYMS\"}" >/dev/null
+REF=$(req3 stream_detect '{"session":"s1","threshold":0.5}')
+kill -TERM "$DAEMON_PID"
+RC3=0; wait "$DAEMON_PID" || RC3=$?; DAEMON_PID=""
+if [[ $RC3 -ne 0 || -z $REF ]]; then
+  echo "soak.sh: FAIL — stage 3 baseline drain exited $RC3:" >&2
+  tail -20 "$WORK/daemon3.log" >&2
+  exit 1
+fi
+
+for SITE in store/wal_append store/wal_fsync store/segment_write \
+            store/manifest_rename; do
+  # (a) Faulted run: every store write through $SITE fails; generate write
+  # traffic (a new session closed with a checkpoint), then SIGKILL — the
+  # worst case: injected write failures AND a crash with no drain.
+  start_store_daemon --faults="$SITE:1:repeat"
+  req3 stream_open '{"session":"w","max_period":16,"alphabet_size":3}' >/dev/null
+  req3 stream_feed "{\"session\":\"w\",\"symbols\":\"$SYMS\"}" >/dev/null
+  CLOSE_RC=0
+  req3 stream_close '{"session":"w","checkpoint":true}' >/dev/null 2>&1 || CLOSE_RC=$?
+  kill -9 "$DAEMON_PID"
+  wait "$DAEMON_PID" 2>/dev/null || true
+  DAEMON_PID=""
+
+  # (b) Cold restart on the same store: recovery must succeed and s1 must
+  # thaw to the exact baseline detect response.
+  start_store_daemon
+  if ! req3 stream_open '{"session":"s1","resume":true}' >/dev/null; then
+    echo "soak.sh: FAIL — $SITE: s1 did not resume after SIGKILL" >&2
+    tail -20 "$WORK/daemon3.log" >&2
+    FAILED=1
+  fi
+  GOT=$(req3 stream_detect '{"session":"s1","threshold":0.5}' || true)
+  if [[ $GOT != "$REF" ]]; then
+    echo "soak.sh: FAIL — $SITE: thawed detect differs from baseline:" >&2
+    echo "  want: $REF" >&2
+    echo "  got:  $GOT" >&2
+    FAILED=1
+  fi
+  # Acked-write durability: a checkpoint the daemon acknowledged under the
+  # fault must still resume after the kill; an unacknowledged one may or may
+  # not exist, but must never resume corrupt (the open either succeeds with
+  # a valid session or fails cleanly — the daemon staying up covers that).
+  if [[ $CLOSE_RC -eq 0 ]]; then
+    if ! req3 stream_open '{"session":"w","resume":true}' >/dev/null; then
+      echo "soak.sh: FAIL — $SITE: acked checkpoint lost after SIGKILL" >&2
+      FAILED=1
+    else
+      req3 stream_close '{"session":"w","checkpoint":false}' >/dev/null || true
+    fi
+  else
+    req3 stream_open '{"session":"w","resume":true}' >/dev/null 2>&1 || true
+    req3 stream_close '{"session":"w","checkpoint":false}' >/dev/null 2>&1 || true
+  fi
+  STATS=$(req3 stats '{}' || true)
+  if ! python3 -c '
+import json, sys
+store = json.loads(sys.argv[1])["result"]["store"]
+assert store["enabled"], "store disabled"
+assert store["recoveries"] >= 1, f"no recovery ran: {store}"
+assert store["scrub_errors"] == 0, f"segment scrub found damage: {store}"
+' "$STATS" 2>"$WORK/stage3_stats.err"; then
+    echo "soak.sh: FAIL — $SITE: store stats after recovery:" >&2
+    cat "$WORK/stage3_stats.err" >&2
+    echo "  stats: $STATS" >&2
+    FAILED=1
+  fi
+  kill -TERM "$DAEMON_PID"
+  RC3=0; wait "$DAEMON_PID" || RC3=$?; DAEMON_PID=""
+  if [[ $RC3 -ne 0 ]]; then
+    echo "soak.sh: FAIL — $SITE: post-recovery drain exited $RC3" >&2
+    tail -20 "$WORK/daemon3.log" >&2
+    FAILED=1
+  fi
+  if [[ $FAILED -ne 0 ]]; then
+    exit 1
+  fi
+  echo "soak.sh: stage 3 [$SITE] PASS — recovered, thawed bit-identical"
+done
+
+# A read fault at startup must refuse to serve, not serve damaged data: the
+# daemon exits nonzero with a clear message, and a clean retry works.
+start3_failed=0
+rm -f "$SOCKET3"
+"$DAEMON" --socket="$SOCKET3" --store_dir="$STORE3" \
+  --faults=store/read:1:repeat >>"$WORK/daemon3.log" 2>&1 || start3_failed=$?
+if [[ $start3_failed -eq 0 ]]; then
+  echo "soak.sh: FAIL — daemon served a store it could not read" >&2
+  exit 1
+fi
+start_store_daemon
+kill -TERM "$DAEMON_PID"
+RC3=0; wait "$DAEMON_PID" || RC3=$?; DAEMON_PID=""
+if [[ $RC3 -ne 0 ]]; then
+  echo "soak.sh: FAIL — stage 3 final clean start exited $RC3" >&2
+  exit 1
+fi
+if grep -qE "Sanitizer|runtime error" "$WORK/daemon3.log"; then
+  echo "soak.sh: FAIL — sanitizer findings in the stage 3 daemon log:" >&2
+  grep -E "Sanitizer|runtime error" "$WORK/daemon3.log" >&2
+  exit 1
+fi
+
+echo "soak.sh: PASS — all three stages: zero crashes, structured responses, bounded RSS, clean drain, crash-consistent store"
