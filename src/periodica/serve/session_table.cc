@@ -576,6 +576,39 @@ Result<SessionTable::CloseResult> SessionTable::Close(
   return result;
 }
 
+Result<SessionTable::CloseResult> SessionTable::Discard(
+    const std::string& tenant_name, const std::string& id) {
+  Session* session = nullptr;
+  {
+    MutexLock lock(&mutex_);
+    const auto it = sessions_.find(Key(tenant_name, id));
+    if (it == sessions_.end()) {
+      return Status::NotFound("no open session '" + id + "' (tenant " +
+                              tenant_name + ")");
+    }
+    session = it->second;
+    ++session->pins;  // keeps the block alive while we read the size below
+    session->erased = true;
+    sessions_.erase(it);
+    --session->owner->sessions;
+  }
+  CloseResult result;
+  {
+    MutexLock lock(&session->mutex);  // waits for an in-flight feed/detect
+    if (session->detector != nullptr) {
+      result.size = session->detector->size();
+    } else {
+      MutexLock table(&mutex_);
+      result.size = session->evicted_size;
+    }
+  }
+  // Deliberately no PersistCheckpoint and no DropPersisted: a discarded
+  // copy is stale by definition, and the on-disk snapshot may already
+  // belong to the session's new owner.
+  Unpin(session);
+  return result;
+}
+
 std::size_t SessionTable::CheckpointAllForDrain(
     std::vector<std::string>* log) {
   // Call quiesced (workers drained, no live handles): pinned sessions are
@@ -625,6 +658,26 @@ std::size_t SessionTable::CheckpointAllForDrain(
     }
   }
   return failures;
+}
+
+Status SessionTable::Checkpoint(const Handle& handle) {
+  if (!handle.valid()) {
+    return Status::InvalidArgument("Checkpoint: invalid handle");
+  }
+  if (!CanPersist()) {
+    return Status::InvalidArgument(
+        "Checkpoint: no checkpoint directory or store configured");
+  }
+  Session* session = handle.session_;
+  // The handle owns the session mutex, so detector() is stable and the
+  // snapshot is consistent; tenant/id are immutable. The table mutex is
+  // taken only afterwards (session -> table is the one sanctioned lock
+  // order) to publish has_checkpoint_file.
+  PERIODICA_RETURN_NOT_OK(
+      PersistCheckpoint(*handle.detector(), session->tenant, session->id));
+  MutexLock lock(&mutex_);
+  session->has_checkpoint_file = true;
+  return Status::OK();
 }
 
 bool SessionTable::Contains(const std::string& tenant,

@@ -162,11 +162,29 @@ class SessionTable {
   Result<CloseResult> Close(const std::string& tenant, const std::string& id,
                             bool checkpoint);
 
+  /// Drops the in-memory session without touching durable state: no
+  /// checkpoint is written and — unlike Close(checkpoint=false) — an
+  /// existing snapshot is NOT deleted. This is the migration fence for a
+  /// shard that lost ownership of a session: the router discards the stale
+  /// local copy while the shared-checkpoint-directory snapshot (now owned
+  /// by the successor shard) stays authoritative. NotFound when the
+  /// session is not open here.
+  Result<CloseResult> Discard(const std::string& tenant,
+                              const std::string& id);
+
   /// Drain support: checkpoints every resident session (evicted sessions
   /// already have a current snapshot on disk). Appends one human-readable
   /// line per session to `log` when non-null; returns the number of
   /// sessions whose checkpoint failed.
   std::size_t CheckpointAllForDrain(std::vector<std::string>* log);
+
+  /// Persists the pinned session's current state through the durable
+  /// backend without closing or unpinning it. This is the per-feed
+  /// durability mode behind `periodicad --checkpoint_each_feed` and the
+  /// write side of live migration: a peer shard sharing the checkpoint
+  /// directory thaws from the snapshot this writes. InvalidArgument when
+  /// the handle is invalid or no durable backend is configured.
+  Status Checkpoint(const Handle& handle);
 
   [[nodiscard]] Stats GetStats() const;
 

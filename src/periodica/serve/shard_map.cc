@@ -1,0 +1,108 @@
+#include "periodica/serve/shard_map.h"
+
+#include <algorithm>
+
+namespace periodica::serve {
+
+ShardMap::ShardMap(std::size_t virtual_nodes)
+    : virtual_nodes_(virtual_nodes == 0 ? 1 : virtual_nodes) {}
+
+std::uint64_t ShardMap::HashKey(std::string_view key) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const char c : key) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 1099511628211ULL;
+  }
+  // FNV mixes low bits weakly; a final avalanche (splitmix64 tail) keeps
+  // ring positions uniform even for keys sharing long prefixes.
+  hash ^= hash >> 30;
+  hash *= 0xbf58476d1ce4e5b9ULL;
+  hash ^= hash >> 27;
+  hash *= 0x94d049bb133111ebULL;
+  hash ^= hash >> 31;
+  return hash;
+}
+
+Status ShardMap::AddShard(const std::string& name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("shard name must be non-empty");
+  }
+  for (const Shard& shard : shards_) {
+    if (shard.name == name) {
+      return Status::AlreadyExists("duplicate shard: " + name);
+    }
+  }
+  const std::size_t index = shards_.size();
+  shards_.push_back(Shard{name, /*up=*/true});
+  ring_.reserve(ring_.size() + virtual_nodes_);
+  for (std::size_t v = 0; v < virtual_nodes_; ++v) {
+    const std::uint64_t position =
+        HashKey(name + "#" + std::to_string(v));
+    ring_.emplace_back(position, index);
+  }
+  std::sort(ring_.begin(), ring_.end());
+  return Status::OK();
+}
+
+void ShardMap::SetUp(const std::string& name, bool up) {
+  for (Shard& shard : shards_) {
+    if (shard.name == name) {
+      shard.up = up;
+      return;
+    }
+  }
+}
+
+bool ShardMap::IsUp(const std::string& name) const {
+  for (const Shard& shard : shards_) {
+    if (shard.name == name) return shard.up;
+  }
+  return false;
+}
+
+std::optional<std::string> ShardMap::Pick(std::string_view key) const {
+  if (ring_.empty()) return std::nullopt;
+  const std::uint64_t hash = HashKey(key);
+  // First ring position at or after the key's hash, wrapping at the top.
+  std::size_t lo =
+      static_cast<std::size_t>(std::lower_bound(ring_.begin(), ring_.end(),
+                                                std::make_pair(hash,
+                                                               std::size_t{
+                                                                   0})) -
+                               ring_.begin());
+  for (std::size_t step = 0; step < ring_.size(); ++step) {
+    const std::size_t at = (lo + step) % ring_.size();
+    const Shard& shard = shards_[ring_[at].second];
+    if (shard.up) return shard.name;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> ShardMap::PickPrimary(std::string_view key) const {
+  if (ring_.empty()) return std::nullopt;
+  const std::uint64_t hash = HashKey(key);
+  const std::size_t lo =
+      static_cast<std::size_t>(std::lower_bound(ring_.begin(), ring_.end(),
+                                                std::make_pair(hash,
+                                                               std::size_t{
+                                                                   0})) -
+                               ring_.begin());
+  return shards_[ring_[lo % ring_.size()].second].name;
+}
+
+std::size_t ShardMap::up_count() const {
+  std::size_t count = 0;
+  for (const Shard& shard : shards_) {
+    if (shard.up) ++count;
+  }
+  return count;
+}
+
+std::vector<std::string> ShardMap::shard_names() const {
+  std::vector<std::string> names;
+  names.reserve(shards_.size());
+  for (const Shard& shard : shards_) names.push_back(shard.name);
+  return names;
+}
+
+}  // namespace periodica::serve

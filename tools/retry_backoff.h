@@ -1,0 +1,46 @@
+#ifndef PERIODICA_TOOLS_RETRY_BACKOFF_H_
+#define PERIODICA_TOOLS_RETRY_BACKOFF_H_
+
+// The retry backoff policy shared by periodica_client and the router's
+// shard-reconnect supervision: honor the server's retry_after_ms hint when
+// it gave one, otherwise exponential doubling from a base; cap, then jitter
+// ±25% so clients that were rejected together do not come back together.
+// Pulled out of periodica_client so the policy is unit-testable with a
+// deterministic Rng (tests/retry_backoff_test.cc pins the jitter bounds,
+// the cap, and hint precedence).
+
+#include <algorithm>
+#include <cstdint>
+
+#include "periodica/util/rng.h"
+
+namespace periodica::tools {
+
+/// The sleep before retry number `attempt` (0-based). `retry_after_ms > 0`
+/// is the server's hint and takes precedence over the exponential schedule;
+/// `max_backoff_ms` caps the pre-jitter value (so the jittered result can
+/// exceed it by at most 25%). The shift saturates at attempt 20 to avoid
+/// overflow on pathological retry budgets.
+inline std::int64_t NextBackoffMs(std::int64_t attempt,
+                                  std::int64_t retry_after_ms,
+                                  std::int64_t max_backoff_ms,
+                                  std::int64_t base_ms, Rng* rng) {
+  std::int64_t backoff =
+      retry_after_ms > 0
+          ? retry_after_ms
+          : base_ms * (std::int64_t{1}
+                       << std::min<std::int64_t>(std::max<std::int64_t>(
+                                                     attempt, 0),
+                                                 20));
+  backoff = std::min(backoff, max_backoff_ms);
+  if (backoff > 0) {
+    const std::int64_t quarter = std::max<std::int64_t>(1, backoff / 4);
+    backoff += rng->UniformRange(-quarter, quarter);
+    if (backoff < 0) backoff = 0;
+  }
+  return backoff;
+}
+
+}  // namespace periodica::tools
+
+#endif  // PERIODICA_TOOLS_RETRY_BACKOFF_H_

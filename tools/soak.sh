@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # tools/soak.sh — serving-layer soak test (docs/ROBUSTNESS.md, docs/SERVING.md).
 #
-# Three stages, each against its own deliberately undersized daemon:
+# Four stages, each against its own deliberately undersized serving stack:
 #
 #   Stage 1 (overload + drain): storms periodicad with the closed-loop mine
 #   load generator while fault injection drops an accept, an enqueue, a read
@@ -19,6 +19,14 @@
 #   restarts it cold, and asserts recovery succeeds, a previously drained
 #   session thaws byte-identically, acknowledged checkpoints survive, and
 #   the segment scrub reports zero errors.
+#
+#   Stage 4 (multi-node kill + migration): two TCP shards behind
+#   periodica_router (tcp/* faults armed on both sides of the wire), plus a
+#   standalone control daemon. Streams sessions through the router, SIGKILLs
+#   one shard mid-stream, and asserts the router marks it down within one
+#   heartbeat interval, a retrying client finishes with zero failed
+#   requests, and every migrated session's stream_detect response is
+#   byte-identical to the never-migrated control run.
 #
 #   tools/soak.sh [--build-dir DIR] [--seconds N] [--concurrency N]
 #                 [--rss-limit-mb N] [--sessions N] [--tenants N]
@@ -184,9 +192,12 @@ for _ in $(seq 1 100); do
 done
 [[ -S $SOCKET2 ]] || { echo "soak.sh: FAIL — stage 2 socket never appeared" >&2; exit 1; }
 
+# --hold_open_ms keeps every session resident between its detect and close,
+# so concurrent workers overlap enough live sessions that the tenant budget
+# must evict — the eviction gate below cannot be dodged by fast closes.
 "$LOAD" --socket="$SOCKET2" --sessions="$SESSIONS" --tenants="$TENANTS" \
   --concurrency="$CONCURRENCY" --feed_rounds=2 --feed_chunk=64 \
-  --detect_every=32 --max_period=16 \
+  --detect_every=32 --max_period=16 --hold_open_ms=250 \
   >"$WORK/load2.json" 2>"$WORK/load2.log" &
 LOAD_PID=$!
 
@@ -402,4 +413,226 @@ if grep -qE "Sanitizer|runtime error" "$WORK/daemon3.log"; then
   exit 1
 fi
 
-echo "soak.sh: PASS — all three stages: zero crashes, structured responses, bounded RSS, clean drain, crash-consistent store"
+# --- Stage 4: multi-node SIGKILL + live migration -----------------------------
+# Two TCP shards behind periodica_router, tcp/* faults armed on both sides
+# of the wire, a shared checkpoint directory, and a standalone control
+# daemon that never migrates. Sessions stream through the router with
+# explicit feed offsets; one shard is SIGKILLed mid-stream. Asserts
+# (docs/SERVING.md "Multi-node serving"):
+#   1. the router marks the dead shard down within one heartbeat interval;
+#   2. a retrying client finishes with zero failed requests — every open,
+#      feed and detect eventually succeeds through the kill window;
+#   3. every migrated session's stream_detect response is byte-identical to
+#      the control daemon's (the migration moved state, not approximated it);
+#   4. the surviving stack drains cleanly: router, shard and control all
+#      exit 0 on SIGTERM.
+ROUTER=$BUILD_DIR/tools/periodica_router
+if [[ ! -x $ROUTER ]]; then
+  echo "soak.sh: $ROUTER is not built (cmake --build --preset release)" >&2
+  exit 2
+fi
+
+CKPT4=$WORK/ckpt4
+SHARD0_PID=""
+SHARD1_PID=""
+CONTROL_PID=""
+ROUTER_PID=""
+cleanup4() {
+  for pid in "$SHARD0_PID" "$SHARD1_PID" "$CONTROL_PID" "$ROUTER_PID"; do
+    [[ -n $pid ]] && kill -9 "$pid" 2>/dev/null || true
+  done
+}
+trap 'cleanup4; cleanup' EXIT
+
+start_shard() {  # args: index — sets SHARD<index>_PID and SHARD<index>_PORT
+  local idx=$1
+  local sock=$WORK/shard$idx.sock
+  rm -f "$sock"
+  # tcp/* faults: one dropped accept, one torn read, one failed write per
+  # shard — the transport must absorb each without corrupting other streams.
+  "$DAEMON" --socket="$sock" --tcp_port=0 \
+    --checkpoint_dir="$CKPT4" --checkpoint_each_feed --workers=2 \
+    --faults=tcp/accept:7,tcp/read:30,tcp/write:50 \
+    >"$WORK/shard$idx.log" 2>&1 &
+  local pid=$!
+  local port=""
+  for _ in $(seq 1 100); do
+    port=$(sed -n 's/^periodicad: tcp listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+      "$WORK/shard$idx.log" | head -1)
+    [[ -n $port && -S $sock ]] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+      echo "soak.sh: FAIL — stage 4 shard $idx died during startup:" >&2
+      cat "$WORK/shard$idx.log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  if [[ -z $port ]]; then
+    echo "soak.sh: FAIL — stage 4 shard $idx never reported its TCP port" >&2
+    exit 1
+  fi
+  eval "SHARD${idx}_PID=$pid"
+  eval "SHARD${idx}_PORT=$port"
+}
+
+start_shard 0
+start_shard 1
+
+SOCKET4C=$WORK/control4.sock
+"$DAEMON" --socket="$SOCKET4C" --workers=2 >"$WORK/control4.log" 2>&1 &
+CONTROL_PID=$!
+for _ in $(seq 1 100); do
+  [[ -S $SOCKET4C ]] && break
+  sleep 0.1
+done
+[[ -S $SOCKET4C ]] || { echo "soak.sh: FAIL — stage 4 control socket never appeared" >&2; exit 1; }
+
+ROUTER_SOCK=$WORK/router4.sock
+"$ROUTER" --listen_socket="$ROUTER_SOCK" \
+  --shards="s0=127.0.0.1:$SHARD0_PORT,s1=127.0.0.1:$SHARD1_PORT" \
+  --heartbeat_ms=200 --reconnect_base_ms=50 --reconnect_max_ms=400 \
+  --faults=tcp/connect:4,tcp/read:40,tcp/write:60 \
+  >"$WORK/router4.log" 2>&1 &
+ROUTER_PID=$!
+for _ in $(seq 1 100); do
+  [[ -S $ROUTER_SOCK ]] && break
+  if ! kill -0 "$ROUTER_PID" 2>/dev/null; then
+    echo "soak.sh: FAIL — stage 4 router died during startup:" >&2
+    cat "$WORK/router4.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[[ -S $ROUTER_SOCK ]] || { echo "soak.sh: FAIL — stage 4 router socket never appeared" >&2; exit 1; }
+
+router_stat() {  # key — prints result.<key> from the router's stats, or -1
+  "$CLIENT" --socket="$ROUTER_SOCK" --method=stats 2>/dev/null \
+    | python3 -c 'import json,sys
+try: print(json.loads(sys.stdin.readline())["result"][sys.argv[1]])
+except Exception: print(-1)' "$1"
+}
+
+for _ in $(seq 1 50); do
+  [[ $(router_stat up_count) == 2 ]] && break
+  sleep 0.1
+done
+if [[ $(router_stat up_count) != 2 ]]; then
+  echo "soak.sh: FAIL — stage 4 router never saw both shards up" >&2
+  cat "$WORK/router4.log" >&2
+  exit 1
+fi
+
+# Requests that must eventually succeed: retry I/O drops and OVERLOADED on a
+# fresh connection (feeds carry offsets, so replays are idempotent). A
+# request that exhausts its retries is a failed request — the zero-failures
+# assertion.
+req4() {  # method params — prints the last response line
+  local method=$1 params=$2 rc=0 out=""
+  for _ in $(seq 1 20); do
+    rc=0
+    out=$("$CLIENT" --socket="$ROUTER_SOCK" --method="$method" \
+      --params="$params" --max_retries=3 2>/dev/null) || rc=$?
+    # The client echoes every response it saw, including retried
+    # OVERLOADED ones; only the last line is the settled answer.
+    if [[ $rc -eq 0 ]]; then printf '%s\n' "${out##*$'\n'}"; return 0; fi
+    sleep 0.2
+  done
+  echo "soak.sh: FAIL — stage 4 request '$method' never succeeded (rc=$rc): $out" >&2
+  {
+    echo "--- router4.log (tail) ---"; tail -30 "$WORK/router4.log"
+    echo "--- shard0.log (tail) ---"; tail -10 "$WORK/shard0.log"
+    echo "--- shard1.log (tail) ---"; tail -10 "$WORK/shard1.log"
+  } >&2
+  return 1
+}
+reqc() {  # method params — same request against the control daemon
+  "$CLIENT" --socket="$SOCKET4C" --method="$1" --params="$2"
+}
+
+CHUNK_A=$(printf 'abcabcabcabc%.0s' $(seq 1 12))  # 144 symbols, period 3
+CHUNK_B=$(printf 'abcabcabcabc%.0s' $(seq 1 12))
+TENANTS4="alpha beta"
+SESSIONS4="m0 m1 m2 m3 m4 m5"
+
+for tenant in $TENANTS4; do
+  for name in $SESSIONS4; do
+    OPEN="{\"tenant\":\"$tenant\",\"session\":\"$name\",\"max_period\":16,\"alphabet_size\":3}"
+    req4 stream_open "$OPEN" >/dev/null || exit 1
+    reqc stream_open "$OPEN" >/dev/null
+    FEED="{\"tenant\":\"$tenant\",\"session\":\"$name\",\"symbols\":\"$CHUNK_A\",\"offset\":0}"
+    req4 stream_feed "$FEED" >/dev/null || exit 1
+    reqc stream_feed "$FEED" >/dev/null
+  done
+done
+
+# SIGKILL one shard mid-stream; the router must notice within one heartbeat
+# interval (200ms ping cadence, 400ms deadline — 2s of polling is already
+# generous headroom on a loaded host).
+kill -9 "$SHARD0_PID"
+wait "$SHARD0_PID" 2>/dev/null || true
+SHARD0_PID=""
+DETECTED=0
+for _ in $(seq 1 20); do
+  if [[ $(router_stat up_count) == 1 ]]; then DETECTED=1; break; fi
+  sleep 0.1
+done
+if [[ $DETECTED -ne 1 ]]; then
+  echo "soak.sh: FAIL — stage 4 router did not mark the killed shard down in time" >&2
+  cat "$WORK/router4.log" >&2
+  exit 1
+fi
+
+# Keep streaming through the kill: sessions that lived on the dead shard
+# migrate (resume from the shared checkpoint dir) on first touch.
+for tenant in $TENANTS4; do
+  for name in $SESSIONS4; do
+    FEED="{\"tenant\":\"$tenant\",\"session\":\"$name\",\"symbols\":\"$CHUNK_B\",\"offset\":${#CHUNK_A}}"
+    req4 stream_feed "$FEED" >/dev/null || exit 1
+    reqc stream_feed "$FEED" >/dev/null
+  done
+done
+
+MIGRATION_MISMATCH=0
+for tenant in $TENANTS4; do
+  for name in $SESSIONS4; do
+    DETECT="{\"tenant\":\"$tenant\",\"session\":\"$name\",\"threshold\":0.5}"
+    ROUTED=$(req4 stream_detect "$DETECT") || exit 1
+    CONTROLLED=$(reqc stream_detect "$DETECT")
+    if [[ $ROUTED != "$CONTROLLED" ]]; then
+      echo "soak.sh: FAIL — stage 4 $tenant/$name migrated detect differs:" >&2
+      echo "  control: $CONTROLLED" >&2
+      echo "  routed:  $ROUTED" >&2
+      MIGRATION_MISMATCH=1
+    fi
+  done
+done
+[[ $MIGRATION_MISMATCH -eq 0 ]] || exit 1
+
+MIGRATED=$(router_stat sessions_migrated)
+if [[ $MIGRATED -lt 1 ]]; then
+  echo "soak.sh: FAIL — stage 4 kill migrated no sessions (placement skew?)" >&2
+  exit 1
+fi
+
+# Clean drain across the surviving stack.
+DRAIN_FAIL=0
+kill -TERM "$ROUTER_PID"
+RC4=0; wait "$ROUTER_PID" || RC4=$?; ROUTER_PID=""
+[[ $RC4 -eq 0 ]] || { echo "soak.sh: FAIL — stage 4 router drain exited $RC4" >&2; DRAIN_FAIL=1; }
+kill -TERM "$SHARD1_PID"
+RC4=0; wait "$SHARD1_PID" || RC4=$?; SHARD1_PID=""
+[[ $RC4 -eq 0 ]] || { echo "soak.sh: FAIL — stage 4 shard drain exited $RC4" >&2; DRAIN_FAIL=1; }
+kill -TERM "$CONTROL_PID"
+RC4=0; wait "$CONTROL_PID" || RC4=$?; CONTROL_PID=""
+[[ $RC4 -eq 0 ]] || { echo "soak.sh: FAIL — stage 4 control drain exited $RC4" >&2; DRAIN_FAIL=1; }
+if grep -qE "Sanitizer|runtime error" "$WORK/shard0.log" "$WORK/shard1.log" \
+    "$WORK/router4.log" "$WORK/control4.log"; then
+  echo "soak.sh: FAIL — sanitizer findings in the stage 4 logs:" >&2
+  grep -E "Sanitizer|runtime error" "$WORK/shard0.log" "$WORK/shard1.log" \
+    "$WORK/router4.log" "$WORK/control4.log" >&2
+  DRAIN_FAIL=1
+fi
+[[ $DRAIN_FAIL -eq 0 ]] || exit 1
+echo "soak.sh: stage 4 PASS — shard killed, down in one heartbeat, $MIGRATED sessions migrated byte-identically, zero failed requests"
+
+echo "soak.sh: PASS — all four stages: zero crashes, structured responses, bounded RSS, clean drain, crash-consistent store, live migration"

@@ -25,39 +25,14 @@
 
 #include "periodica/util/result.h"
 #include "periodica/util/status.h"
+#include "periodica/util/tcp.h"
 
 namespace periodica::tools {
 
-/// An owned file descriptor (closes on destruction; movable).
-class FdHandle {
- public:
-  FdHandle() = default;
-  explicit FdHandle(int fd) : fd_(fd) {}
-  ~FdHandle() { Close(); }
-  FdHandle(FdHandle&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
-  FdHandle& operator=(FdHandle&& other) noexcept {
-    if (this != &other) {
-      Close();
-      fd_ = other.fd_;
-      other.fd_ = -1;
-    }
-    return *this;
-  }
-  FdHandle(const FdHandle&) = delete;
-  FdHandle& operator=(const FdHandle&) = delete;
-
-  [[nodiscard]] int get() const { return fd_; }
-  [[nodiscard]] bool valid() const { return fd_ >= 0; }
-  void Close() {
-    if (fd_ >= 0) {
-      ::close(fd_);
-      fd_ = -1;
-    }
-  }
-
- private:
-  int fd_ = -1;
-};
+/// An owned file descriptor (closes on destruction; movable) — the same
+/// type the TCP helpers in util/tcp.h hand out, so Unix-socket and TCP
+/// connections flow through identical plumbing.
+using FdHandle = util::UniqueFd;
 
 inline Status FillSockAddr(const std::string& path, sockaddr_un* addr) {
   if (path.empty() || path.size() >= sizeof(addr->sun_path)) {
@@ -99,6 +74,7 @@ inline Result<FdHandle> ConnectUnix(const std::string& path) {
   if (!fd.valid()) {
     return Status::IOError("socket(): " + std::string(std::strerror(errno)));
   }
+  // lint: blocking(connect): one-shot client dial — no event loop here
   if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
                 sizeof(addr)) != 0) {
     return Status::IOError("connect(" + path +
@@ -124,8 +100,9 @@ inline Status SendLine(int fd, const std::string& line) {
   wire.push_back('\n');
   std::size_t sent = 0;
   while (sent < wire.size()) {
-    const ssize_t wrote =
-        ::send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    // lint: blocking(send): blocking helper for one-shot clients and tests
+    const ssize_t wrote = ::send(fd, wire.data() + sent, wire.size() - sent,
+                                 MSG_NOSIGNAL);
     if (wrote < 0) {
       if (errno == EINTR) continue;
       return Status::IOError("send(): " + std::string(std::strerror(errno)));
@@ -182,7 +159,7 @@ class LineBuffer {
   [[nodiscard]] std::size_t buffered_bytes() const { return buffer_.size(); }
 
  private:
-  const std::size_t max_line_;
+  std::size_t max_line_;  ///< non-const so a fresh LineBuffer can be assigned
   std::string buffer_;
   std::size_t searched_ = 0;  ///< prefix known to contain no newline
 };
@@ -193,6 +170,7 @@ class LineBuffer {
 inline Result<bool> DrainReadable(int fd, LineBuffer* buffer) {
   while (true) {
     char chunk[16384];
+    // lint: blocking(recv): fd is non-blocking — stops at EAGAIN
     const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
     if (got < 0) {
       if (errno == EINTR) continue;
@@ -211,6 +189,7 @@ inline Result<bool> DrainReadable(int fd, LineBuffer* buffer) {
 inline Result<bool> SendSome(int fd, const std::string& data,
                              std::size_t* offset) {
   while (*offset < data.size()) {
+    // lint: blocking(send): fd is non-blocking — stops at EAGAIN
     const ssize_t wrote = ::send(fd, data.data() + *offset,
                                  data.size() - *offset, MSG_NOSIGNAL);
     if (wrote < 0) {
@@ -238,6 +217,7 @@ class LineReader {
         return *std::move(line);
       }
       char chunk[4096];
+      // lint: blocking(recv): blocking reader for one-shot clients and tests
       const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
       if (got < 0) {
         if (errno == EINTR) continue;
@@ -259,6 +239,20 @@ class LineReader {
   int fd_;
   LineBuffer buffer_;
 };
+
+/// Dials whichever transport the flags selected: a non-empty `tcp_spec`
+/// ("host:port") wins, otherwise the Unix socket at `socket_path`. Shared
+/// by periodica_client and periodica_load so both speak to single daemons,
+/// TCP shards and the router with the same flag surface.
+inline Result<FdHandle> DialServer(const std::string& socket_path,
+                                   const std::string& tcp_spec) {
+  if (!tcp_spec.empty()) {
+    PERIODICA_ASSIGN_OR_RETURN(const util::TcpEndpoint endpoint,
+                               util::ParseHostPort(tcp_spec));
+    return util::TcpConnectBlocking(endpoint.host, endpoint.port);
+  }
+  return ConnectUnix(socket_path);
+}
 
 }  // namespace periodica::tools
 
