@@ -412,6 +412,37 @@ TEST(PeriodicadTest, StreamingSessionCheckpointsOnDrainAndResumes) {
   std::filesystem::remove_all(dir, ignored);
 }
 
+// Regression: with --checkpoint_each_feed, a failed per-open checkpoint
+// used to self-deadlock the daemon — the failure path called Close() while
+// the checkpoint's Handle still held the session mutex, wedging the loop
+// thread forever. The open must come back as an error, the daemon must
+// stay responsive, and the half-open session must be gone.
+TEST(PeriodicadTest, FailedOpenCheckpointRespondsAndClosesTheSession) {
+  const std::string dir = UniqueDir();
+  DaemonProcess daemon({"--checkpoint_dir=" + dir, "--checkpoint_each_feed",
+                        "--faults=atomic_file/write:1"});
+  Client client(daemon.socket_path());
+  ASSERT_TRUE(client.connected());
+
+  JsonValue::Object open;
+  open["session"] = "s1";
+  open["max_period"] = std::size_t{16};
+  open["alphabet_size"] = std::size_t{3};
+  const JsonValue failed = client.Call("stream_open", open);
+  EXPECT_FALSE(failed.GetBool("ok", true)) << failed.Dump();
+  EXPECT_EQ(ErrorCode(failed), "IO_ERROR") << failed.Dump();
+
+  // Deadlock would hang this ping (session bookkeeping runs on the loop
+  // thread). The fault is consumed, so the retried open — same name, which
+  // the failure path must have closed — now succeeds end to end.
+  EXPECT_TRUE(client.Call("ping", {}).GetBool("ok", false));
+  const JsonValue reopened = client.Call("stream_open", open);
+  EXPECT_TRUE(reopened.GetBool("ok", false)) << reopened.Dump();
+
+  std::error_code ignored;
+  std::filesystem::remove_all(dir, ignored);
+}
+
 // The event-loop acceptance criterion: the daemon's thread count is
 // O(worker pool), not O(connections). With 1000 connections held open, the
 // process may run the loop thread, the workers, the watchdog and a few

@@ -533,6 +533,42 @@ TEST(RouterTest, FallbackPlacementPinsTheSession) {
                   .GetBool("ok", false));
 }
 
+// A session its client abandons (no stream_close ever arrives) must not
+// pin forever: after --pin_ttl_s idle seconds the router reaps the pin and
+// best-effort discards the abandoned live copy on the pinned shard, so
+// migrations_ stays bounded by the live working set.
+TEST(RouterTest, IdleMigrationPinExpiresAfterTtl) {
+  ShardProcess shard_a({});
+  ShardProcess shard_b({});
+  RouterProcess router({shard_a.tcp_port(), shard_b.tcp_port()},
+                       {"--pin_ttl_s=1"});
+  WaitForUpCount(router.socket_path(), 2.0, 5000);
+
+  // Pin via fallback placement: the primary is down, so the open lands
+  // (and pins) on the surviving shard.
+  const std::string session = SessionPrimariedOn(2, "s0", "default");
+  shard_a.Kill();
+  WaitForUpCount(router.socket_path(), 1.0, 5000);
+  JsonValue::Object open;
+  open["session"] = session;
+  open["max_period"] = std::size_t{16};
+  open["alphabet_size"] = std::size_t{3};
+  ASSERT_TRUE(CallWithRetry(router.socket_path(), "stream_open", open)
+                  .GetBool("ok", false));
+  ASSERT_GE(RouterStat(router.socket_path(), "migration_pins"), 1.0);
+
+  // Abandon the session and wait out the TTL plus one sweep period.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline &&
+         RouterStat(router.socket_path(), "pins_expired") < 1.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  EXPECT_GE(RouterStat(router.socket_path(), "pins_expired"), 1.0);
+  EXPECT_EQ(RouterStat(router.socket_path(), "migration_pins"), 0.0);
+  EXPECT_GE(RouterStat(router.socket_path(), "discards_sent"), 1.0);
+}
+
 // A health flap can leave two live copies of one session: an open that
 // landed on a fallback shard while the primary was briefly down, then the
 // stream repaired back onto the recovered primary. The stale copy must not

@@ -83,6 +83,7 @@ struct RouterConfig {
   std::int64_t route_retries = 3;      // re-route attempts per request
   std::int64_t retry_after_ms = 250;   // hint in router-origin OVERLOADED
   std::int64_t max_request_bytes = 64 << 20;
+  std::int64_t pin_ttl_s = 3600;       // idle migration-pin expiry (0 = never)
   std::string faults;                  // "site:nth[:repeat],..." like the daemon
 };
 
@@ -316,6 +317,11 @@ class Router {
                         const std::string& session);
   [[nodiscard]] static std::string DiscardRequestLine(
       const std::string& tenant, const std::string& session);
+  /// Reaps migration pins idle for --pin_ttl_s (abandoned sessions), with a
+  /// best-effort stream_discard of the live copy left on the pinned shard,
+  /// then re-arms itself. No-op once shutdown begins.
+  void SweepPins();
+  void SchedulePinSweep();
 
   void OnWakePipe();
   void BeginShutdown();
@@ -339,11 +345,15 @@ class Router {
   /// a fallback shard because its primary was down — its key pins to that
   /// shard until stream_close, so a flapping original owner cannot pull
   /// the stream back onto its stale state. The tenant/session pair is kept
-  /// so stale duplicate copies can be purged with stream_discard.
+  /// so stale duplicate copies can be purged with stream_discard. Pins for
+  /// sessions their clients abandoned (no stream_close ever routed here)
+  /// are reaped after --pin_ttl_s idle seconds by SweepPins, so the map
+  /// stays bounded by the live working set.
   struct Pin {
     std::string shard;
     std::string tenant;
     std::string session;
+    std::chrono::steady_clock::time_point last_used{};
   };
   /// lint: unguarded(migrations_): loop-confined
   std::map<std::string, Pin> migrations_;
@@ -370,6 +380,8 @@ class Router {
   std::uint64_t fallback_pins_ = 0;
   /// lint: unguarded(discards_sent_): loop-confined
   std::uint64_t discards_sent_ = 0;
+  /// lint: unguarded(pins_expired_): loop-confined
+  std::uint64_t pins_expired_ = 0;
 };
 
 // --- Client side -----------------------------------------------------------
@@ -577,6 +589,7 @@ JsonValue Router::HandleStats() const {
   result["retries_exhausted"] = static_cast<std::size_t>(retries_exhausted_);
   result["fallback_pins"] = static_cast<std::size_t>(fallback_pins_);
   result["discards_sent"] = static_cast<std::size_t>(discards_sent_);
+  result["pins_expired"] = static_cast<std::size_t>(pins_expired_);
   return OkResponse(std::move(result));
 }
 
@@ -600,6 +613,7 @@ void Router::DispatchInFlight(const std::shared_ptr<ClientConn>& conn) {
   if (const auto pin = migrations_.find(flight.route_key);
       pin != migrations_.end()) {
     if (ring_.IsUp(pin->second.shard)) {
+      pin->second.last_used = std::chrono::steady_clock::now();
       target = pin->second.shard;
     } else {
       migrations_.erase(pin);
@@ -789,7 +803,8 @@ void Router::HandleUpstreamResponse(const std::shared_ptr<ClientConn>& conn,
       const auto pin = migrations_.find(flight.route_key);
       if (pin == migrations_.end() || pin->second.shard != shard_name) {
         migrations_[flight.route_key] =
-            Pin{shard_name, flight.tenant, flight.session};
+            Pin{shard_name, flight.tenant, flight.session,
+                std::chrono::steady_clock::now()};
         ++sessions_migrated_;
         // Any other live copy of this session is now a stale duplicate: it
         // would shadow future NOT_FOUND repair and serve wrong detects.
@@ -861,7 +876,8 @@ void Router::HandleUpstreamResponse(const std::shared_ptr<ClientConn>& conn,
     if (primary.has_value() && *primary != shard_name &&
         migrations_.find(flight.route_key) == migrations_.end()) {
       migrations_[flight.route_key] =
-          Pin{shard_name, flight.tenant, flight.session};
+          Pin{shard_name, flight.tenant, flight.session,
+              std::chrono::steady_clock::now()};
       ++fallback_pins_;
     }
   }
@@ -1090,9 +1106,17 @@ void Router::MarkShardUp(const std::string& name) {
   // stream repaired onto a peer). Discard those copies now, before ring
   // traffic can reach them — they hold superseded state and their
   // per-feed checkpoints would fight the real owner's.
+  // Snapshot the discard lines before sending: QueueShardControl can flush,
+  // and a failed flush re-enters MarkShardDown -> DispatchInFlight, which
+  // may erase from migrations_ — never send while iterating it.
+  std::vector<std::string> discards;
+  discards.reserve(migrations_.size());
   for (const auto& [key, pin] : migrations_) {
     if (pin.shard == name) continue;
-    QueueShardControl(shard, DiscardRequestLine(pin.tenant, pin.session));
+    discards.push_back(DiscardRequestLine(pin.tenant, pin.session));
+  }
+  for (const std::string& line : discards) {
+    QueueShardControl(shard, line);
     ++discards_sent_;
   }
 }
@@ -1137,6 +1161,12 @@ void Router::MarkShardDown(const std::string& name,
     DropUpstream(conn, name);
     if (conn->flight.active && conn->flight.target == name) {
       ++conn->flight.attempts;
+      if (conn->flight.repair != InFlight::Repair::kNone) {
+        // The shard died mid-repair (discard/resume chain unfinished), so
+        // the repair never happened: give the next target its one attempt,
+        // or a thawable checkpoint would be surfaced as NOT_FOUND.
+        conn->flight.resume_tried = false;
+      }
       conn->flight.repair = InFlight::Repair::kNone;
       DispatchInFlight(conn);
     }
@@ -1170,6 +1200,44 @@ void Router::DiscardElsewhere(const std::string& keep,
     QueueShardControl(&shard, DiscardRequestLine(tenant, session));
     ++discards_sent_;
   }
+}
+
+void Router::SweepPins() {
+  if (shutting_down_) return;
+  const auto now = std::chrono::steady_clock::now();
+  const auto ttl = std::chrono::seconds(config_.pin_ttl_s);
+  // Collect first: the discards below can flush a heartbeat, and a failed
+  // flush re-enters MarkShardDown -> DispatchInFlight, which may mutate
+  // migrations_ under a live iterator.
+  std::vector<Pin> expired;
+  for (auto it = migrations_.begin(); it != migrations_.end();) {
+    if (now - it->second.last_used >= ttl) {
+      expired.push_back(it->second);
+      it = migrations_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const Pin& pin : expired) {
+    ++pins_expired_;
+    // With the pin gone, placement reverts to the ring; a live copy left
+    // on the pinned shard would be a zombie there, so drop it. The on-disk
+    // checkpoint survives — a returning client still repairs via thaw.
+    if (Shard* shard = FindShard(pin.shard); shard != nullptr && shard->up) {
+      QueueShardControl(shard, DiscardRequestLine(pin.tenant, pin.session));
+      ++discards_sent_;
+    }
+  }
+  SchedulePinSweep();
+}
+
+void Router::SchedulePinSweep() {
+  if (config_.pin_ttl_s <= 0 || shutting_down_) return;
+  // Sweep a few times per TTL so expiry lag stays a fraction of the TTL.
+  std::int64_t period_ms = config_.pin_ttl_s * 1000 / 4;
+  if (period_ms < 1000) period_ms = 1000;
+  loop_->RunAfter(std::chrono::milliseconds(period_ms),
+                  [this] { SweepPins(); });
 }
 
 void Router::CloseHeartbeat(Shard* shard) {
@@ -1271,6 +1339,7 @@ Status Router::Run() {
   for (const ShardSpec& spec : specs_) {
     StartHeartbeatConnect(spec.name);
   }
+  SchedulePinSweep();
 
   std::fprintf(stderr,
                "periodica_router: routing %zu shards (heartbeat %lld ms)\n",
@@ -1347,6 +1416,9 @@ int Main(int argc, char** argv) {
                  "retry hint in router-origin OVERLOADED rejections");
   flags.AddInt64("max_request_bytes", &config.max_request_bytes,
                  "largest accepted request line");
+  flags.AddInt64("pin_ttl_s", &config.pin_ttl_s,
+                 "expire a migration pin after this many idle seconds, "
+                 "discarding the abandoned session's live copy (0 = never)");
   flags.AddString("faults", &config.faults,
                   "fault sites to arm for the process lifetime, as "
                   "site:nth[:repeat],... (tools/soak.sh)");
@@ -1374,7 +1446,8 @@ int Main(int argc, char** argv) {
   if (config.heartbeat_ms <= 0 || config.heartbeat_timeout_ms < 0 ||
       config.reconnect_base_ms <= 0 || config.reconnect_max_ms <= 0 ||
       config.route_retries < 0 || config.retry_after_ms < 0 ||
-      config.max_request_bytes <= 0 || config.virtual_nodes <= 0) {
+      config.max_request_bytes <= 0 || config.virtual_nodes <= 0 ||
+      config.pin_ttl_s < 0) {
     std::fprintf(stderr, "periodica_router: flag out of range\n");
     return 2;
   }

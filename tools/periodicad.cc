@@ -1089,15 +1089,18 @@ JsonValue Daemon::HandleStreamOpen(const JsonValue& params) {
   if (config_.checkpoint_each_feed && !resume && Durable()) {
     // Per-feed durability covers the open itself: a shard that dies before
     // the first feed still leaves a thawable snapshot for its successor.
-    SessionTable::Rejection checkpoint_rejection;
-    Result<SessionTable::Handle> handle =
-        table_.Acquire(tenant, name, &checkpoint_rejection);
-    if (handle.ok()) {
-      if (const Status saved = table_.Checkpoint(handle.value());
-          !saved.ok()) {
-        (void)table_.Close(tenant, name, /*checkpoint=*/false);
-        return StatusToResponse(saved);
-      }
+    Status saved;
+    {
+      // Scoped: the Handle holds the session mutex, and the failure path's
+      // Close relocks it — the Handle must die before Close runs.
+      SessionTable::Rejection checkpoint_rejection;
+      Result<SessionTable::Handle> handle =
+          table_.Acquire(tenant, name, &checkpoint_rejection);
+      if (handle.ok()) saved = table_.Checkpoint(handle.value());
+    }
+    if (!saved.ok()) {
+      (void)table_.Close(tenant, name, /*checkpoint=*/false);
+      return StatusToResponse(saved);
     }
   }
   JsonValue::Object result;
